@@ -1,0 +1,35 @@
+//! # quepa-aindex — the A' index
+//!
+//! The A' index (paper §III-B) is "a graph index where each global-key is
+//! represented by one node, and there are two types of edges connecting
+//! global-keys, representing *identity* and *matching* p-relations", each
+//! carrying its probability.
+//!
+//! This crate implements:
+//!
+//! * the graph itself ([`AIndex`]) with insertion that **materializes
+//!   identity transitivity** (Example 7: inserting `a ~0.8 b` when
+//!   `b ~0.85 c` exists also materializes `a ~0.68 c`) and **enforces the
+//!   Consistency Condition** (`o₁ ≡ o₂ ∧ o₂ ∼ o₃ ⇒ o₁ ≡ o₃`, §II-B);
+//! * the **augmentation primitive**: the level-*n* neighbourhood used by
+//!   [`Definition 2/3`](crate::index::AIndex::augment) with path-product
+//!   probabilities (best path wins);
+//! * **lazy deletion** of vanished objects (§III-C(b)) and a **lineage
+//!   system** for cascading deletion of inferred p-relations — the paper
+//!   lists this as planned work; it is implemented here behind
+//!   [`DeletionPolicy`];
+//! * **promotion of p-relations** (§III-D(a)): the `D_P` repository of
+//!   traversed exploration paths and the threshold rule that turns a
+//!   frequently walked path into a shortcut matching edge whose probability
+//!   is the average along the path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod promote;
+pub mod serial;
+
+pub use index::{AIndex, AugmentedKey, DeletionPolicy, EdgeInfo, EdgeOrigin, IndexStats};
+pub use promote::{PathRepository, PromotionConfig};
+pub use serial::SerialError;

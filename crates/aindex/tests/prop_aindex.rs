@@ -1,0 +1,192 @@
+//! Property-based tests: the A' index invariants under random operation
+//! sequences.
+
+use proptest::prelude::*;
+use quepa_aindex::{AIndex, DeletionPolicy};
+use quepa_pdm::{GlobalKey, Probability, RelationKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Identity(u8, u8, f64),
+    Matching(u8, u8, f64),
+    RemoveObject(u8),
+    DeleteIdentity(u8, u8),
+    DeleteMatching(u8, u8),
+}
+
+fn key(i: u8) -> GlobalKey {
+    format!("db{}.coll.k{}", i % 4, i).parse().unwrap()
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let n = 0u8..12;
+    let p = 0.05f64..=1.0;
+    prop_oneof![
+        4 => (n.clone(), n.clone(), p.clone()).prop_map(|(a, b, p)| Op::Identity(a, b, p)),
+        4 => (n.clone(), n.clone(), p).prop_map(|(a, b, p)| Op::Matching(a, b, p)),
+        1 => n.clone().prop_map(Op::RemoveObject),
+        1 => (n.clone(), n.clone()).prop_map(|(a, b)| Op::DeleteIdentity(a, b)),
+        1 => (n.clone(), n).prop_map(|(a, b)| Op::DeleteMatching(a, b)),
+    ]
+}
+
+fn apply(ix: &mut AIndex, op: &Op) {
+    match op {
+        Op::Identity(a, b, p) => ix.insert_identity(&key(*a), &key(*b), Probability::of(*p)),
+        Op::Matching(a, b, p) => ix.insert_matching(&key(*a), &key(*b), Probability::of(*p)),
+        Op::RemoveObject(a) => ix.remove_object(&key(*a)),
+        Op::DeleteIdentity(a, b) => {
+            ix.delete_prelation(&key(*a), &key(*b), RelationKind::Identity);
+        }
+        Op::DeleteMatching(a, b) => {
+            ix.delete_prelation(&key(*a), &key(*b), RelationKind::Matching);
+        }
+    }
+}
+
+/// Edge deletions can legitimately break closure (the paper's Keep policy
+/// deliberately leaves inferred edges dangling, and removing one edge of a
+/// clique leaves the rest); consistency is only promised after *insert*
+/// sequences.
+fn is_insert(op: &Op) -> bool {
+    matches!(op, Op::Identity(..) | Op::Matching(..))
+}
+
+proptest! {
+    /// After any sequence of inserts, the Consistency Condition and the
+    /// identity-transitivity closure hold.
+    #[test]
+    fn inserts_preserve_consistency(ops in prop::collection::vec(arb_op().prop_filter("insert", is_insert), 1..40)) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        prop_assert!(ix.check_consistency().is_none(), "violated: {:?}", ix.check_consistency());
+    }
+
+    /// Augmentation results are sorted by probability, never contain seeds,
+    /// and grow monotonically with the level.
+    #[test]
+    fn augment_invariants(
+        ops in prop::collection::vec(arb_op(), 1..50),
+        seed in 0u8..12,
+        level in 0usize..4,
+    ) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        let out = ix.augment(&[key(seed)], level);
+        prop_assert!(out.windows(2).all(|w| w[0].probability >= w[1].probability));
+        prop_assert!(out.iter().all(|a| a.key != key(seed)));
+        prop_assert!(out.iter().all(|a| a.distance <= level + 1 && a.distance >= 1));
+        // Level monotonicity: every key found at level L appears at L+1
+        // with at least the same probability.
+        let bigger = ix.augment(&[key(seed)], level + 1);
+        for a in &out {
+            let found = bigger.iter().find(|b| b.key == a.key);
+            prop_assert!(found.is_some(), "key lost when level grew");
+            prop_assert!(found.unwrap().probability >= a.probability);
+        }
+        // No duplicates.
+        let mut keys: Vec<_> = out.iter().map(|a| a.key.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), out.len());
+    }
+
+    /// Removing an object removes it from every future answer.
+    #[test]
+    fn removed_objects_never_reappear(
+        ops in prop::collection::vec(arb_op().prop_filter("insert", is_insert), 1..40),
+        victim in 0u8..12,
+        seed in 0u8..12,
+    ) {
+        prop_assume!(victim != seed);
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        ix.remove_object(&key(victim));
+        prop_assert!(!ix.contains(&key(victim)));
+        let out = ix.augment(&[key(seed)], 3);
+        prop_assert!(out.iter().all(|a| a.key != key(victim)));
+        prop_assert!(ix.neighbors(&key(victim)).is_empty());
+    }
+
+    /// Cascade deletion never leaves an inferred edge whose direct ancestor
+    /// chain was destroyed... approximated here as: deleting every direct
+    /// edge empties the graph of edges.
+    #[test]
+    fn cascade_full_teardown(ops in prop::collection::vec(arb_op().prop_filter("insert", is_insert), 1..30)) {
+        let mut ix = AIndex::with_policy(DeletionPolicy::Cascade);
+        let mut direct: Vec<(GlobalKey, GlobalKey, RelationKind)> = Vec::new();
+        for op in &ops {
+            apply(&mut ix, op);
+            match op {
+                Op::Identity(a, b, _) if a != b => {
+                    direct.push((key(*a), key(*b), RelationKind::Identity));
+                }
+                Op::Matching(a, b, _) if a != b => {
+                    direct.push((key(*a), key(*b), RelationKind::Matching));
+                }
+                _ => {}
+            }
+        }
+        for (a, b, kind) in &direct {
+            ix.delete_prelation(a, b, *kind);
+        }
+        prop_assert_eq!(ix.edge_count(), 0, "stats: {:?}", ix.stats());
+    }
+
+    /// Keep policy: deleting one edge never deletes any *other* edge.
+    #[test]
+    fn keep_policy_deletes_exactly_one(
+        ops in prop::collection::vec(arb_op().prop_filter("insert", is_insert), 1..30),
+        pick_a in 0u8..12,
+        pick_b in 0u8..12,
+    ) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        let before = ix.edge_count();
+        let deleted = ix.delete_prelation(&key(pick_a), &key(pick_b), RelationKind::Identity);
+        let after = ix.edge_count();
+        prop_assert_eq!(after, before - usize::from(deleted));
+    }
+
+    /// Stats agree with edge_count.
+    #[test]
+    fn stats_consistent(ops in prop::collection::vec(arb_op(), 1..50)) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        let s = ix.stats();
+        prop_assert_eq!(s.identity_edges + s.matching_edges, ix.edge_count());
+        prop_assert_eq!(s.nodes, ix.node_count());
+        prop_assert_eq!(s.nodes, ix.keys().count());
+    }
+
+    /// Serialization round-trips any insert-built graph exactly (same
+    /// nodes, edges and augmentation answers).
+    #[test]
+    fn serialization_roundtrip(
+        ops in prop::collection::vec(arb_op().prop_filter("insert", is_insert), 1..40),
+        seed in 0u8..12,
+        level in 0usize..3,
+    ) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        let text = quepa_aindex::serial::to_string(&ix);
+        let back = quepa_aindex::serial::from_str(&text).unwrap();
+        prop_assert_eq!(back.node_count(), ix.node_count());
+        prop_assert_eq!(back.edge_count(), ix.edge_count());
+        prop_assert_eq!(back.augment(&[key(seed)], level), ix.augment(&[key(seed)], level));
+        prop_assert!(back.check_consistency().is_none());
+    }
+}
+

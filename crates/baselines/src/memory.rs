@@ -1,0 +1,112 @@
+//! Simulated middleware memory accounting.
+//!
+//! The paper marks runs that exhaust the middleware's heap with a red ‘X’
+//! (Fig. 13). Actually exhausting RAM in a benchmark harness would be
+//! antisocial, so each baseline charges the *approximate* size of every
+//! object it materializes against a budget; exceeding it raises the
+//! out-of-memory error the experiment records.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A byte budget shared by the allocations of one middleware run.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        MemoryBudget { limit, used: AtomicUsize::new(0), high_water: AtomicUsize::new(0) }
+    }
+
+    /// An effectively unlimited budget (for functional tests).
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently accounted.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The maximum `used` ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Charges `bytes`; `Err(())` means the budget is exhausted (the charge
+    /// is rolled back so the caller can report cleanly). The unit error is
+    /// deliberate: every caller maps it to its own out-of-memory error type.
+    #[allow(clippy::result_unit_err)]
+    pub fn alloc(&self, bytes: usize) -> Result<(), ()> {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        if now > self.limit {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(());
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` (scoped working sets).
+    pub fn free(&self, bytes: usize) {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Releases everything (end of a run).
+    pub fn reset(&self) {
+        self.used.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free() {
+        let b = MemoryBudget::new(100);
+        assert!(b.alloc(60).is_ok());
+        assert!(b.alloc(60).is_err(), "would exceed");
+        assert_eq!(b.used(), 60, "failed alloc rolled back");
+        b.free(30);
+        assert!(b.alloc(60).is_ok());
+        assert_eq!(b.used(), 90);
+        assert_eq!(b.high_water(), 120, "high water saw the failed attempt");
+        b.reset();
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let b = MemoryBudget::new(10);
+        b.free(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.alloc(usize::MAX / 2).is_ok());
+    }
+}

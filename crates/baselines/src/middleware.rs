@@ -1,0 +1,78 @@
+//! The common surface every baseline implements.
+
+use std::fmt;
+use std::time::Duration;
+
+use quepa_pdm::DataObject;
+use quepa_polystore::PolyError;
+
+/// Errors of a middleware run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiddlewareError {
+    /// The simulated heap budget was exhausted — the red ‘X’ of Fig. 13.
+    OutOfMemory {
+        /// The budget in bytes.
+        budget: usize,
+        /// Bytes in use when the failing allocation was attempted.
+        in_use: usize,
+    },
+    /// The tool does not support this store/query (e.g. Metamodel has no
+    /// Redis connector; ArangoDB cannot import relational tables natively).
+    Unsupported(String),
+    /// An error from the underlying polystore.
+    Polystore(PolyError),
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::OutOfMemory { budget, in_use } => {
+                write!(f, "out of memory: {in_use} bytes in use of {budget} budget")
+            }
+            MiddlewareError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            MiddlewareError::Polystore(e) => write!(f, "polystore: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+impl From<PolyError> for MiddlewareError {
+    fn from(e: PolyError) -> Self {
+        MiddlewareError::Polystore(e)
+    }
+}
+
+/// The answer a middleware computes (the same information QUEPA's
+/// `AugmentedAnswer` carries, minus QUEPA-specific fields).
+#[derive(Debug, Clone)]
+pub struct MiddlewareAnswer {
+    /// The local answer.
+    pub original: Vec<DataObject>,
+    /// The related objects, deduplicated.
+    pub augmented: Vec<DataObject>,
+    /// End-to-end wall time, including any per-query share of warm-up.
+    pub duration: Duration,
+}
+
+/// A middleware able to compute augmented answers.
+pub trait Middleware: Send + Sync {
+    /// The label used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Computes the augmented answer of `query` on `database` at `level`.
+    fn augmented_query(
+        &self,
+        database: &str,
+        query: &str,
+        level: usize,
+    ) -> Result<MiddlewareAnswer, MiddlewareError>;
+
+    /// Performs any warm-up the tool needs (ArangoDB's import). Idempotent.
+    fn warm_up(&self) -> Result<(), MiddlewareError> {
+        Ok(())
+    }
+
+    /// Resets per-run state (memory accounting) between experiment points.
+    fn reset(&self) {}
+}

@@ -1,0 +1,43 @@
+//! Criterion micro-version of Fig. 9 / Fig. 10(a,b): the effect of
+//! BATCH_SIZE on the BATCH and OUTER-BATCH augmenters, per deployment.
+//!
+//! The `figures` binary sweeps the full grid; this bench keeps a small,
+//! statistically sampled subset for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quepa_bench::Lab;
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_polystore::{Deployment, StoreKind};
+use quepa_workload::queries::query_for;
+
+fn bench_batching(c: &mut Criterion) {
+    for deployment in [Deployment::Centralized, Deployment::Distributed] {
+        let lab = Lab::new(800, 1, deployment);
+        let query = query_for(StoreKind::Relational, 400);
+        let mut group = c.benchmark_group(format!("fig9-batching/{}", deployment.name()));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+        group.sample_size(10);
+        for augmenter in [AugmenterKind::Batch, AugmenterKind::OuterBatch] {
+            for batch_size in [1usize, 16, 256, 4096] {
+                let config = QuepaConfig {
+                    augmenter,
+                    batch_size,
+                    threads_size: 4,
+                    cache_size: 0, // cold path: every lookup hits the store
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(augmenter.name(), batch_size),
+                    &config,
+                    |b, config| {
+                        b.iter(|| lab.run("transactions", &query, 0, *config, true));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

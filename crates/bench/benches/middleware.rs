@@ -1,0 +1,38 @@
+//! Criterion micro-version of Fig. 13: QUEPA against the middleware
+//! baselines on the same augmented query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quepa_bench::Lab;
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_polystore::{Deployment, StoreKind};
+use quepa_workload::queries::query_for;
+
+fn bench_middleware(c: &mut Criterion) {
+    let lab = Lab::new(600, 1, Deployment::Centralized);
+    let query = query_for(StoreKind::Document, 300);
+    let middlewares = lab.middlewares(usize::MAX);
+    let mut group = c.benchmark_group("fig13-middleware");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+
+    let quepa_config = QuepaConfig {
+        augmenter: AugmenterKind::OuterBatch,
+        batch_size: 256,
+        threads_size: 8,
+        cache_size: 0,
+    };
+    group.bench_function("QUEPA", |b| {
+        b.iter(|| lab.run("catalogue", &query, 0, quepa_config, true));
+    });
+    for m in &middlewares {
+        m.warm_up().expect("warm-up");
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &query, |b, query| {
+            b.iter(|| m.augmented_query("catalogue", query, 0).expect("middleware run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_middleware);
+criterion_main!(benches);

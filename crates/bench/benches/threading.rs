@@ -1,0 +1,68 @@
+//! Criterion micro-version of Fig. 11: the concurrent augmenters while
+//! THREADS_SIZE varies, and the augmenter family side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quepa_bench::Lab;
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_polystore::{Deployment, StoreKind};
+use quepa_workload::queries::query_for;
+
+fn bench_threads(c: &mut Criterion) {
+    let lab = Lab::new(800, 1, Deployment::Centralized);
+    let query = query_for(StoreKind::Relational, 400);
+    let mut group = c.benchmark_group("fig11-threads");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for augmenter in [
+        AugmenterKind::Inner,
+        AugmenterKind::Outer,
+        AugmenterKind::OuterBatch,
+        AugmenterKind::OuterInner,
+    ] {
+        for threads in [1usize, 4, 16] {
+            let config = QuepaConfig {
+                augmenter,
+                threads_size: threads,
+                batch_size: 128,
+                cache_size: 0,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(augmenter.name(), threads),
+                &config,
+                |b, config| {
+                    b.iter(|| lab.run("transactions", &query, 0, *config, true));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let lab = Lab::new(800, 1, Deployment::Centralized);
+    let query = query_for(StoreKind::Document, 400);
+    let mut group = c.benchmark_group("fig11-family");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for augmenter in AugmenterKind::ALL {
+        let config = QuepaConfig {
+            augmenter,
+            threads_size: 8,
+            batch_size: 128,
+            cache_size: 0,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(augmenter.name()),
+            &config,
+            |b, config| {
+                b.iter(|| lab.run("catalogue", &query, 1, *config, true));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_family);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! The rule-based optimizer (§V) and the baseline optimizers of §VII-C.
+//!
+//! ADAPTIVE trains four models on the run logs:
+//!
+//! * `T1` — a C4.5 decision tree choosing the augmenter;
+//! * `T2` — a REPTree regression tree choosing `BATCH_SIZE` (consulted when
+//!   `T1` picks BATCH or OUTER-BATCH);
+//! * `T3` — a REPTree choosing `THREADS_SIZE` (when a concurrent augmenter
+//!   is selected);
+//! * `T4` — a REPTree choosing `CACHE_SIZE` (applied softly: the system
+//!   moves the cache by `(predicted − current) / 10`, see
+//!   [`crate::system::Quepa`]).
+
+use quepa_ml::c45::{C45Params, DecisionTree};
+use quepa_ml::dataset::{AttrKind, Dataset, DatasetBuilder, FeatureValue, Schema};
+use quepa_ml::reptree::{RegressionTree, RepTreeParams};
+use quepa_polystore::StoreKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{AugmenterKind, QuepaConfig};
+use crate::logs::{QueryFeatures, RunLog};
+
+/// Something that can pick a configuration for a query.
+pub trait Optimizer: Send + Sync {
+    /// Chooses the configuration for a query with the given
+    /// characteristics; `current` is the configuration in effect.
+    fn choose(&self, features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig;
+
+    /// Name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+const KINDS: [StoreKind; 4] =
+    [StoreKind::Relational, StoreKind::Document, StoreKind::KeyValue, StoreKind::Graph];
+
+fn feature_schema() -> Schema {
+    let mut schema = Schema::new(&[
+        ("target_kind", AttrKind::Categorical),
+        ("store_count", AttrKind::Numeric),
+        ("result_size", AttrKind::Numeric),
+        ("augmented_size", AttrKind::Numeric),
+        ("level", AttrKind::Numeric),
+        ("distributed", AttrKind::Categorical),
+    ]);
+    for k in KINDS {
+        schema.intern(0, k.name());
+    }
+    schema.intern(5, "no");
+    schema.intern(5, "yes");
+    schema
+}
+
+fn feature_row(schema: &Schema, f: &QueryFeatures) -> Vec<FeatureValue> {
+    vec![
+        FeatureValue::Cat(schema.category_id(0, f.target_kind.name()).expect("pre-interned")),
+        FeatureValue::Num(f.store_count as f64),
+        FeatureValue::Num(f.result_size as f64),
+        FeatureValue::Num(f.augmented_size as f64),
+        FeatureValue::Num(f.level as f64),
+        FeatureValue::Cat(
+            schema
+                .category_id(5, if f.distributed { "yes" } else { "no" })
+                .expect("pre-interned"),
+        ),
+    ]
+}
+
+/// The trained ADAPTIVE optimizer.
+pub struct AdaptiveOptimizer {
+    schema: Schema,
+    t1_augmenter: DecisionTree,
+    t2_batch: Option<RegressionTree>,
+    t3_threads: Option<RegressionTree>,
+    t4_cache: Option<RegressionTree>,
+    fallback: QuepaConfig,
+}
+
+impl AdaptiveOptimizer {
+    /// Trains the four models from run logs (§V Phase 2). Logs are grouped
+    /// by *situation* (same query characteristics); within each group the
+    /// fastest run defines the best configuration.
+    ///
+    /// Returns `None` when the logs contain fewer than two distinct
+    /// situations — there is nothing to learn from yet, and the paper's
+    /// remedy ("we run, in background, previously executed queries with
+    /// different configurations") is the caller's job.
+    pub fn train(logs: &[RunLog]) -> Option<Self> {
+        let schema = feature_schema();
+        // situation → (best duration, features, best config).
+        let mut best: std::collections::HashMap<_, (std::time::Duration, QueryFeatures, QuepaConfig)> =
+            std::collections::HashMap::new();
+        for log in logs {
+            let entry = best.entry(log.situation());
+            match entry {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if log.duration < o.get().0 {
+                        o.insert((log.duration, log.features, log.config));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((log.duration, log.features, log.config));
+                }
+            }
+        }
+        if best.len() < 2 {
+            return None;
+        }
+
+        let mut t1 = DatasetBuilder::new(schema.clone());
+        let mut t2 = DatasetBuilder::new(schema.clone());
+        let mut t3 = DatasetBuilder::new(schema.clone());
+        let mut t4 = DatasetBuilder::new(schema.clone());
+        for (_, features, config) in best.values() {
+            let row = feature_row(&schema, features);
+            t1.push_classified(row.clone(), config.augmenter.name());
+            if config.augmenter.uses_batching() {
+                t2.push_regression(row.clone(), config.batch_size as f64);
+            }
+            if config.augmenter.uses_threads() {
+                t3.push_regression(row.clone(), config.threads_size as f64);
+            }
+            t4.push_regression(row, config.cache_size as f64);
+        }
+
+        let c45 = C45Params { min_leaf: 2, ..Default::default() };
+        let rep = RepTreeParams { min_leaf: 2, prune_fraction: 0.2, ..Default::default() };
+        let fit_reg = |d: Dataset| (!d.is_empty()).then(|| RegressionTree::fit(&d, rep));
+        Some(AdaptiveOptimizer {
+            t1_augmenter: DecisionTree::fit(&t1.build(), c45),
+            t2_batch: fit_reg(t2.build()),
+            t3_threads: fit_reg(t3.build()),
+            t4_cache: fit_reg(t4.build()),
+            schema,
+            fallback: QuepaConfig::default(),
+        })
+    }
+}
+
+impl AdaptiveOptimizer {
+    /// Renders the learned `T1` decision tree as indented text — the
+    /// paper's Fig. 8 shows an example of this tree.
+    pub fn render_t1(&self) -> String {
+        let names: Vec<String> =
+            self.schema.names().iter().map(|s| s.to_string()).collect();
+        self.t1_augmenter
+            .render(&names, |attr, cat| self.schema.category_name(attr, cat).to_owned())
+    }
+}
+
+impl Optimizer for AdaptiveOptimizer {
+    fn choose(&self, features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
+        let row = feature_row(&self.schema, features);
+        let augmenter = AugmenterKind::parse(self.t1_augmenter.predict_name(&row))
+            .unwrap_or(self.fallback.augmenter);
+        let batch_size = if augmenter.uses_batching() {
+            self.t2_batch
+                .as_ref()
+                .map(|t| t.predict(&row).round().max(1.0) as usize)
+                .unwrap_or(current.batch_size)
+        } else {
+            current.batch_size
+        };
+        let threads_size = if augmenter.uses_threads() {
+            self.t3_threads
+                .as_ref()
+                .map(|t| t.predict(&row).round().max(1.0) as usize)
+                .unwrap_or(current.threads_size)
+        } else {
+            current.threads_size
+        };
+        let cache_size = self
+            .t4_cache
+            .as_ref()
+            .map(|t| t.predict(&row).round().max(0.0) as usize)
+            .unwrap_or(current.cache_size);
+        QuepaConfig { augmenter, batch_size, threads_size, cache_size }
+    }
+
+    fn name(&self) -> &'static str {
+        "ADAPTIVE"
+    }
+}
+
+/// The HUMAN optimizer of §VII-C: an expert's fixed rules of thumb.
+#[derive(Debug, Clone, Copy)]
+pub struct HumanOptimizer {
+    /// Number of CPU cores the expert assumes.
+    pub cores: usize,
+}
+
+impl Default for HumanOptimizer {
+    fn default() -> Self {
+        HumanOptimizer {
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl Optimizer for HumanOptimizer {
+    fn choose(&self, features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
+        // The expert's reasoning mirrors §VII-B's findings: tiny queries on
+        // few stores don't amortize thread setup; distributed deployments
+        // reward batching above all; large local queries want OUTER-BATCH.
+        let augmenter = if features.augmented_size < 32 && features.store_count <= 4 {
+            AugmenterKind::Sequential
+        } else if features.distributed {
+            AugmenterKind::Batch
+        } else if features.result_size <= 4 {
+            // Exploration-like shape: inner concurrency.
+            AugmenterKind::Inner
+        } else {
+            AugmenterKind::OuterBatch
+        };
+        QuepaConfig {
+            augmenter,
+            batch_size: if features.distributed { 512 } else { 64 },
+            threads_size: self.cores.clamp(2, 16),
+            cache_size: current.cache_size,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HUMAN"
+    }
+}
+
+/// The RANDOM optimizer of §VII-C: uniform draws from the knob palettes.
+pub struct RandomOptimizer {
+    rng: parking_lot::Mutex<StdRng>,
+}
+
+impl RandomOptimizer {
+    /// Creates a seeded random optimizer (deterministic experiment runs).
+    pub fn new(seed: u64) -> Self {
+        RandomOptimizer { rng: parking_lot::Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+}
+
+impl Optimizer for RandomOptimizer {
+    fn choose(&self, _features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
+        const BATCHES: [usize; 6] = [1, 8, 32, 128, 512, 2048];
+        const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+        const CACHES: [usize; 4] = [0, 1024, 8192, 65536];
+        let mut rng = self.rng.lock();
+        QuepaConfig {
+            augmenter: AugmenterKind::ALL[rng.gen_range(0..AugmenterKind::ALL.len())],
+            batch_size: BATCHES[rng.gen_range(0..BATCHES.len())],
+            threads_size: THREADS[rng.gen_range(0..THREADS.len())],
+            cache_size: if rng.gen_bool(0.5) {
+                current.cache_size
+            } else {
+                CACHES[rng.gen_range(0..CACHES.len())]
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn features(result_size: usize, distributed: bool) -> QueryFeatures {
+        QueryFeatures {
+            target_kind: StoreKind::Relational,
+            store_count: 10,
+            result_size,
+            augmented_size: result_size * 4,
+            level: 0,
+            distributed,
+        }
+    }
+
+    fn log(f: QueryFeatures, config: QuepaConfig, ms: u64) -> RunLog {
+        RunLog { features: f, config, duration: Duration::from_millis(ms) }
+    }
+
+    /// Synthetic logs where small queries run best SEQUENTIAL and large
+    /// ones best OUTER-BATCH with big batches.
+    fn training_logs() -> Vec<RunLog> {
+        let mut logs = Vec::new();
+        for scale in 0..6u32 {
+            let size = 10usize << (2 * scale); // 10, 40, 160, ... distinct buckets
+            let f = features(size, false);
+            let small = size < 100;
+            for aug in AugmenterKind::ALL {
+                let cfg = QuepaConfig {
+                    augmenter: aug,
+                    batch_size: if small { 4 } else { 256 },
+                    threads_size: if small { 1 } else { 8 },
+                    cache_size: 4096,
+                };
+                let time = match (small, aug) {
+                    (true, AugmenterKind::Sequential) => 5,
+                    (true, _) => 20,
+                    (false, AugmenterKind::OuterBatch) => 50,
+                    (false, _) => 200,
+                };
+                logs.push(log(f, cfg, time));
+            }
+        }
+        logs
+    }
+
+    #[test]
+    fn adaptive_learns_the_regimes() {
+        let opt = AdaptiveOptimizer::train(&training_logs()).expect("trainable");
+        let current = QuepaConfig::default();
+        let small = opt.choose(&features(10, false), &current);
+        assert_eq!(small.augmenter, AugmenterKind::Sequential);
+        let large = opt.choose(&features(10_240, false), &current);
+        assert_eq!(large.augmenter, AugmenterKind::OuterBatch);
+        assert!(large.batch_size >= 64, "learned a big batch: {}", large.batch_size);
+        assert!(large.threads_size >= 2);
+    }
+
+    #[test]
+    fn adaptive_needs_enough_situations() {
+        assert!(AdaptiveOptimizer::train(&[]).is_none());
+        let one = vec![log(features(10, false), QuepaConfig::default(), 5)];
+        assert!(AdaptiveOptimizer::train(&one).is_none());
+    }
+
+    #[test]
+    fn human_rules() {
+        let h = HumanOptimizer { cores: 8 };
+        let current = QuepaConfig::default();
+        let tiny = h.choose(
+            &QueryFeatures {
+                target_kind: StoreKind::KeyValue,
+                store_count: 4,
+                result_size: 3,
+                augmented_size: 9,
+                level: 0,
+                distributed: false,
+            },
+            &current,
+        );
+        assert_eq!(tiny.augmenter, AugmenterKind::Sequential);
+        let dist = h.choose(&features(1000, true), &current);
+        assert_eq!(dist.augmenter, AugmenterKind::Batch);
+        assert_eq!(dist.batch_size, 512);
+        let big = h.choose(&features(10_000, false), &current);
+        assert_eq!(big.augmenter, AugmenterKind::OuterBatch);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let current = QuepaConfig::default();
+        let a: Vec<_> = {
+            let r = RandomOptimizer::new(9);
+            (0..5).map(|_| r.choose(&features(10, false), &current)).collect()
+        };
+        let b: Vec<_> = {
+            let r = RandomOptimizer::new(9);
+            (0..5).map(|_| r.choose(&features(10, false), &current)).collect()
+        };
+        assert_eq!(a, b);
+        // And actually varies across draws.
+        let r = RandomOptimizer::new(1);
+        let picks: std::collections::HashSet<_> =
+            (0..20).map(|_| r.choose(&features(10, false), &current).augmenter).collect();
+        assert!(picks.len() > 1);
+    }
+
+    #[test]
+    fn t1_renders_like_fig8() {
+        let opt = AdaptiveOptimizer::train(&training_logs()).unwrap();
+        let text = opt.render_t1();
+        assert!(text.contains('?'), "{text}");
+        assert!(text.contains("→"), "{text}");
+        // The learned tree splits on a size feature and names augmenters.
+        assert!(text.contains("SEQUENTIAL") || text.contains("OUTER-BATCH"), "{text}");
+    }
+
+    #[test]
+    fn optimizer_names() {
+        assert_eq!(HumanOptimizer::default().name(), "HUMAN");
+        assert_eq!(RandomOptimizer::new(0).name(), "RANDOM");
+        let opt = AdaptiveOptimizer::train(&training_logs()).unwrap();
+        assert_eq!(opt.name(), "ADAPTIVE");
+    }
+}

@@ -1,0 +1,200 @@
+//! Augmented analytics — the paper's stated future work ("we would like to
+//! extend augmentation to data analytics scenarios", §VIII), implemented
+//! here as a small aggregation layer over augmented answers.
+//!
+//! The idea: once a local answer is augmented, the related objects form a
+//! probabilistic relation over the whole polystore; analytics over it must
+//! respect the probabilities. This module provides:
+//!
+//! * per-database breakdowns of an answer ([`breakdown_by_database`]);
+//! * probability-weighted aggregates over a numeric field path
+//!   ([`weighted_aggregate`]) — every value contributes proportionally to
+//!   the probability that its object is actually related (expected-value
+//!   semantics over possible worlds, assuming independence);
+//! * answer-level summary statistics ([`AnswerStats`]).
+
+use std::collections::BTreeMap;
+
+use quepa_pdm::Value;
+
+use crate::search::AugmentedAnswer;
+
+/// Summary statistics of an augmented answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerStats {
+    /// Objects in the local answer.
+    pub original: usize,
+    /// Objects contributed by augmentation.
+    pub augmented: usize,
+    /// Distinct databases the augmentation reached.
+    pub databases_reached: usize,
+    /// Mean probability of the augmented objects (0 when none).
+    pub mean_probability: f64,
+    /// Maximum hop distance observed.
+    pub max_distance: usize,
+}
+
+/// Computes the summary statistics of an answer.
+pub fn stats(answer: &AugmentedAnswer) -> AnswerStats {
+    let mut dbs = std::collections::BTreeSet::new();
+    let mut prob_sum = 0.0;
+    let mut max_distance = 0;
+    for a in &answer.augmented {
+        dbs.insert(a.object.key().database().clone());
+        prob_sum += a.probability.get();
+        max_distance = max_distance.max(a.distance);
+    }
+    AnswerStats {
+        original: answer.original.len(),
+        augmented: answer.augmented.len(),
+        databases_reached: dbs.len(),
+        mean_probability: if answer.augmented.is_empty() {
+            0.0
+        } else {
+            prob_sum / answer.augmented.len() as f64
+        },
+        max_distance,
+    }
+}
+
+/// Counts the augmented objects per source database — "where did the
+/// related information come from?".
+pub fn breakdown_by_database(answer: &AugmentedAnswer) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for a in &answer.augmented {
+        *out.entry(a.object.key().database().to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// A probability-weighted aggregate over one numeric field of the
+/// augmented objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedAggregate {
+    /// Objects carrying the field with a numeric value.
+    pub matching_objects: usize,
+    /// Expected count: Σ p(o) over matching objects.
+    pub expected_count: f64,
+    /// Expected sum: Σ p(o)·value(o).
+    pub expected_sum: f64,
+    /// Expected mean: expected_sum / expected_count (None when no object
+    /// matches).
+    pub expected_mean: Option<f64>,
+    /// Plain (unweighted) minimum among matching objects.
+    pub min: Option<f64>,
+    /// Plain maximum.
+    pub max: Option<f64>,
+}
+
+/// Aggregates `field_path` (dots descend into nested objects) across the
+/// augmented part of an answer, weighting every value by its object's
+/// probability.
+///
+/// The semantics are expected values over the possible worlds induced by
+/// the p-relations: an object related with probability `p` contributes its
+/// value in a `p` fraction of the worlds.
+pub fn weighted_aggregate(answer: &AugmentedAnswer, field_path: &str) -> WeightedAggregate {
+    let mut agg = WeightedAggregate {
+        matching_objects: 0,
+        expected_count: 0.0,
+        expected_sum: 0.0,
+        expected_mean: None,
+        min: None,
+        max: None,
+    };
+    for a in &answer.augmented {
+        let value = match a.object.value() {
+            v @ (Value::Int(_) | Value::Float(_)) if field_path.is_empty() => v.as_f64(),
+            v => v.get_path(field_path).and_then(Value::as_f64),
+        };
+        let Some(x) = value else { continue };
+        let p = a.probability.get();
+        agg.matching_objects += 1;
+        agg.expected_count += p;
+        agg.expected_sum += p * x;
+        agg.min = Some(agg.min.map_or(x, |m: f64| m.min(x)));
+        agg.max = Some(agg.max.map_or(x, |m: f64| m.max(x)));
+    }
+    if agg.expected_count > 0.0 {
+        agg.expected_mean = Some(agg.expected_sum / agg.expected_count);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augmenter::AugmentedObject;
+    use crate::config::QuepaConfig;
+    use quepa_pdm::{DataObject, Probability};
+    use std::time::Duration;
+
+    fn answer() -> AugmentedAnswer {
+        let mk = |key: &str, value: Value, p: f64, d: usize| AugmentedObject {
+            object: DataObject::new(key.parse().unwrap(), value),
+            probability: Probability::of(p),
+            distance: d,
+        };
+        AugmentedAnswer {
+            original: vec![DataObject::new(
+                "a.t.1".parse().unwrap(),
+                Value::object([("x", Value::Int(1))]),
+            )],
+            augmented: vec![
+                mk("b.t.1", Value::object([("price", Value::Float(10.0))]), 1.0, 1),
+                mk("b.t.2", Value::object([("price", Value::Float(20.0))]), 0.5, 1),
+                mk("c.t.1", Value::object([("name", Value::str("no price"))]), 0.9, 2),
+            ],
+            config_used: QuepaConfig::default(),
+            duration: Duration::from_millis(1),
+            cache_hits: 0,
+            lazily_deleted: 0,
+        }
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = stats(&answer());
+        assert_eq!(s.original, 1);
+        assert_eq!(s.augmented, 3);
+        assert_eq!(s.databases_reached, 2);
+        assert!((s.mean_probability - 0.8).abs() < 1e-12);
+        assert_eq!(s.max_distance, 2);
+    }
+
+    #[test]
+    fn breakdown() {
+        let b = breakdown_by_database(&answer());
+        assert_eq!(b["b"], 2);
+        assert_eq!(b["c"], 1);
+    }
+
+    #[test]
+    fn weighted_aggregation() {
+        let agg = weighted_aggregate(&answer(), "price");
+        assert_eq!(agg.matching_objects, 2);
+        // E[count] = 1.0 + 0.5; E[sum] = 10 + 0.5·20 = 20.
+        assert!((agg.expected_count - 1.5).abs() < 1e-12);
+        assert!((agg.expected_sum - 20.0).abs() < 1e-12);
+        assert!((agg.expected_mean.unwrap() - 20.0 / 1.5).abs() < 1e-12);
+        assert_eq!(agg.min, Some(10.0));
+        assert_eq!(agg.max, Some(20.0));
+    }
+
+    #[test]
+    fn missing_field_yields_empty_aggregate() {
+        let agg = weighted_aggregate(&answer(), "nonexistent");
+        assert_eq!(agg.matching_objects, 0);
+        assert_eq!(agg.expected_mean, None);
+        assert_eq!(agg.min, None);
+    }
+
+    #[test]
+    fn empty_answer_stats() {
+        let mut a = answer();
+        a.augmented.clear();
+        let s = stats(&a);
+        assert_eq!(s.mean_probability, 0.0);
+        assert_eq!(s.databases_reached, 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The augmentation execution engine: one semantic result, six execution
+//! strategies (paper §IV).
+//!
+//! Every augmenter computes the *same* augmented answer — the level-*n*
+//! neighbourhood of the seeds in the A' index, retrieved from the
+//! polystore and ranked by probability — but distributes the key-based
+//! retrieval differently over round trips (batching) and threads
+//! (concurrency). The LRU cache sits in front of every lookup, and keys
+//! whose objects have vanished from the polystore are reported back as
+//! `missing` (the lazy-deletion signal of §III-C).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use quepa_aindex::{AIndex, AugmentedKey};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
+use quepa_polystore::Polystore;
+
+use crate::cache::ObjectCache;
+use crate::config::{AugmenterKind, QuepaConfig};
+use crate::error::Result;
+
+/// One element of an augmented answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentedObject {
+    /// The related object, fetched from its home store.
+    pub object: DataObject,
+    /// The probability that it relates to the original answer (best path
+    /// product over the A' index).
+    pub probability: Probability,
+    /// Hop distance of the best path.
+    pub distance: usize,
+}
+
+/// The result of executing an augmentation.
+#[derive(Debug, Clone, Default)]
+pub struct AugmentationOutcome {
+    /// Related objects, ordered by decreasing probability (ties broken by
+    /// key for determinism).
+    pub objects: Vec<AugmentedObject>,
+    /// Keys the A' index knows but the polystore no longer holds; the
+    /// caller applies lazy deletion with them.
+    pub missing: Vec<GlobalKey>,
+    /// How many lookups the cache answered.
+    pub cache_hits: usize,
+}
+
+/// A unit of retrieval work.
+#[derive(Debug, Clone)]
+struct Task {
+    key: GlobalKey,
+    probability: Probability,
+    distance: usize,
+}
+
+/// Executes the augmentation of `seeds` at `level` using the strategy in
+/// `config`.
+pub fn run(
+    polystore: &Polystore,
+    index: &AIndex,
+    cache: &ObjectCache,
+    seeds: &[DataObject],
+    level: usize,
+    config: &QuepaConfig,
+) -> Result<AugmentationOutcome> {
+    let config = config.sanitized();
+    let seed_keys: Vec<GlobalKey> = seeds.iter().map(|o| o.key().clone()).collect();
+
+    // Canonical semantics: the level-n neighbourhood of all seeds with
+    // best-path probabilities.
+    let canonical = index.augment(&seed_keys, level);
+    let canon_map: HashMap<&GlobalKey, (Probability, usize)> =
+        canonical.iter().map(|a| (&a.key, (a.probability, a.distance))).collect();
+
+    // Work partition for the outer/inner strategies: each target key is
+    // owned by the first seed that reaches it (the paper's augmenters
+    // iterate the original answer and skip already-retrieved objects).
+    let mut owned: Vec<Vec<Task>> = Vec::with_capacity(seeds.len());
+    {
+        let mut seen: std::collections::HashSet<GlobalKey> = seed_keys.iter().cloned().collect();
+        for seed_key in &seed_keys {
+            let mut mine = Vec::new();
+            for AugmentedKey { key, .. } in index.augment(std::slice::from_ref(seed_key), level)
+            {
+                if let Some(&(probability, distance)) = canon_map.get(&key) {
+                    if seen.insert(key.clone()) {
+                        mine.push(Task { key, probability, distance });
+                    }
+                }
+            }
+            owned.push(mine);
+        }
+    }
+
+    let engine = Engine { polystore, cache, sink: Mutex::new(Sink::default()) };
+    match config.augmenter {
+        AugmenterKind::Sequential => engine.sequential(&owned)?,
+        AugmenterKind::Batch => engine.batch(&owned, config.batch_size)?,
+        AugmenterKind::Inner => engine.inner(&owned, config.threads_size)?,
+        AugmenterKind::Outer => engine.outer(&owned, config.threads_size)?,
+        AugmenterKind::OuterBatch => {
+            engine.outer_batch(&owned, config.batch_size, config.threads_size)?
+        }
+        AugmenterKind::OuterInner => engine.outer_inner(&owned, config.threads_size)?,
+    }
+
+    let sink = engine.sink.into_inner().expect("no worker panicked");
+    let mut outcome = AugmentationOutcome {
+        objects: sink.objects,
+        missing: sink.missing,
+        cache_hits: sink.cache_hits,
+    };
+    outcome.objects.sort_by(|a, b| {
+        b.probability
+            .cmp(&a.probability)
+            .then_with(|| a.object.key().cmp(b.object.key()))
+    });
+    outcome.missing.sort();
+    Ok(outcome)
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    objects: Vec<AugmentedObject>,
+    missing: Vec<GlobalKey>,
+    cache_hits: usize,
+}
+
+struct Engine<'a> {
+    polystore: &'a Polystore,
+    cache: &'a ObjectCache,
+    sink: Mutex<Sink>,
+}
+
+impl Engine<'_> {
+    /// Fetches one task: cache, then a direct-access query.
+    fn fetch_one(&self, task: &Task) -> Result<()> {
+        if let Some(object) = self.cache.get(&task.key) {
+            let mut sink = self.sink.lock().expect("sink lock");
+            sink.cache_hits += 1;
+            sink.objects.push(AugmentedObject {
+                object,
+                probability: task.probability,
+                distance: task.distance,
+            });
+            return Ok(());
+        }
+        match self.polystore.get(&task.key)? {
+            Some(object) => {
+                self.cache.insert(object.clone());
+                self.sink.lock().expect("sink lock").objects.push(AugmentedObject {
+                    object,
+                    probability: task.probability,
+                    distance: task.distance,
+                });
+            }
+            None => {
+                self.sink.lock().expect("sink lock").missing.push(task.key.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches a group of tasks that share a (database, collection) in one
+    /// round trip, cache first.
+    fn fetch_group(&self, group: &[Task]) -> Result<()> {
+        debug_assert!(!group.is_empty());
+        let mut to_fetch: Vec<&Task> = Vec::with_capacity(group.len());
+        {
+            let mut hits = Vec::new();
+            for task in group {
+                match self.cache.get(&task.key) {
+                    Some(object) => hits.push(AugmentedObject {
+                        object,
+                        probability: task.probability,
+                        distance: task.distance,
+                    }),
+                    None => to_fetch.push(task),
+                }
+            }
+            if !hits.is_empty() {
+                let mut sink = self.sink.lock().expect("sink lock");
+                sink.cache_hits += hits.len();
+                sink.objects.append(&mut hits);
+            }
+        }
+        if to_fetch.is_empty() {
+            return Ok(());
+        }
+        let database: &DatabaseName = to_fetch[0].key.database();
+        let collection: &CollectionName = to_fetch[0].key.collection();
+        let keys: Vec<LocalKey> = to_fetch.iter().map(|t| t.key.key().clone()).collect();
+        let fetched = self.polystore.multi_get(database, collection, &keys)?;
+        let by_key: HashMap<&GlobalKey, &DataObject> =
+            fetched.iter().map(|o| (o.key(), o)).collect();
+        let mut sink = self.sink.lock().expect("sink lock");
+        for task in to_fetch {
+            match by_key.get(&task.key) {
+                Some(object) => {
+                    self.cache.insert((*object).clone());
+                    sink.objects.push(AugmentedObject {
+                        object: (*object).clone(),
+                        probability: task.probability,
+                        distance: task.distance,
+                    });
+                }
+                None => sink.missing.push(task.key.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    // -- strategies ---------------------------------------------------------
+
+    fn sequential(&self, owned: &[Vec<Task>]) -> Result<()> {
+        for tasks in owned {
+            for task in tasks {
+                self.fetch_one(task)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn batch(&self, owned: &[Vec<Task>], batch_size: usize) -> Result<()> {
+        let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
+        for task in owned.iter().flatten() {
+            let slot = (task.key.database().clone(), task.key.collection().clone());
+            let group = groups.entry(slot).or_default();
+            group.push(task.clone());
+            if group.len() >= batch_size {
+                let full = std::mem::take(group);
+                self.fetch_group(&full)?;
+            }
+        }
+        // Flush partial groups in deterministic order.
+        let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+        rest.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, group) in rest {
+            self.fetch_group(&group)?;
+        }
+        Ok(())
+    }
+
+    /// Inner concurrency: seeds in sequence, each seed's tasks spread over
+    /// up to `threads` workers.
+    fn inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+        for tasks in owned {
+            if tasks.is_empty() {
+                continue;
+            }
+            self.parallel_each(tasks, threads)?;
+        }
+        Ok(())
+    }
+
+    /// Outer concurrency: a pool of `threads` workers, each taking whole
+    /// seeds and fetching their tasks sequentially.
+    fn outer(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+        let next = AtomicUsize::new(0);
+        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(owned.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= owned.len() {
+                        return;
+                    }
+                    for task in &owned[i] {
+                        if let Err(e) = self.fetch_one(task) {
+                            errors.lock().expect("errors lock").push(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("augmentation worker panicked");
+        first_error(errors)
+    }
+
+    /// Outer-batch: the main thread fills per-store groups; workers drain
+    /// full batches from a channel.
+    fn outer_batch(&self, owned: &[Vec<Task>], batch_size: usize, threads: usize) -> Result<()> {
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<Task>>();
+        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let errors = &errors;
+                scope.spawn(move |_| {
+                    while let Ok(group) = rx.recv() {
+                        if let Err(e) = self.fetch_group(&group) {
+                            errors.lock().expect("errors lock").push(e);
+                            return;
+                        }
+                    }
+                });
+            }
+            // Main process: group keys by target store, emitting each group
+            // when it reaches BATCH_SIZE (Fig. 7(b)).
+            let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
+            for task in owned.iter().flatten() {
+                let slot = (task.key.database().clone(), task.key.collection().clone());
+                let group = groups.entry(slot).or_default();
+                group.push(task.clone());
+                if group.len() >= batch_size {
+                    let full = std::mem::take(group);
+                    let _ = tx.send(full);
+                }
+            }
+            let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+            rest.sort_by(|a, b| a.0.cmp(&b.0));
+            for (_, group) in rest {
+                let _ = tx.send(group);
+            }
+            drop(tx);
+        })
+        .expect("augmentation worker panicked");
+        first_error(errors)
+    }
+
+    /// Outer-inner: half the threads take seeds, each fanning its tasks out
+    /// over the other half.
+    fn outer_inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+        let outer_threads = (threads / 2).max(1);
+        let inner_threads = (threads / 2).max(1);
+        let next = AtomicUsize::new(0);
+        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..outer_threads.min(owned.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= owned.len() {
+                        return;
+                    }
+                    if owned[i].is_empty() {
+                        continue;
+                    }
+                    if let Err(e) = self.parallel_each(&owned[i], inner_threads) {
+                        errors.lock().expect("errors lock").push(e);
+                        return;
+                    }
+                });
+            }
+        })
+        .expect("augmentation worker panicked");
+        first_error(errors)
+    }
+
+    /// Spreads `tasks` over up to `threads` workers, one key per fetch.
+    fn parallel_each(&self, tasks: &[Task], threads: usize) -> Result<()> {
+        let workers = threads.min(tasks.len()).max(1);
+        if workers == 1 {
+            for task in tasks {
+                self.fetch_one(task)?;
+            }
+            return Ok(());
+        }
+        let next = AtomicUsize::new(0);
+        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        return;
+                    }
+                    if let Err(e) = self.fetch_one(&tasks[i]) {
+                        errors.lock().expect("errors lock").push(e);
+                        return;
+                    }
+                });
+            }
+        })
+        .expect("augmentation worker panicked");
+        first_error(errors)
+    }
+}
+
+fn first_error(errors: Mutex<Vec<crate::error::QuepaError>>) -> Result<()> {
+    match errors.into_inner().expect("errors lock").into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

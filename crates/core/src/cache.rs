@@ -1,0 +1,328 @@
+//! The LRU object cache (§IV-C).
+//!
+//! "All augmenters rely on a caching mechanism with a LRU policy that
+//! allows the fast access to the last accessed data objects by means of
+//! their global-key." The paper uses Ehcache; this is a thread-safe,
+//! intrusive-list LRU with O(1) get/insert, shared by the concurrent
+//! augmenters behind one mutex (lookups are tiny; contention is dominated
+//! by the simulated network anyway).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use quepa_pdm::{DataObject, GlobalKey};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    key: GlobalKey,
+    value: DataObject,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    map: HashMap<GlobalKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+}
+
+/// A thread-safe LRU cache of data objects keyed by global key.
+#[derive(Debug)]
+pub struct ObjectCache {
+    inner: Mutex<LruInner>,
+    capacity: Mutex<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ObjectCache {
+    /// Creates a cache holding at most `capacity` objects (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        ObjectCache {
+            inner: Mutex::new(LruInner { head: NIL, tail: NIL, ..Default::default() }),
+            capacity: Mutex::new(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The current capacity.
+    pub fn capacity(&self) -> usize {
+        *self.capacity.lock()
+    }
+
+    /// Adjusts the capacity, evicting LRU entries if it shrank. This is the
+    /// knob the adaptive optimizer turns by ±(predicted−current)/10.
+    pub fn resize(&self, capacity: usize) {
+        *self.capacity.lock() = capacity;
+        let mut inner = self.inner.lock();
+        while inner.map.len() > capacity {
+            evict_tail(&mut inner);
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a key, marking it most-recently-used on a hit.
+    pub fn get(&self, key: &GlobalKey) -> Option<DataObject> {
+        let mut inner = self.inner.lock();
+        let Some(&slot) = inner.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        detach(&mut inner, slot);
+        attach_front(&mut inner, slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(inner.slab[slot].value.clone())
+    }
+
+    /// Inserts (or refreshes) an object, evicting the LRU entry if full.
+    pub fn insert(&self, object: DataObject) {
+        let capacity = *self.capacity.lock();
+        if capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let key = object.key().clone();
+        if let Some(&slot) = inner.map.get(&key) {
+            inner.slab[slot].value = object;
+            detach(&mut inner, slot);
+            attach_front(&mut inner, slot);
+            return;
+        }
+        if inner.map.len() >= capacity {
+            evict_tail(&mut inner);
+        }
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.slab[slot] =
+                    Entry { key: key.clone(), value: object, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                inner.slab.push(Entry { key: key.clone(), value: object, prev: NIL, next: NIL });
+                inner.slab.len() - 1
+            }
+        };
+        inner.map.insert(key, slot);
+        attach_front(&mut inner, slot);
+    }
+
+    /// Removes a key (used when lazy deletion discovers a vanished object).
+    pub fn remove(&self, key: &GlobalKey) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(slot) = inner.map.remove(key) else { return false };
+        detach(&mut inner, slot);
+        inner.free.push(slot);
+        true
+    }
+
+    /// Clears the cache (cold-cache experiment runs).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Resets the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+fn detach(inner: &mut LruInner, slot: usize) {
+    let (prev, next) = (inner.slab[slot].prev, inner.slab[slot].next);
+    if prev != NIL {
+        inner.slab[prev].next = next;
+    } else if inner.head == slot {
+        inner.head = next;
+    }
+    if next != NIL {
+        inner.slab[next].prev = prev;
+    } else if inner.tail == slot {
+        inner.tail = prev;
+    }
+    inner.slab[slot].prev = NIL;
+    inner.slab[slot].next = NIL;
+}
+
+fn attach_front(inner: &mut LruInner, slot: usize) {
+    inner.slab[slot].prev = NIL;
+    inner.slab[slot].next = inner.head;
+    if inner.head != NIL {
+        let head = inner.head;
+        inner.slab[head].prev = slot;
+    }
+    inner.head = slot;
+    if inner.tail == NIL {
+        inner.tail = slot;
+    }
+}
+
+fn evict_tail(inner: &mut LruInner) {
+    let tail = inner.tail;
+    if tail == NIL {
+        return;
+    }
+    let key = inner.slab[tail].key.clone();
+    detach(inner, tail);
+    inner.map.remove(&key);
+    inner.free.push(tail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::Value;
+
+    fn obj(i: usize) -> DataObject {
+        DataObject::new(
+            format!("d.c.k{i}").parse().unwrap(),
+            Value::object([("n", Value::Int(i as i64))]),
+        )
+    }
+
+    fn key(i: usize) -> GlobalKey {
+        format!("d.c.k{i}").parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get() {
+        let c = ObjectCache::new(4);
+        c.insert(obj(1));
+        assert_eq!(c.get(&key(1)).unwrap().value().get("n"), Some(&Value::Int(1)));
+        assert!(c.get(&key(2)).is_none());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = ObjectCache::new(3);
+        for i in 0..3 {
+            c.insert(obj(i));
+        }
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.get(&key(0)).is_some());
+        c.insert(obj(3));
+        assert!(c.get(&key(1)).is_none(), "1 was LRU and evicted");
+        assert!(c.get(&key(0)).is_some());
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let c = ObjectCache::new(2);
+        c.insert(obj(1));
+        c.insert(obj(2));
+        c.insert(obj(1)); // refresh 1 — 2 becomes LRU
+        c.insert(obj(3));
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ObjectCache::new(0);
+        c.insert(obj(1));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let c = ObjectCache::new(4);
+        for i in 0..4 {
+            c.insert(obj(i));
+        }
+        c.resize(2);
+        assert_eq!(c.len(), 2);
+        // The two most recent survive.
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        c.resize(8);
+        for i in 10..16 {
+            c.insert(obj(i));
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let c = ObjectCache::new(4);
+        c.insert(obj(1));
+        assert!(c.remove(&key(1)));
+        assert!(!c.remove(&key(1)));
+        c.insert(obj(2));
+        assert!(c.get(&key(2)).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = ObjectCache::new(4);
+        c.insert(obj(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let c = Arc::new(ObjectCache::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        c.insert(obj(t * 1000 + i % 100));
+                        c.get(&key(t * 1000 + (i + 1) % 100));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 64);
+    }
+
+    #[test]
+    fn single_entry_edge_cases() {
+        let c = ObjectCache::new(1);
+        c.insert(obj(1));
+        c.insert(obj(2));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key(1)).is_none());
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.remove(&key(2)));
+        assert!(c.is_empty());
+        c.insert(obj(3));
+        assert!(c.get(&key(3)).is_some());
+    }
+}

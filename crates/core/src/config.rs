@@ -1,0 +1,178 @@
+//! Configurations: the augmenter family and its knobs.
+//!
+//! "A configuration is a combination of the augmenter in use, CACHE_SIZE
+//! and, if needed, BATCH_SIZE and THREADS_SIZE" (§V).
+
+use std::fmt;
+
+/// The six augmenters of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AugmenterKind {
+    /// One direct-access query per related object (the baseline of
+    /// Fig. 6(a)).
+    Sequential,
+    /// Groups global keys by target store and fetches each group in one
+    /// query of up to `BATCH_SIZE` keys (§IV-A, Fig. 6(b)).
+    Batch,
+    /// Parallelizes the lookups *within* each result's augmentation
+    /// (§IV-B(a), Fig. 6(c)); best for exploration, worst at scale.
+    Inner,
+    /// One task per result of the original answer, each fetching its
+    /// related objects sequentially (§IV-B(b), Fig. 7(a)).
+    Outer,
+    /// Threads consume key groups while the main process keeps filling
+    /// them: batching + multi-threading (§IV-B(c), Fig. 7(b)).
+    OuterBatch,
+    /// Splits `THREADS_SIZE` between outer and inner parallelism
+    /// (§IV-B(d), Fig. 7(c)).
+    OuterInner,
+}
+
+impl AugmenterKind {
+    /// All augmenters, in paper order.
+    pub const ALL: [AugmenterKind; 6] = [
+        AugmenterKind::Sequential,
+        AugmenterKind::Batch,
+        AugmenterKind::Inner,
+        AugmenterKind::Outer,
+        AugmenterKind::OuterBatch,
+        AugmenterKind::OuterInner,
+    ];
+
+    /// The display name used in experiment output (paper capitalization).
+    pub fn name(self) -> &'static str {
+        match self {
+            AugmenterKind::Sequential => "SEQUENTIAL",
+            AugmenterKind::Batch => "BATCH",
+            AugmenterKind::Inner => "INNER",
+            AugmenterKind::Outer => "OUTER",
+            AugmenterKind::OuterBatch => "OUTER-BATCH",
+            AugmenterKind::OuterInner => "OUTER-INNER",
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether this augmenter reads `BATCH_SIZE`.
+    pub fn uses_batching(self) -> bool {
+        matches!(self, AugmenterKind::Batch | AugmenterKind::OuterBatch)
+    }
+
+    /// Whether this augmenter reads `THREADS_SIZE`.
+    pub fn uses_threads(self) -> bool {
+        !matches!(self, AugmenterKind::Sequential | AugmenterKind::Batch)
+    }
+}
+
+impl fmt::Display for AugmenterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full QUEPA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuepaConfig {
+    /// Which augmenter executes the augmentation.
+    pub augmenter: AugmenterKind,
+    /// Max keys per batched query (BATCH/OUTER-BATCH).
+    pub batch_size: usize,
+    /// Max simultaneous worker threads (concurrent augmenters).
+    pub threads_size: usize,
+    /// Max objects in the LRU cache.
+    pub cache_size: usize,
+}
+
+impl Default for QuepaConfig {
+    fn default() -> Self {
+        QuepaConfig {
+            augmenter: AugmenterKind::OuterBatch,
+            batch_size: 64,
+            threads_size: 4,
+            cache_size: 4096,
+        }
+    }
+}
+
+impl QuepaConfig {
+    /// A configuration using the given augmenter and default knobs.
+    pub fn with_augmenter(augmenter: AugmenterKind) -> Self {
+        QuepaConfig { augmenter, ..Default::default() }
+    }
+
+    /// Clamps the knobs into sane ranges (at least 1 each).
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.batch_size = self.batch_size.max(1);
+        self.threads_size = self.threads_size.max(1);
+        // cache_size 0 is legal: it disables caching.
+        self
+    }
+}
+
+impl fmt::Display for QuepaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.augmenter)?;
+        let mut first = true;
+        if self.augmenter.uses_batching() {
+            write!(f, "batch={}", self.batch_size)?;
+            first = false;
+        }
+        if self.augmenter.uses_threads() {
+            write!(f, "{}threads={}", if first { "" } else { ", " }, self.threads_size)?;
+            first = false;
+        }
+        write!(f, "{}cache={})", if first { "" } else { ", " }, self.cache_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in AugmenterKind::ALL {
+            assert_eq!(AugmenterKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(AugmenterKind::parse("outer-batch"), Some(AugmenterKind::OuterBatch));
+        assert_eq!(AugmenterKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn knob_usage() {
+        assert!(!AugmenterKind::Sequential.uses_batching());
+        assert!(!AugmenterKind::Sequential.uses_threads());
+        assert!(AugmenterKind::Batch.uses_batching());
+        assert!(!AugmenterKind::Batch.uses_threads());
+        assert!(AugmenterKind::OuterBatch.uses_batching());
+        assert!(AugmenterKind::OuterBatch.uses_threads());
+        assert!(AugmenterKind::Inner.uses_threads());
+    }
+
+    #[test]
+    fn sanitize_floors_knobs() {
+        let c = QuepaConfig {
+            augmenter: AugmenterKind::Batch,
+            batch_size: 0,
+            threads_size: 0,
+            cache_size: 0,
+        }
+        .sanitized();
+        assert_eq!(c.batch_size, 1);
+        assert_eq!(c.threads_size, 1);
+        assert_eq!(c.cache_size, 0, "cache may be disabled");
+    }
+
+    #[test]
+    fn display_shows_relevant_knobs() {
+        let c = QuepaConfig::with_augmenter(AugmenterKind::Sequential);
+        assert_eq!(c.to_string(), "SEQUENTIAL(cache=4096)");
+        let c = QuepaConfig::with_augmenter(AugmenterKind::OuterBatch);
+        assert!(c.to_string().contains("batch=64"));
+        assert!(c.to_string().contains("threads=4"));
+    }
+}

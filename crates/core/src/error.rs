@@ -1,0 +1,54 @@
+//! QUEPA-level errors.
+
+use std::fmt;
+
+use quepa_polystore::PolyError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, QuepaError>;
+
+/// Errors surfacing from augmented access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuepaError {
+    /// The query cannot be augmented (e.g. it aggregates) — the Validator's
+    /// verdict.
+    NotAugmentable {
+        /// Why the query was refused.
+        reason: String,
+    },
+    /// The query text could not be understood well enough to validate.
+    Validation(String),
+    /// Errors from the polystore layer.
+    Polystore(PolyError),
+    /// An exploration step referenced a result position that does not
+    /// exist.
+    BadSelection {
+        /// The requested index.
+        index: usize,
+        /// How many results were available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for QuepaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuepaError::NotAugmentable { reason } => {
+                write!(f, "query cannot be augmented: {reason}")
+            }
+            QuepaError::Validation(m) => write!(f, "validation error: {m}"),
+            QuepaError::Polystore(e) => write!(f, "polystore error: {e}"),
+            QuepaError::BadSelection { index, available } => {
+                write!(f, "selection {index} out of range (result has {available} objects)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuepaError {}
+
+impl From<PolyError> for QuepaError {
+    fn from(e: PolyError) -> Self {
+        QuepaError::Polystore(e)
+    }
+}

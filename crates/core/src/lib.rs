@@ -1,0 +1,53 @@
+//! # quepa-core — the augmentation operator and the QUEPA system
+//!
+//! This crate is the paper's primary contribution, assembled:
+//!
+//! * [`config`] — the augmenter family ([`AugmenterKind`]) and the knob set
+//!   (`BATCH_SIZE`, `THREADS_SIZE`, `CACHE_SIZE`) a [`QuepaConfig`] bundles;
+//! * [`cache`] — the LRU object cache of §IV-C (the Ehcache role);
+//! * [`validator`] — §III-A's Validator: decides whether a native query can
+//!   be augmented (aggregates cannot) and rewrites it when the key column
+//!   is not in the projection;
+//! * [`augmenter`] — the execution engine for the augmentation construct:
+//!   SEQUENTIAL plus the network-efficient BATCH (§IV-A), the CPU-efficient
+//!   INNER / OUTER / OUTER-BATCH / OUTER-INNER (§IV-B), all with the LRU
+//!   cache in front of the polystore and the lazy-deletion signal of
+//!   §III-C;
+//! * [`search`] / [`explore`] — the two access methods: **augmented
+//!   search** (Definition 3) and **augmented exploration** (Definition 4),
+//!   the latter feeding the `D_P` path repository for p-relation promotion;
+//! * [`logs`] — run logs, the ADAPTIVE optimizer's training set (§V
+//!   Phase 1);
+//! * [`adaptive`] — the rule-based optimizer: `T1` (C4.5) chooses the
+//!   augmenter, `T2`–`T4` (REPTrees) choose the knobs, plus the HUMAN and
+//!   RANDOM baselines of §VII-C;
+//! * [`analytics`] — probability-weighted aggregation over augmented
+//!   answers (the paper's stated future work, §VIII);
+//! * [`system`] — [`Quepa`], the facade wiring polystore + A' index +
+//!   augmenters + optimizer together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod analytics;
+pub mod augmenter;
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod explore;
+pub mod logs;
+pub mod search;
+pub mod system;
+pub mod validator;
+
+pub use adaptive::{AdaptiveOptimizer, HumanOptimizer, Optimizer, RandomOptimizer};
+pub use augmenter::{AugmentationOutcome, AugmentedObject};
+pub use cache::ObjectCache;
+pub use config::{AugmenterKind, QuepaConfig};
+pub use error::{QuepaError, Result};
+pub use explore::ExplorationSession;
+pub use logs::{QueryFeatures, RunLog};
+pub use search::{AugmentedAnswer, ProbabilityBand};
+pub use system::Quepa;
+pub use validator::Validator;

@@ -1,0 +1,105 @@
+//! Run logs: the training set of the adaptive optimizer (§V Phase 1).
+//!
+//! "We keep the logs of the completed augmentation runs. They include QUEPA
+//! parameters such as BATCH_SIZE or THREADS_SIZE, the overall execution
+//! time and the characteristics of the query (i.e. target database, number
+//! of original data objects in the result, number of augmented data
+//! objects)."
+
+use std::time::Duration;
+
+use quepa_polystore::StoreKind;
+
+use crate::config::QuepaConfig;
+
+/// The query/polystore characteristics the optimizer sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryFeatures {
+    /// Paradigm of the target database.
+    pub target_kind: StoreKind,
+    /// Number of databases in the polystore.
+    pub store_count: usize,
+    /// Objects in the local (original) answer.
+    pub result_size: usize,
+    /// Objects the augmentation will retrieve (known from the A' index
+    /// before touching the polystore).
+    pub augmented_size: usize,
+    /// Augmentation level.
+    pub level: usize,
+    /// True in the distributed deployment (high link latency).
+    pub distributed: bool,
+}
+
+/// One completed augmentation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLog {
+    /// The query characteristics.
+    pub features: QueryFeatures,
+    /// The configuration that executed it.
+    pub config: QuepaConfig,
+    /// End-to-end execution time.
+    pub duration: Duration,
+}
+
+impl RunLog {
+    /// A grouping key: runs with these identical characteristics answer
+    /// "the same situation", so the fastest of them defines the best
+    /// configuration for training.
+    pub fn situation(&self) -> (StoreKind, usize, usize, usize, usize, bool) {
+        let f = &self.features;
+        (
+            f.target_kind,
+            f.store_count,
+            bucket(f.result_size),
+            bucket(f.augmented_size),
+            f.level,
+            f.distributed,
+        )
+    }
+}
+
+/// Log-scale size bucket: sizes within the same power-of-two range are the
+/// same situation (exact result sizes never repeat across queries).
+fn bucket(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AugmenterKind;
+
+    fn log(result_size: usize, augmenter: AugmenterKind, ms: u64) -> RunLog {
+        RunLog {
+            features: QueryFeatures {
+                target_kind: StoreKind::Relational,
+                store_count: 10,
+                result_size,
+                augmented_size: result_size * 4,
+                level: 0,
+                distributed: false,
+            },
+            config: QuepaConfig::with_augmenter(augmenter),
+            duration: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn situations_bucket_sizes() {
+        // 1000 and 1023 are the same situation; 1000 and 5000 are not.
+        assert_eq!(log(1000, AugmenterKind::Batch, 1).situation(),
+                   log(1023, AugmenterKind::Outer, 9).situation());
+        assert_ne!(log(1000, AugmenterKind::Batch, 1).situation(),
+                   log(5000, AugmenterKind::Batch, 1).situation());
+    }
+
+    #[test]
+    fn bucket_monotone() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert!(bucket(10_000) > bucket(100));
+    }
+}

@@ -1,0 +1,172 @@
+//! Augmented search (Definition 3): the answer type.
+
+use std::time::Duration;
+
+use quepa_pdm::DataObject;
+
+use crate::augmenter::AugmentedObject;
+use crate::config::QuepaConfig;
+
+/// The result of an augmented search `Q^S_{(n)}(D)`: the local answer plus
+/// the related objects found in the rest of the polystore, ordered by the
+/// probability of their relation to the answer.
+#[derive(Debug, Clone)]
+pub struct AugmentedAnswer {
+    /// The local answer, exactly as the store returned it.
+    pub original: Vec<DataObject>,
+    /// The augmentation, ordered by decreasing probability.
+    pub augmented: Vec<AugmentedObject>,
+    /// The configuration that executed the augmentation (relevant when the
+    /// adaptive optimizer chose it per query).
+    pub config_used: QuepaConfig,
+    /// End-to-end execution time (local query + augmentation).
+    pub duration: Duration,
+    /// Lookups answered by the LRU cache.
+    pub cache_hits: usize,
+    /// Objects the A' index referenced but the polystore no longer stores
+    /// (they were lazily deleted from the index during this run).
+    pub lazily_deleted: usize,
+}
+
+/// Probability bands for intuitive presentation — "colors (as in the
+/// example above) and rankings can be used in practice to represent
+/// probability in a more intuitive way" (§I). The thresholds mirror the
+/// experiment setup: identity ≥ 0.9, matching ≥ 0.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbabilityBand {
+    /// `p ≥ 0.9` — effectively the same entity.
+    Certain,
+    /// `0.75 ≤ p < 0.9` — strongly related.
+    Strong,
+    /// `0.6 ≤ p < 0.75` — related.
+    Moderate,
+    /// `p < 0.6` — weakly related (usually a multi-hop path).
+    Weak,
+}
+
+impl ProbabilityBand {
+    /// Classifies a probability.
+    pub fn of(p: quepa_pdm::Probability) -> Self {
+        let p = p.get();
+        if p >= 0.9 {
+            ProbabilityBand::Certain
+        } else if p >= 0.75 {
+            ProbabilityBand::Strong
+        } else if p >= 0.6 {
+            ProbabilityBand::Moderate
+        } else {
+            ProbabilityBand::Weak
+        }
+    }
+
+    /// The ANSI color code used by the colored rendering.
+    pub fn ansi(self) -> &'static str {
+        match self {
+            ProbabilityBand::Certain => "\u{1b}[32m",  // green
+            ProbabilityBand::Strong => "\u{1b}[36m",   // cyan
+            ProbabilityBand::Moderate => "\u{1b}[33m", // yellow
+            ProbabilityBand::Weak => "\u{1b}[90m",     // gray
+        }
+    }
+
+    /// A short label for non-ANSI sinks.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbabilityBand::Certain => "certain",
+            ProbabilityBand::Strong => "strong",
+            ProbabilityBand::Moderate => "moderate",
+            ProbabilityBand::Weak => "weak",
+        }
+    }
+}
+
+impl AugmentedAnswer {
+    /// Total objects across the original answer and the augmentation.
+    pub fn total_objects(&self) -> usize {
+        self.original.len() + self.augmented.len()
+    }
+
+    /// Renders the answer in the paper's arrow notation, e.g.
+    /// `<a32, Cure, Wish> ⇒ (discounts.drop.k1:cure:wish: "40%") [p=0.68]`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for obj in &self.original {
+            let _ = writeln!(out, "{obj}");
+        }
+        for a in &self.augmented {
+            let _ = writeln!(out, "  ⇒ {} [p={}]", a.object, a.probability);
+        }
+        out
+    }
+
+    /// Like [`render`](AugmentedAnswer::render) but with each related
+    /// object colored by its [`ProbabilityBand`] (ANSI escapes).
+    pub fn render_colored(&self) -> String {
+        use std::fmt::Write;
+        const RESET: &str = "\u{1b}[0m";
+        let mut out = String::new();
+        for obj in &self.original {
+            let _ = writeln!(out, "{obj}");
+        }
+        for a in &self.augmented {
+            let band = ProbabilityBand::of(a.probability);
+            let _ = writeln!(
+                out,
+                "  {}⇒ {} [p={} {}]{RESET}",
+                band.ansi(),
+                a.object,
+                a.probability,
+                band.label(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::{Probability, Value};
+
+    #[test]
+    fn render_and_totals() {
+        let answer = AugmentedAnswer {
+            original: vec![DataObject::new(
+                "transactions.inventory.a32".parse().unwrap(),
+                Value::object([("name", Value::str("Wish"))]),
+            )],
+            augmented: vec![AugmentedObject {
+                object: DataObject::new(
+                    "discount.drop.k1:cure:wish".parse().unwrap(),
+                    Value::str("40%"),
+                ),
+                probability: Probability::of(0.68),
+                distance: 1,
+            }],
+            config_used: QuepaConfig::default(),
+            duration: Duration::from_millis(3),
+            cache_hits: 0,
+            lazily_deleted: 0,
+        };
+        assert_eq!(answer.total_objects(), 2);
+        let text = answer.render();
+        assert!(text.contains("a32"));
+        assert!(text.contains('⇒'));
+        assert!(text.contains("p=0.680"));
+        let colored = answer.render_colored();
+        assert!(colored.contains("\u{1b}[33m"), "0.68 is the moderate band: {colored:?}");
+        assert!(colored.contains("moderate"));
+    }
+
+    #[test]
+    fn probability_bands() {
+        use quepa_pdm::Probability;
+        assert_eq!(ProbabilityBand::of(Probability::of(0.95)), ProbabilityBand::Certain);
+        assert_eq!(ProbabilityBand::of(Probability::of(0.9)), ProbabilityBand::Certain);
+        assert_eq!(ProbabilityBand::of(Probability::of(0.8)), ProbabilityBand::Strong);
+        assert_eq!(ProbabilityBand::of(Probability::of(0.6)), ProbabilityBand::Moderate);
+        assert_eq!(ProbabilityBand::of(Probability::of(0.3)), ProbabilityBand::Weak);
+        assert!(ProbabilityBand::Certain.ansi().starts_with('\u{1b}'));
+    }
+}

@@ -1,0 +1,214 @@
+//! [`Quepa`]: the assembled system (paper Fig. 2).
+//!
+//! The struct wires together the polystore connectors, the A' index, the
+//! validator, the LRU cache, the augmenter engine, the run log and the
+//! (optional) optimizer. "Since QUEPA does not store any data, it is easy
+//! to deploy multiple instances" — `Quepa` is `Send + Sync` and the
+//! polystore is shared, so several instances can answer queries in
+//! parallel, each with its own A' index replica and cache.
+
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use quepa_aindex::{AIndex, PathRepository};
+use quepa_pdm::DataObject;
+use quepa_polystore::Polystore;
+
+use crate::adaptive::Optimizer;
+use crate::augmenter;
+use crate::cache::ObjectCache;
+use crate::config::QuepaConfig;
+use crate::error::Result;
+use crate::explore::ExplorationSession;
+use crate::logs::{QueryFeatures, RunLog};
+use crate::search::AugmentedAnswer;
+use crate::validator::Validator;
+
+/// The QUEPA system.
+pub struct Quepa {
+    polystore: Polystore,
+    index: RwLock<AIndex>,
+    cache: ObjectCache,
+    config: Mutex<QuepaConfig>,
+    validator: Validator,
+    paths: Mutex<PathRepository>,
+    logs: Mutex<Vec<RunLog>>,
+    optimizer: Mutex<Option<Box<dyn Optimizer>>>,
+}
+
+impl Quepa {
+    /// Assembles a system over a polystore and its A' index, with the
+    /// default configuration.
+    pub fn new(polystore: Polystore, index: AIndex) -> Self {
+        Self::with_config(polystore, index, QuepaConfig::default())
+    }
+
+    /// Assembles a system with an explicit configuration.
+    pub fn with_config(polystore: Polystore, index: AIndex, config: QuepaConfig) -> Self {
+        Quepa {
+            polystore,
+            index: RwLock::new(index),
+            cache: ObjectCache::new(config.cache_size),
+            config: Mutex::new(config.sanitized()),
+            validator: Validator,
+            paths: Mutex::new(PathRepository::new()),
+            logs: Mutex::new(Vec::new()),
+            optimizer: Mutex::new(None),
+        }
+    }
+
+    /// The underlying polystore.
+    pub fn polystore(&self) -> &Polystore {
+        &self.polystore
+    }
+
+    /// Read access to the A' index.
+    pub fn index(&self) -> parking_lot::RwLockReadGuard<'_, AIndex> {
+        self.index.read()
+    }
+
+    /// Write access to the A' index (Collector updates, manual curation).
+    pub fn index_mut(&self) -> parking_lot::RwLockWriteGuard<'_, AIndex> {
+        self.index.write()
+    }
+
+    /// The object cache.
+    pub fn cache(&self) -> &ObjectCache {
+        &self.cache
+    }
+
+    /// The `D_P` exploration-path repository.
+    pub fn paths(&self) -> parking_lot::MutexGuard<'_, PathRepository> {
+        self.paths.lock()
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> QuepaConfig {
+        *self.config.lock()
+    }
+
+    /// Replaces the configuration; the cache is resized accordingly.
+    pub fn set_config(&self, config: QuepaConfig) {
+        let config = config.sanitized();
+        self.cache.resize(config.cache_size);
+        *self.config.lock() = config;
+    }
+
+    /// Installs an optimizer that picks a configuration per query
+    /// (ADAPTIVE / HUMAN / RANDOM of §VII-C); `None` pins the current
+    /// configuration.
+    pub fn set_optimizer(&self, optimizer: Option<Box<dyn Optimizer>>) {
+        *self.optimizer.lock() = optimizer;
+    }
+
+    /// The accumulated run logs (the optimizer's training set).
+    pub fn take_logs(&self) -> Vec<RunLog> {
+        std::mem::take(&mut self.logs.lock())
+    }
+
+    /// Clears the cache (cold-cache experiment runs).
+    pub fn drop_caches(&self) {
+        self.cache.clear();
+    }
+
+    /// **Augmented search** (Definition 3): runs `query` on `database` in
+    /// its native language and augments the answer at `level`.
+    pub fn augmented_search(
+        &self,
+        database: &str,
+        query: &str,
+        level: usize,
+    ) -> Result<AugmentedAnswer> {
+        let start = Instant::now();
+        let connector = self.polystore.connector_by_name(database)?;
+        let validated = self.validator.validate(connector.kind(), query)?;
+        let original = connector.execute(&validated.query)?;
+        let answer = self.augment_objects(&original, level, connector.kind(), start)?;
+        Ok(answer)
+    }
+
+    /// Augments pre-fetched objects (exploration steps and baselines reuse
+    /// this path).
+    pub(crate) fn augment_objects(
+        &self,
+        original: &[DataObject],
+        level: usize,
+        target_kind: quepa_polystore::StoreKind,
+        start: Instant,
+    ) -> Result<AugmentedAnswer> {
+        // Decide the configuration: ask the optimizer if one is installed.
+        let features = {
+            let index = self.index.read();
+            let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
+            QueryFeatures {
+                target_kind,
+                store_count: self.polystore.len(),
+                result_size: original.len(),
+                augmented_size: index.augment(&keys, level).len(),
+                level,
+                distributed: false,
+            }
+        };
+        let current = self.config();
+        let config = match self.optimizer.lock().as_ref() {
+            Some(opt) => {
+                let chosen = opt.choose(&features, &current).sanitized();
+                // §V: the cache is not swung to the predicted value — it
+                // moves by (predicted − current)/10.
+                let delta =
+                    (chosen.cache_size as i64 - current.cache_size as i64) / 10;
+                let cache_size = (current.cache_size as i64 + delta).max(0) as usize;
+                let adjusted = QuepaConfig { cache_size, ..chosen };
+                self.set_config(adjusted);
+                adjusted
+            }
+            None => current,
+        };
+
+        let outcome = {
+            let index = self.index.read();
+            augmenter::run(&self.polystore, &index, &self.cache, original, level, &config)?
+        };
+
+        // Lazy deletion (§III-C): objects that vanished from the polystore
+        // leave the index and the cache.
+        let lazily_deleted = outcome.missing.len();
+        if !outcome.missing.is_empty() {
+            let mut index = self.index.write();
+            for key in &outcome.missing {
+                index.remove_object(key);
+                self.cache.remove(key);
+            }
+        }
+
+        let duration = start.elapsed();
+        self.logs.lock().push(RunLog { features, config, duration });
+        Ok(AugmentedAnswer {
+            original: original.to_vec(),
+            augmented: outcome.objects,
+            config_used: config,
+            duration,
+            cache_hits: outcome.cache_hits,
+            lazily_deleted,
+        })
+    }
+
+    /// **Augmented exploration** (Definition 4): runs the query and opens
+    /// an interactive session over its answer.
+    pub fn explore(&self, database: &str, query: &str) -> Result<ExplorationSession<'_>> {
+        let connector = self.polystore.connector_by_name(database)?;
+        let validated = self.validator.validate(connector.kind(), query)?;
+        let original = connector.execute(&validated.query)?;
+        Ok(ExplorationSession::new(self, original, connector.kind()))
+    }
+}
+
+impl std::fmt::Debug for Quepa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Quepa")
+            .field("stores", &self.polystore.len())
+            .field("index", &self.index.read().stats())
+            .field("config", &self.config())
+            .finish_non_exhaustive()
+    }
+}

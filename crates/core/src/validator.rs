@@ -1,0 +1,233 @@
+//! The Validator (§III-A): "is used to assess whether a query can be
+//! augmented or not. For example, queries containing aggregative functions
+//! cannot be augmented. The validator can also rewrite queries by adding
+//! all identifiers of data objects that are not explicitly mentioned in the
+//! query."
+//!
+//! Validation is necessarily language-aware, but deliberately shallow: it
+//! inspects the query *text* per store paradigm without executing anything.
+
+use quepa_polystore::StoreKind;
+
+use crate::error::{QuepaError, Result};
+
+/// The outcome of validation: the (possibly rewritten) query to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedQuery {
+    /// The query to actually run against the store.
+    pub query: String,
+    /// True when the validator had to rewrite the original text.
+    pub rewritten: bool,
+}
+
+/// The query validator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Validator;
+
+impl Validator {
+    /// Validates (and possibly rewrites) a query for augmentation.
+    pub fn validate(&self, kind: StoreKind, query: &str) -> Result<ValidatedQuery> {
+        match kind {
+            StoreKind::Relational => validate_sql(query),
+            StoreKind::Document => validate_doc(query),
+            StoreKind::KeyValue => validate_kv(query),
+            StoreKind::Graph => validate_graph(query),
+        }
+    }
+}
+
+const SQL_AGGREGATES: [&str; 5] = ["count(", "sum(", "avg(", "min(", "max("];
+
+fn validate_sql(query: &str) -> Result<ValidatedQuery> {
+    let trimmed = query.trim();
+    let lower = trimmed.to_lowercase();
+    if !lower.starts_with("select") {
+        return Err(QuepaError::NotAugmentable {
+            reason: "only SELECT queries can be augmented".into(),
+        });
+    }
+    // Locate the projection (between SELECT and FROM) and refuse
+    // aggregates there.
+    let Some(from_pos) = lower.find(" from ") else {
+        return Err(QuepaError::Validation("SELECT without FROM".into()));
+    };
+    let projection = lower["select".len()..from_pos].replace(' ', "");
+    if SQL_AGGREGATES.iter().any(|a| projection.contains(a)) {
+        return Err(QuepaError::NotAugmentable {
+            reason: "aggregative functions cannot be augmented".into(),
+        });
+    }
+    if lower.contains("group by") {
+        return Err(QuepaError::NotAugmentable {
+            reason: "GROUP BY queries cannot be augmented".into(),
+        });
+    }
+    // Projections that are not `*` may omit the key column; rewrite to `*`
+    // so every result carries its identifier (the paper's "adding all
+    // identifiers of data objects that are not explicitly mentioned").
+    if projection == "*" {
+        Ok(ValidatedQuery { query: trimmed.to_owned(), rewritten: false })
+    } else {
+        let rest = &trimmed[from_pos..];
+        Ok(ValidatedQuery { query: format!("SELECT *{rest}"), rewritten: true })
+    }
+}
+
+fn validate_doc(query: &str) -> Result<ValidatedQuery> {
+    let compact: String = query.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.starts_with("db.") {
+        return Err(QuepaError::Validation("expected a db.<collection>.find() query".into()));
+    }
+    if compact.contains(".count(") {
+        return Err(QuepaError::NotAugmentable {
+            reason: "count() aggregates cannot be augmented".into(),
+        });
+    }
+    if compact.contains(".remove(") {
+        return Err(QuepaError::NotAugmentable {
+            reason: "remove() mutates and cannot be augmented".into(),
+        });
+    }
+    if !compact.contains(".find(") {
+        return Err(QuepaError::Validation("expected a find() query".into()));
+    }
+    // Documents always carry their _id, so no projection rewriting needed.
+    Ok(ValidatedQuery { query: query.to_owned(), rewritten: false })
+}
+
+fn validate_kv(query: &str) -> Result<ValidatedQuery> {
+    let verb = query.split_whitespace().next().unwrap_or("").to_uppercase();
+    match verb.as_str() {
+        "GET" | "MGET" | "SCAN" | "KEYS" => {
+            Ok(ValidatedQuery { query: query.to_owned(), rewritten: false })
+        }
+        "DBSIZE" | "EXISTS" => Err(QuepaError::NotAugmentable {
+            reason: format!("{verb} returns a scalar, not data objects"),
+        }),
+        "SET" | "DEL" => Err(QuepaError::NotAugmentable {
+            reason: format!("{verb} mutates and cannot be augmented"),
+        }),
+        other => Err(QuepaError::Validation(format!("unknown command {other}"))),
+    }
+}
+
+fn validate_graph(query: &str) -> Result<ValidatedQuery> {
+    let lower = query.to_lowercase();
+    if !lower.trim_start().starts_with("match") {
+        return Err(QuepaError::Validation("expected a MATCH query".into()));
+    }
+    for agg in ["count(", "collect(", "sum(", "avg("] {
+        if lower.replace(' ', "").contains(agg) {
+            return Err(QuepaError::NotAugmentable {
+                reason: "aggregating MATCH queries cannot be augmented".into(),
+            });
+        }
+    }
+    Ok(ValidatedQuery { query: query.to_owned(), rewritten: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: Validator = Validator;
+
+    #[test]
+    fn sql_select_star_passes_unchanged() {
+        let r = V
+            .validate(StoreKind::Relational, "SELECT * FROM inventory WHERE name LIKE '%wish%'")
+            .unwrap();
+        assert!(!r.rewritten);
+        assert!(r.query.contains('*'));
+    }
+
+    #[test]
+    fn sql_projection_rewritten_to_carry_keys() {
+        let r = V
+            .validate(StoreKind::Relational, "SELECT name FROM inventory WHERE name = 'Wish'")
+            .unwrap();
+        assert!(r.rewritten);
+        assert_eq!(r.query, "SELECT * FROM inventory WHERE name = 'Wish'");
+    }
+
+    #[test]
+    fn sql_aggregates_refused() {
+        for q in [
+            "SELECT COUNT(*) FROM t",
+            "SELECT sum(total) FROM sales",
+            "SELECT AVG( total ) FROM sales",
+        ] {
+            assert!(matches!(
+                V.validate(StoreKind::Relational, q),
+                Err(QuepaError::NotAugmentable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn sql_dml_refused() {
+        assert!(matches!(
+            V.validate(StoreKind::Relational, "DELETE FROM t"),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+        assert!(matches!(
+            V.validate(StoreKind::Relational, "INSERT INTO t VALUES (1)"),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+    }
+
+    #[test]
+    fn doc_queries() {
+        assert!(V.validate(StoreKind::Document, r#"db.albums.find({"a":1})"#).is_ok());
+        assert!(matches!(
+            V.validate(StoreKind::Document, "db.albums.count()"),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+        assert!(matches!(
+            V.validate(StoreKind::Document, r#"db.albums.remove({})"#),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+        assert!(matches!(
+            V.validate(StoreKind::Document, "albums.find()"),
+            Err(QuepaError::Validation(_))
+        ));
+        // Whitespace does not hide the aggregate.
+        assert!(matches!(
+            V.validate(StoreKind::Document, "db.albums . count ( )"),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+    }
+
+    #[test]
+    fn kv_commands() {
+        assert!(V.validate(StoreKind::KeyValue, "GET k1").is_ok());
+        assert!(V.validate(StoreKind::KeyValue, "MGET a b").is_ok());
+        assert!(V.validate(StoreKind::KeyValue, "SCAN k1 COUNT 10").is_ok());
+        assert!(V.validate(StoreKind::KeyValue, "keys *").is_ok(), "case-insensitive");
+        for q in ["DBSIZE", "EXISTS k", "SET a 1", "DEL a"] {
+            assert!(matches!(
+                V.validate(StoreKind::KeyValue, q),
+                Err(QuepaError::NotAugmentable { .. })
+            ));
+        }
+        assert!(matches!(
+            V.validate(StoreKind::KeyValue, "FLUSHALL"),
+            Err(QuepaError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn graph_queries() {
+        assert!(V
+            .validate(StoreKind::Graph, "MATCH (n:Song) WHERE n.plays > 10 RETURN n")
+            .is_ok());
+        assert!(matches!(
+            V.validate(StoreKind::Graph, "MATCH (n) RETURN count(n)"),
+            Err(QuepaError::NotAugmentable { .. })
+        ));
+        assert!(matches!(
+            V.validate(StoreKind::Graph, "CREATE (n)"),
+            Err(QuepaError::Validation(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Failure injection: a connector that fails on demand, driven through
+//! every augmenter — errors must surface cleanly (no deadlocks, no
+//! partial-answer lies), and per-object failures must not poison the
+//! others.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use quepa_aindex::AIndex;
+use quepa_core::{AugmenterKind, Quepa, QuepaConfig, QuepaError};
+use quepa_kvstore::KvStore;
+use quepa_pdm::{
+    CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability,
+};
+use quepa_polystore::{
+    Connector, KvConnector, LatencyModel, PolyError, Polystore, StoreKind,
+};
+
+/// Wraps a connector; every `fail_every`-th key-based lookup errors.
+struct FlakyConnector {
+    inner: KvConnector,
+    calls: AtomicUsize,
+    fail_every: usize,
+}
+
+impl FlakyConnector {
+    fn trip(&self) -> Result<(), PolyError> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fail_every > 0 && n.is_multiple_of(self.fail_every) {
+            Err(PolyError::Store {
+                database: self.inner.database().to_string(),
+                message: "injected fault".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Connector for FlakyConnector {
+    fn database(&self) -> &DatabaseName {
+        self.inner.database()
+    }
+    fn kind(&self) -> StoreKind {
+        self.inner.kind()
+    }
+    fn collections(&self) -> Vec<CollectionName> {
+        self.inner.collections()
+    }
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>, PolyError> {
+        self.inner.execute(query)
+    }
+    fn execute_update(&self, statement: &str) -> Result<usize, PolyError> {
+        self.inner.execute_update(statement)
+    }
+    fn get(
+        &self,
+        collection: &CollectionName,
+        key: &LocalKey,
+    ) -> Result<Option<DataObject>, PolyError> {
+        self.trip()?;
+        self.inner.get(collection, key)
+    }
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>, PolyError> {
+        self.trip()?;
+        self.inner.multi_get(collection, keys)
+    }
+    fn scan_collection(
+        &self,
+        collection: &CollectionName,
+    ) -> Result<Vec<DataObject>, PolyError> {
+        self.inner.scan_collection(collection)
+    }
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+    fn stats(&self) -> quepa_polystore::stats::StatsSnapshot {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+/// Two stores: db0 (healthy, the query target) and db1 (flaky, holds the
+/// related objects).
+fn build(fail_every: usize) -> Quepa {
+    let mut kv0 = KvStore::new("db0");
+    let mut kv1 = KvStore::new("db1");
+    for k in 0..20 {
+        kv0.set(format!("k{k}"), "v");
+        kv1.set(format!("k{k}"), "w");
+    }
+    let mut polystore = Polystore::new();
+    polystore.register(Arc::new(KvConnector::new(kv0, "c", LatencyModel::FREE)));
+    polystore.register(Arc::new(FlakyConnector {
+        inner: KvConnector::new(kv1, "c", LatencyModel::FREE),
+        calls: AtomicUsize::new(0),
+        fail_every,
+    }));
+    let mut index = AIndex::new();
+    let key = |db: usize, k: usize| -> GlobalKey {
+        format!("db{db}.c.k{k}").parse().unwrap()
+    };
+    for k in 0..20 {
+        index.insert_matching(&key(0, k), &key(1, k), Probability::of(0.8));
+    }
+    Quepa::new(polystore, index)
+}
+
+#[test]
+fn healthy_run_is_complete() {
+    let quepa = build(0);
+    let answer = quepa.augmented_search("db0", "SCAN k COUNT 20", 0).unwrap();
+    assert_eq!(answer.augmented.len(), 20);
+}
+
+#[test]
+fn every_augmenter_surfaces_injected_faults() {
+    for aug in AugmenterKind::ALL {
+        let quepa = build(5);
+        quepa.set_config(QuepaConfig {
+            augmenter: aug,
+            batch_size: 3,
+            threads_size: 4,
+            cache_size: 0,
+        });
+        let result = quepa.augmented_search("db0", "SCAN k COUNT 20", 0);
+        // 20 lookups with every 5th failing: the run must error, not hang
+        // and not silently drop objects.
+        match result {
+            Err(QuepaError::Polystore(PolyError::Store { message, .. })) => {
+                assert!(message.contains("injected fault"), "{aug}: {message}");
+            }
+            other => panic!("{aug}: expected injected fault, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn rare_faults_fail_runs_independently() {
+    let quepa = build(1000); // effectively never during this test
+    for _ in 0..3 {
+        let answer = quepa.augmented_search("db0", "SCAN k COUNT 10", 0).unwrap();
+        assert_eq!(answer.augmented.len(), 10);
+    }
+}
+
+#[test]
+fn faults_do_not_corrupt_later_runs() {
+    let quepa = build(7);
+    quepa.set_config(QuepaConfig {
+        augmenter: AugmenterKind::Outer,
+        threads_size: 4,
+        cache_size: 0,
+        ..QuepaConfig::default()
+    });
+    let mut saw_error = false;
+    let mut saw_success = false;
+    for _ in 0..12 {
+        match quepa.augmented_search("db0", "SCAN k COUNT 3", 0) {
+            Ok(answer) => {
+                saw_success = true;
+                assert_eq!(answer.augmented.len(), 3, "successful runs stay complete");
+            }
+            Err(QuepaError::Polystore(_)) => saw_error = true,
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+    assert!(saw_error, "every 7th lookup fails, some run must hit it");
+    assert!(saw_success, "runs between faults recover fully");
+}
+
+#[test]
+fn faults_never_trigger_lazy_deletion() {
+    // An errored lookup is not a missing object: the index must keep it.
+    let quepa = build(2);
+    let _ = quepa.augmented_search("db0", "SCAN k COUNT 20", 0);
+    for k in 0..20 {
+        let key: GlobalKey = format!("db1.c.k{k}").parse().unwrap();
+        assert!(quepa.index().contains(&key), "k{k} evicted by a transient fault");
+    }
+}

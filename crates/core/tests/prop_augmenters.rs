@@ -1,0 +1,124 @@
+//! Property tests: all six augmenters compute the same augmented answer on
+//! randomly wired polystores, under arbitrary knob settings.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use quepa_aindex::AIndex;
+use quepa_core::{AugmenterKind, Quepa, QuepaConfig};
+use quepa_kvstore::KvStore;
+use quepa_pdm::{GlobalKey, Probability};
+use quepa_polystore::{KvConnector, LatencyModel, Polystore};
+
+/// Builds a polystore of `stores` kv stores, each holding `keys_per_store`
+/// entries, plus an A' index wired from the edge list.
+fn build(
+    stores: usize,
+    keys_per_store: usize,
+    edges: &[(u8, u8, u8, u8, f64, bool)],
+) -> Quepa {
+    let mut polystore = Polystore::new();
+    for s in 0..stores {
+        let mut kv = KvStore::new(format!("db{s}"));
+        for k in 0..keys_per_store {
+            kv.set(format!("k{k}"), format!("v{s}-{k}"));
+        }
+        polystore.register(Arc::new(KvConnector::new(kv, "c", LatencyModel::FREE)));
+    }
+    let key = |s: u8, k: u8| -> GlobalKey {
+        format!("db{}.c.k{}", s as usize % stores, k as usize % keys_per_store)
+            .parse()
+            .unwrap()
+    };
+    let mut index = AIndex::new();
+    for &(s1, k1, s2, k2, p, identity) in edges {
+        let (a, b) = (key(s1, k1), key(s2, k2));
+        let p = Probability::of(p);
+        if identity {
+            index.insert_identity(&a, &b, p);
+        } else {
+            index.insert_matching(&a, &b, p);
+        }
+    }
+    Quepa::new(polystore, index)
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8, u8, f64, bool)>> {
+    prop::collection::vec(
+        (0u8..3, 0u8..8, 0u8..3, 0u8..8, 0.1f64..=1.0, any::<bool>()),
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The augmenter family is semantics-preserving: every strategy and
+    /// knob combination produces the identical ranked answer.
+    #[test]
+    fn all_augmenters_agree(
+        edges in arb_edges(),
+        level in 0usize..3,
+        batch in 1usize..10,
+        threads in 1usize..6,
+        size in 1usize..8,
+    ) {
+        let quepa = build(3, 8, &edges);
+        let query = format!("SCAN k COUNT {size}");
+        let mut baseline: Option<Vec<(String, String)>> = None;
+        for aug in AugmenterKind::ALL {
+            quepa.set_config(QuepaConfig {
+                augmenter: aug,
+                batch_size: batch,
+                threads_size: threads,
+                cache_size: 0,
+            });
+            let answer = quepa.augmented_search("db0", &query, level).unwrap();
+            let got: Vec<(String, String)> = answer
+                .augmented
+                .iter()
+                .map(|a| (a.object.key().to_string(), a.probability.to_string()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => prop_assert_eq!(&got, b, "{} diverged", aug),
+            }
+        }
+    }
+
+    /// The cache never changes the answer, only the cost.
+    #[test]
+    fn cache_is_transparent(edges in arb_edges(), level in 0usize..3) {
+        let quepa = build(3, 8, &edges);
+        let query = "SCAN k COUNT 5";
+        quepa.set_config(QuepaConfig { cache_size: 0, ..QuepaConfig::default() });
+        let uncached = quepa.augmented_search("db0", query, level).unwrap();
+        quepa.set_config(QuepaConfig { cache_size: 10_000, ..QuepaConfig::default() });
+        let _prime = quepa.augmented_search("db0", query, level).unwrap();
+        let cached = quepa.augmented_search("db0", query, level).unwrap();
+        prop_assert!(cached.cache_hits > 0 || cached.augmented.is_empty());
+        let keys = |a: &quepa_core::AugmentedAnswer| {
+            a.augmented.iter().map(|x| x.object.key().to_string()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(keys(&uncached), keys(&cached));
+    }
+
+    /// Augmented answers never contain duplicates or seed objects, and are
+    /// probability-sorted — whatever the graph shape.
+    #[test]
+    fn answer_invariants(edges in arb_edges(), level in 0usize..4, size in 1usize..8) {
+        let quepa = build(3, 8, &edges);
+        let query = format!("SCAN k COUNT {size}");
+        let answer = quepa.augmented_search("db0", &query, level).unwrap();
+        let seeds: Vec<_> = answer.original.iter().map(|o| o.key().clone()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for a in &answer.augmented {
+            prop_assert!(!seeds.contains(a.object.key()));
+            prop_assert!(seen.insert(a.object.key().clone()), "duplicate in answer");
+        }
+        prop_assert!(answer
+            .augmented
+            .windows(2)
+            .all(|w| w[0].probability >= w[1].probability));
+    }
+}

@@ -1,0 +1,46 @@
+//! Errors of the document store.
+
+use std::fmt;
+
+use quepa_pdm::PdmError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DocError>;
+
+/// Errors raised by the document store and its query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DocError {
+    /// Malformed query text.
+    Syntax(String),
+    /// Malformed filter document (unknown operator, wrong operand shape…).
+    BadFilter(String),
+    /// The referenced collection does not exist.
+    UnknownCollection(String),
+    /// The inserted document is not an object or lacks a usable `_id`.
+    BadDocument(String),
+    /// A document with this `_id` already exists in the collection.
+    DuplicateId(String),
+    /// Underlying value parse error.
+    Pdm(PdmError),
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::Syntax(m) => write!(f, "query syntax error: {m}"),
+            DocError::BadFilter(m) => write!(f, "bad filter: {m}"),
+            DocError::UnknownCollection(c) => write!(f, "unknown collection: {c}"),
+            DocError::BadDocument(m) => write!(f, "bad document: {m}"),
+            DocError::DuplicateId(id) => write!(f, "duplicate _id: {id}"),
+            DocError::Pdm(e) => write!(f, "value error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+impl From<PdmError> for DocError {
+    fn from(e: PdmError) -> Self {
+        DocError::Pdm(e)
+    }
+}

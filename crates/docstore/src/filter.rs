@@ -1,0 +1,359 @@
+//! Filter documents: a compiled form of Mongo-style query filters and the
+//! matcher that evaluates them against documents.
+
+use quepa_pdm::Value;
+
+use crate::error::{DocError, Result};
+
+/// A single field condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldOp {
+    /// `$eq` (also the implicit form `{"f": v}`).
+    Eq(Value),
+    /// `$ne`
+    Ne(Value),
+    /// `$gt`
+    Gt(Value),
+    /// `$gte`
+    Gte(Value),
+    /// `$lt`
+    Lt(Value),
+    /// `$lte`
+    Lte(Value),
+    /// `$in`: the field value is one of the listed values.
+    In(Vec<Value>),
+    /// `$exists`: the field is present (true) / absent (false).
+    Exists(bool),
+    /// `$like`: SQL-style pattern with `%`/`_`, case-insensitive.
+    Like(String),
+    /// `$contains`: case-insensitive substring.
+    Contains(String),
+    /// `$prefix`: case-sensitive prefix.
+    Prefix(String),
+}
+
+/// A compiled filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// A condition on one (dotted) field path.
+    Field {
+        /// Dotted field path.
+        path: String,
+        /// The condition.
+        op: FieldOp,
+    },
+    /// Conjunction.
+    And(Vec<Filter>),
+    /// Disjunction.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Compiles a filter from its value form (the parsed JSON the query
+    /// language carries).
+    ///
+    /// `{}` compiles to [`Filter::All`]; `{"a": 1, "b": {"$gt": 2}}` to a
+    /// conjunction of field conditions; `{"$or": [f1, f2]}` and friends to
+    /// boolean combinators.
+    pub fn compile(spec: &Value) -> Result<Filter> {
+        let obj = spec
+            .as_object()
+            .ok_or_else(|| DocError::BadFilter(format!("filter must be an object, got {spec}")))?;
+        let mut clauses = Vec::with_capacity(obj.len());
+        for (key, val) in obj {
+            if let Some(op) = key.strip_prefix('$') {
+                clauses.push(Self::compile_logical(op, val)?);
+            } else {
+                clauses.push(Self::compile_field(key, val)?);
+            }
+        }
+        Ok(match clauses.len() {
+            0 => Filter::All,
+            1 => clauses.pop().expect("one clause"),
+            _ => Filter::And(clauses),
+        })
+    }
+
+    fn compile_logical(op: &str, val: &Value) -> Result<Filter> {
+        match op {
+            "and" | "or" => {
+                let items = val.as_array().ok_or_else(|| {
+                    DocError::BadFilter(format!("${op} requires an array of filters"))
+                })?;
+                let parts: Result<Vec<Filter>> = items.iter().map(Self::compile).collect();
+                let parts = parts?;
+                if parts.is_empty() {
+                    return Err(DocError::BadFilter(format!("${op} requires at least one filter")));
+                }
+                Ok(if op == "and" { Filter::And(parts) } else { Filter::Or(parts) })
+            }
+            "not" => Ok(Filter::Not(Box::new(Self::compile(val)?))),
+            other => Err(DocError::BadFilter(format!("unknown logical operator ${other}"))),
+        }
+    }
+
+    fn compile_field(path: &str, val: &Value) -> Result<Filter> {
+        // An object whose every key starts with `$` is an operator document;
+        // any other value is an implicit equality.
+        let ops = match val.as_object() {
+            Some(m) if !m.is_empty() && m.keys().all(|k| k.starts_with('$')) => m,
+            _ => {
+                return Ok(Filter::Field { path: path.to_owned(), op: FieldOp::Eq(val.clone()) })
+            }
+        };
+        let mut clauses = Vec::with_capacity(ops.len());
+        for (opname, operand) in ops {
+            let op = match opname.as_str() {
+                "$eq" => FieldOp::Eq(operand.clone()),
+                "$ne" => FieldOp::Ne(operand.clone()),
+                "$gt" => FieldOp::Gt(operand.clone()),
+                "$gte" => FieldOp::Gte(operand.clone()),
+                "$lt" => FieldOp::Lt(operand.clone()),
+                "$lte" => FieldOp::Lte(operand.clone()),
+                "$in" => FieldOp::In(
+                    operand
+                        .as_array()
+                        .ok_or_else(|| DocError::BadFilter("$in requires an array".into()))?
+                        .to_vec(),
+                ),
+                "$exists" => FieldOp::Exists(
+                    operand
+                        .as_bool()
+                        .ok_or_else(|| DocError::BadFilter("$exists requires a bool".into()))?,
+                ),
+                "$like" => FieldOp::Like(str_operand(opname, operand)?),
+                "$contains" => FieldOp::Contains(str_operand(opname, operand)?),
+                "$prefix" => FieldOp::Prefix(str_operand(opname, operand)?),
+                other => {
+                    return Err(DocError::BadFilter(format!("unknown operator {other}")))
+                }
+            };
+            clauses.push(Filter::Field { path: path.to_owned(), op });
+        }
+        Ok(if clauses.len() == 1 {
+            clauses.pop().expect("one clause")
+        } else {
+            Filter::And(clauses)
+        })
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Not(f) => !f.matches(doc),
+            Filter::Field { path, op } => {
+                let field = doc.get_path(path);
+                match op {
+                    FieldOp::Exists(want) => field.is_some() == *want,
+                    FieldOp::Eq(v) => field.is_some_and(|f| value_eq(f, v)),
+                    FieldOp::Ne(v) => field.is_some_and(|f| !value_eq(f, v)),
+                    FieldOp::Gt(v) => cmp_ok(field, v, |o| o.is_gt()),
+                    FieldOp::Gte(v) => cmp_ok(field, v, |o| o.is_ge()),
+                    FieldOp::Lt(v) => cmp_ok(field, v, |o| o.is_lt()),
+                    FieldOp::Lte(v) => cmp_ok(field, v, |o| o.is_le()),
+                    FieldOp::In(vs) => {
+                        field.is_some_and(|f| vs.iter().any(|v| value_eq(f, v)))
+                    }
+                    FieldOp::Like(p) => field
+                        .and_then(Value::as_str)
+                        .is_some_and(|s| quepa_relstore_like(p, s)),
+                    FieldOp::Contains(needle) => field.and_then(Value::as_str).is_some_and(|s| {
+                        s.to_lowercase().contains(&needle.to_lowercase())
+                    }),
+                    FieldOp::Prefix(p) => {
+                        field.and_then(Value::as_str).is_some_and(|s| s.starts_with(p))
+                    }
+                }
+            }
+        }
+    }
+
+    /// If this filter is exactly `_id = <string>` (possibly the only clause),
+    /// returns the id — the store uses it for a point lookup.
+    pub fn as_id_lookup(&self) -> Option<&str> {
+        match self {
+            Filter::Field { path, op: FieldOp::Eq(Value::Str(s)) } if path == "_id" => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn str_operand(op: &str, operand: &Value) -> Result<String> {
+    operand
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| DocError::BadFilter(format!("{op} requires a string")))
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        return x == y;
+    }
+    a == b
+}
+
+fn cmp_ok(field: Option<&Value>, v: &Value, pred: impl Fn(std::cmp::Ordering) -> bool) -> bool {
+    // Range comparisons only apply between two numerics or two strings;
+    // mismatched types never match (Mongo's BSON type-bracketing, simplified).
+    match field {
+        None => false,
+        Some(f) => {
+            let comparable = (f.as_f64().is_some() && v.as_f64().is_some())
+                || (f.as_str().is_some() && v.as_str().is_some());
+            comparable && pred(f.total_cmp(v))
+        }
+    }
+}
+
+/// SQL-LIKE matching, duplicated from the relational engine's semantics so
+/// the two stores agree on the pattern dialect without a cross-store
+/// dependency. Case-insensitive; `%` any run, `_` one char.
+fn quepa_relstore_like(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().flat_map(|c| c.to_lowercase()).collect();
+    let t: Vec<char> = text.chars().flat_map(|c| c.to_lowercase()).collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::text;
+
+    fn filter(s: &str) -> Filter {
+        Filter::compile(&text::parse(s).unwrap()).unwrap()
+    }
+
+    fn doc(s: &str) -> Value {
+        text::parse(s).unwrap()
+    }
+
+    #[test]
+    fn empty_filter_matches_all() {
+        assert_eq!(filter("{}"), Filter::All);
+        assert!(filter("{}").matches(&doc(r#"{"a":1}"#)));
+    }
+
+    #[test]
+    fn implicit_equality() {
+        let f = filter(r#"{"title":"Wish"}"#);
+        assert!(f.matches(&doc(r#"{"title":"Wish","year":1992}"#)));
+        assert!(!f.matches(&doc(r#"{"title":"Faith"}"#)));
+        assert!(!f.matches(&doc(r#"{"year":1992}"#)));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let f = filter(r#"{"year":{"$gte":1990,"$lt":1995}}"#);
+        assert!(f.matches(&doc(r#"{"year":1992}"#)));
+        assert!(!f.matches(&doc(r#"{"year":1989}"#)));
+        assert!(!f.matches(&doc(r#"{"year":1995}"#)));
+        assert!(!f.matches(&doc(r#"{"year":"1992"}"#)), "type bracketing");
+        assert!(!f.matches(&doc(r#"{}"#)));
+    }
+
+    #[test]
+    fn string_operators() {
+        assert!(filter(r#"{"t":{"$like":"%wish%"}}"#).matches(&doc(r#"{"t":"Wish"}"#)));
+        assert!(filter(r#"{"t":{"$contains":"CURE"}}"#).matches(&doc(r#"{"t":"The Cure"}"#)));
+        assert!(filter(r#"{"t":{"$prefix":"The"}}"#).matches(&doc(r#"{"t":"The Cure"}"#)));
+        assert!(!filter(r#"{"t":{"$prefix":"the"}}"#).matches(&doc(r#"{"t":"The Cure"}"#)));
+    }
+
+    #[test]
+    fn in_and_exists() {
+        let f = filter(r#"{"g":{"$in":["rock","pop"]}}"#);
+        assert!(f.matches(&doc(r#"{"g":"rock"}"#)));
+        assert!(!f.matches(&doc(r#"{"g":"jazz"}"#)));
+        assert!(filter(r#"{"g":{"$exists":true}}"#).matches(&doc(r#"{"g":null}"#)));
+        assert!(filter(r#"{"g":{"$exists":false}}"#).matches(&doc(r#"{"x":1}"#)));
+    }
+
+    #[test]
+    fn logical_combinators() {
+        let f = filter(r#"{"$or":[{"a":1},{"b":2}]}"#);
+        assert!(f.matches(&doc(r#"{"a":1}"#)));
+        assert!(f.matches(&doc(r#"{"b":2}"#)));
+        assert!(!f.matches(&doc(r#"{"a":2,"b":1}"#)));
+        let f = filter(r#"{"$not":{"a":1}}"#);
+        assert!(!f.matches(&doc(r#"{"a":1}"#)));
+        assert!(f.matches(&doc(r#"{"a":2}"#)));
+        // Top-level multi-field object is an implicit AND.
+        let f = filter(r#"{"a":1,"b":2}"#);
+        assert!(f.matches(&doc(r#"{"a":1,"b":2}"#)));
+        assert!(!f.matches(&doc(r#"{"a":1,"b":3}"#)));
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let f = filter(r#"{"meta.artist":"The Cure"}"#);
+        assert!(f.matches(&doc(r#"{"meta":{"artist":"The Cure"}}"#)));
+        assert!(!f.matches(&doc(r#"{"meta":{}}"#)));
+    }
+
+    #[test]
+    fn ne_requires_presence() {
+        // Mongo semantics differ here ($ne matches missing); we use the
+        // stricter interpretation: missing fields match nothing.
+        let f = filter(r#"{"a":{"$ne":1}}"#);
+        assert!(f.matches(&doc(r#"{"a":2}"#)));
+        assert!(!f.matches(&doc(r#"{}"#)));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(filter(r#"{"n":3}"#).matches(&doc(r#"{"n":3.0}"#)));
+    }
+
+    #[test]
+    fn id_lookup_detection() {
+        assert_eq!(filter(r#"{"_id":"d1"}"#).as_id_lookup(), Some("d1"));
+        assert_eq!(filter(r#"{"_id":{"$ne":"d1"}}"#).as_id_lookup(), None);
+        assert_eq!(filter(r#"{"x":"d1"}"#).as_id_lookup(), None);
+    }
+
+    #[test]
+    fn bad_filters_rejected() {
+        assert!(Filter::compile(&doc(r#"{"a":{"$bogus":1}}"#)).is_err());
+        assert!(Filter::compile(&doc(r#"{"$or":{}}"#)).is_err());
+        assert!(Filter::compile(&doc(r#"{"$or":[]}"#)).is_err());
+        assert!(Filter::compile(&doc(r#"{"a":{"$in":3}}"#)).is_err());
+        assert!(Filter::compile(&doc(r#"{"a":{"$exists":"yes"}}"#)).is_err());
+        assert!(Filter::compile(&doc("[1]")).is_err());
+        assert!(Filter::compile(&doc(r#"{"$xyz":[]}"#)).is_err());
+    }
+
+    #[test]
+    fn operator_mixed_with_plain_field_is_equality_on_object() {
+        // {"a": {"$gt": 1, "plain": 2}} — not all keys are operators, so the
+        // whole object is an equality operand.
+        let f = filter(r#"{"a":{"$gt":1,"plain":2}}"#);
+        assert!(f.matches(&doc(r#"{"a":{"$gt":1,"plain":2}}"#)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # quepa-docstore — an embedded document store
+//!
+//! Plays the role MongoDB plays in the paper's Polyphony polystore: the
+//! *warehouse department* keeps its `catalogue` database as JSON documents
+//! and queries it with a Mongo-flavoured native language.
+//!
+//! Documents are PDM [`Value`](quepa_pdm::Value) objects keyed by their
+//! `_id` field. Queries use a method-chain syntax close to the Mongo shell:
+//!
+//! ```text
+//! db.albums.find({"title": {"$like": "%wish%"}}).sort({"year": -1}).limit(5)
+//! db.albums.count({"year": {"$gte": 1990}})
+//! ```
+//!
+//! with filter operators `$eq` (implicit), `$ne`, `$gt`, `$gte`, `$lt`,
+//! `$lte`, `$in`, `$exists`, `$like`, `$contains`, `$prefix`, `$and`,
+//! `$or`, `$not`, and dotted field paths.
+//!
+//! ```
+//! use quepa_docstore::DocumentDb;
+//! use quepa_pdm::text;
+//!
+//! let mut db = DocumentDb::new("catalogue");
+//! db.insert("albums", text::parse(r#"{"_id":"d1","title":"Wish","year":1992}"#).unwrap()).unwrap();
+//! let docs = db.query(r#"db.albums.find({"title": {"$like": "%wish%"}})"#).unwrap();
+//! assert_eq!(docs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod filter;
+pub mod query;
+pub mod store;
+
+pub use error::{DocError, Result};
+pub use filter::Filter;
+pub use query::{DocQuery, QueryVerb};
+pub use store::DocumentDb;

@@ -1,0 +1,338 @@
+//! The document store engine.
+
+use std::collections::{BTreeMap, HashMap};
+
+use quepa_pdm::Value;
+
+use crate::error::{DocError, Result};
+use crate::query::{DocQuery, QueryVerb};
+
+/// One collection: documents keyed by `_id` (insertion order preserved via
+/// the `order` vector so scans and ties in sorting stay deterministic).
+#[derive(Debug, Clone, Default)]
+struct Collection {
+    docs: HashMap<String, Value>,
+    order: Vec<String>,
+    tombstones: usize,
+}
+
+impl Collection {
+    fn compact_if_needed(&mut self) {
+        // The order vector keeps ids of deleted docs as tombstones; compact
+        // once they dominate to keep scans linear in live documents.
+        if self.tombstones > self.docs.len() {
+            self.order.retain(|id| self.docs.contains_key(id));
+            self.tombstones = 0;
+        }
+    }
+
+    fn iter_live(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.order.iter().filter_map(|id| self.docs.get_key_value(id))
+    }
+}
+
+/// An embedded document database: named collections of JSON-like documents.
+#[derive(Debug, Clone)]
+pub struct DocumentDb {
+    name: String,
+    collections: BTreeMap<String, Collection>,
+}
+
+impl DocumentDb {
+    /// Creates an empty document database.
+    pub fn new(name: impl Into<String>) -> Self {
+        DocumentDb { name: name.into(), collections: BTreeMap::new() }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The collection names, sorted.
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// Number of live documents in a collection (0 if absent).
+    pub fn len(&self, collection: &str) -> usize {
+        self.collections.get(collection).map_or(0, |c| c.docs.len())
+    }
+
+    /// True if the named collection is empty or absent.
+    pub fn is_empty(&self, collection: &str) -> bool {
+        self.len(collection) == 0
+    }
+
+    /// Inserts a document. It must be an object with a string or integer
+    /// `_id`; integer ids are stored under their decimal rendering.
+    /// Creates the collection on first use (Mongo behaviour).
+    pub fn insert(&mut self, collection: &str, doc: Value) -> Result<String> {
+        let id = match doc.get("_id") {
+            Some(Value::Str(s)) => s.clone(),
+            Some(Value::Int(i)) => i.to_string(),
+            Some(other) => {
+                return Err(DocError::BadDocument(format!(
+                    "_id must be a string or int, got {}",
+                    other.type_name()
+                )))
+            }
+            None => return Err(DocError::BadDocument("document lacks an _id".into())),
+        };
+        if doc.as_object().is_none() {
+            return Err(DocError::BadDocument(format!(
+                "document must be an object, got {}",
+                doc.type_name()
+            )));
+        }
+        let coll = self.collections.entry(collection.to_owned()).or_default();
+        if coll.docs.contains_key(&id) {
+            return Err(DocError::DuplicateId(id));
+        }
+        coll.order.push(id.clone());
+        coll.docs.insert(id.clone(), doc);
+        Ok(id)
+    }
+
+    /// Point lookup by `_id`.
+    pub fn get(&self, collection: &str, id: &str) -> Option<&Value> {
+        self.collections.get(collection)?.docs.get(id)
+    }
+
+    /// Batched point lookup (one simulated round trip). Missing ids are
+    /// skipped.
+    pub fn multi_get(&self, collection: &str, ids: &[&str]) -> Vec<(String, Value)> {
+        let Some(coll) = self.collections.get(collection) else { return Vec::new() };
+        ids.iter()
+            .filter_map(|id| coll.docs.get(*id).map(|d| ((*id).to_owned(), d.clone())))
+            .collect()
+    }
+
+    /// Deletes by `_id`; returns whether the document existed.
+    pub fn delete(&mut self, collection: &str, id: &str) -> bool {
+        if let Some(coll) = self.collections.get_mut(collection) {
+            let existed = coll.docs.remove(id).is_some();
+            if existed {
+                coll.tombstones += 1;
+                coll.compact_if_needed();
+            }
+            existed
+        } else {
+            false
+        }
+    }
+
+    /// Parses and runs a query string. `find` returns documents, `count`
+    /// returns a single `{ "count": n }` document, `remove` a single
+    /// `{ "removed": n }` document.
+    pub fn query(&mut self, input: &str) -> Result<Vec<Value>> {
+        let q = DocQuery::parse(input)?;
+        self.run(&q)
+    }
+
+    /// Read-only execution of `find`/`count` queries (errors on `remove`).
+    pub fn find(&self, input: &str) -> Result<Vec<Value>> {
+        let q = DocQuery::parse(input)?;
+        if q.verb == QueryVerb::Remove {
+            return Err(DocError::Syntax("find() API cannot run remove queries".into()));
+        }
+        self.run_read_inner(&q)
+    }
+
+    /// Runs a parsed query.
+    pub fn run(&mut self, q: &DocQuery) -> Result<Vec<Value>> {
+        match q.verb {
+            QueryVerb::Find | QueryVerb::Count => self.run_read_inner(q),
+            QueryVerb::Remove => {
+                let coll = self
+                    .collections
+                    .get_mut(&q.collection)
+                    .ok_or_else(|| DocError::UnknownCollection(q.collection.clone()))?;
+                let doomed: Vec<String> = coll
+                    .iter_live()
+                    .filter(|(_, d)| q.filter.matches(d))
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                for id in &doomed {
+                    coll.docs.remove(id);
+                    coll.tombstones += 1;
+                }
+                coll.compact_if_needed();
+                Ok(vec![Value::object([("removed", Value::Int(doomed.len() as i64))])])
+            }
+        }
+    }
+
+    /// Read-only execution of a parsed `find`/`count` query (errors on
+    /// `remove`, which requires [`DocumentDb::run`]).
+    pub fn run_read(&self, q: &DocQuery) -> Result<Vec<Value>> {
+        if q.verb == QueryVerb::Remove {
+            return Err(DocError::Syntax("run_read() cannot run remove queries".into()));
+        }
+        self.run_read_inner(q)
+    }
+
+    fn run_read_inner(&self, q: &DocQuery) -> Result<Vec<Value>> {
+        let coll = self
+            .collections
+            .get(&q.collection)
+            .ok_or_else(|| DocError::UnknownCollection(q.collection.clone()))?;
+
+        let mut matched: Vec<&Value>;
+        if let Some(id) = q.filter.as_id_lookup() {
+            // Point lookup fast path.
+            matched = coll.docs.get(id).into_iter().collect();
+        } else {
+            matched = coll.iter_live().map(|(_, d)| d).filter(|d| q.filter.matches(d)).collect();
+        }
+
+        if q.verb == QueryVerb::Count {
+            return Ok(vec![Value::object([("count", Value::Int(matched.len() as i64))])]);
+        }
+
+        if let Some((field, asc)) = &q.sort {
+            matched.sort_by(|a, b| {
+                let av = a.get_path(field).unwrap_or(&Value::Null);
+                let bv = b.get_path(field).unwrap_or(&Value::Null);
+                let ord = av.total_cmp(bv);
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        if let Some(limit) = q.limit {
+            matched.truncate(limit);
+        }
+        Ok(matched.into_iter().cloned().collect())
+    }
+
+    /// Total live documents across collections.
+    pub fn total_docs(&self) -> usize {
+        self.collections.values().map(|c| c.docs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::text;
+
+    fn catalogue() -> DocumentDb {
+        let mut db = DocumentDb::new("catalogue");
+        for doc in [
+            r#"{"_id":"d1","title":"Wish","artist":"The Cure","year":1992}"#,
+            r#"{"_id":"d2","title":"Disintegration","artist":"The Cure","year":1989}"#,
+            r#"{"_id":"d3","title":"OK Computer","artist":"Radiohead","year":1997}"#,
+        ] {
+            db.insert("albums", text::parse(doc).unwrap()).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn find_with_filter() {
+        let db = catalogue();
+        let docs = db.find(r#"db.albums.find({"artist":"The Cure"})"#).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn find_like() {
+        let db = catalogue();
+        let docs = db.find(r#"db.albums.find({"title":{"$like":"%wish%"}})"#).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].get("_id").unwrap().as_str(), Some("d1"));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = catalogue();
+        let docs = db.find(r#"db.albums.find().sort({"year":-1}).limit(2)"#).unwrap();
+        let years: Vec<i64> = docs.iter().map(|d| d.get("year").unwrap().as_int().unwrap()).collect();
+        assert_eq!(years, vec![1997, 1992]);
+    }
+
+    #[test]
+    fn count() {
+        let db = catalogue();
+        let r = db.find(r#"db.albums.count({"year":{"$gte":1990}})"#).unwrap();
+        assert_eq!(r[0].get("count").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn remove() {
+        let mut db = catalogue();
+        let r = db.query(r#"db.albums.remove({"artist":"The Cure"})"#).unwrap();
+        assert_eq!(r[0].get("removed").unwrap().as_int(), Some(2));
+        assert_eq!(db.len("albums"), 1);
+        assert!(db.get("albums", "d1").is_none());
+    }
+
+    #[test]
+    fn point_lookup_and_multi_get() {
+        let db = catalogue();
+        assert!(db.get("albums", "d2").is_some());
+        assert!(db.get("albums", "zzz").is_none());
+        let got = db.multi_get("albums", &["d3", "nope", "d1"]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "d3");
+    }
+
+    #[test]
+    fn id_fast_path_equals_scan() {
+        let db = catalogue();
+        let fast = db.find(r#"db.albums.find({"_id":"d2"})"#).unwrap();
+        let scan = db.find(r#"db.albums.find({"title":"Disintegration"})"#).unwrap();
+        assert_eq!(fast, scan);
+    }
+
+    #[test]
+    fn insert_validation() {
+        let mut db = DocumentDb::new("x");
+        assert!(matches!(
+            db.insert("c", text::parse(r#"{"no_id":1}"#).unwrap()),
+            Err(DocError::BadDocument(_))
+        ));
+        assert!(matches!(
+            db.insert("c", text::parse(r#"{"_id":true}"#).unwrap()),
+            Err(DocError::BadDocument(_))
+        ));
+        db.insert("c", text::parse(r#"{"_id":"a"}"#).unwrap()).unwrap();
+        assert_eq!(
+            db.insert("c", text::parse(r#"{"_id":"a"}"#).unwrap()),
+            Err(DocError::DuplicateId("a".into()))
+        );
+        // Integer ids are normalised to strings.
+        let id = db.insert("c", text::parse(r#"{"_id":42}"#).unwrap()).unwrap();
+        assert_eq!(id, "42");
+        assert!(db.get("c", "42").is_some());
+    }
+
+    #[test]
+    fn unknown_collection() {
+        let db = catalogue();
+        assert!(matches!(
+            db.find("db.ghost.find()"),
+            Err(DocError::UnknownCollection(_))
+        ));
+    }
+
+    #[test]
+    fn tombstone_compaction_keeps_scans_correct() {
+        let mut db = DocumentDb::new("x");
+        for i in 0..100 {
+            db.insert("c", Value::object([("_id", Value::str(format!("k{i}"))), ("n", Value::Int(i))]))
+                .unwrap();
+        }
+        for i in 0..80 {
+            assert!(db.delete("c", &format!("k{i}")));
+        }
+        assert!(!db.delete("c", "k0"), "double delete returns false");
+        let docs = db.find("db.c.find()").unwrap();
+        assert_eq!(docs.len(), 20);
+        let r = db.find(r#"db.c.count({"n":{"$gte":90}})"#).unwrap();
+        assert_eq!(r[0].get("count").unwrap().as_int(), Some(10));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: the document store's filter evaluation against manual
+//! filtering, and store CRUD invariants.
+
+use proptest::prelude::*;
+use quepa_docstore::{DocQuery, DocumentDb, Filter};
+use quepa_pdm::Value;
+
+fn doc(id: usize, n: i64, tag: &str) -> Value {
+    Value::object([
+        ("_id", Value::str(format!("d{id}"))),
+        ("n", Value::Int(n)),
+        ("tag", Value::str(tag)),
+    ])
+}
+
+proptest! {
+    /// Range filters agree with manual filtering for arbitrary data.
+    #[test]
+    fn range_filter_matches_manual(
+        ns in prop::collection::vec(-50i64..50, 1..40),
+        lo in -50i64..50,
+        hi in -50i64..50,
+    ) {
+        let mut db = DocumentDb::new("x");
+        for (i, &n) in ns.iter().enumerate() {
+            db.insert("c", doc(i, n, if n % 2 == 0 { "even" } else { "odd" })).unwrap();
+        }
+        let q = format!(r#"db.c.find({{"n":{{"$gte":{lo},"$lt":{hi}}}}})"#);
+        let got = db.find(&q).unwrap().len();
+        let want = ns.iter().filter(|&&n| n >= lo && n < hi).count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// $in / $ne / $or compose correctly.
+    #[test]
+    fn compound_filters(ns in prop::collection::vec(0i64..10, 1..30)) {
+        let mut db = DocumentDb::new("x");
+        for (i, &n) in ns.iter().enumerate() {
+            db.insert("c", doc(i, n, if n % 2 == 0 { "even" } else { "odd" })).unwrap();
+        }
+        let got = db
+            .find(r#"db.c.find({"$or":[{"n":{"$in":[1,2,3]}},{"tag":"even"}]})"#)
+            .unwrap()
+            .len();
+        let want = ns.iter().filter(|&&n| [1, 2, 3].contains(&n) || n % 2 == 0).count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sorting really sorts, descending included, with limit applied after.
+    #[test]
+    fn sort_limit(ns in prop::collection::vec(any::<i32>(), 1..30), limit in 0usize..40) {
+        let mut db = DocumentDb::new("x");
+        for (i, &n) in ns.iter().enumerate() {
+            db.insert("c", doc(i, n as i64, "t")).unwrap();
+        }
+        let q = format!(r#"db.c.find().sort({{"n":-1}}).limit({limit})"#);
+        let docs = db.find(&q).unwrap();
+        prop_assert_eq!(docs.len(), ns.len().min(limit));
+        let got: Vec<i64> = docs.iter().map(|d| d.get("n").unwrap().as_int().unwrap()).collect();
+        let mut want: Vec<i64> = ns.iter().map(|&n| n as i64).collect();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        want.truncate(limit);
+        prop_assert_eq!(got, want);
+    }
+
+    /// remove() deletes exactly the matching documents.
+    #[test]
+    fn remove_matches_filter(ns in prop::collection::vec(0i64..20, 1..30), cut in 0i64..20) {
+        let mut db = DocumentDb::new("x");
+        for (i, &n) in ns.iter().enumerate() {
+            db.insert("c", doc(i, n, "t")).unwrap();
+        }
+        let removed = db
+            .query(&format!(r#"db.c.remove({{"n":{{"$lt":{cut}}}}})"#))
+            .unwrap()[0]
+            .get("removed")
+            .unwrap()
+            .as_int()
+            .unwrap() as usize;
+        let want_removed = ns.iter().filter(|&&n| n < cut).count();
+        prop_assert_eq!(removed, want_removed);
+        prop_assert_eq!(db.len("c"), ns.len() - want_removed);
+    }
+
+    /// Filter compilation round-trips through the query parser: the parsed
+    /// filter matches exactly the documents the direct API matches.
+    #[test]
+    fn parser_and_api_agree(ns in prop::collection::vec(0i64..10, 1..20), pick in 0i64..10) {
+        let mut db = DocumentDb::new("x");
+        for (i, &n) in ns.iter().enumerate() {
+            db.insert("c", doc(i, n, "t")).unwrap();
+        }
+        let via_text =
+            db.find(&format!(r#"db.c.find({{"n":{pick}}})"#)).unwrap().len();
+        let filter = Filter::compile(&Value::object([("n", Value::Int(pick))])).unwrap();
+        let q = DocQuery {
+            collection: "c".into(),
+            verb: quepa_docstore::QueryVerb::Find,
+            filter,
+            sort: None,
+            limit: None,
+        };
+        let via_api = db.run_read(&q).unwrap().len();
+        prop_assert_eq!(via_text, via_api);
+    }
+}

@@ -1,0 +1,344 @@
+//! Property-graph storage: nodes, labelled edges, adjacency.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use quepa_pdm::Value;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors of the graph store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node with this id already exists.
+    DuplicateNode(String),
+    /// The referenced node does not exist.
+    UnknownNode(String),
+    /// Malformed query text.
+    Syntax(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(id) => write!(f, "duplicate node id: {id}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node id: {id}"),
+            GraphError::Syntax(m) => write!(f, "cypher syntax error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Node properties.
+pub type PropertyMap = BTreeMap<String, Value>;
+
+/// A node of the property graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The node id (unique in the graph).
+    pub id: String,
+    /// The node's label (one label per node in this engine).
+    pub label: String,
+    /// The node's properties.
+    pub properties: PropertyMap,
+}
+
+impl Node {
+    /// Renders the node (id, label, properties) as a single PDM value, the
+    /// form the polystore connector hands to the augmenter.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Object(self.properties.clone());
+        v.insert("_id", Value::str(self.id.clone()));
+        v.insert("_label", Value::str(self.label.clone()));
+        v
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Adjacency {
+    /// (edge type, target node slot).
+    out: Vec<(String, usize)>,
+    /// (edge type, source node slot).
+    incoming: Vec<(String, usize)>,
+}
+
+/// An embedded property-graph database.
+#[derive(Debug, Clone)]
+pub struct GraphDb {
+    name: String,
+    nodes: Vec<Node>,
+    adjacency: Vec<Adjacency>,
+    by_id: HashMap<String, usize>,
+    by_label: HashMap<String, Vec<usize>>,
+    edge_count: usize,
+    tombstones: usize,
+}
+
+impl GraphDb {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphDb {
+            name: name.into(),
+            nodes: Vec::new(),
+            adjacency: Vec::new(),
+            by_id: HashMap::new(),
+            by_label: HashMap::new(),
+            edge_count: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// The graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.tombstones
+    }
+
+    /// Number of (directed) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a node.
+    pub fn add_node<I, K>(&mut self, id: &str, label: &str, properties: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        if self.by_id.contains_key(id) {
+            return Err(GraphError::DuplicateNode(id.to_owned()));
+        }
+        let slot = self.nodes.len();
+        self.nodes.push(Node {
+            id: id.to_owned(),
+            label: label.to_owned(),
+            properties: properties.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        });
+        self.adjacency.push(Adjacency::default());
+        self.by_id.insert(id.to_owned(), slot);
+        self.by_label.entry(label.to_owned()).or_default().push(slot);
+        Ok(())
+    }
+
+    /// Adds a directed edge of the given type.
+    pub fn add_edge(&mut self, from: &str, to: &str, edge_type: &str) -> Result<()> {
+        let f = self.slot(from)?;
+        let t = self.slot(to)?;
+        self.adjacency[f].out.push((edge_type.to_owned(), t));
+        self.adjacency[t].incoming.push((edge_type.to_owned(), f));
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    fn slot(&self, id: &str) -> Result<usize> {
+        self.by_id.get(id).copied().ok_or_else(|| GraphError::UnknownNode(id.to_owned()))
+    }
+
+    /// Point lookup by node id.
+    pub fn get(&self, id: &str) -> Option<&Node> {
+        self.by_id.get(id).map(|&slot| &self.nodes[slot])
+    }
+
+    /// Removes a node and all its incident edges; returns whether it
+    /// existed. Slots are tombstoned (the label index and adjacency lists
+    /// skip removed nodes via `by_id`).
+    pub fn remove_node(&mut self, id: &str) -> bool {
+        let Some(slot) = self.by_id.remove(id) else { return false };
+        // Remove this node from its label bucket.
+        let label = self.nodes[slot].label.clone();
+        if let Some(bucket) = self.by_label.get_mut(&label) {
+            bucket.retain(|&s| s != slot);
+        }
+        // Drop edges touching the node from both directions' lists.
+        let out_edges = std::mem::take(&mut self.adjacency[slot].out);
+        for (_, target) in &out_edges {
+            self.adjacency[*target].incoming.retain(|(_, s)| *s != slot);
+        }
+        let in_edges = std::mem::take(&mut self.adjacency[slot].incoming);
+        for (_, source) in &in_edges {
+            self.adjacency[*source].out.retain(|(_, t)| *t != slot);
+        }
+        self.edge_count -= out_edges.len() + in_edges.len();
+        // Tombstone: blank the node so label/property scans skip it.
+        self.nodes[slot].id.clear();
+        self.nodes[slot].properties.clear();
+        self.tombstones += 1;
+        true
+    }
+
+    /// Batched point lookup; missing ids are skipped.
+    pub fn multi_get(&self, ids: &[&str]) -> Vec<&Node> {
+        ids.iter().filter_map(|id| self.get(id)).collect()
+    }
+
+    /// Out-neighbours of a node following edges of `edge_type` (or any type
+    /// if `None`).
+    pub fn neighbors(&self, id: &str, edge_type: Option<&str>) -> Result<Vec<&Node>> {
+        let slot = self.slot(id)?;
+        Ok(self.adjacency[slot]
+            .out
+            .iter()
+            .filter(|(t, _)| edge_type.is_none_or(|want| want == t))
+            .map(|(_, target)| &self.nodes[*target])
+            .collect())
+    }
+
+    /// Nodes reachable from `id` within `min..=max` hops along edges of
+    /// `edge_type`, breadth-first, excluding the start node. `undirected`
+    /// additionally follows incoming edges.
+    pub fn reachable(
+        &self,
+        id: &str,
+        edge_type: Option<&str>,
+        min: usize,
+        max: usize,
+        undirected: bool,
+    ) -> Result<Vec<&Node>> {
+        let start = self.slot(id)?;
+        let mut seen: HashSet<usize> = HashSet::from([start]);
+        let mut frontier = vec![start];
+        let mut out = Vec::new();
+        for depth in 1..=max {
+            let mut next = Vec::new();
+            for &slot in &frontier {
+                let adj = &self.adjacency[slot];
+                let hop_iter = adj.out.iter().chain(if undirected {
+                    adj.incoming.iter()
+                } else {
+                    [].iter()
+                });
+                for (t, target) in hop_iter {
+                    if edge_type.is_none_or(|want| want == t) && seen.insert(*target) {
+                        next.push(*target);
+                        if depth >= min {
+                            out.push(&self.nodes[*target]);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nodes carrying a label.
+    pub fn nodes_with_label(&self, label: &str) -> impl Iterator<Item = &Node> {
+        self.by_label.get(label).into_iter().flatten().map(|&slot| &self.nodes[slot])
+    }
+
+    /// All live nodes.
+    pub fn all_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| !n.id.is_empty())
+    }
+
+    /// Parses and runs a Cypher-subset query. See [`crate::cypher`].
+    pub fn query(&self, text: &str) -> Result<Vec<&Node>> {
+        let q = crate::cypher::parse_query(text)?;
+        crate::cypher::execute(self, &q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphDb {
+        let mut g = GraphDb::new("similar-items");
+        for (id, title) in [("s1", "Apart"), ("s2", "Elise"), ("s3", "Cut"), ("s4", "Open")] {
+            g.add_node(id, "Song", [("title", Value::str(title))]).unwrap();
+        }
+        g.add_edge("s1", "s2", "SIMILAR").unwrap();
+        g.add_edge("s2", "s3", "SIMILAR").unwrap();
+        g.add_edge("s3", "s4", "COVER").unwrap();
+        g
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_unknown() {
+        let mut g = sample();
+        assert_eq!(
+            g.add_node("s1", "Song", std::iter::empty::<(String, Value)>()),
+            Err(GraphError::DuplicateNode("s1".into()))
+        );
+        assert_eq!(g.add_edge("s1", "zz", "X"), Err(GraphError::UnknownNode("zz".into())));
+        assert!(g.neighbors("zz", None).is_err());
+    }
+
+    #[test]
+    fn neighbors_filtered_by_type() {
+        let g = sample();
+        let n = g.neighbors("s3", Some("SIMILAR")).unwrap();
+        assert!(n.is_empty());
+        let n = g.neighbors("s3", Some("COVER")).unwrap();
+        assert_eq!(n[0].id, "s4");
+        let n = g.neighbors("s3", None).unwrap();
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn reachable_bfs_ranges() {
+        let g = sample();
+        let ids =
+            |v: Vec<&Node>| v.into_iter().map(|n| n.id.clone()).collect::<Vec<_>>();
+        assert_eq!(ids(g.reachable("s1", Some("SIMILAR"), 1, 1, false).unwrap()), vec!["s2"]);
+        assert_eq!(
+            ids(g.reachable("s1", Some("SIMILAR"), 1, 2, false).unwrap()),
+            vec!["s2", "s3"]
+        );
+        // min=2 excludes the 1-hop neighbour.
+        assert_eq!(ids(g.reachable("s1", Some("SIMILAR"), 2, 2, false).unwrap()), vec!["s3"]);
+        // Any-type, 3 hops reaches s4 through the COVER edge.
+        assert_eq!(ids(g.reachable("s1", None, 3, 3, false).unwrap()), vec!["s4"]);
+        // Undirected from s2 reaches s1 as well.
+        let mut r = ids(g.reachable("s2", Some("SIMILAR"), 1, 1, true).unwrap());
+        r.sort();
+        assert_eq!(r, vec!["s1", "s3"]);
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let mut g = sample();
+        g.add_edge("s3", "s1", "SIMILAR").unwrap();
+        let r = g.reachable("s1", Some("SIMILAR"), 1, 10, false).unwrap();
+        // Never revisits: s2, s3 once each; s1 excluded as start.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn node_to_value() {
+        let g = sample();
+        let v = g.get("s1").unwrap().to_value();
+        assert_eq!(v.get("_id").unwrap().as_str(), Some("s1"));
+        assert_eq!(v.get("_label").unwrap().as_str(), Some("Song"));
+        assert_eq!(v.get("title").unwrap().as_str(), Some("Apart"));
+    }
+
+    #[test]
+    fn label_index() {
+        let g = sample();
+        assert_eq!(g.nodes_with_label("Song").count(), 4);
+        assert_eq!(g.nodes_with_label("Album").count(), 0);
+    }
+
+    #[test]
+    fn multi_get_skips_missing() {
+        let g = sample();
+        assert_eq!(g.multi_get(&["s1", "zz", "s4"]).len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # quepa-graphstore — an embedded property-graph store
+//!
+//! Plays the role Neo4j plays in the paper's Polyphony polystore: the
+//! *marketing department* keeps a `similar-items` graph used for
+//! recommendations, queried with a Cypher-flavoured pattern language.
+//!
+//! The supported query subset ([`cypher`]):
+//!
+//! ```text
+//! MATCH (n:Label {prop: lit, …}) [WHERE n.prop op lit [AND …]] RETURN n [LIMIT k]
+//! MATCH (n:Label {…})-[:TYPE]->(m) RETURN m [LIMIT k]
+//! MATCH (n {…})-[:TYPE*1..3]->(m) RETURN m        // variable-length paths
+//! MATCH (n {…})-[:TYPE]-(m) RETURN m              // undirected
+//! ```
+//!
+//! ```
+//! use quepa_graphstore::{GraphDb, PropertyMap};
+//! use quepa_pdm::Value;
+//!
+//! let mut g = GraphDb::new("similar-items");
+//! g.add_node("s1", "Song", [("title", Value::str("Apart"))]).unwrap();
+//! g.add_node("s2", "Song", [("title", Value::str("A Letter to Elise"))]).unwrap();
+//! g.add_edge("s1", "s2", "SIMILAR").unwrap();
+//! let hits = g.query("MATCH (n:Song {title: 'Apart'})-[:SIMILAR]->(m) RETURN m").unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].id, "s2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cypher;
+pub mod graph;
+
+pub use cypher::{parse_query, MatchQuery};
+pub use graph::{GraphDb, GraphError, Node, PropertyMap, Result};

@@ -1,0 +1,96 @@
+//! Property tests: the graph store's BFS against a naive reference.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use quepa_graphstore::GraphDb;
+use quepa_pdm::Value;
+
+fn build(n: usize, edges: &[(u8, u8)]) -> GraphDb {
+    let mut g = GraphDb::new("g");
+    for i in 0..n {
+        g.add_node(&format!("n{i}"), "Node", [("seq", Value::Int(i as i64))]).unwrap();
+    }
+    for &(a, b) in edges {
+        g.add_edge(&format!("n{}", a as usize % n), &format!("n{}", b as usize % n), "E")
+            .unwrap();
+    }
+    g
+}
+
+/// Naive reference: BFS by repeated neighbor expansion.
+fn naive_reachable(
+    edges: &[(usize, usize)],
+    start: usize,
+    min: usize,
+    max: usize,
+    undirected: bool,
+) -> HashSet<usize> {
+    let mut seen = HashSet::from([start]);
+    let mut frontier = vec![start];
+    let mut out = HashSet::new();
+    for depth in 1..=max {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &(a, b) in edges {
+                let hops: Vec<usize> = if undirected {
+                    [(a, b), (b, a)].iter().filter(|&&(x, _)| x == u).map(|&(_, y)| y).collect()
+                } else if a == u {
+                    vec![b]
+                } else {
+                    vec![]
+                };
+                for v in hops {
+                    if seen.insert(v) {
+                        next.push(v);
+                        if depth >= min {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn reachable_matches_reference(
+        edges in prop::collection::vec((0u8..10, 0u8..10), 0..30),
+        start in 0u8..10,
+        min in 1usize..3,
+        extra in 0usize..3,
+        undirected in any::<bool>(),
+    ) {
+        let n = 10usize;
+        let max = min + extra;
+        let g = build(n, &edges);
+        let norm_edges: Vec<(usize, usize)> =
+            edges.iter().map(|&(a, b)| (a as usize % n, b as usize % n)).collect();
+        let start = start as usize % n;
+        let got: HashSet<usize> = g
+            .reachable(&format!("n{start}"), Some("E"), min, max, undirected)
+            .unwrap()
+            .into_iter()
+            .map(|node| node.properties["seq"].as_int().unwrap() as usize)
+            .collect();
+        let want = naive_reachable(&norm_edges, start, min, max, undirected);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Cypher `RETURN n` with a seq predicate matches manual filtering.
+    #[test]
+    fn query_matches_filter(
+        edges in prop::collection::vec((0u8..10, 0u8..10), 0..15),
+        threshold in 0i64..10,
+    ) {
+        let g = build(10, &edges);
+        let got = g
+            .query(&format!("MATCH (n:Node) WHERE n.seq < {threshold} RETURN n"))
+            .unwrap()
+            .len();
+        prop_assert_eq!(got, threshold.max(0) as usize);
+    }
+}

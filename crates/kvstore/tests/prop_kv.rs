@@ -1,0 +1,69 @@
+//! Property tests for the key-value store.
+
+use proptest::prelude::*;
+use quepa_kvstore::{KvStore, Reply};
+use std::collections::BTreeMap;
+
+proptest! {
+    /// The store behaves like a BTreeMap under arbitrary set/delete
+    /// interleavings.
+    #[test]
+    fn model_check(ops in prop::collection::vec((0u8..20, any::<bool>(), 0u32..100), 1..60)) {
+        let mut kv = KvStore::new("m");
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        for (k, is_set, v) in ops {
+            let key = format!("key{k}");
+            if is_set {
+                let val = format!("v{v}");
+                prop_assert_eq!(kv.set(&key, &val), model.insert(key.clone(), val));
+            } else {
+                prop_assert_eq!(kv.delete(&key), model.remove(&key).is_some());
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(kv.get(k), Some(v.as_str()));
+        }
+    }
+
+    /// SCAN prefix returns exactly the model's range, in order.
+    #[test]
+    fn scan_matches_model(
+        keys in prop::collection::btree_set("[a-c]{1,5}", 1..30),
+        prefix in "[a-c]{0,3}",
+        count in prop::option::of(0usize..40),
+    ) {
+        let mut kv = KvStore::new("m");
+        for k in &keys {
+            kv.set(k, "v");
+        }
+        let got: Vec<String> =
+            kv.scan_prefix(&prefix, count).into_iter().map(|(k, _)| k).collect();
+        let mut want: Vec<String> =
+            keys.iter().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        if let Some(n) = count {
+            want.truncate(n);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// The command language agrees with the typed API.
+    #[test]
+    fn commands_agree_with_api(keys in prop::collection::btree_set("[a-b]{1,4}", 1..15)) {
+        let mut kv = KvStore::new("m");
+        for k in &keys {
+            kv.execute(&format!("SET {k} val")).unwrap();
+        }
+        prop_assert_eq!(kv.execute("DBSIZE").unwrap(), Reply::Int(keys.len() as i64));
+        for k in &keys {
+            prop_assert_eq!(
+                kv.execute(&format!("GET {k}")).unwrap(),
+                Reply::Value(Some("val".into()))
+            );
+        }
+        let all: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let Reply::Pairs(pairs) = kv.execute(&format!("MGET {}", all.join(" "))).unwrap()
+        else { panic!() };
+        prop_assert_eq!(pairs.len(), keys.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! Unsupervised token blocking with meta-blocking pruning (the BLAST role).
+//!
+//! Objects are assigned to blocks keyed by the tokens of their string
+//! values. Candidate pairs are objects sharing at least
+//! [`BlockingConfig::min_common_blocks`] blocks, restricted to pairs from
+//! *different databases* (the Collector links across stores; local
+//! deduplication "remains a local responsibility", §III-D). Oversized
+//! blocks — stop-word-like tokens that would generate quadratic
+//! candidates with no discriminative power — are pruned, the core
+//! meta-blocking idea.
+
+use std::collections::HashMap;
+
+use quepa_pdm::{DataObject, Value};
+
+use crate::comparators::tokens;
+
+/// Blocking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingConfig {
+    /// Blocks larger than this are discarded as non-discriminative.
+    pub max_block_size: usize,
+    /// Candidate pairs must co-occur in at least this many blocks.
+    pub min_common_blocks: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig { max_block_size: 64, min_common_blocks: 1 }
+    }
+}
+
+/// The result of blocking: candidate pair indices into the input slice.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePairs {
+    /// `(i, j)` with `i < j`, deduplicated and sorted.
+    pub pairs: Vec<(usize, usize)>,
+    /// Number of blocks kept after pruning.
+    pub blocks_kept: usize,
+    /// Number of blocks pruned for exceeding the size cap.
+    pub blocks_pruned: usize,
+}
+
+/// Extracts every string token of an object's value (recursively) plus the
+/// tokens of scalar renderings of numbers — the blocking key material.
+fn object_tokens(value: &Value, out: &mut Vec<String>) {
+    match value {
+        Value::Str(s) => out.extend(tokens(s)),
+        Value::Int(i) => out.push(i.to_string()),
+        Value::Float(f) => out.push(format!("{f}")),
+        Value::Array(items) => {
+            for v in items {
+                object_tokens(v, out);
+            }
+        }
+        Value::Object(fields) => {
+            for v in fields.values() {
+                object_tokens(v, out);
+            }
+        }
+        Value::Bool(_) | Value::Null => {}
+    }
+}
+
+/// Runs token blocking over a set of objects.
+pub fn block(objects: &[DataObject], config: BlockingConfig) -> CandidatePairs {
+    // token → object indices (deduplicated per object).
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, obj) in objects.iter().enumerate() {
+        let mut toks = Vec::new();
+        object_tokens(obj.value(), &mut toks);
+        toks.sort();
+        toks.dedup();
+        for t in toks {
+            blocks.entry(t).or_default().push(i);
+        }
+    }
+
+    let mut result = CandidatePairs::default();
+    let mut co_occurrence: HashMap<(usize, usize), usize> = HashMap::new();
+    for (_, members) in blocks {
+        if members.len() > config.max_block_size || members.len() < 2 {
+            if members.len() > config.max_block_size {
+                result.blocks_pruned += 1;
+            }
+            continue;
+        }
+        result.blocks_kept += 1;
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                // Only cross-database pairs are linkage candidates.
+                if objects[i].key().database() == objects[j].key().database() {
+                    continue;
+                }
+                let pair = if i < j { (i, j) } else { (j, i) };
+                *co_occurrence.entry(pair).or_insert(0) += 1;
+            }
+        }
+    }
+    result.pairs = co_occurrence
+        .into_iter()
+        .filter(|&(_, n)| n >= config.min_common_blocks)
+        .map(|(p, _)| p)
+        .collect();
+    result.pairs.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::GlobalKey;
+
+    fn obj(key: &str, text: &str) -> DataObject {
+        DataObject::new(
+            key.parse::<GlobalKey>().unwrap(),
+            Value::object([("name", Value::str(text))]),
+        )
+    }
+
+    #[test]
+    fn shared_tokens_produce_candidates() {
+        let objects = [
+            obj("a.t.1", "The Cure Wish"),
+            obj("b.t.1", "Wish (album) by The Cure"),
+            obj("b.t.2", "Completely unrelated"),
+        ];
+        let r = block(&objects, BlockingConfig::default());
+        assert_eq!(r.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn same_database_pairs_excluded() {
+        let objects = [obj("a.t.1", "wish"), obj("a.t.2", "wish")];
+        let r = block(&objects, BlockingConfig::default());
+        assert!(r.pairs.is_empty(), "dedup is a local responsibility");
+    }
+
+    #[test]
+    fn oversized_blocks_pruned() {
+        // 20 objects all sharing the token "the": block pruned, no pairs.
+        let objects: Vec<DataObject> = (0..20)
+            .map(|i| obj(&format!("db{}.t.{i}", i % 2), "the"))
+            .collect();
+        let cfg = BlockingConfig { max_block_size: 10, min_common_blocks: 1 };
+        let r = block(&objects, cfg);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.blocks_pruned, 1);
+    }
+
+    #[test]
+    fn min_common_blocks_filters() {
+        let objects = [
+            obj("a.t.1", "cure wish"),
+            obj("b.t.1", "cure wish"),    // 2 shared tokens
+            obj("b.t.2", "cure lullaby"), // 1 shared token with 0
+        ];
+        let strict = BlockingConfig { max_block_size: 64, min_common_blocks: 2 };
+        let r = block(&objects, strict);
+        assert_eq!(r.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn numeric_values_block_too() {
+        let a = DataObject::new(
+            "a.t.1".parse().unwrap(),
+            Value::object([("year", Value::Int(1992))]),
+        );
+        let b = DataObject::new(
+            "b.t.1".parse().unwrap(),
+            Value::object([("released", Value::Int(1992))]),
+        );
+        let r = block(&[a, b], BlockingConfig::default());
+        assert_eq!(r.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn nested_values_are_tokenized() {
+        let a = DataObject::new(
+            "a.t.1".parse().unwrap(),
+            Value::object([(
+                "meta",
+                Value::object([("artist", Value::str("Radiohead"))]),
+            )]),
+        );
+        let b = DataObject::new(
+            "b.t.1".parse().unwrap(),
+            Value::array([Value::str("radiohead")]),
+        );
+        let r = block(&[a, b], BlockingConfig::default());
+        assert_eq!(r.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = block(&[], BlockingConfig::default());
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.blocks_kept, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The end-to-end Collector pipeline: polystore → blocking → pairwise
+//! matching → dedup rule → A' index.
+
+use std::collections::HashMap;
+
+use quepa_aindex::AIndex;
+use quepa_pdm::{DataObject, GlobalKey, Probability};
+use quepa_polystore::{Polystore, Result};
+
+use crate::blocking::{block, BlockingConfig};
+use crate::matching::{MatchClass, MatcherConfig, PairwiseMatcher};
+
+/// Collector configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectorConfig {
+    /// Blocking parameters.
+    pub blocking: BlockingConfig,
+    /// Matcher weights and thresholds.
+    pub matcher: MatcherConfig,
+}
+
+/// What a collector run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorReport {
+    /// Objects scanned out of the polystore.
+    pub objects_scanned: usize,
+    /// Candidate pairs produced by blocking.
+    pub candidate_pairs: usize,
+    /// Identity p-relations inserted.
+    pub identities: usize,
+    /// Matching p-relations inserted.
+    pub matchings: usize,
+    /// Identity candidates suppressed by the dedup rule ("two data objects
+    /// belonging to the same dataset cannot participate in an identity
+    /// p-relation with the same object", §III-D).
+    pub suppressed: usize,
+}
+
+/// The Collector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Collector {
+    config: CollectorConfig,
+}
+
+impl Collector {
+    /// Creates a collector.
+    pub fn new(config: CollectorConfig) -> Self {
+        Collector { config }
+    }
+
+    /// Scans the whole polystore and builds a fresh A' index.
+    pub fn build_index(&self, polystore: &Polystore) -> Result<(AIndex, CollectorReport)> {
+        let mut objects: Vec<DataObject> = Vec::new();
+        for db in polystore.database_names() {
+            let connector = polystore.connector(db)?;
+            for coll in connector.collections() {
+                objects.extend(connector.scan_collection(&coll)?);
+            }
+        }
+        Ok(self.link(&objects))
+    }
+
+    /// Runs the linkage pipeline over pre-fetched objects.
+    pub fn link(&self, objects: &[DataObject]) -> (AIndex, CollectorReport) {
+        let mut report =
+            CollectorReport { objects_scanned: objects.len(), ..Default::default() };
+        let candidates = block(objects, self.config.blocking);
+        report.candidate_pairs = candidates.pairs.len();
+
+        let matcher = PairwiseMatcher::new(self.config.matcher);
+        let mut identity_pairs: Vec<(usize, usize, Probability)> = Vec::new();
+        let mut matching_pairs: Vec<(usize, usize, Probability)> = Vec::new();
+        for &(i, j) in &candidates.pairs {
+            match matcher.classify(&objects[i], &objects[j]) {
+                MatchClass::Identity(p) => identity_pairs.push((i, j, p)),
+                MatchClass::Matching(p) => matching_pairs.push((i, j, p)),
+                MatchClass::None => {}
+            }
+        }
+
+        // Dedup rule: for each (target object, other database) keep only
+        // the highest-probability identity. "Deduplication remains a local
+        // responsibility": two objects of one database both claiming
+        // identity with the same foreign object means at least one claim is
+        // wrong.
+        identity_pairs.sort_by_key(|&(_, _, p)| std::cmp::Reverse(p));
+        let mut claimed: HashMap<(GlobalKey, String), usize> = HashMap::new();
+        let mut kept_identities: Vec<(usize, usize, Probability)> = Vec::new();
+        for (i, j, p) in identity_pairs {
+            let key_i = objects[i].key().clone();
+            let key_j = objects[j].key().clone();
+            let slot_a = (key_i.clone(), key_j.database().to_string());
+            let slot_b = (key_j.clone(), key_i.database().to_string());
+            if claimed.contains_key(&slot_a) || claimed.contains_key(&slot_b) {
+                report.suppressed += 1;
+                continue;
+            }
+            claimed.insert(slot_a, j);
+            claimed.insert(slot_b, i);
+            kept_identities.push((i, j, p));
+        }
+
+        let mut index = AIndex::new();
+        for (i, j, p) in kept_identities {
+            index.insert_identity(objects[i].key(), objects[j].key(), p);
+            report.identities += 1;
+        }
+        for (i, j, p) in matching_pairs {
+            index.insert_matching(objects[i].key(), objects[j].key(), p);
+            report.matchings += 1;
+        }
+        (index, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::{text, RelationKind};
+
+    fn obj(key: &str, json: &str) -> DataObject {
+        DataObject::new(key.parse().unwrap(), text::parse(json).unwrap())
+    }
+
+    fn polyphony_objects() -> Vec<DataObject> {
+        vec![
+            // The album in three stores (the running example).
+            obj("catalogue.albums.d1", r#"{"title":"Wish","artist":"The Cure","year":1992}"#),
+            obj("transactions.inventory.a32", r#"{"artist":"The Cure","name":"Wish","year":1992}"#),
+            obj("similar.album.g7", r#"{"title":"Wish","artist":"The Cure","year":1992}"#),
+            // A related but distinct object.
+            obj(
+                "catalogue.albums.d2",
+                r#"{"title":"Disintegration","artist":"The Cure","year":1989}"#,
+            ),
+            // Noise.
+            obj("transactions.sales.s8", r#"{"first":"John","last":"Doe","total":20.0}"#),
+        ]
+    }
+
+    #[test]
+    fn builds_expected_relations() {
+        let collector = Collector::default();
+        let (index, report) = collector.link(&polyphony_objects());
+        assert_eq!(report.objects_scanned, 5);
+        assert!(report.candidate_pairs >= 3);
+        // The three copies of Wish are pairwise identical → identities.
+        let d1: GlobalKey = "catalogue.albums.d1".parse().unwrap();
+        let a32: GlobalKey = "transactions.inventory.a32".parse().unwrap();
+        let g7: GlobalKey = "similar.album.g7".parse().unwrap();
+        assert!(index.edge(&d1, &a32, RelationKind::Identity).is_some());
+        assert!(index.edge(&d1, &g7, RelationKind::Identity).is_some());
+        // Disintegration shares artist tokens with Wish copies in other
+        // dbs — those must not be identities.
+        let d2: GlobalKey = "catalogue.albums.d2".parse().unwrap();
+        assert!(index.edge(&d2, &a32, RelationKind::Identity).is_none());
+        assert!(index.check_consistency().is_none());
+    }
+
+    #[test]
+    fn dedup_rule_keeps_best_identity() {
+        // Two near-identical objects in database `a` both matching one
+        // object in database `b`: only one identity may survive.
+        let objects = vec![
+            obj("a.t.1", r#"{"title":"Wish","artist":"The Cure"}"#),
+            obj("a.t.2", r#"{"title":"Wish","artist":"The Cure"}"#),
+            obj("b.t.1", r#"{"title":"Wish","artist":"The Cure"}"#),
+        ];
+        let (index, report) = Collector::default().link(&objects);
+        assert_eq!(report.identities, 1);
+        assert_eq!(report.suppressed, 1);
+        let b1: GlobalKey = "b.t.1".parse().unwrap();
+        let identity_count = index
+            .neighbors(&b1)
+            .iter()
+            .filter(|(_, k, _)| *k == RelationKind::Identity)
+            .count();
+        assert_eq!(identity_count, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (index, report) = Collector::default().link(&[]);
+        assert_eq!(index.node_count(), 0);
+        assert_eq!(report, CollectorReport::default());
+    }
+
+    #[test]
+    fn full_polystore_scan() {
+        use quepa_docstore::DocumentDb;
+        use quepa_polystore::{DocumentConnector, LatencyModel, RelationalConnector};
+        use quepa_relstore::engine::Database;
+        use std::sync::Arc;
+
+        let mut rel = Database::new("transactions");
+        rel.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
+        rel.execute("INSERT INTO inventory VALUES ('a32', 'The Cure', 'Wish')").unwrap();
+        let mut doc = DocumentDb::new("catalogue");
+        doc.insert(
+            "albums",
+            text::parse(r#"{"_id":"d1","title":"Wish","artist":"The Cure"}"#).unwrap(),
+        )
+        .unwrap();
+        let mut p = Polystore::new();
+        p.register(Arc::new(RelationalConnector::new(rel, LatencyModel::FREE)));
+        p.register(Arc::new(DocumentConnector::new(doc, LatencyModel::FREE)));
+
+        let (index, report) = Collector::default().build_index(&p).unwrap();
+        assert_eq!(report.objects_scanned, 2);
+        assert!(index.node_count() >= 2);
+        let d1: GlobalKey = "catalogue.albums.d1".parse().unwrap();
+        assert!(!index.neighbors(&d1).is_empty());
+    }
+}

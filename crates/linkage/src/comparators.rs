@@ -1,0 +1,199 @@
+//! Similarity measures over strings and numbers, all returning values in
+//! `[0, 1]` with 1 meaning identical.
+
+/// Levenshtein edit distance, O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (j, cb) in long.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, ca) in short.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[i + 1] = (prev[i + 1] + 1).min(cur[i] + 1).min(prev[i] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - distance / max_len`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched pairs out of relative order.
+    let mut transpositions = 0usize;
+    let matched_b: Vec<usize> = a_matched.iter().map(|&(_, j)| j).collect();
+    for w in matched_b.windows(2) {
+        if w[0] > w[1] {
+            transpositions += 1;
+        }
+    }
+    // The classic formula counts half-transpositions differently; the
+    // windows() count equals the number of adjacent inversions, which for
+    // Jaro's purposes is the standard t.
+    let m = matches as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 chars of common prefix.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Token-set Jaccard similarity (tokens = lowercased alphanumeric runs).
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.union(&tb).count();
+    inter as f64 / union as f64
+}
+
+/// Similarity of two numbers: the ratio of the smaller magnitude to the
+/// larger (1 when equal, → 0 as they diverge; sign mismatches score 0).
+pub fn numeric_similarity(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    if a == 0.0 || b == 0.0 || a.signum() != b.signum() {
+        return 0.0;
+    }
+    let (lo, hi) = if a.abs() <= b.abs() { (a.abs(), b.abs()) } else { (b.abs(), a.abs()) };
+    lo / hi
+}
+
+/// Lowercased alphanumeric tokens of a string.
+pub fn tokens(s: &str) -> std::collections::BTreeSet<String> {
+    s.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("wish", "wish"), 0);
+        assert_eq!(levenshtein("café", "cafe"), 1, "unicode chars count as one");
+    }
+
+    #[test]
+    fn levenshtein_similarity_range() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("The Cure", "The Curee");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_basics() {
+        assert_eq!(jaro_winkler("wish", "wish"), 1.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("abc", ""), 0.0);
+        // Winkler prefix boost: shared prefix scores higher.
+        let with_prefix = jaro_winkler("martha", "marhta");
+        let without = jaro("martha", "marhta");
+        assert!(with_prefix >= without);
+        assert!(with_prefix > 0.9);
+    }
+
+    #[test]
+    fn jaro_winkler_symmetry() {
+        for (a, b) in [("dixon", "dicksonx"), ("wish", "wash"), ("cure", "curse")] {
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_tokens() {
+        assert_eq!(jaccard("the cure wish", "wish the cure"), 1.0);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("abc", ""), 0.0);
+        assert!((jaccard("the cure", "the smiths") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard("Wish!", "wish"), 1.0, "punctuation and case ignored");
+    }
+
+    #[test]
+    fn numeric() {
+        assert_eq!(numeric_similarity(5.0, 5.0), 1.0);
+        assert_eq!(numeric_similarity(5.0, 10.0), 0.5);
+        assert_eq!(numeric_similarity(10.0, 5.0), 0.5);
+        assert_eq!(numeric_similarity(-3.0, 3.0), 0.0);
+        assert_eq!(numeric_similarity(0.0, 3.0), 0.0);
+        assert_eq!(numeric_similarity(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn all_in_unit_range() {
+        let samples =
+            ["", "a", "wish", "the cure", "Disintegration 1989", "k1:cure:wish", "éàü"];
+        for a in samples {
+            for b in samples {
+                for f in [levenshtein_similarity, jaro_winkler, jaccard] {
+                    let s = f(a, b);
+                    assert!((0.0..=1.0).contains(&s), "{a:?} {b:?} -> {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! A small genetic algorithm tuning the matcher's comparator weights
+//! against labelled pairs — Duke's "genetic algorithm that we have used for
+//! tuning the configuration" (paper §III-D).
+
+use quepa_pdm::DataObject;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matching::{MatcherConfig, PairwiseMatcher};
+
+/// A labelled training pair for tuning.
+#[derive(Debug, Clone)]
+pub struct LabelledPair {
+    /// First object.
+    pub a: DataObject,
+    /// Second object.
+    pub b: DataObject,
+    /// True when the two objects denote the same entity.
+    pub is_match: bool,
+}
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed (the tuner is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig { population: 24, generations: 30, mutation_rate: 0.2, seed: 42 }
+    }
+}
+
+/// F1 of a matcher configuration against the labelled pairs, treating
+/// "score ≥ identity threshold" as a positive prediction.
+pub fn f1_score(config: &MatcherConfig, pairs: &[LabelledPair]) -> f64 {
+    let m = PairwiseMatcher::new(*config);
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for p in pairs {
+        let predicted = m.score(&p.a, &p.b) >= config.identity_threshold;
+        match (predicted, p.is_match) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Tunes the four comparator weights to maximize F1 on `pairs`, starting
+/// from `base` (whose thresholds are kept). Returns the best configuration
+/// found and its F1.
+pub fn tune(base: &MatcherConfig, pairs: &[LabelledPair], ga: GaConfig) -> (MatcherConfig, f64) {
+    let mut rng = StdRng::seed_from_u64(ga.seed);
+    let mut population: Vec<[f64; 4]> = Vec::with_capacity(ga.population);
+    population.push(base.weights());
+    while population.len() < ga.population {
+        population.push(std::array::from_fn(|_| rng.gen_range(0.0..2.0)));
+    }
+
+    let fitness =
+        |w: &[f64; 4], pairs: &[LabelledPair]| f1_score(&base.with_weights(*w), pairs);
+
+    let mut scored: Vec<([f64; 4], f64)> =
+        population.into_iter().map(|w| (w, fitness(&w, pairs))).collect();
+    for _ in 0..ga.generations {
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let elite = ga.population / 4;
+        let mut next: Vec<[f64; 4]> = scored.iter().take(elite.max(1)).map(|(w, _)| *w).collect();
+        while next.len() < ga.population {
+            // Tournament selection of two parents from the top half.
+            let half = (scored.len() / 2).max(1);
+            let p1 = scored[rng.gen_range(0..half)].0;
+            let p2 = scored[rng.gen_range(0..half)].0;
+            // Uniform crossover + Gaussian-ish mutation.
+            let mut child: [f64; 4] =
+                std::array::from_fn(|i| if rng.gen_bool(0.5) { p1[i] } else { p2[i] });
+            for g in &mut child {
+                if rng.gen_bool(ga.mutation_rate) {
+                    *g = (*g + rng.gen_range(-0.5..0.5)).clamp(0.0, 2.0);
+                }
+            }
+            next.push(child);
+        }
+        scored = next.into_iter().map(|w| (w, fitness(&w, pairs))).collect();
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let (best_w, best_f1) = scored[0];
+    (base.with_weights(best_w), best_f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::text;
+
+    fn obj(key: &str, json: &str) -> DataObject {
+        DataObject::new(key.parse().unwrap(), text::parse(json).unwrap())
+    }
+
+    /// Pairs where the *numeric* comparator is the discriminating signal:
+    /// texts are near-identical across both classes, numbers differ.
+    fn numeric_sensitive_pairs() -> Vec<LabelledPair> {
+        let mut pairs = Vec::new();
+        for i in 0..10 {
+            pairs.push(LabelledPair {
+                a: obj(&format!("a.t.p{i}"), &format!(r#"{{"t":"item record","n":{i}}}"#)),
+                b: obj(&format!("b.t.p{i}"), &format!(r#"{{"t":"item record","n":{i}}}"#)),
+                is_match: true,
+            });
+            pairs.push(LabelledPair {
+                a: obj(&format!("a.t.n{i}"), &format!(r#"{{"t":"item record","n":{i}}}"#)),
+                b: obj(
+                    &format!("b.t.n{i}"),
+                    &format!(r#"{{"t":"item record","n":{}}}"#, (i + 1) * 1000),
+                ),
+                is_match: false,
+            });
+        }
+        pairs
+    }
+
+    #[test]
+    fn f1_of_perfect_and_useless() {
+        let pairs = numeric_sensitive_pairs();
+        // Numeric-only config separates the classes perfectly.
+        let numeric_only = MatcherConfig {
+            w_levenshtein: 0.0,
+            w_jaro_winkler: 0.0,
+            w_jaccard: 0.0,
+            w_numeric: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(f1_score(&numeric_only, &pairs), 1.0);
+        // Text-only config calls everything a match (all texts equal) —
+        // precision 0.5, recall 1.0, F1 = 2/3.
+        let text_only = MatcherConfig { w_numeric: 0.0, ..Default::default() };
+        let f1 = f1_score(&text_only, &pairs);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-9, "{f1}");
+    }
+
+    #[test]
+    fn tuner_improves_f1() {
+        let pairs = numeric_sensitive_pairs();
+        // Start from a text-dominated config the tuner must escape.
+        let base = MatcherConfig {
+            w_levenshtein: 2.0,
+            w_jaro_winkler: 2.0,
+            w_jaccard: 2.0,
+            w_numeric: 0.0,
+            ..Default::default()
+        };
+        let before = f1_score(&base, &pairs);
+        let (tuned, after) = tune(&base, &pairs, GaConfig::default());
+        assert!(after > before, "tuning must improve F1: {before} → {after}");
+        assert!(after > 0.9, "tuned F1 {after}");
+        // The tuned genome leans on the numeric comparator.
+        assert!(tuned.w_numeric > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pairs = numeric_sensitive_pairs();
+        let base = MatcherConfig::default();
+        let ga = GaConfig { seed: 7, ..Default::default() };
+        let (c1, f1a) = tune(&base, &pairs, ga);
+        let (c2, f1b) = tune(&base, &pairs, ga);
+        assert_eq!(c1, c2);
+        assert_eq!(f1a, f1b);
+    }
+
+    #[test]
+    fn thresholds_preserved_by_tuning() {
+        let pairs = numeric_sensitive_pairs();
+        let base = MatcherConfig {
+            identity_threshold: 0.93,
+            matching_threshold: 0.55,
+            ..Default::default()
+        };
+        let (tuned, _) = tune(&base, &pairs, GaConfig { generations: 2, ..Default::default() });
+        assert_eq!(tuned.identity_threshold, 0.93);
+        assert_eq!(tuned.matching_threshold, 0.55);
+    }
+
+    #[test]
+    fn empty_pairs_zero_f1() {
+        assert_eq!(f1_score(&MatcherConfig::default(), &[]), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # quepa-linkage — the Collector
+//!
+//! The Collector (paper §III-D) "discovers, gathers and stores p-relations
+//! in the A' index". The paper uses two off-the-shelf tools as black boxes:
+//! **BLAST** for unsupervised blocking and **Duke** for pairwise matching
+//! (with a genetic algorithm tuning its configuration). Neither is
+//! available here, so this crate re-implements the same two-phase record
+//! linkage pipeline:
+//!
+//! * [`comparators`] — the string/numeric similarity measures Duke ships
+//!   (Levenshtein, Jaro-Winkler, token Jaccard, numeric ratio, exact);
+//! * [`blocking`] — token blocking over object values with meta-blocking
+//!   style pruning of low-information (oversized) blocks, requiring no
+//!   pre-existing knowledge of the sources, like BLAST;
+//! * [`matching`] — weighted pairwise scoring of candidate pairs, and the
+//!   classification of scores into p-relations using the paper's
+//!   thresholds (identity ≥ 0.9, matching in \[0.6, 0.9));
+//! * [`ga`] — a small genetic algorithm tuning comparator weights against
+//!   labelled pairs (Duke's tuning loop);
+//! * [`collector`] — the end-to-end pipeline: polystore → blocking →
+//!   matching → dedup rule ("two data objects belonging to the same
+//!   dataset cannot participate in an identity p-relation with the same
+//!   object of a different database") → A' index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod collector;
+pub mod comparators;
+pub mod ga;
+pub mod matching;
+
+pub use blocking::{BlockingConfig, CandidatePairs};
+pub use collector::{Collector, CollectorConfig, CollectorReport};
+pub use comparators::{jaccard, jaro_winkler, levenshtein_similarity, numeric_similarity};
+pub use ga::{GaConfig, LabelledPair};
+pub use matching::{MatchClass, MatcherConfig, PairwiseMatcher};

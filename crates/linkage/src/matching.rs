@@ -1,0 +1,305 @@
+//! Pairwise matching (the Duke role): weighted comparator aggregation over
+//! candidate pairs and classification into p-relations.
+
+use quepa_pdm::{DataObject, Probability, Value};
+
+use crate::comparators::{jaccard, jaro_winkler, levenshtein_similarity, numeric_similarity};
+
+/// Comparator weights; the aggregate score is the weighted mean.
+/// [`crate::ga`] tunes these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatcherConfig {
+    /// Weight of normalized Levenshtein similarity.
+    pub w_levenshtein: f64,
+    /// Weight of Jaro-Winkler similarity.
+    pub w_jaro_winkler: f64,
+    /// Weight of token Jaccard similarity.
+    pub w_jaccard: f64,
+    /// Weight of numeric similarity over numeric leaves.
+    pub w_numeric: f64,
+    /// Scores at or above this are identity p-relations (paper: 0.9).
+    pub identity_threshold: f64,
+    /// Scores at or above this (and below identity) are matching
+    /// p-relations (paper: 0.6).
+    pub matching_threshold: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            w_levenshtein: 1.0,
+            w_jaro_winkler: 1.0,
+            w_jaccard: 1.0,
+            w_numeric: 0.5,
+            identity_threshold: 0.9,
+            matching_threshold: 0.6,
+        }
+    }
+}
+
+impl MatcherConfig {
+    /// The comparator weights as a vector (the GA's genome).
+    pub fn weights(&self) -> [f64; 4] {
+        [self.w_levenshtein, self.w_jaro_winkler, self.w_jaccard, self.w_numeric]
+    }
+
+    /// Rebuilds a config from a genome, keeping the thresholds.
+    pub fn with_weights(&self, w: [f64; 4]) -> Self {
+        MatcherConfig {
+            w_levenshtein: w[0],
+            w_jaro_winkler: w[1],
+            w_jaccard: w[2],
+            w_numeric: w[3],
+            ..*self
+        }
+    }
+}
+
+/// The classification of a pair score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchClass {
+    /// Same real-world entity (score ≥ identity threshold).
+    Identity(Probability),
+    /// Shares information (matching ≤ score < identity).
+    Matching(Probability),
+    /// Below both thresholds: no p-relation.
+    None,
+}
+
+/// The pairwise matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairwiseMatcher {
+    config: MatcherConfig,
+}
+
+impl PairwiseMatcher {
+    /// Creates a matcher.
+    pub fn new(config: MatcherConfig) -> Self {
+        PairwiseMatcher { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// Scores a pair of objects in `[0, 1]`.
+    ///
+    /// String leaves of both objects are concatenated (per object) into a
+    /// profile string compared with the three string comparators; numeric
+    /// leaves are greedily aligned and compared with the numeric
+    /// comparator. The aggregate is the weighted mean of the applicable
+    /// comparators.
+    pub fn score(&self, a: &DataObject, b: &DataObject) -> f64 {
+        let pa = profile(a.value());
+        let pb = profile(b.value());
+        let mut total_weight = 0.0;
+        let mut total = 0.0;
+        let c = &self.config;
+        if !pa.text.is_empty() || !pb.text.is_empty() {
+            for (w, s) in [
+                (c.w_levenshtein, levenshtein_similarity(&pa.text, &pb.text)),
+                (c.w_jaro_winkler, jaro_winkler(&pa.text, &pb.text)),
+                (c.w_jaccard, jaccard(&pa.text, &pb.text)),
+            ] {
+                if w > 0.0 {
+                    total += w * s;
+                    total_weight += w;
+                }
+            }
+        }
+        if c.w_numeric > 0.0 && !pa.numbers.is_empty() && !pb.numbers.is_empty() {
+            total += c.w_numeric * align_numbers(&pa.numbers, &pb.numbers);
+            total_weight += c.w_numeric;
+        }
+        if total_weight == 0.0 {
+            0.0
+        } else {
+            total / total_weight
+        }
+    }
+
+    /// Scores and classifies a pair. The score itself becomes the
+    /// p-relation's probability (clamped into `(0, 1]`).
+    pub fn classify(&self, a: &DataObject, b: &DataObject) -> MatchClass {
+        let s = self.score(a, b);
+        let p = Probability::new(s.clamp(f64::MIN_POSITIVE, 1.0)).expect("clamped");
+        if s >= self.config.identity_threshold {
+            MatchClass::Identity(p)
+        } else if s >= self.config.matching_threshold {
+            MatchClass::Matching(p)
+        } else {
+            MatchClass::None
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Profile {
+    text: String,
+    numbers: Vec<f64>,
+}
+
+/// Flattens an object into its comparable material: sorted string leaves
+/// joined with spaces, and the numeric leaves.
+fn profile(value: &Value) -> Profile {
+    fn walk(value: &Value, strings: &mut Vec<String>, numbers: &mut Vec<f64>) {
+        match value {
+            Value::Str(s) => strings.push(s.to_lowercase()),
+            Value::Int(i) => numbers.push(*i as f64),
+            Value::Float(f) => numbers.push(*f),
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, strings, numbers);
+                }
+            }
+            Value::Object(fields) => {
+                // Skip identifier/bookkeeping fields: keys are store-local
+                // artifacts, not content, and would deflate the similarity
+                // of objects that denote the same entity in different
+                // stores (each store mints its own keys).
+                for (k, v) in fields {
+                    if k != "_id" && k != "_label" && k != "id" {
+                        walk(v, strings, numbers);
+                    }
+                }
+            }
+            Value::Bool(_) | Value::Null => {}
+        }
+    }
+    let mut strings = Vec::new();
+    let mut numbers = Vec::new();
+    walk(value, &mut strings, &mut numbers);
+    strings.sort();
+    numbers.sort_by(f64::total_cmp);
+    Profile { text: strings.join(" "), numbers }
+}
+
+/// Greedy one-to-one alignment of two sorted numeric vectors; returns the
+/// mean similarity of the aligned prefix.
+fn align_numbers(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| numeric_similarity(x, y)).sum();
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::text;
+
+    fn obj(key: &str, json: &str) -> DataObject {
+        DataObject::new(key.parse().unwrap(), text::parse(json).unwrap())
+    }
+
+    #[test]
+    fn identical_content_scores_one() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"title":"Wish","year":1992}"#);
+        let b = obj("b.t.1", r#"{"name":"Wish","released":1992}"#);
+        // Same leaves under different field names — PDM matching is
+        // schema-agnostic.
+        assert!((m.score(&a, &b) - 1.0).abs() < 1e-9);
+        assert!(matches!(m.classify(&a, &b), MatchClass::Identity(_)));
+    }
+
+    #[test]
+    fn near_duplicates_are_identity() {
+        let m = PairwiseMatcher::default();
+        // Punctuation-level noise keeps token overlap: still an identity.
+        let a = obj("a.t.1", r#"{"title":"Wish","artist":"The Cure"}"#);
+        let b = obj("b.t.1", r#"{"title":"Wish!","artist":"The Cure"}"#);
+        match m.classify(&a, &b) {
+            MatchClass::Identity(p) => assert!(p.get() > 0.9),
+            other => panic!("expected identity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_level_typos_degrade_to_matching() {
+        let m = PairwiseMatcher::default();
+        // A diacritic changes a whole token, so Jaccard drops: the pair is
+        // still clearly related but no longer an identity.
+        let a = obj("a.t.1", r#"{"title":"Wish","artist":"The Cure"}"#);
+        let b = obj("b.t.1", r#"{"title":"Wish","artist":"The Curé"}"#);
+        assert!(matches!(m.classify(&a, &b), MatchClass::Matching(_)));
+    }
+
+    #[test]
+    fn related_content_is_matching() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"title":"Wish","artist":"The Cure"}"#);
+        let b = obj("b.t.1", r#"{"song":"Apart","artist":"The Cure","album":"Wish"}"#);
+        let s = m.score(&a, &b);
+        assert!(s < 0.9, "not the same entity: {s}");
+        assert!(s >= 0.4, "clearly related: {s}");
+    }
+
+    #[test]
+    fn unrelated_content_is_none() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"title":"Wish"}"#);
+        let b = obj("b.t.1", r#"{"sku":"XJ-42","warehouse":7}"#);
+        assert!(matches!(m.classify(&a, &b), MatchClass::None));
+    }
+
+    #[test]
+    fn numeric_only_objects() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"x":100}"#);
+        let b = obj("b.t.1", r#"{"x":100}"#);
+        let c = obj("b.t.2", r#"{"x":1}"#);
+        assert!(m.score(&a, &b) > m.score(&a, &c));
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"title":"Disintegration","year":1989}"#);
+        let b = obj("b.t.1", r#"{"name":"Disintegration (album)","rel":1989}"#);
+        assert!((m.score(&a, &b) - m.score(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_fields_ignored() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", r#"{"_id":"x9","_label":"Song","title":"Wish"}"#);
+        let b = obj("b.t.1", r#"{"_id":"totally-different","title":"Wish"}"#);
+        assert!((m.score(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weights_disable_comparators() {
+        let config = MatcherConfig {
+            w_levenshtein: 0.0,
+            w_jaro_winkler: 0.0,
+            w_jaccard: 0.0,
+            w_numeric: 1.0,
+            ..Default::default()
+        };
+        let m = PairwiseMatcher::new(config);
+        let a = obj("a.t.1", r#"{"t":"completely different text","n":10}"#);
+        let b = obj("b.t.1", r#"{"t":"nothing in common here","n":10}"#);
+        assert_eq!(m.score(&a, &b), 1.0, "only the numeric comparator counts");
+    }
+
+    #[test]
+    fn empty_objects_score_zero() {
+        let m = PairwiseMatcher::default();
+        let a = obj("a.t.1", "{}");
+        let b = obj("b.t.1", "{}");
+        assert_eq!(m.score(&a, &b), 0.0);
+        assert!(matches!(m.classify(&a, &b), MatchClass::None));
+    }
+
+    #[test]
+    fn genome_roundtrip() {
+        let c = MatcherConfig::default();
+        let w = c.weights();
+        let c2 = c.with_weights(w);
+        assert_eq!(c, c2);
+    }
+}

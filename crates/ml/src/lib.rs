@@ -1,0 +1,32 @@
+//! # quepa-ml — tree learners for the adaptive optimizer
+//!
+//! The paper's ADAPTIVE optimizer (§V) trains, with Weka:
+//!
+//! * `T1` — a **C4.5 decision tree** choosing the augmenter;
+//! * `T2`–`T4` — **REPTree regression trees** choosing `BATCH_SIZE`,
+//!   `THREADS_SIZE` and `CACHE_SIZE`.
+//!
+//! Weka is not available here, so this crate implements both learners from
+//! scratch:
+//!
+//! * [`c45::DecisionTree`] — gain-ratio splits, multiway on categorical
+//!   attributes, binary threshold splits on numeric attributes,
+//!   pessimistic-style pre-pruning via minimum leaf size and gain floor;
+//! * [`reptree::RegressionTree`] — variance-reduction splits and
+//!   reduced-error pruning against a held-out fraction of the training
+//!   data, exactly REPTree's recipe.
+//!
+//! [`dataset`] holds the shared feature/label representation and
+//! [`eval`] the train/test utilities the experiments use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c45;
+pub mod dataset;
+pub mod eval;
+pub mod reptree;
+
+pub use c45::DecisionTree;
+pub use dataset::{AttrKind, Dataset, DatasetBuilder, FeatureValue, Schema};
+pub use reptree::RegressionTree;

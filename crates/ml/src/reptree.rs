@@ -1,0 +1,465 @@
+//! A REPTree-style regression tree: variance-reduction splits with
+//! reduced-error pruning (REP) against a held-out fraction of the training
+//! data — the algorithm Weka's `REPTree` uses for the paper's `T2`–`T4`
+//! models.
+
+use crate::dataset::{AttrKind, Dataset, FeatureValue};
+
+/// Hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepTreeParams {
+    /// Do not split nodes with fewer rows than this.
+    pub min_leaf: usize,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Fraction of the data held out for reduced-error pruning
+    /// (0 disables pruning).
+    pub prune_fraction: f64,
+}
+
+impl Default for RepTreeParams {
+    fn default() -> Self {
+        RepTreeParams { min_leaf: 5, max_depth: 20, prune_fraction: 0.25 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf,
+    NumericSplit { attr: usize, threshold: f64, children: [usize; 2] },
+    CategoricalSplit { attr: usize, children: Vec<Option<usize>> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    /// Mean target at this node — the prediction if we stop here.
+    mean: f64,
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Trains a tree, holding out `prune_fraction` of the rows
+    /// (deterministically: every ⌈1/f⌉-th row) for reduced-error pruning.
+    pub fn fit(data: &Dataset, params: RepTreeParams) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut grow_rows = Vec::new();
+        let mut prune_rows = Vec::new();
+        if params.prune_fraction > 0.0 && data.len() >= 8 {
+            let every = (1.0 / params.prune_fraction).round().max(2.0) as usize;
+            for i in 0..data.len() {
+                if i % every == every - 1 {
+                    prune_rows.push(i);
+                } else {
+                    grow_rows.push(i);
+                }
+            }
+        } else {
+            grow_rows = (0..data.len()).collect();
+        }
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(data, &grow_rows, &params, 0);
+        if !prune_rows.is_empty() {
+            tree.reduced_error_prune(data, &prune_rows, 0);
+        }
+        tree
+    }
+
+    /// Trains with default parameters.
+    pub fn fit_default(data: &Dataset) -> Self {
+        Self::fit(data, RepTreeParams::default())
+    }
+
+    /// Predicts the target of a feature row.
+    pub fn predict(&self, row: &[FeatureValue]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            let node = &self.nodes[at];
+            match &node.kind {
+                NodeKind::Leaf => return node.mean,
+                NodeKind::NumericSplit { attr, threshold, children } => {
+                    at = if row[*attr].num() <= *threshold { children[0] } else { children[1] };
+                }
+                NodeKind::CategoricalSplit { attr, children } => {
+                    let cat = row[*attr].cat() as usize;
+                    match children.get(cat).copied().flatten() {
+                        Some(child) => at = child,
+                        None => return node.mean,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes reachable from the root (pruning orphans the
+    /// collapsed subtrees in the arena; those are not counted).
+    pub fn node_count(&self) -> usize {
+        self.walk_count().0
+    }
+
+    /// Number of reachable leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.walk_count().1
+    }
+
+    fn walk_count(&self) -> (usize, usize) {
+        fn rec(nodes: &[Node], at: usize, counts: &mut (usize, usize)) {
+            counts.0 += 1;
+            match &nodes[at].kind {
+                NodeKind::Leaf => counts.1 += 1,
+                NodeKind::NumericSplit { children, .. } => {
+                    for &c in children {
+                        rec(nodes, c, counts);
+                    }
+                }
+                NodeKind::CategoricalSplit { children, .. } => {
+                    for &c in children.iter().flatten() {
+                        rec(nodes, c, counts);
+                    }
+                }
+            }
+        }
+        let mut counts = (0, 0);
+        if !self.nodes.is_empty() {
+            rec(&self.nodes, 0, &mut counts);
+        }
+        counts
+    }
+
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        rows: &[usize],
+        params: &RepTreeParams,
+        depth: usize,
+    ) -> usize {
+        let mean = mean_of(data, rows);
+        let id = self.nodes.len();
+        self.nodes.push(Node { kind: NodeKind::Leaf, mean });
+
+        if rows.len() < params.min_leaf.max(2) || depth >= params.max_depth {
+            return id;
+        }
+        let var = variance_of(data, rows);
+        if var <= 1e-12 {
+            return id;
+        }
+        let Some(split) = best_split(data, rows) else { return id };
+        match split {
+            Split::Numeric { attr, threshold } => {
+                let (le, gt): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.rows[r][attr].num() <= threshold);
+                if le.is_empty() || gt.is_empty() {
+                    return id;
+                }
+                let l = self.grow(data, &le, params, depth + 1);
+                let r = self.grow(data, &gt, params, depth + 1);
+                self.nodes[id].kind = NodeKind::NumericSplit { attr, threshold, children: [l, r] };
+            }
+            Split::Categorical { attr } => {
+                let vocab = data.schema.vocab_size(attr);
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); vocab];
+                for &r in rows {
+                    buckets[data.rows[r][attr].cat() as usize].push(r);
+                }
+                let mut children: Vec<Option<usize>> = vec![None; vocab];
+                let mut non_empty = 0;
+                for (cat, bucket) in buckets.iter().enumerate() {
+                    if !bucket.is_empty() {
+                        non_empty += 1;
+                        children[cat] = Some(self.grow(data, bucket, params, depth + 1));
+                    }
+                }
+                if non_empty < 2 {
+                    self.nodes.truncate(id + 1);
+                    return id;
+                }
+                self.nodes[id].kind = NodeKind::CategoricalSplit { attr, children };
+            }
+        }
+        id
+    }
+
+    /// Bottom-up reduced-error pruning: collapse a subtree into a leaf when
+    /// the leaf's squared error on the held-out rows is no worse than the
+    /// subtree's. Returns the subtree's squared error after pruning.
+    fn reduced_error_prune(&mut self, data: &Dataset, rows: &[usize], at: usize) -> f64 {
+        let leaf_err: f64 = rows
+            .iter()
+            .map(|&r| {
+                let d = data.labels[r] - self.nodes[at].mean;
+                d * d
+            })
+            .sum();
+        let subtree_err = match self.nodes[at].kind.clone() {
+            NodeKind::Leaf => return leaf_err,
+            NodeKind::NumericSplit { attr, threshold, children } => {
+                let (le, gt): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.rows[r][attr].num() <= threshold);
+                self.reduced_error_prune(data, &le, children[0])
+                    + self.reduced_error_prune(data, &gt, children[1])
+            }
+            NodeKind::CategoricalSplit { attr, children } => {
+                let mut err = 0.0;
+                let vocab = children.len();
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); vocab];
+                let mut fallback: Vec<usize> = Vec::new();
+                for &r in rows {
+                    let cat = data.rows[r][attr].cat() as usize;
+                    if cat < vocab && children[cat].is_some() {
+                        buckets[cat].push(r);
+                    } else {
+                        fallback.push(r);
+                    }
+                }
+                for (cat, child) in children.iter().enumerate() {
+                    if let Some(child) = child {
+                        err += self.reduced_error_prune(data, &buckets[cat], *child);
+                    }
+                }
+                // Rows with unmapped categories are predicted by this
+                // node's mean either way.
+                err += fallback
+                    .iter()
+                    .map(|&r| {
+                        let d = data.labels[r] - self.nodes[at].mean;
+                        d * d
+                    })
+                    .sum::<f64>();
+                err
+            }
+        };
+        if leaf_err <= subtree_err {
+            self.nodes[at].kind = NodeKind::Leaf;
+            leaf_err
+        } else {
+            subtree_err
+        }
+    }
+}
+
+fn mean_of(data: &Dataset, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| data.labels[r]).sum::<f64>() / rows.len() as f64
+}
+
+fn variance_of(data: &Dataset, rows: &[usize]) -> f64 {
+    if rows.len() < 2 {
+        return 0.0;
+    }
+    let m = mean_of(data, rows);
+    rows.iter().map(|&r| (data.labels[r] - m).powi(2)).sum::<f64>() / rows.len() as f64
+}
+
+enum Split {
+    Numeric { attr: usize, threshold: f64 },
+    Categorical { attr: usize },
+}
+
+/// Picks the split with the largest variance reduction.
+fn best_split(data: &Dataset, rows: &[usize]) -> Option<Split> {
+    let base = variance_of(data, rows) * rows.len() as f64;
+    let mut best: Option<(f64, Split)> = None;
+
+    for attr in 0..data.schema.len() {
+        match data.schema.kind(attr) {
+            AttrKind::Numeric => {
+                let mut sorted: Vec<(f64, f64)> =
+                    rows.iter().map(|&r| (data.rows[r][attr].num(), data.labels[r])).collect();
+                sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+                // Prefix sums of y and y² for O(1) variance per threshold.
+                let n = sorted.len();
+                let mut sum = 0.0;
+                let mut sum2 = 0.0;
+                let total_sum: f64 = sorted.iter().map(|(_, y)| y).sum();
+                let total_sum2: f64 = sorted.iter().map(|(_, y)| y * y).sum();
+                for i in 0..n.saturating_sub(1) {
+                    sum += sorted[i].1;
+                    sum2 += sorted[i].1 * sorted[i].1;
+                    if sorted[i].0 == sorted[i + 1].0 {
+                        continue;
+                    }
+                    let nl = (i + 1) as f64;
+                    let nr = (n - i - 1) as f64;
+                    let sse_l = sum2 - sum * sum / nl;
+                    let sse_r = (total_sum2 - sum2) - (total_sum - sum).powi(2) / nr;
+                    let reduction = base - (sse_l + sse_r);
+                    if best.as_ref().is_none_or(|(b, _)| reduction > *b) && reduction > 1e-12 {
+                        let threshold = (sorted[i].0 + sorted[i + 1].0) / 2.0;
+                        best = Some((reduction, Split::Numeric { attr, threshold }));
+                    }
+                }
+            }
+            AttrKind::Categorical => {
+                let vocab = data.schema.vocab_size(attr);
+                if vocab < 2 {
+                    continue;
+                }
+                let mut sums = vec![0.0f64; vocab];
+                let mut sums2 = vec![0.0f64; vocab];
+                let mut counts = vec![0usize; vocab];
+                for &r in rows {
+                    let c = data.rows[r][attr].cat() as usize;
+                    sums[c] += data.labels[r];
+                    sums2[c] += data.labels[r] * data.labels[r];
+                    counts[c] += 1;
+                }
+                let non_empty = counts.iter().filter(|&&c| c > 0).count();
+                if non_empty < 2 {
+                    continue;
+                }
+                let sse: f64 = (0..vocab)
+                    .filter(|&c| counts[c] > 0)
+                    .map(|c| sums2[c] - sums[c] * sums[c] / counts[c] as f64)
+                    .sum();
+                let reduction = base - sse;
+                if best.as_ref().is_none_or(|(b, _)| reduction > *b) && reduction > 1e-12 {
+                    best = Some((reduction, Split::Categorical { attr }));
+                }
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, Schema};
+
+    fn num(x: f64) -> FeatureValue {
+        FeatureValue::Num(x)
+    }
+
+    /// y = 10 for x <= 5, y = 20 otherwise.
+    fn step_data() -> Dataset {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..40 {
+            let x = i as f64 / 4.0;
+            b.push_regression(vec![num(x)], if x <= 5.0 { 10.0 } else { 20.0 });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let t = RegressionTree::fit_default(&step_data());
+        assert!((t.predict(&[num(2.0)]) - 10.0).abs() < 0.5);
+        assert!((t.predict(&[num(8.0)]) - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn approximates_linear_function() {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..200 {
+            let x = i as f64 / 10.0;
+            b.push_regression(vec![num(x)], 3.0 * x + 1.0);
+        }
+        let t = RegressionTree::fit(
+            &b.build(),
+            RepTreeParams { min_leaf: 4, ..Default::default() },
+        );
+        // Piecewise-constant fit: within a leaf-width of the true line.
+        for x in [1.0, 5.0, 10.0, 15.0, 19.0] {
+            let y = t.predict(&[num(x)]);
+            assert!((y - (3.0 * x + 1.0)).abs() < 3.0, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn categorical_split() {
+        let mut schema = Schema::new(&[("store", AttrKind::Categorical)]);
+        let a = schema.intern(0, "mysql");
+        let bb = schema.intern(0, "mongo");
+        let mut b = DatasetBuilder::new(schema);
+        for _ in 0..20 {
+            b.push_regression(vec![FeatureValue::Cat(a)], 100.0);
+            b.push_regression(vec![FeatureValue::Cat(bb)], 200.0);
+        }
+        let t = RegressionTree::fit_default(&b.build());
+        assert!((t.predict(&[FeatureValue::Cat(a)]) - 100.0).abs() < 1.0);
+        assert!((t.predict(&[FeatureValue::Cat(bb)]) - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_tree() {
+        // Pure noise: pruning should collapse (or strongly shrink) the tree.
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        let mut state = 12345u64;
+        for i in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 33) as f64 / (1u64 << 31) as f64;
+            b.push_regression(vec![num(i as f64)], noise);
+        }
+        let d = b.build();
+        let unpruned = RegressionTree::fit(
+            &d,
+            RepTreeParams { prune_fraction: 0.0, min_leaf: 2, ..Default::default() },
+        );
+        let pruned = RegressionTree::fit(
+            &d,
+            RepTreeParams { prune_fraction: 0.3, min_leaf: 2, ..Default::default() },
+        );
+        assert!(
+            pruned.leaf_count() < unpruned.leaf_count(),
+            "pruned {} vs unpruned {}",
+            pruned.leaf_count(),
+            unpruned.leaf_count()
+        );
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..50 {
+            b.push_regression(vec![num(i as f64)], 7.0);
+        }
+        let t = RegressionTree::fit_default(&b.build());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[num(999.0)]), 7.0);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let t = RegressionTree::fit(
+            &step_data(),
+            RepTreeParams { min_leaf: 1000, ..Default::default() },
+        );
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn two_dimensional_surface() {
+        let schema = Schema::new(&[("a", AttrKind::Numeric), ("b", AttrKind::Numeric)]);
+        let mut builder = DatasetBuilder::new(schema);
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64, j as f64);
+                let target = if x > 10.0 { 5.0 } else if y > 10.0 { 50.0 } else { 500.0 };
+                builder.push_regression(vec![num(x), num(y)], target);
+            }
+        }
+        let t = RegressionTree::fit_default(&builder.build());
+        assert!((t.predict(&[num(15.0), num(2.0)]) - 5.0).abs() < 2.0);
+        assert!((t.predict(&[num(2.0), num(15.0)]) - 50.0).abs() < 10.0);
+        assert!((t.predict(&[num(2.0), num(2.0)]) - 500.0).abs() < 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        RegressionTree::fit_default(&DatasetBuilder::new(schema).build());
+    }
+}

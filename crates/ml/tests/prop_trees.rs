@@ -1,0 +1,98 @@
+//! Property tests for the tree learners.
+
+use proptest::prelude::*;
+use quepa_ml::c45::{C45Params, DecisionTree};
+use quepa_ml::dataset::{AttrKind, DatasetBuilder, FeatureValue, Schema};
+use quepa_ml::eval::{accuracy, majority_baseline};
+use quepa_ml::reptree::{RegressionTree, RepTreeParams};
+
+fn num(x: f64) -> FeatureValue {
+    FeatureValue::Num(x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The classifier always predicts a valid class and reaches 100% on its
+    /// own training data when fully grown (min_leaf=2, no two rows with the
+    /// same features and different labels).
+    #[test]
+    fn classifier_memorizes_consistent_data(
+        xs in prop::collection::btree_set(-100i32..100, 4..40),
+        threshold in -100i32..100,
+    ) {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for &x in &xs {
+            b.push_classified(vec![num(x as f64)], if x >= threshold { "hi" } else { "lo" });
+        }
+        let d = b.build();
+        let tree = DecisionTree::fit(&d, C45Params { min_leaf: 2, ..Default::default() });
+        let acc = accuracy(&tree, &d);
+        prop_assert!(acc >= 0.99, "training accuracy {acc}");
+        prop_assert!(acc >= majority_baseline(&d) - 1e-9);
+    }
+
+    /// Regression predictions always lie within the training target range.
+    #[test]
+    fn regression_predictions_bounded(
+        rows in prop::collection::vec((-100f64..100.0, -1000f64..1000.0), 4..60),
+        probe in -200f64..200.0,
+    ) {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for &(x, y) in &rows {
+            b.push_regression(vec![num(x)], y);
+        }
+        let d = b.build();
+        let tree = RegressionTree::fit(&d, RepTreeParams::default());
+        let lo = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        let hi = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+        let y = tree.predict(&[num(probe)]);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    /// Prediction is deterministic and total: any numeric input gets a class.
+    #[test]
+    fn classifier_total_on_numeric_inputs(
+        xs in prop::collection::vec(-10f64..10.0, 4..20),
+        probes in prop::collection::vec(-1e6f64..1e6, 1..10),
+    ) {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for (i, &x) in xs.iter().enumerate() {
+            b.push_classified(vec![num(x)], if i % 2 == 0 { "a" } else { "b" });
+        }
+        let d = b.build();
+        let tree = DecisionTree::fit_default(&d);
+        for &p in &probes {
+            let c1 = tree.predict(&[num(p)]);
+            let c2 = tree.predict(&[num(p)]);
+            prop_assert_eq!(c1, c2);
+            prop_assert!(c1 < d.classes.len());
+        }
+    }
+
+    /// Pruned trees are never larger than unpruned ones.
+    #[test]
+    fn pruning_never_grows(rows in prop::collection::vec((-50f64..50.0, -50f64..50.0), 10..80)) {
+        let schema = Schema::new(&[("x", AttrKind::Numeric)]);
+        let mut b = DatasetBuilder::new(schema);
+        for &(x, y) in &rows {
+            b.push_regression(vec![num(x)], y);
+        }
+        let d = b.build();
+        let grown = RegressionTree::fit(
+            &d,
+            RepTreeParams { prune_fraction: 0.0, min_leaf: 2, ..Default::default() },
+        );
+        let pruned = RegressionTree::fit(
+            &d,
+            RepTreeParams { prune_fraction: 0.25, min_leaf: 2, ..Default::default() },
+        );
+        // Not directly comparable node-for-node (different grow sets), but
+        // the pruned tree must not explode.
+        prop_assert!(pruned.node_count() <= grown.node_count() + rows.len());
+        prop_assert!(pruned.leaf_count() >= 1);
+    }
+}

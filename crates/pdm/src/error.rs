@@ -1,0 +1,70 @@
+//! Error type shared by the PDM layer.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, PdmError>;
+
+/// Errors raised while building or manipulating PDM entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdmError {
+    /// A probability outside the half-open interval `(0, 1]`.
+    ///
+    /// Definition 1 of the paper requires `0 < p <= 1` for every p-relation.
+    InvalidProbability(String),
+    /// A malformed global key string (expected `db.collection.key`).
+    InvalidGlobalKey(String),
+    /// An identifier (database/collection name or local key) that is empty
+    /// or contains a reserved separator character.
+    InvalidIdentifier(String),
+    /// A parse error in the [`crate::text`] value format.
+    Parse {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A value of an unexpected shape was supplied (e.g. a scalar where an
+    /// object was required).
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What was actually found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for PdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdmError::InvalidProbability(msg) => write!(f, "invalid probability: {msg}"),
+            PdmError::InvalidGlobalKey(raw) => {
+                write!(f, "invalid global key (expected db.collection.key): {raw:?}")
+            }
+            PdmError::InvalidIdentifier(raw) => write!(f, "invalid identifier: {raw:?}"),
+            PdmError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            PdmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PdmError::InvalidGlobalKey("nodots".into());
+        assert!(e.to_string().contains("nodots"));
+        let e = PdmError::Parse { offset: 7, message: "unexpected `}`".into() };
+        assert!(e.to_string().contains("byte 7"));
+        let e = PdmError::TypeMismatch { expected: "object", found: "string" };
+        assert!(e.to_string().contains("expected object"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Global keys: the polystore-wide addressing scheme of PDM.
+//!
+//! Given a database `D`, a collection `C` in `D` and an object `o = (k, v)`
+//! in `C`, the object is uniquely identified in the polystore by the
+//! *global key* `D.C.k` (paper §II-A, Example 1:
+//! `transactions.sales.s8`).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{PdmError, Result};
+
+/// The separator between the segments of a printed global key.
+pub const SEPARATOR: char = '.';
+
+macro_rules! interned_name {
+    ($(#[$doc:meta])* $name:ident, $allow_sep:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Creates a new identifier, validating it is non-empty
+            /// and (for database/collection names) free of the `.` separator.
+            pub fn new(raw: impl AsRef<str>) -> Result<Self> {
+                let raw = raw.as_ref();
+                if raw.is_empty() {
+                    return Err(PdmError::InvalidIdentifier(raw.to_owned()));
+                }
+                if !$allow_sep && raw.contains(SEPARATOR) {
+                    return Err(PdmError::InvalidIdentifier(raw.to_owned()));
+                }
+                Ok(Self(Arc::from(raw)))
+            }
+
+            /// Borrows the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+interned_name!(
+    /// The name of a database inside the polystore (e.g. `transactions`).
+    ///
+    /// Cheap to clone: the backing string is reference-counted.
+    DatabaseName,
+    false
+);
+
+interned_name!(
+    /// The name of a data collection inside a database (e.g. `sales`, or the
+    /// table/collection/label the store natively exposes).
+    CollectionName,
+    false
+);
+
+interned_name!(
+    /// A local key: identifies an object inside one collection. Local keys
+    /// may themselves contain dots (Redis-style keys such as
+    /// `k1:cure:wish` or compound keys), so only emptiness is rejected.
+    LocalKey,
+    true
+);
+
+/// A polystore-wide object identifier: `database.collection.key`.
+///
+/// `GlobalKey` is the currency of the A' index and of every augmenter; it is
+/// cheap to clone (three `Arc<str>`s) and hashes quickly.
+///
+/// ```
+/// use quepa_pdm::GlobalKey;
+/// let k: GlobalKey = "transactions.sales.s8".parse().unwrap();
+/// assert_eq!(k.database().as_str(), "transactions");
+/// assert_eq!(k.collection().as_str(), "sales");
+/// assert_eq!(k.key().as_str(), "s8");
+/// assert_eq!(k.to_string(), "transactions.sales.s8");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalKey {
+    database: DatabaseName,
+    collection: CollectionName,
+    key: LocalKey,
+}
+
+impl GlobalKey {
+    /// Assembles a global key from its three segments.
+    pub fn new(database: DatabaseName, collection: CollectionName, key: LocalKey) -> Self {
+        GlobalKey { database, collection, key }
+    }
+
+    /// Convenience constructor from raw strings.
+    pub fn parse_parts(
+        database: impl AsRef<str>,
+        collection: impl AsRef<str>,
+        key: impl AsRef<str>,
+    ) -> Result<Self> {
+        Ok(GlobalKey {
+            database: DatabaseName::new(database)?,
+            collection: CollectionName::new(collection)?,
+            key: LocalKey::new(key)?,
+        })
+    }
+
+    /// The database segment.
+    pub fn database(&self) -> &DatabaseName {
+        &self.database
+    }
+
+    /// The collection segment.
+    pub fn collection(&self) -> &CollectionName {
+        &self.collection
+    }
+
+    /// The local-key segment.
+    pub fn key(&self) -> &LocalKey {
+        &self.key
+    }
+}
+
+impl fmt::Display for GlobalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{SEPARATOR}{}{SEPARATOR}{}", self.database, self.collection, self.key)
+    }
+}
+
+impl std::str::FromStr for GlobalKey {
+    type Err = PdmError;
+
+    /// Parses `db.collection.key`. Because local keys may contain dots, the
+    /// split is on the *first two* separators only.
+    fn from_str(s: &str) -> Result<Self> {
+        let mut it = s.splitn(3, SEPARATOR);
+        let (db, coll, key) = match (it.next(), it.next(), it.next()) {
+            (Some(db), Some(coll), Some(key)) => (db, coll, key),
+            _ => return Err(PdmError::InvalidGlobalKey(s.to_owned())),
+        };
+        GlobalKey::parse_parts(db, coll, key).map_err(|_| PdmError::InvalidGlobalKey(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let k: GlobalKey = "catalogue.albums.d1".parse().unwrap();
+        assert_eq!(k.to_string(), "catalogue.albums.d1");
+    }
+
+    #[test]
+    fn dotted_local_keys_parse() {
+        // Redis-style key from Example 2 of the paper.
+        let k: GlobalKey = "discount.drop.k1.cure:wish".parse().unwrap();
+        assert_eq!(k.database().as_str(), "discount");
+        assert_eq!(k.collection().as_str(), "drop");
+        assert_eq!(k.key().as_str(), "k1.cure:wish");
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        assert!("".parse::<GlobalKey>().is_err());
+        assert!("only.two".parse::<GlobalKey>().is_err());
+        assert!("a..k".parse::<GlobalKey>().is_err()); // empty collection
+        assert!(".c.k".parse::<GlobalKey>().is_err()); // empty db
+        assert!("a.c.".parse::<GlobalKey>().is_err()); // empty key
+    }
+
+    #[test]
+    fn segment_validation() {
+        assert!(DatabaseName::new("with.dot").is_err());
+        assert!(CollectionName::new("").is_err());
+        assert!(LocalKey::new("with.dot").is_ok());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_segment() {
+        let a: GlobalKey = "a.c.k".parse().unwrap();
+        let b: GlobalKey = "b.a.a".parse().unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a: GlobalKey = "transactions.sales.s8".parse().unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

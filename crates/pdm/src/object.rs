@@ -1,0 +1,88 @@
+//! Data objects: the atoms of the polystore.
+
+use std::fmt;
+
+use crate::key::GlobalKey;
+use crate::value::Value;
+
+/// A data object retrieved from some store of the polystore, paired with its
+/// polystore-wide identity.
+///
+/// The payload keeps whatever shape the owning store produced (a tuple
+/// rendered as an object value, a document, a scalar for a kv entry, a node
+/// with its properties…) — PDM deliberately does not normalise it further.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataObject {
+    key: GlobalKey,
+    value: Value,
+}
+
+impl DataObject {
+    /// Pairs a global key with its payload.
+    pub fn new(key: GlobalKey, value: Value) -> Self {
+        DataObject { key, value }
+    }
+
+    /// The object's global key.
+    pub fn key(&self) -> &GlobalKey {
+        &self.key
+    }
+
+    /// The object's payload.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Consumes the object, returning its parts.
+    pub fn into_parts(self) -> (GlobalKey, Value) {
+        (self.key, self.value)
+    }
+
+    /// Approximate in-memory footprint (key + payload), used for transfer
+    /// cost and simulated memory accounting.
+    pub fn approx_size(&self) -> usize {
+        self.key.to_string().len() + self.value.approx_size()
+    }
+}
+
+impl fmt::Display for DataObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.key, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn obj() -> DataObject {
+        DataObject::new(
+            "catalogue.albums.d1".parse().unwrap(),
+            Value::object([("title", Value::str("Wish")), ("year", Value::Int(1992))]),
+        )
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let o = obj();
+        assert_eq!(o.key().to_string(), "catalogue.albums.d1");
+        assert_eq!(o.value().get("title").unwrap().as_str(), Some("Wish"));
+        let s = o.to_string();
+        assert!(s.starts_with("catalogue.albums.d1: "));
+        assert!(s.contains("Wish"));
+    }
+
+    #[test]
+    fn into_parts() {
+        let (k, v) = obj().into_parts();
+        assert_eq!(k.key().as_str(), "d1");
+        assert_eq!(v.get("year"), Some(&Value::Int(1992)));
+    }
+
+    #[test]
+    fn approx_size_counts_key_and_value() {
+        let o = obj();
+        assert!(o.approx_size() > o.value().approx_size());
+    }
+}

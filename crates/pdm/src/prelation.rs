@@ -1,0 +1,162 @@
+//! P-relations: probabilistic relationships between data objects
+//! (Definition 1 of the paper).
+
+use std::fmt;
+
+use crate::key::GlobalKey;
+use crate::prob::Probability;
+
+/// The two kinds of p-relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelationKind {
+    /// *Identity* (`~`): reflexive, symmetric and transitive — the two
+    /// objects refer to the same real-world entity.
+    Identity,
+    /// *Matching* (`≡`): reflexive and symmetric, not necessarily
+    /// transitive — the two objects share some common information.
+    Matching,
+}
+
+impl RelationKind {
+    /// The mathematical symbol the paper uses for this kind.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelationKind::Identity => "~",
+            RelationKind::Matching => "≡",
+        }
+    }
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A p-relation `o₁ R_p o₂` between two objects identified by their global
+/// keys, holding with probability `p`.
+///
+/// Both identity and matching are symmetric, so a `PRelation` is an
+/// *unordered* pair: the constructor normalises endpoint order, making
+/// `PRelation::new(a, b, …) == PRelation::new(b, a, …)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PRelation {
+    left: GlobalKey,
+    right: GlobalKey,
+    kind: RelationKind,
+    probability: Probability,
+}
+
+impl PRelation {
+    /// Creates a p-relation, normalising the endpoint order.
+    pub fn new(a: GlobalKey, b: GlobalKey, kind: RelationKind, probability: Probability) -> Self {
+        let (left, right) = if a <= b { (a, b) } else { (b, a) };
+        PRelation { left, right, kind, probability }
+    }
+
+    /// Creates an identity p-relation (`a ~_p b`).
+    pub fn identity(a: GlobalKey, b: GlobalKey, p: Probability) -> Self {
+        PRelation::new(a, b, RelationKind::Identity, p)
+    }
+
+    /// Creates a matching p-relation (`a ≡_p b`).
+    pub fn matching(a: GlobalKey, b: GlobalKey, p: Probability) -> Self {
+        PRelation::new(a, b, RelationKind::Matching, p)
+    }
+
+    /// The (lexicographically smaller) first endpoint.
+    pub fn left(&self) -> &GlobalKey {
+        &self.left
+    }
+
+    /// The second endpoint.
+    pub fn right(&self) -> &GlobalKey {
+        &self.right
+    }
+
+    /// Which of identity/matching this is.
+    pub fn kind(&self) -> RelationKind {
+        self.kind
+    }
+
+    /// The relation's probability.
+    pub fn probability(&self) -> Probability {
+        self.probability
+    }
+
+    /// Given one endpoint, returns the other; `None` if `key` is not an
+    /// endpoint of this relation.
+    pub fn other(&self, key: &GlobalKey) -> Option<&GlobalKey> {
+        if key == &self.left {
+            Some(&self.right)
+        } else if key == &self.right {
+            Some(&self.left)
+        } else {
+            None
+        }
+    }
+
+    /// True if the relation connects an object to itself. Reflexive edges
+    /// are implicit in the model and never need to be stored.
+    pub fn is_reflexive(&self) -> bool {
+        self.left == self.right
+    }
+}
+
+impl fmt::Display for PRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}_{} {}", self.left, self.kind.symbol(), self.probability, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> GlobalKey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn symmetric_normalisation() {
+        let p = Probability::of(0.9);
+        let r1 = PRelation::identity(k("b.c.1"), k("a.c.1"), p);
+        let r2 = PRelation::identity(k("a.c.1"), k("b.c.1"), p);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.left(), &k("a.c.1"));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let r = PRelation::matching(k("a.c.1"), k("b.c.2"), Probability::of(0.7));
+        assert_eq!(r.other(&k("a.c.1")), Some(&k("b.c.2")));
+        assert_eq!(r.other(&k("b.c.2")), Some(&k("a.c.1")));
+        assert_eq!(r.other(&k("z.z.z")), None);
+    }
+
+    #[test]
+    fn reflexivity_detection() {
+        let r = PRelation::identity(k("a.c.1"), k("a.c.1"), Probability::ONE);
+        assert!(r.is_reflexive());
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        let r = PRelation::identity(
+            k("catalogue.albums.d1"),
+            k("transactions.inventory.a32"),
+            Probability::of(0.9),
+        );
+        let s = r.to_string();
+        assert!(s.contains('~'), "{s}");
+        assert!(s.contains("0.900"), "{s}");
+        let m = PRelation::matching(k("a.c.1"), k("b.c.2"), Probability::of(0.6));
+        assert!(m.to_string().contains('≡'));
+    }
+
+    #[test]
+    fn kind_symbols() {
+        assert_eq!(RelationKind::Identity.symbol(), "~");
+        assert_eq!(RelationKind::Matching.symbol(), "≡");
+    }
+}

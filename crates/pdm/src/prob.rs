@@ -1,0 +1,164 @@
+//! Probabilities attached to p-relations.
+//!
+//! Definition 1 of the paper requires `0 < p <= 1`. [`Probability`] is a
+//! validated newtype that also implements the two combination rules used by
+//! the system:
+//!
+//! * [`Probability::and`] — the *product*, used when materializing an
+//!   identity inferred by transitivity (Example 7: `0.8 × 0.85 = 0.68`) and
+//!   when chaining augmentation steps at level *n*;
+//! * [`Probability::average_of`] — the *average* along a path, used when a
+//!   p-relation is promoted from a frequently traversed exploration path
+//!   (§III-D(a)).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{PdmError, Result};
+
+/// A probability in the half-open interval `(0, 1]`.
+///
+/// `Probability` implements `Eq`/`Ord` (the inner value is never NaN), so it
+/// can be used directly as a sort key when ranking augmented results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The certain probability, `1.0`.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Validates and wraps a raw probability.
+    pub fn new(p: f64) -> Result<Self> {
+        if p.is_nan() || p <= 0.0 || p > 1.0 {
+            Err(PdmError::InvalidProbability(format!("{p} is outside (0, 1]")))
+        } else {
+            Ok(Probability(p))
+        }
+    }
+
+    /// Wraps a value known to be valid; panics otherwise. Intended for
+    /// literals in tests and examples.
+    pub fn of(p: f64) -> Self {
+        Probability::new(p).expect("probability literal outside (0, 1]")
+    }
+
+    /// The raw value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Product combination: the probability that two independent relations
+    /// hold simultaneously. Closed over `(0, 1]`.
+    #[must_use]
+    pub fn and(self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+
+    /// The average of a non-empty sequence of probabilities, used by
+    /// p-relation promotion. Returns `None` for an empty sequence.
+    pub fn average_of(ps: impl IntoIterator<Item = Probability>) -> Option<Probability> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in ps {
+            sum += p.0;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            // The average of values in (0,1] is in (0,1].
+            Some(Probability(sum / n as f64))
+        }
+    }
+}
+
+impl Eq for Probability {}
+
+impl std::hash::Hash for Probability {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Never NaN, so bit-level hashing is consistent with Eq.
+        self.0.to_bits().hash(state);
+    }
+}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Probability {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // The inner value is never NaN, so total_cmp agrees with PartialOrd.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Probability {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = PdmError;
+
+    fn try_from(p: f64) -> Result<Self> {
+        Probability::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Probability::new(0.0).is_err());
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.0001).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn example7_product() {
+        // Paper Example 7: 0.8 × 0.85 = 0.68.
+        let p = Probability::of(0.8).and(Probability::of(0.85));
+        assert!((p.get() - 0.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_is_identity_for_and() {
+        let p = Probability::of(0.35);
+        assert_eq!(p.and(Probability::ONE), p);
+    }
+
+    #[test]
+    fn average() {
+        let avg =
+            Probability::average_of([Probability::of(0.6), Probability::of(0.8)]).unwrap();
+        assert!((avg.get() - 0.7).abs() < 1e-12);
+        assert!(Probability::average_of(std::iter::empty()).is_none());
+        // Singleton average is the value itself.
+        let one = Probability::average_of([Probability::of(0.42)]).unwrap();
+        assert!((one.get() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_ranks_descending_naturally() {
+        let mut v = [Probability::of(0.5), Probability::of(0.9), Probability::of(0.68)];
+        v.sort();
+        v.reverse();
+        assert_eq!(v[0], Probability::of(0.9));
+        assert_eq!(v[2], Probability::of(0.5));
+    }
+
+    #[test]
+    fn display_is_three_decimals() {
+        assert_eq!(Probability::of(0.68).to_string(), "0.680");
+    }
+}

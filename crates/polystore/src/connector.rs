@@ -1,0 +1,91 @@
+//! The connector abstraction (paper §III-A).
+
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, LocalKey};
+
+use crate::error::Result;
+use crate::stats::StatsSnapshot;
+
+/// The paradigm of the underlying engine. QUEPA never branches on this for
+/// semantics — it only surfaces in statistics and in the adaptive
+/// optimizer's feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StoreKind {
+    /// SQL engine (MySQL in the paper).
+    Relational,
+    /// Document store (MongoDB).
+    Document,
+    /// Key-value store (Redis).
+    KeyValue,
+    /// Property graph (Neo4j).
+    Graph,
+}
+
+impl StoreKind {
+    /// Short name for logs and experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Relational => "relational",
+            StoreKind::Document => "document",
+            StoreKind::KeyValue => "key-value",
+            StoreKind::Graph => "graph",
+        }
+    }
+}
+
+/// A connector: QUEPA's only channel to one database of the polystore.
+///
+/// Two access paths exist, mirroring the paper's execution model:
+///
+/// * [`execute`](Connector::execute) — a query *in the store's native
+///   language* (SQL, Mongo-shell, Redis commands, Cypher), used for the
+///   user's original query. Results are parsed into [`DataObject`]s.
+/// * [`get`](Connector::get) / [`multi_get`](Connector::multi_get) —
+///   key-based direct access, used by the augmenters to retrieve the
+///   objects the A' index points at (`multi_get` is one round trip for a
+///   whole batch: the BATCH augmenter's lever).
+///
+/// Implementations are `Send + Sync`: the concurrent augmenters call them
+/// from worker threads.
+pub trait Connector: Send + Sync {
+    /// The database this connector serves.
+    fn database(&self) -> &DatabaseName;
+
+    /// The engine paradigm.
+    fn kind(&self) -> StoreKind;
+
+    /// The collections the database exposes.
+    fn collections(&self) -> Vec<CollectionName>;
+
+    /// Runs a native-language *read* query.
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>>;
+
+    /// Runs a native-language *update* (DML) statement, returning how many
+    /// objects were affected. Used by loaders and deletion tests.
+    fn execute_update(&self, statement: &str) -> Result<usize>;
+
+    /// Point lookup. `Ok(None)` means the object is gone — the signal the
+    /// A' index's lazy deletion listens for.
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>>;
+
+    /// Batched lookup: one round trip for all `keys` in one collection.
+    /// Missing keys are silently skipped (their absence is reported by the
+    /// caller comparing lengths).
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>>;
+
+    /// Dumps every object of one collection — the Collector's ingest path
+    /// (record linkage needs to see the data). Charged like one big query.
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>>;
+
+    /// Approximate number of stored objects (for experiment reporting).
+    fn object_count(&self) -> usize;
+
+    /// Snapshot of this connector's access statistics.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Resets the statistics.
+    fn reset_stats(&self);
+}

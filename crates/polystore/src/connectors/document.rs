@@ -1,0 +1,223 @@
+//! Connector for the document store.
+
+use parking_lot::RwLock;
+use quepa_docstore::{DocQuery, DocumentDb, QueryVerb};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+
+use crate::connector::{Connector, StoreKind};
+use crate::connectors::payload_bytes;
+use crate::error::{PolyError, Result};
+use crate::net::LatencyModel;
+use crate::stats::{ConnectorStats, StatsSnapshot};
+
+/// Wraps a [`DocumentDb`] as a polystore connector. Documents become data
+/// objects keyed by their `_id`.
+pub struct DocumentConnector {
+    name: DatabaseName,
+    db: RwLock<DocumentDb>,
+    latency: LatencyModel,
+    stats: ConnectorStats,
+}
+
+impl DocumentConnector {
+    /// Creates the connector.
+    pub fn new(db: DocumentDb, latency: LatencyModel) -> Self {
+        let name = DatabaseName::new(db.name()).expect("valid database name");
+        DocumentConnector { name, db: RwLock::new(db), latency, stats: ConnectorStats::new() }
+    }
+
+    fn object_from_doc(&self, collection: &str, doc: Value) -> Result<DataObject> {
+        let id = match doc.get("_id") {
+            Some(Value::Str(s)) => s.clone(),
+            Some(Value::Int(i)) => i.to_string(),
+            _ => {
+                return Err(PolyError::store(
+                    self.name.as_str(),
+                    "document lacks a usable _id",
+                ))
+            }
+        };
+        let key = GlobalKey::parse_parts(self.name.as_str(), collection, &id)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        Ok(DataObject::new(key, doc))
+    }
+}
+
+impl Connector for DocumentConnector {
+    fn database(&self) -> &DatabaseName {
+        &self.name
+    }
+
+    fn kind(&self) -> StoreKind {
+        StoreKind::Document
+    }
+
+    fn collections(&self) -> Vec<CollectionName> {
+        self.db
+            .read()
+            .collection_names()
+            .into_iter()
+            .map(|c| CollectionName::new(c).expect("valid collection name"))
+            .collect()
+    }
+
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>> {
+        let q = DocQuery::parse(query).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        if q.verb == QueryVerb::Remove {
+            return Err(PolyError::WrongKind {
+                database: self.name.to_string(),
+                operation: "execute() only runs find/count; use execute_update for remove".into(),
+            });
+        }
+        let collection = q.collection.clone();
+        let docs =
+            self.db.read().run_read(&q).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        // A count() result is a bare aggregate document without an _id; wrap
+        // it under a synthetic key so it still flows through as an object.
+        let objects: Vec<DataObject> = if q.verb == QueryVerb::Count {
+            let key = GlobalKey::parse_parts(self.name.as_str(), &collection, "_count")
+                .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+            docs.into_iter().map(|d| DataObject::new(key.clone(), d)).collect()
+        } else {
+            docs.into_iter()
+                .map(|d| self.object_from_doc(&collection, d))
+                .collect::<Result<_>>()?
+        };
+        let bytes = payload_bytes(&objects);
+        self.latency.pay(objects.len(), bytes);
+        self.stats.record(true, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        Ok(objects)
+    }
+
+    fn execute_update(&self, statement: &str) -> Result<usize> {
+        let docs = self
+            .db
+            .write()
+            .query(statement)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        self.latency.pay(0, 0);
+        self.stats.record(true, 0, 0, self.latency.cost(0, 0));
+        Ok(docs
+            .first()
+            .and_then(|d| d.get("removed"))
+            .and_then(Value::as_int)
+            .unwrap_or(0) as usize)
+    }
+
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
+        let doc = self.db.read().get(collection.as_str(), key.as_str()).cloned();
+        let object = match doc {
+            None => None,
+            Some(d) => Some(self.object_from_doc(collection.as_str(), d)?),
+        };
+        let (n, bytes) = object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
+        self.latency.pay(n, bytes);
+        self.stats.record(false, n, bytes, self.latency.cost(n, bytes));
+        Ok(object)
+    }
+
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>> {
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let docs = self.db.read().multi_get(collection.as_str(), &key_strs);
+        let objects: Result<Vec<DataObject>> = docs
+            .into_iter()
+            .map(|(_, d)| self.object_from_doc(collection.as_str(), d))
+            .collect();
+        let objects = objects?;
+        let bytes = payload_bytes(&objects);
+        self.latency.pay(objects.len(), bytes);
+        self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        Ok(objects)
+    }
+
+
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
+        self.execute(&format!("db.{}.find()", collection.as_str()))
+    }
+
+    fn object_count(&self) -> usize {
+        self.db.read().total_docs()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::text;
+
+    fn connector() -> DocumentConnector {
+        let mut db = DocumentDb::new("catalogue");
+        db.insert(
+            "albums",
+            text::parse(r#"{"_id":"d1","title":"Wish","artist":"The Cure","year":1992}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert(
+            "albums",
+            text::parse(r#"{"_id":"d2","title":"Pablo Honey","artist":"Radiohead","year":1993}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        DocumentConnector::new(db, LatencyModel::FREE)
+    }
+
+    #[test]
+    fn execute_find() {
+        let c = connector();
+        let objs = c.execute(r#"db.albums.find({"title":{"$like":"%wish%"}})"#).unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].key().to_string(), "catalogue.albums.d1");
+    }
+
+    #[test]
+    fn execute_count_is_wrapped() {
+        let c = connector();
+        let objs = c.execute("db.albums.count()").unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].value().get("count").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn execute_rejects_remove() {
+        let c = connector();
+        assert!(matches!(
+            c.execute(r#"db.albums.remove({})"#),
+            Err(PolyError::WrongKind { .. })
+        ));
+        assert_eq!(c.execute_update(r#"db.albums.remove({"_id":"d2"})"#).unwrap(), 1);
+        assert_eq!(c.object_count(), 1);
+    }
+
+    #[test]
+    fn get_and_multi_get() {
+        let c = connector();
+        let coll = CollectionName::new("albums").unwrap();
+        assert!(c.get(&coll, &LocalKey::new("d1").unwrap()).unwrap().is_some());
+        assert!(c.get(&coll, &LocalKey::new("zz").unwrap()).unwrap().is_none());
+        let objs = c
+            .multi_get(&coll, &[LocalKey::new("d1").unwrap(), LocalKey::new("d2").unwrap()])
+            .unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(c.stats().round_trips, 3);
+    }
+
+    #[test]
+    fn metadata() {
+        let c = connector();
+        assert_eq!(c.kind(), StoreKind::Document);
+        assert_eq!(c.collections()[0].as_str(), "albums");
+    }
+}

@@ -1,0 +1,253 @@
+//! Connector for the key-value store.
+
+use parking_lot::RwLock;
+use quepa_kvstore::{KvStore, Reply};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+
+use crate::connector::{Connector, StoreKind};
+use crate::connectors::payload_bytes;
+use crate::error::{PolyError, Result};
+use crate::net::LatencyModel;
+use crate::stats::{ConnectorStats, StatsSnapshot};
+
+/// Wraps a [`KvStore`] as a polystore connector.
+///
+/// A key-value store has no native notion of collections, so the whole
+/// keyspace is exposed as one collection whose name is fixed at
+/// construction (the paper's `discount` database exposes `drop`, as in the
+/// global key `discount.drop.k1:cure:wish`). Entry values become string
+/// data objects.
+pub struct KvConnector {
+    name: DatabaseName,
+    collection: CollectionName,
+    store: RwLock<KvStore>,
+    latency: LatencyModel,
+    stats: ConnectorStats,
+}
+
+impl KvConnector {
+    /// Creates the connector, exposing the keyspace as `collection`.
+    pub fn new(store: KvStore, collection: &str, latency: LatencyModel) -> Self {
+        let name = DatabaseName::new(store.name()).expect("valid database name");
+        KvConnector {
+            name,
+            collection: CollectionName::new(collection).expect("valid collection name"),
+            store: RwLock::new(store),
+            latency,
+            stats: ConnectorStats::new(),
+        }
+    }
+
+    fn object_from_pair(&self, key: &str, value: String) -> Result<DataObject> {
+        let gk = GlobalKey::parse_parts(self.name.as_str(), self.collection.as_str(), key)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        Ok(DataObject::new(gk, Value::Str(value)))
+    }
+
+    fn charge(&self, is_query: bool, objects: &[DataObject]) {
+        let bytes = payload_bytes(objects);
+        self.latency.pay(objects.len(), bytes);
+        self.stats.record(is_query, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+    }
+}
+
+impl Connector for KvConnector {
+    fn database(&self) -> &DatabaseName {
+        &self.name
+    }
+
+    fn kind(&self) -> StoreKind {
+        StoreKind::KeyValue
+    }
+
+    fn collections(&self) -> Vec<CollectionName> {
+        vec![self.collection.clone()]
+    }
+
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>> {
+        let reply = self
+            .store
+            .write()
+            .execute(query)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let objects = match reply {
+            Reply::Ok => Vec::new(),
+            Reply::Int(n) => {
+                // Numeric replies (EXISTS/DBSIZE/DEL) surface as a synthetic
+                // scalar object so they still flow through uniformly.
+                let gk = GlobalKey::parse_parts(
+                    self.name.as_str(),
+                    self.collection.as_str(),
+                    "_int",
+                )
+                .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+                vec![DataObject::new(gk, Value::Int(n))]
+            }
+            Reply::Value(v) => match v {
+                None => Vec::new(),
+                Some(v) => {
+                    // GET's reply does not echo the key; re-derive it from
+                    // the command so the object is addressable.
+                    let key = query
+                        .split_whitespace()
+                        .nth(1)
+                        .ok_or_else(|| PolyError::store(self.name.as_str(), "GET without key"))?;
+                    vec![self.object_from_pair(key, v)?]
+                }
+            },
+            Reply::Pairs(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| self.object_from_pair(&k, v))
+                .collect::<Result<_>>()?,
+        };
+        self.charge(true, &objects);
+        Ok(objects)
+    }
+
+    fn execute_update(&self, statement: &str) -> Result<usize> {
+        let reply = self
+            .store
+            .write()
+            .execute(statement)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        self.latency.pay(0, 0);
+        self.stats.record(true, 0, 0, self.latency.cost(0, 0));
+        Ok(match reply {
+            Reply::Int(n) => n.max(0) as usize,
+            Reply::Ok => 1,
+            _ => 0,
+        })
+    }
+
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
+        self.check_collection(collection)?;
+        let value = self.store.read().get(key.as_str()).map(str::to_owned);
+        let object = match value {
+            None => None,
+            Some(v) => Some(self.object_from_pair(key.as_str(), v)?),
+        };
+        match &object {
+            Some(o) => self.charge(false, std::slice::from_ref(o)),
+            None => self.charge(false, &[]),
+        }
+        Ok(object)
+    }
+
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>> {
+        self.check_collection(collection)?;
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let pairs = self.store.read().multi_get(&key_strs);
+        let objects: Result<Vec<DataObject>> =
+            pairs.into_iter().map(|(k, v)| self.object_from_pair(&k, v)).collect();
+        let objects = objects?;
+        self.charge(false, &objects);
+        Ok(objects)
+    }
+
+
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
+        self.check_collection(collection)?;
+        self.execute("SCAN \"\"")
+    }
+
+    fn object_count(&self) -> usize {
+        self.store.read().len()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+impl KvConnector {
+    fn check_collection(&self, collection: &CollectionName) -> Result<()> {
+        if collection == &self.collection {
+            Ok(())
+        } else {
+            Err(PolyError::UnknownCollection {
+                database: self.name.to_string(),
+                collection: collection.to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connector() -> KvConnector {
+        let mut kv = KvStore::new("discount");
+        kv.set("k1:cure:wish", "40%");
+        kv.set("k2:cure:faith", "10%");
+        KvConnector::new(kv, "drop", LatencyModel::FREE)
+    }
+
+    #[test]
+    fn execute_get() {
+        let c = connector();
+        let objs = c.execute("GET k1:cure:wish").unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].key().to_string(), "discount.drop.k1:cure:wish");
+        assert_eq!(objs[0].value().as_str(), Some("40%"));
+        assert!(c.execute("GET missing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn execute_scan_and_mget() {
+        let c = connector();
+        assert_eq!(c.execute("SCAN k").unwrap().len(), 2);
+        assert_eq!(c.execute("MGET k1:cure:wish k2:cure:faith nope").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn execute_int_reply() {
+        let c = connector();
+        let objs = c.execute("DBSIZE").unwrap();
+        assert_eq!(objs[0].value().as_int(), Some(2));
+    }
+
+    #[test]
+    fn update_and_lazy_missing() {
+        let c = connector();
+        assert_eq!(c.execute_update("DEL k1:cure:wish").unwrap(), 1);
+        let coll = CollectionName::new("drop").unwrap();
+        assert!(c.get(&coll, &LocalKey::new("k1:cure:wish").unwrap()).unwrap().is_none());
+    }
+
+    #[test]
+    fn get_checks_collection() {
+        let c = connector();
+        let bad = CollectionName::new("other").unwrap();
+        assert!(matches!(
+            c.get(&bad, &LocalKey::new("k").unwrap()),
+            Err(PolyError::UnknownCollection { .. })
+        ));
+    }
+
+    #[test]
+    fn dotted_keys_roundtrip_through_global_keys() {
+        let c = connector();
+        let coll = CollectionName::new("drop").unwrap();
+        let obj =
+            c.get(&coll, &LocalKey::new("k2:cure:faith").unwrap()).unwrap().unwrap();
+        let reparsed: GlobalKey = obj.key().to_string().parse().unwrap();
+        assert_eq!(&reparsed, obj.key());
+    }
+
+    #[test]
+    fn metadata() {
+        let c = connector();
+        assert_eq!(c.kind(), StoreKind::KeyValue);
+        assert_eq!(c.object_count(), 2);
+        assert_eq!(c.collections().len(), 1);
+    }
+}

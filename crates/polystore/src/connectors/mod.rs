@@ -1,0 +1,23 @@
+//! Concrete connectors for the four engines of the Polyphony scenario.
+//!
+//! Every connector owns its engine behind a `parking_lot::RwLock` (reads
+//! dominate; the concurrent augmenters issue lookups from many threads),
+//! charges the configured [`LatencyModel`](crate::net::LatencyModel) for
+//! each round trip, and records [`ConnectorStats`](crate::stats).
+
+mod document;
+mod graph;
+mod kv;
+mod relational;
+
+pub use document::DocumentConnector;
+pub use graph::GraphConnector;
+pub use kv::KvConnector;
+pub use relational::RelationalConnector;
+
+use quepa_pdm::DataObject;
+
+/// Sums the approximate payload size of a batch of objects.
+pub(crate) fn payload_bytes(objects: &[DataObject]) -> usize {
+    objects.iter().map(DataObject::approx_size).sum()
+}

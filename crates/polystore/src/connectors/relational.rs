@@ -1,0 +1,266 @@
+//! Connector for the relational engine.
+
+use parking_lot::RwLock;
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+use quepa_relstore::engine::{Database, ResultRow};
+use quepa_relstore::sql::ast::Statement;
+
+use crate::connector::{Connector, StoreKind};
+use crate::connectors::payload_bytes;
+use crate::error::{PolyError, Result};
+use crate::net::LatencyModel;
+use crate::stats::{ConnectorStats, StatsSnapshot};
+
+/// Wraps a [`Database`] as a polystore connector.
+///
+/// Result rows become data objects whose local key is the row's primary-key
+/// value and whose payload is the row rendered as a PDM object value.
+pub struct RelationalConnector {
+    name: DatabaseName,
+    db: RwLock<Database>,
+    latency: LatencyModel,
+    stats: ConnectorStats,
+}
+
+impl RelationalConnector {
+    /// Creates the connector. The database name in the polystore is taken
+    /// from the engine's own name.
+    pub fn new(db: Database, latency: LatencyModel) -> Self {
+        let name = DatabaseName::new(db.name()).expect("valid database name");
+        RelationalConnector { name, db: RwLock::new(db), latency, stats: ConnectorStats::new() }
+    }
+
+    fn object_from_row(&self, table: &str, pk_col: &str, row: ResultRow) -> Result<DataObject> {
+        let pk = match row.get(pk_col) {
+            Some(Value::Str(s)) => s.clone(),
+            Some(other) => other.to_string(),
+            // The Validator rewrites queries to always include the key
+            // column, so a missing pk here is an internal error.
+            None => {
+                return Err(PolyError::store(
+                    self.name.as_str(),
+                    format!("result row lacks key column {pk_col}"),
+                ))
+            }
+        };
+        let key = GlobalKey::parse_parts(self.name.as_str(), table, &pk)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        Ok(DataObject::new(key, Value::Object(row)))
+    }
+}
+
+impl Connector for RelationalConnector {
+    fn database(&self) -> &DatabaseName {
+        &self.name
+    }
+
+    fn kind(&self) -> StoreKind {
+        StoreKind::Relational
+    }
+
+    fn collections(&self) -> Vec<CollectionName> {
+        self.db
+            .read()
+            .table_names()
+            .into_iter()
+            .map(|t| CollectionName::new(t).expect("valid table name"))
+            .collect()
+    }
+
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>> {
+        let db = self.db.read();
+        let stmt = db.prepare(query).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let Statement::Select(select) = stmt else {
+            return Err(PolyError::WrongKind {
+                database: self.name.to_string(),
+                operation: "execute() only runs SELECT; use execute_update for DML".into(),
+            });
+        };
+        let table = select.table.clone();
+        let pk_col = db
+            .table(&table)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?
+            .pk_column()
+            .to_owned();
+        let rows =
+            db.run_select(&select).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        drop(db);
+        // Aggregate results carry no key; wrap them under a synthetic one
+        // (the Validator refuses to *augment* these, but they are legal
+        // local queries).
+        let objects: Vec<DataObject> = if select.has_aggregates() {
+            let key = GlobalKey::parse_parts(self.name.as_str(), &table, "_agg")
+                .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+            rows.into_iter().map(|row| DataObject::new(key.clone(), Value::Object(row))).collect()
+        } else {
+            rows.into_iter()
+                .map(|row| self.object_from_row(&table, &pk_col, row))
+                .collect::<Result<_>>()?
+        };
+        let bytes = payload_bytes(&objects);
+        self.latency.pay(objects.len(), bytes);
+        self.stats.record(true, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        Ok(objects)
+    }
+
+    fn execute_update(&self, statement: &str) -> Result<usize> {
+        let rows = self
+            .db
+            .write()
+            .execute(statement)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        self.latency.pay(0, 0);
+        self.stats.record(true, 0, 0, self.latency.cost(0, 0));
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("affected"))
+            .and_then(Value::as_int)
+            .unwrap_or(0) as usize)
+    }
+
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
+        let db = self.db.read();
+        let row = db
+            .get(collection.as_str(), key.as_str())
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        drop(db);
+        let object = match row {
+            None => None,
+            Some(row) => {
+                let table = collection.as_str();
+                let pk_col =
+                    self.db.read().table(table).expect("checked above").pk_column().to_owned();
+                Some(self.object_from_row(table, &pk_col, row)?)
+            }
+        };
+        let (n, bytes) =
+            object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
+        self.latency.pay(n, bytes);
+        self.stats.record(false, n, bytes, self.latency.cost(n, bytes));
+        Ok(object)
+    }
+
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>> {
+        let db = self.db.read();
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let rows = db
+            .multi_get(collection.as_str(), &key_strs)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let pk_col = db
+            .table(collection.as_str())
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?
+            .pk_column()
+            .to_owned();
+        drop(db);
+        let objects: Result<Vec<DataObject>> = rows
+            .into_iter()
+            .map(|(_, row)| self.object_from_row(collection.as_str(), &pk_col, row))
+            .collect();
+        let objects = objects?;
+        let bytes = payload_bytes(&objects);
+        self.latency.pay(objects.len(), bytes);
+        self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        Ok(objects)
+    }
+
+
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
+        self.execute(&format!("SELECT * FROM {}", collection.as_str()))
+    }
+
+    fn object_count(&self) -> usize {
+        self.db.read().total_rows()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connector() -> RelationalConnector {
+        let mut db = Database::new("transactions");
+        db.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
+        db.execute(
+            "INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish'), ('a33', 'Cure', 'Faith')",
+        )
+        .unwrap();
+        RelationalConnector::new(db, LatencyModel::FREE)
+    }
+
+    #[test]
+    fn execute_maps_rows_to_objects() {
+        let c = connector();
+        let objs = c.execute("SELECT * FROM inventory WHERE name LIKE '%wish%'").unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].key().to_string(), "transactions.inventory.a32");
+        assert_eq!(objs[0].value().get("artist").unwrap().as_str(), Some("Cure"));
+    }
+
+    #[test]
+    fn execute_rejects_dml() {
+        let c = connector();
+        assert!(matches!(
+            c.execute("DELETE FROM inventory"),
+            Err(PolyError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn get_and_multi_get() {
+        let c = connector();
+        let coll = CollectionName::new("inventory").unwrap();
+        let obj = c.get(&coll, &LocalKey::new("a33").unwrap()).unwrap().unwrap();
+        assert_eq!(obj.key().key().as_str(), "a33");
+        assert!(c.get(&coll, &LocalKey::new("zz").unwrap()).unwrap().is_none());
+        let objs = c
+            .multi_get(&coll, &[LocalKey::new("a32").unwrap(), LocalKey::new("zz").unwrap()])
+            .unwrap();
+        assert_eq!(objs.len(), 1);
+    }
+
+    #[test]
+    fn update_then_lazy_missing() {
+        let c = connector();
+        let n = c.execute_update("DELETE FROM inventory WHERE id = 'a32'").unwrap();
+        assert_eq!(n, 1);
+        let coll = CollectionName::new("inventory").unwrap();
+        assert!(c.get(&coll, &LocalKey::new("a32").unwrap()).unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_count_roundtrips() {
+        let c = connector();
+        let coll = CollectionName::new("inventory").unwrap();
+        c.execute("SELECT * FROM inventory").unwrap();
+        c.get(&coll, &LocalKey::new("a32").unwrap()).unwrap();
+        c.multi_get(&coll, &[LocalKey::new("a32").unwrap(), LocalKey::new("a33").unwrap()])
+            .unwrap();
+        let s = c.stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.round_trips, 3);
+        assert_eq!(s.objects_returned, 2 + 1 + 2);
+        c.reset_stats();
+        assert_eq!(c.stats().round_trips, 0);
+    }
+
+    #[test]
+    fn metadata() {
+        let c = connector();
+        assert_eq!(c.kind(), StoreKind::Relational);
+        assert_eq!(c.database().as_str(), "transactions");
+        assert_eq!(c.collections().len(), 1);
+        assert_eq!(c.object_count(), 2);
+    }
+}

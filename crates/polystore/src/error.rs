@@ -1,0 +1,63 @@
+//! Unified error type for polystore access.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PolyError>;
+
+/// Errors surfacing from polystore access. Native store errors are wrapped
+/// with the owning database's name so callers can tell *where* a local-
+/// language query failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolyError {
+    /// No database with this name is registered.
+    UnknownDatabase(String),
+    /// The database exists but has no such collection.
+    UnknownCollection {
+        /// Database name.
+        database: String,
+        /// Collection name.
+        collection: String,
+    },
+    /// A native-language error from the underlying store.
+    Store {
+        /// Database name.
+        database: String,
+        /// Rendered store error.
+        message: String,
+    },
+    /// The operation is not meaningful for this store kind (e.g. running a
+    /// SQL statement against the key-value store).
+    WrongKind {
+        /// Database name.
+        database: String,
+        /// What was attempted.
+        operation: String,
+    },
+}
+
+impl PolyError {
+    /// Wraps a native store error.
+    pub fn store(database: impl Into<String>, err: impl fmt::Display) -> Self {
+        PolyError::Store { database: database.into(), message: err.to_string() }
+    }
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::UnknownDatabase(d) => write!(f, "unknown database: {d}"),
+            PolyError::UnknownCollection { database, collection } => {
+                write!(f, "unknown collection {collection} in database {database}")
+            }
+            PolyError::Store { database, message } => {
+                write!(f, "store error in {database}: {message}")
+            }
+            PolyError::WrongKind { database, operation } => {
+                write!(f, "operation not supported by {database}: {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}

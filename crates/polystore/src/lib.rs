@@ -1,0 +1,34 @@
+//! # quepa-polystore — connectors, registry and the simulated deployment
+//!
+//! This crate is QUEPA's window onto the polystore (paper §III-A):
+//!
+//! * the [`Connector`] trait — "each connector is able to communicate with a
+//!   specific database system by sending queries in the local language and
+//!   returning the result. Data objects are parsed into an internal
+//!   representation" (the PDM [`DataObject`](quepa_pdm::DataObject));
+//! * concrete connectors for the four engines of the Polyphony scenario
+//!   ([`connectors`]);
+//! * the [`Polystore`] registry routing by database name;
+//! * a deterministic **network cost model** ([`net`]) reproducing the
+//!   paper's centralized / distributed EC2 deployments at microsecond scale
+//!   (1000× shrunk), so batching and parallelism keep their first-order
+//!   effects: `cost = roundtrips × RTT + objects × transfer`;
+//! * per-connector [`stats`] (queries, round trips, objects moved), which
+//!   the experiments report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connector;
+pub mod connectors;
+pub mod error;
+pub mod net;
+pub mod polystore;
+pub mod stats;
+
+pub use connector::{Connector, StoreKind};
+pub use connectors::{DocumentConnector, GraphConnector, KvConnector, RelationalConnector};
+pub use error::{PolyError, Result};
+pub use net::{Deployment, LatencyModel};
+pub use polystore::Polystore;
+pub use stats::ConnectorStats;

@@ -1,0 +1,217 @@
+//! The polystore registry: routes queries and lookups by database name.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey};
+
+use crate::connector::{Connector, StoreKind};
+use crate::error::{PolyError, Result};
+use crate::stats::StatsSnapshot;
+
+/// A polystore: a named set of databases, each behind a [`Connector`].
+///
+/// `Polystore` is cheaply cloneable (connectors are shared `Arc`s) and
+/// `Send + Sync`, so the concurrent augmenters can fan lookups out across
+/// threads while sharing one registry.
+#[derive(Clone, Default)]
+pub struct Polystore {
+    connectors: BTreeMap<DatabaseName, Arc<dyn Connector>>,
+}
+
+impl Polystore {
+    /// Creates an empty polystore.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a connector. Replaces any previous connector with the same
+    /// database name.
+    pub fn register(&mut self, connector: Arc<dyn Connector>) {
+        self.connectors.insert(connector.database().clone(), connector);
+    }
+
+    /// Number of registered databases.
+    pub fn len(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// True when no database is registered.
+    pub fn is_empty(&self) -> bool {
+        self.connectors.is_empty()
+    }
+
+    /// The registered database names, sorted.
+    pub fn database_names(&self) -> Vec<&DatabaseName> {
+        self.connectors.keys().collect()
+    }
+
+    /// Borrows a connector by database name.
+    pub fn connector(&self, database: &DatabaseName) -> Result<&Arc<dyn Connector>> {
+        self.connectors
+            .get(database)
+            .ok_or_else(|| PolyError::UnknownDatabase(database.to_string()))
+    }
+
+    /// Convenience: connector lookup by raw name.
+    pub fn connector_by_name(&self, database: &str) -> Result<&Arc<dyn Connector>> {
+        self.connectors
+            .get(database)
+            .ok_or_else(|| PolyError::UnknownDatabase(database.to_owned()))
+    }
+
+    /// Runs a native-language query against one database.
+    pub fn execute(&self, database: &str, query: &str) -> Result<Vec<DataObject>> {
+        self.connector_by_name(database)?.execute(query)
+    }
+
+    /// Runs a native-language update against one database.
+    pub fn execute_update(&self, database: &str, statement: &str) -> Result<usize> {
+        self.connector_by_name(database)?.execute_update(statement)
+    }
+
+    /// Point lookup by global key. `Ok(None)` = the object is gone (the A'
+    /// index's lazy-deletion signal).
+    pub fn get(&self, key: &GlobalKey) -> Result<Option<DataObject>> {
+        self.connector(key.database())?.get(key.collection(), key.key())
+    }
+
+    /// Batched lookup: all `keys` must belong to `database.collection`; one
+    /// round trip.
+    pub fn multi_get(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>> {
+        self.connector(database)?.multi_get(collection, keys)
+    }
+
+    /// Sum of the per-connector statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.connectors
+            .values()
+            .map(|c| c.stats())
+            .fold(StatsSnapshot::default(), StatsSnapshot::merge)
+    }
+
+    /// Per-database statistics.
+    pub fn stats_by_database(&self) -> Vec<(DatabaseName, StatsSnapshot)> {
+        self.connectors.iter().map(|(n, c)| (n.clone(), c.stats())).collect()
+    }
+
+    /// Resets every connector's statistics.
+    pub fn reset_stats(&self) {
+        for c in self.connectors.values() {
+            c.reset_stats();
+        }
+    }
+
+    /// Total objects across all stores (experiment reporting).
+    pub fn total_objects(&self) -> usize {
+        self.connectors.values().map(|c| c.object_count()).sum()
+    }
+
+    /// Count of stores per paradigm (the adaptive optimizer's features).
+    pub fn kind_histogram(&self) -> BTreeMap<StoreKind, usize> {
+        let mut h = BTreeMap::new();
+        for c in self.connectors.values() {
+            *h.entry(c.kind()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for Polystore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Polystore")
+            .field("databases", &self.database_names())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectors::{DocumentConnector, KvConnector, RelationalConnector};
+    use crate::net::LatencyModel;
+    use quepa_docstore::DocumentDb;
+    use quepa_kvstore::KvStore;
+    use quepa_pdm::text;
+    use quepa_relstore::engine::Database;
+
+    fn sample() -> Polystore {
+        let mut p = Polystore::new();
+
+        let mut rel = Database::new("transactions");
+        rel.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
+        rel.execute("INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish')").unwrap();
+        p.register(Arc::new(RelationalConnector::new(rel, LatencyModel::FREE)));
+
+        let mut doc = DocumentDb::new("catalogue");
+        doc.insert("albums", text::parse(r#"{"_id":"d1","title":"Wish"}"#).unwrap()).unwrap();
+        p.register(Arc::new(DocumentConnector::new(doc, LatencyModel::FREE)));
+
+        let mut kv = KvStore::new("discount");
+        kv.set("k1:cure:wish", "40%");
+        p.register(Arc::new(KvConnector::new(kv, "drop", LatencyModel::FREE)));
+
+        p
+    }
+
+    #[test]
+    fn routing() {
+        let p = sample();
+        assert_eq!(p.len(), 3);
+        let objs = p.execute("transactions", "SELECT * FROM inventory").unwrap();
+        assert_eq!(objs.len(), 1);
+        let objs = p.execute("catalogue", "db.albums.find()").unwrap();
+        assert_eq!(objs.len(), 1);
+        let objs = p.execute("discount", "GET k1:cure:wish").unwrap();
+        assert_eq!(objs.len(), 1);
+        assert!(matches!(
+            p.execute("ghost", "whatever"),
+            Err(PolyError::UnknownDatabase(_))
+        ));
+    }
+
+    #[test]
+    fn global_key_lookup() {
+        let p = sample();
+        let key: GlobalKey = "discount.drop.k1:cure:wish".parse().unwrap();
+        let obj = p.get(&key).unwrap().unwrap();
+        assert_eq!(obj.value().as_str(), Some("40%"));
+        let missing: GlobalKey = "discount.drop.zzz".parse().unwrap();
+        assert!(p.get(&missing).unwrap().is_none());
+    }
+
+    #[test]
+    fn aggregate_stats_and_reset() {
+        let p = sample();
+        p.execute("transactions", "SELECT * FROM inventory").unwrap();
+        p.execute("catalogue", "db.albums.find()").unwrap();
+        let s = p.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.objects_returned, 2);
+        p.reset_stats();
+        assert_eq!(p.stats().queries, 0);
+    }
+
+    #[test]
+    fn totals_and_histogram() {
+        let p = sample();
+        assert_eq!(p.total_objects(), 3);
+        let h = p.kind_histogram();
+        assert_eq!(h[&StoreKind::Relational], 1);
+        assert_eq!(h[&StoreKind::Document], 1);
+        assert_eq!(h[&StoreKind::KeyValue], 1);
+    }
+
+    #[test]
+    fn cross_database_update() {
+        let p = sample();
+        assert_eq!(p.execute_update("discount", "DEL k1:cure:wish").unwrap(), 1);
+        let key: GlobalKey = "discount.drop.k1:cure:wish".parse().unwrap();
+        assert!(p.get(&key).unwrap().is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-connector access statistics.
+//!
+//! Counters are atomics so the concurrent augmenters (paper §IV-B) can
+//! update them without locking; the experiments read them to report
+//! round-trip savings from batching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative access statistics of one connector.
+#[derive(Debug, Default)]
+pub struct ConnectorStats {
+    queries: AtomicU64,
+    round_trips: AtomicU64,
+    objects_returned: AtomicU64,
+    bytes_returned: AtomicU64,
+    simulated_network_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Native-language queries executed.
+    pub queries: u64,
+    /// Round trips to the store (each query or batched lookup is one).
+    pub round_trips: u64,
+    /// Data objects shipped back.
+    pub objects_returned: u64,
+    /// Approximate payload bytes shipped back.
+    pub bytes_returned: u64,
+    /// Total simulated network wall time.
+    pub simulated_network: Duration,
+}
+
+impl ConnectorStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one round trip returning `objects` objects of `bytes` total,
+    /// with the given simulated network cost. `is_query` distinguishes
+    /// native-language queries from key-based lookups.
+    pub fn record(&self, is_query: bool, objects: usize, bytes: usize, network: Duration) {
+        if is_query {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.objects_returned.fetch_add(objects as u64, Ordering::Relaxed);
+        self.bytes_returned.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.simulated_network_nanos.fetch_add(network.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            objects_returned: self.objects_returned.load(Ordering::Relaxed),
+            bytes_returned: self.bytes_returned.load(Ordering::Relaxed),
+            simulated_network: Duration::from_nanos(
+                self.simulated_network_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Resets all counters to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.objects_returned.store(0, Ordering::Relaxed);
+        self.bytes_returned.store(0, Ordering::Relaxed);
+        self.simulated_network_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Sums two snapshots (aggregation across stores).
+    pub fn merge(self, other: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries + other.queries,
+            round_trips: self.round_trips + other.round_trips,
+            objects_returned: self.objects_returned + other.objects_returned,
+            bytes_returned: self.bytes_returned + other.bytes_returned,
+            simulated_network: self.simulated_network + other.simulated_network,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = ConnectorStats::new();
+        s.record(true, 10, 1000, Duration::from_micros(5));
+        s.record(false, 3, 300, Duration::from_micros(2));
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.round_trips, 2);
+        assert_eq!(snap.objects_returned, 13);
+        assert_eq!(snap.bytes_returned, 1300);
+        assert_eq!(snap.simulated_network, Duration::from_micros(7));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = ConnectorStats::new();
+        s.record(true, 1, 1, Duration::from_micros(1));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = StatsSnapshot {
+            queries: 1,
+            round_trips: 2,
+            objects_returned: 3,
+            bytes_returned: 4,
+            simulated_network: Duration::from_micros(5),
+        };
+        let m = a.merge(a);
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.objects_returned, 6);
+        assert_eq!(m.simulated_network, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        use std::sync::Arc;
+        let s = Arc::new(ConnectorStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(true, 1, 10, Duration::from_nanos(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().queries, 8000);
+        assert_eq!(s.snapshot().objects_returned, 8000);
+    }
+}

@@ -1,0 +1,58 @@
+//! Errors of the relational engine.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+/// Errors raised by the relational engine and its SQL front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// Lexer/parser error, with byte offset into the SQL text.
+    Syntax {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Reference to a table that does not exist.
+    UnknownTable(String),
+    /// Reference to a column that does not exist in the queried table.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Wrong number of values in an `INSERT`.
+    ArityMismatch {
+        /// Columns in the table.
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
+    /// Duplicate primary key on insert.
+    DuplicateKey(String),
+    /// The statement is valid SQL but not supported by this engine subset.
+    Unsupported(String),
+    /// A runtime type error while evaluating an expression.
+    Eval(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Syntax { offset, message } => {
+                write!(f, "SQL syntax error at byte {offset}: {message}")
+            }
+            RelError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            RelError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelError::TableExists(t) => write!(f, "table already exists: {t}"),
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "INSERT arity mismatch: table has {expected} columns, got {found}")
+            }
+            RelError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            RelError::Unsupported(s) => write!(f, "unsupported SQL feature: {s}"),
+            RelError::Eval(s) => write!(f, "evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

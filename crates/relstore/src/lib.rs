@@ -1,0 +1,39 @@
+//! # quepa-relstore — an embedded relational engine
+//!
+//! Plays the role MySQL plays in the paper's Polyphony polystore: the
+//! *sales department* runs its `transactions` database (tables `inventory`,
+//! `sales`, `sales_details`, `customers`) on a relational system and queries
+//! it with SQL.
+//!
+//! The engine is deliberately small but real: a hand-written SQL
+//! lexer/parser ([`sql`]), a row store with a primary-key index and optional
+//! equality secondary indexes ([`engine`]), an expression evaluator with
+//! SQL `LIKE` semantics ([`eval`]), `ORDER BY`/`LIMIT`, whole-table
+//! aggregates, `INSERT`/`DELETE`, and dynamic (SQLite-style) typing over the
+//! PDM [`Value`](quepa_pdm::Value) model.
+//!
+//! ```
+//! use quepa_relstore::engine::Database;
+//!
+//! let mut db = Database::new("transactions");
+//! db.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
+//! db.execute("INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish')").unwrap();
+//! let rows = db
+//!     .query("SELECT * FROM inventory WHERE name LIKE '%wish%'")
+//!     .unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].get("artist").unwrap().as_str(), Some("Cure"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod row;
+pub mod sql;
+
+pub use engine::{Database, Table};
+pub use error::{RelError, Result};
+pub use sql::ast::{Expr, SelectStmt, Statement};

@@ -1,0 +1,58 @@
+//! Row representation and an orderable wrapper over PDM values.
+
+use std::cmp::Ordering;
+
+use quepa_pdm::Value;
+
+/// A stored row: one value per column, positionally aligned with the table
+/// schema.
+pub type Row = Vec<Value>;
+
+/// Wrapper giving [`Value`] a total order (via `Value::total_cmp`) so it can
+/// serve as a `BTreeMap` key in secondary indexes and in `ORDER BY` sorting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<Value> for OrdValue {
+    fn from(v: Value) -> Self {
+        OrdValue(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn ord_value_usable_as_btree_key() {
+        let mut m: BTreeMap<OrdValue, usize> = BTreeMap::new();
+        m.insert(OrdValue(Value::Int(3)), 1);
+        m.insert(OrdValue(Value::str("x")), 2);
+        m.insert(OrdValue(Value::Float(2.5)), 3);
+        // Int(3) and Float(2.5) are comparable; string sorts after numerics.
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys[0], OrdValue(Value::Float(2.5)));
+        assert_eq!(keys[1], OrdValue(Value::Int(3)));
+        assert_eq!(keys[2], OrdValue(Value::str("x")));
+    }
+
+    #[test]
+    fn numeric_equality_across_types() {
+        assert_eq!(OrdValue(Value::Int(2)).cmp(&OrdValue(Value::Float(2.0))), Ordering::Equal);
+    }
+}

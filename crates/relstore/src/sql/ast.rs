@@ -1,0 +1,291 @@
+//! The SQL abstract syntax tree.
+
+use quepa_pdm::Value;
+
+/// A literal value in SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// `TRUE` / `FALSE`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl Literal {
+    /// Converts the literal into a PDM value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Null => Value::Null,
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// Binary operators in `WHERE` expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `LIKE`
+    Like,
+}
+
+/// A boolean/scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(String),
+    /// Literal.
+    Literal(Literal),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL` (negated = the NOT form).
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (lit, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The literal list.
+        list: Vec<Literal>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive).
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Literal,
+        /// Upper bound.
+        high: Literal,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Collects the names of all columns referenced by the expression.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Not(e) => e.referenced_columns(out),
+            Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::InList { expr, .. } => expr.referenced_columns(out),
+            Expr::Between { expr, .. } => expr.referenced_columns(out),
+        }
+    }
+
+    /// If the expression is exactly `column = literal` (in either operand
+    /// order), returns the pair — the planner uses this to hit equality
+    /// indexes.
+    pub fn as_equality(&self) -> Option<(&str, Value)> {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = self {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(l)) | (Expr::Literal(l), Expr::Column(c)) => {
+                    return Some((c, l.to_value()));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Aggregate functions (whole-table only in this subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)`
+    Count,
+    /// `SUM(col)`
+    Sum,
+    /// `AVG(col)`
+    Avg,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate-function name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// An item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(String),
+    /// An aggregate call; `None` argument means `COUNT(*)`.
+    Aggregate(AggFunc, Option<String>),
+}
+
+/// Sort direction in `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderDir {
+    /// Ascending (the default).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A parsed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The select list.
+    pub items: Vec<SelectItem>,
+    /// The table queried.
+    pub table: String,
+    /// Optional `WHERE` clause.
+    pub filter: Option<Expr>,
+    /// Optional `ORDER BY col dir`.
+    pub order_by: Option<(String, OrderDir)>,
+    /// Optional `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl SelectStmt {
+    /// True if the select list contains any aggregate function. Aggregated
+    /// queries cannot be augmented (paper §III-A, the Validator).
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Aggregate(..)))
+    }
+
+    /// True if the select list is exactly `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.items.len() == 1 && matches!(self.items[0], SelectItem::Wildcard)
+    }
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT`.
+    Select(SelectStmt),
+    /// `INSERT INTO table VALUES (…)`, possibly multiple rows.
+    Insert {
+        /// Target table.
+        table: String,
+        /// One literal list per row.
+        rows: Vec<Vec<Literal>>,
+    },
+    /// `DELETE FROM table [WHERE expr]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter (absent = delete all).
+        filter: Option<Expr>,
+    },
+    /// `UPDATE table SET col = lit, … [WHERE expr]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments.
+        sets: Vec<(String, Literal)>,
+        /// Optional filter (absent = update all).
+        filter: Option<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_equality_both_orders() {
+        let e = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Column("id".into())),
+            right: Box::new(Expr::Literal(Literal::Str("a32".into()))),
+        };
+        assert_eq!(e.as_equality(), Some(("id", Value::str("a32"))));
+        let flipped = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Literal(Literal::Int(3))),
+            right: Box::new(Expr::Column("n".into())),
+        };
+        assert_eq!(flipped.as_equality(), Some(("n", Value::Int(3))));
+        let non_eq = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::Column("n".into())),
+            right: Box::new(Expr::Literal(Literal::Int(3))),
+        };
+        assert_eq!(non_eq.as_equality(), None);
+    }
+
+    #[test]
+    fn referenced_columns_walks_tree() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Not(Box::new(Expr::Column("a".into())))),
+            right: Box::new(Expr::IsNull {
+                expr: Box::new(Expr::Column("b".into())),
+                negated: true,
+            }),
+        };
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn aggregate_names() {
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("Sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! A hand-written SQL lexer.
+
+use crate::error::{RelError, Result};
+
+/// The kinds of token the parser consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier or keyword (keywords are matched case-insensitively
+    /// by the parser; the lexer does not distinguish them).
+    Ident(String),
+    /// A single-quoted string literal with `''` escaping.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its byte offset, for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// The lexer: turns SQL text into a vector of tokens.
+pub struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    /// Lexes the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelError {
+        RelError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+        let offset = self.pos;
+        let kind = match self.peek() {
+            None => TokenKind::Eof,
+            Some(b',') => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            Some(b')') => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            Some(b';') => {
+                self.pos += 1;
+                TokenKind::Semi
+            }
+            Some(b'=') => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ne
+                } else {
+                    return Err(self.err("expected `=` after `!`"));
+                }
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            Some(b'\'') => self.lex_string()?,
+            Some(b'0'..=b'9') => self.lex_number(false)?,
+            Some(b'-') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.lex_number(true)?
+                } else {
+                    return Err(self.err("expected digit after `-`"));
+                }
+            }
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.lex_ident(),
+            Some(b) => return Err(self.err(format!("unexpected character `{}`", b as char))),
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    // SQL escapes a quote by doubling it.
+                    if self.peek() == Some(b'\'') {
+                        s.push('\'');
+                        self.pos += 1;
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let start = self.pos;
+                    let width = match self.bytes[start] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = (start + width).min(self.bytes.len());
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, negative: bool) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if is_float {
+            let f: f64 = text.parse().map_err(|_| self.err("invalid float literal"))?;
+            Ok(TokenKind::Float(if negative { -f } else { f }))
+        } else {
+            let i: i64 = text.parse().map_err(|_| self.err("integer literal overflow"))?;
+            Ok(TokenKind::Int(if negative { -i } else { i }))
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii ident");
+        TokenKind::Ident(text.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM t WHERE a >= 10"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Int(10),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
+        assert_eq!(kinds("'caffè'"), vec![TokenKind::Str("caffè".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("3 2.5 -7 -1.25"), vec![
+            TokenKind::Int(3),
+            TokenKind::Float(2.5),
+            TokenKind::Int(-7),
+            TokenKind::Float(-1.25),
+            TokenKind::Eof,
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("= != <> < <= > >="), vec![
+            TokenKind::Eq,
+            TokenKind::Ne,
+            TokenKind::Ne,
+            TokenKind::Lt,
+            TokenKind::Le,
+            TokenKind::Gt,
+            TokenKind::Ge,
+            TokenKind::Eof,
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+        assert!(Lexer::new("#").tokenize().is_err());
+        assert!(Lexer::new("- x").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::new("SELECT x").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

@@ -1,0 +1,23 @@
+//! The SQL front-end: lexer, AST and recursive-descent parser.
+//!
+//! The supported subset is the one the paper's workload needs (plus enough
+//! DML to exercise the lazy-deletion path of the A' index):
+//!
+//! ```sql
+//! SELECT <cols | *> FROM <table>
+//!   [WHERE <expr>] [ORDER BY <col> [ASC|DESC]] [LIMIT <n>]
+//! SELECT COUNT(*) | SUM(c) | AVG(c) | MIN(c) | MAX(c) FROM <table> [WHERE ...]
+//! INSERT INTO <table> VALUES (<literal>, ...)
+//! DELETE FROM <table> [WHERE <expr>]
+//! ```
+//!
+//! Expressions support `= != <> < <= > >= LIKE NOT AND OR IS [NOT] NULL`,
+//! parentheses, string/number/bool/NULL literals and column references.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse_statement;

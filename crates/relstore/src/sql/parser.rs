@@ -1,0 +1,499 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::{RelError, Result};
+use crate::sql::ast::{
+    AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement,
+};
+use crate::sql::lexer::{Lexer, Token, TokenKind};
+
+/// Parses a single SQL statement (an optional trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_if(&TokenKind::Semi);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelError {
+        RelError::Syntax { offset: self.offset(), message: message.into() }
+    }
+
+    /// Returns true (and advances) if the next token is the keyword `kw`
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing token {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("SELECT") {
+            self.parse_select().map(Statement::Select)
+        } else if self.eat_keyword("INSERT") {
+            self.parse_insert()
+        } else if self.eat_keyword("DELETE") {
+            self.parse_delete()
+        } else if self.eat_keyword("UPDATE") {
+            self.parse_update()
+        } else {
+            Err(self.err("expected SELECT, INSERT, UPDATE or DELETE"))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        let items = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let col = self.expect_ident()?;
+            let dir = if self.eat_keyword("DESC") {
+                OrderDir::Desc
+            } else {
+                self.eat_keyword("ASC");
+                OrderDir::Asc
+            };
+            Some((col, dir))
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, table, filter, order_by, limit })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            let item = if self.eat_if(&TokenKind::Star) {
+                SelectItem::Wildcard
+            } else {
+                let name = self.expect_ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    let func = AggFunc::from_name(&name)
+                        .ok_or_else(|| self.err(format!("unknown function {name}")))?;
+                    self.bump(); // (
+                    let arg = if self.eat_if(&TokenKind::Star) {
+                        if func != AggFunc::Count {
+                            return Err(self.err("only COUNT accepts *"));
+                        }
+                        None
+                    } else {
+                        Some(self.expect_ident()?)
+                    };
+                    self.expect_token(TokenKind::RParen)?;
+                    SelectItem::Aggregate(func, arg)
+                } else {
+                    SelectItem::Column(name)
+                }
+            };
+            items.push(item);
+            if !self.eat_if(&TokenKind::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        self.expect_keyword("INTO")?;
+        let table = self.expect_ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_token(TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_literal()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        let table = self.expect_ident()?;
+        self.expect_keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_token(TokenKind::Eq)?;
+            sets.push((col, self.parse_literal()?));
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { table, sets, filter })
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Literal::Int(i)),
+            TokenKind::Float(f) => Ok(Literal::Float(f)),
+            TokenKind::Str(s) => Ok(Literal::Str(s)),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Literal::Null),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Ok(Literal::Bool(true)),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Ok(Literal::Bool(false)),
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    // Expression grammar (precedence climbing):
+    //   expr      := or_expr
+    //   or_expr   := and_expr (OR and_expr)*
+    //   and_expr  := not_expr (AND not_expr)*
+    //   not_expr  := NOT not_expr | predicate
+    //   predicate := primary ((cmp | LIKE | NOT LIKE) primary | IS [NOT] NULL)?
+    //   primary   := literal | column | ( expr )
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_primary()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("LIKE") => Some(BinOp::Like),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("IS") => {
+                self.bump();
+                let negated = self.eat_keyword("NOT");
+                self.expect_keyword("NULL")?;
+                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("IN") => {
+                self.bump();
+                return self.parse_in_list(left, false);
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("BETWEEN") => {
+                self.bump();
+                return self.parse_between(left, false);
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("NOT") => {
+                // `x NOT LIKE y` / `x NOT IN (…)` / `x NOT BETWEEN a AND b`
+                self.bump();
+                if self.eat_keyword("IN") {
+                    return self.parse_in_list(left, true);
+                }
+                if self.eat_keyword("BETWEEN") {
+                    return self.parse_between(left, true);
+                }
+                self.expect_keyword("LIKE")?;
+                let right = self.parse_primary()?;
+                return Ok(Expr::Not(Box::new(Expr::Binary {
+                    op: BinOp::Like,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })));
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.bump();
+                let right = self.parse_primary()?;
+                Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+            }
+        }
+    }
+
+    fn parse_in_list(&mut self, left: Expr, negated: bool) -> Result<Expr> {
+        self.expect_token(TokenKind::LParen)?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.parse_literal()?);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_token(TokenKind::RParen)?;
+        Ok(Expr::InList { expr: Box::new(left), list, negated })
+    }
+
+    fn parse_between(&mut self, left: Expr, negated: bool) -> Result<Expr> {
+        let low = self.parse_literal()?;
+        self.expect_keyword("AND")?;
+        let high = self.parse_literal()?;
+        Ok(Expr::Between { expr: Box::new(left), low, high, negated })
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_token(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Int(_) | TokenKind::Float(_) | TokenKind::Str(_) => {
+                Ok(Expr::Literal(self.parse_literal()?))
+            }
+            TokenKind::Ident(s)
+                if s.eq_ignore_ascii_case("NULL")
+                    || s.eq_ignore_ascii_case("TRUE")
+                    || s.eq_ignore_ascii_case("FALSE") =>
+            {
+                Ok(Expr::Literal(self.parse_literal()?))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Column(self.expect_ident()?)),
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_running_example_query() {
+        // The query Lucy submits in §I.
+        let s = select("SELECT * FROM inventory WHERE name like '%wish%'");
+        assert!(s.is_wildcard());
+        assert_eq!(s.table, "inventory");
+        let f = s.filter.unwrap();
+        match f {
+            Expr::Binary { op: BinOp::Like, .. } => {}
+            other => panic!("expected LIKE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_order_limit() {
+        let s = select("SELECT a, b FROM t WHERE a > 1 AND b <= 2 ORDER BY a DESC LIMIT 10");
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.order_by, Some(("a".into(), OrderDir::Desc)));
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = select("SELECT COUNT(*) FROM t");
+        assert!(s.has_aggregates());
+        let s = select("SELECT sum(total) FROM sales WHERE total > 15");
+        assert!(matches!(s.items[0], SelectItem::Aggregate(AggFunc::Sum, Some(_))));
+        assert!(parse_statement("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        // OR binds looser than AND: a OR b AND c == a OR (b AND c).
+        let s = select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND on the right, got {other:?}"),
+            },
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let s = select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::And, left, .. } => match *left {
+                Expr::Binary { op: BinOp::Or, .. } => {}
+                other => panic!("expected OR on the left, got {other:?}"),
+            },
+            other => panic!("expected AND at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_like_and_is_null() {
+        let s = select("SELECT * FROM t WHERE name NOT LIKE 'a%' AND x IS NOT NULL");
+        let mut cols = Vec::new();
+        s.filter.unwrap().referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["name".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let stmt =
+            parse_statement("INSERT INTO t VALUES ('a', 1, 2.5), ('b', NULL, TRUE);").unwrap();
+        match stmt {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Literal::Str("a".into()));
+                assert_eq!(rows[1][1], Literal::Null);
+                assert_eq!(rows[1][2], Literal::Bool(true));
+            }
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_forms() {
+        assert!(matches!(
+            parse_statement("DELETE FROM t").unwrap(),
+            Statement::Delete { filter: None, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE id = 'x'").unwrap(),
+            Statement::Delete { filter: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_statement("SELECT").is_err());
+        assert!(parse_statement("SELECT * FROM").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT * FROM t LIMIT 'x'").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("UPDATE t a = 1").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a IN ()").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a BETWEEN 1").is_err());
+        assert!(parse_statement("SELECT * FROM t extra").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a = ").is_err());
+    }
+
+    #[test]
+    fn update_and_list_predicates_parse() {
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c > 2").unwrap(),
+            Statement::Update { ref sets, filter: Some(_), .. } if sets.len() == 2
+        ));
+        let s = select("SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT BETWEEN 0 AND 9");
+        let mut cols = Vec::new();
+        s.filter.unwrap().referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = select("select * from T where A like 'x%' order by A asc limit 1");
+        assert_eq!(s.table, "T");
+        assert_eq!(s.limit, Some(1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the SQL engine.
+
+use proptest::prelude::*;
+use quepa_pdm::Value;
+use quepa_relstore::engine::Database;
+use quepa_relstore::eval::like_match;
+
+/// Reference implementation of LIKE by naive recursion, to cross-check the
+/// iterative backtracking matcher.
+fn like_naive(p: &[char], t: &[char]) -> bool {
+    match (p.first(), t.first()) {
+        (None, None) => true,
+        (Some('%'), _) => {
+            like_naive(&p[1..], t) || (!t.is_empty() && like_naive(p, &t[1..]))
+        }
+        (Some('_'), Some(_)) => like_naive(&p[1..], &t[1..]),
+        (Some(pc), Some(tc)) if pc == tc => like_naive(&p[1..], &t[1..]),
+        _ => false,
+    }
+}
+
+proptest! {
+    /// The fast LIKE matcher agrees with the naive recursive one.
+    #[test]
+    fn like_agrees_with_reference(
+        pattern in "[ab%_]{0,8}",
+        text in "[ab]{0,10}",
+    ) {
+        let p: Vec<char> = pattern.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        prop_assert_eq!(like_match(&pattern, &text), like_naive(&p, &t));
+    }
+
+    /// `%text%` always matches any string containing `text`.
+    #[test]
+    fn like_contains(needle in "[a-z]{1,5}", pre in "[a-z]{0,5}", post in "[a-z]{0,5}") {
+        let text = format!("{pre}{needle}{post}");
+        let pattern = format!("%{needle}%");
+        prop_assert!(like_match(&pattern, &text));
+    }
+
+    /// Insert-then-get returns exactly what was stored; delete removes it.
+    #[test]
+    fn insert_get_delete_roundtrip(rows in prop::collection::btree_map("[a-z0-9]{1,8}", any::<i64>(), 1..40)) {
+        let mut db = Database::new("d");
+        db.create_table("t", "id", &["id", "n"]).unwrap();
+        for (k, n) in &rows {
+            db.insert_row("t", vec![Value::str(k.clone()), Value::Int(*n)]).unwrap();
+        }
+        prop_assert_eq!(db.table("t").unwrap().len(), rows.len());
+        for (k, n) in &rows {
+            let row = db.get("t", k).unwrap().unwrap();
+            prop_assert_eq!(row["n"].clone(), Value::Int(*n));
+        }
+        // Delete half of the rows, check membership afterwards.
+        let doomed: Vec<_> = rows.keys().take(rows.len() / 2).cloned().collect();
+        for k in &doomed {
+            db.execute(&format!("DELETE FROM t WHERE id = '{k}'")).unwrap();
+        }
+        for k in rows.keys() {
+            let present = db.get("t", k).unwrap().is_some();
+            prop_assert_eq!(present, !doomed.contains(k));
+        }
+    }
+
+    /// A filtered scan returns exactly the rows a manual filter selects,
+    /// with and without a secondary index.
+    #[test]
+    fn scan_matches_manual_filter(ns in prop::collection::vec(0i64..50, 1..60), threshold in 0i64..50) {
+        let mut db = Database::new("d");
+        db.create_table("t", "id", &["id", "n"]).unwrap();
+        for (i, n) in ns.iter().enumerate() {
+            db.insert_row("t", vec![Value::str(format!("k{i}")), Value::Int(*n)]).unwrap();
+        }
+        let rows = db.query(&format!("SELECT * FROM t WHERE n > {threshold}")).unwrap();
+        let expected = ns.iter().filter(|&&n| n > threshold).count();
+        prop_assert_eq!(rows.len(), expected);
+
+        // Equality via index agrees with scan.
+        db.create_index("t", "n").unwrap();
+        let eq_indexed = db.query(&format!("SELECT * FROM t WHERE n = {threshold}")).unwrap();
+        let expected_eq = ns.iter().filter(|&&n| n == threshold).count();
+        prop_assert_eq!(eq_indexed.len(), expected_eq);
+    }
+
+    /// ORDER BY really sorts and LIMIT truncates.
+    #[test]
+    fn order_and_limit(ns in prop::collection::vec(any::<i32>(), 1..50), limit in 0usize..60) {
+        let mut db = Database::new("d");
+        db.create_table("t", "id", &["id", "n"]).unwrap();
+        for (i, n) in ns.iter().enumerate() {
+            db.insert_row("t", vec![Value::str(format!("k{i:03}")), Value::Int(*n as i64)]).unwrap();
+        }
+        let rows = db.query(&format!("SELECT n FROM t ORDER BY n ASC LIMIT {limit}")).unwrap();
+        prop_assert_eq!(rows.len(), ns.len().min(limit));
+        let got: Vec<i64> = rows.iter().map(|r| r["n"].as_int().unwrap()).collect();
+        let mut sorted: Vec<i64> = ns.iter().map(|&n| n as i64).collect();
+        sorted.sort_unstable();
+        sorted.truncate(limit);
+        prop_assert_eq!(got, sorted);
+    }
+
+    /// COUNT(*) equals the number of live rows under any filter.
+    #[test]
+    fn count_agrees(ns in prop::collection::vec(0i64..20, 0..40), threshold in 0i64..20) {
+        let mut db = Database::new("d");
+        db.create_table("t", "id", &["id", "n"]).unwrap();
+        for (i, n) in ns.iter().enumerate() {
+            db.insert_row("t", vec![Value::str(format!("k{i}")), Value::Int(*n)]).unwrap();
+        }
+        let r = db.query(&format!("SELECT COUNT(*) FROM t WHERE n < {threshold}")).unwrap();
+        let expected = ns.iter().filter(|&&n| n < threshold).count() as i64;
+        prop_assert_eq!(r[0]["count"].clone(), Value::Int(expected));
+    }
+}

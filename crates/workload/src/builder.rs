@@ -1,0 +1,345 @@
+//! Polystore assembly and A' index wiring.
+
+use std::sync::Arc;
+
+use quepa_aindex::AIndex;
+use quepa_core::Quepa;
+use quepa_docstore::DocumentDb;
+use quepa_graphstore::GraphDb;
+use quepa_kvstore::KvStore;
+use quepa_pdm::{GlobalKey, Probability, Value};
+use quepa_polystore::{
+    Deployment, DocumentConnector, GraphConnector, KvConnector, Polystore,
+    RelationalConnector,
+};
+use quepa_relstore::engine::Database;
+
+use crate::gen::MusicData;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of album entities in the base stores (the scale knob; the
+    /// paper's full polystore corresponds to roughly `albums = 8_000_000`,
+    /// shrunk here by a constant factor).
+    pub albums: usize,
+    /// Replica sets: each set clones catalogue + transactions + similar
+    /// (Redis stays single, §VII-A), so `databases = 4 + 3 × replica_sets`
+    /// — the paper's 4 / 7 / 10 / 13 axis.
+    pub replica_sets: usize,
+    /// Which latency model every store link uses.
+    pub deployment: Deployment,
+    /// RNG seed for the data generator.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            albums: 1000,
+            replica_sets: 0,
+            deployment: Deployment::Centralized,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Number of databases this configuration yields.
+    pub fn database_count(&self) -> usize {
+        4 + 3 * self.replica_sets
+    }
+}
+
+/// A built polystore: registry + A' index + the generated ground truth.
+pub struct BuiltPolystore {
+    /// The store registry.
+    pub polystore: Polystore,
+    /// The wired A' index.
+    pub index: AIndex,
+    /// The generated data (kept for assertions and query planning).
+    pub data: MusicData,
+    /// The configuration that built it.
+    pub config: WorkloadConfig,
+}
+
+impl BuiltPolystore {
+    /// Builds the polystore of §VII-A.
+    pub fn build(config: WorkloadConfig) -> Self {
+        let data = MusicData::generate(config.albums, config.seed);
+        let latency = config.deployment.latency();
+        let mut polystore = Polystore::new();
+        let mut index = AIndex::new();
+
+        // Store-name suffixes: "" for the base set, "_r1" ….
+        let suffixes: Vec<String> = (0..=config.replica_sets)
+            .map(|r| if r == 0 { String::new() } else { format!("_r{r}") })
+            .collect();
+
+        // ---- the single shared Redis ------------------------------------
+        let mut kv = KvStore::new("discount");
+        for album in &data.albums {
+            if album.discounted {
+                kv.set(discount_key(album.seq, &album.artist, &album.title), format!("{}%", album.discount_pct));
+            }
+        }
+        polystore.register(Arc::new(KvConnector::new(kv, "drop", latency)));
+
+        // ---- replicated stores -------------------------------------------
+        for suffix in &suffixes {
+            // Relational: transactions{suffix}.
+            let mut rel = Database::new(format!("transactions{suffix}"));
+            rel.create_table("inventory", "id", &["id", "artist", "name", "year", "seq"])
+                .unwrap();
+            rel.create_table("sales", "id", &["id", "customer", "total", "seq"]).unwrap();
+            rel.create_table("sales_details", "id", &["id", "sale", "item", "seq"]).unwrap();
+            for album in &data.albums {
+                rel.insert_row(
+                    "inventory",
+                    vec![
+                        Value::str(format!("a{}", album.seq)),
+                        Value::str(album.artist.clone()),
+                        Value::str(album.title.clone()),
+                        Value::Int(album.year),
+                        Value::Int(album.seq as i64),
+                    ],
+                )
+                .unwrap();
+            }
+            for sale in &data.sales {
+                rel.insert_row(
+                    "sales",
+                    vec![
+                        Value::str(format!("s{}", sale.seq)),
+                        Value::str(format!("c{}", sale.customer)),
+                        Value::Float(sale.total),
+                        Value::Int(sale.seq as i64),
+                    ],
+                )
+                .unwrap();
+                for (j, item) in sale.items.iter().enumerate() {
+                    rel.insert_row(
+                        "sales_details",
+                        vec![
+                            Value::str(format!("i{}_{j}", sale.seq)),
+                            Value::str(format!("s{}", sale.seq)),
+                            Value::str(format!("a{item}")),
+                            Value::Int(sale.seq as i64),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+            polystore.register(Arc::new(RelationalConnector::new(rel, latency)));
+
+            // Document: catalogue{suffix}.
+            let mut doc = DocumentDb::new(format!("catalogue{suffix}"));
+            for album in &data.albums {
+                doc.insert(
+                    "albums",
+                    Value::object([
+                        ("_id", Value::str(format!("d{}", album.seq))),
+                        ("title", Value::str(album.title.clone())),
+                        ("artist", Value::str(album.artist.clone())),
+                        ("year", Value::Int(album.year)),
+                        ("seq", Value::Int(album.seq as i64)),
+                    ]),
+                )
+                .unwrap();
+            }
+            for customer in &data.customers {
+                doc.insert(
+                    "customers",
+                    Value::object([
+                        ("_id", Value::str(format!("c{}", customer.seq))),
+                        ("name", Value::str(customer.name.clone())),
+                        ("city", Value::str(customer.city.clone())),
+                        ("seq", Value::Int(customer.seq as i64)),
+                    ]),
+                )
+                .unwrap();
+            }
+            polystore.register(Arc::new(DocumentConnector::new(doc, latency)));
+
+            // Graph: similar{suffix}.
+            let mut graph = GraphDb::new(format!("similar{suffix}"));
+            for album in &data.albums {
+                graph
+                    .add_node(
+                        &format!("g{}", album.seq),
+                        "Album",
+                        [
+                            ("title", Value::str(album.title.clone())),
+                            ("seq", Value::Int(album.seq as i64)),
+                        ],
+                    )
+                    .unwrap();
+            }
+            for (from, to) in &data.similar {
+                if from != to {
+                    graph
+                        .add_edge(&format!("g{from}"), &format!("g{to}"), "SIMILAR")
+                        .unwrap();
+                }
+            }
+            polystore.register(Arc::new(GraphConnector::new(graph, latency)));
+        }
+
+        // ---- the A' index -------------------------------------------------
+        // One identity clique per album entity across all its copies, plus
+        // matchings to the sale lines that reference it. The graph is
+        // uniformly dense by construction (§VII-A: "queries of the same
+        // size return answers with a comparable number of data objects").
+        for album in &data.albums {
+            let mut copies: Vec<GlobalKey> = Vec::with_capacity(2 + 3 * suffixes.len());
+            for suffix in &suffixes {
+                copies.push(key(&format!("transactions{suffix}"), "inventory", &format!("a{}", album.seq)));
+                copies.push(key(&format!("catalogue{suffix}"), "albums", &format!("d{}", album.seq)));
+                copies.push(key(&format!("similar{suffix}"), "album", &format!("g{}", album.seq)));
+            }
+            if album.discounted {
+                copies.push(key(
+                    "discount",
+                    "drop",
+                    &discount_key(album.seq, &album.artist, &album.title),
+                ));
+            }
+            // Chain inserts; transitivity materializes the clique.
+            let p = Probability::of(0.90 + 0.0005 * (album.seq % 100) as f64 / 10.0);
+            for pair in copies.windows(2) {
+                index.insert_identity(&pair[0], &pair[1], p);
+            }
+        }
+        // Sale ↔ line ↔ item matchings (base store only: replicas share the
+        // identity cliques, so the consistency condition spreads these).
+        for sale in &data.sales {
+            let sale_key = key("transactions", "sales", &format!("s{}", sale.seq));
+            let customer_key =
+                key("catalogue", "customers", &format!("c{}", sale.customer));
+            index.insert_matching(&sale_key, &customer_key, Probability::of(0.75));
+            for (j, item) in sale.items.iter().enumerate() {
+                let line_key =
+                    key("transactions", "sales_details", &format!("i{}_{j}", sale.seq));
+                let item_key = key("transactions", "inventory", &format!("a{item}"));
+                index.insert_matching(&sale_key, &line_key, Probability::of(0.99));
+                index.insert_matching(&line_key, &item_key, Probability::of(0.7));
+            }
+        }
+
+        BuiltPolystore { polystore, index, data, config }
+    }
+
+    /// Wraps the built polystore into a ready [`Quepa`] system.
+    pub fn into_quepa(self) -> Quepa {
+        Quepa::new(self.polystore, self.index)
+    }
+}
+
+fn key(db: &str, coll: &str, local: &str) -> GlobalKey {
+    GlobalKey::parse_parts(db, coll, local).expect("generated keys are valid")
+}
+
+/// The Redis key of an album's discount, e.g. `k7:the-lovemi:broken-wish-7`.
+pub fn discount_key(seq: usize, artist: &str, title: &str) -> String {
+    format!("k{seq}:{}:{}", slug(artist), slug(title))
+}
+
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(replica_sets: usize) -> BuiltPolystore {
+        BuiltPolystore::build(WorkloadConfig {
+            albums: 40,
+            replica_sets,
+            deployment: Deployment::InProcess,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn store_counts_follow_the_paper_axis() {
+        for (sets, expect) in [(0usize, 4usize), (1, 7), (2, 10), (3, 13)] {
+            let built = small(sets);
+            assert_eq!(built.polystore.len(), expect);
+            assert_eq!(built.config.database_count(), expect);
+        }
+    }
+
+    #[test]
+    fn stores_are_populated() {
+        let built = small(0);
+        let p = &built.polystore;
+        assert_eq!(
+            p.execute("transactions", "SELECT COUNT(*) FROM inventory").unwrap().len(),
+            1
+        );
+        let objs = p.execute("catalogue", r#"db.albums.find({"seq":{"$lt":5}})"#).unwrap();
+        assert_eq!(objs.len(), 5);
+        let objs = p.execute("similar", "MATCH (n:Album) WHERE n.seq < 5 RETURN n").unwrap();
+        assert_eq!(objs.len(), 5);
+        let objs = p.execute("discount", "SCAN k COUNT 10").unwrap();
+        assert_eq!(objs.len(), 10);
+        // Half the albums are discounted.
+        assert_eq!(p.connector_by_name("discount").unwrap().object_count(), 20);
+    }
+
+    #[test]
+    fn index_is_consistent_and_dense() {
+        let built = small(1);
+        assert!(built.index.check_consistency().is_none());
+        let stats = built.index.stats();
+        assert!(stats.nodes > 0);
+        assert!(stats.identity_edges > 0);
+        assert!(stats.matching_edges > 0);
+        // Every inventory item's augmentation reaches its catalogue copy.
+        let a0 = key("transactions", "inventory", "a0");
+        let out = built.index.augment(std::slice::from_ref(&a0), 0);
+        assert!(out.iter().any(|a| a.key == key("catalogue", "albums", "d0")));
+        assert!(out.iter().any(|a| a.key == key("catalogue_r1", "albums", "d0")));
+    }
+
+    #[test]
+    fn augmented_size_grows_with_store_count() {
+        let small4 = small(0);
+        let small13 = small(3);
+        let a0 = key("transactions", "inventory", "a0");
+        let n4 = small4.index.augment(std::slice::from_ref(&a0), 0).len();
+        let n13 = small13.index.augment(std::slice::from_ref(&a0), 0).len();
+        assert!(n13 > n4, "more stores ⇒ bigger augmented answers ({n4} vs {n13})");
+    }
+
+    #[test]
+    fn end_to_end_quepa() {
+        let quepa = small(0).into_quepa();
+        let answer = quepa
+            .augmented_search("transactions", "SELECT * FROM inventory WHERE seq < 10", 0)
+            .unwrap();
+        assert_eq!(answer.original.len(), 10);
+        assert!(!answer.augmented.is_empty());
+        // Discounted albums surface their kv entry.
+        assert!(answer
+            .augmented
+            .iter()
+            .any(|a| a.object.key().database().as_str() == "discount"));
+    }
+
+    #[test]
+    fn slug_behaviour() {
+        assert_eq!(slug("The Cure"), "the-cure");
+        assert_eq!(slug("  A+B  "), "a-b");
+        assert_eq!(slug("Broken Wish #7"), "broken-wish-7");
+    }
+}

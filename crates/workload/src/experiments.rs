@@ -1,0 +1,49 @@
+//! The parameter grids of §VII's figures, so the bench harness and the
+//! `figures` binary agree on what each experiment sweeps.
+
+/// The paper's query result sizes (§VII-A(b)).
+pub const QUERY_SIZES: [usize; 5] = [100, 500, 1_000, 5_000, 10_000];
+
+/// The paper's polystore sizes in databases (§VII-A: replicas of the base
+/// four-store polystore).
+pub const STORE_COUNTS: [usize; 4] = [4, 7, 10, 13];
+
+/// Replica-set counts corresponding to [`STORE_COUNTS`].
+pub const REPLICA_SETS: [usize; 4] = [0, 1, 2, 3];
+
+/// The BATCH_SIZE sweep of Fig. 9/10 (log-scaled x axis).
+pub const BATCH_SIZES: [usize; 8] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// The THREADS_SIZE sweep of Fig. 11(a,b).
+pub const THREAD_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The CACHE_SIZE sweep of the §VII-B(c) memory experiment.
+pub const CACHE_SIZES: [usize; 6] = [0, 256, 1_024, 4_096, 16_384, 65_536];
+
+/// Augmentation levels the experiments report (level 0 and level 1).
+pub const LEVELS: [usize; 2] = [0, 1];
+
+/// Default scale factor: how many album entities the experimental
+/// polystore holds. The paper's polystore has ~8M documents / 20M tuples;
+/// benches default to a 1000× shrink with the same store-size *ratios*.
+pub const DEFAULT_ALBUMS: usize = 8_000;
+
+/// A smaller scale for smoke tests and CI.
+pub const SMOKE_ALBUMS: usize = 400;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_sorted_and_positive() {
+        assert!(QUERY_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(BATCH_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(THREAD_COUNTS.windows(2).all(|w| w[0] < w[1]));
+        assert!(STORE_COUNTS.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(STORE_COUNTS.len(), REPLICA_SETS.len());
+        for (stores, sets) in STORE_COUNTS.iter().zip(REPLICA_SETS) {
+            assert_eq!(*stores, 4 + 3 * sets);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic music-domain data generation.
+//!
+//! The paper populates the polystore from the Last.fm dataset (songs and
+//! their similarities) reconstructed into albums via MusicBrainz, plus
+//! synthetic customers, sales and discounts. Those sources are not
+//! available offline, so this module generates a synthetic equivalent with
+//! the same *shape*: named artists with albums and songs, a similarity
+//! graph over items, and the synthetic commerce data.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One album entity; the same real-world entity appears (with different
+/// representations) in every store.
+#[derive(Debug, Clone)]
+pub struct Album {
+    /// Dense entity index.
+    pub seq: usize,
+    /// Album title.
+    pub title: String,
+    /// Artist name.
+    pub artist: String,
+    /// Release year.
+    pub year: i64,
+    /// Whether the discount store carries a discount for it.
+    pub discounted: bool,
+    /// Discount percentage when discounted.
+    pub discount_pct: u32,
+}
+
+/// One sale with its line items.
+#[derive(Debug, Clone)]
+pub struct Sale {
+    /// Dense sale index.
+    pub seq: usize,
+    /// Buying customer index.
+    pub customer: usize,
+    /// Total price.
+    pub total: f64,
+    /// Purchased album seqs.
+    pub items: Vec<usize>,
+}
+
+/// One customer profile.
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Dense customer index.
+    pub seq: usize,
+    /// Full name.
+    pub name: String,
+    /// City.
+    pub city: String,
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct MusicData {
+    /// All albums.
+    pub albums: Vec<Album>,
+    /// All sales.
+    pub sales: Vec<Sale>,
+    /// All customers.
+    pub customers: Vec<Customer>,
+    /// Similarity edges between albums `(from_seq, to_seq)`.
+    pub similar: Vec<(usize, usize)>,
+}
+
+const SYLLABLES: [&str; 16] = [
+    "lo", "ve", "mi", "ra", "son", "ic", "dre", "am", "sky", "fall", "neo", "pol", "lyn", "mar",
+    "ka", "zen",
+];
+const ADJECTIVES: [&str; 12] = [
+    "Broken", "Silent", "Electric", "Golden", "Lost", "Neon", "Velvet", "Crimson", "Pale",
+    "Wild", "Hollow", "Distant",
+];
+const NOUNS: [&str; 12] = [
+    "Wish", "Dream", "Mirror", "Garden", "Echo", "River", "Signal", "Horizon", "Letter",
+    "Winter", "Machine", "Parade",
+];
+const CITIES: [&str; 8] =
+    ["Rome", "Berlin", "Tokyo", "Oslo", "Lisbon", "Quito", "Dakar", "Perth"];
+const FIRST_NAMES: [&str; 8] =
+    ["John", "Lucy", "Ada", "Ken", "Mara", "Iris", "Tom", "Nia"];
+const LAST_NAMES: [&str; 8] =
+    ["Doe", "Smith", "Rossi", "Tanaka", "Berg", "Silva", "Okoro", "Lee"];
+
+fn artist_name(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(2..4);
+    let mut name = String::from("The ");
+    for i in 0..n {
+        let syl = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+        if i == 0 {
+            let mut c = syl.chars();
+            if let Some(first) = c.next() {
+                name.extend(first.to_uppercase());
+                name.push_str(c.as_str());
+            }
+        } else {
+            name.push_str(syl);
+        }
+    }
+    name
+}
+
+fn album_title(rng: &mut SmallRng, seq: usize) -> String {
+    // A unique-ish two-word title; the seq keeps titles distinct so record
+    // linkage and LIKE-queries behave predictably.
+    format!(
+        "{} {} #{seq}",
+        ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())],
+        NOUNS[rng.gen_range(0..NOUNS.len())]
+    )
+}
+
+impl MusicData {
+    /// Generates a dataset of `n_albums` albums (with sales ≈ albums and
+    /// customers ≈ albums/10), deterministic in `seed`.
+    pub fn generate(n_albums: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_artists = (n_albums / 4).max(1);
+        let artists: Vec<String> = (0..n_artists).map(|_| artist_name(&mut rng)).collect();
+
+        let albums: Vec<Album> = (0..n_albums)
+            .map(|seq| {
+                let discounted = seq % 2 == 0;
+                Album {
+                    seq,
+                    title: album_title(&mut rng, seq),
+                    artist: artists[rng.gen_range(0..artists.len())].clone(),
+                    year: rng.gen_range(1960..2018),
+                    discounted,
+                    discount_pct: if discounted { rng.gen_range(5..60) } else { 0 },
+                }
+            })
+            .collect();
+
+        let n_customers = (n_albums / 10).max(1);
+        let customers: Vec<Customer> = (0..n_customers)
+            .map(|seq| Customer {
+                seq,
+                name: format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                    LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+                ),
+                city: CITIES[rng.gen_range(0..CITIES.len())].to_owned(),
+            })
+            .collect();
+
+        // One sale per album on average; each sale buys 1–3 albums.
+        let sales: Vec<Sale> = (0..n_albums)
+            .map(|seq| {
+                let n_items = rng.gen_range(1..=3.min(n_albums));
+                let items: Vec<usize> =
+                    (0..n_items).map(|_| rng.gen_range(0..n_albums)).collect();
+                Sale {
+                    seq,
+                    customer: rng.gen_range(0..n_customers),
+                    total: items.len() as f64 * rng.gen_range(8.0..25.0),
+                    items,
+                }
+            })
+            .collect();
+
+        // Similarity graph: a ring plus random chords — connected, uniform
+        // degree ~3, like the paper's "uniformly dense" requirement.
+        let mut similar = Vec::with_capacity(n_albums * 2);
+        for seq in 0..n_albums {
+            similar.push((seq, (seq + 1) % n_albums));
+            if n_albums > 4 {
+                similar.push((seq, rng.gen_range(0..n_albums)));
+            }
+        }
+
+        MusicData { albums, sales, customers, similar }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = MusicData::generate(50, 7);
+        let b = MusicData::generate(50, 7);
+        assert_eq!(a.albums.len(), b.albums.len());
+        for (x, y) in a.albums.iter().zip(&b.albums) {
+            assert_eq!(x.title, y.title);
+            assert_eq!(x.artist, y.artist);
+        }
+        let c = MusicData::generate(50, 8);
+        assert_ne!(
+            a.albums.iter().map(|x| &x.title).collect::<Vec<_>>(),
+            c.albums.iter().map(|x| &x.title).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn shape() {
+        let d = MusicData::generate(100, 1);
+        assert_eq!(d.albums.len(), 100);
+        assert_eq!(d.sales.len(), 100);
+        assert_eq!(d.customers.len(), 10);
+        assert!(d.similar.len() >= 100);
+        // Half the albums are discounted.
+        assert_eq!(d.albums.iter().filter(|a| a.discounted).count(), 50);
+        // Sales reference valid albums and customers.
+        for s in &d.sales {
+            assert!(s.customer < 10);
+            assert!(s.items.iter().all(|&i| i < 100));
+            assert!(!s.items.is_empty());
+        }
+        // Titles are unique (the #seq suffix guarantees it).
+        let mut titles: Vec<&str> = d.albums.iter().map(|a| a.title.as_str()).collect();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), 100);
+    }
+
+    #[test]
+    fn tiny_dataset_does_not_panic() {
+        let d = MusicData::generate(1, 0);
+        assert_eq!(d.albums.len(), 1);
+        assert_eq!(d.customers.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! The test-bed queries of §VII-A(b): "for each of the four databases, we
+//! consider queries with different result size: they retrieve 100, 500,
+//! 1,000, 5,000 and 10,000 objects".
+//!
+//! The generator gives every object a dense `seq` attribute, so a
+//! `seq < n` predicate in each store's native language returns exactly
+//! `min(n, population)` objects.
+
+use quepa_polystore::StoreKind;
+
+/// Returns a native-language query over `kind`'s main collection returning
+/// `size` objects.
+pub fn query_for(kind: StoreKind, size: usize) -> String {
+    match kind {
+        StoreKind::Relational => {
+            format!("SELECT * FROM inventory WHERE seq < {size}")
+        }
+        StoreKind::Document => {
+            format!(r#"db.albums.find({{"seq":{{"$lt":{size}}}}})"#)
+        }
+        StoreKind::Graph => {
+            format!("MATCH (n:Album) WHERE n.seq < {size} RETURN n")
+        }
+        StoreKind::KeyValue => format!("SCAN k COUNT {size}"),
+    }
+}
+
+/// A labelled query: which database to send it to and what it asks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestQuery {
+    /// Target database name.
+    pub database: String,
+    /// Query text in that database's native language.
+    pub query: String,
+    /// Nominal result size.
+    pub size: usize,
+}
+
+/// The full §VII-A(b) query set over the four base stores.
+pub fn standard_query_set(sizes: &[usize]) -> Vec<TestQuery> {
+    let targets = [
+        ("transactions", StoreKind::Relational),
+        ("catalogue", StoreKind::Document),
+        ("similar", StoreKind::Graph),
+        ("discount", StoreKind::KeyValue),
+    ];
+    let mut out = Vec::with_capacity(targets.len() * sizes.len());
+    for &size in sizes {
+        for (db, kind) in targets {
+            out.push(TestQuery {
+                database: db.to_owned(),
+                query: query_for(kind, size),
+                size,
+            });
+        }
+    }
+    out
+}
+
+/// A deterministic family of 25 "different kind" hold-out queries for the
+/// optimizer-quality experiment (§VII-C), distinct from the training
+/// sizes.
+pub fn holdout_query_set() -> Vec<TestQuery> {
+    let mut out = Vec::new();
+    // 25 queries: 7 relational, 6 document, 6 graph, 6 kv, with sizes not
+    // in the standard grid.
+    let sizes = [37usize, 73, 146, 292, 584, 1168, 2336];
+    for (i, &size) in sizes.iter().enumerate() {
+        out.push(TestQuery {
+            database: "transactions".into(),
+            query: query_for(StoreKind::Relational, size),
+            size,
+        });
+        if i < 6 {
+            out.push(TestQuery {
+                database: "catalogue".into(),
+                query: query_for(StoreKind::Document, size + 11),
+                size: size + 11,
+            });
+            out.push(TestQuery {
+                database: "similar".into(),
+                query: query_for(StoreKind::Graph, size + 23),
+                size: size + 23,
+            });
+            out.push(TestQuery {
+                database: "discount".into(),
+                query: query_for(StoreKind::KeyValue, size / 2 + 5),
+                size: size / 2 + 5,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuiltPolystore, WorkloadConfig};
+    use quepa_polystore::Deployment;
+
+    #[test]
+    fn queries_return_requested_sizes() {
+        let built = BuiltPolystore::build(WorkloadConfig {
+            albums: 300,
+            replica_sets: 0,
+            deployment: Deployment::InProcess,
+            seed: 1,
+        });
+        for size in [1usize, 10, 100, 250] {
+            for (db, kind) in [
+                ("transactions", StoreKind::Relational),
+                ("catalogue", StoreKind::Document),
+                ("similar", StoreKind::Graph),
+            ] {
+                let objs = built.polystore.execute(db, &query_for(kind, size)).unwrap();
+                assert_eq!(objs.len(), size, "{db} size {size}");
+            }
+        }
+        // KV counts discounted albums only (every 2nd).
+        let objs = built.polystore.execute("discount", &query_for(StoreKind::KeyValue, 50)).unwrap();
+        assert_eq!(objs.len(), 50);
+    }
+
+    #[test]
+    fn standard_set_shape() {
+        let qs = standard_query_set(&[100, 500]);
+        assert_eq!(qs.len(), 8);
+        assert!(qs.iter().any(|q| q.database == "discount" && q.size == 500));
+    }
+
+    #[test]
+    fn holdout_set_is_25_distinct_queries() {
+        let qs = holdout_query_set();
+        assert_eq!(qs.len(), 25);
+        let mut texts: Vec<&str> = qs.iter().map(|q| q.query.as_str()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), 25);
+        // None of the hold-out sizes collide with the training grid.
+        for q in &qs {
+            assert!(![100usize, 500, 1000, 5000, 10000].contains(&q.size));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The adaptive optimizer (§V): collect run logs, train the C4.5 +
+//! REPTree models, and watch ADAPTIVE pick sensible configurations per
+//! query — against the HUMAN and RANDOM baselines of §VII-C.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use quepa::core::{
+    AdaptiveOptimizer, AugmenterKind, HumanOptimizer, Optimizer, QuepaConfig, RandomOptimizer,
+};
+use quepa::polystore::{Deployment, StoreKind};
+use quepa::workload::{query_for, BuiltPolystore, WorkloadConfig};
+
+fn main() {
+    let built = BuiltPolystore::build(WorkloadConfig {
+        albums: 800,
+        replica_sets: 1,
+        deployment: Deployment::Centralized,
+        seed: 21,
+    });
+    let quepa = built.into_quepa();
+
+    // Phase 1 — logs collection: sweep configurations over a query grid.
+    println!("phase 1: collecting run logs…");
+    for size in [50usize, 200, 800] {
+        for augmenter in AugmenterKind::ALL {
+            for batch in [8usize, 256] {
+                quepa.set_config(QuepaConfig {
+                    augmenter,
+                    batch_size: batch,
+                    threads_size: 4,
+                    cache_size: 4096,
+                });
+                quepa.drop_caches();
+                let q = query_for(StoreKind::Relational, size);
+                let _ = quepa.augmented_search("transactions", &q, 0).unwrap();
+            }
+        }
+    }
+    let logs = quepa.take_logs();
+    println!("collected {} run logs", logs.len());
+
+    // Phase 2 — training.
+    let adaptive = AdaptiveOptimizer::train(&logs).expect("enough distinct situations");
+    println!("trained T1 (C4.5) + T2–T4 (REPTrees)");
+    println!("\nthe learned T1 tree (cf. paper Fig. 8):\n{}", adaptive.render_t1());
+
+    // Phase 3 — prediction: what does each optimizer pick?
+    let human = HumanOptimizer::default();
+    let random = RandomOptimizer::new(3);
+    let current = quepa.config();
+    for (label, result_size, augmented_size) in
+        [("tiny query", 10usize, 25usize), ("large query", 800, 6000)]
+    {
+        let features = quepa::core::QueryFeatures {
+            target_kind: StoreKind::Relational,
+            store_count: 7,
+            result_size,
+            augmented_size,
+            level: 0,
+            distributed: false,
+        };
+        println!("{label} ({result_size} results, {augmented_size} related):");
+        for (name, cfg) in [
+            ("ADAPTIVE", adaptive.choose(&features, &current)),
+            ("HUMAN", human.choose(&features, &current)),
+            ("RANDOM", random.choose(&features, &current)),
+        ] {
+            println!("  {name:<9} → {cfg}");
+        }
+        println!();
+    }
+
+    // Install ADAPTIVE and measure a few live queries.
+    quepa.set_optimizer(Some(Box::new(adaptive)));
+    for size in [50usize, 800] {
+        quepa.drop_caches();
+        let q = query_for(StoreKind::Relational, size);
+        let answer = quepa.augmented_search("transactions", &q, 0).unwrap();
+        println!(
+            "live query of {size} results → optimizer chose {}, took {:?} ({} related objects)",
+            answer.config_used, answer.duration, answer.augmented.len()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The running example of the paper (§I): the Polyphony company's
+//! polystore, Lucy's SQL query, and the augmented answer revealing the
+//! catalogue entry and the 40% discount stored in other departments'
+//! databases.
+//!
+//! ```sh
+//! cargo run --example polyphony_search
+//! ```
+
+use std::sync::Arc;
+
+use quepa::aindex::AIndex;
+use quepa::core::Quepa;
+use quepa::docstore::DocumentDb;
+use quepa::graphstore::GraphDb;
+use quepa::kvstore::KvStore;
+use quepa::pdm::{text, Probability, Value};
+use quepa::polystore::{
+    DocumentConnector, GraphConnector, KvConnector, LatencyModel, Polystore,
+    RelationalConnector,
+};
+use quepa::relstore::engine::Database;
+
+fn main() {
+    // --- Fig. 1: the four departments' stores -----------------------------
+    // (i) Sales department: ACID transactions on a relational system.
+    let mut transactions = Database::new("transactions");
+    transactions.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
+    transactions.create_table("sales", "id", &["id", "first", "last", "total"]).unwrap();
+    transactions
+        .execute("INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish'), ('a33', 'Cure', 'Faith')")
+        .unwrap();
+    transactions.execute("INSERT INTO sales VALUES ('s8', 'John', 'Doe', 20.0)").unwrap();
+
+    // (ii) Warehouse department: JSON catalogue for search operations.
+    let mut catalogue = DocumentDb::new("catalogue");
+    catalogue
+        .insert(
+            "albums",
+            text::parse(
+                r#"{"_id":"d1","title":"Wish","artist_id":"a1","artist":"The Cure","year":1992}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // (iii) Marketing department: similar-items graph for recommendations.
+    let mut similar = GraphDb::new("similar");
+    similar.add_node("g7", "Album", [("title", Value::str("Wish"))]).unwrap();
+    similar.add_node("g8", "Album", [("title", Value::str("Disintegration"))]).unwrap();
+    similar.add_edge("g7", "g8", "SIMILAR").unwrap();
+
+    // Shared key-value store with discounts.
+    let mut discount = KvStore::new("discount");
+    discount.set("k1:cure:wish", "40%");
+
+    let mut polystore = Polystore::new();
+    polystore.register(Arc::new(RelationalConnector::new(transactions, LatencyModel::FREE)));
+    polystore.register(Arc::new(DocumentConnector::new(catalogue, LatencyModel::FREE)));
+    polystore.register(Arc::new(GraphConnector::new(similar, LatencyModel::FREE)));
+    polystore.register(Arc::new(KvConnector::new(discount, "drop", LatencyModel::FREE)));
+
+    // --- Example 2: the p-relations of the A' index (Fig. 3) -------------
+    let mut index = AIndex::new();
+    let k = |s: &str| s.parse().unwrap();
+    index.insert_identity(&k("catalogue.albums.d1"), &k("transactions.inventory.a32"), Probability::of(0.9));
+    // Example 7 / Fig. 4: this insert *materializes* the inferred identity
+    // discount.drop.k1:cure:wish ~0.72 transactions.inventory.a32.
+    index.insert_identity(&k("catalogue.albums.d1"), &k("discount.drop.k1:cure:wish"), Probability::of(0.8));
+    index.insert_identity(&k("catalogue.albums.d1"), &k("similar.album.g7"), Probability::of(0.95));
+
+    // --- §I: Lucy's query, in the only language she knows ----------------
+    let quepa = Quepa::new(polystore, index);
+    let query = "SELECT * FROM inventory WHERE name like '%wish%'";
+    println!("Lucy submits to the sales database, in augmented mode:\n  {query}\n");
+    let answer = quepa.augmented_search("transactions", query, 0).unwrap();
+    print!("{}", answer.render());
+
+    // The discount from the shared store is in the answer, as in §I.
+    let discount = answer
+        .augmented
+        .iter()
+        .find(|a| a.object.key().database().as_str() == "discount")
+        .expect("the 40% discount must surface");
+    println!("\n→ the product is on a {} discount — information Lucy's own", discount.object.value());
+    println!("  database does not hold, retrieved without any global schema.");
+    assert_eq!(discount.object.value().as_str(), Some("40%"));
+}

@@ -1,0 +1,62 @@
+//! Quickstart: assemble a two-store polystore, relate objects in the A'
+//! index, and run an augmented search.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use quepa::aindex::AIndex;
+use quepa::core::Quepa;
+use quepa::docstore::DocumentDb;
+use quepa::pdm::{text, Probability};
+use quepa::polystore::{DocumentConnector, LatencyModel, Polystore, RelationalConnector};
+use quepa::relstore::engine::Database;
+
+fn main() {
+    // 1. Two independent stores, each with its own native language.
+    let mut sales = Database::new("sales");
+    sales.create_table("items", "id", &["id", "name", "price"]).unwrap();
+    sales
+        .execute("INSERT INTO items VALUES ('i1', 'Wish (CD)', 12.5), ('i2', 'Faith (LP)', 21.0)")
+        .unwrap();
+
+    let mut catalog = DocumentDb::new("catalog");
+    catalog
+        .insert(
+            "albums",
+            text::parse(r#"{"_id":"a1","title":"Wish","artist":"The Cure","year":1992}"#)
+                .unwrap(),
+        )
+        .unwrap();
+
+    // 2. Register them in a polystore.
+    let mut polystore = Polystore::new();
+    polystore.register(Arc::new(RelationalConnector::new(sales, LatencyModel::FREE)));
+    polystore.register(Arc::new(DocumentConnector::new(catalog, LatencyModel::FREE)));
+
+    // 3. Record what relates to what (normally the Collector's job).
+    let mut index = AIndex::new();
+    index.insert_identity(
+        &"sales.items.i1".parse().unwrap(),
+        &"catalog.albums.a1".parse().unwrap(),
+        Probability::of(0.92),
+    );
+
+    // 4. Ask in SQL, receive answers from everywhere.
+    let quepa = Quepa::new(polystore, index);
+    let answer = quepa
+        .augmented_search("sales", "SELECT * FROM items WHERE name LIKE '%wish%'", 0)
+        .expect("augmented search");
+
+    println!("local answer ({} object):", answer.original.len());
+    for o in &answer.original {
+        println!("  {o}");
+    }
+    println!("augmentation ({} objects):", answer.augmented.len());
+    for a in &answer.augmented {
+        println!("  ⇒ {} [p={}]", a.object, a.probability);
+    }
+    assert_eq!(answer.augmented.len(), 1);
+}

@@ -1,0 +1,65 @@
+//! Interactive QUEPA shell over a generated Polyphony polystore.
+//!
+//! ```sh
+//! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13]
+//! ```
+
+use std::io::{BufRead, Write};
+
+use quepa::cli::CommandProcessor;
+use quepa::polystore::Deployment;
+use quepa::workload::{BuiltPolystore, WorkloadConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut albums = 1_000usize;
+    let mut stores = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--albums" => {
+                albums = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(albums);
+                i += 2;
+            }
+            "--stores" => {
+                stores = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(stores);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let replica_sets = stores.saturating_sub(4) / 3;
+    eprintln!(
+        "building a {}-store Polyphony polystore with {albums} album entities…",
+        4 + 3 * replica_sets
+    );
+    let built = BuiltPolystore::build(WorkloadConfig {
+        albums,
+        replica_sets,
+        deployment: Deployment::Centralized,
+        seed: 42,
+    });
+    let quepa = built.into_quepa();
+    let mut processor = CommandProcessor::new(&quepa);
+
+    println!("QUEPA shell — type HELP for commands, Ctrl-D to quit.");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("quepa> ");
+        stdout.flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => print!("{}", processor.handle(&line)),
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+    println!("bye.");
+}

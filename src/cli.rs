@@ -1,0 +1,396 @@
+//! A text front-end for QUEPA — the role the paper's REST "User Interface"
+//! component plays (§III-A, Fig. 2 step 1/8): receive inputs, dispatch to
+//! the system, render results with probabilities.
+//!
+//! The protocol is line-based so it is equally usable as a REPL
+//! (`cargo run --bin quepa-cli`), over a socket, or from tests:
+//!
+//! ```text
+//! SEARCH <db> <level> <query…>      augmented search (Definition 3)
+//! EXPLORE <db> <query…>             open an exploration (Definition 4)
+//! PICK <i>                          select a result / follow a link
+//! BACK                              show the current frontier again
+//! END                               close the exploration (may promote)
+//! CONFIG [<augmenter> <batch> <threads> <cache>]
+//! STORES | STATS | INDEX | HELP
+//! SAVE <path> | LOAD <path>         persist / restore the A' index
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::aindex::serial;
+use crate::core::{AugmenterKind, ExplorationSession, Quepa, QuepaConfig};
+
+/// A stateful command processor bound to one QUEPA instance.
+pub struct CommandProcessor<'q> {
+    quepa: &'q Quepa,
+    session: Option<ExplorationSession<'q>>,
+    /// Whether the last PICK was the first of the session (select vs step).
+    started: bool,
+}
+
+impl<'q> CommandProcessor<'q> {
+    /// Creates a processor over a system.
+    pub fn new(quepa: &'q Quepa) -> Self {
+        CommandProcessor { quepa, session: None, started: false }
+    }
+
+    /// True when an exploration session is open.
+    pub fn exploring(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Handles one input line, returning the text to show the user.
+    /// Errors are rendered, not raised — a UI never crashes on bad input.
+    pub fn handle(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line.is_empty() {
+            return String::new();
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "HELP" => HELP.to_owned(),
+            "STORES" => self.stores(),
+            "STATS" => self.stats(),
+            "INDEX" => self.index_info(),
+            "CONFIG" => self.config(rest),
+            "SEARCH" => self.search(rest),
+            "EXPLORE" => self.explore(rest),
+            "PICK" => self.pick(rest),
+            "BACK" => self.frontier(),
+            "END" => self.end(),
+            "SAVE" => self.save(rest),
+            "LOAD" => self.load(rest),
+            other => format!("unknown command {other:?}; try HELP"),
+        }
+    }
+
+    fn stores(&self) -> String {
+        let mut out = String::new();
+        for name in self.quepa.polystore().database_names() {
+            let c = self.quepa.polystore().connector(name).expect("listed");
+            let _ = writeln!(
+                out,
+                "{:<20} {:<12} {:>8} objects  collections: {}",
+                name.as_str(),
+                c.kind().name(),
+                c.object_count(),
+                c.collections()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        out
+    }
+
+    fn stats(&self) -> String {
+        let s = self.quepa.polystore().stats();
+        let (hits, misses) = self.quepa.cache().stats();
+        format!(
+            "queries: {}  round-trips: {}  objects moved: {}  simulated network: {:?}\n\
+             cache: {} entries, {hits} hits / {misses} misses\n",
+            s.queries,
+            s.round_trips,
+            s.objects_returned,
+            s.simulated_network,
+            self.quepa.cache().len(),
+        )
+    }
+
+    fn index_info(&self) -> String {
+        format!("{:?}\n", self.quepa.index().stats())
+    }
+
+    fn config(&self, rest: &str) -> String {
+        if rest.is_empty() {
+            return format!("{}\n", self.quepa.config());
+        }
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [aug, batch, threads, cache] = parts.as_slice() else {
+            return "usage: CONFIG <augmenter> <batch> <threads> <cache>".into();
+        };
+        let Some(augmenter) = AugmenterKind::parse(aug) else {
+            return format!(
+                "unknown augmenter {aug:?}; one of {}",
+                AugmenterKind::ALL.map(|k| k.name()).join(", ")
+            );
+        };
+        let parse = |s: &str| s.parse::<usize>().ok();
+        match (parse(batch), parse(threads), parse(cache)) {
+            (Some(batch_size), Some(threads_size), Some(cache_size)) => {
+                self.quepa.set_config(QuepaConfig {
+                    augmenter,
+                    batch_size,
+                    threads_size,
+                    cache_size,
+                });
+                format!("configured: {}\n", self.quepa.config())
+            }
+            _ => "batch/threads/cache must be integers".into(),
+        }
+    }
+
+    fn search(&mut self, rest: &str) -> String {
+        let mut parts = rest.splitn(3, char::is_whitespace);
+        let (Some(db), Some(level), Some(query)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return "usage: SEARCH <db> <level> <query…>".into();
+        };
+        let Ok(level) = level.parse::<usize>() else {
+            return "level must be a non-negative integer".into();
+        };
+        match self.quepa.augmented_search(db, query, level) {
+            Ok(answer) => {
+                let mut out = answer.render();
+                let _ = writeln!(
+                    out,
+                    "({} original + {} augmented in {:?}, {} cache hits)",
+                    answer.original.len(),
+                    answer.augmented.len(),
+                    answer.duration,
+                    answer.cache_hits,
+                );
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn explore(&mut self, rest: &str) -> String {
+        let Some((db, query)) = rest.split_once(char::is_whitespace) else {
+            return "usage: EXPLORE <db> <query…>".into();
+        };
+        match self.quepa.explore(db, query.trim()) {
+            Ok(session) => {
+                let mut out = String::new();
+                for (i, o) in session.results().iter().enumerate() {
+                    let _ = writeln!(out, "[{i}] {o}");
+                }
+                let _ = writeln!(out, "PICK <i> to expand a result.");
+                self.session = Some(session);
+                self.started = false;
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn pick(&mut self, rest: &str) -> String {
+        let Some(session) = self.session.as_mut() else {
+            return "no exploration in progress; EXPLORE first".into();
+        };
+        let Ok(i) = rest.trim().parse::<usize>() else {
+            return "usage: PICK <index>".into();
+        };
+        let result = if self.started { session.step(i) } else { session.select(i) };
+        self.started = true;
+        match result {
+            Ok(_) => self.frontier(),
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn frontier(&self) -> String {
+        let Some(session) = self.session.as_ref() else {
+            return "no exploration in progress".into();
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "path: {}",
+            session
+                .path()
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(" → ")
+        );
+        for (i, link) in session.frontier().iter().enumerate() {
+            let _ = writeln!(out, "[{i}] ⇒ {} [p={}]", link.object, link.probability);
+        }
+        if session.frontier().is_empty() {
+            let _ = writeln!(out, "(no further links)");
+        }
+        out
+    }
+
+    fn end(&mut self) -> String {
+        match self.session.take() {
+            None => "no exploration in progress".into(),
+            Some(session) => {
+                let steps = session.steps();
+                let promoted = session.finish();
+                self.started = false;
+                format!(
+                    "exploration closed after {steps} steps{}\n",
+                    if promoted { "; a shortcut p-relation was promoted" } else { "" }
+                )
+            }
+        }
+    }
+
+    fn save(&self, rest: &str) -> String {
+        if rest.is_empty() {
+            return "usage: SAVE <path>".into();
+        }
+        let text = serial::to_string(&self.quepa.index());
+        match std::fs::write(rest, text) {
+            Ok(()) => format!("A' index saved to {rest}\n"),
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn load(&self, rest: &str) -> String {
+        if rest.is_empty() {
+            return "usage: LOAD <path>".into();
+        }
+        let text = match std::fs::read_to_string(rest) {
+            Ok(t) => t,
+            Err(e) => return format!("error: {e}\n"),
+        };
+        match serial::from_str(&text) {
+            Ok(index) => {
+                *self.quepa.index_mut() = index;
+                format!("A' index loaded from {rest}: {:?}\n", self.quepa.index().stats())
+            }
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+}
+
+const HELP: &str = "\
+QUEPA commands:
+  SEARCH <db> <level> <query…>   augmented search in the store's native language
+  EXPLORE <db> <query…>          start an augmented exploration
+  PICK <i>                       expand result/link i       BACK  show frontier
+  END                            close the exploration (paths may promote)
+  CONFIG [<augmenter> <batch> <threads> <cache>]   show or set the configuration
+  STORES / STATS / INDEX         inspect the polystore / counters / A' index
+  SAVE <path> / LOAD <path>      persist or restore the A' index
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polystore::Deployment;
+    use crate::workload::{BuiltPolystore, WorkloadConfig};
+
+    fn quepa() -> Quepa {
+        BuiltPolystore::build(WorkloadConfig {
+            albums: 60,
+            replica_sets: 0,
+            deployment: Deployment::InProcess,
+            seed: 77,
+        })
+        .into_quepa()
+    }
+
+    #[test]
+    fn search_renders_answer() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("SEARCH transactions 0 SELECT * FROM inventory WHERE seq < 2");
+        assert!(out.contains("transactions.inventory.a0"), "{out}");
+        assert!(out.contains('⇒'), "{out}");
+        assert!(out.contains("augmented in"), "{out}");
+    }
+
+    #[test]
+    fn search_errors_are_rendered() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("SEARCH transactions 0 SELECT COUNT(*) FROM inventory");
+        assert!(out.contains("error"), "{out}");
+        let out = p.handle("SEARCH nosuchdb 0 SELECT * FROM t");
+        assert!(out.contains("error"), "{out}");
+        let out = p.handle("SEARCH transactions x SELECT * FROM t");
+        assert!(out.contains("level must be"), "{out}");
+    }
+
+    #[test]
+    fn explore_pick_end_flow() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("EXPLORE transactions SELECT * FROM sales WHERE seq < 2");
+        assert!(out.contains("[0]"), "{out}");
+        assert!(p.exploring());
+        let out = p.handle("PICK 0");
+        assert!(out.contains("path: transactions.sales.s0"), "{out}");
+        assert!(out.contains("[0] ⇒"), "{out}");
+        let out = p.handle("PICK 0");
+        assert!(out.contains('→'), "{out}");
+        let out = p.handle("END");
+        assert!(out.contains("closed after 2 steps"), "{out}");
+        assert!(!p.exploring());
+        assert_eq!(q.paths().tracked_paths(), 0, "2-node path is too short for D_P");
+    }
+
+    #[test]
+    fn pick_without_session() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        assert!(p.handle("PICK 0").contains("no exploration"));
+        assert!(p.handle("END").contains("no exploration"));
+        assert!(p.handle("BACK").contains("no exploration"));
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("CONFIG BATCH 128 2 500");
+        assert!(out.contains("BATCH(batch=128"), "{out}");
+        assert_eq!(q.config().batch_size, 128);
+        assert!(p.handle("CONFIG").contains("BATCH"));
+        assert!(p.handle("CONFIG WRONG 1 1 1").contains("unknown augmenter"));
+        assert!(p.handle("CONFIG BATCH x 1 1").contains("must be integers"));
+    }
+
+    #[test]
+    fn stores_and_stats() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("STORES");
+        assert!(out.contains("transactions"), "{out}");
+        assert!(out.contains("key-value"), "{out}");
+        p.handle("SEARCH transactions 0 SELECT * FROM inventory WHERE seq < 2");
+        let out = p.handle("STATS");
+        assert!(out.contains("round-trips"), "{out}");
+        let out = p.handle("INDEX");
+        assert!(out.contains("IndexStats"), "{out}");
+    }
+
+    #[test]
+    fn save_and_load() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let path = std::env::temp_dir().join("quepa-cli-test.aindex");
+        let path_str = path.to_str().unwrap();
+        let before = q.index().stats();
+        let out = p.handle(&format!("SAVE {path_str}"));
+        assert!(out.contains("saved"), "{out}");
+        let out = p.handle(&format!("LOAD {path_str}"));
+        assert!(out.contains("loaded"), "{out}");
+        // The graph round-trips exactly; lineage flattens (inferred → direct).
+        let after = q.index().stats();
+        assert_eq!(after.nodes, before.nodes);
+        assert_eq!(after.identity_edges, before.identity_edges);
+        assert_eq!(after.matching_edges, before.matching_edges);
+        std::fs::remove_file(path).ok();
+        assert!(p.handle("LOAD /no/such/file").contains("error"));
+    }
+
+    #[test]
+    fn unknown_and_empty_commands() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        assert!(p.handle("FROBNICATE").contains("unknown command"));
+        assert_eq!(p.handle("   "), "");
+        assert!(p.handle("HELP").contains("SEARCH"));
+    }
+}

@@ -1,0 +1,132 @@
+//! §III-A: "Since QUEPA does not store any data, it is easy to deploy
+//! multiple instances of the system that can answer independent queries in
+//! parallel. In this case, each instance has its own A' index replica and
+//! its own augmenter." — exercised here with real threads.
+
+use std::sync::Arc;
+
+use quepa::core::{AugmenterKind, Quepa, QuepaConfig};
+use quepa::polystore::{Deployment, StoreKind};
+use quepa::workload::{query_for, BuiltPolystore, WorkloadConfig};
+
+#[test]
+fn multiple_instances_answer_in_parallel() {
+    let built = BuiltPolystore::build(WorkloadConfig {
+        albums: 120,
+        replica_sets: 0,
+        deployment: Deployment::InProcess,
+        seed: 31,
+    });
+    // Two instances share the store registry; each has its own A' index
+    // replica, cache and configuration.
+    let polystore = built.polystore.clone();
+    let index = built.index.clone();
+    let instances: Vec<Arc<Quepa>> = (0..2)
+        .map(|i| {
+            let q = Quepa::with_config(
+                polystore.clone(),
+                index.clone(),
+                QuepaConfig {
+                    augmenter: if i == 0 {
+                        AugmenterKind::OuterBatch
+                    } else {
+                        AugmenterKind::Sequential
+                    },
+                    ..QuepaConfig::default()
+                },
+            );
+            Arc::new(q)
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for (i, instance) in instances.iter().enumerate() {
+        for t in 0..3 {
+            let quepa = Arc::clone(instance);
+            handles.push(std::thread::spawn(move || {
+                let size = 5 + (i * 3 + t) * 7;
+                let answer = quepa
+                    .augmented_search("transactions", &query_for(StoreKind::Relational, size), 1)
+                    .unwrap();
+                (size, answer.original.len(), answer.augmented.len())
+            }));
+        }
+    }
+    for h in handles {
+        let (size, orig, aug) = h.join().unwrap();
+        assert_eq!(orig, size);
+        assert!(aug > 0);
+    }
+}
+
+#[test]
+fn one_instance_serves_concurrent_queries() {
+    let built = BuiltPolystore::build(WorkloadConfig {
+        albums: 150,
+        replica_sets: 1,
+        deployment: Deployment::InProcess,
+        seed: 32,
+    });
+    let quepa = Arc::new(built.into_quepa());
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let quepa = Arc::clone(&quepa);
+            std::thread::spawn(move || {
+                let dbs = ["transactions", "catalogue", "similar"];
+                let kinds =
+                    [StoreKind::Relational, StoreKind::Document, StoreKind::Graph];
+                let answer = quepa
+                    .augmented_search(dbs[t % 3], &query_for(kinds[t % 3], 10 + t), 0)
+                    .unwrap();
+                answer.augmented.len()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+    // Logs from every thread accumulated.
+    assert_eq!(quepa.take_logs().len(), 6);
+}
+
+#[test]
+fn lazy_deletion_is_thread_safe() {
+    let built = BuiltPolystore::build(WorkloadConfig {
+        albums: 60,
+        replica_sets: 0,
+        deployment: Deployment::InProcess,
+        seed: 33,
+    });
+    let quepa = Arc::new(built.into_quepa());
+    // Delete half the discounts behind QUEPA's back.
+    for seq in (0..60).step_by(4) {
+        let _ = quepa
+            .polystore()
+            .execute_update("discount", &format!("DEL {}", discount_key_of(&quepa, seq)));
+    }
+    // Hammer the system from several threads; every run must stay coherent.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let quepa = Arc::clone(&quepa);
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    let q = format!("SELECT * FROM inventory WHERE seq = {}", (t * 10 + i) % 60);
+                    let answer = quepa.augmented_search("transactions", &q, 0).unwrap();
+                    assert_eq!(answer.original.len(), 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn discount_key_of(quepa: &Quepa, seq: usize) -> String {
+    // Find the discount key for album `seq` via a prefix scan.
+    let objs = quepa
+        .polystore()
+        .execute("discount", &format!("SCAN k{seq}:"))
+        .unwrap();
+    objs.first().map(|o| o.key().key().as_str().to_owned()).unwrap_or_else(|| "none".into())
+}
