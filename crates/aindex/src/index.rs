@@ -1,7 +1,14 @@
 //! The A' index graph and the augmentation primitive.
+//!
+//! Hot-path layout: `GlobalKey`s are interned to dense `u32` node ids on
+//! insertion, adjacency lives in an incrementally compacted CSR
+//! (compressed sparse row) structure, and per-query visit tracking uses
+//! epoch-stamped scratch buffers pooled across queries — augmentation
+//! never hashes a string or allocates a per-node map entry.
 
 use std::collections::HashMap;
 
+use parking_lot::Mutex;
 use quepa_pdm::{GlobalKey, Probability, RelationKind};
 
 /// Node handle inside the index.
@@ -84,6 +91,162 @@ pub struct IndexStats {
     pub promoted_edges: usize,
 }
 
+/// Incrementally built CSR adjacency: most edge ids live in one packed
+/// array (`offsets`/`packed`), edges added since the last compaction sit
+/// in small per-node overflow vectors, and compaction re-packs once the
+/// overflow exceeds a fraction of the packed size (amortized O(1) per
+/// insertion). Per-node edge order — packed segment first, then overflow
+/// in insertion order — is exactly the historical `Vec<Vec<EdgeId>>`
+/// push order, so traversal results are unchanged.
+#[derive(Debug, Clone, Default)]
+struct CsrAdjacency {
+    /// Per compacted node, start of its segment in `packed`; one extra
+    /// trailing entry holds the total. Nodes created after the last
+    /// compaction have no segment yet.
+    offsets: Vec<u32>,
+    /// Edge ids of all compacted nodes, segment by segment.
+    packed: Vec<EdgeId>,
+    /// Per node, edge ids added since the last compaction.
+    overflow: Vec<Vec<EdgeId>>,
+    /// Total entries across all overflow vectors.
+    overflow_len: usize,
+}
+
+impl CsrAdjacency {
+    fn add_node(&mut self) {
+        self.overflow.push(Vec::new());
+    }
+
+    fn compacted_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn push_edge(&mut self, n: NodeId, eid: EdgeId) {
+        self.overflow[n as usize].push(eid);
+        self.overflow_len += 1;
+        if self.overflow_len > 64 && self.overflow_len * 4 > self.packed.len() {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        let nodes = self.overflow.len();
+        let mut packed = Vec::with_capacity(self.packed.len() + self.overflow_len);
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        for n in 0..nodes {
+            offsets.push(packed.len() as u32);
+            packed.extend_from_slice(self.segment(n));
+            packed.extend_from_slice(&self.overflow[n]);
+            self.overflow[n] = Vec::new();
+        }
+        offsets.push(packed.len() as u32);
+        self.packed = packed;
+        self.offsets = offsets;
+        self.overflow_len = 0;
+    }
+
+    /// The packed (pre-compaction) segment of node `n`.
+    fn segment(&self, n: usize) -> &[EdgeId] {
+        if n < self.compacted_nodes() {
+            &self.packed[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// All edge ids of `n`, in insertion order.
+    fn edges_of(&self, n: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        let i = n as usize;
+        self.segment(i).iter().copied().chain(self.overflow[i].iter().copied())
+    }
+}
+
+/// Per-query BFS workspace. The `stamp` array carries a query generation
+/// counter: a node's `best_*`/`slot` entries are valid only when
+/// `stamp[n] == epoch`, so successive queries reuse the buffers without
+/// clearing them.
+#[derive(Debug, Default)]
+struct Scratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    best_prob: Vec<Probability>,
+    best_dist: Vec<u32>,
+    /// Dense per-query slot of a stamped node (index into `touched`).
+    slot: Vec<u32>,
+    /// Nodes stamped this query, in first-touch order.
+    touched: Vec<NodeId>,
+    frontier: Vec<(NodeId, Probability)>,
+    next: Vec<(NodeId, Probability)>,
+    /// Per-slot owning-seed label for the ownership pass (`u32::MAX` =
+    /// unowned so far).
+    own_label: Vec<u32>,
+    /// Slots whose label changed last round, with the label to push.
+    own_frontier: Vec<(u32, u32)>,
+    own_next: Vec<(u32, u32)>,
+}
+
+impl Scratch {
+    /// Starts a new query generation over `nodes` total nodes.
+    fn begin(&mut self, nodes: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+            self.best_prob.resize(nodes, Probability::ONE);
+            self.best_dist.resize(nodes, 0);
+            self.slot.resize(nodes, 0);
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    /// Stamps `n` for this query with its first-touch probability and hop.
+    fn mark(&mut self, n: NodeId, prob: Probability, dist: u32) {
+        let i = n as usize;
+        self.stamp[i] = self.epoch;
+        self.best_prob[i] = prob;
+        self.best_dist[i] = dist;
+        self.slot[i] = self.touched.len() as u32;
+        self.touched.push(n);
+    }
+
+    fn is_stamped(&self, n: NodeId) -> bool {
+        self.stamp[n as usize] == self.epoch
+    }
+}
+
+/// A small pool of [`Scratch`] workspaces so concurrent `&self` queries
+/// each get a private buffer without re-allocating per query.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    pool: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    fn acquire(&self) -> Scratch {
+        self.pool.lock().pop().unwrap_or_default()
+    }
+
+    fn release(&self, scratch: Scratch) {
+        let mut pool = self.pool.lock();
+        if pool.len() < 16 {
+            pool.push(scratch);
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    /// A cloned index starts with a fresh (empty) pool; scratch buffers
+    /// are per-instance caches, not state.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
 /// The A' index: one node per global key, identity/matching edges with
 /// probabilities.
 #[derive(Debug, Clone, Default)]
@@ -91,7 +254,8 @@ pub struct AIndex {
     keys: Vec<GlobalKey>,
     alive_node: Vec<bool>,
     ids: HashMap<GlobalKey, NodeId>,
-    adjacency: Vec<Vec<EdgeId>>,
+    adjacency: CsrAdjacency,
+    scratch: ScratchPool,
     edges: Vec<Edge>,
     /// (min(a,b), max(a,b), kind) → edge id, for dedup.
     pair_index: HashMap<(NodeId, NodeId, RelationKind), EdgeId>,
@@ -125,7 +289,7 @@ impl AIndex {
         let id = self.keys.len() as NodeId;
         self.keys.push(key.clone());
         self.alive_node.push(true);
-        self.adjacency.push(Vec::new());
+        self.adjacency.add_node();
         self.ids.insert(key.clone(), id);
         id
     }
@@ -169,11 +333,7 @@ impl AIndex {
 
     /// Iterates over the live keys.
     pub fn keys(&self) -> impl Iterator<Item = &GlobalKey> {
-        self.keys
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.alive_node[*i])
-            .map(|(_, k)| k)
+        self.keys.iter().enumerate().filter(|(i, _)| self.alive_node[*i]).map(|(_, k)| k)
     }
 
     // -- edge plumbing -----------------------------------------------------
@@ -218,8 +378,8 @@ impl AIndex {
         }
         let eid = self.edges.len() as EdgeId;
         self.edges.push(Edge { a: key.0, b: key.1, kind, prob, origin, alive: true });
-        self.adjacency[key.0 as usize].push(eid);
-        self.adjacency[key.1 as usize].push(eid);
+        self.adjacency.push_edge(key.0, eid);
+        self.adjacency.push_edge(key.1, eid);
         self.pair_index.insert(key, eid);
         self.register_lineage(eid, origin);
         Some(eid)
@@ -239,7 +399,7 @@ impl AIndex {
 
     /// Live incident edges of a node.
     fn incident(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.adjacency[n as usize].iter().filter_map(move |&eid| {
+        self.adjacency.edges_of(n).filter_map(move |eid| {
             let e = &self.edges[eid as usize];
             (e.alive && self.alive_node[e.other(n) as usize]).then_some((eid, e))
         })
@@ -371,8 +531,7 @@ impl AIndex {
         if na == nb {
             return;
         }
-        let Some(direct) = self.add_edge(na, nb, RelationKind::Matching, p, origin)
-        else {
+        let Some(direct) = self.add_edge(na, nb, RelationKind::Matching, p, origin) else {
             return;
         };
         // The Consistency Condition must connect every member of a's
@@ -389,9 +548,13 @@ impl AIndex {
                 continue;
             }
             let prob = p.and(p_by);
-            if let Some(eid) =
-                self.add_edge(na, y, RelationKind::Matching, prob, EdgeOrigin::Inferred(direct, e_by))
-            {
+            if let Some(eid) = self.add_edge(
+                na,
+                y,
+                RelationKind::Matching,
+                prob,
+                EdgeOrigin::Inferred(direct, e_by),
+            ) {
                 a_to.push((y, eid, prob));
             }
         }
@@ -459,18 +622,8 @@ impl AIndex {
     ) -> Vec<(&GlobalKey, &GlobalKey, RelationKind, Probability, EdgeOrigin)> {
         self.edges
             .iter()
-            .filter(|e| {
-                e.alive && self.alive_node[e.a as usize] && self.alive_node[e.b as usize]
-            })
-            .map(|e| {
-                (
-                    &self.keys[e.a as usize],
-                    &self.keys[e.b as usize],
-                    e.kind,
-                    e.prob,
-                    e.origin,
-                )
-            })
+            .filter(|e| e.alive && self.alive_node[e.a as usize] && self.alive_node[e.b as usize])
+            .map(|e| (&self.keys[e.a as usize], &self.keys[e.b as usize], e.kind, e.prob, e.origin))
             .collect()
     }
 
@@ -480,7 +633,7 @@ impl AIndex {
     pub fn remove_object(&mut self, key: &GlobalKey) {
         let Some(n) = self.node(key) else { return };
         self.alive_node[n as usize] = false;
-        let incident: Vec<EdgeId> = self.adjacency[n as usize].clone();
+        let incident: Vec<EdgeId> = self.adjacency.edges_of(n).collect();
         for eid in incident {
             if self.edges[eid as usize].alive {
                 self.kill_edge(eid);
@@ -547,52 +700,182 @@ impl AIndex {
     /// Level 0 returns the direct p-relations of the seeds; each further
     /// level applies the construct to the previous result again.
     pub fn augment(&self, seeds: &[GlobalKey], level: usize) -> Vec<AugmentedKey> {
-        let mut best: HashMap<NodeId, (Probability, usize)> = HashMap::new();
-        let mut frontier: Vec<(NodeId, Probability)> = Vec::new();
-        let mut seed_set: Vec<NodeId> = Vec::new();
+        self.augment_inner(seeds, level, false).0
+    }
+
+    /// The multi-seed hot path: the canonical neighbourhood (identical to
+    /// [`augment`](AIndex::augment) over the same seeds) **plus**, for
+    /// each returned key, the index into `seeds` of its owning seed — the
+    /// first (lowest-index) seed whose own level-`level` augmentation
+    /// contains the key. Both are computed in one BFS over the index
+    /// instead of one traversal per seed.
+    ///
+    /// The ownership partition is exactly what the historical per-seed
+    /// loop produced: iterate seeds in order, augment each alone, and
+    /// assign every not-yet-claimed key to the current seed.
+    pub fn augment_multi(
+        &self,
+        seeds: &[GlobalKey],
+        level: usize,
+    ) -> (Vec<AugmentedKey>, Vec<u32>) {
+        self.augment_inner(seeds, level, true)
+    }
+
+    fn augment_inner(
+        &self,
+        seeds: &[GlobalKey],
+        level: usize,
+        ownership: bool,
+    ) -> (Vec<AugmentedKey>, Vec<u32>) {
+        let mut scratch = self.scratch.acquire();
+        scratch.begin(self.keys.len());
         for key in seeds {
             if let Some(n) = self.node(key) {
-                frontier.push((n, Probability::ONE));
-                seed_set.push(n);
+                if !scratch.is_stamped(n) {
+                    scratch.mark(n, Probability::ONE, 0);
+                    scratch.frontier.push((n, Probability::ONE));
+                }
             }
         }
-        let max_hops = level + 1;
+        let max_hops = (level + 1) as u32;
         for hop in 1..=max_hops {
-            let mut next: Vec<(NodeId, Probability)> = Vec::new();
+            if scratch.frontier.is_empty() {
+                break;
+            }
+            let frontier = std::mem::take(&mut scratch.frontier);
             for &(n, p) in &frontier {
-                for (_, e) in self.incident(n) {
+                for eid in self.adjacency.edges_of(n) {
+                    let e = &self.edges[eid as usize];
+                    if !e.alive {
+                        continue;
+                    }
                     let m = e.other(n);
+                    if !self.alive_node[m as usize] {
+                        continue;
+                    }
                     let cand = p.and(e.prob);
-                    let improved = match best.get(&m) {
-                        Some(&(old, _)) => cand > old,
-                        None => true,
-                    };
-                    if improved {
-                        best.insert(m, (cand, hop));
-                        next.push((m, cand));
+                    if !scratch.is_stamped(m) {
+                        scratch.mark(m, cand, hop);
+                        scratch.next.push((m, cand));
+                    } else if cand > scratch.best_prob[m as usize] {
+                        scratch.best_prob[m as usize] = cand;
+                        scratch.best_dist[m as usize] = hop;
+                        scratch.next.push((m, cand));
                     }
                 }
             }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
+            // Recycle the spent frontier as the next `next` buffer.
+            let mut spent = frontier;
+            spent.clear();
+            scratch.frontier = std::mem::replace(&mut scratch.next, spent);
+        }
+
+        // Seeds carry distance 0 (first-touch stamping wins, so a seed
+        // reached again over an edge keeps it) and are excluded, as the
+        // definition requires.
+        let mut reached: Vec<(NodeId, AugmentedKey)> = Vec::with_capacity(scratch.touched.len());
+        for &n in &scratch.touched {
+            let i = n as usize;
+            if scratch.best_dist[i] == 0 {
+                continue;
+            }
+            reached.push((
+                n,
+                AugmentedKey {
+                    key: self.keys[i].clone(),
+                    probability: scratch.best_prob[i],
+                    distance: scratch.best_dist[i] as usize,
+                },
+            ));
+        }
+        reached.sort_by(|x, y| {
+            y.1.probability.cmp(&x.1.probability).then_with(|| x.1.key.cmp(&y.1.key))
+        });
+
+        let owners = if ownership {
+            self.ownership_pass(seeds, max_hops, &mut scratch, &reached)
+        } else {
+            Vec::new()
+        };
+        let out = reached.into_iter().map(|(_, k)| k).collect();
+        self.scratch.release(scratch);
+        (out, owners)
+    }
+
+    /// Computes first-reaching-seed ownership over the BFS-reached
+    /// subgraph by layered min-label propagation. The owner of a node is
+    /// the lowest seed index within `max_hops`, and minimum distributes
+    /// over path unions, so a single `u32` label per slot suffices:
+    /// after `h` strictly layered rounds a slot's label is the lowest
+    /// seed index within `h` hops. Only slots whose label changed last
+    /// round push this round, and a value pushed in round `h` was valid
+    /// at distance `h - 1`, so labels never travel faster than one hop
+    /// per round. Restricting propagation to reached nodes is lossless:
+    /// every intermediate node of a within-budget path is itself within
+    /// budget.
+    fn ownership_pass(
+        &self,
+        seeds: &[GlobalKey],
+        max_hops: u32,
+        scratch: &mut Scratch,
+        reached: &[(NodeId, AugmentedKey)],
+    ) -> Vec<u32> {
+        const UNOWNED: u32 = u32::MAX;
+        let slots = scratch.touched.len();
+        scratch.own_label.clear();
+        scratch.own_label.resize(slots, UNOWNED);
+        scratch.own_frontier.clear();
+        scratch.own_next.clear();
+        for (j, key) in seeds.iter().enumerate() {
+            if let Some(n) = self.node(key) {
+                let s = scratch.slot[n as usize];
+                let label = &mut scratch.own_label[s as usize];
+                if (j as u32) < *label {
+                    if *label == UNOWNED {
+                        scratch.own_frontier.push((s, 0));
+                    }
+                    *label = j as u32;
+                }
             }
         }
-        for s in &seed_set {
-            best.remove(s);
+        for entry in &mut scratch.own_frontier {
+            entry.1 = scratch.own_label[entry.0 as usize];
         }
-        let mut out: Vec<AugmentedKey> = best
-            .into_iter()
-            .map(|(n, (probability, distance))| AugmentedKey {
-                key: self.keys[n as usize].clone(),
-                probability,
-                distance,
+        for _ in 1..=max_hops {
+            if scratch.own_frontier.is_empty() {
+                break;
+            }
+            let frontier = std::mem::take(&mut scratch.own_frontier);
+            for &(s, v) in &frontier {
+                let n = scratch.touched[s as usize];
+                for eid in self.adjacency.edges_of(n) {
+                    let e = &self.edges[eid as usize];
+                    if !e.alive {
+                        continue;
+                    }
+                    let m = e.other(n);
+                    if !self.alive_node[m as usize] || scratch.stamp[m as usize] != scratch.epoch {
+                        continue;
+                    }
+                    let sm = scratch.slot[m as usize];
+                    if v < scratch.own_label[sm as usize] {
+                        scratch.own_label[sm as usize] = v;
+                        scratch.own_next.push((sm, v));
+                    }
+                }
+            }
+            let mut spent = frontier;
+            spent.clear();
+            scratch.own_frontier = std::mem::replace(&mut scratch.own_next, spent);
+        }
+        reached
+            .iter()
+            .map(|&(n, _)| {
+                let owner = scratch.own_label[scratch.slot[n as usize] as usize];
+                assert_ne!(owner, UNOWNED, "reached node must be owned by some seed");
+                owner
             })
-            .collect();
-        out.sort_by(|x, y| {
-            y.probability.cmp(&x.probability).then_with(|| x.key.cmp(&y.key))
-        });
-        out
+            .collect()
     }
 
     /// Verifies the Consistency Condition over the whole graph (test and
@@ -660,7 +943,11 @@ mod tests {
     fn fig3() -> AIndex {
         let mut ix = AIndex::new();
         ix.insert_identity(&k("catalogue.albums.d1"), &k("transactions.inventory.a32"), p(0.9));
-        ix.insert_matching(&k("transactions.inventory.a32"), &k("transactions.sales_details.i1"), p(0.7));
+        ix.insert_matching(
+            &k("transactions.inventory.a32"),
+            &k("transactions.sales_details.i1"),
+            p(0.7),
+        );
         ix
     }
 
@@ -822,6 +1109,87 @@ mod tests {
     }
 
     #[test]
+    fn augment_multi_matches_augment() {
+        let ix = fig3();
+        let seeds = [k("catalogue.albums.d1"), k("transactions.sales_details.i1")];
+        let (multi, owners) = ix.augment_multi(&seeds, 1);
+        assert_eq!(multi, ix.augment(&seeds, 1));
+        assert_eq!(owners.len(), multi.len());
+    }
+
+    #[test]
+    fn augment_multi_first_seed_owns_shared_keys() {
+        // a — b — c: both end seeds reach b, the earlier one owns it.
+        let mut ix = AIndex::new();
+        ix.insert_matching(&k("d.c.a"), &k("d.c.b"), p(0.9));
+        ix.insert_matching(&k("d.c.b"), &k("d.c.c"), p(0.8));
+        let (out, owners) = ix.augment_multi(&[k("d.c.a"), k("d.c.c")], 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, k("d.c.b"));
+        assert_eq!(owners, vec![0]);
+        let (out_rev, owners_rev) = ix.augment_multi(&[k("d.c.c"), k("d.c.a")], 0);
+        assert_eq!(out_rev, out);
+        assert_eq!(owners_rev, vec![0], "reversed order: c now claims b first");
+    }
+
+    #[test]
+    fn augment_multi_ownership_is_reach_not_distance() {
+        // Seed 1 sits one hop from x, seed 0 two hops; with a budget
+        // covering both, ownership goes to the *earlier* seed, not the
+        // closer one (matching the historical per-seed loop).
+        let mut ix = AIndex::new();
+        ix.insert_matching(&k("d.c.s0"), &k("d.c.mid"), p(0.9));
+        ix.insert_matching(&k("d.c.mid"), &k("d.c.x"), p(0.9));
+        ix.insert_matching(&k("d.c.s1"), &k("d.c.x"), p(0.9));
+        let (out, owners) = ix.augment_multi(&[k("d.c.s0"), k("d.c.s1")], 1);
+        let xi = out.iter().position(|a| a.key == k("d.c.x")).unwrap();
+        assert_eq!(owners[xi], 0);
+        // With a one-hop budget only seed 1 reaches x.
+        let (out0, owners0) = ix.augment_multi(&[k("d.c.s0"), k("d.c.s1")], 0);
+        let xi0 = out0.iter().position(|a| a.key == k("d.c.x")).unwrap();
+        assert_eq!(owners0[xi0], 1);
+    }
+
+    #[test]
+    fn augment_multi_skips_unknown_seeds_in_ownership() {
+        let mut ix = AIndex::new();
+        ix.insert_matching(&k("d.c.a"), &k("d.c.b"), p(0.9));
+        let (out, owners) = ix.augment_multi(&[k("no.such.key"), k("d.c.a")], 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(owners, vec![1], "owner indices refer to the original seed slice");
+    }
+
+    #[test]
+    fn augment_multi_scales_past_64_seeds() {
+        // More seeds than one bitmask word exercises the chunked path.
+        let mut ix = AIndex::new();
+        for i in 0..70 {
+            ix.insert_matching(&k(&format!("d.c.s{i}")), &k("d.c.hub"), p(0.9));
+        }
+        let seeds: Vec<GlobalKey> = (0..70).map(|i| k(&format!("d.c.s{i}"))).collect();
+        let (out, owners) = ix.augment_multi(&seeds, 0);
+        let hub = out.iter().position(|a| a.key == k("d.c.hub")).unwrap();
+        assert_eq!(owners[hub], 0);
+        // The 69th seed alone owns the hub when listed first.
+        let mut rev = seeds.clone();
+        rev.rotate_left(69);
+        let (out_rev, owners_rev) = ix.augment_multi(&rev, 0);
+        let hub_rev = out_rev.iter().position(|a| a.key == k("d.c.hub")).unwrap();
+        assert_eq!(owners_rev[hub_rev], 0, "rotation makes s69 the first seed");
+        assert_eq!(out_rev.len(), out.len());
+    }
+
+    #[test]
+    fn repeated_queries_reuse_scratch_correctly() {
+        // Exercises epoch stamping across many queries on one index.
+        let ix = fig3();
+        let baseline = ix.augment(&[k("catalogue.albums.d1")], 1);
+        for _ in 0..100 {
+            assert_eq!(ix.augment(&[k("catalogue.albums.d1")], 1), baseline);
+        }
+    }
+
+    #[test]
     fn lazy_deletion_removes_node_and_edges() {
         let mut ix = fig3();
         assert!(ix.contains(&k("transactions.inventory.a32")));
@@ -879,7 +1247,11 @@ mod tests {
         ix.insert_identity(&k("transactions.inventory.a32"), &k("catalogue.albums.d1"), p(0.5));
         assert!(ix.contains(&k("transactions.inventory.a32")));
         let e = ix
-            .edge(&k("transactions.inventory.a32"), &k("catalogue.albums.d1"), RelationKind::Identity)
+            .edge(
+                &k("transactions.inventory.a32"),
+                &k("catalogue.albums.d1"),
+                RelationKind::Identity,
+            )
             .unwrap();
         assert_eq!(e.probability, p(0.5));
     }

@@ -126,11 +126,7 @@ impl PathRepository {
         }
         let probability = Probability::average_of(probs)?;
         self.promotions_fired += 1;
-        Some(Promotion {
-            from: path[0].clone(),
-            to: path[path.len() - 1].clone(),
-            probability,
-        })
+        Some(Promotion { from: path[0].clone(), to: path[path.len() - 1].clone(), probability })
     }
 
     /// Records a path and immediately applies any promotion to the index.
@@ -141,9 +137,7 @@ impl PathRepository {
         index: &mut AIndex,
     ) -> Option<Promotion> {
         let promo = self.record(path, index)?;
-        index
-            .insert_promoted(&promo.from, &promo.to, promo.probability)
-            .then_some(promo)
+        index.insert_promoted(&promo.from, &promo.to, promo.probability).then_some(promo)
     }
 }
 
@@ -183,10 +177,8 @@ mod tests {
     #[test]
     fn promotion_fires_at_threshold_with_average_probability() {
         let mut ix = chain();
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 3,
-            min_threshold: 1,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 3, min_threshold: 1 });
         let path = [k("d.c.a"), k("d.c.b"), k("d.c.c")];
         assert!(dp.record_and_promote(&path, &mut ix).is_none());
         assert!(dp.record_and_promote(&path, &mut ix).is_none());
@@ -206,14 +198,10 @@ mod tests {
     #[test]
     fn short_paths_never_promote() {
         let mut ix = chain();
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 1,
-            min_threshold: 1,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 1, min_threshold: 1 });
         for _ in 0..10 {
-            assert!(dp
-                .record_and_promote(&[k("d.c.a"), k("d.c.b")], &mut ix)
-                .is_none());
+            assert!(dp.record_and_promote(&[k("d.c.a"), k("d.c.b")], &mut ix).is_none());
         }
         assert_eq!(dp.tracked_paths(), 0);
     }
@@ -221,10 +209,8 @@ mod tests {
     #[test]
     fn longer_paths_promote_sooner() {
         let mut ix = chain();
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 4,
-            min_threshold: 1,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 4, min_threshold: 1 });
         let long = [k("d.c.a"), k("d.c.b"), k("d.c.c"), k("d.c.d")];
         // threshold(3 edges) = 2.
         assert!(dp.record_and_promote(&long, &mut ix).is_none());
@@ -238,10 +224,8 @@ mod tests {
         let mut ix = chain();
         // a ≡ c already exists.
         ix.insert_matching(&k("d.c.a"), &k("d.c.c"), p(0.5));
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 1,
-            min_threshold: 1,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 1, min_threshold: 1 });
         let path = [k("d.c.a"), k("d.c.b"), k("d.c.c")];
         // The promotion computes but adds nothing ("if not yet present").
         assert!(dp.record_and_promote(&path, &mut ix).is_none());
@@ -253,10 +237,8 @@ mod tests {
     fn vanished_hops_are_tolerated() {
         let mut ix = chain();
         ix.remove_object(&k("d.c.b"));
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 1,
-            min_threshold: 1,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 1, min_threshold: 1 });
         let path = [k("d.c.a"), k("d.c.b"), k("d.c.c")];
         // The a—b hop is gone; the average is over the surviving hops only
         // (b—c also involves the dead node, so nothing survives → skip).
@@ -266,10 +248,8 @@ mod tests {
     #[test]
     fn distinct_paths_count_separately() {
         let mut ix = chain();
-        let mut dp = PathRepository::with_config(PromotionConfig {
-            base_threshold: 2,
-            min_threshold: 2,
-        });
+        let mut dp =
+            PathRepository::with_config(PromotionConfig { base_threshold: 2, min_threshold: 2 });
         let p1 = [k("d.c.a"), k("d.c.b"), k("d.c.c")];
         let p2 = [k("d.c.b"), k("d.c.c"), k("d.c.d")];
         dp.record_and_promote(&p1, &mut ix);

@@ -145,10 +145,8 @@ pub fn from_str(input: &str) -> Result<AIndex, SerialError> {
     let mut index = AIndex::new();
     for (i, line) in lines {
         let line_no = i + 1;
-        let bad = |message: &str| SerialError::BadLine {
-            line: line_no,
-            message: message.to_owned(),
-        };
+        let bad =
+            |message: &str| SerialError::BadLine { line: line_no, message: message.to_owned() };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -157,8 +155,7 @@ pub fn from_str(input: &str) -> Result<AIndex, SerialError> {
         match parts.next() {
             Some("node") => {
                 let raw = parts.next().ok_or_else(|| bad("node needs a key"))?;
-                let key: GlobalKey =
-                    unescape(raw).map_err(|m| bad(&m))?.parse()?;
+                let key: GlobalKey = unescape(raw).map_err(|m| bad(&m))?.parse()?;
                 index.ensure_node(&key);
             }
             Some("edge") => {
@@ -170,9 +167,7 @@ pub fn from_str(input: &str) -> Result<AIndex, SerialError> {
                 let origin = match parts.next() {
                     Some("direct" | "inferred") => EdgeOrigin::Direct,
                     Some("promoted") => EdgeOrigin::Promoted,
-                    _ => {
-                        return Err(bad("edge origin must be direct|inferred|promoted"))
-                    }
+                    _ => return Err(bad("edge origin must be direct|inferred|promoted")),
                 };
                 let p: f64 = parts
                     .next()

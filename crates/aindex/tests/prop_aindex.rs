@@ -188,5 +188,45 @@ proptest! {
         prop_assert_eq!(back.augment(&[key(seed)], level), ix.augment(&[key(seed)], level));
         prop_assert!(back.check_consistency().is_none());
     }
-}
 
+    /// `augment_multi` is the one-pass equivalent of the historical
+    /// per-seed loop: its answer equals the canonical multi-seed
+    /// `augment`, and its ownership vector equals the first-owner
+    /// partition built by augmenting each seed alone, in order, and
+    /// claiming keys no earlier seed claimed.
+    #[test]
+    fn augment_multi_matches_per_seed_oracle(
+        ops in prop::collection::vec(arb_op(), 1..50),
+        raw_seeds in prop::collection::vec(0u8..16, 1..7),
+        level in 0usize..4,
+    ) {
+        let mut ix = AIndex::new();
+        for op in &ops {
+            apply(&mut ix, op);
+        }
+        // Seeds may repeat, be absent from the index, or be dead.
+        let seeds: Vec<GlobalKey> = raw_seeds.iter().map(|s| key(*s)).collect();
+
+        let (multi, owners) = ix.augment_multi(&seeds, level);
+        prop_assert_eq!(&multi, &ix.augment(&seeds, level), "answer must be canonical");
+        prop_assert_eq!(owners.len(), multi.len());
+
+        // Oracle: the historical per-seed loop over the same seeds.
+        let mut claimed: std::collections::HashMap<GlobalKey, u32> =
+            seeds.iter().map(|s| (s.clone(), u32::MAX)).collect();
+        for (j, seed) in seeds.iter().enumerate() {
+            for a in ix.augment(std::slice::from_ref(seed), level) {
+                claimed.entry(a.key).or_insert(j as u32);
+            }
+        }
+        for (a, owner) in multi.iter().zip(&owners) {
+            prop_assert!((*owner as usize) < seeds.len());
+            prop_assert_eq!(
+                claimed.get(&a.key),
+                Some(owner),
+                "wrong owner for {:?}",
+                a.key
+            );
+        }
+    }
+}

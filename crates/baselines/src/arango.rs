@@ -249,16 +249,16 @@ mod tests {
     fn arango_answers_document_queries() {
         let b = built(50, 0);
         let nat = ArangoNat::new(b.polystore.clone(), Arc::new(b.index.clone()), usize::MAX);
-        let a = nat
-            .augmented_query("catalogue", r#"db.albums.find({"seq":{"$lt":5}})"#, 0)
-            .unwrap();
+        let a =
+            nat.augmented_query("catalogue", r#"db.albums.find({"seq":{"$lt":5}})"#, 0).unwrap();
         assert_eq!(a.original.len(), 5);
         // Related objects from supported stores only (no transactions).
         assert!(!a.augmented.is_empty());
-        assert!(a
-            .augmented
-            .iter()
-            .all(|o| !o.key().database().as_str().starts_with("transactions")));
+        assert!(a.augmented.iter().all(|o| !o
+            .key()
+            .database()
+            .as_str()
+            .starts_with("transactions")));
         // Discount objects ARE importable (kv is supported).
         assert!(a.augmented.iter().any(|o| o.key().database().as_str() == "discount"));
     }
@@ -331,8 +331,7 @@ mod tests {
         let a1 = nat.augmented_query("catalogue", q, 1).unwrap();
         let a2 = aug.augmented_query("catalogue", q, 1).unwrap();
         let keys = |a: &MiddlewareAnswer| {
-            let mut v: Vec<String> =
-                a.augmented.iter().map(|o| o.key().to_string()).collect();
+            let mut v: Vec<String> = a.augmented.iter().map(|o| o.key().to_string()).collect();
             v.sort();
             v
         };

@@ -55,10 +55,8 @@ pub(crate) fn augmentation_targets(
     let seed_keys: Vec<GlobalKey> = seeds.iter().map(|o| o.key().clone()).collect();
     let targets: Vec<GlobalKey> =
         index.augment(&seed_keys, level).into_iter().map(|a| a.key).collect();
-    let collections = targets
-        .iter()
-        .map(|k| (k.database().clone(), k.collection().clone()))
-        .collect();
+    let collections =
+        targets.iter().map(|k| (k.database().clone(), k.collection().clone())).collect();
     (targets, collections)
 }
 
@@ -105,8 +103,8 @@ impl Middleware for MetaNat {
         level: usize,
     ) -> Result<MiddlewareAnswer, MiddlewareError> {
         let start = Instant::now();
-        let db_name = DatabaseName::new(database)
-            .map_err(|e| MiddlewareError::Unsupported(e.to_string()))?;
+        let db_name =
+            DatabaseName::new(database).map_err(|e| MiddlewareError::Unsupported(e.to_string()))?;
         if !meta_supports(&db_name) {
             return Err(MiddlewareError::Unsupported(
                 "Apache Metamodel has no Redis connector".into(),
@@ -142,8 +140,7 @@ impl Middleware for MetaNat {
         // variant "go often out-of-memory" as queries grow.
         let augmented: Vec<DataObject> =
             targets.iter().filter_map(|k| view.get(k).cloned()).collect();
-        let intermediate: usize =
-            augmented.iter().map(|o| o.approx_size() * 8).sum();
+        let intermediate: usize = augmented.iter().map(|o| o.approx_size() * 8).sum();
         self.budget.alloc(intermediate).map_err(|()| MiddlewareError::OutOfMemory {
             budget: self.budget.limit(),
             in_use: self.budget.used(),
@@ -190,8 +187,8 @@ impl Middleware for MetaAug {
         level: usize,
     ) -> Result<MiddlewareAnswer, MiddlewareError> {
         let start = Instant::now();
-        let db_name = DatabaseName::new(database)
-            .map_err(|e| MiddlewareError::Unsupported(e.to_string()))?;
+        let db_name =
+            DatabaseName::new(database).map_err(|e| MiddlewareError::Unsupported(e.to_string()))?;
         if !meta_supports(&db_name) {
             return Err(MiddlewareError::Unsupported(
                 "Apache Metamodel has no Redis connector".into(),
@@ -279,8 +276,7 @@ mod tests {
         let a1 = nat.augmented_query("transactions", q, 1).unwrap();
         let a2 = aug.augmented_query("transactions", q, 1).unwrap();
         let keys = |a: &MiddlewareAnswer| {
-            let mut v: Vec<String> =
-                a.augmented.iter().map(|o| o.key().to_string()).collect();
+            let mut v: Vec<String> = a.augmented.iter().map(|o| o.key().to_string()).collect();
             v.sort();
             v
         };

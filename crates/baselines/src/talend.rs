@@ -77,8 +77,7 @@ impl Middleware for Talend {
 
         // Join phase: sort-merge over the staged rows (n log n comparisons,
         // paid as CPU time) followed by the probe of the target keys.
-        let comparisons =
-            staged_rows as f64 * (staged_rows.max(2) as f64).log2();
+        let comparisons = staged_rows as f64 * (staged_rows.max(2) as f64).log2();
         burn(Duration::from_nanos((comparisons * self.join_cost.as_nanos() as f64) as u64));
         let augmented: Vec<DataObject> =
             targets.iter().filter_map(|k| staged.get(k).cloned()).collect();
@@ -101,16 +100,13 @@ mod tests {
             seed: 5,
         });
         let t = Talend::new(b.polystore.clone(), Arc::new(b.index.clone()));
-        let a = t
-            .augmented_query("transactions", "SELECT * FROM inventory WHERE seq < 5", 0)
-            .unwrap();
+        let a =
+            t.augmented_query("transactions", "SELECT * FROM inventory WHERE seq < 5", 0).unwrap();
         assert_eq!(a.original.len(), 5);
         assert!(!a.augmented.is_empty());
         assert!(a.augmented.iter().all(|o| o.key().database().as_str() != "discount"));
         // No OOM mechanism: big queries still succeed.
-        let big = t
-            .augmented_query("transactions", "SELECT * FROM inventory", 1)
-            .unwrap();
+        let big = t.augmented_query("transactions", "SELECT * FROM inventory", 1).unwrap();
         assert!(big.augmented.len() >= a.augmented.len());
     }
 

@@ -143,12 +143,7 @@ fn bench_grouping_ablation(c: &mut Criterion) {
     for (label, augmenter) in
         [("sequential", AugmenterKind::Sequential), ("batch", AugmenterKind::Batch)]
     {
-        let config = QuepaConfig {
-            augmenter,
-            batch_size: 4096,
-            threads_size: 1,
-            cache_size: 0,
-        };
+        let config = QuepaConfig { augmenter, batch_size: 4096, threads_size: 1, cache_size: 0 };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             b.iter(|| lab.run("catalogue", &query, 0, *config, true));
         });

@@ -31,13 +31,9 @@ fn bench_insert(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.sample_size(10);
     for entities in [1_000usize, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("build", entities),
-            &entities,
-            |b, &entities| {
-                b.iter(|| build_index(entities));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("build", entities), &entities, |b, &entities| {
+            b.iter(|| build_index(entities));
+        });
     }
     group.finish();
 }

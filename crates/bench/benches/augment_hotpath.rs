@@ -1,0 +1,114 @@
+//! The multi-seed augmentation hot path: a query whose answer seeds many
+//! simultaneous augmentations, at levels 0 and 1, over 4- and 10-store
+//! polystores, cold and warm cache, under the three paper deployments
+//! (§VII-A): in-process (no simulated latency — isolates the index,
+//! augmenter and cache compute this crate optimizes), centralized
+//! (~50 µs per round trip) and distributed (~400 µs).
+//!
+//! Besides the Criterion groups, `main` re-measures every scenario with a
+//! plain wall-clock loop and writes the means to
+//! `BENCH_augment_hotpath.json` at the repository root, so successive
+//! changes to the hot path can be compared against a recorded baseline.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use quepa_bench::Lab;
+use quepa_core::QuepaConfig;
+use quepa_polystore::Deployment;
+
+/// 50 original objects ⇒ 50 concurrent augmentation seeds.
+const QUERY: &str = "SELECT * FROM inventory WHERE seq < 50";
+
+/// `(store count, replica sets)` per §VII-A: stores = 4 + 3 × sets.
+const SCALES: [(usize, usize); 2] = [(4, 0), (10, 2)];
+
+/// The three deployments of §VII-A.
+const DEPLOYMENTS: [Deployment; 3] =
+    [Deployment::InProcess, Deployment::Centralized, Deployment::Distributed];
+
+fn scenario_name(deployment: Deployment, stores: usize, level: usize, cold: bool) -> String {
+    format!(
+        "{}/{stores}stores/level{level}/{}",
+        deployment.name(),
+        if cold { "cold" } else { "warm" }
+    )
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment-hotpath");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for deployment in DEPLOYMENTS {
+        for (stores, sets) in SCALES {
+            let lab = Lab::new(200, sets, deployment);
+            for level in [0usize, 1] {
+                for cold in [true, false] {
+                    let name = scenario_name(deployment, stores, level, cold);
+                    group.bench_with_input(
+                        BenchmarkId::from_parameter(&name),
+                        &(level, cold),
+                        |b, &(level, cold)| {
+                            b.iter(|| {
+                                lab.run("transactions", QUERY, level, QuepaConfig::default(), cold)
+                            });
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+
+/// Mean wall-clock seconds over `runs` measured executions (after five
+/// throwaway warm-up executions).
+fn measure(lab: &Lab, level: usize, cold: bool, runs: usize) -> f64 {
+    let config = QuepaConfig::default();
+    for _ in 0..5 {
+        lab.run("transactions", QUERY, level, config, cold);
+    }
+    let mut total = Duration::ZERO;
+    for _ in 0..runs {
+        let start = Instant::now();
+        lab.run("transactions", QUERY, level, config, cold);
+        total += start.elapsed();
+    }
+    total.as_secs_f64() / runs as f64
+}
+
+fn emit_baseline() {
+    let mut entries = Vec::new();
+    for deployment in DEPLOYMENTS {
+        for (stores, sets) in SCALES {
+            let lab = Lab::new(200, sets, deployment);
+            for level in [0usize, 1] {
+                for cold in [true, false] {
+                    let mean = measure(&lab, level, cold, 50);
+                    entries.push(format!(
+                        "    {{\"scenario\": \"{}\", \"mean_s\": {:.6}}}",
+                        scenario_name(deployment, stores, level, cold),
+                        mean
+                    ));
+                }
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"augment_hotpath\",\n  \"query\": \"{}\",\n  \"runs_per_scenario\": 50,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        QUERY.replace('"', "\\\""),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_augment_hotpath.json");
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}
+
+fn main() {
+    benches();
+    emit_baseline();
+}

@@ -15,8 +15,8 @@ fn bench_batching(c: &mut Criterion) {
         let lab = Lab::new(800, 1, deployment);
         let query = query_for(StoreKind::Relational, 400);
         let mut group = c.benchmark_group(format!("fig9-batching/{}", deployment.name()));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
         group.sample_size(10);
         for augmenter in [AugmenterKind::Batch, AugmenterKind::OuterBatch] {
             for batch_size in [1usize, 16, 256, 4096] {

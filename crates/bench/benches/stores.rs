@@ -27,16 +27,12 @@ fn bench_stores(c: &mut Criterion) {
     });
     group.bench_function("document-filter", |b| {
         b.iter(|| {
-            lab.polystore
-                .execute("catalogue", r#"db.albums.find({"seq":{"$lt":500}})"#)
-                .unwrap()
+            lab.polystore.execute("catalogue", r#"db.albums.find({"seq":{"$lt":500}})"#).unwrap()
         });
     });
     group.bench_function("graph-pattern", |b| {
         b.iter(|| {
-            lab.polystore
-                .execute("similar", "MATCH (n:Album) WHERE n.seq < 500 RETURN n")
-                .unwrap()
+            lab.polystore.execute("similar", "MATCH (n:Album) WHERE n.seq < 500 RETURN n").unwrap()
         });
     });
     group.bench_function("kv-scan", |b| {

@@ -82,8 +82,7 @@ fn main() {
 /// (the paper averages over the per-store query family).
 fn avg_run(lab: &Lab, size: usize, level: usize, config: QuepaConfig, cold: bool) -> Duration {
     let mut total = Duration::ZERO;
-    let targets =
-        [("transactions", StoreKind::Relational), ("catalogue", StoreKind::Document)];
+    let targets = [("transactions", StoreKind::Relational), ("catalogue", StoreKind::Document)];
     for (db, kind) in targets {
         let (d, _, _) = lab.run(db, &query_for(kind, size), level, config, cold);
         total += d;
@@ -100,8 +99,7 @@ fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
         println!("\n# {label}: query size reduced to {size} (scale substitution)");
     }
     let lab = Lab::new(albums, 2, deployment);
-    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)] {
         header(
             &format!("{label} {panel} — {} deployment", deployment.name()),
             &["BATCH_SIZE", "BATCH", "OUTER-BATCH"],
@@ -116,10 +114,7 @@ fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
             let ob_cfg = QuepaConfig { augmenter: AugmenterKind::OuterBatch, ..batch_cfg };
             let t_batch = avg_run(&lab, size, level, batch_cfg, cold);
             let t_ob = avg_run(&lab, size, level, ob_cfg, cold);
-            println!(
-                "{}",
-                row(&[batch.to_string(), fmt_duration(t_batch), fmt_duration(t_ob)])
-            );
+            println!("{}", row(&[batch.to_string(), fmt_duration(t_batch), fmt_duration(t_ob)]));
         }
     }
 }
@@ -134,8 +129,7 @@ fn fig10cd_batch_scalability(albums: usize) {
          (it needs one round trip per object; larger points would take minutes \
          and add no information)"
     );
-    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)] {
         header(
             &format!("Fig. 10{panel} — distributed"),
             &["QUERY_SIZE", "SEQUENTIAL", "BATCH", "OUTER-BATCH"],
@@ -185,8 +179,7 @@ fn fig11ab_threads(albums: usize) {
         AugmenterKind::OuterBatch,
         AugmenterKind::OuterInner,
     ];
-    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)] {
         header(
             &format!("Fig. 11{panel} — {size}-result queries, 10 stores"),
             &["THREADS", "INNER", "OUTER", "OUTER-BATCH", "OUTER-INNER"],
@@ -214,8 +207,7 @@ fn fig11cf_scalability(albums: usize) {
     let names: Vec<&str> = AugmenterKind::ALL.iter().map(|k| k.name()).collect();
     let mut headers = vec!["QUERY_SIZE"];
     headers.extend(&names);
-    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)] {
         header(&format!("Fig. 11{panel} — 10 stores"), &headers);
         for &size in &QUERY_SIZES {
             let size = size.min(albums);
@@ -236,8 +228,7 @@ fn fig11cf_scalability(albums: usize) {
     let mut headers = vec!["STORES"];
     headers.extend(&names);
     let size = albums.min(1_000);
-    for (panel, cold, level) in [("(e) cold, level 0", true, 0), ("(f) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(e) cold, level 0", true, 0), ("(f) warm, level 1", false, 1)] {
         header(&format!("Fig. 11{panel} — {size}-result queries"), &headers);
         for &sets in &REPLICA_SETS {
             let lab = Lab::new(albums.min(4_000), sets, Deployment::Centralized);
@@ -304,16 +295,10 @@ fn fig12_optimizer_quality() {
                 // knobs we execute under all six augmenters (§VII-C). The
                 // probe run supplies the query characteristics every
                 // optimizer sees.
-                let probe = lab
-                    .quepa
-                    .augmented_search(&q.database, &q.query, level)
-                    .expect("probe run");
+                let probe =
+                    lab.quepa.augmented_search(&q.database, &q.query, level).expect("probe run");
                 let feats = quepa_core::QueryFeatures {
-                    target_kind: lab
-                        .polystore
-                        .connector_by_name(&q.database)
-                        .unwrap()
-                        .kind(),
+                    target_kind: lab.polystore.connector_by_name(&q.database).unwrap().kind(),
                     store_count: lab.polystore.len(),
                     result_size: probe.original.len(),
                     augmented_size: probe.augmented.len(),
@@ -358,10 +343,7 @@ fn fig12_optimizer_quality() {
             row(&[name.to_string(), best_counts.get(name).copied().unwrap_or(0).to_string()])
         );
     }
-    header(
-        "Fig. 12(b) — ADAPTIVE run rank among the 13 runs",
-        &["TOP-K", "RUNS", "SHARE"],
-    );
+    header("Fig. 12(b) — ADAPTIVE run rank among the 13 runs", &["TOP-K", "RUNS", "SHARE"]);
     for (slot, k) in [1usize, 2, 3, 5].iter().enumerate() {
         println!(
             "{}",
@@ -382,8 +364,7 @@ fn fig13ab_middleware_sizes(albums: usize) {
     let middlewares = lab.middlewares(budget);
     let adaptive = train_quick_adaptive(&lab);
 
-    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)] {
         let mut headers = vec!["QUERY_SIZE", "QUEPA"];
         headers.extend(middlewares.iter().map(|m| m.name()));
         header(&format!("Fig. 13{panel} — 10 stores"), &headers);
@@ -408,8 +389,7 @@ fn fig13ab_middleware_sizes(albums: usize) {
                 // Middleware target: catalogue — the one store every tool
                 // supports (Metamodel lacks Redis, Arango lacks SQL).
                 let t0 = std::time::Instant::now();
-                match m.augmented_query("catalogue", &query_for(StoreKind::Document, size), level)
-                {
+                match m.augmented_query("catalogue", &query_for(StoreKind::Document, size), level) {
                     Ok(_) => cells.push(fmt_duration(t0.elapsed())),
                     Err(quepa_baselines::MiddlewareError::OutOfMemory { .. }) => {
                         cells.push("X".into())
@@ -428,8 +408,7 @@ fn fig13ab_middleware_sizes(albums: usize) {
 /// memory-hungry tools hit `X` as stores grow — the paper's observation.
 fn fig13cd_middleware_stores(albums: usize) {
     let budget = middleware_budget(&Lab::new(albums, 2, Deployment::Centralized));
-    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)]
-    {
+    for (panel, cold, level) in [("(c) cold, level 0", true, 0), ("(d) warm, level 1", false, 1)] {
         let mut printed_header = false;
         for &sets in &REPLICA_SETS {
             let lab = Lab::new(albums, sets, Deployment::Centralized);
@@ -457,8 +436,7 @@ fn fig13cd_middleware_stores(albums: usize) {
                     );
                 }
                 let t0 = std::time::Instant::now();
-                match m.augmented_query("catalogue", &query_for(StoreKind::Document, size), level)
-                {
+                match m.augmented_query("catalogue", &query_for(StoreKind::Document, size), level) {
                     Ok(_) => cells.push(fmt_duration(t0.elapsed())),
                     Err(quepa_baselines::MiddlewareError::OutOfMemory { .. }) => {
                         cells.push("X".into())
@@ -500,11 +478,7 @@ fn fig_cache(albums: usize) {
             let _ = lab.quepa.augmented_search("transactions", &q, 1);
             let answer = lab.quepa.augmented_search("transactions", &q, 1).unwrap();
             let (hits, misses) = lab.quepa.cache().stats();
-            let rate = if hits + misses == 0 {
-                0.0
-            } else {
-                hits as f64 / (hits + misses) as f64
-            };
+            let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
             println!(
                 "{}",
                 row(&[
@@ -537,12 +511,8 @@ fn train_quick_adaptive(lab: &Lab) -> AdaptiveOptimizer {
     let _ = lab.quepa.take_logs();
     for q in standard_query_set(&[100, 500]) {
         for aug in [AugmenterKind::Sequential, AugmenterKind::Batch, AugmenterKind::OuterBatch] {
-            let cfg = QuepaConfig {
-                augmenter: aug,
-                batch_size: 256,
-                threads_size: 8,
-                cache_size: 8_192,
-            };
+            let cfg =
+                QuepaConfig { augmenter: aug, batch_size: 256, threads_size: 8, cache_size: 8_192 };
             lab.quepa.set_config(cfg);
             lab.quepa.drop_caches();
             let _ = lab.quepa.augmented_search(&q.database, &q.query, 0);

@@ -1,16 +1,23 @@
-use std::time::Instant;
 use quepa_polystore::Deployment;
 use quepa_workload::{BuiltPolystore, WorkloadConfig};
+use std::time::Instant;
 
 fn main() {
     for (albums, sets) in [(2000usize, 0usize), (2000, 3), (8000, 0), (8000, 3)] {
         let t0 = Instant::now();
-        let b = BuiltPolystore::build(WorkloadConfig { albums, replica_sets: sets, deployment: Deployment::Centralized, seed: 42 });
+        let b = BuiltPolystore::build(WorkloadConfig {
+            albums,
+            replica_sets: sets,
+            deployment: Deployment::Centralized,
+            seed: 42,
+        });
         let build = t0.elapsed();
         let stats = b.index.stats();
-        
+
         let quepa = b.into_quepa();
-        let a = quepa.augmented_search("transactions", "SELECT * FROM inventory WHERE seq < 1000", 0).unwrap();
+        let a = quepa
+            .augmented_search("transactions", "SELECT * FROM inventory WHERE seq < 1000", 0)
+            .unwrap();
         println!("albums={albums} sets={sets} build={build:?} idx_nodes={} idx_edges={} q1000_l0: aug={} dur={:?}",
                  stats.nodes, stats.identity_edges + stats.matching_edges, a.augmented.len(), a.duration);
     }

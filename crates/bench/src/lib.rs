@@ -74,16 +74,8 @@ impl Lab {
             Box::new(MetaNat::new(self.polystore.clone(), Arc::clone(&self.index), budget_bytes)),
             Box::new(MetaAug::new(self.polystore.clone(), Arc::clone(&self.index))),
             Box::new(Talend::new(self.polystore.clone(), Arc::clone(&self.index))),
-            Box::new(ArangoNat::new(
-                self.polystore.clone(),
-                Arc::clone(&self.index),
-                budget_bytes,
-            )),
-            Box::new(ArangoAug::new(
-                self.polystore.clone(),
-                Arc::clone(&self.index),
-                budget_bytes,
-            )),
+            Box::new(ArangoNat::new(self.polystore.clone(), Arc::clone(&self.index), budget_bytes)),
+            Box::new(ArangoAug::new(self.polystore.clone(), Arc::clone(&self.index), budget_bytes)),
         ]
     }
 
@@ -103,11 +95,7 @@ pub fn fmt_duration(d: Duration) -> String {
 
 /// Prints one aligned table row.
 pub fn row(cells: &[String]) -> String {
-    cells
-        .iter()
-        .map(|c| format!("{c:>12}"))
-        .collect::<Vec<_>>()
-        .join(" ")
+    cells.iter().map(|c| format!("{c:>12}")).collect::<Vec<_>>().join(" ")
 }
 
 /// Prints a table header followed by its underline.

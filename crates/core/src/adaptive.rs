@@ -59,9 +59,7 @@ fn feature_row(schema: &Schema, f: &QueryFeatures) -> Vec<FeatureValue> {
         FeatureValue::Num(f.augmented_size as f64),
         FeatureValue::Num(f.level as f64),
         FeatureValue::Cat(
-            schema
-                .category_id(5, if f.distributed { "yes" } else { "no" })
-                .expect("pre-interned"),
+            schema.category_id(5, if f.distributed { "yes" } else { "no" }).expect("pre-interned"),
         ),
     ]
 }
@@ -88,8 +86,10 @@ impl AdaptiveOptimizer {
     pub fn train(logs: &[RunLog]) -> Option<Self> {
         let schema = feature_schema();
         // situation → (best duration, features, best config).
-        let mut best: std::collections::HashMap<_, (std::time::Duration, QueryFeatures, QuepaConfig)> =
-            std::collections::HashMap::new();
+        let mut best: std::collections::HashMap<
+            _,
+            (std::time::Duration, QueryFeatures, QuepaConfig),
+        > = std::collections::HashMap::new();
         for log in logs {
             let entry = best.entry(log.situation());
             match entry {
@@ -141,8 +141,7 @@ impl AdaptiveOptimizer {
     /// Renders the learned `T1` decision tree as indented text — the
     /// paper's Fig. 8 shows an example of this tree.
     pub fn render_t1(&self) -> String {
-        let names: Vec<String> =
-            self.schema.names().iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = self.schema.names().iter().map(|s| s.to_string()).collect();
         self.t1_augmenter
             .render(&names, |attr, cat| self.schema.category_name(attr, cat).to_owned())
     }
@@ -191,9 +190,7 @@ pub struct HumanOptimizer {
 
 impl Default for HumanOptimizer {
     fn default() -> Self {
-        HumanOptimizer {
-            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        }
+        HumanOptimizer { cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) }
     }
 }
 

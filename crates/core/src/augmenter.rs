@@ -8,10 +8,17 @@
 //! (concurrency). The LRU cache sits in front of every lookup, and keys
 //! whose objects have vanished from the polystore are reported back as
 //! `missing` (the lazy-deletion signal of §III-C).
+//!
+//! Hot-path structure: the A' index is traversed **once** per query
+//! ([`plan`] calls `AIndex::augment_multi`, which yields the canonical
+//! neighbourhood and the per-seed work partition together), and every
+//! worker thread accumulates into its own [`Sink`] shard that is merged
+//! after join — workers never share a lock. The final sort by
+//! (probability desc, key asc) makes the outcome independent of worker
+//! interleaving and shard merge order.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use quepa_aindex::{AIndex, AugmentedKey};
 use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
@@ -54,6 +61,26 @@ struct Task {
     distance: usize,
 }
 
+/// The index-side answer to an augmentation, computed in one traversal:
+/// the canonical neighbourhood plus the first-reaching-seed work
+/// partition the outer strategies distribute over threads.
+#[derive(Debug, Clone)]
+pub struct AugmentPlan {
+    /// The canonical augmented keys, identical to
+    /// `AIndex::augment(seeds, level)` over the same seeds.
+    pub augmented: Vec<AugmentedKey>,
+    /// Per `augmented` entry, the index of its owning seed.
+    ownership: Vec<u32>,
+    /// Length of the seed slice the plan was computed for.
+    seed_count: usize,
+}
+
+/// Traverses the A' index once, producing the retrieval plan for `seeds`.
+pub fn plan(index: &AIndex, seed_keys: &[GlobalKey], level: usize) -> AugmentPlan {
+    let (augmented, ownership) = index.augment_multi(seed_keys, level);
+    AugmentPlan { augmented, ownership, seed_count: seed_keys.len() }
+}
+
 /// Executes the augmentation of `seeds` at `level` using the strategy in
 /// `config`.
 pub fn run(
@@ -64,37 +91,36 @@ pub fn run(
     level: usize,
     config: &QuepaConfig,
 ) -> Result<AugmentationOutcome> {
-    let config = config.sanitized();
     let seed_keys: Vec<GlobalKey> = seeds.iter().map(|o| o.key().clone()).collect();
+    let plan = plan(index, &seed_keys, level);
+    run_planned(polystore, cache, &plan, config)
+}
 
-    // Canonical semantics: the level-n neighbourhood of all seeds with
-    // best-path probabilities.
-    let canonical = index.augment(&seed_keys, level);
-    let canon_map: HashMap<&GlobalKey, (Probability, usize)> =
-        canonical.iter().map(|a| (&a.key, (a.probability, a.distance))).collect();
+/// Executes a previously computed [`AugmentPlan`] — callers that already
+/// traversed the index (e.g. for feature extraction) retrieve without a
+/// second traversal.
+pub fn run_planned(
+    polystore: &Polystore,
+    cache: &ObjectCache,
+    plan: &AugmentPlan,
+    config: &QuepaConfig,
+) -> Result<AugmentationOutcome> {
+    let config = config.sanitized();
 
     // Work partition for the outer/inner strategies: each target key is
     // owned by the first seed that reaches it (the paper's augmenters
     // iterate the original answer and skip already-retrieved objects).
-    let mut owned: Vec<Vec<Task>> = Vec::with_capacity(seeds.len());
-    {
-        let mut seen: std::collections::HashSet<GlobalKey> = seed_keys.iter().cloned().collect();
-        for seed_key in &seed_keys {
-            let mut mine = Vec::new();
-            for AugmentedKey { key, .. } in index.augment(std::slice::from_ref(seed_key), level)
-            {
-                if let Some(&(probability, distance)) = canon_map.get(&key) {
-                    if seen.insert(key.clone()) {
-                        mine.push(Task { key, probability, distance });
-                    }
-                }
-            }
-            owned.push(mine);
-        }
+    let mut owned: Vec<Vec<Task>> = vec![Vec::new(); plan.seed_count];
+    for (a, &owner) in plan.augmented.iter().zip(&plan.ownership) {
+        owned[owner as usize].push(Task {
+            key: a.key.clone(),
+            probability: a.probability,
+            distance: a.distance,
+        });
     }
 
-    let engine = Engine { polystore, cache, sink: Mutex::new(Sink::default()) };
-    match config.augmenter {
+    let engine = Engine { polystore, cache };
+    let sink = match config.augmenter {
         AugmenterKind::Sequential => engine.sequential(&owned)?,
         AugmenterKind::Batch => engine.batch(&owned, config.batch_size)?,
         AugmenterKind::Inner => engine.inner(&owned, config.threads_size)?,
@@ -103,23 +129,21 @@ pub fn run(
             engine.outer_batch(&owned, config.batch_size, config.threads_size)?
         }
         AugmenterKind::OuterInner => engine.outer_inner(&owned, config.threads_size)?,
-    }
+    };
 
-    let sink = engine.sink.into_inner().expect("no worker panicked");
     let mut outcome = AugmentationOutcome {
         objects: sink.objects,
         missing: sink.missing,
         cache_hits: sink.cache_hits,
     };
     outcome.objects.sort_by(|a, b| {
-        b.probability
-            .cmp(&a.probability)
-            .then_with(|| a.object.key().cmp(b.object.key()))
+        b.probability.cmp(&a.probability).then_with(|| a.object.key().cmp(b.object.key()))
     });
     outcome.missing.sort();
     Ok(outcome)
 }
 
+/// A shard of the result, private to one worker until merged.
 #[derive(Debug, Default)]
 struct Sink {
     objects: Vec<AugmentedObject>,
@@ -127,17 +151,31 @@ struct Sink {
     cache_hits: usize,
 }
 
+impl Sink {
+    fn merge(&mut self, mut other: Sink) {
+        self.objects.append(&mut other.objects);
+        self.missing.append(&mut other.missing);
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// Merges worker shards in spawn order, surfacing the first worker error.
+fn merge_shards(results: Vec<Result<Sink>>, into: &mut Sink) -> Result<()> {
+    for result in results {
+        into.merge(result?);
+    }
+    Ok(())
+}
+
 struct Engine<'a> {
     polystore: &'a Polystore,
     cache: &'a ObjectCache,
-    sink: Mutex<Sink>,
 }
 
 impl Engine<'_> {
-    /// Fetches one task: cache, then a direct-access query.
-    fn fetch_one(&self, task: &Task) -> Result<()> {
+    /// Fetches one task into `sink`: cache, then a direct-access query.
+    fn fetch_one(&self, task: &Task, sink: &mut Sink) -> Result<()> {
         if let Some(object) = self.cache.get(&task.key) {
-            let mut sink = self.sink.lock().expect("sink lock");
             sink.cache_hits += 1;
             sink.objects.push(AugmentedObject {
                 object,
@@ -149,14 +187,14 @@ impl Engine<'_> {
         match self.polystore.get(&task.key)? {
             Some(object) => {
                 self.cache.insert(object.clone());
-                self.sink.lock().expect("sink lock").objects.push(AugmentedObject {
+                sink.objects.push(AugmentedObject {
                     object,
                     probability: task.probability,
                     distance: task.distance,
                 });
             }
             None => {
-                self.sink.lock().expect("sink lock").missing.push(task.key.clone());
+                sink.missing.push(task.key.clone());
             }
         }
         Ok(())
@@ -164,25 +202,20 @@ impl Engine<'_> {
 
     /// Fetches a group of tasks that share a (database, collection) in one
     /// round trip, cache first.
-    fn fetch_group(&self, group: &[Task]) -> Result<()> {
+    fn fetch_group(&self, group: &[Task], sink: &mut Sink) -> Result<()> {
         debug_assert!(!group.is_empty());
         let mut to_fetch: Vec<&Task> = Vec::with_capacity(group.len());
-        {
-            let mut hits = Vec::new();
-            for task in group {
-                match self.cache.get(&task.key) {
-                    Some(object) => hits.push(AugmentedObject {
+        for task in group {
+            match self.cache.get(&task.key) {
+                Some(object) => {
+                    sink.cache_hits += 1;
+                    sink.objects.push(AugmentedObject {
                         object,
                         probability: task.probability,
                         distance: task.distance,
-                    }),
-                    None => to_fetch.push(task),
+                    });
                 }
-            }
-            if !hits.is_empty() {
-                let mut sink = self.sink.lock().expect("sink lock");
-                sink.cache_hits += hits.len();
-                sink.objects.append(&mut hits);
+                None => to_fetch.push(task),
             }
         }
         if to_fetch.is_empty() {
@@ -192,20 +225,24 @@ impl Engine<'_> {
         let collection: &CollectionName = to_fetch[0].key.collection();
         let keys: Vec<LocalKey> = to_fetch.iter().map(|t| t.key.key().clone()).collect();
         let fetched = self.polystore.multi_get(database, collection, &keys)?;
-        let by_key: HashMap<&GlobalKey, &DataObject> =
-            fetched.iter().map(|o| (o.key(), o)).collect();
-        let mut sink = self.sink.lock().expect("sink lock");
-        for task in to_fetch {
-            match by_key.get(&task.key) {
-                Some(object) => {
-                    self.cache.insert((*object).clone());
-                    sink.objects.push(AugmentedObject {
-                        object: (*object).clone(),
-                        probability: task.probability,
-                        distance: task.distance,
-                    });
-                }
-                None => sink.missing.push(task.key.clone()),
+        // Move each fetched object straight into the sink (the cache takes
+        // the one clone); tasks whose key came back empty are missing.
+        let mut wanted: HashMap<&GlobalKey, &Task> =
+            to_fetch.iter().map(|t| (&t.key, *t)).collect();
+        for object in fetched {
+            let Some(task) = wanted.remove(object.key()) else { continue };
+            self.cache.insert(object.clone());
+            sink.objects.push(AugmentedObject {
+                object,
+                probability: task.probability,
+                distance: task.distance,
+            });
+        }
+        // Preserve the historical missing order: to_fetch order, not map
+        // order.
+        for task in &to_fetch {
+            if wanted.contains_key(&task.key) {
+                sink.missing.push(task.key.clone());
             }
         }
         Ok(())
@@ -213,16 +250,20 @@ impl Engine<'_> {
 
     // -- strategies ---------------------------------------------------------
 
-    fn sequential(&self, owned: &[Vec<Task>]) -> Result<()> {
+    fn sequential(&self, owned: &[Vec<Task>]) -> Result<Sink> {
+        let mut sink = Sink::default();
         for tasks in owned {
             for task in tasks {
-                self.fetch_one(task)?;
+                self.fetch_one(task, &mut sink)?;
             }
         }
-        Ok(())
+        Ok(sink)
     }
 
-    fn batch(&self, owned: &[Vec<Task>], batch_size: usize) -> Result<()> {
+    fn batch(&self, owned: &[Vec<Task>], batch_size: usize) -> Result<Sink> {
+        let mut sink = Sink::default();
+        // Group round trips by target (database, collection) across *all*
+        // seeds, emitting a trip whenever a group fills (Fig. 7(b)).
         let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
         for task in owned.iter().flatten() {
             let slot = (task.key.database().clone(), task.key.collection().clone());
@@ -230,73 +271,80 @@ impl Engine<'_> {
             group.push(task.clone());
             if group.len() >= batch_size {
                 let full = std::mem::take(group);
-                self.fetch_group(&full)?;
+                self.fetch_group(&full, &mut sink)?;
             }
         }
         // Flush partial groups in deterministic order.
         let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
         rest.sort_by(|a, b| a.0.cmp(&b.0));
         for (_, group) in rest {
-            self.fetch_group(&group)?;
+            self.fetch_group(&group, &mut sink)?;
         }
-        Ok(())
+        Ok(sink)
     }
 
     /// Inner concurrency: seeds in sequence, each seed's tasks spread over
     /// up to `threads` workers.
-    fn inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+    fn inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
+        let mut sink = Sink::default();
         for tasks in owned {
             if tasks.is_empty() {
                 continue;
             }
-            self.parallel_each(tasks, threads)?;
+            self.parallel_each(tasks, threads, &mut sink)?;
         }
-        Ok(())
+        Ok(sink)
     }
 
     /// Outer concurrency: a pool of `threads` workers, each taking whole
-    /// seeds and fetching their tasks sequentially.
-    fn outer(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+    /// seeds and fetching their tasks sequentially into its own shard.
+    fn outer(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
         let next = AtomicUsize::new(0);
-        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(owned.len().max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= owned.len() {
-                        return;
-                    }
-                    for task in &owned[i] {
-                        if let Err(e) = self.fetch_one(task) {
-                            errors.lock().expect("errors lock").push(e);
-                            return;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(owned.len().max(1)))
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Sink::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= owned.len() {
+                                return Ok(local);
+                            }
+                            for task in &owned[i] {
+                                self.fetch_one(task, &mut local)?;
+                            }
                         }
-                    }
-                });
-            }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("augmentation worker panicked"))
+                .collect::<Vec<Result<Sink>>>()
         })
         .expect("augmentation worker panicked");
-        first_error(errors)
+        let mut sink = Sink::default();
+        merge_shards(results, &mut sink)?;
+        Ok(sink)
     }
 
     /// Outer-batch: the main thread fills per-store groups; workers drain
-    /// full batches from a channel.
-    fn outer_batch(&self, owned: &[Vec<Task>], batch_size: usize, threads: usize) -> Result<()> {
+    /// full batches from a channel into worker-local shards.
+    fn outer_batch(&self, owned: &[Vec<Task>], batch_size: usize, threads: usize) -> Result<Sink> {
         let (tx, rx) = crossbeam::channel::unbounded::<Vec<Task>>();
-        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                let rx = rx.clone();
-                let errors = &errors;
-                scope.spawn(move |_| {
-                    while let Ok(group) = rx.recv() {
-                        if let Err(e) = self.fetch_group(&group) {
-                            errors.lock().expect("errors lock").push(e);
-                            return;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| {
+                        let mut local = Sink::default();
+                        while let Ok(group) = rx.recv() {
+                            self.fetch_group(&group, &mut local)?;
                         }
-                    }
-                });
-            }
+                        Ok(local)
+                    })
+                })
+                .collect();
             // Main process: group keys by target store, emitting each group
             // when it reaches BATCH_SIZE (Fig. 7(b)).
             let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
@@ -315,72 +363,84 @@ impl Engine<'_> {
                 let _ = tx.send(group);
             }
             drop(tx);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("augmentation worker panicked"))
+                .collect::<Vec<Result<Sink>>>()
         })
         .expect("augmentation worker panicked");
-        first_error(errors)
+        let mut sink = Sink::default();
+        merge_shards(results, &mut sink)?;
+        Ok(sink)
     }
 
     /// Outer-inner: half the threads take seeds, each fanning its tasks out
     /// over the other half.
-    fn outer_inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<()> {
+    fn outer_inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
         let outer_threads = (threads / 2).max(1);
         let inner_threads = (threads / 2).max(1);
         let next = AtomicUsize::new(0);
-        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..outer_threads.min(owned.len().max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= owned.len() {
-                        return;
-                    }
-                    if owned[i].is_empty() {
-                        continue;
-                    }
-                    if let Err(e) = self.parallel_each(&owned[i], inner_threads) {
-                        errors.lock().expect("errors lock").push(e);
-                        return;
-                    }
-                });
-            }
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..outer_threads.min(owned.len().max(1)))
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Sink::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= owned.len() {
+                                return Ok(local);
+                            }
+                            if owned[i].is_empty() {
+                                continue;
+                            }
+                            self.parallel_each(&owned[i], inner_threads, &mut local)?;
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("augmentation worker panicked"))
+                .collect::<Vec<Result<Sink>>>()
         })
         .expect("augmentation worker panicked");
-        first_error(errors)
+        let mut sink = Sink::default();
+        merge_shards(results, &mut sink)?;
+        Ok(sink)
     }
 
-    /// Spreads `tasks` over up to `threads` workers, one key per fetch.
-    fn parallel_each(&self, tasks: &[Task], threads: usize) -> Result<()> {
+    /// Spreads `tasks` over up to `threads` workers, one key per fetch,
+    /// merging the worker shards into `sink` after join.
+    fn parallel_each(&self, tasks: &[Task], threads: usize, sink: &mut Sink) -> Result<()> {
         let workers = threads.min(tasks.len()).max(1);
         if workers == 1 {
             for task in tasks {
-                self.fetch_one(task)?;
+                self.fetch_one(task, sink)?;
             }
             return Ok(());
         }
         let next = AtomicUsize::new(0);
-        let errors: Mutex<Vec<crate::error::QuepaError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        return;
-                    }
-                    if let Err(e) = self.fetch_one(&tasks[i]) {
-                        errors.lock().expect("errors lock").push(e);
-                        return;
-                    }
-                });
-            }
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Sink::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks.len() {
+                                return Ok(local);
+                            }
+                            self.fetch_one(&tasks[i], &mut local)?;
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("augmentation worker panicked"))
+                .collect::<Vec<Result<Sink>>>()
         })
         .expect("augmentation worker panicked");
-        first_error(errors)
-    }
-}
-
-fn first_error(errors: Mutex<Vec<crate::error::QuepaError>>) -> Result<()> {
-    match errors.into_inner().expect("errors lock").into_iter().next() {
-        Some(e) => Err(e),
-        None => Ok(()),
+        merge_shards(results, sink)
     }
 }

@@ -3,9 +3,18 @@
 //! "All augmenters rely on a caching mechanism with a LRU policy that
 //! allows the fast access to the last accessed data objects by means of
 //! their global-key." The paper uses Ehcache; this is a thread-safe,
-//! intrusive-list LRU with O(1) get/insert, shared by the concurrent
-//! augmenters behind one mutex (lookups are tiny; contention is dominated
-//! by the simulated network anyway).
+//! intrusive-list LRU with O(1) get/insert.
+//!
+//! To keep the concurrent augmenters from serializing on a single lock,
+//! large caches are split into [`SHARD_COUNT`] shards, each an exact LRU
+//! over its own key-hash slice with its own `parking_lot` mutex. Small
+//! caches (below [`SHARD_THRESHOLD`]) stay single-sharded so that the
+//! global LRU order — which unit tests and tiny-capacity configurations
+//! rely on — is exact. The shard count is fixed at construction; resizing
+//! redistributes capacity over the existing shards (`total / n` each, the
+//! remainder spread over the first shards), so the CACHE_SIZE accounting
+//! the adaptive optimizer adjusts (±(predicted−current)/10) is unchanged:
+//! the shard capacities always sum to the configured total.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +23,13 @@ use parking_lot::Mutex;
 use quepa_pdm::{DataObject, GlobalKey};
 
 const NIL: usize = usize::MAX;
+
+/// Shard fan-out for large caches.
+const SHARD_COUNT: usize = 8;
+
+/// Total capacity below which the cache stays single-sharded (exact
+/// global LRU).
+const SHARD_THRESHOLD: usize = 256;
 
 #[derive(Debug)]
 struct Entry {
@@ -32,44 +48,80 @@ struct LruInner {
     tail: usize, // least recent
 }
 
+/// One shard: an exact LRU over its key-hash slice.
+#[derive(Debug)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+#[derive(Debug)]
+struct ShardInner {
+    capacity: usize,
+    lru: LruInner,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner {
+                capacity,
+                lru: LruInner { head: NIL, tail: NIL, ..Default::default() },
+            }),
+        }
+    }
+}
+
 /// A thread-safe LRU cache of data objects keyed by global key.
 #[derive(Debug)]
 pub struct ObjectCache {
-    inner: Mutex<LruInner>,
+    shards: Vec<Shard>,
     capacity: Mutex<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+/// Splits `total` capacity over `n` shards: `total / n` each, remainder
+/// spread over the first shards, so the shard capacities sum to `total`.
+fn split_capacity(total: usize, n: usize) -> impl Iterator<Item = usize> {
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(move |i| base + usize::from(i < extra))
+}
+
 impl ObjectCache {
     /// Creates a cache holding at most `capacity` objects (0 disables it).
     pub fn new(capacity: usize) -> Self {
+        let shard_count = if capacity >= SHARD_THRESHOLD { SHARD_COUNT } else { 1 };
         ObjectCache {
-            inner: Mutex::new(LruInner { head: NIL, tail: NIL, ..Default::default() }),
+            shards: split_capacity(capacity, shard_count).map(Shard::new).collect(),
             capacity: Mutex::new(capacity),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The current capacity.
+    /// The current total capacity.
     pub fn capacity(&self) -> usize {
         *self.capacity.lock()
     }
 
-    /// Adjusts the capacity, evicting LRU entries if it shrank. This is the
-    /// knob the adaptive optimizer turns by ±(predicted−current)/10.
+    /// Adjusts the capacity, evicting LRU entries from shards that shrank.
+    /// This is the knob the adaptive optimizer turns by
+    /// ±(predicted−current)/10. The shard count does not change.
     pub fn resize(&self, capacity: usize) {
         *self.capacity.lock() = capacity;
-        let mut inner = self.inner.lock();
-        while inner.map.len() > capacity {
-            evict_tail(&mut inner);
+        for (shard, cap) in self.shards.iter().zip(split_capacity(capacity, self.shards.len())) {
+            let mut inner = shard.inner.lock();
+            inner.capacity = cap;
+            while inner.lru.map.len() > cap {
+                evict_tail(&mut inner.lru);
+            }
         }
     }
 
-    /// Number of cached objects.
+    /// Number of cached objects across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.lock().lru.map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -77,68 +129,86 @@ impl ObjectCache {
         self.len() == 0
     }
 
+    fn shard(&self, key: &GlobalKey) -> &Shard {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        // Fibonacci-mix the key's precomputed hash so the shard index draws
+        // on all of its bits, not just the low ones.
+        let mixed = key.precomputed_hash().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(mixed >> 32) as usize % self.shards.len()]
+    }
+
     /// Looks up a key, marking it most-recently-used on a hit.
     pub fn get(&self, key: &GlobalKey) -> Option<DataObject> {
-        let mut inner = self.inner.lock();
-        let Some(&slot) = inner.map.get(key) else {
+        let mut inner = self.shard(key).inner.lock();
+        let Some(&slot) = inner.lru.map.get(key) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
-        detach(&mut inner, slot);
-        attach_front(&mut inner, slot);
+        detach(&mut inner.lru, slot);
+        attach_front(&mut inner.lru, slot);
         self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(inner.slab[slot].value.clone())
+        Some(inner.lru.slab[slot].value.clone())
     }
 
-    /// Inserts (or refreshes) an object, evicting the LRU entry if full.
+    /// Inserts (or refreshes) an object, evicting the shard's LRU entry if
+    /// the shard is full.
     pub fn insert(&self, object: DataObject) {
-        let capacity = *self.capacity.lock();
+        let key = object.key().clone();
+        let mut inner = self.shard(&key).inner.lock();
+        let capacity = inner.capacity;
         if capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock();
-        let key = object.key().clone();
-        if let Some(&slot) = inner.map.get(&key) {
-            inner.slab[slot].value = object;
-            detach(&mut inner, slot);
-            attach_front(&mut inner, slot);
+        if let Some(&slot) = inner.lru.map.get(&key) {
+            inner.lru.slab[slot].value = object;
+            detach(&mut inner.lru, slot);
+            attach_front(&mut inner.lru, slot);
             return;
         }
-        if inner.map.len() >= capacity {
-            evict_tail(&mut inner);
+        if inner.lru.map.len() >= capacity {
+            evict_tail(&mut inner.lru);
         }
-        let slot = match inner.free.pop() {
+        let slot = match inner.lru.free.pop() {
             Some(slot) => {
-                inner.slab[slot] =
+                inner.lru.slab[slot] =
                     Entry { key: key.clone(), value: object, prev: NIL, next: NIL };
                 slot
             }
             None => {
-                inner.slab.push(Entry { key: key.clone(), value: object, prev: NIL, next: NIL });
-                inner.slab.len() - 1
+                inner.lru.slab.push(Entry {
+                    key: key.clone(),
+                    value: object,
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.lru.slab.len() - 1
             }
         };
-        inner.map.insert(key, slot);
-        attach_front(&mut inner, slot);
+        inner.lru.map.insert(key, slot);
+        attach_front(&mut inner.lru, slot);
     }
 
     /// Removes a key (used when lazy deletion discovers a vanished object).
     pub fn remove(&self, key: &GlobalKey) -> bool {
-        let mut inner = self.inner.lock();
-        let Some(slot) = inner.map.remove(key) else { return false };
-        detach(&mut inner, slot);
-        inner.free.push(slot);
+        let mut inner = self.shard(key).inner.lock();
+        let Some(slot) = inner.lru.map.remove(key) else { return false };
+        detach(&mut inner.lru, slot);
+        inner.lru.free.push(slot);
         true
     }
 
     /// Clears the cache (cold-cache experiment runs).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.slab.clear();
-        inner.free.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.lru.map.clear();
+            inner.lru.slab.clear();
+            inner.lru.free.clear();
+            inner.lru.head = NIL;
+            inner.lru.tail = NIL;
+        }
     }
 
     /// `(hits, misses)` counters.
@@ -324,5 +394,92 @@ mod tests {
         assert!(c.is_empty());
         c.insert(obj(3));
         assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn small_caches_use_one_shard() {
+        let c = ObjectCache::new(SHARD_THRESHOLD - 1);
+        assert_eq!(c.shards.len(), 1);
+        let c = ObjectCache::new(SHARD_THRESHOLD);
+        assert_eq!(c.shards.len(), SHARD_COUNT);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        for total in [256, 257, 260, 263, 1000, 4096] {
+            let c = ObjectCache::new(total);
+            assert_eq!(c.capacity(), total);
+            let sum: usize = c.shards.iter().map(|s| s.inner.lock().capacity).sum();
+            assert_eq!(sum, total, "shard capacities must sum to {total}");
+        }
+    }
+
+    #[test]
+    fn sharded_cache_caps_total_size() {
+        let c = ObjectCache::new(300);
+        assert_eq!(c.shards.len(), SHARD_COUNT);
+        for i in 0..2000 {
+            c.insert(obj(i));
+        }
+        assert!(c.len() <= 300, "len {} exceeds capacity", c.len());
+        // Every shard respects its own bound.
+        for s in &c.shards {
+            let inner = s.inner.lock();
+            assert!(inner.lru.map.len() <= inner.capacity);
+        }
+    }
+
+    #[test]
+    fn sharded_resize_redistributes_and_evicts() {
+        let c = ObjectCache::new(512);
+        for i in 0..512 {
+            c.insert(obj(i));
+        }
+        c.resize(300);
+        assert!(c.len() <= 300);
+        assert_eq!(c.capacity(), 300);
+        let sum: usize = c.shards.iter().map(|s| s.inner.lock().capacity).sum();
+        assert_eq!(sum, 300);
+        c.resize(512);
+        for i in 1000..1512 {
+            c.insert(obj(i));
+        }
+        assert!(c.len() <= 512);
+    }
+
+    #[test]
+    fn sharded_get_insert_remove_roundtrip() {
+        let c = ObjectCache::new(1024);
+        for i in 0..500 {
+            c.insert(obj(i));
+        }
+        for i in 0..500 {
+            assert!(c.get(&key(i)).is_some(), "key {i} must be cached");
+        }
+        for i in 0..500 {
+            assert!(c.remove(&key(i)));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_concurrent_access() {
+        use std::sync::Arc;
+        let c = Arc::new(ObjectCache::new(512));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.insert(obj(t * 10000 + i % 300));
+                        c.get(&key(t * 10000 + (i + 1) % 300));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 512);
     }
 }

@@ -29,11 +29,7 @@ pub struct ExplorationSession<'q> {
 }
 
 impl<'q> ExplorationSession<'q> {
-    pub(crate) fn new(
-        quepa: &'q Quepa,
-        original: Vec<DataObject>,
-        target_kind: StoreKind,
-    ) -> Self {
+    pub(crate) fn new(quepa: &'q Quepa, original: Vec<DataObject>, target_kind: StoreKind) -> Self {
         ExplorationSession {
             quepa,
             target_kind,
@@ -92,15 +88,15 @@ impl<'q> ExplorationSession<'q> {
     fn expand(&mut self, object: DataObject, level: usize) -> Result<&[AugmentedObject]> {
         let start = Instant::now();
         let key = object.key().clone();
-        let answer =
-            self.quepa
-                .augment_objects(std::slice::from_ref(&object), level, self.target_kind, start)?;
+        let answer = self.quepa.augment_objects(
+            std::slice::from_ref(&object),
+            level,
+            self.target_kind,
+            start,
+        )?;
         self.path.push(key);
-        self.frontier = answer
-            .augmented
-            .into_iter()
-            .filter(|a| !self.path.contains(a.object.key()))
-            .collect();
+        self.frontier =
+            answer.augmented.into_iter().filter(|a| !self.path.contains(a.object.key())).collect();
         self.steps += 1;
         Ok(&self.frontier)
     }

@@ -87,10 +87,14 @@ mod tests {
     #[test]
     fn situations_bucket_sizes() {
         // 1000 and 1023 are the same situation; 1000 and 5000 are not.
-        assert_eq!(log(1000, AugmenterKind::Batch, 1).situation(),
-                   log(1023, AugmenterKind::Outer, 9).situation());
-        assert_ne!(log(1000, AugmenterKind::Batch, 1).situation(),
-                   log(5000, AugmenterKind::Batch, 1).situation());
+        assert_eq!(
+            log(1000, AugmenterKind::Batch, 1).situation(),
+            log(1023, AugmenterKind::Outer, 9).situation()
+        );
+        assert_ne!(
+            log(1000, AugmenterKind::Batch, 1).situation(),
+            log(5000, AugmenterKind::Batch, 1).situation()
+        );
     }
 
     #[test]

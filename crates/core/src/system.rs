@@ -136,18 +136,23 @@ impl Quepa {
         target_kind: quepa_polystore::StoreKind,
         start: Instant,
     ) -> Result<AugmentedAnswer> {
-        // Decide the configuration: ask the optimizer if one is installed.
-        let features = {
+        // One index traversal serves both feature extraction and
+        // retrieval: the plan carries the canonical neighbourhood plus
+        // the per-seed work partition, and the index lock is released
+        // before any store round trip.
+        let plan = {
             let index = self.index.read();
             let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
-            QueryFeatures {
-                target_kind,
-                store_count: self.polystore.len(),
-                result_size: original.len(),
-                augmented_size: index.augment(&keys, level).len(),
-                level,
-                distributed: false,
-            }
+            augmenter::plan(&index, &keys, level)
+        };
+        // Decide the configuration: ask the optimizer if one is installed.
+        let features = QueryFeatures {
+            target_kind,
+            store_count: self.polystore.len(),
+            result_size: original.len(),
+            augmented_size: plan.augmented.len(),
+            level,
+            distributed: false,
         };
         let current = self.config();
         let config = match self.optimizer.lock().as_ref() {
@@ -155,8 +160,7 @@ impl Quepa {
                 let chosen = opt.choose(&features, &current).sanitized();
                 // §V: the cache is not swung to the predicted value — it
                 // moves by (predicted − current)/10.
-                let delta =
-                    (chosen.cache_size as i64 - current.cache_size as i64) / 10;
+                let delta = (chosen.cache_size as i64 - current.cache_size as i64) / 10;
                 let cache_size = (current.cache_size as i64 + delta).max(0) as usize;
                 let adjusted = QuepaConfig { cache_size, ..chosen };
                 self.set_config(adjusted);
@@ -165,10 +169,7 @@ impl Quepa {
             None => current,
         };
 
-        let outcome = {
-            let index = self.index.read();
-            augmenter::run(&self.polystore, &index, &self.cache, original, level, &config)?
-        };
+        let outcome = augmenter::run_planned(&self.polystore, &self.cache, &plan, &config)?;
 
         // Lazy deletion (§III-C): objects that vanished from the polystore
         // leave the index and the cache.

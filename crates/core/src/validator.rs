@@ -218,9 +218,7 @@ mod tests {
 
     #[test]
     fn graph_queries() {
-        assert!(V
-            .validate(StoreKind::Graph, "MATCH (n:Song) WHERE n.plays > 10 RETURN n")
-            .is_ok());
+        assert!(V.validate(StoreKind::Graph, "MATCH (n:Song) WHERE n.plays > 10 RETURN n").is_ok());
         assert!(matches!(
             V.validate(StoreKind::Graph, "MATCH (n) RETURN count(n)"),
             Err(QuepaError::NotAugmentable { .. })

@@ -9,12 +9,8 @@ use std::sync::Arc;
 use quepa_aindex::AIndex;
 use quepa_core::{AugmenterKind, Quepa, QuepaConfig, QuepaError};
 use quepa_kvstore::KvStore;
-use quepa_pdm::{
-    CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability,
-};
-use quepa_polystore::{
-    Connector, KvConnector, LatencyModel, PolyError, Polystore, StoreKind,
-};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
+use quepa_polystore::{Connector, KvConnector, LatencyModel, PolyError, Polystore, StoreKind};
 
 /// Wraps a connector; every `fail_every`-th key-based lookup errors.
 struct FlakyConnector {
@@ -69,10 +65,7 @@ impl Connector for FlakyConnector {
         self.trip()?;
         self.inner.multi_get(collection, keys)
     }
-    fn scan_collection(
-        &self,
-        collection: &CollectionName,
-    ) -> Result<Vec<DataObject>, PolyError> {
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>, PolyError> {
         self.inner.scan_collection(collection)
     }
     fn object_count(&self) -> usize {
@@ -103,9 +96,7 @@ fn build(fail_every: usize) -> Quepa {
         fail_every,
     }));
     let mut index = AIndex::new();
-    let key = |db: usize, k: usize| -> GlobalKey {
-        format!("db{db}.c.k{k}").parse().unwrap()
-    };
+    let key = |db: usize, k: usize| -> GlobalKey { format!("db{db}.c.k{k}").parse().unwrap() };
     for k in 0..20 {
         index.insert_matching(&key(0, k), &key(1, k), Probability::of(0.8));
     }

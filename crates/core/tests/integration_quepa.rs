@@ -10,8 +10,7 @@ use quepa_graphstore::GraphDb;
 use quepa_kvstore::KvStore;
 use quepa_pdm::{text, GlobalKey, Probability, Value};
 use quepa_polystore::{
-    DocumentConnector, GraphConnector, KvConnector, LatencyModel, Polystore,
-    RelationalConnector,
+    DocumentConnector, GraphConnector, KvConnector, LatencyModel, Polystore, RelationalConnector,
 };
 use quepa_relstore::engine::Database;
 
@@ -28,10 +27,8 @@ fn polyphony() -> Quepa {
     rel.create_table("inventory", "id", &["id", "artist", "name"]).unwrap();
     rel.create_table("sales", "id", &["id", "first", "last", "total"]).unwrap();
     rel.create_table("sales_details", "id", &["id", "sale", "item"]).unwrap();
-    rel.execute(
-        "INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish'), ('a33', 'Cure', 'Faith')",
-    )
-    .unwrap();
+    rel.execute("INSERT INTO inventory VALUES ('a32', 'Cure', 'Wish'), ('a33', 'Cure', 'Faith')")
+        .unwrap();
     rel.execute("INSERT INTO sales VALUES ('s8', 'John', 'Doe', 20.0)").unwrap();
     rel.execute("INSERT INTO sales_details VALUES ('i1', 's8', 'a32'), ('i4', 's8', 'a33')")
         .unwrap();
@@ -62,13 +59,37 @@ fn polyphony() -> Quepa {
 
     let mut ix = AIndex::new();
     // Example 2's relations.
-    ix.insert_identity(&k("catalogue.albums.d1"), &k("transactions.inventory.a32"), Probability::of(0.9));
-    ix.insert_identity(&k("catalogue.albums.d1"), &k("discount.drop.k1:cure:wish"), Probability::of(0.8));
+    ix.insert_identity(
+        &k("catalogue.albums.d1"),
+        &k("transactions.inventory.a32"),
+        Probability::of(0.9),
+    );
+    ix.insert_identity(
+        &k("catalogue.albums.d1"),
+        &k("discount.drop.k1:cure:wish"),
+        Probability::of(0.8),
+    );
     ix.insert_identity(&k("catalogue.albums.d1"), &k("similar.album.g7"), Probability::of(0.95));
-    ix.insert_matching(&k("transactions.inventory.a32"), &k("transactions.sales_details.i1"), Probability::of(0.7));
-    ix.insert_matching(&k("transactions.sales.s8"), &k("catalogue.customers.c1"), Probability::of(0.75));
-    ix.insert_matching(&k("transactions.sales.s8"), &k("transactions.sales_details.i1"), Probability::ONE);
-    ix.insert_matching(&k("transactions.sales.s8"), &k("transactions.sales_details.i4"), Probability::ONE);
+    ix.insert_matching(
+        &k("transactions.inventory.a32"),
+        &k("transactions.sales_details.i1"),
+        Probability::of(0.7),
+    );
+    ix.insert_matching(
+        &k("transactions.sales.s8"),
+        &k("catalogue.customers.c1"),
+        Probability::of(0.75),
+    );
+    ix.insert_matching(
+        &k("transactions.sales.s8"),
+        &k("transactions.sales_details.i1"),
+        Probability::ONE,
+    );
+    ix.insert_matching(
+        &k("transactions.sales.s8"),
+        &k("transactions.sales_details.i4"),
+        Probability::ONE,
+    );
     assert!(ix.check_consistency().is_none());
 
     Quepa::new(p, ix)
@@ -85,8 +106,7 @@ fn lucy_augmented_search() {
     assert_eq!(answer.original[0].key(), &k("transactions.inventory.a32"));
     // The augmentation reveals the discount and the catalogue entry, plus
     // everything the consistency condition propagated.
-    let keys: Vec<String> =
-        answer.augmented.iter().map(|a| a.object.key().to_string()).collect();
+    let keys: Vec<String> = answer.augmented.iter().map(|a| a.object.key().to_string()).collect();
     assert!(keys.contains(&"catalogue.albums.d1".to_string()), "{keys:?}");
     assert!(keys.contains(&"discount.drop.k1:cure:wish".to_string()), "{keys:?}");
     // The discount value really came from the kv store.
@@ -97,10 +117,7 @@ fn lucy_augmented_search() {
         .unwrap();
     assert_eq!(discount.object.value().as_str(), Some("40%"));
     // Ranked by probability.
-    assert!(answer
-        .augmented
-        .windows(2)
-        .all(|w| w[0].probability >= w[1].probability));
+    assert!(answer.augmented.windows(2).all(|w| w[0].probability >= w[1].probability));
 }
 
 #[test]
@@ -116,9 +133,8 @@ fn all_augmenters_agree() {
                     threads_size: threads,
                     cache_size: 0, // cache off so every strategy hits the stores
                 });
-                let answer = quepa
-                    .augmented_search("transactions", "SELECT * FROM inventory", 1)
-                    .unwrap();
+                let answer =
+                    quepa.augmented_search("transactions", "SELECT * FROM inventory", 1).unwrap();
                 let got: Vec<(String, String)> = answer
                     .augmented
                     .iter()
@@ -155,9 +171,8 @@ fn levels_expand_the_answer() {
 #[test]
 fn aggregates_are_refused() {
     let quepa = polyphony();
-    let err = quepa
-        .augmented_search("transactions", "SELECT COUNT(*) FROM inventory", 0)
-        .unwrap_err();
+    let err =
+        quepa.augmented_search("transactions", "SELECT COUNT(*) FROM inventory", 0).unwrap_err();
     assert!(matches!(err, QuepaError::NotAugmentable { .. }));
     let err = quepa.augmented_search("catalogue", "db.albums.count()", 0).unwrap_err();
     assert!(matches!(err, QuepaError::NotAugmentable { .. }));
@@ -181,17 +196,13 @@ fn every_store_can_be_the_target() {
     let a = quepa
         .augmented_search("catalogue", r#"db.albums.find({"title":{"$like":"%wish%"}})"#, 0)
         .unwrap();
-    assert!(a
-        .augmented
-        .iter()
-        .any(|x| x.object.key() == &k("transactions.inventory.a32")));
+    assert!(a.augmented.iter().any(|x| x.object.key() == &k("transactions.inventory.a32")));
     // Key-value GET.
     let a = quepa.augmented_search("discount", "GET k1:cure:wish", 0).unwrap();
     assert!(a.augmented.iter().any(|x| x.object.key() == &k("catalogue.albums.d1")));
     // Graph pattern.
-    let a = quepa
-        .augmented_search("similar", "MATCH (n:Album {title: 'Wish'}) RETURN n", 0)
-        .unwrap();
+    let a =
+        quepa.augmented_search("similar", "MATCH (n:Album {title: 'Wish'}) RETURN n", 0).unwrap();
     assert!(a.augmented.iter().any(|x| x.object.key() == &k("catalogue.albums.d1")));
 }
 
@@ -203,15 +214,11 @@ fn exploration_follows_example5() {
         quepa.explore("transactions", "SELECT * FROM sales WHERE total > 15").unwrap();
     assert_eq!(session.results().len(), 1);
     let frontier = session.select(0).unwrap();
-    let frontier_keys: Vec<String> =
-        frontier.iter().map(|a| a.object.key().to_string()).collect();
+    let frontier_keys: Vec<String> = frontier.iter().map(|a| a.object.key().to_string()).collect();
     assert!(frontier_keys.contains(&"transactions.sales_details.i1".to_string()));
     assert!(frontier_keys.contains(&"catalogue.customers.c1".to_string()));
     // Click the sale detail i1.
-    let i1_pos = frontier_keys
-        .iter()
-        .position(|f| f == "transactions.sales_details.i1")
-        .unwrap();
+    let i1_pos = frontier_keys.iter().position(|f| f == "transactions.sales_details.i1").unwrap();
     let frontier = session.step(i1_pos).unwrap();
     let keys: Vec<String> = frontier.iter().map(|a| a.object.key().to_string()).collect();
     assert!(keys.contains(&"transactions.inventory.a32".to_string()), "{keys:?}");
@@ -236,10 +243,7 @@ fn repeated_exploration_promotes_a_shortcut() {
     let quepa = polyphony();
     let from = k("transactions.sales.s8");
     let to = k("transactions.inventory.a32");
-    assert!(quepa
-        .index()
-        .edge(&from, &to, quepa_pdm::RelationKind::Matching)
-        .is_none());
+    assert!(quepa.index().edge(&from, &to, quepa_pdm::RelationKind::Matching).is_none());
     // Walk s8 → i1 → a32 repeatedly until promotion fires.
     let mut promoted = false;
     for _ in 0..32 {
@@ -268,9 +272,8 @@ fn repeated_exploration_promotes_a_shortcut() {
         .expect("shortcut edge exists");
     assert!(matches!(edge.origin, quepa_aindex::EdgeOrigin::Promoted));
     // The shortcut now surfaces a32 at level 0 from s8.
-    let answer = quepa
-        .augmented_search("transactions", "SELECT * FROM sales WHERE total > 15", 0)
-        .unwrap();
+    let answer =
+        quepa.augmented_search("transactions", "SELECT * FROM sales WHERE total > 15", 0).unwrap();
     assert!(answer.augmented.iter().any(|a| a.object.key() == &to));
 }
 
@@ -283,10 +286,7 @@ fn lazy_deletion_on_vanished_objects() {
         .augmented_search("transactions", "SELECT * FROM inventory WHERE name = 'Wish'", 0)
         .unwrap();
     assert_eq!(answer.lazily_deleted, 1);
-    assert!(!answer
-        .augmented
-        .iter()
-        .any(|a| a.object.key() == &k("discount.drop.k1:cure:wish")));
+    assert!(!answer.augmented.iter().any(|a| a.object.key() == &k("discount.drop.k1:cure:wish")));
     // The index forgot the object: the next run reports nothing missing.
     assert!(!quepa.index().contains(&k("discount.drop.k1:cure:wish")));
     let again = quepa
@@ -299,18 +299,12 @@ fn lazy_deletion_on_vanished_objects() {
 fn cache_serves_repeated_runs() {
     let quepa = polyphony();
     quepa.set_config(QuepaConfig { cache_size: 1024, ..QuepaConfig::default() });
-    let cold = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory", 1)
-        .unwrap();
+    let cold = quepa.augmented_search("transactions", "SELECT * FROM inventory", 1).unwrap();
     assert_eq!(cold.cache_hits, 0);
-    let warm = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory", 1)
-        .unwrap();
+    let warm = quepa.augmented_search("transactions", "SELECT * FROM inventory", 1).unwrap();
     assert_eq!(warm.cache_hits, warm.augmented.len(), "fully cache-served");
     quepa.drop_caches();
-    let cold_again = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory", 1)
-        .unwrap();
+    let cold_again = quepa.augmented_search("transactions", "SELECT * FROM inventory", 1).unwrap();
     assert_eq!(cold_again.cache_hits, 0);
 }
 
@@ -330,11 +324,7 @@ fn run_logs_accumulate() {
 fn optimizer_hook_is_used() {
     struct Fixed;
     impl quepa_core::Optimizer for Fixed {
-        fn choose(
-            &self,
-            _f: &quepa_core::QueryFeatures,
-            current: &QuepaConfig,
-        ) -> QuepaConfig {
+        fn choose(&self, _f: &quepa_core::QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
             QuepaConfig { augmenter: AugmenterKind::Sequential, ..*current }
         }
         fn name(&self) -> &'static str {
@@ -343,9 +333,7 @@ fn optimizer_hook_is_used() {
     }
     let quepa = polyphony();
     quepa.set_optimizer(Some(Box::new(Fixed)));
-    let answer = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory", 0)
-        .unwrap();
+    let answer = quepa.augmented_search("transactions", "SELECT * FROM inventory", 0).unwrap();
     assert_eq!(answer.config_used.augmenter, AugmenterKind::Sequential);
 }
 
@@ -353,11 +341,7 @@ fn optimizer_hook_is_used() {
 fn cache_size_moves_by_tenth_of_delta() {
     struct WantsBigCache;
     impl quepa_core::Optimizer for WantsBigCache {
-        fn choose(
-            &self,
-            _f: &quepa_core::QueryFeatures,
-            current: &QuepaConfig,
-        ) -> QuepaConfig {
+        fn choose(&self, _f: &quepa_core::QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
             QuepaConfig { cache_size: 10_000, ..*current }
         }
         fn name(&self) -> &'static str {
@@ -367,9 +351,7 @@ fn cache_size_moves_by_tenth_of_delta() {
     let quepa = polyphony();
     quepa.set_config(QuepaConfig { cache_size: 1000, ..QuepaConfig::default() });
     quepa.set_optimizer(Some(Box::new(WantsBigCache)));
-    let answer = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory", 0)
-        .unwrap();
+    let answer = quepa.augmented_search("transactions", "SELECT * FROM inventory", 0).unwrap();
     // (10000 − 1000) / 10 = 900 → 1900, not 10000.
     assert_eq!(answer.config_used.cache_size, 1900);
     assert_eq!(quepa.config().cache_size, 1900);

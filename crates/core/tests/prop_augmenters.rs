@@ -12,11 +12,7 @@ use quepa_polystore::{KvConnector, LatencyModel, Polystore};
 
 /// Builds a polystore of `stores` kv stores, each holding `keys_per_store`
 /// entries, plus an A' index wired from the edge list.
-fn build(
-    stores: usize,
-    keys_per_store: usize,
-    edges: &[(u8, u8, u8, u8, f64, bool)],
-) -> Quepa {
+fn build(stores: usize, keys_per_store: usize, edges: &[(u8, u8, u8, u8, f64, bool)]) -> Quepa {
     let mut polystore = Polystore::new();
     for s in 0..stores {
         let mut kv = KvStore::new(format!("db{s}"));
@@ -26,9 +22,7 @@ fn build(
         polystore.register(Arc::new(KvConnector::new(kv, "c", LatencyModel::FREE)));
     }
     let key = |s: u8, k: u8| -> GlobalKey {
-        format!("db{}.c.k{}", s as usize % stores, k as usize % keys_per_store)
-            .parse()
-            .unwrap()
+        format!("db{}.c.k{}", s as usize % stores, k as usize % keys_per_store).parse().unwrap()
     };
     let mut index = AIndex::new();
     for &(s1, k1, s2, k2, p, identity) in edges {
@@ -44,10 +38,7 @@ fn build(
 }
 
 fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8, u8, f64, bool)>> {
-    prop::collection::vec(
-        (0u8..3, 0u8..8, 0u8..3, 0u8..8, 0.1f64..=1.0, any::<bool>()),
-        1..30,
-    )
+    prop::collection::vec((0u8..3, 0u8..8, 0u8..3, 0u8..8, 0.1f64..=1.0, any::<bool>()), 1..30)
 }
 
 proptest! {

@@ -1,0 +1,141 @@
+//! Concurrency determinism: the shard-local sinks the concurrent
+//! augmenters merge after join must yield an outcome identical to the
+//! sequential augmenter's — same objects (key, probability, distance, in
+//! the same order) and same missing-key list — across thread counts,
+//! batch sizes, cache states, and repeated runs (different thread
+//! interleavings).
+
+use std::sync::Arc;
+
+use quepa_aindex::AIndex;
+use quepa_core::augmenter::{self, AugmentationOutcome};
+use quepa_core::cache::ObjectCache;
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_kvstore::KvStore;
+use quepa_pdm::{GlobalKey, Probability};
+use quepa_polystore::{KvConnector, LatencyModel, Polystore};
+
+const STORES: usize = 4;
+const KEYS_PER_STORE: usize = 16;
+
+fn key(s: usize, k: usize) -> GlobalKey {
+    format!("db{s}.c.k{k}").parse().unwrap()
+}
+
+/// A polystore plus an A' index that also references keys the stores do
+/// not hold (k16..k19), so every strategy exercises the missing path.
+fn build() -> (Polystore, AIndex) {
+    let mut polystore = Polystore::new();
+    for s in 0..STORES {
+        let mut kv = KvStore::new(format!("db{s}"));
+        for k in 0..KEYS_PER_STORE {
+            kv.set(format!("k{k}"), format!("v{s}-{k}"));
+        }
+        polystore.register(Arc::new(KvConnector::new(kv, "c", LatencyModel::FREE)));
+    }
+    let mut index = AIndex::new();
+    // A dense deterministic graph: ring within each store, chords across
+    // stores, and a few edges into keys the stores never held.
+    for s in 0..STORES {
+        for k in 0..KEYS_PER_STORE {
+            let p = Probability::of(0.2 + 0.8 * ((s * 31 + k * 7) % 13) as f64 / 13.0);
+            index.insert_matching(&key(s, k), &key(s, (k + 1) % KEYS_PER_STORE), p);
+            let q = Probability::of(0.15 + 0.8 * ((s * 17 + k * 11) % 11) as f64 / 11.0);
+            index.insert_matching(&key(s, k), &key((s + 1) % STORES, (k * 3) % KEYS_PER_STORE), q);
+        }
+    }
+    for k in 16..20 {
+        // Indexed but absent from the store: lazy-deletion candidates.
+        index.insert_matching(&key(0, 0), &key(k % STORES, k), Probability::of(0.5));
+        index.insert_matching(
+            &key(1, k % KEYS_PER_STORE),
+            &key(k % STORES, k + 10),
+            Probability::of(0.4),
+        );
+    }
+    (polystore, index)
+}
+
+fn run_with(
+    polystore: &Polystore,
+    plan: &augmenter::AugmentPlan,
+    kind: AugmenterKind,
+    batch: usize,
+    threads: usize,
+    warm: bool,
+) -> AugmentationOutcome {
+    let cache = ObjectCache::new(1024);
+    let config =
+        QuepaConfig { augmenter: kind, batch_size: batch, threads_size: threads, cache_size: 1024 };
+    if warm {
+        augmenter::run_planned(polystore, &cache, plan, &config).unwrap();
+    }
+    augmenter::run_planned(polystore, &cache, plan, &config).unwrap()
+}
+
+fn projected(outcome: &AugmentationOutcome) -> Vec<(String, Probability, usize)> {
+    outcome
+        .objects
+        .iter()
+        .map(|a| (a.object.key().to_string(), a.probability, a.distance))
+        .collect()
+}
+
+#[test]
+fn shard_merged_outcome_equals_sequential() {
+    let (polystore, index) = build();
+    let seeds: Vec<GlobalKey> = (0..KEYS_PER_STORE).map(|k| key(0, k)).collect();
+
+    for level in 0..3 {
+        let plan = augmenter::plan(&index, &seeds, level);
+        assert!(!plan.augmented.is_empty(), "graph must produce work at level {level}");
+        let baseline = run_with(&polystore, &plan, AugmenterKind::Sequential, 4, 1, false);
+        assert!(
+            !baseline.missing.is_empty(),
+            "the phantom keys must surface as missing at level {level}"
+        );
+
+        for kind in [
+            AugmenterKind::Batch,
+            AugmenterKind::Inner,
+            AugmenterKind::Outer,
+            AugmenterKind::OuterBatch,
+            AugmenterKind::OuterInner,
+        ] {
+            for threads in [2, 3, 8] {
+                for batch in [1, 4, 64] {
+                    for warm in [false, true] {
+                        let got = run_with(&polystore, &plan, kind, batch, threads, warm);
+                        assert_eq!(
+                            projected(&got),
+                            projected(&baseline),
+                            "{kind} t={threads} b={batch} warm={warm} level={level}: objects diverged"
+                        );
+                        assert_eq!(
+                            got.missing, baseline.missing,
+                            "{kind} t={threads} b={batch} warm={warm} level={level}: missing diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Repeated concurrent runs — different thread interleavings — always
+/// merge to the same outcome.
+#[test]
+fn shard_merge_is_interleaving_independent() {
+    let (polystore, index) = build();
+    let seeds: Vec<GlobalKey> = (0..KEYS_PER_STORE).map(|k| key(0, k)).collect();
+    let plan = augmenter::plan(&index, &seeds, 2);
+    let baseline = run_with(&polystore, &plan, AugmenterKind::Sequential, 4, 1, false);
+
+    for kind in [AugmenterKind::Outer, AugmenterKind::OuterBatch, AugmenterKind::OuterInner] {
+        for _ in 0..10 {
+            let got = run_with(&polystore, &plan, kind, 3, 8, false);
+            assert_eq!(projected(&got), projected(&baseline), "{kind}: objects diverged");
+            assert_eq!(got.missing, baseline.missing, "{kind}: missing diverged");
+        }
+    }
+}

@@ -101,9 +101,7 @@ impl Filter {
         // any other value is an implicit equality.
         let ops = match val.as_object() {
             Some(m) if !m.is_empty() && m.keys().all(|k| k.starts_with('$')) => m,
-            _ => {
-                return Ok(Filter::Field { path: path.to_owned(), op: FieldOp::Eq(val.clone()) })
-            }
+            _ => return Ok(Filter::Field { path: path.to_owned(), op: FieldOp::Eq(val.clone()) }),
         };
         let mut clauses = Vec::with_capacity(ops.len());
         for (opname, operand) in ops {
@@ -128,9 +126,7 @@ impl Filter {
                 "$like" => FieldOp::Like(str_operand(opname, operand)?),
                 "$contains" => FieldOp::Contains(str_operand(opname, operand)?),
                 "$prefix" => FieldOp::Prefix(str_operand(opname, operand)?),
-                other => {
-                    return Err(DocError::BadFilter(format!("unknown operator {other}")))
-                }
+                other => return Err(DocError::BadFilter(format!("unknown operator {other}"))),
             };
             clauses.push(Filter::Field { path: path.to_owned(), op });
         }
@@ -158,15 +154,13 @@ impl Filter {
                     FieldOp::Gte(v) => cmp_ok(field, v, |o| o.is_ge()),
                     FieldOp::Lt(v) => cmp_ok(field, v, |o| o.is_lt()),
                     FieldOp::Lte(v) => cmp_ok(field, v, |o| o.is_le()),
-                    FieldOp::In(vs) => {
-                        field.is_some_and(|f| vs.iter().any(|v| value_eq(f, v)))
+                    FieldOp::In(vs) => field.is_some_and(|f| vs.iter().any(|v| value_eq(f, v))),
+                    FieldOp::Like(p) => {
+                        field.and_then(Value::as_str).is_some_and(|s| quepa_relstore_like(p, s))
                     }
-                    FieldOp::Like(p) => field
+                    FieldOp::Contains(needle) => field
                         .and_then(Value::as_str)
-                        .is_some_and(|s| quepa_relstore_like(p, s)),
-                    FieldOp::Contains(needle) => field.and_then(Value::as_str).is_some_and(|s| {
-                        s.to_lowercase().contains(&needle.to_lowercase())
-                    }),
+                        .is_some_and(|s| s.to_lowercase().contains(&needle.to_lowercase())),
                     FieldOp::Prefix(p) => {
                         field.and_then(Value::as_str).is_some_and(|s| s.starts_with(p))
                     }

@@ -77,23 +77,17 @@ impl DocQuery {
             match m.as_str() {
                 "sort" => {
                     let spec = text::parse(arg.trim())?;
-                    let obj = spec.as_object().ok_or_else(|| {
-                        DocError::Syntax("sort() requires an object".into())
-                    })?;
+                    let obj = spec
+                        .as_object()
+                        .ok_or_else(|| DocError::Syntax("sort() requires an object".into()))?;
                     if obj.len() != 1 {
-                        return Err(DocError::Syntax(
-                            "sort() requires exactly one field".into(),
-                        ));
+                        return Err(DocError::Syntax("sort() requires exactly one field".into()));
                     }
                     let (field, dir) = obj.iter().next().expect("len checked");
                     let asc = match dir.as_int() {
                         Some(1) => true,
                         Some(-1) => false,
-                        _ => {
-                            return Err(DocError::Syntax(
-                                "sort direction must be 1 or -1".into(),
-                            ))
-                        }
+                        _ => return Err(DocError::Syntax("sort direction must be 1 or -1".into())),
                     };
                     sort = Some((field.clone(), asc));
                 }
@@ -109,10 +103,7 @@ impl DocQuery {
         }
         p.skip_ws();
         if p.pos != p.s.len() {
-            return Err(DocError::Syntax(format!(
-                "trailing characters at byte {}",
-                p.pos
-            )));
+            return Err(DocError::Syntax(format!("trailing characters at byte {}", p.pos)));
         }
         Ok(DocQuery { collection, verb, filter, sort, limit })
     }
@@ -242,10 +233,7 @@ mod tests {
     #[test]
     fn count_and_remove() {
         assert_eq!(DocQuery::parse("db.c.count()").unwrap().verb, QueryVerb::Count);
-        assert_eq!(
-            DocQuery::parse(r#"db.c.remove({"x":1})"#).unwrap().verb,
-            QueryVerb::Remove
-        );
+        assert_eq!(DocQuery::parse(r#"db.c.remove({"x":1})"#).unwrap().verb, QueryVerb::Remove);
     }
 
     #[test]

@@ -250,7 +250,8 @@ mod tests {
     fn sort_and_limit() {
         let db = catalogue();
         let docs = db.find(r#"db.albums.find().sort({"year":-1}).limit(2)"#).unwrap();
-        let years: Vec<i64> = docs.iter().map(|d| d.get("year").unwrap().as_int().unwrap()).collect();
+        let years: Vec<i64> =
+            docs.iter().map(|d| d.get("year").unwrap().as_int().unwrap()).collect();
         assert_eq!(years, vec![1997, 1992]);
     }
 
@@ -313,18 +314,18 @@ mod tests {
     #[test]
     fn unknown_collection() {
         let db = catalogue();
-        assert!(matches!(
-            db.find("db.ghost.find()"),
-            Err(DocError::UnknownCollection(_))
-        ));
+        assert!(matches!(db.find("db.ghost.find()"), Err(DocError::UnknownCollection(_))));
     }
 
     #[test]
     fn tombstone_compaction_keeps_scans_correct() {
         let mut db = DocumentDb::new("x");
         for i in 0..100 {
-            db.insert("c", Value::object([("_id", Value::str(format!("k{i}"))), ("n", Value::Int(i))]))
-                .unwrap();
+            db.insert(
+                "c",
+                Value::object([("_id", Value::str(format!("k{i}"))), ("n", Value::Int(i))]),
+            )
+            .unwrap();
         }
         for i in 0..80 {
             assert!(db.delete("c", &format!("k{i}")));

@@ -395,8 +395,7 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected RETURN"));
         }
         let return_var = self.ident()?;
-        let limit =
-            if self.eat_keyword("LIMIT") { Some(self.integer()?) } else { None };
+        let limit = if self.eat_keyword("LIMIT") { Some(self.integer()?) } else { None };
         self.skip_ws();
         if self.pos != self.s.len() {
             return Err(self.err("trailing characters"));
@@ -590,9 +589,7 @@ mod tests {
     #[test]
     fn where_on_target_var() {
         let g = sample();
-        let r = g
-            .query("MATCH (n:Album)-[:HAS_TRACK]->(m) WHERE m.plays >= 100 RETURN m")
-            .unwrap();
+        let r = g.query("MATCH (n:Album)-[:HAS_TRACK]->(m) WHERE m.plays >= 100 RETURN m").unwrap();
         assert_eq!(ids(r), vec!["s1"]);
     }
 

@@ -208,11 +208,8 @@ impl GraphDb {
             let mut next = Vec::new();
             for &slot in &frontier {
                 let adj = &self.adjacency[slot];
-                let hop_iter = adj.out.iter().chain(if undirected {
-                    adj.incoming.iter()
-                } else {
-                    [].iter()
-                });
+                let hop_iter =
+                    adj.out.iter().chain(if undirected { adj.incoming.iter() } else { [].iter() });
                 for (t, target) in hop_iter {
                     if edge_type.is_none_or(|want| want == t) && seen.insert(*target) {
                         next.push(*target);
@@ -294,13 +291,9 @@ mod tests {
     #[test]
     fn reachable_bfs_ranges() {
         let g = sample();
-        let ids =
-            |v: Vec<&Node>| v.into_iter().map(|n| n.id.clone()).collect::<Vec<_>>();
+        let ids = |v: Vec<&Node>| v.into_iter().map(|n| n.id.clone()).collect::<Vec<_>>();
         assert_eq!(ids(g.reachable("s1", Some("SIMILAR"), 1, 1, false).unwrap()), vec!["s2"]);
-        assert_eq!(
-            ids(g.reachable("s1", Some("SIMILAR"), 1, 2, false).unwrap()),
-            vec!["s2", "s3"]
-        );
+        assert_eq!(ids(g.reachable("s1", Some("SIMILAR"), 1, 2, false).unwrap()), vec!["s2", "s3"]);
         // min=2 excludes the 1-hop neighbour.
         assert_eq!(ids(g.reachable("s1", Some("SIMILAR"), 2, 2, false).unwrap()), vec!["s3"]);
         // Any-type, 3 hops reaches s4 through the COVER edge.

@@ -12,8 +12,7 @@ fn build(n: usize, edges: &[(u8, u8)]) -> GraphDb {
         g.add_node(&format!("n{i}"), "Node", [("seq", Value::Int(i as i64))]).unwrap();
     }
     for &(a, b) in edges {
-        g.add_edge(&format!("n{}", a as usize % n), &format!("n{}", b as usize % n), "E")
-            .unwrap();
+        g.add_edge(&format!("n{}", a as usize % n), &format!("n{}", b as usize % n), "E").unwrap();
     }
     g
 }

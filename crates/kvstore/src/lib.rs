@@ -113,9 +113,7 @@ impl KvStore {
 
     /// Batched lookup (one simulated round trip); missing keys are skipped.
     pub fn multi_get(&self, keys: &[&str]) -> Vec<(String, String)> {
-        keys.iter()
-            .filter_map(|k| self.map.get(*k).map(|v| ((*k).to_owned(), v.clone())))
-            .collect()
+        keys.iter().filter_map(|k| self.map.get(*k).map(|v| ((*k).to_owned(), v.clone()))).collect()
     }
 
     /// Deletes a key; true if it existed.
@@ -344,10 +342,10 @@ mod tests {
         assert_eq!(kv.execute("EXISTS a").unwrap(), Reply::Int(1));
         assert_eq!(kv.execute("set b 2").unwrap(), Reply::Ok, "case-insensitive verbs");
         assert_eq!(kv.execute("DBSIZE").unwrap(), Reply::Int(2));
-        assert_eq!(kv.execute("MGET a b c").unwrap(), Reply::Pairs(vec![
-            ("a".into(), "1".into()),
-            ("b".into(), "2".into()),
-        ]));
+        assert_eq!(
+            kv.execute("MGET a b c").unwrap(),
+            Reply::Pairs(vec![("a".into(), "1".into()), ("b".into(), "2".into()),])
+        );
         assert_eq!(kv.execute("DEL a b zz").unwrap(), Reply::Int(2));
     }
 

@@ -139,9 +139,8 @@ mod tests {
     #[test]
     fn oversized_blocks_pruned() {
         // 20 objects all sharing the token "the": block pruned, no pairs.
-        let objects: Vec<DataObject> = (0..20)
-            .map(|i| obj(&format!("db{}.t.{i}", i % 2), "the"))
-            .collect();
+        let objects: Vec<DataObject> =
+            (0..20).map(|i| obj(&format!("db{}.t.{i}", i % 2), "the")).collect();
         let cfg = BlockingConfig { max_block_size: 10, min_common_blocks: 1 };
         let r = block(&objects, cfg);
         assert!(r.pairs.is_empty());
@@ -162,10 +161,8 @@ mod tests {
 
     #[test]
     fn numeric_values_block_too() {
-        let a = DataObject::new(
-            "a.t.1".parse().unwrap(),
-            Value::object([("year", Value::Int(1992))]),
-        );
+        let a =
+            DataObject::new("a.t.1".parse().unwrap(), Value::object([("year", Value::Int(1992))]));
         let b = DataObject::new(
             "b.t.1".parse().unwrap(),
             Value::object([("released", Value::Int(1992))]),
@@ -178,15 +175,9 @@ mod tests {
     fn nested_values_are_tokenized() {
         let a = DataObject::new(
             "a.t.1".parse().unwrap(),
-            Value::object([(
-                "meta",
-                Value::object([("artist", Value::str("Radiohead"))]),
-            )]),
+            Value::object([("meta", Value::object([("artist", Value::str("Radiohead"))]))]),
         );
-        let b = DataObject::new(
-            "b.t.1".parse().unwrap(),
-            Value::array([Value::str("radiohead")]),
-        );
+        let b = DataObject::new("b.t.1".parse().unwrap(), Value::array([Value::str("radiohead")]));
         let r = block(&[a, b], BlockingConfig::default());
         assert_eq!(r.pairs, vec![(0, 1)]);
     }

@@ -62,8 +62,7 @@ impl Collector {
 
     /// Runs the linkage pipeline over pre-fetched objects.
     pub fn link(&self, objects: &[DataObject]) -> (AIndex, CollectorReport) {
-        let mut report =
-            CollectorReport { objects_scanned: objects.len(), ..Default::default() };
+        let mut report = CollectorReport { objects_scanned: objects.len(), ..Default::default() };
         let candidates = block(objects, self.config.blocking);
         report.candidate_pairs = candidates.pairs.len();
 
@@ -170,11 +169,8 @@ mod tests {
         assert_eq!(report.identities, 1);
         assert_eq!(report.suppressed, 1);
         let b1: GlobalKey = "b.t.1".parse().unwrap();
-        let identity_count = index
-            .neighbors(&b1)
-            .iter()
-            .filter(|(_, k, _)| *k == RelationKind::Identity)
-            .count();
+        let identity_count =
+            index.neighbors(&b1).iter().filter(|(_, k, _)| *k == RelationKind::Identity).count();
         assert_eq!(identity_count, 1);
     }
 

@@ -79,12 +79,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity: Jaro boosted by up to 4 chars of common prefix.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 
@@ -185,8 +180,7 @@ mod tests {
 
     #[test]
     fn all_in_unit_range() {
-        let samples =
-            ["", "a", "wish", "the cure", "Disintegration 1989", "k1:cure:wish", "éàü"];
+        let samples = ["", "a", "wish", "the cure", "Disintegration 1989", "k1:cure:wish", "éàü"];
         for a in samples {
             for b in samples {
                 for f in [levenshtein_similarity, jaro_winkler, jaccard] {

@@ -71,8 +71,7 @@ pub fn tune(base: &MatcherConfig, pairs: &[LabelledPair], ga: GaConfig) -> (Matc
         population.push(std::array::from_fn(|_| rng.gen_range(0.0..2.0)));
     }
 
-    let fitness =
-        |w: &[f64; 4], pairs: &[LabelledPair]| f1_score(&base.with_weights(*w), pairs);
+    let fitness = |w: &[f64; 4], pairs: &[LabelledPair]| f1_score(&base.with_weights(*w), pairs);
 
     let mut scored: Vec<([f64; 4], f64)> =
         population.into_iter().map(|w| (w, fitness(&w, pairs))).collect();

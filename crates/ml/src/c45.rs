@@ -61,8 +61,7 @@ impl DecisionTree {
     pub fn fit(data: &Dataset, params: C45Params) -> Self {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         assert!(!data.classes.is_empty(), "classification dataset required");
-        let mut tree =
-            DecisionTree { nodes: Vec::new(), classes: data.classes.clone() };
+        let mut tree = DecisionTree { nodes: Vec::new(), classes: data.classes.clone() };
         let all: Vec<usize> = (0..data.len()).collect();
         tree.grow(data, &all, params, 0);
         tree
@@ -87,12 +86,7 @@ impl DecisionTree {
                     1 + children.iter().map(|&c| depth_of(nodes, c)).max().unwrap_or(0)
                 }
                 NodeKind::CategoricalSplit { children, .. } => {
-                    1 + children
-                        .iter()
-                        .flatten()
-                        .map(|&c| depth_of(nodes, c))
-                        .max()
-                        .unwrap_or(0)
+                    1 + children.iter().flatten().map(|&c| depth_of(nodes, c)).max().unwrap_or(0)
                 }
             }
         }
@@ -177,26 +171,21 @@ impl DecisionTree {
         let id = self.nodes.len();
         self.nodes.push(Node { kind: NodeKind::Leaf { class: majority } });
 
-        if rows.len() < params.min_leaf.max(2)
-            || depth >= params.max_depth
-            || is_pure(data, rows)
-        {
+        if rows.len() < params.min_leaf.max(2) || depth >= params.max_depth || is_pure(data, rows) {
             return id;
         }
         let Some(split) = best_split(data, rows, params.min_gain) else { return id };
 
         match split {
             Split::Numeric { attr, threshold, .. } => {
-                let (le, gt): (Vec<usize>, Vec<usize>) = rows
-                    .iter()
-                    .partition(|&&r| data.rows[r][attr].num() <= threshold);
+                let (le, gt): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.rows[r][attr].num() <= threshold);
                 if le.is_empty() || gt.is_empty() {
                     return id;
                 }
                 let l = self.grow(data, &le, params, depth + 1);
                 let r = self.grow(data, &gt, params, depth + 1);
-                self.nodes[id].kind =
-                    NodeKind::NumericSplit { attr, threshold, children: [l, r] };
+                self.nodes[id].kind = NodeKind::NumericSplit { attr, threshold, children: [l, r] };
             }
             Split::Categorical { attr, .. } => {
                 let vocab = data.schema.vocab_size(attr);
@@ -247,12 +236,7 @@ fn majority_class(data: &Dataset, rows: &[usize]) -> usize {
     for &r in rows {
         counts[data.class_of(r)] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
 }
 
 fn is_pure(data: &Dataset, rows: &[usize]) -> bool {
@@ -293,9 +277,7 @@ fn best_split(data: &Dataset, rows: &[usize], min_gain: f64) -> Option<Split> {
 
     for attr in 0..data.schema.len() {
         let candidate = match data.schema.kind(attr) {
-            AttrKind::Numeric => {
-                best_numeric_split(data, rows, attr, base_entropy, n, min_gain)
-            }
+            AttrKind::Numeric => best_numeric_split(data, rows, attr, base_entropy, n, min_gain),
             AttrKind::Categorical => {
                 best_categorical_split(data, rows, attr, base_entropy, n, min_gain)
             }
@@ -340,8 +322,8 @@ fn best_numeric_split(
         }
         let nl = (i + 1) as f64;
         let nr = n - nl;
-        let cond =
-            (nl / n) * entropy_of_counts(&left, i + 1) + (nr / n) * entropy_of_counts(&right, sorted.len() - i - 1);
+        let cond = (nl / n) * entropy_of_counts(&left, i + 1)
+            + (nr / n) * entropy_of_counts(&right, sorted.len() - i - 1);
         let gain = base_entropy - cond;
         if gain < min_gain {
             continue;
@@ -514,10 +496,7 @@ mod tests {
     #[test]
     fn min_leaf_prevents_overfitting_split() {
         let d = threshold_data();
-        let t = DecisionTree::fit(
-            &d,
-            C45Params { min_leaf: 1000, ..Default::default() },
-        );
+        let t = DecisionTree::fit(&d, C45Params { min_leaf: 1000, ..Default::default() });
         assert_eq!(t.node_count(), 1, "node smaller than min_leaf stays a leaf");
     }
 

@@ -21,9 +21,8 @@ pub fn accuracy(tree: &DecisionTree, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 1.0;
     }
-    let correct = (0..data.len())
-        .filter(|&i| tree.predict(&data.rows[i]) == data.class_of(i))
-        .count();
+    let correct =
+        (0..data.len()).filter(|&i| tree.predict(&data.rows[i]) == data.class_of(i)).count();
     correct as f64 / data.len() as f64
 }
 
@@ -42,9 +41,8 @@ pub fn rmse(tree: &RegressionTree, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let total: f64 = (0..data.len())
-        .map(|i| (tree.predict(&data.rows[i]) - data.labels[i]).powi(2))
-        .sum();
+    let total: f64 =
+        (0..data.len()).map(|i| (tree.predict(&data.rows[i]) - data.labels[i]).powi(2)).sum();
     (total / data.len() as f64).sqrt()
 }
 

@@ -364,10 +364,8 @@ mod tests {
             let x = i as f64 / 10.0;
             b.push_regression(vec![num(x)], 3.0 * x + 1.0);
         }
-        let t = RegressionTree::fit(
-            &b.build(),
-            RepTreeParams { min_leaf: 4, ..Default::default() },
-        );
+        let t =
+            RegressionTree::fit(&b.build(), RepTreeParams { min_leaf: 4, ..Default::default() });
         // Piecewise-constant fit: within a leaf-width of the true line.
         for x in [1.0, 5.0, 10.0, 15.0, 19.0] {
             let y = t.predict(&[num(x)]);
@@ -446,7 +444,13 @@ mod tests {
         for i in 0..20 {
             for j in 0..20 {
                 let (x, y) = (i as f64, j as f64);
-                let target = if x > 10.0 { 5.0 } else if y > 10.0 { 50.0 } else { 500.0 };
+                let target = if x > 10.0 {
+                    5.0
+                } else if y > 10.0 {
+                    50.0
+                } else {
+                    500.0
+                };
                 builder.push_regression(vec![num(x), num(y)], target);
             }
         }

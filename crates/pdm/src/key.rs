@@ -86,7 +86,10 @@ interned_name!(
 /// A polystore-wide object identifier: `database.collection.key`.
 ///
 /// `GlobalKey` is the currency of the A' index and of every augmenter; it is
-/// cheap to clone (three `Arc<str>`s) and hashes quickly.
+/// cheap to clone (three `Arc<str>`s) and hashes in constant time: a content
+/// hash of the segments is computed once at construction, so the hash-map
+/// operations on the hot path (index interning, cache shards, round-trip
+/// grouping) never re-walk the strings.
 ///
 /// ```
 /// use quepa_pdm::GlobalKey;
@@ -96,17 +99,44 @@ interned_name!(
 /// assert_eq!(k.key().as_str(), "s8");
 /// assert_eq!(k.to_string(), "transactions.sales.s8");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone)]
 pub struct GlobalKey {
     database: DatabaseName,
     collection: CollectionName,
     key: LocalKey,
+    /// FNV-1a over the three segments (with a terminator byte after each,
+    /// so segment boundaries matter). Purely content-derived: equal keys
+    /// get equal hashes no matter how they were constructed.
+    hash: u64,
+}
+
+fn fnv1a_segments(parts: [&str; 3]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        // Terminator (not a valid UTF-8 continuation of any segment), so
+        // ("ab","c") and ("a","bc") land in different buckets.
+        h = (h ^ 0xff).wrapping_mul(PRIME);
+    }
+    h
 }
 
 impl GlobalKey {
     /// Assembles a global key from its three segments.
     pub fn new(database: DatabaseName, collection: CollectionName, key: LocalKey) -> Self {
-        GlobalKey { database, collection, key }
+        let hash = fnv1a_segments([database.as_str(), collection.as_str(), key.as_str()]);
+        GlobalKey { database, collection, key, hash }
+    }
+
+    /// The content hash computed at construction. Stable across clones and
+    /// across independently constructed equal keys (but not across
+    /// processes or versions — do not persist it).
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
     }
 
     /// Convenience constructor from raw strings.
@@ -115,11 +145,11 @@ impl GlobalKey {
         collection: impl AsRef<str>,
         key: impl AsRef<str>,
     ) -> Result<Self> {
-        Ok(GlobalKey {
-            database: DatabaseName::new(database)?,
-            collection: CollectionName::new(collection)?,
-            key: LocalKey::new(key)?,
-        })
+        Ok(GlobalKey::new(
+            DatabaseName::new(database)?,
+            CollectionName::new(collection)?,
+            LocalKey::new(key)?,
+        ))
     }
 
     /// The database segment.
@@ -135,6 +165,41 @@ impl GlobalKey {
     /// The local-key segment.
     pub fn key(&self) -> &LocalKey {
         &self.key
+    }
+}
+
+impl PartialEq for GlobalKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash rejects almost all unequal keys in one compare.
+        self.hash == other.hash
+            && self.key == other.key
+            && self.collection == other.collection
+            && self.database == other.database
+    }
+}
+
+impl Eq for GlobalKey {}
+
+impl std::hash::Hash for GlobalKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for GlobalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GlobalKey {
+    /// Lexicographic by segment (database, collection, key) — the cached
+    /// hash plays no role in ordering.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.database
+            .cmp(&other.database)
+            .then_with(|| self.collection.cmp(&other.collection))
+            .then_with(|| self.key.cmp(&other.key))
     }
 }
 
@@ -199,6 +264,23 @@ mod tests {
         let a: GlobalKey = "a.c.k".parse().unwrap();
         let b: GlobalKey = "b.a.a".parse().unwrap();
         assert!(a < b);
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_across_construction_paths() {
+        let a: GlobalKey = "transactions.sales.s8".parse().unwrap();
+        let b = GlobalKey::new(
+            DatabaseName::new("transactions").unwrap(),
+            CollectionName::new("sales").unwrap(),
+            LocalKey::new("s8").unwrap(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+        // Same concatenation, different segment boundaries: distinct keys,
+        // distinct hashes.
+        let c = GlobalKey::parse_parts("transactions", "sale", "ss8").unwrap();
+        assert_ne!(a, c);
+        assert_ne!(a.precomputed_hash(), c.precomputed_hash());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Data objects: the atoms of the polystore.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::key::GlobalKey;
 use crate::value::Value;
@@ -11,16 +12,20 @@ use crate::value::Value;
 /// The payload keeps whatever shape the owning store produced (a tuple
 /// rendered as an object value, a document, a scalar for a kv entry, a node
 /// with its properties…) — PDM deliberately does not normalise it further.
+///
+/// The payload is immutable once fetched and is reference-counted, so
+/// cloning a `DataObject` (into the cache, into an augmented answer, out
+/// of the cache on a hit) never deep-copies the value tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataObject {
     key: GlobalKey,
-    value: Value,
+    value: Arc<Value>,
 }
 
 impl DataObject {
     /// Pairs a global key with its payload.
     pub fn new(key: GlobalKey, value: Value) -> Self {
-        DataObject { key, value }
+        DataObject { key, value: Arc::new(value) }
     }
 
     /// The object's global key.
@@ -33,15 +38,22 @@ impl DataObject {
         &self.value
     }
 
-    /// Consumes the object, returning its parts.
+    /// Consumes the object, returning its parts. Clones the payload only
+    /// if it is still shared.
     pub fn into_parts(self) -> (GlobalKey, Value) {
-        (self.key, self.value)
+        let value = Arc::try_unwrap(self.value).unwrap_or_else(|shared| (*shared).clone());
+        (self.key, value)
     }
 
     /// Approximate in-memory footprint (key + payload), used for transfer
     /// cost and simulated memory accounting.
     pub fn approx_size(&self) -> usize {
-        self.key.to_string().len() + self.value.approx_size()
+        // `db.collection.key` rendered length, without rendering it.
+        let key_len = self.key.database().as_str().len()
+            + self.key.collection().as_str().len()
+            + self.key.key().as_str().len()
+            + 2;
+        key_len + self.value.approx_size()
     }
 }
 

@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn average() {
-        let avg =
-            Probability::average_of([Probability::of(0.6), Probability::of(0.8)]).unwrap();
+        let avg = Probability::average_of([Probability::of(0.6), Probability::of(0.8)]).unwrap();
         assert!((avg.get() - 0.7).abs() < 1e-12);
         assert!(Probability::average_of(std::iter::empty()).is_none());
         // Singleton average is the value itself.

@@ -172,10 +172,7 @@ impl Value {
             Value::Str(s) => 24 + s.len(),
             Value::Array(items) => 24 + items.iter().map(Value::approx_size).sum::<usize>(),
             Value::Object(fields) => {
-                24 + fields
-                    .iter()
-                    .map(|(k, v)| 24 + k.len() + v.approx_size())
-                    .sum::<usize>()
+                24 + fields.iter().map(|(k, v)| 24 + k.len() + v.approx_size()).sum::<usize>()
             }
         }
     }

@@ -70,11 +70,7 @@ pub trait Connector: Send + Sync {
     /// Batched lookup: one round trip for all `keys` in one collection.
     /// Missing keys are silently skipped (their absence is reported by the
     /// caller comparing lengths).
-    fn multi_get(
-        &self,
-        collection: &CollectionName,
-        keys: &[LocalKey],
-    ) -> Result<Vec<DataObject>>;
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>>;
 
     /// Dumps every object of one collection — the Collector's ingest path
     /// (record linkage needs to see the data). Charged like one big query.

@@ -26,19 +26,17 @@ impl DocumentConnector {
         DocumentConnector { name, db: RwLock::new(db), latency, stats: ConnectorStats::new() }
     }
 
-    fn object_from_doc(&self, collection: &str, doc: Value) -> Result<DataObject> {
+    /// Builds an object from a document. `collection` is the
+    /// already-interned collection name, so the per-object cost is just
+    /// the local key.
+    fn object_from_doc(&self, collection: &CollectionName, doc: Value) -> Result<DataObject> {
         let id = match doc.get("_id") {
             Some(Value::Str(s)) => s.clone(),
             Some(Value::Int(i)) => i.to_string(),
-            _ => {
-                return Err(PolyError::store(
-                    self.name.as_str(),
-                    "document lacks a usable _id",
-                ))
-            }
+            _ => return Err(PolyError::store(self.name.as_str(), "document lacks a usable _id")),
         };
-        let key = GlobalKey::parse_parts(self.name.as_str(), collection, &id)
-            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let local = LocalKey::new(&id).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let key = GlobalKey::new(self.name.clone(), collection.clone(), local);
         Ok(DataObject::new(key, doc))
     }
 }
@@ -74,14 +72,14 @@ impl Connector for DocumentConnector {
             self.db.read().run_read(&q).map_err(|e| PolyError::store(self.name.as_str(), e))?;
         // A count() result is a bare aggregate document without an _id; wrap
         // it under a synthetic key so it still flows through as an object.
+        let coll = CollectionName::new(&collection)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
         let objects: Vec<DataObject> = if q.verb == QueryVerb::Count {
             let key = GlobalKey::parse_parts(self.name.as_str(), &collection, "_count")
                 .map_err(|e| PolyError::store(self.name.as_str(), e))?;
             docs.into_iter().map(|d| DataObject::new(key.clone(), d)).collect()
         } else {
-            docs.into_iter()
-                .map(|d| self.object_from_doc(&collection, d))
-                .collect::<Result<_>>()?
+            docs.into_iter().map(|d| self.object_from_doc(&coll, d)).collect::<Result<_>>()?
         };
         let bytes = payload_bytes(&objects);
         self.latency.pay(objects.len(), bytes);
@@ -97,18 +95,15 @@ impl Connector for DocumentConnector {
             .map_err(|e| PolyError::store(self.name.as_str(), e))?;
         self.latency.pay(0, 0);
         self.stats.record(true, 0, 0, self.latency.cost(0, 0));
-        Ok(docs
-            .first()
-            .and_then(|d| d.get("removed"))
-            .and_then(Value::as_int)
-            .unwrap_or(0) as usize)
+        Ok(docs.first().and_then(|d| d.get("removed")).and_then(Value::as_int).unwrap_or(0)
+            as usize)
     }
 
     fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
         let doc = self.db.read().get(collection.as_str(), key.as_str()).cloned();
         let object = match doc {
             None => None,
-            Some(d) => Some(self.object_from_doc(collection.as_str(), d)?),
+            Some(d) => Some(self.object_from_doc(collection, d)?),
         };
         let (n, bytes) = object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
         self.latency.pay(n, bytes);
@@ -116,24 +111,17 @@ impl Connector for DocumentConnector {
         Ok(object)
     }
 
-    fn multi_get(
-        &self,
-        collection: &CollectionName,
-        keys: &[LocalKey],
-    ) -> Result<Vec<DataObject>> {
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>> {
         let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
         let docs = self.db.read().multi_get(collection.as_str(), &key_strs);
-        let objects: Result<Vec<DataObject>> = docs
-            .into_iter()
-            .map(|(_, d)| self.object_from_doc(collection.as_str(), d))
-            .collect();
+        let objects: Result<Vec<DataObject>> =
+            docs.into_iter().map(|(_, d)| self.object_from_doc(collection, d)).collect();
         let objects = objects?;
         let bytes = payload_bytes(&objects);
         self.latency.pay(objects.len(), bytes);
         self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
         Ok(objects)
     }
-
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         self.execute(&format!("db.{}.find()", collection.as_str()))
@@ -161,8 +149,7 @@ mod tests {
         let mut db = DocumentDb::new("catalogue");
         db.insert(
             "albums",
-            text::parse(r#"{"_id":"d1","title":"Wish","artist":"The Cure","year":1992}"#)
-                .unwrap(),
+            text::parse(r#"{"_id":"d1","title":"Wish","artist":"The Cure","year":1992}"#).unwrap(),
         )
         .unwrap();
         db.insert(
@@ -193,10 +180,7 @@ mod tests {
     #[test]
     fn execute_rejects_remove() {
         let c = connector();
-        assert!(matches!(
-            c.execute(r#"db.albums.remove({})"#),
-            Err(PolyError::WrongKind { .. })
-        ));
+        assert!(matches!(c.execute(r#"db.albums.remove({})"#), Err(PolyError::WrongKind { .. })));
         assert_eq!(c.execute_update(r#"db.albums.remove({"_id":"d2"})"#).unwrap(), 1);
         assert_eq!(c.object_count(), 1);
     }

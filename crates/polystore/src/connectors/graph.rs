@@ -31,8 +31,16 @@ impl GraphConnector {
 
     fn object_from_node(&self, node: &Node) -> Result<DataObject> {
         let collection = node.label.to_lowercase();
-        let key = GlobalKey::parse_parts(self.name.as_str(), &collection, &node.id)
+        let coll = CollectionName::new(&collection)
             .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        self.object_from_node_in(&coll, node)
+    }
+
+    /// Builds an object from a node whose collection (lowercased label) is
+    /// already interned — the per-object cost is just the local key.
+    fn object_from_node_in(&self, collection: &CollectionName, node: &Node) -> Result<DataObject> {
+        let local = LocalKey::new(&node.id).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let key = GlobalKey::new(self.name.clone(), collection.clone(), local);
         Ok(DataObject::new(key, node.to_value()))
     }
 
@@ -54,20 +62,15 @@ impl Connector for GraphConnector {
 
     fn collections(&self) -> Vec<CollectionName> {
         let db = self.db.read();
-        let mut labels: Vec<String> =
-            db.all_nodes().map(|n| n.label.to_lowercase()).collect();
+        let mut labels: Vec<String> = db.all_nodes().map(|n| n.label.to_lowercase()).collect();
         labels.sort();
         labels.dedup();
-        labels
-            .into_iter()
-            .map(|l| CollectionName::new(l).expect("valid label"))
-            .collect()
+        labels.into_iter().map(|l| CollectionName::new(l).expect("valid label")).collect()
     }
 
     fn execute(&self, query: &str) -> Result<Vec<DataObject>> {
         let db = self.db.read();
-        let nodes =
-            db.query(query).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let nodes = db.query(query).map_err(|e| PolyError::store(self.name.as_str(), e))?;
         let objects: Result<Vec<DataObject>> =
             nodes.iter().map(|n| self.object_from_node(n)).collect();
         drop(db);
@@ -100,7 +103,7 @@ impl Connector for GraphConnector {
         let db = self.db.read();
         let object = match db.get(key.as_str()) {
             Some(node) if node.label.to_lowercase() == collection.as_str() => {
-                Some(self.object_from_node(node)?)
+                Some(self.object_from_node_in(collection, node)?)
             }
             _ => None,
         };
@@ -112,25 +115,20 @@ impl Connector for GraphConnector {
         Ok(object)
     }
 
-    fn multi_get(
-        &self,
-        collection: &CollectionName,
-        keys: &[LocalKey],
-    ) -> Result<Vec<DataObject>> {
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>> {
         let db = self.db.read();
         let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
         let objects: Result<Vec<DataObject>> = db
             .multi_get(&key_strs)
             .into_iter()
             .filter(|n| n.label.to_lowercase() == collection.as_str())
-            .map(|n| self.object_from_node(n))
+            .map(|n| self.object_from_node_in(collection, n))
             .collect();
         drop(db);
         let objects = objects?;
         self.charge(false, &objects);
         Ok(objects)
     }
-
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         let db = self.db.read();
@@ -175,8 +173,7 @@ mod tests {
     #[test]
     fn execute_pattern_query() {
         let c = connector();
-        let objs =
-            c.execute("MATCH (n {id: 's1'})-[:SIMILAR]->(m) RETURN m").unwrap();
+        let objs = c.execute("MATCH (n {id: 's1'})-[:SIMILAR]->(m) RETURN m").unwrap();
         assert_eq!(objs.len(), 1);
         assert_eq!(objs[0].key().to_string(), "similar.song.s2");
         assert_eq!(objs[0].value().get("_label").unwrap().as_str(), Some("Song"));
@@ -212,8 +209,7 @@ mod tests {
     #[test]
     fn collections_are_lowercased_labels() {
         let c = connector();
-        let names: Vec<String> =
-            c.collections().iter().map(|c| c.to_string()).collect();
+        let names: Vec<String> = c.collections().iter().map(|c| c.to_string()).collect();
         assert_eq!(names, vec!["album", "song"]);
     }
 

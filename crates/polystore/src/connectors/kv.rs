@@ -39,8 +39,10 @@ impl KvConnector {
     }
 
     fn object_from_pair(&self, key: &str, value: String) -> Result<DataObject> {
-        let gk = GlobalKey::parse_parts(self.name.as_str(), self.collection.as_str(), key)
-            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        // Database and collection names are interned at construction; only
+        // the local key allocates.
+        let local = LocalKey::new(key).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let gk = GlobalKey::new(self.name.clone(), self.collection.clone(), local);
         Ok(DataObject::new(gk, Value::Str(value)))
     }
 
@@ -75,12 +77,9 @@ impl Connector for KvConnector {
             Reply::Int(n) => {
                 // Numeric replies (EXISTS/DBSIZE/DEL) surface as a synthetic
                 // scalar object so they still flow through uniformly.
-                let gk = GlobalKey::parse_parts(
-                    self.name.as_str(),
-                    self.collection.as_str(),
-                    "_int",
-                )
-                .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+                let gk =
+                    GlobalKey::parse_parts(self.name.as_str(), self.collection.as_str(), "_int")
+                        .map_err(|e| PolyError::store(self.name.as_str(), e))?;
                 vec![DataObject::new(gk, Value::Int(n))]
             }
             Reply::Value(v) => match v {
@@ -133,11 +132,7 @@ impl Connector for KvConnector {
         Ok(object)
     }
 
-    fn multi_get(
-        &self,
-        collection: &CollectionName,
-        keys: &[LocalKey],
-    ) -> Result<Vec<DataObject>> {
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>> {
         self.check_collection(collection)?;
         let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
         let pairs = self.store.read().multi_get(&key_strs);
@@ -147,7 +142,6 @@ impl Connector for KvConnector {
         self.charge(false, &objects);
         Ok(objects)
     }
-
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         self.check_collection(collection)?;
@@ -237,8 +231,7 @@ mod tests {
     fn dotted_keys_roundtrip_through_global_keys() {
         let c = connector();
         let coll = CollectionName::new("drop").unwrap();
-        let obj =
-            c.get(&coll, &LocalKey::new("k2:cure:faith").unwrap()).unwrap().unwrap();
+        let obj = c.get(&coll, &LocalKey::new("k2:cure:faith").unwrap()).unwrap().unwrap();
         let reparsed: GlobalKey = obj.key().to_string().parse().unwrap();
         assert_eq!(&reparsed, obj.key());
     }

@@ -30,7 +30,14 @@ impl RelationalConnector {
         RelationalConnector { name, db: RwLock::new(db), latency, stats: ConnectorStats::new() }
     }
 
-    fn object_from_row(&self, table: &str, pk_col: &str, row: ResultRow) -> Result<DataObject> {
+    /// Builds an object from a result row. `table` is the already-interned
+    /// collection name, so the per-object cost is just the local key.
+    fn object_from_row(
+        &self,
+        table: &CollectionName,
+        pk_col: &str,
+        row: ResultRow,
+    ) -> Result<DataObject> {
         let pk = match row.get(pk_col) {
             Some(Value::Str(s)) => s.clone(),
             Some(other) => other.to_string(),
@@ -43,8 +50,8 @@ impl RelationalConnector {
                 ))
             }
         };
-        let key = GlobalKey::parse_parts(self.name.as_str(), table, &pk)
-            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let local = LocalKey::new(&pk).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let key = GlobalKey::new(self.name.clone(), table.clone(), local);
         Ok(DataObject::new(key, Value::Object(row)))
     }
 }
@@ -82,9 +89,10 @@ impl Connector for RelationalConnector {
             .map_err(|e| PolyError::store(self.name.as_str(), e))?
             .pk_column()
             .to_owned();
-        let rows =
-            db.run_select(&select).map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let rows = db.run_select(&select).map_err(|e| PolyError::store(self.name.as_str(), e))?;
         drop(db);
+        let coll =
+            CollectionName::new(&table).map_err(|e| PolyError::store(self.name.as_str(), e))?;
         // Aggregate results carry no key; wrap them under a synthetic one
         // (the Validator refuses to *augment* these, but they are legal
         // local queries).
@@ -94,7 +102,7 @@ impl Connector for RelationalConnector {
             rows.into_iter().map(|row| DataObject::new(key.clone(), Value::Object(row))).collect()
         } else {
             rows.into_iter()
-                .map(|row| self.object_from_row(&table, &pk_col, row))
+                .map(|row| self.object_from_row(&coll, &pk_col, row))
                 .collect::<Result<_>>()?
         };
         let bytes = payload_bytes(&objects);
@@ -111,11 +119,8 @@ impl Connector for RelationalConnector {
             .map_err(|e| PolyError::store(self.name.as_str(), e))?;
         self.latency.pay(0, 0);
         self.stats.record(true, 0, 0, self.latency.cost(0, 0));
-        Ok(rows
-            .first()
-            .and_then(|r| r.get("affected"))
-            .and_then(Value::as_int)
-            .unwrap_or(0) as usize)
+        Ok(rows.first().and_then(|r| r.get("affected")).and_then(Value::as_int).unwrap_or(0)
+            as usize)
     }
 
     fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
@@ -127,24 +132,23 @@ impl Connector for RelationalConnector {
         let object = match row {
             None => None,
             Some(row) => {
-                let table = collection.as_str();
-                let pk_col =
-                    self.db.read().table(table).expect("checked above").pk_column().to_owned();
-                Some(self.object_from_row(table, &pk_col, row)?)
+                let pk_col = self
+                    .db
+                    .read()
+                    .table(collection.as_str())
+                    .expect("checked above")
+                    .pk_column()
+                    .to_owned();
+                Some(self.object_from_row(collection, &pk_col, row)?)
             }
         };
-        let (n, bytes) =
-            object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
+        let (n, bytes) = object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
         self.latency.pay(n, bytes);
         self.stats.record(false, n, bytes, self.latency.cost(n, bytes));
         Ok(object)
     }
 
-    fn multi_get(
-        &self,
-        collection: &CollectionName,
-        keys: &[LocalKey],
-    ) -> Result<Vec<DataObject>> {
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>> {
         let db = self.db.read();
         let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
         let rows = db
@@ -158,7 +162,7 @@ impl Connector for RelationalConnector {
         drop(db);
         let objects: Result<Vec<DataObject>> = rows
             .into_iter()
-            .map(|(_, row)| self.object_from_row(collection.as_str(), &pk_col, row))
+            .map(|(_, row)| self.object_from_row(collection, &pk_col, row))
             .collect();
         let objects = objects?;
         let bytes = payload_bytes(&objects);
@@ -166,7 +170,6 @@ impl Connector for RelationalConnector {
         self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
         Ok(objects)
     }
-
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         self.execute(&format!("SELECT * FROM {}", collection.as_str()))
@@ -211,10 +214,7 @@ mod tests {
     #[test]
     fn execute_rejects_dml() {
         let c = connector();
-        assert!(matches!(
-            c.execute("DELETE FROM inventory"),
-            Err(PolyError::WrongKind { .. })
-        ));
+        assert!(matches!(c.execute("DELETE FROM inventory"), Err(PolyError::WrongKind { .. })));
     }
 
     #[test]

@@ -55,9 +55,7 @@ impl Polystore {
 
     /// Convenience: connector lookup by raw name.
     pub fn connector_by_name(&self, database: &str) -> Result<&Arc<dyn Connector>> {
-        self.connectors
-            .get(database)
-            .ok_or_else(|| PolyError::UnknownDatabase(database.to_owned()))
+        self.connectors.get(database).ok_or_else(|| PolyError::UnknownDatabase(database.to_owned()))
     }
 
     /// Runs a native-language query against one database.
@@ -169,10 +167,7 @@ mod tests {
         assert_eq!(objs.len(), 1);
         let objs = p.execute("discount", "GET k1:cure:wish").unwrap();
         assert_eq!(objs.len(), 1);
-        assert!(matches!(
-            p.execute("ghost", "whatever"),
-            Err(PolyError::UnknownDatabase(_))
-        ));
+        assert!(matches!(p.execute("ghost", "whatever"), Err(PolyError::UnknownDatabase(_))));
     }
 
     #[test]

@@ -89,10 +89,7 @@ impl Table {
 
     fn insert_row(&mut self, row: Row) -> Result<()> {
         if row.len() != self.columns.len() {
-            return Err(RelError::ArityMismatch {
-                expected: self.columns.len(),
-                found: row.len(),
-            });
+            return Err(RelError::ArityMismatch { expected: self.columns.len(), found: row.len() });
         }
         let pk = self.pk_string(&row);
         if self.pk_index.contains_key(&pk) {
@@ -257,8 +254,7 @@ impl Database {
                     // Secondary indexes: detach the old values, attach new.
                     let old_row = t.rows[id].clone().expect("live row");
                     for (col, index) in &mut t.secondary {
-                        let pos =
-                            t.columns.iter().position(|c| c == col).expect("indexed column");
+                        let pos = t.columns.iter().position(|c| c == col).expect("indexed column");
                         if positions.iter().any(|(p, _)| *p == pos) {
                             if let Some(ids) = index.get_mut(&OrdValue(old_row[pos].clone())) {
                                 ids.retain(|&i| i != id);
@@ -274,8 +270,7 @@ impl Database {
                     }
                     let new_row = t.rows[id].clone().expect("live row");
                     for (col, index) in &mut t.secondary {
-                        let pos =
-                            t.columns.iter().position(|c| c == col).expect("indexed column");
+                        let pos = t.columns.iter().position(|c| c == col).expect("indexed column");
                         if positions.iter().any(|(p, _)| *p == pos) {
                             index.entry(OrdValue(new_row[pos].clone())).or_default().push(id);
                         }
@@ -436,8 +431,7 @@ impl Database {
                         RelError::Unsupported(format!("{} requires a column", agg_name(*func)))
                     })?;
                     let pos = t.column_pos(c)?;
-                    let nums: Vec<f64> =
-                        matched.iter().filter_map(|r| r[pos].as_f64()).collect();
+                    let nums: Vec<f64> = matched.iter().filter_map(|r| r[pos].as_f64()).collect();
                     match func {
                         AggFunc::Sum => Value::Float(nums.iter().sum()),
                         AggFunc::Avg => {
@@ -565,7 +559,8 @@ mod tests {
         let db = sales_db();
         let r = db.query("SELECT COUNT(*) FROM inventory").unwrap();
         assert_eq!(r[0]["count"], Value::Int(3));
-        let r = db.query("SELECT SUM(total), AVG(total), MIN(total), MAX(total) FROM sales").unwrap();
+        let r =
+            db.query("SELECT SUM(total), AVG(total), MIN(total), MAX(total) FROM sales").unwrap();
         assert_eq!(r[0]["sum(total)"], Value::Float(32.5));
         assert_eq!(r[0]["avg(total)"], Value::Float(16.25));
         assert_eq!(r[0]["min(total)"], Value::Float(12.5));
@@ -636,10 +631,7 @@ mod tests {
     #[test]
     fn unknown_entities() {
         let db = sales_db();
-        assert_eq!(
-            db.query("SELECT * FROM ghost"),
-            Err(RelError::UnknownTable("ghost".into()))
-        );
+        assert_eq!(db.query("SELECT * FROM ghost"), Err(RelError::UnknownTable("ghost".into())));
         assert_eq!(
             db.query("SELECT ghost FROM inventory"),
             Err(RelError::UnknownColumn("ghost".into()))
@@ -702,19 +694,13 @@ mod tests {
     #[test]
     fn in_and_between_predicates() {
         let db = sales_db();
-        let rows = db
-            .query("SELECT id FROM inventory WHERE id IN ('a32', 'a34', 'nope')")
-            .unwrap();
+        let rows = db.query("SELECT id FROM inventory WHERE id IN ('a32', 'a34', 'nope')").unwrap();
         assert_eq!(rows.len(), 2);
-        let rows = db
-            .query("SELECT id FROM inventory WHERE id NOT IN ('a32')")
-            .unwrap();
+        let rows = db.query("SELECT id FROM inventory WHERE id NOT IN ('a32')").unwrap();
         assert_eq!(rows.len(), 2);
         let rows = db.query("SELECT * FROM sales WHERE total BETWEEN 12.5 AND 20.0").unwrap();
         assert_eq!(rows.len(), 2, "BETWEEN is inclusive");
-        let rows = db
-            .query("SELECT * FROM sales WHERE total NOT BETWEEN 12.5 AND 19.0")
-            .unwrap();
+        let rows = db.query("SELECT * FROM sales WHERE total NOT BETWEEN 12.5 AND 19.0").unwrap();
         assert_eq!(rows.len(), 1);
         // NULL never matches IN.
         let mut db = Database::new("d");
@@ -727,9 +713,6 @@ mod tests {
     #[test]
     fn query_rejects_dml() {
         let db = sales_db();
-        assert!(matches!(
-            db.query("DELETE FROM inventory"),
-            Err(RelError::Unsupported(_))
-        ));
+        assert!(matches!(db.query("DELETE FROM inventory"), Err(RelError::Unsupported(_))));
     }
 }

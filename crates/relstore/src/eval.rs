@@ -31,10 +31,9 @@ pub fn eval_predicate<S: ColumnSource>(expr: &Expr, src: &S) -> Result<bool> {
 /// Evaluates an expression to a value.
 pub fn eval<S: ColumnSource>(expr: &Expr, src: &S) -> Result<Value> {
     match expr {
-        Expr::Column(name) => src
-            .column(name)
-            .cloned()
-            .ok_or_else(|| RelError::UnknownColumn(name.clone())),
+        Expr::Column(name) => {
+            src.column(name).cloned().ok_or_else(|| RelError::UnknownColumn(name.clone()))
+        }
         Expr::Literal(l) => Ok(l.to_value()),
         Expr::Not(e) => Ok(Value::Bool(!truthy(&eval(e, src)?))),
         Expr::IsNull { expr, negated } => {
@@ -181,8 +180,8 @@ fn like_rec(p: &[char], t: &[char]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse_statement;
     use crate::sql::ast::Statement;
+    use crate::sql::parser::parse_statement;
     use std::collections::BTreeMap;
 
     fn row(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {

@@ -263,27 +263,33 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("3 2.5 -7 -1.25"), vec![
-            TokenKind::Int(3),
-            TokenKind::Float(2.5),
-            TokenKind::Int(-7),
-            TokenKind::Float(-1.25),
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("3 2.5 -7 -1.25"),
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Float(2.5),
+                TokenKind::Int(-7),
+                TokenKind::Float(-1.25),
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(kinds("= != <> < <= > >="), vec![
-            TokenKind::Eq,
-            TokenKind::Ne,
-            TokenKind::Ne,
-            TokenKind::Lt,
-            TokenKind::Le,
-            TokenKind::Gt,
-            TokenKind::Ge,
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

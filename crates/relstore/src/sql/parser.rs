@@ -1,9 +1,7 @@
 //! Recursive-descent parser for the SQL subset.
 
 use crate::error::{RelError, Result};
-use crate::sql::ast::{
-    AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement,
-};
+use crate::sql::ast::{AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement};
 use crate::sql::lexer::{Lexer, Token, TokenKind};
 
 /// Parses a single SQL statement (an optional trailing `;` is allowed).

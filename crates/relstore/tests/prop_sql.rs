@@ -10,9 +10,7 @@ use quepa_relstore::eval::like_match;
 fn like_naive(p: &[char], t: &[char]) -> bool {
     match (p.first(), t.first()) {
         (None, None) => true,
-        (Some('%'), _) => {
-            like_naive(&p[1..], t) || (!t.is_empty() && like_naive(p, &t[1..]))
-        }
+        (Some('%'), _) => like_naive(&p[1..], t) || (!t.is_empty() && like_naive(p, &t[1..])),
         (Some('_'), Some(_)) => like_naive(&p[1..], &t[1..]),
         (Some(pc), Some(tc)) if pc == tc => like_naive(&p[1..], &t[1..]),
         _ => false,

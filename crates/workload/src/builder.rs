@@ -9,8 +9,7 @@ use quepa_graphstore::GraphDb;
 use quepa_kvstore::KvStore;
 use quepa_pdm::{GlobalKey, Probability, Value};
 use quepa_polystore::{
-    Deployment, DocumentConnector, GraphConnector, KvConnector, Polystore,
-    RelationalConnector,
+    Deployment, DocumentConnector, GraphConnector, KvConnector, Polystore, RelationalConnector,
 };
 use quepa_relstore::engine::Database;
 
@@ -80,7 +79,10 @@ impl BuiltPolystore {
         let mut kv = KvStore::new("discount");
         for album in &data.albums {
             if album.discounted {
-                kv.set(discount_key(album.seq, &album.artist, &album.title), format!("{}%", album.discount_pct));
+                kv.set(
+                    discount_key(album.seq, &album.artist, &album.title),
+                    format!("{}%", album.discount_pct),
+                );
             }
         }
         polystore.register(Arc::new(KvConnector::new(kv, "drop", latency)));
@@ -89,8 +91,7 @@ impl BuiltPolystore {
         for suffix in &suffixes {
             // Relational: transactions{suffix}.
             let mut rel = Database::new(format!("transactions{suffix}"));
-            rel.create_table("inventory", "id", &["id", "artist", "name", "year", "seq"])
-                .unwrap();
+            rel.create_table("inventory", "id", &["id", "artist", "name", "year", "seq"]).unwrap();
             rel.create_table("sales", "id", &["id", "customer", "total", "seq"]).unwrap();
             rel.create_table("sales_details", "id", &["id", "sale", "item", "seq"]).unwrap();
             for album in &data.albums {
@@ -177,9 +178,7 @@ impl BuiltPolystore {
             }
             for (from, to) in &data.similar {
                 if from != to {
-                    graph
-                        .add_edge(&format!("g{from}"), &format!("g{to}"), "SIMILAR")
-                        .unwrap();
+                    graph.add_edge(&format!("g{from}"), &format!("g{to}"), "SIMILAR").unwrap();
                 }
             }
             polystore.register(Arc::new(GraphConnector::new(graph, latency)));
@@ -193,8 +192,16 @@ impl BuiltPolystore {
         for album in &data.albums {
             let mut copies: Vec<GlobalKey> = Vec::with_capacity(2 + 3 * suffixes.len());
             for suffix in &suffixes {
-                copies.push(key(&format!("transactions{suffix}"), "inventory", &format!("a{}", album.seq)));
-                copies.push(key(&format!("catalogue{suffix}"), "albums", &format!("d{}", album.seq)));
+                copies.push(key(
+                    &format!("transactions{suffix}"),
+                    "inventory",
+                    &format!("a{}", album.seq),
+                ));
+                copies.push(key(
+                    &format!("catalogue{suffix}"),
+                    "albums",
+                    &format!("d{}", album.seq),
+                ));
                 copies.push(key(&format!("similar{suffix}"), "album", &format!("g{}", album.seq)));
             }
             if album.discounted {
@@ -214,12 +221,10 @@ impl BuiltPolystore {
         // identity cliques, so the consistency condition spreads these).
         for sale in &data.sales {
             let sale_key = key("transactions", "sales", &format!("s{}", sale.seq));
-            let customer_key =
-                key("catalogue", "customers", &format!("c{}", sale.customer));
+            let customer_key = key("catalogue", "customers", &format!("c{}", sale.customer));
             index.insert_matching(&sale_key, &customer_key, Probability::of(0.75));
             for (j, item) in sale.items.iter().enumerate() {
-                let line_key =
-                    key("transactions", "sales_details", &format!("i{}_{j}", sale.seq));
+                let line_key = key("transactions", "sales_details", &format!("i{}_{j}", sale.seq));
                 let item_key = key("transactions", "inventory", &format!("a{item}"));
                 index.insert_matching(&sale_key, &line_key, Probability::of(0.99));
                 index.insert_matching(&line_key, &item_key, Probability::of(0.7));
@@ -282,10 +287,7 @@ mod tests {
     fn stores_are_populated() {
         let built = small(0);
         let p = &built.polystore;
-        assert_eq!(
-            p.execute("transactions", "SELECT COUNT(*) FROM inventory").unwrap().len(),
-            1
-        );
+        assert_eq!(p.execute("transactions", "SELECT COUNT(*) FROM inventory").unwrap().len(), 1);
         let objs = p.execute("catalogue", r#"db.albums.find({"seq":{"$lt":5}})"#).unwrap();
         assert_eq!(objs.len(), 5);
         let objs = p.execute("similar", "MATCH (n:Album) WHERE n.seq < 5 RETURN n").unwrap();
@@ -330,10 +332,7 @@ mod tests {
         assert_eq!(answer.original.len(), 10);
         assert!(!answer.augmented.is_empty());
         // Discounted albums surface their kv entry.
-        assert!(answer
-            .augmented
-            .iter()
-            .any(|a| a.object.key().database().as_str() == "discount"));
+        assert!(answer.augmented.iter().any(|a| a.object.key().database().as_str() == "discount"));
     }
 
     #[test]

@@ -70,19 +70,16 @@ const SYLLABLES: [&str; 16] = [
     "ka", "zen",
 ];
 const ADJECTIVES: [&str; 12] = [
-    "Broken", "Silent", "Electric", "Golden", "Lost", "Neon", "Velvet", "Crimson", "Pale",
-    "Wild", "Hollow", "Distant",
+    "Broken", "Silent", "Electric", "Golden", "Lost", "Neon", "Velvet", "Crimson", "Pale", "Wild",
+    "Hollow", "Distant",
 ];
 const NOUNS: [&str; 12] = [
-    "Wish", "Dream", "Mirror", "Garden", "Echo", "River", "Signal", "Horizon", "Letter",
-    "Winter", "Machine", "Parade",
+    "Wish", "Dream", "Mirror", "Garden", "Echo", "River", "Signal", "Horizon", "Letter", "Winter",
+    "Machine", "Parade",
 ];
-const CITIES: [&str; 8] =
-    ["Rome", "Berlin", "Tokyo", "Oslo", "Lisbon", "Quito", "Dakar", "Perth"];
-const FIRST_NAMES: [&str; 8] =
-    ["John", "Lucy", "Ada", "Ken", "Mara", "Iris", "Tom", "Nia"];
-const LAST_NAMES: [&str; 8] =
-    ["Doe", "Smith", "Rossi", "Tanaka", "Berg", "Silva", "Okoro", "Lee"];
+const CITIES: [&str; 8] = ["Rome", "Berlin", "Tokyo", "Oslo", "Lisbon", "Quito", "Dakar", "Perth"];
+const FIRST_NAMES: [&str; 8] = ["John", "Lucy", "Ada", "Ken", "Mara", "Iris", "Tom", "Nia"];
+const LAST_NAMES: [&str; 8] = ["Doe", "Smith", "Rossi", "Tanaka", "Berg", "Silva", "Okoro", "Lee"];
 
 fn artist_name(rng: &mut SmallRng) -> String {
     let n = rng.gen_range(2..4);
@@ -151,8 +148,7 @@ impl MusicData {
         let sales: Vec<Sale> = (0..n_albums)
             .map(|seq| {
                 let n_items = rng.gen_range(1..=3.min(n_albums));
-                let items: Vec<usize> =
-                    (0..n_items).map(|_| rng.gen_range(0..n_albums)).collect();
+                let items: Vec<usize> = (0..n_items).map(|_| rng.gen_range(0..n_albums)).collect();
                 Sale {
                     seq,
                     customer: rng.gen_range(0..n_customers),

@@ -47,11 +47,7 @@ pub fn standard_query_set(sizes: &[usize]) -> Vec<TestQuery> {
     let mut out = Vec::with_capacity(targets.len() * sizes.len());
     for &size in sizes {
         for (db, kind) in targets {
-            out.push(TestQuery {
-                database: db.to_owned(),
-                query: query_for(kind, size),
-                size,
-            });
+            out.push(TestQuery { database: db.to_owned(), query: query_for(kind, size), size });
         }
     }
     out
@@ -117,7 +113,8 @@ mod tests {
             }
         }
         // KV counts discounted albums only (every 2nd).
-        let objs = built.polystore.execute("discount", &query_for(StoreKind::KeyValue, 50)).unwrap();
+        let objs =
+            built.polystore.execute("discount", &query_for(StoreKind::KeyValue, 50)).unwrap();
         assert_eq!(objs.len(), 50);
     }
 

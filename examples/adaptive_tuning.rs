@@ -80,7 +80,9 @@ fn main() {
         let answer = quepa.augmented_search("transactions", &q, 0).unwrap();
         println!(
             "live query of {size} results → optimizer chose {}, took {:?} ({} related objects)",
-            answer.config_used, answer.duration, answer.augmented.len()
+            answer.config_used,
+            answer.duration,
+            answer.augmented.len()
         );
     }
 }

@@ -57,8 +57,5 @@ fn main() {
         .unwrap();
     println!("augmented answer for the Wish query:");
     print!("{}", answer.render());
-    assert!(answer
-        .augmented
-        .iter()
-        .any(|a| a.object.key().to_string() == "catalogue.albums.d1"));
+    assert!(answer.augmented.iter().any(|a| a.object.key().to_string() == "catalogue.albums.d1"));
 }

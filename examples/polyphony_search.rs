@@ -16,8 +16,7 @@ use quepa::graphstore::GraphDb;
 use quepa::kvstore::KvStore;
 use quepa::pdm::{text, Probability, Value};
 use quepa::polystore::{
-    DocumentConnector, GraphConnector, KvConnector, LatencyModel, Polystore,
-    RelationalConnector,
+    DocumentConnector, GraphConnector, KvConnector, LatencyModel, Polystore, RelationalConnector,
 };
 use quepa::relstore::engine::Database;
 
@@ -63,10 +62,18 @@ fn main() {
     // --- Example 2: the p-relations of the A' index (Fig. 3) -------------
     let mut index = AIndex::new();
     let k = |s: &str| s.parse().unwrap();
-    index.insert_identity(&k("catalogue.albums.d1"), &k("transactions.inventory.a32"), Probability::of(0.9));
+    index.insert_identity(
+        &k("catalogue.albums.d1"),
+        &k("transactions.inventory.a32"),
+        Probability::of(0.9),
+    );
     // Example 7 / Fig. 4: this insert *materializes* the inferred identity
     // discount.drop.k1:cure:wish ~0.72 transactions.inventory.a32.
-    index.insert_identity(&k("catalogue.albums.d1"), &k("discount.drop.k1:cure:wish"), Probability::of(0.8));
+    index.insert_identity(
+        &k("catalogue.albums.d1"),
+        &k("discount.drop.k1:cure:wish"),
+        Probability::of(0.8),
+    );
     index.insert_identity(&k("catalogue.albums.d1"), &k("similar.album.g7"), Probability::of(0.95));
 
     // --- §I: Lucy's query, in the only language she knows ----------------
@@ -82,7 +89,10 @@ fn main() {
         .iter()
         .find(|a| a.object.key().database().as_str() == "discount")
         .expect("the 40% discount must surface");
-    println!("\n→ the product is on a {} discount — information Lucy's own", discount.object.value());
+    println!(
+        "\n→ the product is on a {} discount — information Lucy's own",
+        discount.object.value()
+    );
     println!("  database does not hold, retrieved without any global schema.");
     assert_eq!(discount.object.value().as_str(), Some("40%"));
 }

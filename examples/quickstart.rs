@@ -26,8 +26,7 @@ fn main() {
     catalog
         .insert(
             "albums",
-            text::parse(r#"{"_id":"a1","title":"Wish","artist":"The Cure","year":1992}"#)
-                .unwrap(),
+            text::parse(r#"{"_id":"a1","title":"Wish","artist":"The Cure","year":1992}"#).unwrap(),
         )
         .unwrap();
 

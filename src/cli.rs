@@ -78,11 +78,7 @@ impl<'q> CommandProcessor<'q> {
                 name.as_str(),
                 c.kind().name(),
                 c.object_count(),
-                c.collections()
-                    .iter()
-                    .map(|c| c.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                c.collections().iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
             );
         }
         out
@@ -203,12 +199,7 @@ impl<'q> CommandProcessor<'q> {
         let _ = writeln!(
             out,
             "path: {}",
-            session
-                .path()
-                .iter()
-                .map(|k| k.to_string())
-                .collect::<Vec<_>>()
-                .join(" → ")
+            session.path().iter().map(|k| k.to_string()).collect::<Vec<_>>().join(" → ")
         );
         for (i, link) in session.frontier().iter().enumerate() {
             let _ = writeln!(out, "[{i}] ⇒ {} [p={}]", link.object, link.probability);

@@ -88,10 +88,7 @@ fn every_middleware_reports_unsupported_stores_cleanly() {
             Box::new(MetaAug::new(built.polystore.clone(), Arc::clone(&index))),
             "discount", // Metamodel: no Redis
         ),
-        (
-            Box::new(Talend::new(built.polystore.clone(), Arc::clone(&index))),
-            "discount",
-        ),
+        (Box::new(Talend::new(built.polystore.clone(), Arc::clone(&index))), "discount"),
         (
             Box::new(ArangoAug::new(built.polystore.clone(), index, usize::MAX)),
             "transactions", // Arango: no SQL import

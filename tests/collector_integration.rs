@@ -20,9 +20,8 @@ fn built() -> BuiltPolystore {
 #[test]
 fn collector_rediscovers_the_identity_cliques() {
     let b = built();
-    let (index, report) = Collector::new(CollectorConfig::default())
-        .build_index(&b.polystore)
-        .unwrap();
+    let (index, report) =
+        Collector::new(CollectorConfig::default()).build_index(&b.polystore).unwrap();
     assert!(report.objects_scanned > 0);
     assert!(report.identities > 0, "{report:?}");
     assert!(index.check_consistency().is_none());
@@ -48,16 +47,12 @@ fn linkage_built_index_powers_augmented_search() {
     let b = built();
     let (index, _) = Collector::default().build_index(&b.polystore).unwrap();
     let quepa = Quepa::new(b.polystore.clone(), index);
-    let answer = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory WHERE seq < 5", 0)
-        .unwrap();
+    let answer =
+        quepa.augmented_search("transactions", "SELECT * FROM inventory WHERE seq < 5", 0).unwrap();
     assert_eq!(answer.original.len(), 5);
     assert!(!answer.augmented.is_empty(), "discovered relations must augment");
     // Results reach a different store than the query's target.
-    assert!(answer
-        .augmented
-        .iter()
-        .any(|a| a.object.key().database().as_str() != "transactions"));
+    assert!(answer.augmented.iter().any(|a| a.object.key().database().as_str() != "transactions"));
 }
 
 #[test]

@@ -73,8 +73,7 @@ fn one_instance_serves_concurrent_queries() {
             let quepa = Arc::clone(&quepa);
             std::thread::spawn(move || {
                 let dbs = ["transactions", "catalogue", "similar"];
-                let kinds =
-                    [StoreKind::Relational, StoreKind::Document, StoreKind::Graph];
+                let kinds = [StoreKind::Relational, StoreKind::Document, StoreKind::Graph];
                 let answer = quepa
                     .augmented_search(dbs[t % 3], &query_for(kinds[t % 3], 10 + t), 0)
                     .unwrap();
@@ -124,9 +123,6 @@ fn lazy_deletion_is_thread_safe() {
 
 fn discount_key_of(quepa: &Quepa, seq: usize) -> String {
     // Find the discount key for album `seq` via a prefix scan.
-    let objs = quepa
-        .polystore()
-        .execute("discount", &format!("SCAN k{seq}:"))
-        .unwrap();
+    let objs = quepa.polystore().execute("discount", &format!("SCAN k{seq}:")).unwrap();
     objs.first().map(|o| o.key().key().as_str().to_owned()).unwrap_or_else(|| "none".into())
 }

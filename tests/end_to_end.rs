@@ -43,9 +43,8 @@ fn augmenters_agree_on_generated_workload() {
             threads_size: 3,
             cache_size: 0,
         });
-        let answer = quepa
-            .augmented_search("catalogue", &query_for(StoreKind::Document, 25), 1)
-            .unwrap();
+        let answer =
+            quepa.augmented_search("catalogue", &query_for(StoreKind::Document, 25), 1).unwrap();
         let keys: Vec<String> =
             answer.augmented.iter().map(|a| a.object.key().to_string()).collect();
         match &baseline {
@@ -63,11 +62,7 @@ fn replicas_enlarge_answers_monotonically() {
         let answer = quepa
             .augmented_search("transactions", &query_for(StoreKind::Relational, 10), 0)
             .unwrap();
-        assert!(
-            answer.augmented.len() > last,
-            "sets={sets}: {} ≤ {last}",
-            answer.augmented.len()
-        );
+        assert!(answer.augmented.len() > last, "sets={sets}: {} ≤ {last}", answer.augmented.len());
         last = answer.augmented.len();
     }
 }
@@ -171,16 +166,13 @@ fn graph_node_deletion_triggers_lazy_deletion() {
     let quepa = build(50, 0).into_quepa();
     // Remove a graph node behind QUEPA's back.
     assert_eq!(quepa.polystore().execute_update("similar", "DELETE NODE g3").unwrap(), 1);
-    let answer = quepa
-        .augmented_search("transactions", "SELECT * FROM inventory WHERE seq = 3", 0)
-        .unwrap();
+    let answer =
+        quepa.augmented_search("transactions", "SELECT * FROM inventory WHERE seq = 3", 0).unwrap();
     assert_eq!(answer.lazily_deleted, 1);
     let gone: quepa::pdm::GlobalKey = "similar.album.g3".parse().unwrap();
     assert!(!quepa.index().contains(&gone));
     // The graph itself no longer returns the node in pattern queries.
-    let nodes = quepa
-        .polystore()
-        .execute("similar", "MATCH (n:Album) WHERE n.seq = 3 RETURN n")
-        .unwrap();
+    let nodes =
+        quepa.polystore().execute("similar", "MATCH (n:Album) WHERE n.seq = 3 RETURN n").unwrap();
     assert!(nodes.is_empty());
 }

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — groups with
+//! `warm_up_time` / `measurement_time` / `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` / `iter_batched`,
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a
+//! plain wall-clock harness: warm up for the configured duration, then
+//! time `sample_size` samples and report mean / min / max per benchmark.
+//! No statistics beyond that, no HTML reports, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility,
+/// batching is always one setup per measured call here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing configuration shared by [`Criterion`] and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 20,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup { _criterion: self, name: name.into(), settings }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.settings, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up = dur;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement = dur;
+        self
+    }
+
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.samples = samples.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.settings, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark, so this is a
+    /// no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; routines register themselves here.
+pub struct Bencher {
+    /// Total measured time across recorded iterations.
+    elapsed: Duration,
+    /// Number of recorded iterations.
+    iterations: u64,
+    /// How long the measurement phase may keep iterating.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Warm-up + sampled measurement + one-line report.
+fn run_benchmark<F>(name: &str, settings: Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the routine with a budget but discard the numbers.
+    let mut warm = Bencher { elapsed: Duration::ZERO, iterations: 0, budget: settings.warm_up };
+    f(&mut warm);
+
+    // Measurement: split the budget across samples; report per-iteration
+    // wall time.
+    let per_sample = settings.measurement / settings.samples as u32;
+    let mut means = Vec::with_capacity(settings.samples);
+    for _ in 0..settings.samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0, budget: per_sample };
+        f(&mut b);
+        if b.iterations > 0 {
+            means.push(b.elapsed.as_secs_f64() / b.iterations as f64);
+        }
+    }
+    if means.is_empty() {
+        println!("{name:<56} time:   [no samples]");
+        return;
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = means.iter().cloned().fold(0.0f64, f64::max);
+    println!("{name:<56} time:   [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+}
+
+/// Human units for a duration in seconds.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Settings {
+        Settings {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(10),
+            samples: 2,
+        }
+    }
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.sample_size(2);
+        let hits = std::cell::Cell::new(0u64);
+        group.bench_function("count", |b| b.iter(|| hits.set(hits.get() + 1)));
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(hits.get() > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let settings = quick();
+        run_benchmark("batched", settings, |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,929 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this vendored substitute
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, range and tuple strategies, simple `[class]{m,n}`
+//! string patterns, weighted unions ([`prop_oneof!`]), collections
+//! (`vec` / `btree_set` / `btree_map`), `option::of`, and the
+//! [`proptest!`] test macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from the real crate, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and the
+//!   deterministic case number instead of a minimized counterexample.
+//! * **Deterministic seeding.** Cases derive from a hash of the test's
+//!   module path and name plus the case index, so failures reproduce
+//!   exactly on re-run.
+//! * **String patterns** support only a single character class with an
+//!   optional `{m,n}` / `{n}` quantifier — which is all the workspace
+//!   uses — not full regex syntax.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving test-case generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for one test case from the test identity and the
+    /// case index.
+    pub fn new(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9e3779b97f4a7c15) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing
+// ---------------------------------------------------------------------------
+
+/// Why a generated case did not complete.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is skipped, not failed.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Debug,
+        F: Fn(Self::Value) -> U + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (regenerating, with a
+    /// retry cap).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone,
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into branches, up to `depth` levels.
+    /// (`desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility; sizing is governed by the branch strategies
+    /// themselves.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            strat = Union::new(vec![(1, self.clone().boxed()), (2, branch)]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_gen(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_gen(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+/// A weighted choice between strategies of one value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted draw out of range")
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any, strings, tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Whole-domain strategy behind [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `A`'s whole domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `[class]{m,n}` string strategies: `&str` patterns generate strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (choices, min, max) = parse_class_pattern(self);
+        let len = min + (rng.below((max - min + 1) as u64) as usize);
+        (0..len).map(|_| choices[rng.below(choices.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parses a single-character-class pattern with an optional quantifier.
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "unsupported string pattern {pattern:?}: expected [class]{{m,n}}"
+    );
+    let mut choices: Vec<char> = Vec::new();
+    loop {
+        let c = chars.next().unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                choices.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            first => {
+                // `a-z` range (a `-` before `]` is a literal dash).
+                if chars.peek() == Some(&'-') {
+                    let mut look = chars.clone();
+                    look.next(); // the dash
+                    match look.peek() {
+                        Some(&']') | None => choices.push(first),
+                        Some(&hi) => {
+                            chars = look;
+                            chars.next();
+                            assert!(
+                                first <= hi,
+                                "inverted range {first}-{hi} in pattern {pattern:?}"
+                            );
+                            for code in first as u32..=hi as u32 {
+                                if let Some(c) = char::from_u32(code) {
+                                    choices.push(c);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    choices.push(first);
+                }
+            }
+        }
+    }
+    assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+    let rest: String = chars.collect();
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported quantifier {rest:?} in {pattern:?}"));
+        match inner.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("quantifier min"),
+                hi.trim().parse().expect("quantifier max"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        }
+    };
+    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+    (choices, min, max)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+}
+
+// ---------------------------------------------------------------------------
+// Collections and options
+// ---------------------------------------------------------------------------
+
+/// A size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`prop::collection::...`).
+pub mod collection {
+    use super::*;
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Sets of up to `size` elements (duplicates collapse, so the result
+    /// may be smaller, as in the real crate under duplicate pressure).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Maps of up to `size` entries.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::*;
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some` of the inner strategy
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted (or unweighted) choice of strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Vetoes the current case (skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __executed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __case: u64 = 0;
+            while __executed < __config.cases {
+                assert!(
+                    __rejected < __config.cases.saturating_mul(16) + 1024,
+                    "proptest: too many rejected cases ({})",
+                    __rejected
+                );
+                let mut __rng = $crate::TestRng::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                __case += 1;
+                $(let $pat = $crate::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($pat), " = {:?}; "),+),
+                    $(&$pat),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => __executed += 1,
+                    Ok(Err($crate::TestCaseError::Reject)) => __rejected += 1,
+                    Ok(Err($crate::TestCaseError::Fail(__msg))) => {
+                        panic!(
+                            "proptest case #{} failed: {}\n  inputs: {}",
+                            __case - 1,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                    Err(__payload) => {
+                        eprintln!(
+                            "proptest case #{} panicked\n  inputs: {}",
+                            __case - 1,
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_patterns_parse() {
+        let (chars, min, max) = super::parse_class_pattern("[a-c]{1,5}");
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (1, 5));
+        let (chars, min, max) = super::parse_class_pattern("[a-z0-9_:.\\-]{1,16}");
+        assert!(chars.contains(&'-') && chars.contains(&'_') && chars.contains(&'z'));
+        assert_eq!((min, max), (1, 16));
+        let (chars, ..) = super::parse_class_pattern("[x]");
+        assert_eq!(chars, vec!['x']);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = prop::collection::vec(0u8..10, 1..5);
+        let mut a = crate::TestRng::new("t", 3);
+        let mut b = crate::TestRng::new("t", 3);
+        assert_eq!(strat.gen_value(&mut a), strat.gen_value(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in 0.25f64..=1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{1,5}") {
+            prop_assert!(!s.is_empty() && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn collections_sized(vs in prop::collection::vec(any::<bool>(), 2..6),
+                             m in prop::collection::btree_map("[a-b]{1,2}", 0i32..5, 0..4)) {
+            prop_assert!((2..6).contains(&vs.len()));
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![2 => (0u8..4).prop_map(|x| x as i32), 1 => Just(-1i32)]) {
+            prop_assert!(v == -1 || (0..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        for case in 0..200u64 {
+            let mut rng = crate::TestRng::new("rec", case);
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 7, "tree too deep: {t:?}");
+        }
+    }
+}
