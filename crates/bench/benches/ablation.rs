@@ -35,6 +35,7 @@ fn bench_cache_ablation(c: &mut Criterion) {
             batch_size: 256,
             threads_size: 4,
             cache_size,
+            ..QuepaConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             // Warm runs: prime once, measure repeats.
@@ -143,7 +144,13 @@ fn bench_grouping_ablation(c: &mut Criterion) {
     for (label, augmenter) in
         [("sequential", AugmenterKind::Sequential), ("batch", AugmenterKind::Batch)]
     {
-        let config = QuepaConfig { augmenter, batch_size: 4096, threads_size: 1, cache_size: 0 };
+        let config = QuepaConfig {
+            augmenter,
+            batch_size: 4096,
+            threads_size: 1,
+            cache_size: 0,
+            ..QuepaConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             b.iter(|| lab.run("catalogue", &query, 0, *config, true));
         });

@@ -25,6 +25,7 @@ fn bench_batching(c: &mut Criterion) {
                     batch_size,
                     threads_size: 4,
                     cache_size: 0, // cold path: every lookup hits the store
+                    ..QuepaConfig::default()
                 };
                 group.bench_with_input(
                     BenchmarkId::new(augmenter.name(), batch_size),

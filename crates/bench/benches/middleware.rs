@@ -21,6 +21,7 @@ fn bench_middleware(c: &mut Criterion) {
         batch_size: 256,
         threads_size: 8,
         cache_size: 0,
+        ..QuepaConfig::default()
     };
     group.bench_function("QUEPA", |b| {
         b.iter(|| lab.run("catalogue", &query, 0, quepa_config, true));

@@ -21,8 +21,13 @@ fn bench_threads(c: &mut Criterion) {
         AugmenterKind::OuterInner,
     ] {
         for threads in [1usize, 4, 16] {
-            let config =
-                QuepaConfig { augmenter, threads_size: threads, batch_size: 128, cache_size: 0 };
+            let config = QuepaConfig {
+                augmenter,
+                threads_size: threads,
+                batch_size: 128,
+                cache_size: 0,
+                ..QuepaConfig::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(augmenter.name(), threads),
                 &config,
@@ -43,7 +48,13 @@ fn bench_family(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.sample_size(10);
     for augmenter in AugmenterKind::ALL {
-        let config = QuepaConfig { augmenter, threads_size: 8, batch_size: 128, cache_size: 0 };
+        let config = QuepaConfig {
+            augmenter,
+            threads_size: 8,
+            batch_size: 128,
+            cache_size: 0,
+            ..QuepaConfig::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(augmenter.name()),
             &config,

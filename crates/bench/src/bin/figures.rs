@@ -110,6 +110,7 @@ fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
                 batch_size: batch,
                 threads_size: 4,
                 cache_size: 1_048_576,
+                ..QuepaConfig::default()
             };
             let ob_cfg = QuepaConfig { augmenter: AugmenterKind::OuterBatch, ..batch_cfg };
             let t_batch = avg_run(&lab, size, level, batch_cfg, cold);
@@ -141,6 +142,7 @@ fn fig10cd_batch_scalability(albums: usize) {
                 threads_size: 4,
                 cache_size: 1_048_576,
                 augmenter: AugmenterKind::Batch,
+                ..QuepaConfig::default()
             };
             let t_seq = if size <= SEQ_CAP {
                 fmt_duration(avg_run(
@@ -192,6 +194,7 @@ fn fig11ab_threads(albums: usize) {
                     threads_size: threads,
                     batch_size: 256,
                     cache_size: 1_048_576,
+                    ..QuepaConfig::default()
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
@@ -218,6 +221,7 @@ fn fig11cf_scalability(albums: usize) {
                     threads_size: 8,
                     batch_size: 256,
                     cache_size: 1_048_576,
+                    ..QuepaConfig::default()
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
@@ -239,6 +243,7 @@ fn fig11cf_scalability(albums: usize) {
                     threads_size: 8,
                     batch_size: 256,
                     cache_size: 1_048_576,
+                    ..QuepaConfig::default()
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
@@ -273,6 +278,7 @@ fn fig12_optimizer_quality() {
                         batch_size: batch,
                         threads_size: threads,
                         cache_size: 8_192,
+                        ..QuepaConfig::default()
                     };
                     lab.quepa.set_config(cfg);
                     lab.quepa.drop_caches();
@@ -466,6 +472,7 @@ fn fig_cache(albums: usize) {
                 batch_size: 256,
                 threads_size: 4,
                 cache_size: cache,
+                ..QuepaConfig::default()
             };
             // A repeated workload: the same query three times, measuring
             // the last run (the cache can only help on repeats).
@@ -511,8 +518,13 @@ fn train_quick_adaptive(lab: &Lab) -> AdaptiveOptimizer {
     let _ = lab.quepa.take_logs();
     for q in standard_query_set(&[100, 500]) {
         for aug in [AugmenterKind::Sequential, AugmenterKind::Batch, AugmenterKind::OuterBatch] {
-            let cfg =
-                QuepaConfig { augmenter: aug, batch_size: 256, threads_size: 8, cache_size: 8_192 };
+            let cfg = QuepaConfig {
+                augmenter: aug,
+                batch_size: 256,
+                threads_size: 8,
+                cache_size: 8_192,
+                ..QuepaConfig::default()
+            };
             lab.quepa.set_config(cfg);
             lab.quepa.drop_caches();
             let _ = lab.quepa.augmented_search(&q.database, &q.query, 0);

@@ -173,7 +173,13 @@ impl Optimizer for AdaptiveOptimizer {
             .as_ref()
             .map(|t| t.predict(&row).round().max(0.0) as usize)
             .unwrap_or(current.cache_size);
-        QuepaConfig { augmenter, batch_size, threads_size, cache_size }
+        QuepaConfig {
+            augmenter,
+            batch_size,
+            threads_size,
+            cache_size,
+            resilience: current.resilience,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -214,6 +220,7 @@ impl Optimizer for HumanOptimizer {
             batch_size: if features.distributed { 512 } else { 64 },
             threads_size: self.cores.clamp(2, 16),
             cache_size: current.cache_size,
+            resilience: current.resilience,
         }
     }
 
@@ -249,6 +256,7 @@ impl Optimizer for RandomOptimizer {
             } else {
                 CACHES[rng.gen_range(0..CACHES.len())]
             },
+            resilience: current.resilience,
         }
     }
 
@@ -291,6 +299,7 @@ mod tests {
                     batch_size: if small { 4 } else { 256 },
                     threads_size: if small { 1 } else { 8 },
                     cache_size: 4096,
+                    ..QuepaConfig::default()
                 };
                 let time = match (small, aug) {
                     (true, AugmenterKind::Sequential) => 5,

@@ -149,6 +149,7 @@ mod tests {
             duration: Duration::from_millis(1),
             cache_hits: 0,
             lazily_deleted: 0,
+            missing: Vec::new(),
         }
     }
 

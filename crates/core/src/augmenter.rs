@@ -19,13 +19,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use quepa_aindex::{AIndex, AugmentedKey};
 use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
-use quepa_polystore::Polystore;
+use quepa_polystore::retry::{BreakerSet, CircuitBreaker};
+use quepa_polystore::{PolyError, Polystore};
 
 use crate::cache::ObjectCache;
-use crate::config::{AugmenterKind, QuepaConfig};
+use crate::config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 use crate::error::Result;
 
 /// One element of an augmented answer.
@@ -40,15 +42,60 @@ pub struct AugmentedObject {
     pub distance: usize,
 }
 
+/// Why a key the A' index pointed at is absent from the augmentation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MissingReason {
+    /// The store answered and the object is gone — the lazy-deletion
+    /// signal of §III-C: the key leaves the index and the cache.
+    NotFound,
+    /// The store could not be reached: every allowed attempt failed (or
+    /// the circuit breaker rejected the call, in which case `attempts`
+    /// is 0). The object may well still exist — the index keeps it.
+    Unreachable {
+        /// The database that failed to answer.
+        database: DatabaseName,
+        /// Round-trip attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// One key missing from an augmented answer, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MissingKey {
+    /// The key the A' index pointed at.
+    pub key: GlobalKey,
+    /// Why it is not in the answer.
+    pub reason: MissingReason,
+}
+
+impl MissingKey {
+    /// A key whose object vanished from its store.
+    pub fn not_found(key: GlobalKey) -> Self {
+        MissingKey { key, reason: MissingReason::NotFound }
+    }
+
+    /// A key whose store could not be reached.
+    pub fn unreachable(key: GlobalKey, database: DatabaseName, attempts: u32) -> Self {
+        MissingKey { key, reason: MissingReason::Unreachable { database, attempts } }
+    }
+
+    /// True for the lazy-deletion case.
+    pub fn is_not_found(&self) -> bool {
+        self.reason == MissingReason::NotFound
+    }
+}
+
 /// The result of executing an augmentation.
 #[derive(Debug, Clone, Default)]
 pub struct AugmentationOutcome {
     /// Related objects, ordered by decreasing probability (ties broken by
     /// key for determinism).
     pub objects: Vec<AugmentedObject>,
-    /// Keys the A' index knows but the polystore no longer holds; the
-    /// caller applies lazy deletion with them.
-    pub missing: Vec<GlobalKey>,
+    /// Keys the A' index knows but this run could not retrieve: gone from
+    /// the store ([`MissingReason::NotFound`], the lazy-deletion signal)
+    /// or behind an unreachable store
+    /// ([`MissingReason::Unreachable`], a partial-answer degradation).
+    pub missing: Vec<MissingKey>,
     /// How many lookups the cache answered.
     pub cache_hits: usize,
 }
@@ -98,12 +145,30 @@ pub fn run(
 
 /// Executes a previously computed [`AugmentPlan`] — callers that already
 /// traversed the index (e.g. for feature extraction) retrieve without a
-/// second traversal.
+/// second traversal. Circuit-breaker state lives only for this run; use
+/// [`run_planned_with`] to share breakers across runs (as [`Quepa`]
+/// does).
+///
+/// [`Quepa`]: crate::system::Quepa
 pub fn run_planned(
     polystore: &Polystore,
     cache: &ObjectCache,
     plan: &AugmentPlan,
     config: &QuepaConfig,
+) -> Result<AugmentationOutcome> {
+    let breakers = BreakerSet::new(config.resilience.breaker);
+    run_planned_with(polystore, cache, plan, config, &breakers)
+}
+
+/// Executes a previously computed [`AugmentPlan`] with an externally
+/// owned [`BreakerSet`], so breaker state (closed → open → half-open)
+/// persists across augmentation runs.
+pub fn run_planned_with(
+    polystore: &Polystore,
+    cache: &ObjectCache,
+    plan: &AugmentPlan,
+    config: &QuepaConfig,
+    breakers: &BreakerSet,
 ) -> Result<AugmentationOutcome> {
     let config = config.sanitized();
 
@@ -119,7 +184,7 @@ pub fn run_planned(
         });
     }
 
-    let engine = Engine { polystore, cache };
+    let engine = Engine { polystore, cache, resilience: config.resilience, breakers };
     let sink = match config.augmenter {
         AugmenterKind::Sequential => engine.sequential(&owned)?,
         AugmenterKind::Batch => engine.batch(&owned, config.batch_size)?,
@@ -147,7 +212,7 @@ pub fn run_planned(
 #[derive(Debug, Default)]
 struct Sink {
     objects: Vec<AugmentedObject>,
-    missing: Vec<GlobalKey>,
+    missing: Vec<MissingKey>,
     cache_hits: usize,
 }
 
@@ -170,9 +235,52 @@ fn merge_shards(results: Vec<Result<Sink>>, into: &mut Sink) -> Result<()> {
 struct Engine<'a> {
     polystore: &'a Polystore,
     cache: &'a ObjectCache,
+    resilience: ResilienceConfig,
+    breakers: &'a BreakerSet,
+}
+
+/// Maps a fetch error to the structured reason it would leave in the
+/// `missing` list — `None` for errors that must always propagate
+/// (unknown database/collection, wrong store kind: configuration
+/// mistakes, not outages).
+fn unreachable_reason(error: &PolyError) -> Option<MissingReason> {
+    match error {
+        PolyError::Unreachable { database, attempts, .. } => {
+            let database = DatabaseName::new(database).ok()?;
+            Some(MissingReason::Unreachable { database, attempts: *attempts })
+        }
+        PolyError::Store { database, .. }
+        | PolyError::Timeout { database }
+        | PolyError::Unavailable { database } => {
+            let database = DatabaseName::new(database).ok()?;
+            Some(MissingReason::Unreachable { database, attempts: 1 })
+        }
+        _ => None,
+    }
 }
 
 impl Engine<'_> {
+    /// The breaker guarding `database`, when breakers are enabled.
+    fn breaker(&self, database: &DatabaseName) -> Option<Arc<CircuitBreaker>> {
+        if self.resilience.breaker.is_disabled() {
+            return None;
+        }
+        self.breakers.breaker(database)
+    }
+
+    /// Handles a failed fetch: under [`DegradeMode::Partial`] the task's
+    /// key degrades into the `missing` list with a structured reason;
+    /// under fail-fast (or for non-outage errors) the error propagates.
+    fn degrade_or_fail(&self, task: &Task, error: PolyError, sink: &mut Sink) -> Result<()> {
+        if self.resilience.degrade == DegradeMode::Partial {
+            if let Some(reason) = unreachable_reason(&error) {
+                sink.missing.push(MissingKey { key: task.key.clone(), reason });
+                return Ok(());
+            }
+        }
+        Err(error.into())
+    }
+
     /// Fetches one task into `sink`: cache, then a direct-access query.
     fn fetch_one(&self, task: &Task, sink: &mut Sink) -> Result<()> {
         if let Some(object) = self.cache.get(&task.key) {
@@ -184,20 +292,35 @@ impl Engine<'_> {
             });
             return Ok(());
         }
-        match self.polystore.get(&task.key)? {
-            Some(object) => {
+        self.fetch_one_uncached(task, sink)
+    }
+
+    /// The store round trip of [`fetch_one`](Engine::fetch_one), after
+    /// the cache has missed — also the per-key fallback a failed batch
+    /// degrades to.
+    fn fetch_one_uncached(&self, task: &Task, sink: &mut Sink) -> Result<()> {
+        let result = if self.resilience.is_trivial() {
+            self.polystore.get(&task.key)
+        } else {
+            let breaker = self.breaker(task.key.database());
+            self.polystore.get_resilient(&task.key, &self.resilience.retry, breaker.as_deref())
+        };
+        match result {
+            Ok(Some(object)) => {
                 self.cache.insert(object.clone());
                 sink.objects.push(AugmentedObject {
                     object,
                     probability: task.probability,
                     distance: task.distance,
                 });
+                Ok(())
             }
-            None => {
-                sink.missing.push(task.key.clone());
+            Ok(None) => {
+                sink.missing.push(MissingKey::not_found(task.key.clone()));
+                Ok(())
             }
+            Err(error) => self.degrade_or_fail(task, error, sink),
         }
-        Ok(())
     }
 
     /// Fetches a group of tasks that share a (database, collection) in one
@@ -224,7 +347,34 @@ impl Engine<'_> {
         let database: &DatabaseName = to_fetch[0].key.database();
         let collection: &CollectionName = to_fetch[0].key.collection();
         let keys: Vec<LocalKey> = to_fetch.iter().map(|t| t.key.key().clone()).collect();
-        let fetched = self.polystore.multi_get(database, collection, &keys)?;
+        let fetched = if self.resilience.is_trivial() {
+            self.polystore.multi_get(database, collection, &keys)
+        } else {
+            let breaker = self.breaker(database);
+            self.polystore.multi_get_resilient(
+                database,
+                collection,
+                &keys,
+                &self.resilience.retry,
+                breaker.as_deref(),
+            )
+        };
+        let fetched = match fetched {
+            Ok(fetched) => fetched,
+            Err(error)
+                if self.resilience.degrade == DegradeMode::Partial
+                    && unreachable_reason(&error).is_some() =>
+            {
+                // A failed batch must not poison its healthy members:
+                // degrade to per-key round trips so only the keys that
+                // are truly unreachable land in `missing`.
+                for task in &to_fetch {
+                    self.fetch_one_uncached(task, sink)?;
+                }
+                return Ok(());
+            }
+            Err(error) => return Err(error.into()),
+        };
         // Move each fetched object straight into the sink (the cache takes
         // the one clone); tasks whose key came back empty are missing.
         let mut wanted: HashMap<&GlobalKey, &Task> =
@@ -242,7 +392,7 @@ impl Engine<'_> {
         // order.
         for task in &to_fetch {
             if wanted.contains_key(&task.key) {
-                sink.missing.push(task.key.clone());
+                sink.missing.push(MissingKey::not_found(task.key.clone()));
             }
         }
         Ok(())

@@ -1,9 +1,15 @@
 //! Configurations: the augmenter family and its knobs.
 //!
 //! "A configuration is a combination of the augmenter in use, CACHE_SIZE
-//! and, if needed, BATCH_SIZE and THREADS_SIZE" (§V).
+//! and, if needed, BATCH_SIZE and THREADS_SIZE" (§V). On top of the
+//! paper's knobs, [`QuepaConfig`] carries a [`ResilienceConfig`]: the
+//! retry/breaker policy of every key-based round trip and the degradation
+//! mode deciding whether an unreachable store fails the whole
+//! augmentation or shrinks it to a partial answer.
 
 use std::fmt;
+
+use quepa_polystore::retry::{BreakerConfig, RetryPolicy};
 
 /// The six augmenters of §IV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,6 +79,60 @@ impl fmt::Display for AugmenterKind {
     }
 }
 
+/// What happens when a store stays unreachable after every allowed
+/// attempt (or behind an open circuit breaker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Propagate the error: the whole augmentation fails (the paper's
+    /// implicit behaviour, and the default).
+    #[default]
+    FailFast,
+    /// Degrade to a partial answer: the affected keys land in the
+    /// answer's `missing` list with an
+    /// [`Unreachable`](crate::augmenter::MissingReason::Unreachable)
+    /// reason and the rest of the augmentation completes.
+    Partial,
+}
+
+/// The resilience policy of every key-based round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceConfig {
+    /// Retry/backoff/deadline policy per round trip.
+    pub retry: RetryPolicy,
+    /// Per-store circuit-breaker knobs (`trip_after == 0` disables).
+    pub breaker: BreakerConfig,
+    /// Fail fast or degrade to a partial answer.
+    pub degrade: DegradeMode,
+}
+
+impl ResilienceConfig {
+    /// True when the whole layer is pass-through: one attempt, no
+    /// deadline, no breaker, fail-fast — the augmenters then skip the
+    /// resilience machinery entirely (the happy path pays ~nothing).
+    pub fn is_trivial(&self) -> bool {
+        self.retry.is_trivial()
+            && self.breaker.is_disabled()
+            && self.degrade == DegradeMode::FailFast
+    }
+
+    /// A production-shaped policy: standard retries, a breaker tripping
+    /// after 5 consecutive failures, partial-answer degradation.
+    pub fn resilient() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::standard(),
+            breaker: BreakerConfig { trip_after: 5, cooldown_calls: 16 },
+            degrade: DegradeMode::Partial,
+        }
+    }
+
+    /// Clamps the knobs into meaningful ranges.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.retry = self.retry.sanitized();
+        self
+    }
+}
+
 /// A full QUEPA configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuepaConfig {
@@ -84,6 +144,8 @@ pub struct QuepaConfig {
     pub threads_size: usize,
     /// Max objects in the LRU cache.
     pub cache_size: usize,
+    /// Retry, circuit-breaker and degradation policy.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for QuepaConfig {
@@ -93,6 +155,7 @@ impl Default for QuepaConfig {
             batch_size: 64,
             threads_size: 4,
             cache_size: 4096,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -109,6 +172,7 @@ impl QuepaConfig {
         self.batch_size = self.batch_size.max(1);
         self.threads_size = self.threads_size.max(1);
         // cache_size 0 is legal: it disables caching.
+        self.resilience = self.resilience.sanitized();
         self
     }
 }
@@ -125,7 +189,17 @@ impl fmt::Display for QuepaConfig {
             write!(f, "{}threads={}", if first { "" } else { ", " }, self.threads_size)?;
             first = false;
         }
-        write!(f, "{}cache={})", if first { "" } else { ", " }, self.cache_size)
+        write!(f, "{}cache={}", if first { "" } else { ", " }, self.cache_size)?;
+        if !self.resilience.is_trivial() {
+            write!(f, ", attempts={}", self.resilience.retry.max_attempts)?;
+            if !self.resilience.breaker.is_disabled() {
+                write!(f, ", breaker={}", self.resilience.breaker.trip_after)?;
+            }
+            if self.resilience.degrade == DegradeMode::Partial {
+                f.write_str(", partial")?;
+            }
+        }
+        f.write_str(")")
     }
 }
 
@@ -160,6 +234,7 @@ mod tests {
             batch_size: 0,
             threads_size: 0,
             cache_size: 0,
+            resilience: ResilienceConfig::default(),
         }
         .sanitized();
         assert_eq!(c.batch_size, 1);
@@ -174,5 +249,39 @@ mod tests {
         let c = QuepaConfig::with_augmenter(AugmenterKind::OuterBatch);
         assert!(c.to_string().contains("batch=64"));
         assert!(c.to_string().contains("threads=4"));
+    }
+
+    #[test]
+    fn default_resilience_is_trivial() {
+        let r = ResilienceConfig::default();
+        assert!(r.is_trivial(), "the default must keep the happy path free");
+        assert!(!ResilienceConfig::resilient().is_trivial());
+        let c = QuepaConfig::default();
+        assert!(!c.to_string().contains("attempts"), "trivial resilience stays silent: {c}");
+    }
+
+    #[test]
+    fn display_shows_resilience_when_configured() {
+        let c = QuepaConfig {
+            resilience: ResilienceConfig::resilient(),
+            ..QuepaConfig::with_augmenter(AugmenterKind::Sequential)
+        };
+        let s = c.to_string();
+        assert!(s.contains("attempts=4"), "{s}");
+        assert!(s.contains("breaker=5"), "{s}");
+        assert!(s.contains("partial"), "{s}");
+    }
+
+    #[test]
+    fn sanitize_floors_retry_attempts() {
+        let c = QuepaConfig {
+            resilience: ResilienceConfig {
+                retry: quepa_polystore::RetryPolicy { max_attempts: 0, ..Default::default() },
+                ..ResilienceConfig::default()
+            },
+            ..QuepaConfig::default()
+        }
+        .sanitized();
+        assert_eq!(c.resilience.retry.max_attempts, 1);
     }
 }

@@ -25,6 +25,13 @@
 //!   answers (the paper's stated future work, §VIII);
 //! * [`system`] — [`Quepa`], the facade wiring polystore + A' index +
 //!   augmenters + optimizer together.
+//!
+//! On top of the paper, the crate carries a **resilience model**
+//! ([`ResilienceConfig`]): retries with deterministic backoff, per-store
+//! circuit breakers, and — under [`DegradeMode::Partial`] — partial-answer
+//! degradation, where unreachable stores shrink the augmentation instead
+//! of failing it and the affected keys land in
+//! [`AugmentedAnswer::missing`] with a structured [`MissingReason`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,9 +49,9 @@ pub mod system;
 pub mod validator;
 
 pub use adaptive::{AdaptiveOptimizer, HumanOptimizer, Optimizer, RandomOptimizer};
-pub use augmenter::{AugmentationOutcome, AugmentedObject};
+pub use augmenter::{AugmentationOutcome, AugmentedObject, MissingKey, MissingReason};
 pub use cache::ObjectCache;
-pub use config::{AugmenterKind, QuepaConfig};
+pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 pub use error::{QuepaError, Result};
 pub use explore::ExplorationSession;
 pub use logs::{QueryFeatures, RunLog};

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use quepa_pdm::DataObject;
 
-use crate::augmenter::AugmentedObject;
+use crate::augmenter::{AugmentedObject, MissingKey};
 use crate::config::QuepaConfig;
 
 /// The result of an augmented search `Q^S_{(n)}(D)`: the local answer plus
@@ -26,6 +26,10 @@ pub struct AugmentedAnswer {
     /// Objects the A' index referenced but the polystore no longer stores
     /// (they were lazily deleted from the index during this run).
     pub lazily_deleted: usize,
+    /// Every referenced key the augmentation could not deliver, with a
+    /// structured reason: not found (lazily deleted) or unreachable
+    /// (store down / retries exhausted, under partial degradation).
+    pub missing: Vec<MissingKey>,
 }
 
 /// Probability bands for intuitive presentation — "colors (as in the
@@ -148,6 +152,7 @@ mod tests {
             duration: Duration::from_millis(3),
             cache_hits: 0,
             lazily_deleted: 0,
+            missing: Vec::new(),
         };
         assert_eq!(answer.total_objects(), 2);
         let text = answer.render();

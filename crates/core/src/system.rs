@@ -11,7 +11,8 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use quepa_aindex::{AIndex, PathRepository};
-use quepa_pdm::DataObject;
+use quepa_pdm::{DataObject, DatabaseName};
+use quepa_polystore::retry::{BreakerSet, BreakerState};
 use quepa_polystore::Polystore;
 
 use crate::adaptive::Optimizer;
@@ -34,6 +35,7 @@ pub struct Quepa {
     paths: Mutex<PathRepository>,
     logs: Mutex<Vec<RunLog>>,
     optimizer: Mutex<Option<Box<dyn Optimizer>>>,
+    breakers: BreakerSet,
 }
 
 impl Quepa {
@@ -54,6 +56,7 @@ impl Quepa {
             paths: Mutex::new(PathRepository::new()),
             logs: Mutex::new(Vec::new()),
             optimizer: Mutex::new(None),
+            breakers: BreakerSet::new(config.resilience.breaker),
         }
     }
 
@@ -87,11 +90,22 @@ impl Quepa {
         *self.config.lock()
     }
 
-    /// Replaces the configuration; the cache is resized accordingly.
+    /// Replaces the configuration; the cache is resized and the circuit
+    /// breakers rebuilt accordingly.
     pub fn set_config(&self, config: QuepaConfig) {
         let config = config.sanitized();
         self.cache.resize(config.cache_size);
+        let rebuild = self.config.lock().resilience.breaker != config.resilience.breaker;
+        if rebuild {
+            self.breakers.reconfigure(config.resilience.breaker);
+        }
         *self.config.lock() = config;
+    }
+
+    /// The circuit-breaker state guarding one store (breaker health is
+    /// system-wide: it persists across queries, like a real client pool).
+    pub fn breaker_state(&self, database: &DatabaseName) -> BreakerState {
+        self.breakers.state(database)
     }
 
     /// Installs an optimizer that picks a configuration per query
@@ -169,16 +183,25 @@ impl Quepa {
             None => current,
         };
 
-        let outcome = augmenter::run_planned(&self.polystore, &self.cache, &plan, &config)?;
+        let outcome = augmenter::run_planned_with(
+            &self.polystore,
+            &self.cache,
+            &plan,
+            &config,
+            &self.breakers,
+        )?;
 
         // Lazy deletion (§III-C): objects that vanished from the polystore
-        // leave the index and the cache.
-        let lazily_deleted = outcome.missing.len();
-        if !outcome.missing.is_empty() {
+        // leave the index and the cache. Only *not-found* keys qualify —
+        // an unreachable store says nothing about whether its objects
+        // still exist, so those stay indexed and only show up in the
+        // answer's `missing` list.
+        let lazily_deleted = outcome.missing.iter().filter(|m| m.is_not_found()).count();
+        if lazily_deleted > 0 {
             let mut index = self.index.write();
-            for key in &outcome.missing {
-                index.remove_object(key);
-                self.cache.remove(key);
+            for entry in outcome.missing.iter().filter(|m| m.is_not_found()) {
+                index.remove_object(&entry.key);
+                self.cache.remove(&entry.key);
             }
         }
 
@@ -191,6 +214,7 @@ impl Quepa {
             duration,
             cache_hits: outcome.cache_hits,
             lazily_deleted,
+            missing: outcome.missing,
         })
     }
 

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use quepa_aindex::AIndex;
-use quepa_core::{AugmenterKind, Quepa, QuepaConfig, QuepaError};
+use quepa_core::{AugmenterKind, DegradeMode, Quepa, QuepaConfig, QuepaError, ResilienceConfig};
 use quepa_kvstore::KvStore;
 use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
 use quepa_polystore::{Connector, KvConnector, LatencyModel, PolyError, Polystore, StoreKind};
@@ -119,6 +119,7 @@ fn every_augmenter_surfaces_injected_faults() {
             batch_size: 3,
             threads_size: 4,
             cache_size: 0,
+            ..QuepaConfig::default()
         });
         let result = quepa.augmented_search("db0", "SCAN k COUNT 20", 0);
         // 20 lookups with every 5th failing: the run must error, not hang
@@ -164,6 +165,148 @@ fn faults_do_not_corrupt_later_runs() {
     }
     assert!(saw_error, "every 7th lookup fails, some run must hit it");
     assert!(saw_success, "runs between faults recover fully");
+}
+
+/// Wraps a connector; any lookup touching `poisoned` fails — a whole
+/// `multi_get` batch errors when the poisoned key is *anywhere* in it,
+/// modelling one corrupt object sinking a batched round trip.
+struct PoisonedBatchConnector {
+    inner: KvConnector,
+    poisoned: String,
+}
+
+impl PoisonedBatchConnector {
+    fn fail(&self) -> PolyError {
+        PolyError::store(self.inner.database().as_str(), "poisoned object")
+    }
+}
+
+impl Connector for PoisonedBatchConnector {
+    fn database(&self) -> &DatabaseName {
+        self.inner.database()
+    }
+    fn kind(&self) -> StoreKind {
+        self.inner.kind()
+    }
+    fn collections(&self) -> Vec<CollectionName> {
+        self.inner.collections()
+    }
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>, PolyError> {
+        self.inner.execute(query)
+    }
+    fn execute_update(&self, statement: &str) -> Result<usize, PolyError> {
+        self.inner.execute_update(statement)
+    }
+    fn get(
+        &self,
+        collection: &CollectionName,
+        key: &LocalKey,
+    ) -> Result<Option<DataObject>, PolyError> {
+        if key.as_str() == self.poisoned {
+            return Err(self.fail());
+        }
+        self.inner.get(collection, key)
+    }
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> Result<Vec<DataObject>, PolyError> {
+        if keys.iter().any(|k| k.as_str() == self.poisoned) {
+            return Err(self.fail());
+        }
+        self.inner.multi_get(collection, keys)
+    }
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>, PolyError> {
+        self.inner.scan_collection(collection)
+    }
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+    fn stats(&self) -> quepa_polystore::stats::StatsSnapshot {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+/// Like [`build`], but db1 carries one poisoned key instead of periodic
+/// faults.
+fn build_poisoned(poisoned: &str) -> Quepa {
+    let mut kv0 = KvStore::new("db0");
+    let mut kv1 = KvStore::new("db1");
+    for k in 0..20 {
+        kv0.set(format!("k{k}"), "v");
+        kv1.set(format!("k{k}"), "w");
+    }
+    let mut polystore = Polystore::new();
+    polystore.register(Arc::new(KvConnector::new(kv0, "c", LatencyModel::FREE)));
+    polystore.register(Arc::new(PoisonedBatchConnector {
+        inner: KvConnector::new(kv1, "c", LatencyModel::FREE),
+        poisoned: poisoned.to_owned(),
+    }));
+    let mut index = AIndex::new();
+    let key = |db: usize, k: usize| -> GlobalKey { format!("db{db}.c.k{k}").parse().unwrap() };
+    for k in 0..20 {
+        index.insert_matching(&key(0, k), &key(1, k), Probability::of(0.8));
+    }
+    Quepa::new(polystore, index)
+}
+
+/// Satellite pin: a single poisoned object must not poison the rest of
+/// its `multi_get` batch. Under partial degradation the batched
+/// augmenters fall back to per-key round trips, so exactly the poisoned
+/// key degrades to `Unreachable` and its 19 batch-mates all arrive.
+#[test]
+fn poisoned_object_does_not_poison_its_batch() {
+    for aug in AugmenterKind::ALL {
+        let quepa = build_poisoned("k7");
+        quepa.set_config(QuepaConfig {
+            augmenter: aug,
+            batch_size: 6, // k7 rides in a batch with healthy neighbours
+            threads_size: 4,
+            cache_size: 0,
+            resilience: ResilienceConfig {
+                degrade: DegradeMode::Partial,
+                ..ResilienceConfig::default()
+            },
+        });
+        let answer = quepa.augmented_search("db0", "SCAN k COUNT 20", 0).unwrap();
+        assert_eq!(answer.augmented.len(), 19, "{aug}: every healthy batch-mate must arrive");
+        assert!(
+            answer.augmented.iter().all(|a| a.object.key().key().as_str() != "k7"),
+            "{aug}: the poisoned key cannot appear in the answer"
+        );
+        assert_eq!(answer.missing.len(), 1, "{aug}: {:?}", answer.missing);
+        let miss = &answer.missing[0];
+        assert_eq!(miss.key.to_string(), "db1.c.k7", "{aug}");
+        assert!(!miss.is_not_found(), "{aug}: a failed fetch is Unreachable, not NotFound");
+        // An unreachable object is not a deleted one: the index keeps it.
+        assert_eq!(answer.lazily_deleted, 0, "{aug}");
+        assert!(quepa.index().contains(&"db1.c.k7".parse().unwrap()), "{aug}");
+    }
+}
+
+/// Under fail-fast (the default), the poisoned batch still sinks the run
+/// — partial answers are strictly opt-in.
+#[test]
+fn poisoned_batch_fails_fast_by_default() {
+    for aug in AugmenterKind::ALL {
+        let quepa = build_poisoned("k7");
+        quepa.set_config(QuepaConfig {
+            augmenter: aug,
+            batch_size: 6,
+            threads_size: 4,
+            cache_size: 0,
+            ..QuepaConfig::default()
+        });
+        let result = quepa.augmented_search("db0", "SCAN k COUNT 20", 0);
+        assert!(
+            matches!(result, Err(QuepaError::Polystore(_))),
+            "{aug}: fail-fast must propagate the poisoned batch, got {result:?}"
+        );
+    }
 }
 
 #[test]

@@ -132,6 +132,7 @@ fn all_augmenters_agree() {
                     batch_size: batch,
                     threads_size: threads,
                     cache_size: 0, // cache off so every strategy hits the stores
+                    ..QuepaConfig::default()
                 });
                 let answer =
                     quepa.augmented_search("transactions", "SELECT * FROM inventory", 1).unwrap();

@@ -63,6 +63,7 @@ proptest! {
                 batch_size: batch,
                 threads_size: threads,
                 cache_size: 0,
+                ..QuepaConfig::default()
             });
             let answer = quepa.augmented_search("db0", &query, level).unwrap();
             let got: Vec<(String, String)> = answer

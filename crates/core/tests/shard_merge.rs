@@ -65,8 +65,13 @@ fn run_with(
     warm: bool,
 ) -> AugmentationOutcome {
     let cache = ObjectCache::new(1024);
-    let config =
-        QuepaConfig { augmenter: kind, batch_size: batch, threads_size: threads, cache_size: 1024 };
+    let config = QuepaConfig {
+        augmenter: kind,
+        batch_size: batch,
+        threads_size: threads,
+        cache_size: 1024,
+        ..QuepaConfig::default()
+    };
     if warm {
         augmenter::run_planned(polystore, &cache, plan, &config).unwrap();
     }

@@ -84,4 +84,13 @@ pub trait Connector: Send + Sync {
 
     /// Resets the statistics.
     fn reset_stats(&self);
+
+    /// Hook for the resilience layer: attributes retry / timeout /
+    /// breaker-trip events from one round trip to this connector's
+    /// statistics. The default is a no-op so plain test doubles need not
+    /// care; real connectors forward to their
+    /// [`ConnectorStats`](crate::stats::ConnectorStats).
+    fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
+        let _ = (retries, timeouts, breaker_trips);
+    }
 }

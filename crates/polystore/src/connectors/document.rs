@@ -138,6 +138,10 @@ impl Connector for DocumentConnector {
     fn reset_stats(&self) {
         self.stats.reset();
     }
+
+    fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
+        self.stats.record_resilience(retries, timeouts, breaker_trips);
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,29 @@ pub enum PolyError {
         /// What was attempted.
         operation: String,
     },
+    /// One round trip overran its deadline (measured by the retry layer
+    /// or injected by a fault plan). Retryable.
+    Timeout {
+        /// Database name.
+        database: String,
+    },
+    /// The store did not answer at all — a whole-store outage or a
+    /// refused connection. Retryable.
+    Unavailable {
+        /// Database name.
+        database: String,
+    },
+    /// A round trip failed every allowed attempt (or was rejected by an
+    /// open circuit breaker, in which case `attempts == 0`). This is the
+    /// structured signal the augmenters degrade into a partial answer.
+    Unreachable {
+        /// Database name.
+        database: String,
+        /// Attempts actually made before giving up.
+        attempts: u32,
+        /// Rendered last underlying error.
+        last: String,
+    },
 }
 
 impl PolyError {
@@ -55,6 +78,15 @@ impl fmt::Display for PolyError {
             }
             PolyError::WrongKind { database, operation } => {
                 write!(f, "operation not supported by {database}: {operation}")
+            }
+            PolyError::Timeout { database } => {
+                write!(f, "round trip to {database} timed out")
+            }
+            PolyError::Unavailable { database } => {
+                write!(f, "store {database} is unavailable")
+            }
+            PolyError::Unreachable { database, attempts, last } => {
+                write!(f, "store {database} unreachable after {attempts} attempt(s): {last}")
             }
         }
     }

@@ -13,8 +13,15 @@
 //!   paper's centralized / distributed EC2 deployments at microsecond scale
 //!   (1000× shrunk), so batching and parallelism keep their first-order
 //!   effects: `cost = roundtrips × RTT + objects × transfer`;
-//! * per-connector [`stats`] (queries, round trips, objects moved), which
-//!   the experiments report.
+//! * per-connector [`stats`] (queries, round trips, objects moved, and the
+//!   resilience counters: retries, timeouts, breaker trips), which the
+//!   experiments report;
+//! * the resilience layer: a deterministic, seeded [`fault`] plan that
+//!   wraps any connector to inject transient errors, latency spikes,
+//!   timeouts and whole-store outages from a reproducible schedule, and
+//!   the [`retry`] policies (exponential backoff with deterministic
+//!   jitter, per-round-trip deadlines, per-store circuit breakers) that
+//!   ride them out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,13 +29,19 @@
 pub mod connector;
 pub mod connectors;
 pub mod error;
+pub mod fault;
 pub mod net;
 pub mod polystore;
+pub mod retry;
 pub mod stats;
 
 pub use connector::{Connector, StoreKind};
 pub use connectors::{DocumentConnector, GraphConnector, KvConnector, RelationalConnector};
 pub use error::{PolyError, Result};
+pub use fault::{FaultDecision, FaultPlan, FaultyConnector};
 pub use net::{Deployment, LatencyModel};
 pub use polystore::Polystore;
-pub use stats::ConnectorStats;
+pub use retry::{
+    BreakerConfig, BreakerSet, BreakerState, CircuitBreaker, RetryPolicy, RoundTripReport,
+};
+pub use stats::{ConnectorStats, StatsSnapshot};

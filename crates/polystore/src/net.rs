@@ -57,6 +57,18 @@ impl LatencyModel {
         }
         std::thread::sleep(cost);
     }
+
+    /// Pays one empty round trip plus `extra` wall time in a single
+    /// sleep — the fault layer's latency spikes and timed-out calls,
+    /// which must spend their (deterministic) time *before* any error
+    /// is surfaced so timeout semantics stay testable.
+    pub fn pay_extra(&self, extra: Duration) {
+        let cost = self.cost(0, 0) + extra;
+        if cost.is_zero() {
+            return;
+        }
+        std::thread::sleep(cost);
+    }
 }
 
 /// Deployment presets (paper §VII-A): where the stores run relative to

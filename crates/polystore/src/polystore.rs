@@ -7,6 +7,8 @@ use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey};
 
 use crate::connector::{Connector, StoreKind};
 use crate::error::{PolyError, Result};
+use crate::fault::call_identity;
+use crate::retry::{run_round_trip, CircuitBreaker, RetryPolicy};
 use crate::stats::StatsSnapshot;
 
 /// A polystore: a named set of databases, each behind a [`Connector`].
@@ -83,6 +85,75 @@ impl Polystore {
         keys: &[LocalKey],
     ) -> Result<Vec<DataObject>> {
         self.connector(database)?.multi_get(collection, keys)
+    }
+
+    /// Point lookup under a retry policy and an optional circuit breaker.
+    ///
+    /// Trivial policies without a breaker take the exact same path as
+    /// [`get`](Polystore::get) — the happy path pays nothing for the
+    /// resilience layer. Otherwise the round trip is driven through
+    /// [`run_round_trip`]: transient errors are retried with
+    /// deterministic backoff, exhausted retries collapse into
+    /// [`PolyError::Unreachable`], and retry/timeout/breaker events are
+    /// attributed to the connector's statistics.
+    pub fn get_resilient(
+        &self,
+        key: &GlobalKey,
+        policy: &RetryPolicy,
+        breaker: Option<&CircuitBreaker>,
+    ) -> Result<Option<DataObject>> {
+        let connector = self.connector(key.database())?;
+        if policy.is_trivial() && breaker.is_none() {
+            return connector.get(key.collection(), key.key());
+        }
+        let salt = call_identity(key.collection(), [key.key()]);
+        let (result, report) = run_round_trip(policy, breaker, key.database(), salt, || {
+            connector.get(key.collection(), key.key())
+        });
+        if report.retries + report.timeouts + report.breaker_trips > 0 {
+            connector.record_resilience(report.retries, report.timeouts, report.breaker_trips);
+        }
+        result
+    }
+
+    /// Batched lookup under a retry policy and an optional circuit
+    /// breaker; the whole batch is one round trip and retries as a unit.
+    pub fn multi_get_resilient(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        policy: &RetryPolicy,
+        breaker: Option<&CircuitBreaker>,
+    ) -> Result<Vec<DataObject>> {
+        let connector = self.connector(database)?;
+        if policy.is_trivial() && breaker.is_none() {
+            return connector.multi_get(collection, keys);
+        }
+        let salt = call_identity(collection, keys.iter());
+        let (result, report) = run_round_trip(policy, breaker, database, salt, || {
+            connector.multi_get(collection, keys)
+        });
+        if report.retries + report.timeouts + report.breaker_trips > 0 {
+            connector.record_resilience(report.retries, report.timeouts, report.breaker_trips);
+        }
+        result
+    }
+
+    /// Rebuilds the registry with every connector passed through `wrap` —
+    /// the chaos harness's entry point for fault injection
+    /// (e.g. wrapping each store in a
+    /// [`FaultyConnector`](crate::fault::FaultyConnector)).
+    #[must_use]
+    pub fn wrap_connectors(
+        &self,
+        mut wrap: impl FnMut(Arc<dyn Connector>) -> Arc<dyn Connector>,
+    ) -> Polystore {
+        let mut wrapped = Polystore::new();
+        for connector in self.connectors.values() {
+            wrapped.register(wrap(Arc::clone(connector)));
+        }
+        wrapped
     }
 
     /// Sum of the per-connector statistics.

@@ -1,0 +1,635 @@
+//! Retry policies, deterministic backoff and per-store circuit breakers.
+//!
+//! The paper assumes every store answers every key-based round trip; a
+//! production polystore does not get that luxury — links flap, stores
+//! stall, whole machines disappear (the operational gap BigDAWG's islands
+//! design calls out when stores live on separate hosts). This module is
+//! the policy half of the resilience layer:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff and
+//!   *deterministic* jitter (a pure function of a salt and the retry
+//!   index, so reruns of a seeded chaos schedule reproduce bit-identical
+//!   behaviour), plus an optional per-round-trip deadline;
+//! * [`CircuitBreaker`] — the classic closed → open → half-open machine,
+//!   **counter-based** rather than clock-based: an open breaker stays
+//!   open for a fixed number of *calls* (not seconds), which keeps chaos
+//!   runs independent of wall time;
+//! * [`run_round_trip`] — the executor that drives one logical round
+//!   trip through policy + breaker and reports what it spent, so the
+//!   caller can surface retries / timeouts / breaker trips in
+//!   [`StatsSnapshot`](crate::stats::StatsSnapshot).
+//!
+//! Exhausted retries collapse into [`PolyError::Unreachable`], the
+//! structured signal the augmenters turn into a partial answer instead of
+//! sinking the whole augmentation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use quepa_pdm::DatabaseName;
+
+use crate::error::{PolyError, Result};
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// How a single logical round trip behaves under failure.
+///
+/// All fields are plain `Copy` data (no floats) so the policy can live
+/// inside configuration structs that are `Copy + Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per round trip, including the first (≥ 1; the
+    /// executor clamps 0 to 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Jitter as a percentage (0–100) subtracted from the raw backoff:
+    /// the pause for retry `i` is `raw − raw · jitter_pct/100 · u(salt, i)`
+    /// with `u` a deterministic unit draw. `0` disables jitter.
+    pub jitter_pct: u32,
+    /// Per-attempt deadline: an attempt whose wall time exceeds it is
+    /// counted as a timeout (the result is discarded) and retried.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// The trivial policy: one attempt, no backoff, no deadline — the
+    /// pre-resilience behaviour, and the zero-overhead happy path.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_pct: 0,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A reasonable production-shaped policy: 4 attempts, 100 µs base
+    /// backoff doubling to at most 10 ms, 50 % jitter, no deadline.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            jitter_pct: 50,
+            deadline: None,
+        }
+    }
+
+    /// True when the policy can never retry nor time out — the executor
+    /// is bypassed entirely for such policies.
+    pub fn is_trivial(&self) -> bool {
+        self.max_attempts <= 1 && self.deadline.is_none()
+    }
+
+    /// Clamps the knobs into meaningful ranges.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.max_attempts = self.max_attempts.max(1);
+        self.jitter_pct = self.jitter_pct.min(100);
+        if self.max_backoff < self.base_backoff {
+            self.max_backoff = self.base_backoff;
+        }
+        self
+    }
+
+    /// The closed-form backoff before retry `retry_index` (0-based: the
+    /// pause between attempt 1 and attempt 2 is `backoff(0, ..)`).
+    ///
+    /// ```text
+    /// raw(i)     = min(base · 2^min(i,16), max)
+    /// jitter(i)  = raw(i) · jitter_pct/100 · unit(salt, i)   (exact integer math)
+    /// backoff(i) = raw(i) − jitter(i)
+    /// ```
+    ///
+    /// `unit(salt, i)` is the top 53 bits of a splitmix64 hash of
+    /// `(salt, i)` scaled to `[0, 1)` — fully deterministic, so a chaos
+    /// schedule replays with identical pauses.
+    pub fn backoff(&self, retry_index: u32, salt: u64) -> Duration {
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << retry_index.min(16))
+            .min(self.max_backoff.max(self.base_backoff));
+        if self.jitter_pct == 0 || raw.is_zero() {
+            return raw;
+        }
+        // Exact integer arithmetic: nanos · pct · h53 / (100 · 2^53).
+        let h53 = (mix(salt, retry_index as u64) >> 11) as u128;
+        let sub = raw.as_nanos() * self.jitter_pct as u128 * h53 / (100u128 << 53);
+        raw - Duration::from_nanos(sub as u64)
+    }
+}
+
+/// splitmix64 finalizer over a salt/index pair — the jitter source.
+fn mix(salt: u64, index: u64) -> u64 {
+    let mut z = salt ^ index.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker knobs. `trip_after == 0` disables the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive round-trip failures that open the breaker (0 = off).
+    pub trip_after: u32,
+    /// How many calls an open breaker rejects before probing (half-open).
+    /// Counter-based, not clock-based, so chaos runs stay deterministic.
+    pub cooldown_calls: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 0, cooldown_calls: 8 }
+    }
+}
+
+impl BreakerConfig {
+    /// True when the breaker never trips.
+    pub fn is_disabled(&self) -> bool {
+        self.trip_after == 0
+    }
+}
+
+/// The observable state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected without reaching the store.
+    Open,
+    /// One probe call is admitted; its outcome decides the next state.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    probe_in_flight: bool,
+}
+
+/// A per-store circuit breaker (closed → open → half-open).
+///
+/// Transitions are driven purely by call outcomes and call counts:
+///
+/// * **Closed**: `trip_after` consecutive failures → **Open**;
+/// * **Open**: the next `cooldown_calls` admissions are rejected, then
+///   the breaker moves to **HalfOpen**;
+/// * **HalfOpen**: exactly one probe is admitted — success closes the
+///   breaker, failure re-opens it (counted as another trip).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+/// Verdict of [`CircuitBreaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The call may proceed to the store.
+    Allowed,
+    /// The breaker is open: fail fast without a round trip.
+    Rejected,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                cooldown_left: 0,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    /// Asks whether a call may proceed. Open breakers burn one cooldown
+    /// tick per rejected call; the tick that exhausts the cooldown moves
+    /// the breaker to half-open (the *next* call becomes the probe).
+    pub fn admit(&self) -> Admission {
+        if self.config.is_disabled() {
+            return Admission::Allowed;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allowed,
+            BreakerState::Open => {
+                inner.cooldown_left = inner.cooldown_left.saturating_sub(1);
+                if inner.cooldown_left == 0 {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = false;
+                }
+                Admission::Rejected
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    Admission::Rejected
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Allowed
+                }
+            }
+        }
+    }
+
+    /// Reports a successful round trip: closes the breaker.
+    pub fn on_success(&self) {
+        if self.config.is_disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.probe_in_flight = false;
+    }
+
+    /// Reports a failed round trip; returns `true` when this failure
+    /// tripped the breaker open (including a failed half-open probe).
+    pub fn on_failure(&self) -> bool {
+        if self.config.is_disabled() {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.trip_after {
+                    inner.state = BreakerState::Open;
+                    inner.cooldown_left = self.config.cooldown_calls.max(1);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.cooldown_left = self.config.cooldown_calls.max(1);
+                inner.probe_in_flight = false;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        if self.config.is_disabled() {
+            return BreakerState::Closed;
+        }
+        self.inner.lock().state
+    }
+}
+
+/// Per-database breakers sharing one configuration. Owned by the system
+/// (`Quepa`) so breaker state persists across augmentation runs.
+#[derive(Debug)]
+pub struct BreakerSet {
+    inner: Mutex<BreakerSetInner>,
+}
+
+#[derive(Debug)]
+struct BreakerSetInner {
+    config: BreakerConfig,
+    breakers: BTreeMap<DatabaseName, Arc<CircuitBreaker>>,
+}
+
+impl BreakerSet {
+    /// Creates a set with the given configuration.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerSet { inner: Mutex::new(BreakerSetInner { config, breakers: BTreeMap::new() }) }
+    }
+
+    /// A set whose breakers never trip.
+    pub fn disabled() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+
+    /// The breaker guarding `database`, or `None` when breakers are
+    /// disabled (callers skip the admission dance entirely).
+    pub fn breaker(&self, database: &DatabaseName) -> Option<Arc<CircuitBreaker>> {
+        let mut inner = self.inner.lock();
+        if inner.config.is_disabled() {
+            return None;
+        }
+        let config = inner.config;
+        Some(Arc::clone(
+            inner
+                .breakers
+                .entry(database.clone())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(config))),
+        ))
+    }
+
+    /// The state of `database`'s breaker (Closed when none exists yet).
+    pub fn state(&self, database: &DatabaseName) -> BreakerState {
+        let inner = self.inner.lock();
+        inner.breakers.get(database).map_or(BreakerState::Closed, |b| b.state())
+    }
+
+    /// Replaces the configuration; existing breaker state is dropped when
+    /// the configuration actually changed.
+    pub fn reconfigure(&self, config: BreakerConfig) {
+        let mut inner = self.inner.lock();
+        if inner.config != config {
+            inner.config = config;
+            inner.breakers.clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The retry executor
+// ---------------------------------------------------------------------------
+
+/// What one resilient round trip spent, for the statistics layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTripReport {
+    /// Attempts actually made (0 when the breaker rejected the call).
+    pub attempts: u32,
+    /// Retries (attempts beyond the first).
+    pub retries: u64,
+    /// Attempts that ended in a timeout (injected or measured).
+    pub timeouts: u64,
+    /// Breaker trips caused by this round trip's failures.
+    pub breaker_trips: u64,
+}
+
+/// Whether an error is worth retrying: transient store errors, timeouts
+/// and outages are; schema/config mistakes are not.
+pub fn is_retryable(error: &PolyError) -> bool {
+    matches!(
+        error,
+        PolyError::Store { .. } | PolyError::Timeout { .. } | PolyError::Unavailable { .. }
+    )
+}
+
+/// Drives one logical round trip (`call`) under `policy` and an optional
+/// `breaker`, sleeping the deterministic backoff between attempts.
+///
+/// * A breaker rejection fails fast with [`PolyError::Unreachable`]
+///   (`attempts == 0`) — no round trip is made.
+/// * An attempt whose wall time exceeds `policy.deadline` is counted as
+///   a timeout; its result (even a success) is discarded and retried.
+/// * When every attempt fails with a retryable error the final result is
+///   [`PolyError::Unreachable`] carrying the attempt count and the last
+///   underlying error; non-retryable errors surface immediately as-is.
+///
+/// `salt` seeds the jitter stream: callers pass a stable identity of the
+/// round trip (e.g. an FNV hash of the keys) so reruns pause identically.
+pub fn run_round_trip<T>(
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+    database: &DatabaseName,
+    salt: u64,
+    mut call: impl FnMut() -> Result<T>,
+) -> (Result<T>, RoundTripReport) {
+    let mut report = RoundTripReport::default();
+    if let Some(b) = breaker {
+        if b.admit() == Admission::Rejected {
+            let err = PolyError::Unreachable {
+                database: database.to_string(),
+                attempts: 0,
+                last: "circuit breaker open".into(),
+            };
+            return (Err(err), report);
+        }
+    }
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last: Option<PolyError> = None;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            report.retries += 1;
+            let pause = policy.backoff(attempt - 1, salt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        report.attempts += 1;
+        let started = Instant::now();
+        let mut result = call();
+        if let Some(deadline) = policy.deadline {
+            if result.is_ok() && started.elapsed() > deadline {
+                // The store answered after the caller gave up: the reply
+                // is dead on arrival, exactly like a wire timeout.
+                result = Err(PolyError::Timeout { database: database.to_string() });
+            }
+        }
+        match result {
+            Ok(value) => {
+                if let Some(b) = breaker {
+                    b.on_success();
+                }
+                return (Ok(value), report);
+            }
+            Err(e) if !is_retryable(&e) => return (Err(e), report),
+            Err(e) => {
+                if matches!(e, PolyError::Timeout { .. }) {
+                    report.timeouts += 1;
+                }
+                if let Some(b) = breaker {
+                    if b.on_failure() {
+                        report.breaker_trips += 1;
+                    }
+                }
+                last = Some(e);
+            }
+        }
+    }
+    let last = last.expect("at least one attempt ran");
+    let err = PolyError::Unreachable {
+        database: database.to_string(),
+        attempts: report.attempts,
+        last: last.to_string(),
+    };
+    (Err(err), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(name: &str) -> DatabaseName {
+        DatabaseName::new(name).unwrap()
+    }
+
+    #[test]
+    fn trivial_policy_is_single_shot() {
+        let p = RetryPolicy::default();
+        assert!(p.is_trivial());
+        assert_eq!(p.backoff(0, 7), Duration::ZERO);
+        let (r, report) = run_round_trip(&p, None, &db("d"), 1, || Ok::<_, PolyError>(42));
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(report, RoundTripReport { attempts: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(350),
+            jitter_pct: 0,
+            deadline: None,
+        };
+        assert_eq!(p.backoff(0, 0), Duration::from_micros(100));
+        assert_eq!(p.backoff(1, 0), Duration::from_micros(200));
+        assert_eq!(p.backoff(2, 0), Duration::from_micros(350), "capped");
+        assert_eq!(p.backoff(10, 0), Duration::from_micros(350));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy { jitter_pct: 50, ..RetryPolicy::standard() };
+        let raw = RetryPolicy { jitter_pct: 0, ..p }.backoff(3, 9);
+        let a = p.backoff(3, 9);
+        let b = p.backoff(3, 9);
+        assert_eq!(a, b, "same salt, same pause");
+        assert!(a <= raw && a >= raw / 2, "jitter subtracts at most 50%: {a:?} vs {raw:?}");
+        assert_ne!(p.backoff(3, 10), a, "different salt, different pause (w.h.p.)");
+    }
+
+    #[test]
+    fn retries_until_success_and_reports() {
+        let p = RetryPolicy { max_attempts: 5, ..RetryPolicy::default() };
+        let mut calls = 0;
+        let (r, report) = run_round_trip(&p, None, &db("d"), 1, || {
+            calls += 1;
+            if calls < 3 {
+                Err(PolyError::store("d", "flaky"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.retries, 2);
+    }
+
+    #[test]
+    fn exhaustion_wraps_into_unreachable() {
+        let p = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let (r, report) =
+            run_round_trip::<()>(&p, None, &db("d"), 1, || Err(PolyError::store("d", "down")));
+        match r {
+            Err(PolyError::Unreachable { database, attempts, last }) => {
+                assert_eq!(database, "d");
+                assert_eq!(attempts, 3);
+                assert!(last.contains("down"));
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        assert_eq!(report.retries, 2);
+    }
+
+    #[test]
+    fn non_retryable_errors_surface_immediately() {
+        let p = RetryPolicy { max_attempts: 5, ..RetryPolicy::default() };
+        let (r, report) = run_round_trip::<()>(&p, None, &db("d"), 1, || {
+            Err(PolyError::UnknownDatabase("ghost".into()))
+        });
+        assert!(matches!(r, Err(PolyError::UnknownDatabase(_))));
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn deadline_discards_slow_successes() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            deadline: Some(Duration::from_micros(50)),
+            ..RetryPolicy::default()
+        };
+        let (r, report) = run_round_trip(&p, None, &db("d"), 1, || {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok::<_, PolyError>(1)
+        });
+        assert!(matches!(r, Err(PolyError::Unreachable { .. })));
+        assert_eq!(report.timeouts, 2, "both attempts overran the deadline");
+    }
+
+    #[test]
+    fn breaker_lifecycle() {
+        let b = CircuitBreaker::new(BreakerConfig { trip_after: 2, cooldown_calls: 2 });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure());
+        assert!(b.on_failure(), "second consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two rejected calls burn the cooldown...
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // ...then exactly one probe is admitted.
+        assert_eq!(b.admit(), Admission::Allowed);
+        assert_eq!(b.admit(), Admission::Rejected, "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allowed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(BreakerConfig { trip_after: 1, cooldown_calls: 1 });
+        assert!(b.on_failure());
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Allowed);
+        assert!(b.on_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_through_executor() {
+        let set = BreakerSet::new(BreakerConfig { trip_after: 1, cooldown_calls: 4 });
+        let d = db("d");
+        let breaker = set.breaker(&d).unwrap();
+        let p = RetryPolicy::default();
+        let (_, _) =
+            run_round_trip::<()>(&p, Some(&breaker), &d, 1, || Err(PolyError::store("d", "x")));
+        assert_eq!(set.state(&d), BreakerState::Open);
+        let mut called = false;
+        let (r, report) = run_round_trip::<()>(&p, Some(&breaker), &d, 1, || {
+            called = true;
+            Ok(())
+        });
+        assert!(!called, "open breaker must not reach the store");
+        assert_eq!(report.attempts, 0);
+        assert!(matches!(r, Err(PolyError::Unreachable { attempts: 0, .. })));
+    }
+
+    #[test]
+    fn disabled_breaker_set_hands_out_none() {
+        let set = BreakerSet::disabled();
+        assert!(set.breaker(&db("d")).is_none());
+        assert_eq!(set.state(&db("d")), BreakerState::Closed);
+    }
+
+    #[test]
+    fn reconfigure_resets_state() {
+        let cfg = BreakerConfig { trip_after: 1, cooldown_calls: 1 };
+        let set = BreakerSet::new(cfg);
+        let d = db("d");
+        set.breaker(&d).unwrap().on_failure();
+        assert_eq!(set.state(&d), BreakerState::Open);
+        set.reconfigure(cfg);
+        assert_eq!(set.state(&d), BreakerState::Open, "same config keeps state");
+        set.reconfigure(BreakerConfig { trip_after: 2, cooldown_calls: 1 });
+        assert_eq!(set.state(&d), BreakerState::Closed, "new config drops state");
+    }
+}

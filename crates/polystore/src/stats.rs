@@ -15,6 +15,9 @@ pub struct ConnectorStats {
     objects_returned: AtomicU64,
     bytes_returned: AtomicU64,
     simulated_network_nanos: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    breaker_trips: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -30,6 +33,13 @@ pub struct StatsSnapshot {
     pub bytes_returned: u64,
     /// Total simulated network wall time.
     pub simulated_network: Duration,
+    /// Retried round trips (attempts beyond the first) by the resilience
+    /// layer.
+    pub retries: u64,
+    /// Round trips that timed out (injected or measured).
+    pub timeouts: u64,
+    /// Circuit-breaker trips (closed → open, including failed probes).
+    pub breaker_trips: u64,
 }
 
 impl ConnectorStats {
@@ -51,6 +61,22 @@ impl ConnectorStats {
         self.simulated_network_nanos.fetch_add(network.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Records resilience events from one round trip: `retries` extra
+    /// attempts, `timeouts` overran deadlines, `breaker_trips` breaker
+    /// openings. All-zero calls are skipped by the callers, keeping the
+    /// happy path free of these counters.
+    pub fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if timeouts > 0 {
+            self.timeouts.fetch_add(timeouts, Ordering::Relaxed);
+        }
+        if breaker_trips > 0 {
+            self.breaker_trips.fetch_add(breaker_trips, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -61,6 +87,9 @@ impl ConnectorStats {
             simulated_network: Duration::from_nanos(
                 self.simulated_network_nanos.load(Ordering::Relaxed),
             ),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +100,9 @@ impl ConnectorStats {
         self.objects_returned.store(0, Ordering::Relaxed);
         self.bytes_returned.store(0, Ordering::Relaxed);
         self.simulated_network_nanos.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.breaker_trips.store(0, Ordering::Relaxed);
     }
 }
 
@@ -83,6 +115,9 @@ impl StatsSnapshot {
             objects_returned: self.objects_returned + other.objects_returned,
             bytes_returned: self.bytes_returned + other.bytes_returned,
             simulated_network: self.simulated_network + other.simulated_network,
+            retries: self.retries + other.retries,
+            timeouts: self.timeouts + other.timeouts,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
         }
     }
 }
@@ -120,11 +155,30 @@ mod tests {
             objects_returned: 3,
             bytes_returned: 4,
             simulated_network: Duration::from_micros(5),
+            retries: 6,
+            timeouts: 7,
+            breaker_trips: 8,
         };
         let m = a.merge(a);
         assert_eq!(m.queries, 2);
         assert_eq!(m.objects_returned, 6);
         assert_eq!(m.simulated_network, Duration::from_micros(10));
+        assert_eq!(m.retries, 12);
+        assert_eq!(m.timeouts, 14);
+        assert_eq!(m.breaker_trips, 16);
+    }
+
+    #[test]
+    fn resilience_counters_record_and_reset() {
+        let s = ConnectorStats::new();
+        s.record_resilience(3, 1, 0);
+        s.record_resilience(0, 0, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.breaker_trips, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

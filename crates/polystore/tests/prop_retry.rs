@@ -1,0 +1,109 @@
+//! Property tests for the retry executor: retry-with-backoff is
+//! *deterministic* and *bounded* for every policy in the knob space.
+//!
+//! * attempts never exceed `max_attempts` (and a fault-free call makes
+//!   exactly one);
+//! * every backoff pause matches the closed form
+//!   `raw(i) = min(base·2^min(i,16), max)` minus at most
+//!   `raw·jitter_pct/100`, identically on every evaluation;
+//! * the whole executor replays bit-identically: same policy, same salt,
+//!   same fault script → same result, same report.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use quepa_pdm::DatabaseName;
+use quepa_polystore::retry::{run_round_trip, RetryPolicy, RoundTripReport};
+use quepa_polystore::PolyError;
+
+fn db() -> DatabaseName {
+    DatabaseName::new("db").unwrap()
+}
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..=6, 0u64..200, 0u64..400, 0u32..=100).prop_map(|(attempts, base, max, jitter)| {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::from_nanos(base),
+            max_backoff: Duration::from_nanos(max),
+            jitter_pct: jitter,
+            deadline: None,
+        }
+        .sanitized()
+    })
+}
+
+/// Drives the executor over a scripted fault prefix: the first
+/// `failures` calls fail with a retryable error, then calls succeed.
+/// Returns the outcome, the report, and how many calls were made.
+fn drive(policy: &RetryPolicy, salt: u64, failures: u32) -> (bool, RoundTripReport, u32) {
+    let mut calls = 0u32;
+    let (result, report) = run_round_trip(policy, None, &db(), salt, || {
+        calls += 1;
+        if calls <= failures {
+            Err(PolyError::store("db", "scripted fault"))
+        } else {
+            Ok(calls)
+        }
+    });
+    (result.is_ok(), report, calls)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Attempts are bounded by the policy, and a fault-free round trip
+    /// makes exactly one call with no retries and no pauses.
+    #[test]
+    fn attempts_are_bounded(policy in arb_policy(), salt in any::<u64>(), failures in 0u32..10) {
+        let (ok, report, calls) = drive(&policy, salt, failures);
+        prop_assert!(calls <= policy.max_attempts);
+        prop_assert_eq!(report.attempts, calls);
+        prop_assert_eq!(report.retries, calls.saturating_sub(1) as u64);
+        if failures == 0 {
+            prop_assert!(ok);
+            prop_assert_eq!(calls, 1, "a fault-free call must not spend a single retry");
+            prop_assert_eq!(report, RoundTripReport { attempts: 1, ..Default::default() });
+        } else if failures < policy.max_attempts {
+            prop_assert!(ok, "enough attempts must ride out {} failures", failures);
+            prop_assert_eq!(calls, failures + 1);
+        } else {
+            prop_assert!(!ok, "exhausted retries must fail");
+            prop_assert_eq!(calls, policy.max_attempts);
+        }
+    }
+
+    /// The pause before each retry matches the closed form and is stable
+    /// across evaluations (deterministic jitter).
+    #[test]
+    fn backoff_matches_closed_form(policy in arb_policy(), salt in any::<u64>(), i in 0u32..40) {
+        let cap = policy.max_backoff.max(policy.base_backoff);
+        let raw = policy.base_backoff.saturating_mul(1u32 << i.min(16)).min(cap);
+        let pause = policy.backoff(i, salt);
+        prop_assert_eq!(pause, policy.backoff(i, salt), "same (policy, salt, i), same pause");
+        prop_assert!(pause <= raw, "jitter only subtracts: {:?} > {:?}", pause, raw);
+        // Subtract at most jitter_pct percent (integer floor keeps this exact).
+        let floor = raw.as_nanos() - raw.as_nanos() * policy.jitter_pct as u128 / 100;
+        prop_assert!(
+            pause.as_nanos() >= floor,
+            "jitter exceeded {}%: {:?} < {} ns",
+            policy.jitter_pct, pause, floor
+        );
+        if policy.jitter_pct == 0 {
+            prop_assert_eq!(pause, raw, "no jitter means the exact closed form");
+        }
+    }
+
+    /// The executor as a whole is a pure function of (policy, salt, fault
+    /// script): replaying yields the identical result and report.
+    #[test]
+    fn executor_replays_identically(
+        policy in arb_policy(),
+        salt in any::<u64>(),
+        failures in 0u32..10,
+    ) {
+        let first = drive(&policy, salt, failures);
+        let second = drive(&policy, salt, failures);
+        prop_assert_eq!(first, second);
+    }
+}

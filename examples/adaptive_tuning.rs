@@ -31,6 +31,7 @@ fn main() {
                     batch_size: batch,
                     threads_size: 4,
                     cache_size: 4096,
+                    ..QuepaConfig::default()
                 });
                 quepa.drop_caches();
                 let q = query_for(StoreKind::Relational, size);

@@ -124,6 +124,7 @@ impl<'q> CommandProcessor<'q> {
                     batch_size,
                     threads_size,
                     cache_size,
+                    resilience: self.quepa.config().resilience,
                 });
                 format!("configured: {}\n", self.quepa.config())
             }

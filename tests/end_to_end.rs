@@ -42,6 +42,7 @@ fn augmenters_agree_on_generated_workload() {
             batch_size: 7, // deliberately awkward batch boundary
             threads_size: 3,
             cache_size: 0,
+            ..QuepaConfig::default()
         });
         let answer =
             quepa.augmented_search("catalogue", &query_for(StoreKind::Document, 25), 1).unwrap();
