@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use quepa_bench::{fmt_duration, header, row, Lab};
+use quepa_bench::{fmt_duration, header, row, say, Lab};
 use quepa_core::{
     AdaptiveOptimizer, AugmenterKind, HumanOptimizer, Optimizer, QuepaConfig, RandomOptimizer,
 };
@@ -43,9 +43,19 @@ fn main() {
             }
         }
     }
-    println!("# QUEPA experiment harness — scale: {albums} album entities");
-    println!("# (the paper's polystore is ~1000x larger; latencies are scaled 1000x down,");
-    println!("#  so relative comparisons — who wins, crossovers — are the meaningful output)");
+    // Every say! line below is tee'd into the (git-ignored) figures
+    // directory, so a full run leaves its artifact without shell
+    // redirection and partial runs never clobber a checked-in file.
+    let out = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join("figures/figures_output.txt");
+    if let Err(e) = quepa_bench::output::tee_to(&out) {
+        eprintln!("cannot open {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    eprintln!("(output tee'd to {})", out.display());
+    say!("# QUEPA experiment harness — scale: {albums} album entities");
+    say!("# (the paper's polystore is ~1000x larger; latencies are scaled 1000x down,");
+    say!("#  so relative comparisons — who wins, crossovers — are the meaningful output)");
 
     let run_all = fig == "all";
     if run_all || fig == "9" {
@@ -75,7 +85,7 @@ fn main() {
     if run_all || fig == "cache" {
         fig_cache(albums.min(4_000));
     }
-    println!("\n# done");
+    say!("\n# done");
 }
 
 /// Average of the timed query over the relational and document targets
@@ -96,7 +106,7 @@ fn avg_run(lab: &Lab, size: usize, level: usize, config: QuepaConfig, cold: bool
 fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
     let size = albums.min(10_000);
     if size != 10_000 {
-        println!("\n# {label}: query size reduced to {size} (scale substitution)");
+        say!("\n# {label}: query size reduced to {size} (scale substitution)");
     }
     let lab = Lab::new(albums, 2, deployment);
     for (panel, cold, level) in [("(a) cold, level 0", true, 0), ("(b) warm, level 1", false, 1)] {
@@ -115,7 +125,7 @@ fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
             let ob_cfg = QuepaConfig { augmenter: AugmenterKind::OuterBatch, ..batch_cfg };
             let t_batch = avg_run(&lab, size, level, batch_cfg, cold);
             let t_ob = avg_run(&lab, size, level, ob_cfg, cold);
-            println!("{}", row(&[batch.to_string(), fmt_duration(t_batch), fmt_duration(t_ob)]));
+            say!("{}", row(&[batch.to_string(), fmt_duration(t_batch), fmt_duration(t_ob)]));
         }
     }
 }
@@ -125,7 +135,7 @@ fn fig9_batching(albums: usize, deployment: Deployment, label: &str) {
 fn fig10cd_batch_scalability(albums: usize) {
     let lab = Lab::new(albums, 2, Deployment::Distributed);
     const SEQ_CAP: usize = 1_000;
-    println!(
+    say!(
         "\n# Fig. 10(c,d): SEQUENTIAL is only run up to {SEQ_CAP}-result queries \
          (it needs one round trip per object; larger points would take minutes \
          and add no information)"
@@ -163,10 +173,7 @@ fn fig10cd_batch_scalability(albums: usize) {
                 QuepaConfig { augmenter: AugmenterKind::OuterBatch, ..base },
                 cold,
             );
-            println!(
-                "{}",
-                row(&[size.to_string(), t_seq, fmt_duration(t_batch), fmt_duration(t_ob)])
-            );
+            say!("{}", row(&[size.to_string(), t_seq, fmt_duration(t_batch), fmt_duration(t_ob)]));
         }
     }
 }
@@ -198,7 +205,7 @@ fn fig11ab_threads(albums: usize) {
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
-            println!("{}", row(&cells));
+            say!("{}", row(&cells));
         }
     }
 }
@@ -225,7 +232,7 @@ fn fig11cf_scalability(albums: usize) {
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
-            println!("{}", row(&cells));
+            say!("{}", row(&cells));
         }
     }
 
@@ -247,7 +254,7 @@ fn fig11cf_scalability(albums: usize) {
                 };
                 cells.push(fmt_duration(avg_run(&lab, size, level, cfg, cold)));
             }
-            println!("{}", row(&cells));
+            say!("{}", row(&cells));
         }
     }
 }
@@ -256,9 +263,9 @@ fn fig11cf_scalability(albums: usize) {
 /// 25 hold-out queries × 4 polystore variants × levels {0, 1}.
 fn fig12_optimizer_quality() {
     const FIG12_ALBUMS: usize = 600; // hold-out sizes go up to 595
-    println!("\n# Fig. 12: training on the standard grid, then 25 hold-out queries");
-    println!("# per polystore variant; for each run HUMAN and RANDOM execute their");
-    println!("# configuration under all 6 augmenters, ADAPTIVE gets a single run.");
+    say!("\n# Fig. 12: training on the standard grid, then 25 hold-out queries");
+    say!("# per polystore variant; for each run HUMAN and RANDOM execute their");
+    say!("# configuration under all 6 augmenters, ADAPTIVE gets a single run.");
 
     let mut best_counts: HashMap<&'static str, usize> = HashMap::new();
     // top-1 / top-2 / top-3 / top-5 membership of the ADAPTIVE run.
@@ -344,14 +351,14 @@ fn fig12_optimizer_quality() {
 
     header("Fig. 12(a) — times each optimizer is the best", &["OPTIMIZER", "WINS"]);
     for name in ["ADAPTIVE", "HUMAN", "RANDOM"] {
-        println!(
+        say!(
             "{}",
             row(&[name.to_string(), best_counts.get(name).copied().unwrap_or(0).to_string()])
         );
     }
     header("Fig. 12(b) — ADAPTIVE run rank among the 13 runs", &["TOP-K", "RUNS", "SHARE"]);
     for (slot, k) in [1usize, 2, 3, 5].iter().enumerate() {
-        println!(
+        say!(
             "{}",
             row(&[
                 format!("top-{k}"),
@@ -403,7 +410,7 @@ fn fig13ab_middleware_sizes(albums: usize) {
                     Err(e) => cells.push(format!("({e:.0?})")),
                 }
             }
-            println!("{}", row(&cells));
+            say!("{}", row(&cells));
         }
     }
 }
@@ -450,7 +457,7 @@ fn fig13cd_middleware_stores(albums: usize) {
                     Err(e) => cells.push(format!("({e:.0?})")),
                 }
             }
-            println!("{}", row(&cells));
+            say!("{}", row(&cells));
         }
     }
 }
@@ -486,7 +493,7 @@ fn fig_cache(albums: usize) {
             let answer = lab.quepa.augmented_search("transactions", &q, 1).unwrap();
             let (hits, misses) = lab.quepa.cache().stats();
             let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
-            println!(
+            say!(
                 "{}",
                 row(&[
                     cache.to_string(),

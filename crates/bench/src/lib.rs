@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -87,6 +89,46 @@ impl Lab {
     }
 }
 
+/// Output plumbing for the experiment binaries: [`say!`] prints a line
+/// to stdout and, once [`output::tee_to`] has installed a sink file,
+/// appends the same line there. The figures run used to be captured by
+/// shell redirection and checked in; now the binary owns its artifact
+/// (an ignored `figures/` directory) and the terminal stays live.
+pub mod output {
+    use std::fs::File;
+    use std::io::Write as _;
+    use std::path::Path;
+    use std::sync::{Mutex, OnceLock};
+
+    static SINK: OnceLock<Mutex<File>> = OnceLock::new();
+
+    /// Installs `path` as the tee sink (parent directories are created).
+    /// Only the first installation in a process takes effect.
+    pub fn tee_to(path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = File::create(path)?;
+        let _ = SINK.set(Mutex::new(file));
+        Ok(())
+    }
+
+    /// Prints one line to stdout and to the sink, if installed.
+    pub fn emit(line: std::fmt::Arguments<'_>) {
+        println!("{line}");
+        if let Some(sink) = SINK.get() {
+            let _ = writeln!(sink.lock().expect("tee sink"), "{line}");
+        }
+    }
+}
+
+/// `println!` that also lands in the tee sink (see [`output`]).
+#[macro_export]
+macro_rules! say {
+    () => { $crate::output::emit(format_args!("")) };
+    ($($t:tt)*) => { $crate::output::emit(format_args!($($t)*)) };
+}
+
 /// Renders a duration in the unit the paper's axes use (seconds with
 /// millisecond precision).
 pub fn fmt_duration(d: Duration) -> String {
@@ -100,10 +142,10 @@ pub fn row(cells: &[String]) -> String {
 
 /// Prints a table header followed by its underline.
 pub fn header(title: &str, cells: &[&str]) {
-    println!("\n## {title}");
+    say!("\n## {title}");
     let line = row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("{line}");
-    println!("{}", "-".repeat(line.len()));
+    say!("{line}");
+    say!("{}", "-".repeat(line.len()));
 }
 
 #[cfg(test)]

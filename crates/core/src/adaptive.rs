@@ -179,6 +179,7 @@ impl Optimizer for AdaptiveOptimizer {
             threads_size,
             cache_size,
             resilience: current.resilience,
+            observability: current.observability,
         }
     }
 
@@ -221,6 +222,7 @@ impl Optimizer for HumanOptimizer {
             threads_size: self.cores.clamp(2, 16),
             cache_size: current.cache_size,
             resilience: current.resilience,
+            observability: current.observability,
         }
     }
 
@@ -257,6 +259,7 @@ impl Optimizer for RandomOptimizer {
                 CACHES[rng.gen_range(0..CACHES.len())]
             },
             resilience: current.resilience,
+            observability: current.observability,
         }
     }
 

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use quepa_aindex::{AIndex, AugmentedKey};
+use quepa_obs::{MetricsRegistry, Stage};
 use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
 use quepa_polystore::retry::{BreakerSet, CircuitBreaker};
 use quepa_polystore::{PolyError, Polystore};
@@ -157,18 +158,21 @@ pub fn run_planned(
     config: &QuepaConfig,
 ) -> Result<AugmentationOutcome> {
     let breakers = BreakerSet::new(config.resilience.breaker);
-    run_planned_with(polystore, cache, plan, config, &breakers)
+    run_planned_with(polystore, cache, plan, config, &breakers, None)
 }
 
 /// Executes a previously computed [`AugmentPlan`] with an externally
 /// owned [`BreakerSet`], so breaker state (closed → open → half-open)
-/// persists across augmentation runs.
+/// persists across augmentation runs, and an optional metrics registry:
+/// when one is passed (and enabled), every worker thread reports its
+/// round trips, cache probes and retries under the observation stages.
 pub fn run_planned_with(
     polystore: &Polystore,
     cache: &ObjectCache,
     plan: &AugmentPlan,
     config: &QuepaConfig,
     breakers: &BreakerSet,
+    obs: Option<&Arc<MetricsRegistry>>,
 ) -> Result<AugmentationOutcome> {
     let config = config.sanitized();
 
@@ -184,7 +188,10 @@ pub fn run_planned_with(
         });
     }
 
-    let engine = Engine { polystore, cache, resilience: config.resilience, breakers };
+    let engine = Engine { polystore, cache, resilience: config.resilience, breakers, obs };
+    // The calling thread fetches too (sequential/batch run here, and
+    // outer-batch fills groups here): observe it like any worker.
+    let _ctx = engine.observe_fetch();
     let sink = match config.augmenter {
         AugmenterKind::Sequential => engine.sequential(&owned)?,
         AugmenterKind::Batch => engine.batch(&owned, config.batch_size)?,
@@ -201,10 +208,16 @@ pub fn run_planned_with(
         missing: sink.missing,
         cache_hits: sink.cache_hits,
     };
-    outcome.objects.sort_by(|a, b| {
-        b.probability.cmp(&a.probability).then_with(|| a.object.key().cmp(b.object.key()))
-    });
-    outcome.missing.sort();
+    {
+        let mut span = obs.map(|r| quepa_obs::span_on(r, Stage::Merge, config.augmenter.name()));
+        if let Some(s) = span.as_mut() {
+            s.add_items(outcome.objects.len() as u64);
+        }
+        outcome.objects.sort_by(|a, b| {
+            b.probability.cmp(&a.probability).then_with(|| a.object.key().cmp(b.object.key()))
+        });
+        outcome.missing.sort();
+    }
     Ok(outcome)
 }
 
@@ -237,6 +250,7 @@ struct Engine<'a> {
     cache: &'a ObjectCache,
     resilience: ResilienceConfig,
     breakers: &'a BreakerSet,
+    obs: Option<&'a Arc<MetricsRegistry>>,
 }
 
 /// Maps a fetch error to the structured reason it would leave in the
@@ -260,6 +274,14 @@ fn unreachable_reason(error: &PolyError) -> Option<MissingReason> {
 }
 
 impl Engine<'_> {
+    /// Installs the Fetch-stage observation context on the current
+    /// thread; every worker calls this so its round trips, cache probes
+    /// and retries report to the engine's registry. `None` (and disabled
+    /// registries) cost nothing.
+    fn observe_fetch(&self) -> Option<quepa_obs::ContextGuard> {
+        self.obs.map(|r| quepa_obs::observe(r, Stage::Fetch))
+    }
+
     /// The breaker guarding `database`, when breakers are enabled.
     fn breaker(&self, database: &DatabaseName) -> Option<Arc<CircuitBreaker>> {
         if self.resilience.breaker.is_disabled() {
@@ -283,7 +305,9 @@ impl Engine<'_> {
 
     /// Fetches one task into `sink`: cache, then a direct-access query.
     fn fetch_one(&self, task: &Task, sink: &mut Sink) -> Result<()> {
-        if let Some(object) = self.cache.get(&task.key) {
+        let cached = self.cache.get(&task.key);
+        quepa_obs::record_cache_probe(cached.is_some());
+        if let Some(object) = cached {
             sink.cache_hits += 1;
             sink.objects.push(AugmentedObject {
                 object,
@@ -329,7 +353,9 @@ impl Engine<'_> {
         debug_assert!(!group.is_empty());
         let mut to_fetch: Vec<&Task> = Vec::with_capacity(group.len());
         for task in group {
-            match self.cache.get(&task.key) {
+            let cached = self.cache.get(&task.key);
+            quepa_obs::record_cache_probe(cached.is_some());
+            match cached {
                 Some(object) => {
                     sink.cache_hits += 1;
                     sink.objects.push(AugmentedObject {
@@ -454,6 +480,7 @@ impl Engine<'_> {
             let handles: Vec<_> = (0..threads.min(owned.len().max(1)))
                 .map(|_| {
                     scope.spawn(|_| {
+                        let _ctx = self.observe_fetch();
                         let mut local = Sink::default();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -487,6 +514,7 @@ impl Engine<'_> {
                 .map(|_| {
                     let rx = rx.clone();
                     scope.spawn(move |_| {
+                        let _ctx = self.observe_fetch();
                         let mut local = Sink::default();
                         while let Ok(group) = rx.recv() {
                             self.fetch_group(&group, &mut local)?;
@@ -534,6 +562,7 @@ impl Engine<'_> {
             let handles: Vec<_> = (0..outer_threads.min(owned.len().max(1)))
                 .map(|_| {
                     scope.spawn(|_| {
+                        let _ctx = self.observe_fetch();
                         let mut local = Sink::default();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -574,6 +603,7 @@ impl Engine<'_> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|_| {
+                        let _ctx = self.observe_fetch();
                         let mut local = Sink::default();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);

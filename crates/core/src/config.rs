@@ -146,6 +146,11 @@ pub struct QuepaConfig {
     pub cache_size: usize,
     /// Retry, circuit-breaker and degradation policy.
     pub resilience: ResilienceConfig,
+    /// Whether the observability layer records (stage-scoped spans,
+    /// per-store/per-stage latency histograms). Off by default: the
+    /// disabled path must stay within noise of the un-instrumented
+    /// hot path (pinned by the `metrics_overhead` bench).
+    pub observability: bool,
 }
 
 impl Default for QuepaConfig {
@@ -156,6 +161,7 @@ impl Default for QuepaConfig {
             threads_size: 4,
             cache_size: 4096,
             resilience: ResilienceConfig::default(),
+            observability: false,
         }
     }
 }
@@ -199,6 +205,9 @@ impl fmt::Display for QuepaConfig {
                 f.write_str(", partial")?;
             }
         }
+        if self.observability {
+            f.write_str(", obs")?;
+        }
         f.write_str(")")
     }
 }
@@ -235,6 +244,7 @@ mod tests {
             threads_size: 0,
             cache_size: 0,
             resilience: ResilienceConfig::default(),
+            observability: false,
         }
         .sanitized();
         assert_eq!(c.batch_size, 1);
@@ -270,6 +280,14 @@ mod tests {
         assert!(s.contains("attempts=4"), "{s}");
         assert!(s.contains("breaker=5"), "{s}");
         assert!(s.contains("partial"), "{s}");
+    }
+
+    #[test]
+    fn display_flags_observability() {
+        let c = QuepaConfig::default();
+        assert!(!c.to_string().contains("obs"), "disabled observability stays silent: {c}");
+        let c = QuepaConfig { observability: true, ..QuepaConfig::default() };
+        assert!(c.to_string().ends_with(", obs)"), "{c}");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 pub use error::{QuepaError, Result};
 pub use explore::ExplorationSession;
 pub use logs::{QueryFeatures, RunLog};
+pub use quepa_obs::{MetricsRegistry, MetricsSnapshot};
 pub use search::{AugmentedAnswer, ProbabilityBand};
 pub use system::Quepa;
 pub use validator::Validator;

@@ -7,10 +7,12 @@
 //! polystore is shared, so several instances can answer queries in
 //! parallel, each with its own A' index replica and cache.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use quepa_aindex::{AIndex, PathRepository};
+use quepa_obs::{MetricsRegistry, MetricsSnapshot, Stage};
 use quepa_pdm::{DataObject, DatabaseName};
 use quepa_polystore::retry::{BreakerSet, BreakerState};
 use quepa_polystore::Polystore;
@@ -36,6 +38,7 @@ pub struct Quepa {
     logs: Mutex<Vec<RunLog>>,
     optimizer: Mutex<Option<Box<dyn Optimizer>>>,
     breakers: BreakerSet,
+    obs: Arc<MetricsRegistry>,
 }
 
 impl Quepa {
@@ -47,6 +50,8 @@ impl Quepa {
 
     /// Assembles a system with an explicit configuration.
     pub fn with_config(polystore: Polystore, index: AIndex, config: QuepaConfig) -> Self {
+        let obs = Arc::new(MetricsRegistry::new());
+        obs.set_enabled(config.observability);
         Quepa {
             polystore,
             index: RwLock::new(index),
@@ -57,6 +62,7 @@ impl Quepa {
             logs: Mutex::new(Vec::new()),
             optimizer: Mutex::new(None),
             breakers: BreakerSet::new(config.resilience.breaker),
+            obs,
         }
     }
 
@@ -99,7 +105,32 @@ impl Quepa {
         if rebuild {
             self.breakers.reconfigure(config.resilience.breaker);
         }
+        self.obs.set_enabled(config.observability);
         *self.config.lock() = config;
+    }
+
+    /// The instance's metrics registry (live recorders and trace ring).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// The one metrics surface: a deterministic snapshot of the
+    /// observability registry with the resilience counters (retries /
+    /// timeouts / breaker trips) of every store folded in from the
+    /// connector statistics. Empty unless `observability` is (or was)
+    /// enabled — the resilience counters fold in regardless, since the
+    /// connectors record them independently of this layer.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.obs.snapshot();
+        for (database, stats) in self.polystore.stats_by_database() {
+            snapshot.fold_resilience(
+                database.as_str(),
+                stats.retries,
+                stats.timeouts,
+                stats.breaker_trips,
+            );
+        }
+        snapshot
     }
 
     /// The circuit-breaker state guarding one store (breaker health is
@@ -155,9 +186,12 @@ impl Quepa {
         // the per-seed work partition, and the index lock is released
         // before any store round trip.
         let plan = {
+            let mut span = quepa_obs::span_on(&self.obs, Stage::Plan, "traversal");
             let index = self.index.read();
             let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
-            augmenter::plan(&index, &keys, level)
+            let plan = augmenter::plan(&index, &keys, level);
+            span.add_items(plan.augmented.len() as u64);
+            plan
         };
         // Decide the configuration: ask the optimizer if one is installed.
         let features = QueryFeatures {
@@ -189,6 +223,7 @@ impl Quepa {
             &plan,
             &config,
             &self.breakers,
+            Some(&self.obs),
         )?;
 
         // Lazy deletion (§III-C): objects that vanished from the polystore

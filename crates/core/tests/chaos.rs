@@ -102,6 +102,7 @@ fn config_for(kind: AugmenterKind, resilience: ResilienceConfig) -> QuepaConfig 
         threads_size: 4,
         cache_size: 0, // cold: every key exercises the faulted links
         resilience,
+        observability: false,
     }
 }
 

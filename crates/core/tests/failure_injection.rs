@@ -271,6 +271,7 @@ fn poisoned_object_does_not_poison_its_batch() {
                 degrade: DegradeMode::Partial,
                 ..ResilienceConfig::default()
             },
+            observability: false,
         });
         let answer = quepa.augmented_search("db0", "SCAN k COUNT 20", 0).unwrap();
         assert_eq!(answer.augmented.len(), 19, "{aug}: every healthy batch-mate must arrive");

@@ -1,0 +1,245 @@
+//! Deterministic fixed-bucket (log2) latency histograms.
+//!
+//! Buckets are powers of two over nanoseconds, fixed at compile time, so
+//! every recorder agrees on the boundaries and two histograms merge by
+//! element-wise addition — associative and commutative like
+//! `StatsSnapshot::merge`, which is what lets per-thread and per-store
+//! histograms collapse into one system view in any order.
+//!
+//! Determinism contract: histograms are only ever fed **simulated**
+//! durations (the closed-form link costs of `quepa_polystore::net`, the
+//! closed-form retry backoff of `quepa_polystore::retry`), never wall
+//! time. Same seed + same configuration ⇒ bit-identical snapshots,
+//! whatever the thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for exactly-zero plus one per power of two of
+/// a `u64` nanosecond count.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a duration of `nanos` nanoseconds falls into.
+///
+/// * bucket 0 holds exactly-zero durations;
+/// * bucket `i` (1 ≤ i ≤ 64) holds `[2^(i-1), 2^i − 1]` ns;
+/// * `u64::MAX` (and anything ≥ 2^63) saturates into bucket 64.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        64 - nanos.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `index`, in nanoseconds.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Saturating nanosecond count of a duration (sub-584-year spans fit).
+fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A thread-safe log2 latency histogram (atomic counters, no locks).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let nanos = saturating_nanos(d);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // The sum saturates rather than wrapping so merge stays monotone.
+        self.sum_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(nanos)))
+            .ok();
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of all observed nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKET_COUNT], count: 0, sum_nanos: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Element-wise sum — associative and commutative, so shards merge in
+    /// any order and grouping.
+    pub fn merge(mut self, other: HistogramSnapshot) -> HistogramSnapshot {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets) {
+            *b = b.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self
+    }
+
+    /// `(bucket index, count)` pairs for the non-empty buckets, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// Upper bound (inclusive, nanoseconds) of the smallest bucket whose
+    /// cumulative count reaches `q` (0.0–1.0) of all observations —
+    /// a conservative quantile for human-readable summaries.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0, "zero has its own bucket");
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 20) - 1), 20);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index(u64::MAX), 64, "u64::MAX saturates into the last bucket");
+        assert_eq!(bucket_index(1 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_index() {
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper bound of {i} is in {i}");
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(3));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_nanos, 4);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.nonzero().collect::<Vec<_>>(), vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn huge_durations_saturate() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        h.record(Duration::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[64], 2);
+        assert_eq!(s.sum_nanos, u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(5));
+        let a = h.snapshot();
+        let merged = a.clone().merge(a.clone());
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum_nanos, 10);
+        assert_eq!(merged.buckets[bucket_index(5)], 2);
+        assert_eq!(a.clone().merge(HistogramSnapshot::default()), a, "zero is the identity");
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn quantiles_are_conservative() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_micros(100));
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), Some(bucket_upper_bound(bucket_index(100))));
+        assert_eq!(s.quantile_upper_bound(1.0), Some(bucket_upper_bound(bucket_index(100_000))));
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), None);
+    }
+}

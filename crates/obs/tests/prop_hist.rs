@@ -1,0 +1,75 @@
+//! Property tests for the histogram algebra: merge must be associative
+//! and commutative (the contract that lets shard- and store-level
+//! snapshots collapse into one system view in any order), and bucketing
+//! must respect its documented boundaries.
+
+use proptest::prelude::*;
+use quepa_obs::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram};
+use std::time::Duration;
+
+/// Builds a snapshot from a batch of raw nanosecond observations.
+fn snapshot_of(observations: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &n in observations {
+        h.record(Duration::from_nanos(n));
+    }
+    h.snapshot()
+}
+
+/// Nanosecond values spread across the whole log2 range: small counts,
+/// mid-range latencies and near-saturation values all get coverage.
+fn nanos_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), 1u64..16, (0u32..64).prop_map(|shift| 1u64 << shift), any::<u64>(),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(xs in prop::collection::vec(nanos_strategy(), 0..50),
+                            ys in prop::collection::vec(nanos_strategy(), 0..50)) {
+        let (a, b) = (snapshot_of(&xs), snapshot_of(&ys));
+        prop_assert_eq!(a.clone().merge(b.clone()), b.merge(a));
+    }
+
+    #[test]
+    fn merge_is_associative(xs in prop::collection::vec(nanos_strategy(), 0..30),
+                            ys in prop::collection::vec(nanos_strategy(), 0..30),
+                            zs in prop::collection::vec(nanos_strategy(), 0..30)) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+        prop_assert_eq!(
+            a.clone().merge(b.clone()).merge(c.clone()),
+            a.merge(b.merge(c))
+        );
+    }
+
+    #[test]
+    fn merge_of_split_equals_whole(xs in prop::collection::vec(nanos_strategy(), 0..60),
+                                   split in 0usize..61) {
+        // Recording a batch in two shards and merging must equal
+        // recording it in one histogram — the property the sharded
+        // augmenter workers rely on.
+        let split = split.min(xs.len());
+        let (left, right) = xs.split_at(split);
+        prop_assert_eq!(
+            snapshot_of(left).merge(snapshot_of(right)),
+            snapshot_of(&xs)
+        );
+    }
+
+    #[test]
+    fn empty_is_identity(xs in prop::collection::vec(nanos_strategy(), 0..40)) {
+        let a = snapshot_of(&xs);
+        prop_assert_eq!(a.clone().merge(HistogramSnapshot::default()), a.clone());
+        prop_assert_eq!(HistogramSnapshot::default().merge(a.clone()), a);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_values(n in nanos_strategy()) {
+        let i = bucket_index(n);
+        prop_assert!(n <= bucket_upper_bound(i), "{n} over its bucket's upper bound");
+        if i > 0 {
+            prop_assert!(n > bucket_upper_bound(i - 1), "{n} fits the previous bucket too");
+        }
+    }
+}

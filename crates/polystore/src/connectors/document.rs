@@ -82,8 +82,10 @@ impl Connector for DocumentConnector {
             docs.into_iter().map(|d| self.object_from_doc(&coll, d)).collect::<Result<_>>()?
         };
         let bytes = payload_bytes(&objects);
+        let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
-        self.stats.record(true, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        self.stats.record(true, objects.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(objects)
     }
 
@@ -93,8 +95,10 @@ impl Connector for DocumentConnector {
             .write()
             .query(statement)
             .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let cost = self.latency.cost(0, 0);
         self.latency.pay(0, 0);
-        self.stats.record(true, 0, 0, self.latency.cost(0, 0));
+        self.stats.record(true, 0, 0, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(docs.first().and_then(|d| d.get("removed")).and_then(Value::as_int).unwrap_or(0)
             as usize)
     }
@@ -106,8 +110,10 @@ impl Connector for DocumentConnector {
             Some(d) => Some(self.object_from_doc(collection, d)?),
         };
         let (n, bytes) = object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
+        let cost = self.latency.cost(n, bytes);
         self.latency.pay(n, bytes);
-        self.stats.record(false, n, bytes, self.latency.cost(n, bytes));
+        self.stats.record(false, n, bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(object)
     }
 
@@ -118,8 +124,10 @@ impl Connector for DocumentConnector {
             docs.into_iter().map(|(_, d)| self.object_from_doc(collection, d)).collect();
         let objects = objects?;
         let bytes = payload_bytes(&objects);
+        let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
-        self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        self.stats.record(false, objects.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(objects)
     }
 

@@ -48,8 +48,10 @@ impl KvConnector {
 
     fn charge(&self, is_query: bool, objects: &[DataObject]) {
         let bytes = payload_bytes(objects);
+        let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
-        self.stats.record(is_query, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        self.stats.record(is_query, objects.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
     }
 }
 

@@ -106,8 +106,10 @@ impl Connector for RelationalConnector {
                 .collect::<Result<_>>()?
         };
         let bytes = payload_bytes(&objects);
+        let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
-        self.stats.record(true, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        self.stats.record(true, objects.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(objects)
     }
 
@@ -117,8 +119,10 @@ impl Connector for RelationalConnector {
             .write()
             .execute(statement)
             .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let cost = self.latency.cost(0, 0);
         self.latency.pay(0, 0);
-        self.stats.record(true, 0, 0, self.latency.cost(0, 0));
+        self.stats.record(true, 0, 0, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(rows.first().and_then(|r| r.get("affected")).and_then(Value::as_int).unwrap_or(0)
             as usize)
     }
@@ -143,8 +147,10 @@ impl Connector for RelationalConnector {
             }
         };
         let (n, bytes) = object.as_ref().map_or((0, 0), |o| (1, o.approx_size()));
+        let cost = self.latency.cost(n, bytes);
         self.latency.pay(n, bytes);
-        self.stats.record(false, n, bytes, self.latency.cost(n, bytes));
+        self.stats.record(false, n, bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(object)
     }
 
@@ -166,8 +172,10 @@ impl Connector for RelationalConnector {
             .collect();
         let objects = objects?;
         let bytes = payload_bytes(&objects);
+        let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
-        self.stats.record(false, objects.len(), bytes, self.latency.cost(objects.len(), bytes));
+        self.stats.record(false, objects.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(objects)
     }
 

@@ -230,20 +230,28 @@ impl FaultyConnector {
             }
             FaultDecision::Spike(extra) => {
                 self.attempts.lock().remove(&identity);
+                quepa_obs::record_fault(database);
+                quepa_obs::record_link_event(database, self.latency.cost(0, 0) + extra);
                 self.latency.pay_extra(extra);
                 Ok(())
             }
             FaultDecision::Transient => {
                 *self.attempts.lock().entry(identity).or_insert(0) += 1;
+                quepa_obs::record_fault(database);
+                quepa_obs::record_link_event(database, self.latency.cost(0, 0));
                 self.latency.pay(0, 0);
                 Err(PolyError::store(database, "injected transient fault"))
             }
             FaultDecision::Timeout => {
                 *self.attempts.lock().entry(identity).or_insert(0) += 1;
+                quepa_obs::record_fault(database);
+                quepa_obs::record_link_event(database, self.latency.cost(0, 0) + self.plan.spike);
                 self.latency.pay_extra(self.plan.spike);
                 Err(PolyError::Timeout { database: database.to_string() })
             }
             FaultDecision::Down => {
+                quepa_obs::record_fault(database);
+                quepa_obs::record_link_event(database, self.latency.cost(0, 0));
                 self.latency.pay(0, 0);
                 Err(PolyError::Unavailable { database: database.to_string() })
             }

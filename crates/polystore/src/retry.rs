@@ -404,6 +404,7 @@ pub fn run_round_trip<T>(
     let mut report = RoundTripReport::default();
     if let Some(b) = breaker {
         if b.admit() == Admission::Rejected {
+            quepa_obs::record_breaker_rejection(database.as_str());
             let err = PolyError::Unreachable {
                 database: database.to_string(),
                 attempts: 0,
@@ -415,13 +416,20 @@ pub fn run_round_trip<T>(
     let max_attempts = policy.max_attempts.max(1);
     let mut last: Option<PolyError> = None;
     for attempt in 0..max_attempts {
-        if attempt > 0 {
+        // Re-attempts report under the Retry stage (the guard restores the
+        // caller's stage when the attempt ends), so a chaos run's metrics
+        // show where resilience spent its budget.
+        let _retry_stage = if attempt > 0 {
             report.retries += 1;
             let pause = policy.backoff(attempt - 1, salt);
+            quepa_obs::record_backoff(database.as_str(), pause);
             if !pause.is_zero() {
                 std::thread::sleep(pause);
             }
-        }
+            Some(quepa_obs::enter_stage(quepa_obs::Stage::Retry))
+        } else {
+            None
+        };
         report.attempts += 1;
         let started = Instant::now();
         let mut result = call();

@@ -1,8 +1,12 @@
 //! Interactive QUEPA shell over a generated Polyphony polystore.
 //!
 //! ```sh
-//! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13]
+//! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13] [--metrics]
 //! ```
+//!
+//! `--metrics` enables the observability layer for the session and prints
+//! a Prometheus-text metrics dump on exit (also available interactively
+//! via the `METRICS [JSON]` command).
 
 use std::io::{BufRead, Write};
 
@@ -14,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut albums = 1_000usize;
     let mut stores = 4usize;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,6 +29,10 @@ fn main() {
             "--stores" => {
                 stores = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(stores);
                 i += 2;
+            }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -43,6 +52,11 @@ fn main() {
         seed: 42,
     });
     let quepa = built.into_quepa();
+    if metrics {
+        let mut config = quepa.config();
+        config.observability = true;
+        quepa.set_config(config);
+    }
     let mut processor = CommandProcessor::new(&quepa);
 
     println!("QUEPA shell — type HELP for commands, Ctrl-D to quit.");
@@ -60,6 +74,9 @@ fn main() {
                 break;
             }
         }
+    }
+    if metrics {
+        print!("{}", quepa::obs::prometheus_text(&quepa.metrics_snapshot()));
     }
     println!("bye.");
 }

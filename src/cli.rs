@@ -55,6 +55,7 @@ impl<'q> CommandProcessor<'q> {
             "HELP" => HELP.to_owned(),
             "STORES" => self.stores(),
             "STATS" => self.stats(),
+            "METRICS" => self.metrics(rest),
             "INDEX" => self.index_info(),
             "CONFIG" => self.config(rest),
             "SEARCH" => self.search(rest),
@@ -102,13 +103,42 @@ impl<'q> CommandProcessor<'q> {
         format!("{:?}\n", self.quepa.index().stats())
     }
 
+    fn metrics(&self, rest: &str) -> String {
+        let snapshot = self.quepa.metrics_snapshot();
+        match rest.to_ascii_uppercase().as_str() {
+            "" | "PROM" | "PROMETHEUS" => {
+                let mut out = crate::obs::prometheus_text(&snapshot);
+                if !self.quepa.config().observability {
+                    out.push_str("# observability is off; CONFIG OBS ON to record stages\n");
+                }
+                out
+            }
+            "JSON" => {
+                let mut out = crate::obs::json(&snapshot);
+                out.push('\n');
+                out
+            }
+            other => format!("unknown metrics format {other:?}; METRICS [JSON]"),
+        }
+    }
+
     fn config(&self, rest: &str) -> String {
         if rest.is_empty() {
             return format!("{}\n", self.quepa.config());
         }
         let parts: Vec<&str> = rest.split_whitespace().collect();
+        if let ["OBS" | "obs" | "Obs", toggle] = parts.as_slice() {
+            let observability = match toggle.to_ascii_uppercase().as_str() {
+                "ON" => true,
+                "OFF" => false,
+                _ => return "usage: CONFIG OBS ON|OFF".into(),
+            };
+            self.quepa.set_config(QuepaConfig { observability, ..self.quepa.config() });
+            return format!("configured: {}\n", self.quepa.config());
+        }
         let [aug, batch, threads, cache] = parts.as_slice() else {
-            return "usage: CONFIG <augmenter> <batch> <threads> <cache>".into();
+            return "usage: CONFIG <augmenter> <batch> <threads> <cache> | CONFIG OBS ON|OFF"
+                .into();
         };
         let Some(augmenter) = AugmenterKind::parse(aug) else {
             return format!(
@@ -124,7 +154,7 @@ impl<'q> CommandProcessor<'q> {
                     batch_size,
                     threads_size,
                     cache_size,
-                    resilience: self.quepa.config().resilience,
+                    ..self.quepa.config()
                 });
                 format!("configured: {}\n", self.quepa.config())
             }
@@ -262,6 +292,8 @@ QUEPA commands:
   PICK <i>                       expand result/link i       BACK  show frontier
   END                            close the exploration (paths may promote)
   CONFIG [<augmenter> <batch> <threads> <cache>]   show or set the configuration
+  CONFIG OBS ON|OFF              toggle the observability layer
+  METRICS [JSON]                 export metrics (Prometheus text by default)
   STORES / STATS / INDEX         inspect the polystore / counters / A' index
   SAVE <path> / LOAD <path>      persist or restore the A' index
 ";
@@ -375,6 +407,36 @@ mod tests {
         assert_eq!(after.matching_edges, before.matching_edges);
         std::fs::remove_file(path).ok();
         assert!(p.handle("LOAD /no/such/file").contains("error"));
+    }
+
+    #[test]
+    fn metrics_export_and_obs_toggle() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("METRICS");
+        assert!(out.contains("observability is off"), "{out}");
+        let out = p.handle("CONFIG OBS ON");
+        assert!(out.contains("obs"), "{out}");
+        assert!(q.config().observability);
+        p.handle("SEARCH transactions 1 SELECT * FROM inventory WHERE seq < 2");
+        let out = p.handle("METRICS");
+        assert!(out.contains("quepa_stage_spans_total"), "{out}");
+        assert!(out.contains("le=\"+Inf\""), "{out}");
+        let out = p.handle("METRICS JSON");
+        assert!(out.contains("\"stages\""), "{out}");
+        assert!(p.handle("METRICS XML").contains("unknown metrics format"));
+        assert!(p.handle("CONFIG OBS maybe").contains("usage: CONFIG OBS"));
+        let out = p.handle("CONFIG OBS OFF");
+        assert!(!out.contains("obs"), "{out}");
+    }
+
+    #[test]
+    fn config_preserves_observability() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        p.handle("CONFIG OBS ON");
+        p.handle("CONFIG BATCH 128 2 500");
+        assert!(q.config().observability, "CONFIG must not silently drop the obs flag");
     }
 
     #[test]

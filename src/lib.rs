@@ -12,6 +12,8 @@
 //! * [`aindex`] — the A' index of p-relations;
 //! * [`linkage`] — the Collector (record linkage: blocking + matching);
 //! * [`ml`] — decision/regression tree learners for the adaptive optimizer;
+//! * [`obs`] — the observability layer: stage-scoped spans, deterministic
+//!   latency histograms, Prometheus/JSON export;
 //! * [`core`] — the augmentation operator, augmented search/exploration,
 //!   the augmenter family and the adaptive optimizer;
 //! * [`baselines`] — middleware competitor simulators (Metamodel, Talend,
@@ -28,6 +30,7 @@ pub use quepa_graphstore as graphstore;
 pub use quepa_kvstore as kvstore;
 pub use quepa_linkage as linkage;
 pub use quepa_ml as ml;
+pub use quepa_obs as obs;
 pub use quepa_pdm as pdm;
 pub use quepa_polystore as polystore;
 pub use quepa_relstore as relstore;
