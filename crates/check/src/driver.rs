@@ -1,0 +1,425 @@
+//! The differential driver: run the real [`Quepa`] and the reference
+//! model on the same scenario and hold them to bit-for-bit agreement.
+//!
+//! One [`check_scenario`] call sweeps every configuration point of the
+//! scenario and folds in the system-level invariants:
+//!
+//! 1. **Model equality** — each config's [`AnswerNormalForm`] equals the
+//!    model's prediction (augmented set with exact probabilities and
+//!    distances, `missing` set with structured reasons). This subsumes
+//!    all-augmenters-agree and cache-on == cache-off: every config is
+//!    compared against the *same* prediction.
+//! 2. **Original stability** — the local query returns the same objects
+//!    under every config.
+//! 3. **Lazy deletion accounting** — `lazily_deleted` equals the
+//!    `NotFound` count, and a warm re-run on the same instance (phantoms
+//!    now lazily deleted) equals the model re-run on a phantom-stripped
+//!    graph: dead nodes take their incident edges with them, so paths
+//!    *through* phantoms vanish and survivors' probabilities can drop.
+//! 4. **Warm cache** — with a cache, a second identical search returns
+//!    the same answer from cache (`cache_hits` covers the augmented set).
+//! 5. **`augment_multi` == per-seed union** — the one-pass multi-seed
+//!    BFS equals single-seed augmentation, and its ownership partition
+//!    equals the model's lowest-seed-within-budget rule.
+//! 6. **Metrics determinism** — twin instances produce bit-identical
+//!    metrics snapshots (histograms are of *simulated* latency), and the
+//!    store/cache sections are invariant under a thread-count change.
+//! 7. **Retry accounting** — under a fault plan, per-store retry counters
+//!    equal an independent replay of the plan's public `decide` stream;
+//!    timeouts and breaker trips stay zero.
+//!
+//! Every run builds *fresh* twin systems — lazy deletion mutates the
+//! index, so instances are never reused across runs (except where reuse
+//! is the point, as in 3 and 4).
+
+use std::collections::BTreeMap;
+
+use quepa_core::{AnswerNormalForm, AugmenterKind, MissingKey, MissingReason, Quepa};
+use quepa_pdm::GlobalKey;
+use quepa_polystore::fault::call_identity;
+use quepa_polystore::FaultDecision;
+
+use crate::model::ModelAugmented;
+use crate::scenario::{ConfigSpec, Scenario, MAX_ATTEMPTS};
+
+/// A scenario that diverged from the model or broke an invariant.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Seed of the failing scenario.
+    pub seed: u64,
+    /// Human-readable diagnosis (which config, which invariant, both
+    /// normal forms).
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario seed {}: {}", self.seed, self.message)
+    }
+}
+
+/// Statistics of a passing scenario.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckReport {
+    /// Configuration points swept.
+    pub configs: usize,
+    /// Augmented keys in the (model-predicted) answer.
+    pub augmented: usize,
+    /// Missing keys in the (model-predicted) answer.
+    pub missing: usize,
+    /// Whether a fault plan was active.
+    pub faulted: bool,
+}
+
+/// Runs the full differential check. `Ok` carries run statistics; `Err`
+/// carries the first divergence found.
+pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> {
+    let fail = |message: String| CheckFailure { seed: scenario.seed, message };
+    let database = scenario.query_database();
+    let query = scenario.query();
+    let model = scenario.build_model();
+
+    let mut expected_original: Option<Vec<GlobalKey>> = None;
+    let mut expected: Option<AnswerNormalForm> = None;
+    let mut warm: Option<AnswerNormalForm> = None;
+    let mut model_out: Vec<ModelAugmented> = Vec::new();
+
+    for spec in &scenario.configs {
+        let quepa = build_quepa(scenario, spec);
+        let answer = quepa
+            .augmented_search(&database, &query, scenario.level)
+            .map_err(|e| fail(format!("config {}: search failed: {e}", describe(spec))))?;
+        let original: Vec<GlobalKey> = answer.original.iter().map(|o| o.key().clone()).collect();
+
+        // First config fixes the seeds; the model predicts from them.
+        match &expected_original {
+            None => {
+                model_out = model.augment(&original, scenario.level);
+                let predicted = predict_normal_form(scenario, &model_out);
+                // The warm expectation: lazy deletion removes every
+                // NotFound node *and its incident edges* from the index,
+                // so re-augment a phantom-stripped model clone.
+                let mut warm_model = model.clone();
+                for m in predicted.missing.iter().filter(|m| m.is_not_found()) {
+                    warm_model.remove_key(&m.key);
+                }
+                let warm_out = warm_model.augment(&original, scenario.level);
+                warm = Some(predict_normal_form(scenario, &warm_out));
+                expected = Some(predicted);
+                expected_original = Some(original);
+            }
+            Some(first) => {
+                if *first != original {
+                    return Err(fail(format!(
+                        "config {}: original answer differs across configs:\n  first: {:?}\n  now:   {:?}",
+                        describe(spec),
+                        first.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                        original.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                    )));
+                }
+            }
+        }
+        let expected = expected.as_ref().expect("set on the first config");
+
+        let got = answer.normal_form();
+        if got != *expected {
+            return Err(fail(format!(
+                "config {}: answer diverges from reference model\n--- real ---\n{got}--- model ---\n{expected}",
+                describe(spec)
+            )));
+        }
+
+        // Lazy-deletion accounting.
+        let not_found = got.missing.iter().filter(|m| m.is_not_found()).count();
+        if answer.lazily_deleted != not_found {
+            return Err(fail(format!(
+                "config {}: lazily_deleted = {} but NotFound missing = {}",
+                describe(spec),
+                answer.lazily_deleted,
+                not_found
+            )));
+        }
+
+        // Warm re-run on the same instance: phantoms are now lazily
+        // deleted (along with their incident edges), so the answer must
+        // match the phantom-stripped model; with a cache, the augmented
+        // set must come back from cache.
+        let again = quepa
+            .augmented_search(&database, &query, scenario.level)
+            .map_err(|e| fail(format!("config {}: warm re-run failed: {e}", describe(spec))))?;
+        let warm_expected = warm.as_ref().expect("set on the first config");
+        let warm_got = again.normal_form();
+        if warm_got != *warm_expected {
+            return Err(fail(format!(
+                "config {}: warm re-run after lazy deletion diverges\n--- real ---\n{warm_got}--- expected ---\n{warm_expected}",
+                describe(spec)
+            )));
+        }
+        if spec.cache > 0 && !again.augmented.is_empty() && again.cache_hits < again.augmented.len()
+        {
+            return Err(fail(format!(
+                "config {}: warm re-run hit cache {} times for {} augmented objects",
+                describe(spec),
+                again.cache_hits,
+                again.augmented.len()
+            )));
+        }
+    }
+
+    let seeds = expected_original.expect("at least one config ran");
+    let expected = expected.expect("at least one config ran");
+
+    check_multi_seed(scenario, &seeds, &fail)?;
+    check_metrics_determinism(scenario, &database, &query, &fail)?;
+    check_retry_accounting(scenario, &database, &query, &model_out, &fail)?;
+
+    Ok(CheckReport {
+        configs: scenario.configs.len(),
+        augmented: expected.augmented.len(),
+        missing: expected.missing.len(),
+        faulted: scenario.fault.is_some(),
+    })
+}
+
+/// Builds a fresh system under test for one config point.
+fn build_quepa(scenario: &Scenario, spec: &ConfigSpec) -> Quepa {
+    Quepa::with_config(
+        scenario.build_wrapped_polystore(),
+        scenario.build_index(),
+        scenario.config_of(spec),
+    )
+}
+
+fn describe(spec: &ConfigSpec) -> String {
+    format!(
+        "{} batch={} threads={} cache={}{}{}",
+        spec.augmenter.name(),
+        spec.batch,
+        spec.threads,
+        spec.cache,
+        if spec.resilient { " resilient" } else { "" },
+        if spec.obs { " obs" } else { "" },
+    )
+}
+
+/// Classifies the model's reachable set into the expected answer: keys on
+/// down stores are `Unreachable` (after every retry), phantoms are
+/// `NotFound`, the rest are augmented objects.
+fn predict_normal_form(scenario: &Scenario, model_out: &[ModelAugmented]) -> AnswerNormalForm {
+    let down: Vec<usize> = scenario.fault.as_ref().map(|f| f.outages.clone()).unwrap_or_default();
+    let mut augmented = Vec::new();
+    let mut missing = Vec::new();
+    for entry in model_out {
+        let (store, obj) = locate(scenario, &entry.key)
+            .expect("model keys come from the scenario's relation endpoints");
+        if down.contains(&store) {
+            missing.push(MissingKey {
+                key: entry.key.clone(),
+                reason: MissingReason::Unreachable {
+                    database: entry.key.database().clone(),
+                    attempts: MAX_ATTEMPTS,
+                },
+            });
+        } else if scenario.is_phantom(store, obj) {
+            missing.push(MissingKey::not_found(entry.key.clone()));
+        } else {
+            augmented.push((entry.key.clone(), entry.probability, entry.distance));
+        }
+    }
+    AnswerNormalForm::from_parts(augmented, missing)
+}
+
+/// Maps a generated key back to its `(store, object)` address.
+fn locate(scenario: &Scenario, key: &GlobalKey) -> Option<(usize, usize)> {
+    let store: usize = key.database().as_str().strip_prefix("db")?.parse().ok()?;
+    if store >= scenario.stores.len() {
+        return None;
+    }
+    let local = key.key().as_str();
+    let obj: usize = local.get(1..)?.parse().ok()?;
+    Some((store, obj))
+}
+
+/// Invariant 5: one-pass multi-seed augmentation equals the per-seed
+/// construction, and ownership equals the model's rule.
+fn check_multi_seed(
+    scenario: &Scenario,
+    seeds: &[GlobalKey],
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    let index = scenario.build_index();
+    let single = index.augment(seeds, scenario.level);
+    let (multi, owners) = index.augment_multi(seeds, scenario.level);
+    if single != multi {
+        return Err(fail(format!(
+            "augment_multi canonical answer differs from augment: {} vs {} keys",
+            multi.len(),
+            single.len()
+        )));
+    }
+    let model_owners = scenario.build_model().owners(seeds, scenario.level);
+    // Under a planted mutation the real index legitimately differs from
+    // the model; the per-config sweep is the catcher there.
+    if scenario.mutation.is_none() {
+        for (entry, &owner) in multi.iter().zip(&owners) {
+            match model_owners.get(&entry.key) {
+                Some(&expected) if expected == owner => {}
+                other => {
+                    return Err(fail(format!(
+                        "ownership of {}: real owner seed #{owner}, model says {:?}",
+                        entry.key, other
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 6: metrics snapshots are deterministic — twin instances
+/// agree bit-for-bit, and the store/cache sections are invariant under a
+/// different thread count (stage span counts legitimately scale with the
+/// worker pool, so stages are excluded from the cross-thread half).
+fn check_metrics_determinism(
+    scenario: &Scenario,
+    database: &str,
+    query: &str,
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    let Some(spec) = scenario.configs.iter().find(|c| c.obs) else { return Ok(()) };
+    let run = |spec: &ConfigSpec| -> Result<quepa_core::MetricsSnapshot, CheckFailure> {
+        let quepa = build_quepa(scenario, spec);
+        quepa
+            .augmented_search(database, query, scenario.level)
+            .map_err(|e| fail(format!("metrics run failed: {e}")))?;
+        Ok(quepa.metrics_snapshot())
+    };
+    let first = run(spec)?;
+    let twin = run(spec)?;
+    if first != twin {
+        return Err(fail(format!(
+            "metrics snapshots of twin instances differ\n--- first ---\n{first:?}\n--- twin ---\n{twin:?}"
+        )));
+    }
+    let other_threads = ConfigSpec { threads: spec.threads % 4 + 1, ..*spec };
+    let rethreaded = run(&other_threads)?;
+    if first.stores != rethreaded.stores || first.cache != rethreaded.cache {
+        return Err(fail(format!(
+            "store/cache metrics changed with thread count {} -> {}\n--- base ---\n{:?} {:?}\n--- rethreaded ---\n{:?} {:?}",
+            spec.threads, other_threads.threads, first.stores, first.cache, rethreaded.stores, rethreaded.cache
+        )));
+    }
+    Ok(())
+}
+
+/// Invariant 7: per-store retry counters equal an independent replay of
+/// the fault plan through its public `decide` stream.
+fn check_retry_accounting(
+    scenario: &Scenario,
+    database: &str,
+    query: &str,
+    model_out: &[ModelAugmented],
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    let Some(plan) = scenario.fault_plan() else { return Ok(()) };
+    // A sequential, cache-less run: every augmented key is fetched
+    // exactly once through the single-key resilient path, whose call
+    // identity is public — the replay below mirrors it.
+    let spec = ConfigSpec {
+        augmenter: AugmenterKind::Sequential,
+        batch: 1,
+        threads: 1,
+        cache: 0,
+        resilient: true,
+        obs: false,
+    };
+    let quepa = build_quepa(scenario, &spec);
+    quepa
+        .augmented_search(database, query, scenario.level)
+        .map_err(|e| fail(format!("retry accounting run failed: {e}")))?;
+    let snapshot = quepa.metrics_snapshot();
+
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for entry in model_out {
+        let (store, _) = locate(scenario, &entry.key).expect("scenario key");
+        if store == scenario.query_store {
+            continue; // the query target is never fault-wrapped
+        }
+        let db = Scenario::store_name(store);
+        let retries = if plan.is_down(&db) {
+            (MAX_ATTEMPTS - 1) as u64
+        } else {
+            let identity = call_identity(entry.key.collection(), std::iter::once(entry.key.key()));
+            let mut streak = 0u64;
+            for attempt in 0..MAX_ATTEMPTS {
+                match plan.decide(&db, identity, attempt) {
+                    FaultDecision::Transient => streak += 1,
+                    _ => break,
+                }
+            }
+            streak
+        };
+        if retries > 0 {
+            *expected.entry(db).or_default() += retries;
+        }
+    }
+
+    for (db, &want) in &expected {
+        let got = snapshot.stores.get(db).map(|m| m.retries).unwrap_or(0);
+        if got != want {
+            return Err(fail(format!(
+                "retry counter of {db}: real {got}, fault-plan replay predicts {want}"
+            )));
+        }
+    }
+    for (db, metrics) in &snapshot.stores {
+        if !expected.contains_key(db) && metrics.retries != 0 {
+            return Err(fail(format!(
+                "unexpected retries on {db}: {} (replay predicts none)",
+                metrics.retries
+            )));
+        }
+        if metrics.timeouts != 0 || metrics.breaker_trips != 0 || metrics.breaker_rejections != 0 {
+            return Err(fail(format!(
+                "{db}: timeouts={} breaker_trips={} breaker_rejections={} — the harness fault space allows none",
+                metrics.timeouts, metrics.breaker_trips, metrics.breaker_rejections
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Mutation;
+
+    /// A spread of seeds passes the full differential check.
+    #[test]
+    fn clean_scenarios_pass() {
+        for seed in 0..12u64 {
+            let scenario = Scenario::generate(seed);
+            if let Err(e) = check_scenario(&scenario) {
+                panic!("seed {seed} failed:\n{e}");
+            }
+        }
+    }
+
+    /// A planted index mutation is caught by the sweep on at least one of
+    /// a handful of seeds — the harness's own acceptance test.
+    #[test]
+    fn planted_mutation_is_caught() {
+        let mut caught = 0;
+        for seed in 0..20u64 {
+            let mut scenario = Scenario::generate(seed);
+            if scenario.relations.is_empty() {
+                continue;
+            }
+            scenario.mutation = Some(Mutation::DropRelation(seed as usize));
+            if check_scenario(&scenario).is_err() {
+                caught += 1;
+            }
+        }
+        assert!(caught > 0, "no planted mutation was detected across 20 seeds");
+    }
+}

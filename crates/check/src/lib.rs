@@ -1,0 +1,30 @@
+//! # quepa-check — deterministic simulation harness
+//!
+//! Model-based differential testing of QUEPA: a seeded generator imagines
+//! polystore topologies, data, A' indexes, native queries, configuration
+//! points and fault plans; a deliberately naive **reference model**
+//! predicts the augmented answer (and, under faults, the `missing` set);
+//! a **driver** runs the real [`quepa_core::Quepa`] on the same scenario
+//! and asserts bit-for-bit equality, folding in system-level invariants
+//! (cache transparency, `augment_multi` == per-seed union, metrics rerun
+//! determinism, retry counters consistent with the fault plan). Failures
+//! **shrink** to a minimal scenario serialized as a replayable
+//! `.scenario` file.
+//!
+//! The `quepa-check` binary front-ends the harness for CI smoke runs and
+//! nightly soaks; see `DESIGN.md` § "Testing model".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod model;
+pub mod rng;
+pub mod scenario;
+pub mod shrink;
+
+pub use driver::{check_scenario, CheckFailure, CheckReport};
+pub use model::{ModelAugmented, ModelIndex, ModelKind};
+pub use rng::SplitMix;
+pub use scenario::{ConfigSpec, FaultSpec, Mutation, RelationSpec, Scenario, StoreKind, StoreSpec};
+pub use shrink::shrink;

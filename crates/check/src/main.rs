@@ -1,0 +1,230 @@
+//! `quepa-check` — the simulation harness front-end.
+//!
+//! ```text
+//! quepa-check [--scenarios N] [--seed S]        # fixed-count smoke run
+//! quepa-check --soak [--time-budget-secs T]     # run until the budget ends
+//! quepa-check --replay FILE                     # re-run one .scenario file
+//! quepa-check --inject-bug drop-relation[:i]    # self-test: plant a bug,
+//!                                               # prove it is caught+shrunk
+//! quepa-check --out-dir DIR                     # where failures are written
+//! ```
+//!
+//! Every failing scenario is shrunk to a minimal reproduction and written
+//! as `<out-dir>/fail-<seed>.scenario`; replay it with `--replay`.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use quepa_check::{check_scenario, shrink, Mutation, Scenario};
+
+struct Args {
+    scenarios: u64,
+    seed: u64,
+    soak: bool,
+    time_budget: Duration,
+    replay: Option<String>,
+    inject_bug: Option<Mutation>,
+    out_dir: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenarios: 200,
+        seed: 1,
+        soak: false,
+        time_budget: Duration::from_secs(300),
+        replay: None,
+        inject_bug: None,
+        out_dir: "target/quepa-check".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scenarios" => {
+                args.scenarios =
+                    value("--scenarios")?.parse().map_err(|e| format!("--scenarios: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--soak" => args.soak = true,
+            "--time-budget-secs" => {
+                args.time_budget = Duration::from_secs(
+                    value("--time-budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--time-budget-secs: {e}"))?,
+                );
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--inject-bug" => {
+                let spec = value("--inject-bug")?;
+                let (kind, idx) = spec.split_once(':').unwrap_or((spec.as_str(), "0"));
+                if kind != "drop-relation" {
+                    return Err(format!("unknown bug `{kind}` (supported: drop-relation[:i])"));
+                }
+                let idx = idx.parse().map_err(|e| format!("--inject-bug index: {e}"))?;
+                args.inject_bug = Some(Mutation::DropRelation(idx));
+            }
+            "--out-dir" => args.out_dir = value("--out-dir")?,
+            "--help" | "-h" => {
+                println!("quepa-check [--scenarios N] [--seed S] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]] [--out-dir DIR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_failure(out_dir: &str, scenario: &Scenario) -> String {
+    let _ = std::fs::create_dir_all(out_dir);
+    let path = format!("{out_dir}/fail-{}.scenario", scenario.seed);
+    if let Err(e) = std::fs::write(&path, scenario.serialize()) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+    path
+}
+
+/// Shrinks and reports one failure; returns the failing exit code.
+fn report_failure(args: &Args, scenario: &Scenario, message: &str) -> ExitCode {
+    eprintln!("FAIL: {message}");
+    eprintln!("shrinking to a minimal reproduction ...");
+    let minimal = shrink(scenario, &|s| check_scenario(s).is_err());
+    let diagnosis = check_scenario(&minimal).expect_err("shrunk scenario still fails");
+    let path = write_failure(&args.out_dir, &minimal);
+    eprintln!(
+        "minimal reproduction ({} stores, {} relations, {} configs): {path}",
+        minimal.stores.len(),
+        minimal.relations.len(),
+        minimal.configs.len()
+    );
+    eprintln!("{diagnosis}");
+    eprintln!("replay with: quepa-check --replay {path}");
+    ExitCode::FAILURE
+}
+
+struct Coverage {
+    kinds: BTreeSet<&'static str>,
+    faulted: u64,
+    clean: u64,
+    augmented: usize,
+}
+
+impl Coverage {
+    fn new() -> Self {
+        Coverage { kinds: BTreeSet::new(), faulted: 0, clean: 0, augmented: 0 }
+    }
+
+    fn record(&mut self, scenario: &Scenario, augmented: usize) {
+        self.kinds.insert(scenario.stores[scenario.query_store].kind.name());
+        if scenario.fault.is_some() {
+            self.faulted += 1;
+        } else {
+            self.clean += 1;
+        }
+        self.augmented += augmented;
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("quepa-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("quepa-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scenario = match Scenario::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("quepa-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_scenario(&scenario) {
+            Ok(report) => {
+                println!(
+                    "PASS: {path} ({} configs, {} augmented, {} missing)",
+                    report.configs, report.augmented, report.missing
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(bug) = args.inject_bug {
+        // Self-test: the planted bug must be caught on some scenario and
+        // shrunk to a replayable minimal reproduction.
+        for seed in args.seed..args.seed + 500 {
+            let mut scenario = Scenario::generate(seed);
+            if scenario.relations.is_empty() {
+                continue;
+            }
+            scenario.mutation = Some(bug);
+            if let Err(first) = check_scenario(&scenario) {
+                println!("planted bug caught at seed {seed}: {first}");
+                let minimal = shrink(&scenario, &|s| check_scenario(s).is_err());
+                let path = write_failure(&args.out_dir, &minimal);
+                println!(
+                    "shrunk to {} stores / {} relations / {} configs: {path}",
+                    minimal.stores.len(),
+                    minimal.relations.len(),
+                    minimal.configs.len()
+                );
+                // The reproduction must replay from its file form alone.
+                let replayed = Scenario::parse(&minimal.serialize()).expect("round-trips");
+                if check_scenario(&replayed).is_ok() {
+                    eprintln!("ERROR: replayed minimal scenario no longer fails");
+                    return ExitCode::FAILURE;
+                }
+                println!("replay verified: the minimal scenario still fails after parse");
+                return ExitCode::SUCCESS;
+            }
+        }
+        eprintln!("ERROR: planted bug was never caught in 500 scenarios");
+        return ExitCode::FAILURE;
+    }
+
+    let start = Instant::now();
+    let mut coverage = Coverage::new();
+    let mut ran = 0u64;
+    let mut seed = args.seed;
+    loop {
+        if args.soak {
+            if start.elapsed() >= args.time_budget {
+                break;
+            }
+        } else if ran >= args.scenarios {
+            break;
+        }
+        let scenario = Scenario::generate(seed);
+        match check_scenario(&scenario) {
+            Ok(report) => coverage.record(&scenario, report.augmented),
+            Err(e) => return report_failure(&args, &scenario, &e.to_string()),
+        }
+        ran += 1;
+        seed += 1;
+    }
+    println!(
+        "PASS: {ran} scenarios in {:.1}s ({} faulted, {} clean, {} augmented keys, query kinds: {})",
+        start.elapsed().as_secs_f64(),
+        coverage.faulted,
+        coverage.clean,
+        coverage.augmented,
+        coverage.kinds.iter().copied().collect::<Vec<_>>().join(",")
+    );
+    ExitCode::SUCCESS
+}

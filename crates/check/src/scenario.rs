@@ -1,0 +1,711 @@
+//! Scenario generation, serialization and materialization.
+//!
+//! A [`Scenario`] is the *entire* input of one differential check, fully
+//! determined by a `u64` seed: the polystore topology (store kinds,
+//! deployment, population sizes), the p-relations of the A' index
+//! (including references to *phantom* objects that exist only in the
+//! index — the lazy-deletion trigger), the local query, the
+//! configuration points to sweep, and an optional fault plan. Everything
+//! derives from forked [`SplitMix`] sub-streams, so tweaking the fault
+//! plan never reshuffles the topology.
+//!
+//! Scenarios serialize to a line-based `.scenario` text format and parse
+//! back losslessly — a failing run is replayable from the file alone
+//! (`quepa-check --replay fail.scenario`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use quepa_aindex::AIndex;
+use quepa_core::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
+use quepa_docstore::DocumentDb;
+use quepa_graphstore::GraphDb;
+use quepa_kvstore::KvStore;
+use quepa_pdm::{GlobalKey, Probability};
+use quepa_polystore::retry::{BreakerConfig, RetryPolicy};
+use quepa_polystore::{
+    Deployment, DocumentConnector, FaultPlan, FaultyConnector, GraphConnector, KvConnector,
+    Polystore, RelationalConnector,
+};
+use quepa_relstore::Database;
+use quepa_workload::queries::query_for;
+
+use crate::model::ModelIndex;
+use crate::rng::{mix, SplitMix};
+
+pub use quepa_polystore::StoreKind;
+
+/// Retry attempts of the harness's resilient configuration. Transient
+/// fault streaks are generated strictly shorter, so retries always ride
+/// them out and only *outages* surface in `missing` — keeping the
+/// expected answer independent of how an augmenter batches its calls.
+pub const MAX_ATTEMPTS: u32 = 4;
+
+/// One store in the generated polystore: its kind and how many objects
+/// the seeded population hook creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSpec {
+    /// Which of the four store kinds.
+    pub kind: StoreKind,
+    /// Population size (objects `0..objects`).
+    pub objects: usize,
+}
+
+/// One p-relation of the A' index. Endpoints address `(store index,
+/// object index)`; an object index `>= objects` of its store references a
+/// **phantom**: a key the index knows but the store does not hold, which
+/// the real system must report as `NotFound` and lazily delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationSpec {
+    /// First endpoint.
+    pub a: (usize, usize),
+    /// Second endpoint.
+    pub b: (usize, usize),
+    /// Identity (true) or matching (false).
+    pub identity: bool,
+    /// Probability in thousandths (1..=1000).
+    pub prob_millis: u32,
+}
+
+/// One `QuepaConfig` point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// The augmenter under test.
+    pub augmenter: AugmenterKind,
+    /// `BATCH_SIZE`.
+    pub batch: usize,
+    /// `THREADS_SIZE`.
+    pub threads: usize,
+    /// LRU capacity (0 disables caching).
+    pub cache: usize,
+    /// Fast-retry partial-degradation resilience (true) or the trivial
+    /// pass-through policy (false). Always true when a fault plan is
+    /// present.
+    pub resilient: bool,
+    /// Observability layer on.
+    pub obs: bool,
+}
+
+/// The fault plan of a chaos run, in harness-equalizable form: transient
+/// streaks short enough to always be ridden out, latency spikes, and hard
+/// outages of non-target stores. No timeouts (their per-identity draws
+/// would make the missing-set depend on batch composition) and no breaker
+/// (its trip state would depend on call order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the [`FaultPlan`]'s own deterministic streams.
+    pub seed: u64,
+    /// Transient-failure rate in percent.
+    pub transient_pct: u32,
+    /// Max consecutive transient failures (strictly < [`MAX_ATTEMPTS`]).
+    pub max_streak: u32,
+    /// Latency-spike rate in percent.
+    pub spike_pct: u32,
+    /// Store indices that are hard-down (never includes the query store).
+    pub outages: Vec<usize>,
+}
+
+/// A deliberately planted bug, injected into the *real* side only — the
+/// harness's own acceptance test: the driver must catch it and shrink the
+/// scenario to a minimal reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Silently drop relation `i % relations.len()` when building the
+    /// real A' index (models a lost edge in the CSR build).
+    DropRelation(usize),
+}
+
+/// A complete generated scenario. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Network deployment (store latency model).
+    pub deployment: Deployment,
+    /// The stores, in registration order; store `i` is named `db{i}`.
+    pub stores: Vec<StoreSpec>,
+    /// The p-relations inserted into the A' index, in order.
+    pub relations: Vec<RelationSpec>,
+    /// Index of the store the local query targets.
+    pub query_store: usize,
+    /// Result size the native query asks for.
+    pub query_size: usize,
+    /// Augmentation level.
+    pub level: usize,
+    /// Configuration points to sweep (all six augmenters).
+    pub configs: Vec<ConfigSpec>,
+    /// Optional fault plan.
+    pub fault: Option<FaultSpec>,
+    /// Optional planted bug (never generated; set by `--inject-bug`).
+    pub mutation: Option<Mutation>,
+}
+
+impl Scenario {
+    /// Generates the scenario fully determined by `seed`.
+    pub fn generate(seed: u64) -> Scenario {
+        let root = SplitMix::new(seed);
+
+        let mut topo = root.fork("topology");
+        let n_stores = if topo.chance(10) { topo.range(7, 12) } else { topo.range(1, 6) };
+        let kinds =
+            [StoreKind::KeyValue, StoreKind::Relational, StoreKind::Document, StoreKind::Graph];
+        let stores: Vec<StoreSpec> = (0..n_stores)
+            .map(|_| StoreSpec { kind: *topo.pick(&kinds), objects: topo.range(4, 12) })
+            .collect();
+        let deployment = match topo.below(20) {
+            0 => Deployment::Distributed,
+            1..=3 => Deployment::Centralized,
+            _ => Deployment::InProcess,
+        };
+
+        let mut rels = root.fork("relations");
+        let total_objects: usize = stores.iter().map(|s| s.objects).sum();
+        let n_relations = rels.range(total_objects / 2, (2 * total_objects).min(60));
+        let relations: Vec<RelationSpec> = (0..n_relations)
+            .map(|_| {
+                let pick_end = |rng: &mut SplitMix| {
+                    let s = rng.below(n_stores);
+                    // One phantom slot per store: index == objects.
+                    (s, rng.below(stores[s].objects + 1))
+                };
+                RelationSpec {
+                    a: pick_end(&mut rels),
+                    b: pick_end(&mut rels),
+                    identity: rels.chance(40),
+                    prob_millis: rels.range(100, 1000) as u32,
+                }
+            })
+            .collect();
+
+        let mut query = root.fork("query");
+        let query_store = query.below(n_stores);
+        let max_size = stores[query_store].objects;
+        let query_size =
+            if query.chance(20) { max_size + query.range(1, 4) } else { query.range(1, max_size) };
+        let level = query.below(4);
+
+        let mut faults = root.fork("faults");
+        let fault = if faults.chance(40) {
+            let fault_seed = faults.next_u64();
+            let transient_pct = faults.range(0, 30) as u32;
+            let max_streak = faults.range(1, (MAX_ATTEMPTS - 1) as usize) as u32;
+            let spike_pct = faults.range(0, 8) as u32;
+            let outages: Vec<usize> =
+                (0..n_stores).filter(|&s| s != query_store && faults.chance(15)).collect();
+            Some(FaultSpec { seed: fault_seed, transient_pct, max_streak, spike_pct, outages })
+        } else {
+            None
+        };
+
+        let mut cfg = root.fork("configs");
+        let configs: Vec<ConfigSpec> = AugmenterKind::ALL
+            .iter()
+            .map(|&augmenter| ConfigSpec {
+                augmenter,
+                batch: cfg.range(1, 8),
+                threads: cfg.range(1, 4),
+                cache: if cfg.chance(50) { 4096 } else { 0 },
+                resilient: fault.is_some() || cfg.chance(30),
+                obs: cfg.chance(40),
+            })
+            .collect();
+
+        Scenario {
+            seed,
+            deployment,
+            stores,
+            relations,
+            query_store,
+            query_size,
+            level,
+            configs,
+            fault,
+            mutation: None,
+        }
+    }
+
+    // -- naming ----------------------------------------------------------
+
+    /// Database name of store `i`.
+    pub fn store_name(i: usize) -> String {
+        format!("db{i}")
+    }
+
+    /// The main collection of a store kind (matches the population hooks
+    /// and `quepa_workload::queries::query_for`).
+    pub fn collection(kind: StoreKind) -> &'static str {
+        match kind {
+            StoreKind::KeyValue => "c",
+            StoreKind::Relational => "inventory",
+            StoreKind::Document => "albums",
+            StoreKind::Graph => "album",
+        }
+    }
+
+    /// Local key of object `j` in a store of `kind`.
+    pub fn local_key(kind: StoreKind, j: usize) -> String {
+        match kind {
+            StoreKind::KeyValue => format!("k{j}"),
+            StoreKind::Relational => format!("a{j}"),
+            StoreKind::Document => format!("d{j}"),
+            StoreKind::Graph => format!("g{j}"),
+        }
+    }
+
+    /// Global key of `(store, object)` — objects past the population are
+    /// phantoms, but their keys are formed the same way.
+    pub fn key_of(&self, store: usize, obj: usize) -> GlobalKey {
+        let kind = self.stores[store].kind;
+        format!(
+            "{}.{}.{}",
+            Self::store_name(store),
+            Self::collection(kind),
+            Self::local_key(kind, obj)
+        )
+        .parse()
+        .expect("generated keys are well-formed")
+    }
+
+    /// Whether `(store, obj)` references a phantom.
+    pub fn is_phantom(&self, store: usize, obj: usize) -> bool {
+        obj >= self.stores[store].objects
+    }
+
+    /// The native local query.
+    pub fn query(&self) -> String {
+        query_for(self.stores[self.query_store].kind, self.query_size)
+    }
+
+    /// Name of the query-target database.
+    pub fn query_database(&self) -> String {
+        Self::store_name(self.query_store)
+    }
+
+    // -- materialization -------------------------------------------------
+
+    /// Builds the pristine polystore (no fault wrapping) from the seeded
+    /// population hooks.
+    pub fn build_polystore(&self) -> Polystore {
+        let latency = self.deployment.latency();
+        let mut polystore = Polystore::new();
+        for (i, spec) in self.stores.iter().enumerate() {
+            let name = Self::store_name(i);
+            let store_seed = mix(self.seed, i as u64);
+            match spec.kind {
+                StoreKind::KeyValue => {
+                    let kv = KvStore::populate_seeded(name, store_seed, spec.objects);
+                    polystore.register(Arc::new(KvConnector::new(kv, "c", latency)));
+                }
+                StoreKind::Relational => {
+                    let db = Database::populate_seeded(name, store_seed, spec.objects);
+                    polystore.register(Arc::new(RelationalConnector::new(db, latency)));
+                }
+                StoreKind::Document => {
+                    let db = DocumentDb::populate_seeded(name, store_seed, spec.objects);
+                    polystore.register(Arc::new(DocumentConnector::new(db, latency)));
+                }
+                StoreKind::Graph => {
+                    let db = GraphDb::populate_seeded(name, store_seed, spec.objects);
+                    polystore.register(Arc::new(GraphConnector::new(db, latency)));
+                }
+            }
+        }
+        polystore
+    }
+
+    /// The [`FaultPlan`] the spec describes, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let spec = self.fault.as_ref()?;
+        let mut plan = FaultPlan::new(spec.seed);
+        if spec.transient_pct > 0 {
+            plan = plan.with_transient_faults(spec.transient_pct as f64 / 100.0, spec.max_streak);
+        }
+        if spec.spike_pct > 0 {
+            plan =
+                plan.with_latency_spikes(spec.spike_pct as f64 / 100.0, Duration::from_micros(40));
+        }
+        for &s in &spec.outages {
+            plan = plan.with_outage(&Self::store_name(s));
+        }
+        Some(plan)
+    }
+
+    /// The polystore the system under test sees: fault-wrapped on every
+    /// store except the query target (whose local query must still run).
+    pub fn build_wrapped_polystore(&self) -> Polystore {
+        let pristine = self.build_polystore();
+        let Some(plan) = self.fault_plan() else { return pristine };
+        let plan = Arc::new(plan);
+        let latency = self.deployment.latency();
+        let target = self.query_database();
+        pristine.wrap_connectors(|inner| {
+            if inner.database().as_str() == target {
+                inner
+            } else {
+                Arc::new(FaultyConnector::new(inner, Arc::clone(&plan), latency))
+            }
+        })
+    }
+
+    /// Builds the **real** A' index, honouring the planted mutation.
+    pub fn build_index(&self) -> AIndex {
+        let dropped = self.mutation.map(|Mutation::DropRelation(i)| {
+            if self.relations.is_empty() {
+                usize::MAX
+            } else {
+                i % self.relations.len()
+            }
+        });
+        let mut index = AIndex::new();
+        for (i, rel) in self.relations.iter().enumerate() {
+            if Some(i) == dropped {
+                continue;
+            }
+            let a = self.key_of(rel.a.0, rel.a.1);
+            let b = self.key_of(rel.b.0, rel.b.1);
+            let p = Probability::of(rel.prob_millis as f64 / 1000.0);
+            if rel.identity {
+                index.insert_identity(&a, &b, p);
+            } else {
+                index.insert_matching(&a, &b, p);
+            }
+        }
+        index
+    }
+
+    /// Builds the **reference model** index (never mutated).
+    pub fn build_model(&self) -> ModelIndex {
+        let mut model = ModelIndex::new();
+        for rel in &self.relations {
+            let a = self.key_of(rel.a.0, rel.a.1);
+            let b = self.key_of(rel.b.0, rel.b.1);
+            let p = Probability::of(rel.prob_millis as f64 / 1000.0);
+            if rel.identity {
+                model.insert_identity(&a, &b, p);
+            } else {
+                model.insert_matching(&a, &b, p);
+            }
+        }
+        model
+    }
+
+    /// Materializes one configuration point.
+    pub fn config_of(&self, spec: &ConfigSpec) -> QuepaConfig {
+        QuepaConfig {
+            augmenter: spec.augmenter,
+            batch_size: spec.batch,
+            threads_size: spec.threads,
+            cache_size: spec.cache,
+            resilience: if spec.resilient {
+                fast_partial_resilience()
+            } else {
+                ResilienceConfig::default()
+            },
+            observability: spec.obs,
+        }
+    }
+
+    // -- serialization ---------------------------------------------------
+
+    /// Serializes to the `.scenario` text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("quepa-scenario v1\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("deployment {}\n", deployment_name(self.deployment)));
+        for s in &self.stores {
+            out.push_str(&format!("store {} {}\n", kind_name(s.kind), s.objects));
+        }
+        for r in &self.relations {
+            out.push_str(&format!(
+                "relation {} {} {} {} {} {}\n",
+                r.a.0,
+                r.a.1,
+                r.b.0,
+                r.b.1,
+                if r.identity { "identity" } else { "matching" },
+                r.prob_millis
+            ));
+        }
+        out.push_str(&format!("query {} {}\n", self.query_store, self.query_size));
+        out.push_str(&format!("level {}\n", self.level));
+        for c in &self.configs {
+            out.push_str(&format!(
+                "config {} {} {} {} {} {}\n",
+                c.augmenter.name(),
+                c.batch,
+                c.threads,
+                c.cache,
+                if c.resilient { "resilient" } else { "trivial" },
+                if c.obs { "obs-on" } else { "obs-off" }
+            ));
+        }
+        if let Some(f) = &self.fault {
+            out.push_str(&format!(
+                "fault {} {} {} {}\n",
+                f.seed, f.transient_pct, f.max_streak, f.spike_pct
+            ));
+            for &s in &f.outages {
+                out.push_str(&format!("outage {s}\n"));
+            }
+        }
+        if let Some(Mutation::DropRelation(i)) = self.mutation {
+            out.push_str(&format!("mutation drop-relation {i}\n"));
+        }
+        out
+    }
+
+    /// Parses the `.scenario` text format back.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut lines =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+        if lines.next() != Some("quepa-scenario v1") {
+            return Err("missing `quepa-scenario v1` header".into());
+        }
+        let mut scenario = Scenario {
+            seed: 0,
+            deployment: Deployment::InProcess,
+            stores: Vec::new(),
+            relations: Vec::new(),
+            query_store: 0,
+            query_size: 1,
+            level: 0,
+            configs: Vec::new(),
+            fault: None,
+            mutation: None,
+        };
+        for line in lines {
+            let mut it = line.split_whitespace();
+            let tag = it.next().unwrap_or_default();
+            let rest: Vec<&str> = it.collect();
+            let int = |s: &str| s.parse::<usize>().map_err(|_| format!("bad integer `{s}`"));
+            match tag {
+                "seed" => {
+                    scenario.seed = rest
+                        .first()
+                        .ok_or("seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad seed")?;
+                }
+                "deployment" => {
+                    scenario.deployment = parse_deployment(rest.first().copied().unwrap_or(""))?;
+                }
+                "store" => {
+                    let [kind, objects] = rest[..] else {
+                        return Err(format!("bad store line `{line}`"));
+                    };
+                    scenario
+                        .stores
+                        .push(StoreSpec { kind: parse_kind(kind)?, objects: int(objects)? });
+                }
+                "relation" => {
+                    let [a_s, a_o, b_s, b_o, kind, prob] = rest[..] else {
+                        return Err(format!("bad relation line `{line}`"));
+                    };
+                    scenario.relations.push(RelationSpec {
+                        a: (int(a_s)?, int(a_o)?),
+                        b: (int(b_s)?, int(b_o)?),
+                        identity: match kind {
+                            "identity" => true,
+                            "matching" => false,
+                            other => return Err(format!("bad relation kind `{other}`")),
+                        },
+                        prob_millis: int(prob)? as u32,
+                    });
+                }
+                "query" => {
+                    let [store, size] = rest[..] else {
+                        return Err(format!("bad query line `{line}`"));
+                    };
+                    scenario.query_store = int(store)?;
+                    scenario.query_size = int(size)?;
+                }
+                "level" => {
+                    scenario.level = int(rest.first().ok_or("level needs a value")?)?;
+                }
+                "config" => {
+                    let [aug, batch, threads, cache, res, obs] = rest[..] else {
+                        return Err(format!("bad config line `{line}`"));
+                    };
+                    scenario.configs.push(ConfigSpec {
+                        augmenter: AugmenterKind::parse(aug)
+                            .ok_or_else(|| format!("unknown augmenter `{aug}`"))?,
+                        batch: int(batch)?,
+                        threads: int(threads)?,
+                        cache: int(cache)?,
+                        resilient: match res {
+                            "resilient" => true,
+                            "trivial" => false,
+                            other => return Err(format!("bad resilience `{other}`")),
+                        },
+                        obs: match obs {
+                            "obs-on" => true,
+                            "obs-off" => false,
+                            other => return Err(format!("bad obs flag `{other}`")),
+                        },
+                    });
+                }
+                "fault" => {
+                    let [seed, transient, streak, spike] = rest[..] else {
+                        return Err(format!("bad fault line `{line}`"));
+                    };
+                    scenario.fault = Some(FaultSpec {
+                        seed: seed.parse().map_err(|_| "bad fault seed")?,
+                        transient_pct: int(transient)? as u32,
+                        max_streak: int(streak)? as u32,
+                        spike_pct: int(spike)? as u32,
+                        outages: Vec::new(),
+                    });
+                }
+                "outage" => {
+                    let store = int(rest.first().ok_or("outage needs a store")?)?;
+                    scenario.fault.as_mut().ok_or("outage before fault line")?.outages.push(store);
+                }
+                "mutation" => {
+                    let ["drop-relation", i] = rest[..] else {
+                        return Err(format!("bad mutation line `{line}`"));
+                    };
+                    scenario.mutation = Some(Mutation::DropRelation(int(i)?));
+                }
+                other => return Err(format!("unknown line tag `{other}`")),
+            }
+        }
+        if scenario.stores.is_empty() {
+            return Err("scenario has no stores".into());
+        }
+        if scenario.query_store >= scenario.stores.len() {
+            return Err("query store out of range".into());
+        }
+        if scenario.configs.is_empty() {
+            return Err("scenario has no configs".into());
+        }
+        Ok(scenario)
+    }
+}
+
+/// The harness's resilient configuration: µs-scale backoffs (the fault
+/// latencies are simulated, real sleeps must stay tiny), no breaker, and
+/// partial-answer degradation.
+pub fn fast_partial_resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        retry: RetryPolicy {
+            max_attempts: MAX_ATTEMPTS,
+            base_backoff: Duration::from_micros(5),
+            max_backoff: Duration::from_micros(40),
+            jitter_pct: 50,
+            deadline: None,
+        },
+        breaker: BreakerConfig { trip_after: 0, cooldown_calls: 8 },
+        degrade: DegradeMode::Partial,
+    }
+}
+
+fn kind_name(kind: StoreKind) -> &'static str {
+    match kind {
+        StoreKind::KeyValue => "kv",
+        StoreKind::Relational => "relational",
+        StoreKind::Document => "document",
+        StoreKind::Graph => "graph",
+    }
+}
+
+fn parse_kind(name: &str) -> Result<StoreKind, String> {
+    match name {
+        "kv" => Ok(StoreKind::KeyValue),
+        "relational" => Ok(StoreKind::Relational),
+        "document" => Ok(StoreKind::Document),
+        "graph" => Ok(StoreKind::Graph),
+        other => Err(format!("unknown store kind `{other}`")),
+    }
+}
+
+fn deployment_name(d: Deployment) -> &'static str {
+    match d {
+        Deployment::InProcess => "inprocess",
+        Deployment::Centralized => "centralized",
+        Deployment::Distributed => "distributed",
+    }
+}
+
+fn parse_deployment(name: &str) -> Result<Deployment, String> {
+    match name {
+        "inprocess" => Ok(Deployment::InProcess),
+        "centralized" => Ok(Deployment::Centralized),
+        "distributed" => Ok(Deployment::Distributed),
+        other => Err(format!("unknown deployment `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(Scenario::generate(seed), Scenario::generate(seed));
+        }
+        assert_ne!(Scenario::generate(1), Scenario::generate(2));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        for seed in 0..50u64 {
+            let mut s = Scenario::generate(seed);
+            if seed % 5 == 0 {
+                s.mutation = Some(Mutation::DropRelation(seed as usize));
+            }
+            let text = s.serialize();
+            let back = Scenario::parse(&text).expect("parses");
+            assert_eq!(s, back, "seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        for seed in 0..100u64 {
+            let s = Scenario::generate(seed);
+            assert!((1..=12).contains(&s.stores.len()), "seed {seed}");
+            assert!(s.query_store < s.stores.len());
+            assert!(s.level <= 3);
+            assert_eq!(s.configs.len(), AugmenterKind::ALL.len());
+            for r in &s.relations {
+                assert!(r.a.0 < s.stores.len() && r.b.0 < s.stores.len());
+                assert!((100..=1000).contains(&r.prob_millis));
+            }
+            if let Some(f) = &s.fault {
+                assert!(f.max_streak < MAX_ATTEMPTS);
+                assert!(!f.outages.contains(&s.query_store));
+                for c in &s.configs {
+                    assert!(c.resilient, "fault runs must ride out transients");
+                }
+            }
+        }
+    }
+
+    /// The whole generated seed range covers every store kind as a query
+    /// target and both fault modes — the coverage the CI smoke run claims.
+    #[test]
+    fn seed_range_covers_kinds_and_fault_modes() {
+        let mut kinds = std::collections::BTreeSet::new();
+        let (mut faulty, mut clean) = (0, 0);
+        for seed in 0..200u64 {
+            let s = Scenario::generate(seed);
+            kinds.insert(kind_name(s.stores[s.query_store].kind));
+            if s.fault.is_some() {
+                faulty += 1;
+            } else {
+                clean += 1;
+            }
+        }
+        assert_eq!(kinds.len(), 4, "all four store kinds appear as query targets");
+        assert!(faulty >= 20 && clean >= 20, "both fault modes well represented");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Scenario::parse("").is_err());
+        assert!(Scenario::parse("quepa-scenario v1\n").is_err());
+        assert!(Scenario::parse("quepa-scenario v1\nstore kv 4\nnonsense 1\n").is_err());
+        assert!(Scenario::parse("quepa-scenario v1\nstore marble 4\n").is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a failing scenario and a predicate "does it still fail?", the
+//! shrinker repeatedly tries structural reductions — fewer configs,
+//! no fault plan, fewer relations (delta-debugging style chunks, then
+//! singles), lower level, smaller query, smaller stores, unreferenced
+//! stores removed — and keeps every reduction that preserves the
+//! failure, looping to a fixpoint. The result is the minimal replayable
+//! `.scenario` reproduction the harness reports.
+
+use crate::scenario::{Mutation, Scenario};
+
+/// Shrinks `scenario` to a (locally) minimal scenario for which
+/// `still_fails` holds. `still_fails(scenario)` must be true on entry.
+pub fn shrink(scenario: &Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    let mut best = scenario.clone();
+    // Pin the planted mutation to a concrete relation index so removals
+    // can track it.
+    if let Some(Mutation::DropRelation(i)) = best.mutation {
+        if !best.relations.is_empty() {
+            best.mutation = Some(Mutation::DropRelation(i % best.relations.len()));
+        }
+    }
+
+    loop {
+        let mut changed = false;
+
+        // One config is enough if any single config still reproduces —
+        // this is also the biggest speed-up for later passes.
+        if best.configs.len() > 1 {
+            for i in 0..best.configs.len() {
+                let mut cand = best.clone();
+                cand.configs = vec![best.configs[i]];
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        // The fault plan, then individual outages.
+        if best.fault.is_some() {
+            let mut cand = best.clone();
+            cand.fault = None;
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            }
+        }
+        if let Some(f) = &best.fault {
+            for i in 0..f.outages.len() {
+                let mut cand = best.clone();
+                cand.fault.as_mut().expect("checked").outages.remove(i);
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        // Relations: remove chunks (halving), then singles.
+        let mut chunk = (best.relations.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.relations.len() {
+                match without_relations(&best, start, chunk) {
+                    Some(cand) if still_fails(&cand) => {
+                        best = cand;
+                        changed = true;
+                        // Re-test the same offset against the shrunk list.
+                    }
+                    _ => start += chunk,
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Lower the augmentation level.
+        while best.level > 0 {
+            let mut cand = best.clone();
+            cand.level -= 1;
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Smaller local query.
+        while best.query_size > 1 {
+            let mut cand = best.clone();
+            cand.query_size = best.query_size / 2;
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Smaller stores (halving; objects referenced past the new size
+        // simply become phantoms, which stays a valid scenario).
+        for i in 0..best.stores.len() {
+            while best.stores[i].objects > 1 {
+                let mut cand = best.clone();
+                cand.stores[i].objects /= 2;
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Remove stores no relation references (except the query target),
+        // renumbering everything that addresses stores by index.
+        let mut i = 0;
+        while best.stores.len() > 1 && i < best.stores.len() {
+            if i != best.query_store && !best.relations.iter().any(|r| r.a.0 == i || r.b.0 == i) {
+                let cand = without_store(&best, i);
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                    continue; // same index now holds the next store
+                }
+            }
+            i += 1;
+        }
+
+        if !changed {
+            return best;
+        }
+    }
+}
+
+/// `scenario` with relations `[start, start + len)` removed, tracking the
+/// planted mutation's relation index. `None` when the range would remove
+/// the mutated relation itself (dropping it would change what the
+/// mutation means) or is empty.
+fn without_relations(scenario: &Scenario, start: usize, len: usize) -> Option<Scenario> {
+    let end = (start + len).min(scenario.relations.len());
+    if start >= end {
+        return None;
+    }
+    let mutated = scenario.mutation.map(|Mutation::DropRelation(i)| i);
+    if let Some(m) = mutated {
+        if (start..end).contains(&m) {
+            return None;
+        }
+    }
+    let mut cand = scenario.clone();
+    cand.relations.drain(start..end);
+    if let Some(m) = mutated {
+        if m >= end {
+            cand.mutation = Some(Mutation::DropRelation(m - (end - start)));
+        }
+    }
+    Some(cand)
+}
+
+/// `scenario` with store `i` removed and all store indices renumbered.
+/// Only valid for stores no relation references and that are not the
+/// query target.
+fn without_store(scenario: &Scenario, i: usize) -> Scenario {
+    let shift = |s: usize| if s > i { s - 1 } else { s };
+    let mut cand = scenario.clone();
+    cand.stores.remove(i);
+    for r in &mut cand.relations {
+        r.a.0 = shift(r.a.0);
+        r.b.0 = shift(r.b.0);
+    }
+    cand.query_store = shift(cand.query_store);
+    if let Some(f) = &mut cand.fault {
+        f.outages.retain(|&s| s != i);
+        for s in &mut f.outages {
+            *s = shift(*s);
+        }
+    }
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::check_scenario;
+    use crate::scenario::Mutation;
+
+    /// End-to-end: plant a mutation, find a seed where it is caught, and
+    /// shrink — the result must still fail, still carry the mutation, be
+    /// no larger than the original, and round-trip through serialization.
+    #[test]
+    fn shrinks_a_planted_mutation_to_a_minimal_failing_scenario() {
+        let failing = (0..40u64).find_map(|seed| {
+            let mut s = Scenario::generate(seed);
+            if s.relations.is_empty() {
+                return None;
+            }
+            s.mutation = Some(Mutation::DropRelation(seed as usize % s.relations.len()));
+            check_scenario(&s).is_err().then_some(s)
+        });
+        let failing = failing.expect("some seed catches a dropped relation");
+        let still_fails = |s: &Scenario| check_scenario(s).is_err();
+        let minimal = shrink(&failing, &still_fails);
+        assert!(still_fails(&minimal), "shrunk scenario must still fail");
+        assert!(minimal.relations.len() <= failing.relations.len());
+        assert!(minimal.configs.len() <= failing.configs.len());
+        assert_eq!(minimal.configs.len(), 1, "a single config should reproduce");
+        let replayed = Scenario::parse(&minimal.serialize()).expect("round-trips");
+        assert!(still_fails(&replayed), "replayed scenario must still fail");
+    }
+
+    #[test]
+    fn without_store_renumbers_everything() {
+        let mut s = Scenario::generate(3);
+        while s.stores.len() < 3 {
+            s = Scenario::generate(s.seed + 1);
+        }
+        s.relations.retain(|r| r.a.0 != 1 && r.b.0 != 1);
+        if s.query_store == 1 {
+            s.query_store = 0;
+        }
+        let cand = without_store(&s, 1);
+        assert_eq!(cand.stores.len(), s.stores.len() - 1);
+        for r in &cand.relations {
+            assert!(r.a.0 < cand.stores.len() && r.b.0 < cand.stores.len());
+        }
+        assert!(cand.query_store < cand.stores.len());
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod error;
 pub mod explore;
 pub mod logs;
+pub mod normal;
 pub mod search;
 pub mod system;
 pub mod validator;
@@ -55,6 +56,7 @@ pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 pub use error::{QuepaError, Result};
 pub use explore::ExplorationSession;
 pub use logs::{QueryFeatures, RunLog};
+pub use normal::{AnswerNormalForm, NormalEntry};
 pub use quepa_obs::{MetricsRegistry, MetricsSnapshot};
 pub use search::{AugmentedAnswer, ProbabilityBand};
 pub use system::Quepa;

@@ -1,0 +1,117 @@
+//! A model-facing **answer normal form**.
+//!
+//! Differential testing (the `quepa-check` harness) compares the real
+//! system's [`AugmentedAnswer`] against a reference model's prediction.
+//! The comparison must be *set*-semantic — an answer is its augmented
+//! key-set with exact probabilities and distances, plus its `missing`
+//! set — independent of fetch order, batching, sharding or thread
+//! interleaving. [`AnswerNormalForm`] is that canonical shape: both sides
+//! reduce to it and equality is then plain `==`, with probabilities
+//! compared by *bit pattern* so not even an ulp of drift passes.
+
+use std::fmt;
+
+use quepa_pdm::{GlobalKey, Probability};
+
+use crate::augmenter::MissingKey;
+use crate::search::AugmentedAnswer;
+
+/// One augmented key in normal form: key, probability bits, hop distance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NormalEntry {
+    /// The augmented object's global key, rendered `db.collection.key`.
+    pub key: String,
+    /// The IEEE-754 bit pattern of the path-product probability.
+    pub prob_bits: u64,
+    /// Hop distance of the best path.
+    pub distance: usize,
+}
+
+/// An augmented answer reduced to canonical, order-independent form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnswerNormalForm {
+    /// Augmented entries, sorted by key.
+    pub augmented: Vec<NormalEntry>,
+    /// Missing keys with structured reasons, sorted.
+    pub missing: Vec<MissingKey>,
+}
+
+impl AnswerNormalForm {
+    /// Builds a normal form from raw parts (the model side).
+    pub fn from_parts<I>(augmented: I, mut missing: Vec<MissingKey>) -> Self
+    where
+        I: IntoIterator<Item = (GlobalKey, Probability, usize)>,
+    {
+        let mut augmented: Vec<NormalEntry> = augmented
+            .into_iter()
+            .map(|(key, prob, distance)| NormalEntry {
+                key: key.to_string(),
+                prob_bits: prob.get().to_bits(),
+                distance,
+            })
+            .collect();
+        augmented.sort();
+        missing.sort();
+        AnswerNormalForm { augmented, missing }
+    }
+}
+
+impl AugmentedAnswer {
+    /// Reduces this answer to its [`AnswerNormalForm`].
+    pub fn normal_form(&self) -> AnswerNormalForm {
+        AnswerNormalForm::from_parts(
+            self.augmented.iter().map(|a| (a.object.key().clone(), a.probability, a.distance)),
+            self.missing.clone(),
+        )
+    }
+}
+
+impl fmt::Display for AnswerNormalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "augmented ({}):", self.augmented.len())?;
+        for e in &self.augmented {
+            writeln!(
+                f,
+                "  {} p={:.6} (bits {:#018x}) d={}",
+                e.key,
+                f64::from_bits(e.prob_bits),
+                e.prob_bits,
+                e.distance
+            )?;
+        }
+        writeln!(f, "missing ({}):", self.missing.len())?;
+        for m in &self.missing {
+            writeln!(f, "  {} {:?}", m.key, m.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_sorts_and_compares_set_wise() {
+        let k = |s: &str| s.parse::<GlobalKey>().unwrap();
+        let a = AnswerNormalForm::from_parts(
+            vec![(k("db1.c.b"), Probability::of(0.5), 1), (k("db0.c.a"), Probability::of(0.25), 2)],
+            vec![MissingKey::not_found(k("db2.c.x"))],
+        );
+        let b = AnswerNormalForm::from_parts(
+            vec![(k("db0.c.a"), Probability::of(0.25), 2), (k("db1.c.b"), Probability::of(0.5), 1)],
+            vec![MissingKey::not_found(k("db2.c.x"))],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.augmented[0].key, "db0.c.a");
+        // An ulp of probability drift is a mismatch.
+        let c = AnswerNormalForm::from_parts(
+            vec![
+                (k("db0.c.a"), Probability::of(0.25 + f64::EPSILON), 2),
+                (k("db1.c.b"), Probability::of(0.5), 1),
+            ],
+            vec![MissingKey::not_found(k("db2.c.x"))],
+        );
+        assert_ne!(a, c);
+    }
+}

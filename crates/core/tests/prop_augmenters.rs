@@ -1,18 +1,31 @@
-//! Property tests: all six augmenters compute the same augmented answer on
-//! randomly wired polystores, under arbitrary knob settings.
+//! Property tests: all six augmenters agree — as *sets*, via the answer
+//! normal form — with the naive reference model from `quepa-check`, on
+//! randomly wired polystores under arbitrary knob settings.
+//!
+//! The oracle is the reference model itself (`ModelIndex`), fed the same
+//! p-relation insertion sequence as the real A' index. Comparing normal
+//! forms (sorted by probability, ties by key) instead of raw answer
+//! vectors means an augmenter is free to enumerate in any order, but not
+//! to change the answer set, a probability bit, or a distance.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use quepa_aindex::AIndex;
-use quepa_core::{AugmenterKind, Quepa, QuepaConfig};
+use quepa_check::ModelIndex;
+use quepa_core::{AnswerNormalForm, AugmenterKind, Quepa, QuepaConfig};
 use quepa_kvstore::KvStore;
 use quepa_pdm::{GlobalKey, Probability};
 use quepa_polystore::{KvConnector, LatencyModel, Polystore};
 
 /// Builds a polystore of `stores` kv stores, each holding `keys_per_store`
-/// entries, plus an A' index wired from the edge list.
-fn build(stores: usize, keys_per_store: usize, edges: &[(u8, u8, u8, u8, f64, bool)]) -> Quepa {
+/// entries, plus the real A' index *and* the reference model, both wired
+/// from the same edge list in the same order.
+fn build(
+    stores: usize,
+    keys_per_store: usize,
+    edges: &[(u8, u8, u8, u8, f64, bool)],
+) -> (Quepa, ModelIndex) {
     let mut polystore = Polystore::new();
     for s in 0..stores {
         let mut kv = KvStore::new(format!("db{s}"));
@@ -25,16 +38,28 @@ fn build(stores: usize, keys_per_store: usize, edges: &[(u8, u8, u8, u8, f64, bo
         format!("db{}.c.k{}", s as usize % stores, k as usize % keys_per_store).parse().unwrap()
     };
     let mut index = AIndex::new();
+    let mut model = ModelIndex::new();
     for &(s1, k1, s2, k2, p, identity) in edges {
         let (a, b) = (key(s1, k1), key(s2, k2));
         let p = Probability::of(p);
         if identity {
             index.insert_identity(&a, &b, p);
+            model.insert_identity(&a, &b, p);
         } else {
             index.insert_matching(&a, &b, p);
+            model.insert_matching(&a, &b, p);
         }
     }
-    Quepa::new(polystore, index)
+    (Quepa::new(polystore, index), model)
+}
+
+/// The model's predicted normal form for a query whose seeds are
+/// `original`. Every generated key exists in some store, so the predicted
+/// `missing` set is always empty here.
+fn predict(model: &ModelIndex, original: &[GlobalKey], level: usize) -> AnswerNormalForm {
+    let augmented =
+        model.augment(original, level).into_iter().map(|m| (m.key, m.probability, m.distance));
+    AnswerNormalForm::from_parts(augmented, Vec::new())
 }
 
 fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, u8, u8, f64, bool)>> {
@@ -45,18 +70,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The augmenter family is semantics-preserving: every strategy and
-    /// knob combination produces the identical ranked answer.
+    /// knob combination produces exactly the answer set the reference
+    /// model predicts — same keys, same probability bits, same distances.
     #[test]
-    fn all_augmenters_agree(
+    fn all_augmenters_match_the_reference_model(
         edges in arb_edges(),
         level in 0usize..3,
         batch in 1usize..10,
         threads in 1usize..6,
         size in 1usize..8,
     ) {
-        let quepa = build(3, 8, &edges);
+        let (quepa, model) = build(3, 8, &edges);
         let query = format!("SCAN k COUNT {size}");
-        let mut baseline: Option<Vec<(String, String)>> = None;
+        let mut expected: Option<AnswerNormalForm> = None;
         for aug in AugmenterKind::ALL {
             quepa.set_config(QuepaConfig {
                 augmenter: aug,
@@ -66,22 +92,19 @@ proptest! {
                 ..QuepaConfig::default()
             });
             let answer = quepa.augmented_search("db0", &query, level).unwrap();
-            let got: Vec<(String, String)> = answer
-                .augmented
-                .iter()
-                .map(|a| (a.object.key().to_string(), a.probability.to_string()))
-                .collect();
-            match &baseline {
-                None => baseline = Some(got),
-                Some(b) => prop_assert_eq!(&got, b, "{} diverged", aug),
-            }
+            let expected = expected.get_or_insert_with(|| {
+                let seeds: Vec<GlobalKey> =
+                    answer.original.iter().map(|o| o.key().clone()).collect();
+                predict(&model, &seeds, level)
+            });
+            prop_assert_eq!(&answer.normal_form(), expected, "{} diverged from the model", aug);
         }
     }
 
     /// The cache never changes the answer, only the cost.
     #[test]
     fn cache_is_transparent(edges in arb_edges(), level in 0usize..3) {
-        let quepa = build(3, 8, &edges);
+        let (quepa, _) = build(3, 8, &edges);
         let query = "SCAN k COUNT 5";
         quepa.set_config(QuepaConfig { cache_size: 0, ..QuepaConfig::default() });
         let uncached = quepa.augmented_search("db0", query, level).unwrap();
@@ -89,17 +112,14 @@ proptest! {
         let _prime = quepa.augmented_search("db0", query, level).unwrap();
         let cached = quepa.augmented_search("db0", query, level).unwrap();
         prop_assert!(cached.cache_hits > 0 || cached.augmented.is_empty());
-        let keys = |a: &quepa_core::AugmentedAnswer| {
-            a.augmented.iter().map(|x| x.object.key().to_string()).collect::<Vec<_>>()
-        };
-        prop_assert_eq!(keys(&uncached), keys(&cached));
+        prop_assert_eq!(uncached.normal_form(), cached.normal_form());
     }
 
     /// Augmented answers never contain duplicates or seed objects, and are
     /// probability-sorted — whatever the graph shape.
     #[test]
     fn answer_invariants(edges in arb_edges(), level in 0usize..4, size in 1usize..8) {
-        let quepa = build(3, 8, &edges);
+        let (quepa, _) = build(3, 8, &edges);
         let query = format!("SCAN k COUNT {size}");
         let answer = quepa.augmented_search("db0", &query, level).unwrap();
         let seeds: Vec<_> = answer.original.iter().map(|o| o.key().clone()).collect();

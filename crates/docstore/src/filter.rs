@@ -137,6 +137,30 @@ impl Filter {
         })
     }
 
+    /// The canonical value form of the filter: `compile(&f.to_spec())`
+    /// reconstructs a structurally equal filter — the round-trip property
+    /// the fuzz suite checks.
+    ///
+    /// The form is fully explicit (always `{"path": {"$op": v}}`, never
+    /// the implicit-equality shorthand), so it is unambiguous even when
+    /// an equality operand is itself an all-`$`-keys object. The contract
+    /// covers every filter `compile` can produce; hand-built filters with
+    /// a `$`-prefixed field path or an empty `And`/`Or` have no spec form
+    /// (neither does `compile` ever produce them).
+    pub fn to_spec(&self) -> Value {
+        match self {
+            Filter::All => Value::Object(Default::default()),
+            Filter::Field { path, op } => Value::object([(path.clone(), op.to_spec())]),
+            Filter::And(fs) => {
+                Value::object([("$and", Value::array(fs.iter().map(Filter::to_spec)))])
+            }
+            Filter::Or(fs) => {
+                Value::object([("$or", Value::array(fs.iter().map(Filter::to_spec)))])
+            }
+            Filter::Not(f) => Value::object([("$not", f.to_spec())]),
+        }
+    }
+
     /// Evaluates the filter against a document.
     pub fn matches(&self, doc: &Value) -> bool {
         match self {
@@ -176,6 +200,26 @@ impl Filter {
             Filter::Field { path, op: FieldOp::Eq(Value::Str(s)) } if path == "_id" => Some(s),
             _ => None,
         }
+    }
+}
+
+impl FieldOp {
+    /// The operator document for this condition, e.g. `{"$gt": 3}`.
+    fn to_spec(&self) -> Value {
+        let (name, operand) = match self {
+            FieldOp::Eq(v) => ("$eq", v.clone()),
+            FieldOp::Ne(v) => ("$ne", v.clone()),
+            FieldOp::Gt(v) => ("$gt", v.clone()),
+            FieldOp::Gte(v) => ("$gte", v.clone()),
+            FieldOp::Lt(v) => ("$lt", v.clone()),
+            FieldOp::Lte(v) => ("$lte", v.clone()),
+            FieldOp::In(vs) => ("$in", Value::Array(vs.clone())),
+            FieldOp::Exists(b) => ("$exists", Value::Bool(*b)),
+            FieldOp::Like(s) => ("$like", Value::str(s.clone())),
+            FieldOp::Contains(s) => ("$contains", Value::str(s.clone())),
+            FieldOp::Prefix(s) => ("$prefix", Value::str(s.clone())),
+        };
+        Value::object([(name, operand)])
     }
 }
 

@@ -35,6 +35,6 @@ pub mod query;
 pub mod store;
 
 pub use error::{DocError, Result};
-pub use filter::Filter;
+pub use filter::{FieldOp, Filter};
 pub use query::{DocQuery, QueryVerb};
 pub use store::DocumentDb;

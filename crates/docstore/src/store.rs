@@ -212,6 +212,35 @@ impl DocumentDb {
     pub fn total_docs(&self) -> usize {
         self.collections.values().map(|c| c.docs.len()).sum()
     }
+
+    /// Seedable population hook for the simulation harness (`quepa-check`):
+    /// a database with one `albums` collection holding documents
+    /// `d0..d{n-1}` with a dense integer `seq`, every value derived from
+    /// `seed` alone so the database is bit-identical across hosts and runs.
+    pub fn populate_seeded(name: impl Into<String>, seed: u64, n: usize) -> DocumentDb {
+        let mut db = DocumentDb::new(name);
+        for i in 0..n {
+            db.insert(
+                "albums",
+                Value::object([
+                    ("_id", Value::Str(format!("d{i}"))),
+                    ("title", Value::Str(format!("album-{:08x}", seed_mix(seed, i as u64) >> 32))),
+                    ("seq", Value::Int(i as i64)),
+                ]),
+            )
+            .expect("generated documents carry unique _ids");
+        }
+        db
+    }
+}
+
+/// splitmix64 finalizer over two words — the harness-wide convention for
+/// deriving per-object values from a seed.
+fn seed_mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -242,6 +242,42 @@ impl GraphDb {
         let q = crate::cypher::parse_query(text)?;
         crate::cypher::execute(self, &q)
     }
+
+    /// Seedable population hook for the simulation harness (`quepa-check`):
+    /// a graph of `Album` nodes `g0..g{n-1}` with a dense integer `seq`
+    /// property, connected in a `SIMILAR` ring, every value derived from
+    /// `seed` alone so the graph is bit-identical across hosts and runs.
+    pub fn populate_seeded(name: impl Into<String>, seed: u64, n: usize) -> GraphDb {
+        let mut db = GraphDb::new(name);
+        for i in 0..n {
+            db.add_node(
+                &format!("g{i}"),
+                "Album",
+                [
+                    ("title", Value::Str(format!("album-{:08x}", seed_mix(seed, i as u64) >> 32))),
+                    ("seq", Value::Int(i as i64)),
+                ],
+            )
+            .expect("generated node ids are unique");
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i != j {
+                db.add_edge(&format!("g{i}"), &format!("g{j}"), "SIMILAR")
+                    .expect("ring endpoints exist");
+            }
+        }
+        db
+    }
+}
+
+/// splitmix64 finalizer over two words — the harness-wide convention for
+/// deriving per-object values from a seed.
+fn seed_mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -207,6 +207,29 @@ impl KvStore {
     }
 }
 
+impl KvStore {
+    /// Seedable population hook for the simulation harness (`quepa-check`):
+    /// a store holding keys `k0..k{n-1}` whose values are derived from
+    /// `seed` alone by pure 64-bit arithmetic, so the populated store is
+    /// bit-identical across hosts and runs.
+    pub fn populate_seeded(name: impl Into<String>, seed: u64, n: usize) -> KvStore {
+        let mut store = KvStore::new(name);
+        for i in 0..n {
+            store.set(format!("k{i}"), format!("v{:016x}", seed_mix(seed, i as u64)));
+        }
+        store
+    }
+}
+
+/// splitmix64 finalizer over two words — the harness-wide convention for
+/// deriving per-object values from a seed.
+fn seed_mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Splits a command line into tokens; double quotes group, `\"` escapes.
 fn tokenize(line: &str) -> Result<Vec<String>> {
     let mut out = Vec::new();

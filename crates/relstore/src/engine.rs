@@ -482,6 +482,38 @@ impl Database {
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(Table::len).sum()
     }
+
+    /// Seedable population hook for the simulation harness (`quepa-check`):
+    /// a database with one `inventory` table (`id` pk, `name`, `seq`)
+    /// holding rows `a0..a{n-1}` with a dense integer `seq`, every value
+    /// derived from `seed` alone so the database is bit-identical across
+    /// hosts and runs.
+    pub fn populate_seeded(name: impl Into<String>, seed: u64, n: usize) -> Database {
+        let mut db = Database::new(name);
+        db.create_table("inventory", "id", &["id", "name", "seq"])
+            .expect("fresh database accepts the table");
+        for i in 0..n {
+            db.insert_row(
+                "inventory",
+                vec![
+                    Value::Str(format!("a{i}")),
+                    Value::Str(format!("item-{:08x}", seed_mix(seed, i as u64) >> 32)),
+                    Value::Int(i as i64),
+                ],
+            )
+            .expect("generated rows are schema-valid");
+        }
+        db
+    }
+}
+
+/// splitmix64 finalizer over two words — the harness-wide convention for
+/// deriving per-object values from a seed.
+fn seed_mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn agg_name(f: AggFunc) -> &'static str {

@@ -17,6 +17,7 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod print;
 
 pub use ast::{AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement};
 pub use lexer::{Lexer, Token, TokenKind};

@@ -1,0 +1,281 @@
+//! Canonical SQL printing: `Display` for the AST.
+//!
+//! The printed form is the *canonical* text of a statement: re-parsing it
+//! yields a structurally equal AST (`parse(print(parse(s))) ==
+//! parse(s)`), which is the round-trip property the fuzz suite leans on.
+//!
+//! Precedence is restored with the minimum parentheses the grammar needs:
+//! `OR` < `AND` < `NOT` < comparison/predicate < primary. Operands of a
+//! comparison must be primaries, so any nested expression there is
+//! parenthesized; right-nested `AND`/`OR` chains are parenthesized to
+//! preserve associativity.
+//!
+//! The contract covers every AST the parser itself can produce. Two
+//! hand-constructible corner cases fall outside it, matching the lexer's
+//! input language: `Literal::Int(i64::MIN)` (its absolute value overflows
+//! the lexer's positive-digits-then-negate path) and non-finite floats
+//! (no lexable spelling).
+
+use std::fmt;
+
+use crate::sql::ast::{AggFunc, BinOp, Expr, Literal, OrderDir, SelectItem, SelectStmt, Statement};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Bool(true) => write!(f, "TRUE"),
+            Literal::Bool(false) => write!(f, "FALSE"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                // `{}` on f64 never uses scientific notation, but prints
+                // integral values without a dot; the lexer needs one to
+                // see a float.
+                let s = format!("{x}");
+                if s.contains('.') {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl AggFunc {
+    /// The canonical (upper-case) function name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate(func, None) => write!(f, "{}(*)", func.name()),
+            SelectItem::Aggregate(func, Some(col)) => write!(f, "{}({col})", func.name()),
+        }
+    }
+}
+
+impl BinOp {
+    fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Like => "LIKE",
+        }
+    }
+}
+
+impl Expr {
+    /// Grammar level of this node: `OR` 1, `AND` 2, `NOT` 3,
+    /// comparison/predicate 4, primary 5.
+    fn level(&self) -> u8 {
+        match self {
+            Expr::Binary { op: BinOp::Or, .. } => 1,
+            Expr::Binary { op: BinOp::And, .. } => 2,
+            Expr::Not(_) => 3,
+            Expr::Binary { .. }
+            | Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::Between { .. } => 4,
+            Expr::Column(_) | Expr::Literal(_) => 5,
+        }
+    }
+
+    /// Writes the expression, parenthesizing if its level is below what
+    /// the surrounding grammar position requires.
+    fn write_at(&self, f: &mut fmt::Formatter<'_>, min_level: u8) -> fmt::Result {
+        if self.level() < min_level {
+            write!(f, "(")?;
+            self.write_node(f)?;
+            write!(f, ")")
+        } else {
+            self.write_node(f)
+        }
+    }
+
+    fn write_node(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { op: op @ (BinOp::Or | BinOp::And), left, right } => {
+                // Left-associative chains print bare; a same-level right
+                // child must re-parenthesize to survive re-parsing.
+                let lvl = if *op == BinOp::Or { 1 } else { 2 };
+                left.write_at(f, lvl)?;
+                write!(f, " {} ", op.symbol())?;
+                right.write_at(f, lvl + 1)
+            }
+            Expr::Binary { op, left, right } => {
+                left.write_at(f, 5)?;
+                write!(f, " {} ", op.symbol())?;
+                right.write_at(f, 5)
+            }
+            Expr::Not(e) => {
+                write!(f, "NOT ")?;
+                e.write_at(f, 3)
+            }
+            Expr::IsNull { expr, negated } => {
+                expr.write_at(f, 5)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                expr.write_at(f, 5)?;
+                write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, lit) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{lit}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                expr.write_at(f, 5)?;
+                write!(f, " {}BETWEEN {low} AND {high}", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_at(f, 0)
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.table)?;
+        if let Some(filter) = &self.filter {
+            write!(f, " WHERE {filter}")?;
+        }
+        if let Some((col, dir)) = &self.order_by {
+            let dir = match dir {
+                OrderDir::Asc => "ASC",
+                OrderDir::Desc => "DESC",
+            };
+            write!(f, " ORDER BY {col} {dir}")?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert { table, rows } => {
+                write!(f, "INSERT INTO {table} VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, lit) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{lit}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, filter } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(e) = filter {
+                    write!(f, " WHERE {e}")?;
+                }
+                Ok(())
+            }
+            Statement::Update { table, sets, filter } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (col, lit)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {lit}")?;
+                }
+                if let Some(e) = filter {
+                    write!(f, " WHERE {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sql::parse_statement;
+
+    /// Parse, print, re-parse: the round trip must be the identity on the
+    /// AST for each representative statement form.
+    #[test]
+    fn canonical_round_trips() {
+        for sql in [
+            "SELECT * FROM inventory WHERE name LIKE '%wish%'",
+            "SELECT a, b FROM t WHERE a > 1 AND b <= 2 ORDER BY a DESC LIMIT 10",
+            "SELECT COUNT(*), SUM(total) FROM sales",
+            "SELECT * FROM t WHERE (a = 1 OR b = 2) AND NOT c IS NULL",
+            "SELECT * FROM t WHERE a OR (b OR c)",
+            "SELECT * FROM t WHERE x NOT IN (1, 2.5, 'it''s', NULL, TRUE)",
+            "SELECT * FROM t WHERE y NOT BETWEEN -3 AND 9 ORDER BY y ASC",
+            "INSERT INTO t VALUES ('a', 1, 2.5), ('b', NULL, FALSE)",
+            "DELETE FROM t WHERE id = 'x'",
+            "UPDATE t SET a = 1, b = 'x' WHERE c > 2",
+        ] {
+            let ast = parse_statement(sql).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_statement(&printed).unwrap_or_else(|e| {
+                panic!("printed form of {sql:?} fails to parse: {printed:?}: {e}")
+            });
+            assert_eq!(ast, reparsed, "round trip changed the AST of {sql:?} via {printed:?}");
+        }
+    }
+
+    /// Parenthesization restores exactly the structures the grammar needs.
+    #[test]
+    fn printing_restores_precedence() {
+        let cases = [
+            ("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3", "a = 1 OR b = 2 AND c = 3"),
+            ("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3", "(a = 1 OR b = 2) AND c = 3"),
+            ("SELECT * FROM t WHERE NOT (a AND b)", "NOT (a AND b)"),
+            ("SELECT * FROM t WHERE (a < b) < c", "(a < b) < c"),
+        ];
+        for (sql, expected_where) in cases {
+            let ast = parse_statement(sql).unwrap();
+            let printed = ast.to_string();
+            let tail = printed.split(" WHERE ").nth(1).unwrap();
+            assert_eq!(tail, expected_where, "for {sql:?}");
+        }
+    }
+}

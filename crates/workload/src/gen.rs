@@ -109,14 +109,39 @@ fn album_title(rng: &mut SmallRng, seq: usize) -> String {
     )
 }
 
+/// Derives one generation component's seed from the explicit master seed.
+///
+/// Every component (artists, albums, customers, sales, similarity) draws
+/// from its *own* stream seeded by `component_seed(master, label)`, so
+/// the components are independent: resizing or reshaping one never
+/// perturbs another, and — because each record consumes a fixed number of
+/// draws — a component's prefix is stable when the dataset grows.
+pub fn component_seed(master: u64, label: &str) -> u64 {
+    // FNV-1a over the label, then a splitmix64 finalizer over the xor.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = master ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl MusicData {
     /// Generates a dataset of `n_albums` albums (with sales ≈ albums and
-    /// customers ≈ albums/10), deterministic in `seed`.
+    /// customers ≈ albums/10), deterministic in `seed`. Each component
+    /// draws from an independent sub-seeded stream (see
+    /// [`component_seed`]).
     pub fn generate(n_albums: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let component = |label: &str| SmallRng::seed_from_u64(component_seed(seed, label));
+
+        let mut rng = component("artists");
         let n_artists = (n_albums / 4).max(1);
         let artists: Vec<String> = (0..n_artists).map(|_| artist_name(&mut rng)).collect();
 
+        let mut rng = component("albums");
         let albums: Vec<Album> = (0..n_albums)
             .map(|seq| {
                 let discounted = seq % 2 == 0;
@@ -125,12 +150,15 @@ impl MusicData {
                     title: album_title(&mut rng, seq),
                     artist: artists[rng.gen_range(0..artists.len())].clone(),
                     year: rng.gen_range(1960..2018),
-                    discounted,
+                    // Draw unconditionally so each album consumes a fixed
+                    // number of values (prefix stability under resizing).
                     discount_pct: if discounted { rng.gen_range(5..60) } else { 0 },
+                    discounted,
                 }
             })
             .collect();
 
+        let mut rng = component("customers");
         let n_customers = (n_albums / 10).max(1);
         let customers: Vec<Customer> = (0..n_customers)
             .map(|seq| Customer {
@@ -145,6 +173,7 @@ impl MusicData {
             .collect();
 
         // One sale per album on average; each sale buys 1–3 albums.
+        let mut rng = component("sales");
         let sales: Vec<Sale> = (0..n_albums)
             .map(|seq| {
                 let n_items = rng.gen_range(1..=3.min(n_albums));
@@ -160,6 +189,7 @@ impl MusicData {
 
         // Similarity graph: a ring plus random chords — connected, uniform
         // degree ~3, like the paper's "uniformly dense" requirement.
+        let mut rng = component("similar");
         let mut similar = Vec::with_capacity(n_albums * 2);
         for seq in 0..n_albums {
             similar.push((seq, (seq + 1) % n_albums));
@@ -169,6 +199,46 @@ impl MusicData {
         }
 
         MusicData { albums, sales, customers, similar }
+    }
+
+    /// A stable 64-bit digest over every generated field, in a canonical
+    /// order. Golden-pinned in tests: any unintended change to the
+    /// generator's output — reordered draws, a different stream layout, a
+    /// vendored-RNG change — shifts the fingerprint and fails the pin.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Field separator so concatenations cannot collide.
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for a in &self.albums {
+            eat(a.title.as_bytes());
+            eat(a.artist.as_bytes());
+            eat(&a.year.to_le_bytes());
+            eat(&[a.discounted as u8]);
+            eat(&a.discount_pct.to_le_bytes());
+        }
+        for s in &self.sales {
+            eat(&(s.customer as u64).to_le_bytes());
+            eat(&s.total.to_bits().to_le_bytes());
+            for &i in &s.items {
+                eat(&(i as u64).to_le_bytes());
+            }
+        }
+        for c in &self.customers {
+            eat(c.name.as_bytes());
+            eat(c.city.as_bytes());
+        }
+        for &(a, b) in &self.similar {
+            eat(&(a as u64).to_le_bytes());
+            eat(&(b as u64).to_le_bytes());
+        }
+        h
     }
 }
 
@@ -219,5 +289,50 @@ mod tests {
         let d = MusicData::generate(1, 0);
         assert_eq!(d.albums.len(), 1);
         assert_eq!(d.customers.len(), 1);
+    }
+
+    /// Pins the generator's exact output. If this fails, the generated
+    /// dataset changed: either intentionally (re-pin the constant and call
+    /// it out in the changelog — every seeded store and golden transcript
+    /// downstream shifts with it) or accidentally (a reordered draw, a
+    /// stream-layout change, a vendored-RNG change — fix the regression).
+    #[test]
+    fn golden_fingerprint() {
+        let d = MusicData::generate(100, 42);
+        assert_eq!(
+            d.fingerprint(),
+            7394515717923291725,
+            "MusicData::generate(100, 42) output changed",
+        );
+    }
+
+    /// Components draw from independent streams, so growing the dataset
+    /// must not reshuffle records whose draw positions are unchanged: the
+    /// customer records of a small dataset are a prefix of a larger one's
+    /// (each customer consumes a fixed number of draws from its own
+    /// stream), and artist pools of equal size are identical.
+    #[test]
+    fn component_streams_are_independent() {
+        let small = MusicData::generate(40, 9);
+        let large = MusicData::generate(80, 9);
+        assert_eq!(small.customers.len(), 4);
+        for (a, b) in small.customers.iter().zip(&large.customers) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.city, b.city);
+        }
+        // Same album count but a different sales shape would once have
+        // shifted every later stream; now equal-length components agree.
+        let twin = MusicData::generate(40, 9);
+        assert_eq!(small.fingerprint(), twin.fingerprint());
+    }
+
+    #[test]
+    fn component_seeds_are_distinct() {
+        let labels = ["artists", "albums", "customers", "sales", "similar"];
+        let mut seeds: Vec<u64> = labels.iter().map(|l| component_seed(7, l)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), labels.len(), "component seed collision");
+        assert_ne!(component_seed(7, "albums"), component_seed(8, "albums"));
     }
 }

@@ -1,0 +1,102 @@
+//! CLI round-trip: drive the line protocol end to end — one augmented
+//! query per store kind, the observability toggle, and both metrics
+//! export formats — and hold the transcript stable across twin
+//! fixed-seed instances.
+//!
+//! Wall-clock durations are the only nondeterministic output ("... in
+//! 1.23ms ..." lines); everything else, including the metrics histograms
+//! (which record *simulated* latency), must be byte-identical.
+
+use quepa::cli::CommandProcessor;
+use quepa::core::Quepa;
+use quepa::polystore::Deployment;
+use quepa::workload::{BuiltPolystore, WorkloadConfig};
+
+fn build() -> Quepa {
+    BuiltPolystore::build(WorkloadConfig {
+        albums: 40,
+        replica_sets: 1,
+        deployment: Deployment::InProcess,
+        seed: 1234,
+    })
+    .into_quepa()
+}
+
+/// One script, covering: the observability toggle, an augmented search in
+/// each store's native language (relational SQL, Mongo-style find, Cypher
+/// MATCH, redis-style SCAN), and every metrics export format.
+const SCRIPT: &[&str] = &[
+    "CONFIG OBS ON",
+    "SEARCH transactions 1 SELECT * FROM inventory WHERE seq < 3",
+    r#"SEARCH catalogue 1 db.albums.find({"seq":{"$lt":3}})"#,
+    "SEARCH similar 1 MATCH (n:Album) WHERE n.seq < 3 RETURN n",
+    "SEARCH discount 1 SCAN k COUNT 3",
+    "STORES",
+    "STATS",
+    "METRICS",
+    "METRICS JSON",
+    "CONFIG OBS OFF",
+    "METRICS",
+];
+
+fn drive(quepa: &Quepa) -> String {
+    let mut processor = CommandProcessor::new(quepa);
+    let mut out = String::new();
+    for cmd in SCRIPT {
+        out.push_str(">>> ");
+        out.push_str(cmd);
+        out.push('\n');
+        out.push_str(&processor.handle(cmd));
+    }
+    out
+}
+
+/// Strips the wall-clock timing lines ("... 2 augmented in 1.2ms ...").
+fn stable(transcript: &str) -> String {
+    transcript.lines().filter(|l| !l.contains(" in ")).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn every_store_kind_answers_with_augmentation() {
+    let quepa = build();
+    let transcript = drive(&quepa);
+    // Each SEARCH section must have produced augmented results (the `⇒`
+    // marker) and closed with the summary line.
+    let searches: Vec<&str> =
+        transcript.split(">>> ").filter(|s| s.starts_with("SEARCH")).collect();
+    assert_eq!(searches.len(), 4, "script runs one search per store kind");
+    for section in &searches {
+        assert!(section.contains('⇒'), "no augmented results in:\n{section}");
+        assert!(section.contains("augmented in"), "no summary line in:\n{section}");
+        assert!(!section.contains("error"), "search failed:\n{section}");
+    }
+    // Augmentation crossed store boundaries: the relational search reaches
+    // the document, graph and kv stores.
+    let relational = searches[0];
+    for db in ["catalogue", "similar", "discount"] {
+        assert!(relational.contains(db), "SQL search never reached {db}:\n{relational}");
+    }
+}
+
+#[test]
+fn metrics_exports_and_obs_toggle_render() {
+    let quepa = build();
+    let transcript = drive(&quepa);
+    assert!(transcript.contains("quepa_stage_spans_total"), "no Prometheus stage counters");
+    assert!(transcript.contains("le=\"+Inf\""), "no histogram buckets");
+    assert!(transcript.contains("\"stages\""), "no JSON export");
+    assert!(transcript.contains("\"cache\""), "no cache section in JSON");
+    // The final METRICS runs after CONFIG OBS OFF and must say so.
+    let tail = transcript.rsplit(">>> METRICS").next().unwrap();
+    assert!(tail.contains("observability is off"), "OBS OFF not reflected:\n{tail}");
+}
+
+#[test]
+fn twin_instances_produce_identical_transcripts() {
+    let first = stable(&drive(&build()));
+    let second = stable(&drive(&build()));
+    assert_eq!(first, second, "fixed-seed CLI transcript is not deterministic");
+    // The filter only removes timing lines, not content.
+    assert!(first.contains("quepa_stage_spans_total"));
+    assert!(first.contains('⇒'));
+}
