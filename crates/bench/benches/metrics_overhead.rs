@@ -4,14 +4,14 @@
 //! engine installs no thread-local context and every `record_*` call is
 //! one TLS read plus a branch. This bench pins that claim on the hot-path
 //! scenario recorded in `BENCH_augment_hotpath.json` (centralized /
-//! 10 stores / level 1 / cold, mean 0.001828 s at the time of recording):
-//! the disabled-path mean must stay within 2% of that baseline. The
-//! enabled path is measured alongside so regressions in the recording
-//! cost itself are visible too.
+//! 10 stores / level 1 / cold, embedded as `hotpath_reference` at emit
+//! time): the disabled-path mean must stay within 2% of that baseline.
+//! The enabled path is measured alongside so regressions in the
+//! recording cost itself are visible too.
 //!
 //! `main` writes `BENCH_metrics_overhead.json` at the repository root.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use quepa_bench::Lab;
@@ -61,14 +61,23 @@ fn measure(lab: &Lab, config: QuepaConfig, runs: usize) -> f64 {
         lab.run("transactions", QUERY, 1, config, true);
     }
     let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            lab.run("transactions", QUERY, 1, config, true);
-            start.elapsed().as_secs_f64()
-        })
+        .map(|_| lab.run("transactions", QUERY, 1, config, true).0.as_secs_f64())
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[runs / 2]
+}
+
+/// The current hot-path recording this baseline embeds as its reference
+/// (`bench_gate`'s overhead pin is baseline-to-baseline, so the
+/// reference must track the checked-in file, not a constant).
+fn hotpath_reference() -> f64 {
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_augment_hotpath.json"
+    ));
+    let baseline = quepa_bench::baseline::Baseline::load(path)
+        .expect("record BENCH_augment_hotpath.json first");
+    baseline.means["centralized/10stores/level1/cold"]
 }
 
 fn emit_baseline() {
@@ -84,8 +93,9 @@ fn emit_baseline() {
         }
     }
     let json = format!(
-        "{{\n  \"benchmark\": \"metrics_overhead\",\n  \"query\": \"{}\",\n  \"runs_per_scenario\": 50,\n  \"hotpath_reference\": {{\"scenario\": \"centralized/10stores/level1/cold\", \"mean_s\": 0.001828}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"metrics_overhead\",\n  \"query\": \"{}\",\n  \"runs_per_scenario\": 50,\n  \"hotpath_reference\": {{\"scenario\": \"centralized/10stores/level1/cold\", \"mean_s\": {:.6}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         QUERY.replace('"', "\\\""),
+        hotpath_reference(),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics_overhead.json");

@@ -1,0 +1,54 @@
+//! Concurrent-serving throughput: one shared QUEPA instance, 1 / 4 / 16 /
+//! 64 closed-loop clients issuing the same 50-seed augmented search over
+//! the distributed 10-store polystore (see [`quepa_bench::throughput`]
+//! for the serving configuration and why `threads_size = 1` /
+//! `cache_size = 0`).
+//!
+//! `main` writes `BENCH_throughput.json` at the repository root: QPS,
+//! wall seconds per query (`mean_s`, the gate's comparison unit) and
+//! p50/p99 per-query latency for each client count, plus the headline
+//! 16-client-vs-serial QPS ratio (target ≥4×, enforced by `bench_gate`).
+
+use quepa_bench::throughput;
+
+fn main() {
+    let lab = throughput::lab();
+    let mut entries = Vec::new();
+    let mut points = Vec::new();
+    println!(
+        "{:>8} {:>9} {:>10} {:>11} {:>10} {:>10}",
+        "clients", "queries", "qps", "mean_s", "p50_s", "p99_s"
+    );
+    for clients in throughput::CLIENT_LEVELS {
+        let p = throughput::measure(&lab, clients, throughput::default_per_client(clients));
+        println!(
+            "{:>8} {:>9} {:>10.1} {:>11.6} {:>10.6} {:>10.6}",
+            p.clients, p.queries, p.qps, p.mean_s, p.p50_s, p.p99_s
+        );
+        entries.push(format!(
+            "    {{\"scenario\": \"{}\", \"mean_s\": {:.6}, \"qps\": {:.1}, \"p50_s\": {:.6}, \"p99_s\": {:.6}}}",
+            throughput::scenario_name(clients),
+            p.mean_s,
+            p.qps,
+            p.p50_s,
+            p.p99_s
+        ));
+        points.push(p);
+    }
+    let qps_of = |clients: usize| {
+        points.iter().find(|p| p.clients == clients).map(|p| p.qps).unwrap_or(f64::NAN)
+    };
+    let ratio = qps_of(16) / qps_of(1);
+    println!("\n16-client vs serial QPS ratio: {ratio:.2}x (target >= 4x)");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"throughput\",\n  \"query\": \"{}\",\n  \"qps_ratio_c16_vs_c1\": {:.2},\n  \"target_ratio\": 4.0,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        throughput::QUERY.replace('"', "\\\""),
+        ratio,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

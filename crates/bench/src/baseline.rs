@@ -128,6 +128,7 @@ mod tests {
             "BENCH_augment_hotpath.json",
             "BENCH_fault_overhead.json",
             "BENCH_metrics_overhead.json",
+            "BENCH_throughput.json",
         ] {
             let path =
                 std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(name);

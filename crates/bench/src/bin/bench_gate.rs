@@ -1,9 +1,11 @@
 //! CI bench-regression gate.
 //!
-//! Re-measures a smoke subset of the three recorded baselines
+//! Re-measures a smoke subset of the four recorded baselines
 //! (`BENCH_augment_hotpath.json`, `BENCH_fault_overhead.json`,
-//! `BENCH_metrics_overhead.json`) and fails — exit code 1 — when any
-//! scenario drifts more than `TOLERANCE` from its checked-in mean.
+//! `BENCH_metrics_overhead.json`, `BENCH_throughput.json`) and fails —
+//! exit code 1 — when any scenario drifts more than `TOLERANCE` from its
+//! checked-in mean, or when the concurrent-serving path no longer scales:
+//! 16 closed-loop clients must sustain at least 4× the serial QPS.
 //! A scenario that misses the band on the quick pass is re-measured
 //! with more runs before it counts as a regression (CI machines jitter;
 //! the simulated-network sleeps keep means stable, but one noisy run
@@ -20,10 +22,9 @@
 //! ```
 
 use std::path::Path;
-use std::time::Instant;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::Lab;
+use quepa_bench::{throughput, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
 
@@ -71,21 +72,19 @@ fn scenarios(deployment: Deployment) -> Vec<Scenario> {
     out
 }
 
-/// Median wall-clock seconds over `runs` measured executions after five
-/// throwaway warm-ups. The run distribution is a sleep-dominated floor
-/// plus rare scheduler spikes; a mean over a handful of runs can drift
-/// 20%+ on a loaded CI box while the median stays within a percent of
-/// the quiet-machine value, so the gate compares medians.
+/// Median end-to-end query seconds over `runs` measured executions after
+/// five throwaway warm-ups — the answer's own `duration`, matching the
+/// methodology the baseline emitters record. The run distribution is a
+/// sleep-dominated floor plus rare scheduler spikes; a mean over a
+/// handful of runs can drift 20%+ on a loaded CI box while the median
+/// stays within a percent of the quiet-machine value, so the gate
+/// compares medians.
 fn measure(lab: &Lab, config: QuepaConfig, runs: usize) -> f64 {
     for _ in 0..5 {
         lab.run("transactions", QUERY, 1, config, true);
     }
     let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            lab.run("transactions", QUERY, 1, config, true);
-            start.elapsed().as_secs_f64()
-        })
+        .map(|_| lab.run("transactions", QUERY, 1, config, true).0.as_secs_f64())
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[runs / 2]
@@ -104,6 +103,7 @@ fn main() {
         load("BENCH_fault_overhead.json"),
         load("BENCH_metrics_overhead.json"),
     ];
+    let throughput_baseline = load("BENCH_throughput.json");
     let recorded = |file: &str, name: &str| -> f64 {
         let b = match file {
             "BENCH_augment_hotpath.json" => &baselines[0],
@@ -163,6 +163,56 @@ fn main() {
             );
             rows.push((s.name, ok));
         }
+    }
+
+    // ---- concurrent-serving throughput ---------------------------------
+    // Re-measure the serial and 16-client levels of the throughput bench:
+    // each must stay within the tolerance band of its recorded wall
+    // seconds per query, and the measured QPS ratio must hold the ≥4×
+    // scaling claim the tentpole makes.
+    let tlab = throughput::lab();
+    let mut tpoints = Vec::new();
+    for clients in [1usize, 16] {
+        let name = throughput::scenario_name(clients);
+        let want = *throughput_baseline.means.get(&name).unwrap_or_else(|| {
+            eprintln!("bench_gate: BENCH_throughput.json has no scenario {name:?}");
+            std::process::exit(2);
+        });
+        let per_client = throughput::default_per_client(clients);
+        let mut point = throughput::measure(&tlab, clients, per_client);
+        let mut delta = (point.mean_s - want) / want;
+        if delta.abs() > TOLERANCE {
+            let again = throughput::measure(&tlab, clients, 2 * per_client);
+            let again_delta = (again.mean_s - want) / want;
+            if again_delta.abs() < delta.abs() {
+                point = again;
+                delta = again_delta;
+            }
+        }
+        let ok = delta.abs() <= TOLERANCE;
+        failed |= !ok;
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        println!(
+            "{:<52} {:>9.6}s {:>9.6}s {:>+7.1}%  {verdict}",
+            name,
+            want,
+            point.mean_s,
+            delta * 100.0
+        );
+        rows.push((name, ok));
+        tpoints.push(point);
+    }
+    let ratio = tpoints[1].qps / tpoints[0].qps;
+    let ratio_ok = ratio >= 4.0;
+    failed |= !ratio_ok;
+    println!(
+        "throughput scaling: {:.1} qps serial -> {:.1} qps at 16 clients ({ratio:.2}x, target >=4x)  {}",
+        tpoints[0].qps,
+        tpoints[1].qps,
+        if ratio_ok { "ok" } else { "REGRESSION" }
+    );
+    if !ratio_ok {
+        rows.push(("throughput-qps-ratio-16v1".into(), false));
     }
 
     let bad: Vec<&str> = rows.iter().filter(|(_, ok)| !ok).map(|(n, _)| n.as_str()).collect();

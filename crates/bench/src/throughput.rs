@@ -1,0 +1,179 @@
+//! Closed-loop concurrent-serving throughput.
+//!
+//! One shared [`Lab`] instance serves N client threads, each issuing the
+//! same multi-seed augmented search back to back; a barrier releases them
+//! together and the wall clock over the whole burst yields QPS. The
+//! serving configuration deliberately pins `threads_size = 1` — each
+//! query executes its fetch units inline on its own client thread — so
+//! the *only* concurrency axis is the client count: the measured scaling
+//! is cross-query overlap of simulated round-trip latency (the
+//! distributed deployment sleeps ~400 µs per round trip), not intra-query
+//! fan-out. `cache_size = 0` keeps every measured query on the
+//! round-trip path (an all-hits steady state would collapse the
+//! comparison into pure compute); with the cache off, cross-query
+//! single-flight is off too, so every client pays its own round trips
+//! and the bench measures raw serving overlap.
+//!
+//! On a single-core host the expected shape is: serial latency
+//! ≈ compute + Σ group sleeps, while N clients overlap their sleeps and
+//! saturate the core, capping QPS at 1/compute — a ≥4× ratio at 16
+//! clients. More cores only widen the gap.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_polystore::Deployment;
+
+use crate::Lab;
+
+/// Client counts driven by the bench, serial first.
+pub const CLIENT_LEVELS: [usize; 4] = [1, 4, 16, 64];
+
+/// The workload query: 50 original objects ⇒ 50 augmentation seeds.
+pub const QUERY: &str = "SELECT * FROM inventory WHERE seq < 50";
+
+/// The query's target database.
+pub const DATABASE: &str = "transactions";
+
+/// Augmentation level (level 1 exercises the full fetch fan-out).
+pub const LEVEL: usize = 1;
+
+/// One measured concurrency level.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total queries answered across all clients.
+    pub queries: usize,
+    /// Queries per wall-clock second over the burst.
+    pub qps: f64,
+    /// Wall seconds per query (`1 / qps` — the gate's comparison unit).
+    pub mean_s: f64,
+    /// Median per-query latency (seconds).
+    pub p50_s: f64,
+    /// 99th-percentile per-query latency (seconds).
+    pub p99_s: f64,
+}
+
+/// The serving configuration under test (see the module docs for why
+/// `threads_size = 1` and `cache_size = 0`).
+pub fn serving_config() -> QuepaConfig {
+    QuepaConfig {
+        augmenter: AugmenterKind::OuterBatch,
+        batch_size: 8,
+        threads_size: 1,
+        cache_size: 0,
+        ..QuepaConfig::default()
+    }
+}
+
+/// The bench polystore: 10 stores, distributed deployment (~400 µs per
+/// round trip) — the deployment where cross-query overlap pays.
+pub fn lab() -> Lab {
+    Lab::new(200, 2, Deployment::Distributed)
+}
+
+/// The recorded scenario name for a client count.
+pub fn scenario_name(clients: usize) -> String {
+    format!("distributed/10stores/level{LEVEL}/c{clients}")
+}
+
+/// Queries each client issues: sized so every level answers a comparable
+/// total (≥192) without the serial level taking tens of seconds.
+pub fn default_per_client(clients: usize) -> usize {
+    (192 / clients).max(4)
+}
+
+/// Runs one closed-loop burst: `clients` threads × `per_client` queries
+/// each, released together by a barrier.
+pub fn measure(lab: &Lab, clients: usize, per_client: usize) -> ThroughputPoint {
+    lab.quepa.set_optimizer(None);
+    lab.quepa.set_config(serving_config());
+    lab.quepa.drop_caches();
+    for _ in 0..3 {
+        let _ = lab.quepa.augmented_search(DATABASE, QUERY, LEVEL);
+    }
+    let _ = lab.quepa.take_logs();
+
+    let barrier = Barrier::new(clients + 1);
+    let mut latencies: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let mut wall = 0.0f64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                let quepa = &lab.quepa;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut mine = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let start = Instant::now();
+                        quepa
+                            .augmented_search(DATABASE, QUERY, LEVEL)
+                            .expect("throughput query must be valid");
+                        mine.push(start.elapsed().as_secs_f64());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+        wall = start.elapsed().as_secs_f64();
+    });
+    let _ = lab.quepa.take_logs();
+
+    latencies.sort_by(f64::total_cmp);
+    let queries = latencies.len();
+    ThroughputPoint {
+        clients,
+        queries,
+        qps: queries as f64 / wall,
+        mean_s: wall / queries as f64,
+        p50_s: percentile(&latencies, 0.50),
+        p99_s: percentile(&latencies, 0.99),
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_measures_and_scales_sanely() {
+        let lab = lab();
+        let serial = measure(&lab, 1, 6);
+        assert_eq!(serial.queries, 6);
+        assert!(serial.qps > 0.0 && serial.p50_s > 0.0 && serial.p99_s >= serial.p50_s);
+        let quad = measure(&lab, 4, 4);
+        assert_eq!(quad.queries, 16);
+        // Overlapped round trips must not make 4 clients *slower* than
+        // one; the full ≥4× claim at 16 clients is the bench gate's job.
+        assert!(
+            quad.qps > serial.qps,
+            "4 clients ({:.0} qps) should beat serial ({:.0} qps)",
+            quad.qps,
+            serial.qps
+        );
+    }
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.50), 3.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -181,6 +181,176 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
     })
 }
 
+/// The concurrent-serving differential check: `clients` identical queries
+/// race on ONE shared instance per configuration point.
+///
+/// Lazy deletion makes the index a moving target under concurrency —
+/// each racing query plans on either the original index snapshot or the
+/// phantom-stripped one (the snapshot swap is atomic and one deletion
+/// round reaches the fixed point) — so the serving invariants are:
+///
+/// 1. **Membership** — every concurrent answer equals either the cold or
+///    the warm answer of a same-seed serial twin; nothing in between,
+///    nothing else.
+/// 2. **Settlement** — after the race, one more serial query on the
+///    shared instance returns exactly the warm answer.
+/// 3. **Metrics equality** — for clean points (no fault plan, no
+///    phantoms, observability on, cache on), a fresh instance serving
+///    `clients` concurrent queries produces a metrics snapshot
+///    bit-identical to a fresh twin serving the same queries serially:
+///    single-flight waiters account as cache hits, exactly one leader
+///    per batch group pays the round trip and the miss.
+///
+/// Scenarios with *transient* faults are skipped outright: the fault
+/// harness's `FaultyConnector` tracks streak progress in a per-identity
+/// attempt counter shared by every caller — serial-replay state by
+/// design. Racing clients interleave increments and resets on the same
+/// identity (one client's healthy decision erases another's streak
+/// progress), so a client can draw a transient fault on all of its
+/// retry attempts and surface a spurious exhausted-retries answer that
+/// no serial run produces. Outage and spike plans never touch the
+/// counter, so those remain fully checked.
+pub fn check_concurrent_scenario(
+    scenario: &Scenario,
+    clients: usize,
+) -> Result<CheckReport, CheckFailure> {
+    let fail = |message: String| CheckFailure { seed: scenario.seed, message };
+    let database = scenario.query_database();
+    let query = scenario.query();
+    let mut report =
+        CheckReport { configs: 0, augmented: 0, missing: 0, faulted: scenario.fault.is_some() };
+    if scenario.fault.as_ref().is_some_and(|f| f.transient_pct > 0) {
+        return Ok(report);
+    }
+
+    for spec in &scenario.configs {
+        let search = |quepa: &Quepa, what: &str| -> Result<AnswerNormalForm, CheckFailure> {
+            quepa
+                .augmented_search(&database, &query, scenario.level)
+                .map(|a| a.normal_form())
+                .map_err(|e| fail(format!("config {}: {what} failed: {e}", describe(spec))))
+        };
+
+        // The serial twin fixes the two legitimate index states.
+        let twin = build_quepa(scenario, spec);
+        let cold = search(&twin, "serial cold run")?;
+        let warm = search(&twin, "serial warm run")?;
+        if report.configs == 0 {
+            report.augmented = cold.augmented.len();
+            report.missing = cold.missing.len();
+        }
+
+        let shared = build_quepa(scenario, spec);
+        let barrier = std::sync::Barrier::new(clients);
+        let answers: Vec<Result<AnswerNormalForm, String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let shared = &shared;
+                    let barrier = &barrier;
+                    let database = &database;
+                    let query = &query;
+                    s.spawn(move || {
+                        barrier.wait();
+                        shared
+                            .augmented_search(database, query, scenario.level)
+                            .map(|a| a.normal_form())
+                            .map_err(|e| e.to_string())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        for (i, answer) in answers.iter().enumerate() {
+            let nf = answer.as_ref().map_err(|e| {
+                fail(format!("config {}: concurrent client {i} failed: {e}", describe(spec)))
+            })?;
+            if *nf != cold && *nf != warm {
+                return Err(fail(format!(
+                    "config {}: concurrent client {i} answer is neither the serial cold nor warm answer\n--- got ---\n{nf}--- cold ---\n{cold}--- warm ---\n{warm}",
+                    describe(spec)
+                )));
+            }
+        }
+
+        let settled = search(&shared, "post-race settle run")?;
+        if settled != warm {
+            return Err(fail(format!(
+                "config {}: the shared instance did not settle on the warm answer after {clients} racing clients\n--- settled ---\n{settled}--- warm ---\n{warm}",
+                describe(spec)
+            )));
+        }
+        report.configs += 1;
+    }
+
+    check_concurrent_metrics(scenario, &database, &query, clients, &fail)?;
+    Ok(report)
+}
+
+/// Invariant 3 of [`check_concurrent_scenario`]: concurrent-vs-serial
+/// metrics equality on a clean configuration point.
+fn check_concurrent_metrics(
+    scenario: &Scenario,
+    database: &str,
+    query: &str,
+    clients: usize,
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    if scenario.fault.is_some() {
+        return Ok(());
+    }
+    let Some(spec) = scenario.configs.iter().find(|c| c.obs && c.cache > 0) else {
+        return Ok(());
+    };
+    // Phantoms mean lazy deletion: racing clients legitimately split
+    // between index snapshots and the counters diverge by design.
+    let probe = build_quepa(scenario, spec);
+    let cold = probe
+        .augmented_search(database, query, scenario.level)
+        .map_err(|e| fail(format!("metrics probe run failed: {e}")))?;
+    if cold.normal_form().missing.iter().any(|m| m.is_not_found()) {
+        return Ok(());
+    }
+
+    let concurrent = build_quepa(scenario, spec);
+    let barrier = std::sync::Barrier::new(clients);
+    let errors: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let concurrent = &concurrent;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    concurrent
+                        .augmented_search(database, query, scenario.level)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().expect("client thread").err()).collect()
+    });
+    if let Some(e) = errors.first() {
+        return Err(fail(format!("concurrent metrics run failed: {e}")));
+    }
+
+    let serial = build_quepa(scenario, spec);
+    for _ in 0..clients {
+        serial
+            .augmented_search(database, query, scenario.level)
+            .map_err(|e| fail(format!("serial metrics run failed: {e}")))?;
+    }
+
+    let got = concurrent.metrics_snapshot();
+    let want = serial.metrics_snapshot();
+    if got != want {
+        return Err(fail(format!(
+            "config {}: metrics of {clients} concurrent clients differ from {clients} serial runs\n--- concurrent ---\n{got:?}\n--- serial ---\n{want:?}",
+            describe(spec)
+        )));
+    }
+    Ok(())
+}
+
 /// Builds a fresh system under test for one config point.
 fn build_quepa(scenario: &Scenario, spec: &ConfigSpec) -> Quepa {
     Quepa::with_config(
@@ -401,6 +571,17 @@ mod tests {
             let scenario = Scenario::generate(seed);
             if let Err(e) = check_scenario(&scenario) {
                 panic!("seed {seed} failed:\n{e}");
+            }
+        }
+    }
+
+    /// A spread of seeds also passes the concurrent serving check.
+    #[test]
+    fn clean_scenarios_pass_concurrently() {
+        for seed in 0..6u64 {
+            let scenario = Scenario::generate(seed);
+            if let Err(e) = check_concurrent_scenario(&scenario, 4) {
+                panic!("seed {seed} failed concurrently:\n{e}");
             }
         }
     }

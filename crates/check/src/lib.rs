@@ -23,7 +23,7 @@ pub mod rng;
 pub mod scenario;
 pub mod shrink;
 
-pub use driver::{check_scenario, CheckFailure, CheckReport};
+pub use driver::{check_concurrent_scenario, check_scenario, CheckFailure, CheckReport};
 pub use model::{ModelAugmented, ModelIndex, ModelKind};
 pub use rng::SplitMix;
 pub use scenario::{ConfigSpec, FaultSpec, Mutation, RelationSpec, Scenario, StoreKind, StoreSpec};

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! quepa-check [--scenarios N] [--seed S]        # fixed-count smoke run
+//! quepa-check --concurrent M ...                # also race M clients per
+//!                                               # scenario on one instance
 //! quepa-check --soak [--time-budget-secs T]     # run until the budget ends
 //! quepa-check --replay FILE                     # re-run one .scenario file
 //! quepa-check --inject-bug drop-relation[:i]    # self-test: plant a bug,
@@ -16,11 +18,15 @@ use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use quepa_check::{check_scenario, shrink, Mutation, Scenario};
+use quepa_check::{
+    check_concurrent_scenario, check_scenario, shrink, CheckFailure, CheckReport, Mutation,
+    Scenario,
+};
 
 struct Args {
     scenarios: u64,
     seed: u64,
+    concurrent: usize,
     soak: bool,
     time_budget: Duration,
     replay: Option<String>,
@@ -32,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scenarios: 200,
         seed: 1,
+        concurrent: 0,
         soak: false,
         time_budget: Duration::from_secs(300),
         replay: None,
@@ -47,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
                     value("--scenarios")?.parse().map_err(|e| format!("--scenarios: {e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--concurrent" => {
+                args.concurrent =
+                    value("--concurrent")?.parse().map_err(|e| format!("--concurrent: {e}"))?
+            }
             "--soak" => args.soak = true,
             "--time-budget-secs" => {
                 args.time_budget = Duration::from_secs(
@@ -67,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out-dir" => args.out_dir = value("--out-dir")?,
             "--help" | "-h" => {
-                println!("quepa-check [--scenarios N] [--seed S] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]] [--out-dir DIR]");
+                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]] [--out-dir DIR]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -85,12 +96,18 @@ fn write_failure(out_dir: &str, scenario: &Scenario) -> String {
     path
 }
 
-/// Shrinks and reports one failure; returns the failing exit code.
-fn report_failure(args: &Args, scenario: &Scenario, message: &str) -> ExitCode {
+/// Shrinks (against the same check that failed) and reports one failure;
+/// returns the failing exit code.
+fn report_failure(
+    args: &Args,
+    scenario: &Scenario,
+    message: &str,
+    check: &dyn Fn(&Scenario) -> Result<CheckReport, CheckFailure>,
+) -> ExitCode {
     eprintln!("FAIL: {message}");
     eprintln!("shrinking to a minimal reproduction ...");
-    let minimal = shrink(scenario, &|s| check_scenario(s).is_err());
-    let diagnosis = check_scenario(&minimal).expect_err("shrunk scenario still fails");
+    let minimal = shrink(scenario, &|s| check(s).is_err());
+    let diagnosis = check(&minimal).expect_err("shrunk scenario still fails");
     let path = write_failure(&args.out_dir, &minimal);
     eprintln!(
         "minimal reproduction ({} stores, {} relations, {} configs): {path}",
@@ -150,7 +167,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match check_scenario(&scenario) {
+        return match check_scenario(&scenario).and_then(|r| match args.concurrent {
+            0 => Ok(r),
+            m => check_concurrent_scenario(&scenario, m),
+        }) {
             Ok(report) => {
                 println!(
                     "PASS: {path} ({} configs, {} augmented, {} missing)",
@@ -213,13 +233,23 @@ fn main() -> ExitCode {
         let scenario = Scenario::generate(seed);
         match check_scenario(&scenario) {
             Ok(report) => coverage.record(&scenario, report.augmented),
-            Err(e) => return report_failure(&args, &scenario, &e.to_string()),
+            Err(e) => return report_failure(&args, &scenario, &e.to_string(), &check_scenario),
+        }
+        if args.concurrent > 0 {
+            if let Err(e) = check_concurrent_scenario(&scenario, args.concurrent) {
+                let concurrently = |s: &Scenario| check_concurrent_scenario(s, args.concurrent);
+                return report_failure(&args, &scenario, &e.to_string(), &concurrently);
+            }
         }
         ran += 1;
         seed += 1;
     }
+    let mode = match args.concurrent {
+        0 => String::new(),
+        m => format!(" (+{m}-client concurrent check)"),
+    };
     println!(
-        "PASS: {ran} scenarios in {:.1}s ({} faulted, {} clean, {} augmented keys, query kinds: {})",
+        "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} augmented keys, query kinds: {})",
         start.elapsed().as_secs_f64(),
         coverage.faulted,
         coverage.clean,

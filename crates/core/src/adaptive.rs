@@ -195,9 +195,28 @@ pub struct HumanOptimizer {
     pub cores: usize,
 }
 
+impl HumanOptimizer {
+    /// The pinned core count [`Default`] assumes, so optimizer decisions
+    /// are reproducible across machines.
+    pub const DEFAULT_CORES: usize = 8;
+
+    /// An expert sized for an explicit core count.
+    pub fn new(cores: usize) -> Self {
+        HumanOptimizer { cores: cores.max(1) }
+    }
+
+    /// An expert sized for *this* machine — the only constructor that
+    /// reads `available_parallelism`, and therefore the only one whose
+    /// decisions vary across hosts. Experiments that must reproduce
+    /// byte-for-byte use [`Default`] or [`new`](HumanOptimizer::new).
+    pub fn detected() -> Self {
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    }
+}
+
 impl Default for HumanOptimizer {
     fn default() -> Self {
-        HumanOptimizer { cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) }
+        HumanOptimizer { cores: Self::DEFAULT_CORES }
     }
 }
 

@@ -11,13 +11,25 @@
 //!
 //! Hot-path structure: the A' index is traversed **once** per query
 //! ([`plan`] calls `AIndex::augment_multi`, which yields the canonical
-//! neighbourhood and the per-seed work partition together), and every
-//! worker thread accumulates into its own [`Sink`] shard that is merged
-//! after join — workers never share a lock. The final sort by
+//! neighbourhood and the per-seed work partition together). Execution is
+//! uniform across the concurrent strategies: each strategy compiles its
+//! work into a list of *units* (single keys or batch groups) and a
+//! ticket count, and the ticket executor claims units off a shared
+//! atomic cursor — either on the instance's shared [`WorkerPool`]
+//! (queries park on a [`Latch`](crate::pool::Latch) while pool workers
+//! run their tickets) or on scoped threads when no pool is attached.
+//! Every ticket accumulates into its own [`Sink`] shard merged after
+//! completion — workers never share a lock — and the final sort by
 //! (probability desc, key asc) makes the outcome independent of worker
 //! interleaving and shard merge order.
+//!
+//! When a [`FlightTable`] is attached (and the cache is enabled), fetches
+//! coalesce across queries: one leader per key (or per batch group)
+//! performs the round trip, waiters account the published object exactly
+//! like a cache hit. See [`crate::flight`] for the equality argument.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -30,6 +42,8 @@ use quepa_polystore::{PolyError, Polystore};
 use crate::cache::ObjectCache;
 use crate::config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 use crate::error::Result;
+use crate::flight::{Flight, FlightOutcome, FlightTable, KeyRole, LeaderGuard};
+use crate::pool::{Latch, WorkerPool};
 
 /// One element of an augmented answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,7 +148,7 @@ pub fn plan(index: &AIndex, seed_keys: &[GlobalKey], level: usize) -> AugmentPla
 pub fn run(
     polystore: &Polystore,
     index: &AIndex,
-    cache: &ObjectCache,
+    cache: &Arc<ObjectCache>,
     seeds: &[DataObject],
     level: usize,
     config: &QuepaConfig,
@@ -144,35 +158,54 @@ pub fn run(
     run_planned(polystore, cache, &plan, config)
 }
 
+/// The shared serving-path machinery an execution borrows from its
+/// [`Quepa`] instance: long-lived breaker state, the metrics registry,
+/// the shared worker pool, and the cross-query flight table. Standalone
+/// callers ([`run_planned`]) get fresh breakers and none of the rest.
+///
+/// [`Quepa`]: crate::system::Quepa
+pub struct FetchRuntime<'a> {
+    /// Circuit breakers that persist across runs.
+    pub breakers: &'a Arc<BreakerSet>,
+    /// Metrics registry; workers report round trips / probes / retries.
+    pub obs: Option<&'a Arc<MetricsRegistry>>,
+    /// The instance's shared fetch pool; `None` falls back to scoped
+    /// threads (one-shot executions).
+    pub pool: Option<&'a WorkerPool>,
+    /// Cross-query single-flight table; only engaged while the cache is
+    /// enabled (see [`crate::flight`]).
+    pub flight: Option<&'a Arc<FlightTable>>,
+}
+
 /// Executes a previously computed [`AugmentPlan`] — callers that already
 /// traversed the index (e.g. for feature extraction) retrieve without a
 /// second traversal. Circuit-breaker state lives only for this run; use
-/// [`run_planned_with`] to share breakers across runs (as [`Quepa`]
-/// does).
+/// [`run_planned_with`] to share the serving-path machinery across runs
+/// (as [`Quepa`] does).
 ///
 /// [`Quepa`]: crate::system::Quepa
 pub fn run_planned(
     polystore: &Polystore,
-    cache: &ObjectCache,
+    cache: &Arc<ObjectCache>,
     plan: &AugmentPlan,
     config: &QuepaConfig,
 ) -> Result<AugmentationOutcome> {
-    let breakers = BreakerSet::new(config.resilience.breaker);
-    run_planned_with(polystore, cache, plan, config, &breakers, None)
+    let breakers = Arc::new(BreakerSet::new(config.resilience.breaker));
+    let runtime = FetchRuntime { breakers: &breakers, obs: None, pool: None, flight: None };
+    run_planned_with(polystore, cache, plan, config, &runtime)
 }
 
-/// Executes a previously computed [`AugmentPlan`] with an externally
-/// owned [`BreakerSet`], so breaker state (closed → open → half-open)
-/// persists across augmentation runs, and an optional metrics registry:
-/// when one is passed (and enabled), every worker thread reports its
-/// round trips, cache probes and retries under the observation stages.
+/// Executes a previously computed [`AugmentPlan`] on the shared serving
+/// path: breaker state (closed → open → half-open) persists across runs,
+/// workers report to the metrics registry when one is attached, tickets
+/// run on the shared pool, and fetches coalesce across queries through
+/// the flight table.
 pub fn run_planned_with(
     polystore: &Polystore,
-    cache: &ObjectCache,
+    cache: &Arc<ObjectCache>,
     plan: &AugmentPlan,
     config: &QuepaConfig,
-    breakers: &BreakerSet,
-    obs: Option<&Arc<MetricsRegistry>>,
+    runtime: &FetchRuntime<'_>,
 ) -> Result<AugmentationOutcome> {
     let config = config.sanitized();
 
@@ -188,19 +221,43 @@ pub fn run_planned_with(
         });
     }
 
-    let engine = Engine { polystore, cache, resilience: config.resilience, breakers, obs };
-    // The calling thread fetches too (sequential/batch run here, and
-    // outer-batch fills groups here): observe it like any worker.
+    let engine = Engine {
+        polystore: polystore.clone(),
+        cache: Arc::clone(cache),
+        resilience: config.resilience,
+        breakers: Arc::clone(runtime.breakers),
+        obs: runtime.obs.map(Arc::clone),
+        // A disabled cache means a serial run performs every round trip
+        // itself — coalescing would change behaviour, not preserve it.
+        flight: if config.cache_size > 0 { runtime.flight.map(Arc::clone) } else { None },
+    };
+    // The calling thread fetches too (sequential/batch run here):
+    // observe it like any worker.
     let _ctx = engine.observe_fetch();
+    let threads = config.threads_size;
+    let pool = runtime.pool;
     let sink = match config.augmenter {
         AugmenterKind::Sequential => engine.sequential(&owned)?,
-        AugmenterKind::Batch => engine.batch(&owned, config.batch_size)?,
-        AugmenterKind::Inner => engine.inner(&owned, config.threads_size)?,
-        AugmenterKind::Outer => engine.outer(&owned, config.threads_size)?,
-        AugmenterKind::OuterBatch => {
-            engine.outer_batch(&owned, config.batch_size, config.threads_size)?
+        AugmenterKind::Batch => {
+            let units = batch_groups(&owned, config.batch_size);
+            engine.execute(units, true, 1, None)?
         }
-        AugmenterKind::OuterInner => engine.outer_inner(&owned, config.threads_size)?,
+        AugmenterKind::Inner => engine.inner(owned, threads, pool)?,
+        AugmenterKind::Outer => engine.execute(owned, false, threads, pool)?,
+        AugmenterKind::OuterBatch => {
+            let units = batch_groups(&owned, config.batch_size);
+            engine.execute(units, true, threads, pool)?
+        }
+        AugmenterKind::OuterInner => {
+            // Outer × inner parallelism, flattened: per-key units claimed
+            // by outer×inner tickets give the same schedule capacity
+            // without nesting pools (a nested wait inside a pool worker
+            // could deadlock the shared pool).
+            let outer = (threads / 2).max(1);
+            let inner = (threads / 2).max(1);
+            let units: Vec<Vec<Task>> = owned.into_iter().flatten().map(|t| vec![t]).collect();
+            engine.execute(units, false, outer * inner, pool)?
+        }
     };
 
     let mut outcome = AugmentationOutcome {
@@ -209,7 +266,8 @@ pub fn run_planned_with(
         cache_hits: sink.cache_hits,
     };
     {
-        let mut span = obs.map(|r| quepa_obs::span_on(r, Stage::Merge, config.augmenter.name()));
+        let mut span =
+            runtime.obs.map(|r| quepa_obs::span_on(r, Stage::Merge, config.augmenter.name()));
         if let Some(s) = span.as_mut() {
             s.add_items(outcome.objects.len() as u64);
         }
@@ -219,6 +277,27 @@ pub fn run_planned_with(
         outcome.missing.sort();
     }
     Ok(outcome)
+}
+
+/// Compiles the cross-seed batching of §IV-A into group units, in the
+/// order the streaming formulation emits them: a group unit is produced
+/// the moment it fills to `batch_size` (encounter order), partial groups
+/// flush afterwards sorted by target (deterministic remainder).
+fn batch_groups(owned: &[Vec<Task>], batch_size: usize) -> Vec<Vec<Task>> {
+    let mut units = Vec::new();
+    let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
+    for task in owned.iter().flatten() {
+        let slot = (task.key.database().clone(), task.key.collection().clone());
+        let group = groups.entry(slot).or_default();
+        group.push(task.clone());
+        if group.len() >= batch_size {
+            units.push(std::mem::take(group));
+        }
+    }
+    let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+    rest.sort_by(|a, b| a.0.cmp(&b.0));
+    units.extend(rest.into_iter().map(|(_, g)| g));
+    units
 }
 
 /// A shard of the result, private to one worker until merged.
@@ -245,12 +324,17 @@ fn merge_shards(results: Vec<Result<Sink>>, into: &mut Sink) -> Result<()> {
     Ok(())
 }
 
-struct Engine<'a> {
-    polystore: &'a Polystore,
-    cache: &'a ObjectCache,
+/// The retrieval engine, cloned into pool tickets: every field is either
+/// a cheap handle (`Arc`s, the connector-registry `Polystore`) or `Copy`,
+/// so a clone is a reference, not a data copy.
+#[derive(Clone)]
+struct Engine {
+    polystore: Polystore,
+    cache: Arc<ObjectCache>,
     resilience: ResilienceConfig,
-    breakers: &'a BreakerSet,
-    obs: Option<&'a Arc<MetricsRegistry>>,
+    breakers: Arc<BreakerSet>,
+    obs: Option<Arc<MetricsRegistry>>,
+    flight: Option<Arc<FlightTable>>,
 }
 
 /// Maps a fetch error to the structured reason it would leave in the
@@ -273,13 +357,40 @@ fn unreachable_reason(error: &PolyError) -> Option<MissingReason> {
     }
 }
 
-impl Engine<'_> {
+/// One batch of tickets executing on the shared pool. `'static` by
+/// construction (the engine is owned), so jobs need no scoped lifetimes.
+struct TicketBatch {
+    engine: Engine,
+    units: Vec<Vec<Task>>,
+    grouped: bool,
+    next: AtomicUsize,
+    slots: parking_lot::Mutex<Vec<Option<TicketOutcome>>>,
+    latch: Latch,
+}
+
+type TicketOutcome = std::result::Result<Result<Sink>, Box<dyn std::any::Any + Send + 'static>>;
+
+impl TicketBatch {
+    fn run_ticket(&self) -> Result<Sink> {
+        let _ctx = self.engine.observe_fetch();
+        let mut local = Sink::default();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.units.len() {
+                return Ok(local);
+            }
+            self.engine.run_unit(&self.units[i], self.grouped, &mut local)?;
+        }
+    }
+}
+
+impl Engine {
     /// Installs the Fetch-stage observation context on the current
     /// thread; every worker calls this so its round trips, cache probes
     /// and retries report to the engine's registry. `None` (and disabled
     /// registries) cost nothing.
     fn observe_fetch(&self) -> Option<quepa_obs::ContextGuard> {
-        self.obs.map(|r| quepa_obs::observe(r, Stage::Fetch))
+        self.obs.as_ref().map(|r| quepa_obs::observe(r, Stage::Fetch))
     }
 
     /// The breaker guarding `database`, when breakers are enabled.
@@ -303,33 +414,75 @@ impl Engine<'_> {
         Err(error.into())
     }
 
-    /// Fetches one task into `sink`: cache, then a direct-access query.
-    fn fetch_one(&self, task: &Task, sink: &mut Sink) -> Result<()> {
-        let cached = self.cache.get(&task.key);
-        quepa_obs::record_cache_probe(cached.is_some());
-        if let Some(object) = cached {
-            sink.cache_hits += 1;
-            sink.objects.push(AugmentedObject {
-                object,
-                probability: task.probability,
-                distance: task.distance,
-            });
-            return Ok(());
-        }
-        self.fetch_one_uncached(task, sink)
+    /// Accounts a cache (or coalesced-flight) hit and records the object.
+    fn push_hit(&self, task: &Task, object: DataObject, sink: &mut Sink) {
+        self.cache.tally_hit();
+        quepa_obs::record_cache_probe(true);
+        sink.cache_hits += 1;
+        sink.objects.push(AugmentedObject {
+            object,
+            probability: task.probability,
+            distance: task.distance,
+        });
     }
 
-    /// The store round trip of [`fetch_one`](Engine::fetch_one), after
-    /// the cache has missed — also the per-key fallback a failed batch
-    /// degrades to.
-    fn fetch_one_uncached(&self, task: &Task, sink: &mut Sink) -> Result<()> {
-        let result = if self.resilience.is_trivial() {
-            self.polystore.get(&task.key)
+    /// One key's store round trip, resilient when configured.
+    fn round_trip_one(
+        &self,
+        key: &GlobalKey,
+    ) -> std::result::Result<Option<DataObject>, PolyError> {
+        if self.resilience.is_trivial() {
+            self.polystore.get(key)
         } else {
-            let breaker = self.breaker(task.key.database());
-            self.polystore.get_resilient(&task.key, &self.resilience.retry, breaker.as_deref())
+            let breaker = self.breaker(key.database());
+            self.polystore.get_resilient(key, &self.resilience.retry, breaker.as_deref())
+        }
+    }
+
+    /// Fetches one task into `sink`: cache, then — through the flight
+    /// table when coalescing is on — a direct-access query.
+    fn fetch_one(&self, task: &Task, sink: &mut Sink) -> Result<()> {
+        let Some(flight) = self.flight.clone() else {
+            let cached = self.cache.get(&task.key);
+            quepa_obs::record_cache_probe(cached.is_some());
+            if let Some(object) = cached {
+                sink.cache_hits += 1;
+                sink.objects.push(AugmentedObject {
+                    object,
+                    probability: task.probability,
+                    distance: task.distance,
+                });
+                return Ok(());
+            }
+            return self.fetch_one_uncached(task, sink);
         };
-        match result {
+        if let Some(object) = self.cache.probe(&task.key) {
+            self.push_hit(task, object, sink);
+            return Ok(());
+        }
+        match flight.join(&task.key, &self.cache) {
+            KeyRole::Cached(object) => {
+                self.push_hit(task, object, sink);
+                Ok(())
+            }
+            KeyRole::Leader(guard) => {
+                self.cache.tally_miss();
+                quepa_obs::record_cache_probe(false);
+                self.lead_one(task, guard, sink)
+            }
+            KeyRole::Waiter(f) => {
+                let outcome = f.wait();
+                self.settle_waiter(task, outcome, sink)
+            }
+        }
+    }
+
+    /// The store round trip of [`fetch_one`](Engine::fetch_one) when no
+    /// flight table is engaged, after the cache has missed — also the
+    /// per-key fallback a failed batch degrades to, and the fallback of
+    /// a waiter whose leader failed.
+    fn fetch_one_uncached(&self, task: &Task, sink: &mut Sink) -> Result<()> {
+        match self.round_trip_one(&task.key) {
             Ok(Some(object)) => {
                 self.cache.insert(object.clone());
                 sink.objects.push(AugmentedObject {
@@ -347,10 +500,67 @@ impl Engine<'_> {
         }
     }
 
+    /// Performs a led round trip for one key and publishes its outcome
+    /// (the miss was already tallied when leadership was taken).
+    fn lead_one(&self, task: &Task, guard: LeaderGuard, sink: &mut Sink) -> Result<()> {
+        match self.round_trip_one(&task.key) {
+            Ok(Some(object)) => {
+                guard.publish(&self.cache, FlightOutcome::Found(object.clone()));
+                sink.objects.push(AugmentedObject {
+                    object,
+                    probability: task.probability,
+                    distance: task.distance,
+                });
+                Ok(())
+            }
+            Ok(None) => {
+                guard.publish(&self.cache, FlightOutcome::NotFound);
+                sink.missing.push(MissingKey::not_found(task.key.clone()));
+                Ok(())
+            }
+            Err(error) => {
+                guard.publish(&self.cache, FlightOutcome::Failed);
+                self.degrade_or_fail(task, error, sink)
+            }
+        }
+    }
+
+    /// Resolves a coalesced fetch from the leader's published outcome.
+    fn settle_waiter(&self, task: &Task, outcome: FlightOutcome, sink: &mut Sink) -> Result<()> {
+        match outcome {
+            // The flight table is the in-flight extension of the cache:
+            // a serial execution would have found this object cached.
+            FlightOutcome::Found(object) => {
+                self.push_hit(task, object, sink);
+                Ok(())
+            }
+            FlightOutcome::NotFound => {
+                self.cache.tally_miss();
+                quepa_obs::record_cache_probe(false);
+                sink.missing.push(MissingKey::not_found(task.key.clone()));
+                Ok(())
+            }
+            // The leader's round trip failed: fetch directly so this
+            // query's own retry/breaker accounting applies.
+            FlightOutcome::Failed => {
+                self.cache.tally_miss();
+                quepa_obs::record_cache_probe(false);
+                self.fetch_one_uncached(task, sink)
+            }
+        }
+    }
+
     /// Fetches a group of tasks that share a (database, collection) in one
     /// round trip, cache first.
     fn fetch_group(&self, group: &[Task], sink: &mut Sink) -> Result<()> {
         debug_assert!(!group.is_empty());
+        match self.flight.clone() {
+            None => self.fetch_group_direct(group, sink),
+            Some(flight) => self.fetch_group_coalesced(&flight, group, sink),
+        }
+    }
+
+    fn fetch_group_direct(&self, group: &[Task], sink: &mut Sink) -> Result<()> {
         let mut to_fetch: Vec<&Task> = Vec::with_capacity(group.len());
         for task in group {
             let cached = self.cache.get(&task.key);
@@ -373,18 +583,7 @@ impl Engine<'_> {
         let database: &DatabaseName = to_fetch[0].key.database();
         let collection: &CollectionName = to_fetch[0].key.collection();
         let keys: Vec<LocalKey> = to_fetch.iter().map(|t| t.key.key().clone()).collect();
-        let fetched = if self.resilience.is_trivial() {
-            self.polystore.multi_get(database, collection, &keys)
-        } else {
-            let breaker = self.breaker(database);
-            self.polystore.multi_get_resilient(
-                database,
-                collection,
-                &keys,
-                &self.resilience.retry,
-                breaker.as_deref(),
-            )
-        };
+        let fetched = self.round_trip_group(database, collection, &keys);
         let fetched = match fetched {
             Ok(fetched) => fetched,
             Err(error)
@@ -424,193 +623,237 @@ impl Engine<'_> {
         Ok(())
     }
 
+    /// The coalescing variant: the group's cache misses join the flight
+    /// table as one atomic unit, the led subset travels in one round
+    /// trip, and waiters settle from outcomes other queries publish.
+    fn fetch_group_coalesced(
+        &self,
+        flight: &Arc<FlightTable>,
+        group: &[Task],
+        sink: &mut Sink,
+    ) -> Result<()> {
+        let mut to_join: Vec<&Task> = Vec::with_capacity(group.len());
+        for task in group {
+            match self.cache.probe(&task.key) {
+                Some(object) => self.push_hit(task, object, sink),
+                None => to_join.push(task),
+            }
+        }
+        if to_join.is_empty() {
+            return Ok(());
+        }
+        let keys: Vec<GlobalKey> = to_join.iter().map(|t| t.key.clone()).collect();
+        let roles = flight.join_group(&keys, &self.cache);
+        let mut leaders: Vec<(&Task, LeaderGuard)> = Vec::new();
+        let mut waiters: Vec<(&Task, Arc<Flight>)> = Vec::new();
+        for (task, role) in to_join.into_iter().zip(roles) {
+            match role {
+                KeyRole::Cached(object) => self.push_hit(task, object, sink),
+                KeyRole::Leader(guard) => {
+                    self.cache.tally_miss();
+                    quepa_obs::record_cache_probe(false);
+                    leaders.push((task, guard));
+                }
+                KeyRole::Waiter(f) => waiters.push((task, f)),
+            }
+        }
+        if !leaders.is_empty() {
+            self.lead_group(leaders, sink)?;
+        }
+        for (task, f) in waiters {
+            let outcome = f.wait();
+            self.settle_waiter(task, outcome, sink)?;
+        }
+        Ok(())
+    }
+
+    /// One round trip for the led subset of a group, publishing each
+    /// key's outcome. On a degradable batch failure every key falls back
+    /// to its own led round trip (mirroring the uncoalesced path).
+    fn lead_group(&self, leaders: Vec<(&Task, LeaderGuard)>, sink: &mut Sink) -> Result<()> {
+        let database = leaders[0].0.key.database().clone();
+        let collection = leaders[0].0.key.collection().clone();
+        let keys: Vec<LocalKey> = leaders.iter().map(|(t, _)| t.key.key().clone()).collect();
+        let fetched = self.round_trip_group(&database, &collection, &keys);
+        let fetched = match fetched {
+            Ok(fetched) => fetched,
+            Err(error)
+                if self.resilience.degrade == DegradeMode::Partial
+                    && unreachable_reason(&error).is_some() =>
+            {
+                for (task, guard) in leaders {
+                    self.lead_one(task, guard, sink)?;
+                }
+                return Ok(());
+            }
+            // Propagating error: the dropped guards publish `Failed`, so
+            // waiters in other queries fall back to their own fetch.
+            Err(error) => return Err(error.into()),
+        };
+        let mut by_key: HashMap<GlobalKey, DataObject> =
+            fetched.into_iter().map(|o| (o.key().clone(), o)).collect();
+        for (task, guard) in leaders {
+            match by_key.remove(&task.key) {
+                Some(object) => {
+                    guard.publish(&self.cache, FlightOutcome::Found(object.clone()));
+                    sink.objects.push(AugmentedObject {
+                        object,
+                        probability: task.probability,
+                        distance: task.distance,
+                    });
+                }
+                None => {
+                    guard.publish(&self.cache, FlightOutcome::NotFound);
+                    sink.missing.push(MissingKey::not_found(task.key.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One group round trip, resilient when configured.
+    fn round_trip_group(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> std::result::Result<Vec<DataObject>, PolyError> {
+        if self.resilience.is_trivial() {
+            self.polystore.multi_get(database, collection, keys)
+        } else {
+            let breaker = self.breaker(database);
+            self.polystore.multi_get_resilient(
+                database,
+                collection,
+                keys,
+                &self.resilience.retry,
+                breaker.as_deref(),
+            )
+        }
+    }
+
     // -- strategies ---------------------------------------------------------
 
     fn sequential(&self, owned: &[Vec<Task>]) -> Result<Sink> {
         let mut sink = Sink::default();
-        for tasks in owned {
-            for task in tasks {
-                self.fetch_one(task, &mut sink)?;
-            }
-        }
-        Ok(sink)
-    }
-
-    fn batch(&self, owned: &[Vec<Task>], batch_size: usize) -> Result<Sink> {
-        let mut sink = Sink::default();
-        // Group round trips by target (database, collection) across *all*
-        // seeds, emitting a trip whenever a group fills (Fig. 7(b)).
-        let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
         for task in owned.iter().flatten() {
-            let slot = (task.key.database().clone(), task.key.collection().clone());
-            let group = groups.entry(slot).or_default();
-            group.push(task.clone());
-            if group.len() >= batch_size {
-                let full = std::mem::take(group);
-                self.fetch_group(&full, &mut sink)?;
-            }
-        }
-        // Flush partial groups in deterministic order.
-        let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
-        rest.sort_by(|a, b| a.0.cmp(&b.0));
-        for (_, group) in rest {
-            self.fetch_group(&group, &mut sink)?;
+            self.fetch_one(task, &mut sink)?;
         }
         Ok(sink)
     }
 
     /// Inner concurrency: seeds in sequence, each seed's tasks spread over
     /// up to `threads` workers.
-    fn inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
+    fn inner(
+        &self,
+        owned: Vec<Vec<Task>>,
+        threads: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Sink> {
         let mut sink = Sink::default();
         for tasks in owned {
             if tasks.is_empty() {
                 continue;
             }
-            self.parallel_each(tasks, threads, &mut sink)?;
+            let units: Vec<Vec<Task>> = tasks.into_iter().map(|t| vec![t]).collect();
+            sink.merge(self.execute(units, false, threads, pool)?);
         }
         Ok(sink)
     }
 
-    /// Outer concurrency: a pool of `threads` workers, each taking whole
-    /// seeds and fetching their tasks sequentially into its own shard.
-    fn outer(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
-        let next = AtomicUsize::new(0);
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.min(owned.len().max(1)))
-                .map(|_| {
-                    scope.spawn(|_| {
-                        let _ctx = self.observe_fetch();
-                        let mut local = Sink::default();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= owned.len() {
-                                return Ok(local);
-                            }
-                            for task in &owned[i] {
-                                self.fetch_one(task, &mut local)?;
-                            }
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("augmentation worker panicked"))
-                .collect::<Vec<Result<Sink>>>()
-        })
-        .expect("augmentation worker panicked");
-        let mut sink = Sink::default();
-        merge_shards(results, &mut sink)?;
-        Ok(sink)
-    }
-
-    /// Outer-batch: the main thread fills per-store groups; workers drain
-    /// full batches from a channel into worker-local shards.
-    fn outer_batch(&self, owned: &[Vec<Task>], batch_size: usize, threads: usize) -> Result<Sink> {
-        let (tx, rx) = crossbeam::channel::unbounded::<Vec<Task>>();
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let rx = rx.clone();
-                    scope.spawn(move |_| {
-                        let _ctx = self.observe_fetch();
-                        let mut local = Sink::default();
-                        while let Ok(group) = rx.recv() {
-                            self.fetch_group(&group, &mut local)?;
-                        }
-                        Ok(local)
-                    })
-                })
-                .collect();
-            // Main process: group keys by target store, emitting each group
-            // when it reaches BATCH_SIZE (Fig. 7(b)).
-            let mut groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
-            for task in owned.iter().flatten() {
-                let slot = (task.key.database().clone(), task.key.collection().clone());
-                let group = groups.entry(slot).or_default();
-                group.push(task.clone());
-                if group.len() >= batch_size {
-                    let full = std::mem::take(group);
-                    let _ = tx.send(full);
-                }
-            }
-            let mut rest: Vec<_> = groups.into_iter().filter(|(_, g)| !g.is_empty()).collect();
-            rest.sort_by(|a, b| a.0.cmp(&b.0));
-            for (_, group) in rest {
-                let _ = tx.send(group);
-            }
-            drop(tx);
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("augmentation worker panicked"))
-                .collect::<Vec<Result<Sink>>>()
-        })
-        .expect("augmentation worker panicked");
-        let mut sink = Sink::default();
-        merge_shards(results, &mut sink)?;
-        Ok(sink)
-    }
-
-    /// Outer-inner: half the threads take seeds, each fanning its tasks out
-    /// over the other half.
-    fn outer_inner(&self, owned: &[Vec<Task>], threads: usize) -> Result<Sink> {
-        let outer_threads = (threads / 2).max(1);
-        let inner_threads = (threads / 2).max(1);
-        let next = AtomicUsize::new(0);
-        let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..outer_threads.min(owned.len().max(1)))
-                .map(|_| {
-                    scope.spawn(|_| {
-                        let _ctx = self.observe_fetch();
-                        let mut local = Sink::default();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= owned.len() {
-                                return Ok(local);
-                            }
-                            if owned[i].is_empty() {
-                                continue;
-                            }
-                            self.parallel_each(&owned[i], inner_threads, &mut local)?;
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("augmentation worker panicked"))
-                .collect::<Vec<Result<Sink>>>()
-        })
-        .expect("augmentation worker panicked");
-        let mut sink = Sink::default();
-        merge_shards(results, &mut sink)?;
-        Ok(sink)
-    }
-
-    /// Spreads `tasks` over up to `threads` workers, one key per fetch,
-    /// merging the worker shards into `sink` after join.
-    fn parallel_each(&self, tasks: &[Task], threads: usize, sink: &mut Sink) -> Result<()> {
-        let workers = threads.min(tasks.len()).max(1);
-        if workers == 1 {
-            for task in tasks {
-                self.fetch_one(task, sink)?;
-            }
-            return Ok(());
+    /// Runs one unit — a batch group or a run of single-key fetches —
+    /// into a ticket's local sink.
+    fn run_unit(&self, unit: &[Task], grouped: bool, sink: &mut Sink) -> Result<()> {
+        if grouped {
+            return self.fetch_group(unit, sink);
         }
+        for task in unit {
+            self.fetch_one(task, sink)?;
+        }
+        Ok(())
+    }
+
+    /// The ticket executor: `tickets` workers claim `units` off a shared
+    /// cursor, each into its own sink shard, merged in ticket order. With
+    /// a pool the tickets are pool jobs and the caller parks on a latch;
+    /// without one they are scoped threads (one-shot executions).
+    fn execute(
+        &self,
+        units: Vec<Vec<Task>>,
+        grouped: bool,
+        tickets: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Sink> {
+        if units.is_empty() {
+            return Ok(Sink::default());
+        }
+        let tickets = tickets.min(units.len()).max(1);
+        if tickets == 1 {
+            let mut sink = Sink::default();
+            for unit in &units {
+                self.run_unit(unit, grouped, &mut sink)?;
+            }
+            return Ok(sink);
+        }
+        match pool {
+            Some(pool) => self.execute_pooled(units, grouped, tickets, pool),
+            None => self.execute_scoped(&units, grouped, tickets),
+        }
+    }
+
+    fn execute_pooled(
+        &self,
+        units: Vec<Vec<Task>>,
+        grouped: bool,
+        tickets: usize,
+        pool: &WorkerPool,
+    ) -> Result<Sink> {
+        let state = Arc::new(TicketBatch {
+            engine: self.clone(),
+            units,
+            grouped,
+            next: AtomicUsize::new(0),
+            slots: parking_lot::Mutex::new((0..tickets).map(|_| None).collect()),
+            latch: Latch::new(tickets),
+        });
+        for ticket in 0..tickets {
+            let state = Arc::clone(&state);
+            pool.submit(move || {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| state.run_ticket()));
+                state.slots.lock()[ticket] = Some(outcome);
+                state.latch.count_down();
+            });
+        }
+        state.latch.wait();
+        let slots = std::mem::take(&mut *state.slots.lock());
+        let mut results = Vec::with_capacity(tickets);
+        for slot in slots {
+            match slot.expect("every ticket reported before the latch opened") {
+                Ok(result) => results.push(result),
+                // Mirror the scoped executor: a panicking worker panics
+                // the submitting query, first ticket order wins.
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        let mut sink = Sink::default();
+        merge_shards(results, &mut sink)?;
+        Ok(sink)
+    }
+
+    fn execute_scoped(&self, units: &[Vec<Task>], grouped: bool, tickets: usize) -> Result<Sink> {
         let next = AtomicUsize::new(0);
         let results = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
+            let handles: Vec<_> = (0..tickets)
                 .map(|_| {
                     scope.spawn(|_| {
                         let _ctx = self.observe_fetch();
                         let mut local = Sink::default();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= tasks.len() {
+                            if i >= units.len() {
                                 return Ok(local);
                             }
-                            self.fetch_one(&tasks[i], &mut local)?;
+                            self.run_unit(&units[i], grouped, &mut local)?;
                         }
                     })
                 })
@@ -621,6 +864,8 @@ impl Engine<'_> {
                 .collect::<Vec<Result<Sink>>>()
         })
         .expect("augmentation worker panicked");
-        merge_shards(results, sink)
+        let mut sink = Sink::default();
+        merge_shards(results, &mut sink)?;
+        Ok(sink)
     }
 }

@@ -141,15 +141,36 @@ impl ObjectCache {
 
     /// Looks up a key, marking it most-recently-used on a hit.
     pub fn get(&self, key: &GlobalKey) -> Option<DataObject> {
+        let result = self.probe(key);
+        match result.is_some() {
+            true => self.tally_hit(),
+            false => self.tally_miss(),
+        }
+        result
+    }
+
+    /// Looks up a key *without* touching the hit/miss counters (the LRU
+    /// position still updates). The single-flight layer probes first and
+    /// decides afterwards how the lookup counts: a waiter that receives a
+    /// coalesced object tallies a hit — exactly what a serial execution
+    /// would have recorded — while the flight leader tallies the miss.
+    pub fn probe(&self, key: &GlobalKey) -> Option<DataObject> {
         let mut inner = self.shard(key).inner.lock();
-        let Some(&slot) = inner.lru.map.get(key) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        };
+        let &slot = inner.lru.map.get(key)?;
         detach(&mut inner.lru, slot);
         attach_front(&mut inner.lru, slot);
-        self.hits.fetch_add(1, Ordering::Relaxed);
         Some(inner.lru.slab[slot].value.clone())
+    }
+
+    /// Counts one hit (for probes resolved out-of-band — see
+    /// [`probe`](ObjectCache::probe)).
+    pub fn tally_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one miss (for probes resolved out-of-band).
+    pub fn tally_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Inserts (or refreshes) an object, evicting the shard's LRU entry if

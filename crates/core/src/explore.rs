@@ -108,8 +108,7 @@ impl<'q> ExplorationSession<'q> {
         if self.path.len() < 3 {
             return false;
         }
-        let mut index = self.quepa.index_mut();
         let mut paths = self.quepa.paths();
-        paths.record_and_promote(&self.path, &mut index).is_some()
+        self.quepa.update_index(|index| paths.record_and_promote(&self.path, index).is_some())
     }
 }

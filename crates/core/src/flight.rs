@@ -1,0 +1,339 @@
+//! Cross-query single-flight coalescing for key fetches.
+//!
+//! When concurrent queries want the same `(database, key)` at the same
+//! moment, only one of them — the *leader* — performs the store round
+//! trip; the others park as *waiters* and receive the published outcome.
+//! The flight table is the in-flight extension of the LRU cache: a
+//! waiter that is handed a `Found` object accounts it exactly like a
+//! cache hit (which is what a serial execution of the same queries would
+//! have seen), so per-query answers and metrics stay identical to the
+//! serial run.
+//!
+//! Ordering contract that makes the serial-equality argument work:
+//!
+//! 1. A leader publishing `Found` inserts the object into the cache
+//!    *before* removing its flight entry (the removal takes the shard
+//!    lock). A joiner that finds no entry therefore re-checks the cache
+//!    under that same shard lock — the window between "flight gone" and
+//!    "cache filled" is closed, so no query ever performs a redundant
+//!    round trip for a key that was just coalesced.
+//! 2. [`FlightTable::join_group`] registers *all* keys of a batch group
+//!    atomically (locking the involved shards in ascending order), so
+//!    for identical concurrent queries each batch group has exactly one
+//!    leader — the round-trip count and group composition match the
+//!    serial run, which is what keeps metrics snapshots bit-identical.
+//! 3. A leader whose round trip fails publishes `Failed`; waiters fall
+//!    back to their own direct fetch, preserving per-query retry and
+//!    breaker accounting under faults. The guard publishes `Failed` on
+//!    drop, so a panicking leader can never strand its waiters.
+//!
+//! Coalescing is only engaged when the cache is enabled: with
+//! `CACHE_SIZE = 0` a serial run performs every round trip itself, so
+//! sharing one would *change* observable behaviour, not preserve it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use quepa_pdm::{DataObject, GlobalKey};
+
+use crate::cache::ObjectCache;
+
+/// Flight-table shard fan-out.
+const SHARD_COUNT: usize = 16;
+
+/// What a completed flight produced.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The round trip returned the object (it is already in the cache).
+    Found(DataObject),
+    /// The store answered and the object is gone (lazy-deletion signal).
+    NotFound,
+    /// The leader's round trip failed — waiters must fetch for
+    /// themselves so their own retry/breaker accounting applies.
+    Failed,
+}
+
+enum FlightState {
+    Pending,
+    Done(FlightOutcome),
+}
+
+/// One in-flight fetch; waiters park on `done` until the leader
+/// publishes.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { state: Mutex::new(FlightState::Pending), done: Condvar::new() }
+    }
+
+    /// Parks until the leader publishes, then returns the outcome.
+    pub fn wait(&self) -> FlightOutcome {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let FlightState::Done(outcome) = &*state {
+                return outcome.clone();
+            }
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn publish(&self, outcome: FlightOutcome) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = FlightState::Done(outcome);
+        self.done.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Flight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Flight")
+    }
+}
+
+/// A joiner's role for one key.
+#[derive(Debug)]
+pub enum KeyRole {
+    /// The cache answered while holding the shard lock (a flight for this
+    /// key just landed) — account it as a plain cache hit.
+    Cached(DataObject),
+    /// This query leads: perform the round trip and publish through the
+    /// guard.
+    Leader(LeaderGuard),
+    /// Another query is already fetching this key — wait for its
+    /// published outcome.
+    Waiter(Arc<Flight>),
+}
+
+/// The sharded registry of in-flight fetches, shared by every query of
+/// one `Quepa` instance.
+#[derive(Debug)]
+pub struct FlightTable {
+    shards: Vec<parking_lot::Mutex<HashMap<GlobalKey, Arc<Flight>>>>,
+}
+
+impl Default for FlightTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightTable {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        FlightTable {
+            shards: (0..SHARD_COUNT).map(|_| parking_lot::Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &GlobalKey) -> usize {
+        let mixed = key.precomputed_hash().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (mixed >> 32) as usize % self.shards.len()
+    }
+
+    /// Joins one key (a single-key group).
+    pub fn join(self: &Arc<Self>, key: &GlobalKey, cache: &ObjectCache) -> KeyRole {
+        self.join_group(std::slice::from_ref(key), cache).pop().expect("one role per key")
+    }
+
+    /// Joins every key of a batch group atomically: the involved shards
+    /// are locked together (in ascending order — no deadlock), so
+    /// concurrent queries fetching the same group see it either wholly
+    /// unclaimed or wholly in flight, never split. Returns one
+    /// [`KeyRole`] per key, in input order.
+    pub fn join_group(self: &Arc<Self>, keys: &[GlobalKey], cache: &ObjectCache) -> Vec<KeyRole> {
+        let mut shard_ids: Vec<usize> = keys.iter().map(|k| self.shard_of(k)).collect();
+        let mut order = shard_ids.clone();
+        order.sort_unstable();
+        order.dedup();
+        let mut guards: HashMap<usize, _> =
+            order.iter().map(|&i| (i, self.shards[i].lock())).collect();
+        let mut roles = Vec::with_capacity(keys.len());
+        for (key, shard) in keys.iter().zip(shard_ids.drain(..)) {
+            let map = guards.get_mut(&shard).expect("shard locked");
+            if let Some(flight) = map.get(key) {
+                roles.push(KeyRole::Waiter(Arc::clone(flight)));
+                continue;
+            }
+            // No flight: any earlier one has fully landed, and it filled
+            // the cache before dropping its entry — probe under the shard
+            // lock so a just-coalesced object is not fetched again.
+            if let Some(object) = cache.probe(key) {
+                roles.push(KeyRole::Cached(object));
+                continue;
+            }
+            let flight = Arc::new(Flight::new());
+            map.insert(key.clone(), Arc::clone(&flight));
+            roles.push(KeyRole::Leader(LeaderGuard {
+                table: Arc::clone(self),
+                key: key.clone(),
+                flight,
+                published: false,
+            }));
+        }
+        roles
+    }
+
+    fn land(&self, key: &GlobalKey, flight: &Arc<Flight>, outcome: FlightOutcome) {
+        {
+            let mut map = self.shards[self.shard_of(key)].lock();
+            map.remove(key);
+        }
+        flight.publish(outcome);
+    }
+
+    /// In-flight fetches right now (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Proof of leadership for one key. The leader performs the round trip
+/// and must [`publish`](LeaderGuard::publish) the outcome; dropping the
+/// guard unpublished lands the flight as [`FlightOutcome::Failed`], so
+/// waiters are released (to their own fallback fetch) even if the leader
+/// panics.
+#[derive(Debug)]
+pub struct LeaderGuard {
+    table: Arc<FlightTable>,
+    key: GlobalKey,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl LeaderGuard {
+    /// Publishes the round trip's outcome. `Found` objects enter `cache`
+    /// *before* the flight entry is removed — see the module contract.
+    pub fn publish(mut self, cache: &ObjectCache, outcome: FlightOutcome) {
+        if let FlightOutcome::Found(object) = &outcome {
+            cache.insert(object.clone());
+        }
+        self.published = true;
+        self.table.land(&self.key, &self.flight, outcome);
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            self.table.land(&self.key, &self.flight, FlightOutcome::Failed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quepa_pdm::Value;
+
+    fn obj(i: usize) -> DataObject {
+        DataObject::new(
+            format!("d.c.k{i}").parse().unwrap(),
+            Value::object([("n", Value::Int(i as i64))]),
+        )
+    }
+
+    fn key(i: usize) -> GlobalKey {
+        format!("d.c.k{i}").parse().unwrap()
+    }
+
+    #[test]
+    fn exactly_one_leader_per_key() {
+        let table = Arc::new(FlightTable::new());
+        let cache = ObjectCache::new(64);
+        let first = table.join(&key(1), &cache);
+        let second = table.join(&key(1), &cache);
+        assert!(matches!(first, KeyRole::Leader(_)));
+        assert!(matches!(second, KeyRole::Waiter(_)));
+    }
+
+    #[test]
+    fn waiters_receive_the_published_object() {
+        let table = Arc::new(FlightTable::new());
+        let cache = Arc::new(ObjectCache::new(64));
+        let KeyRole::Leader(guard) = table.join(&key(1), &cache) else { panic!("leads") };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let KeyRole::Waiter(f) = table.join(&key(1), &cache) else { panic!("waits") };
+                std::thread::spawn(move || f.wait())
+            })
+            .collect();
+        guard.publish(&cache, FlightOutcome::Found(obj(1)));
+        for w in waiters {
+            assert!(matches!(w.join().unwrap(), FlightOutcome::Found(_)));
+        }
+        assert!(table.is_empty(), "the flight landed");
+        assert!(cache.probe(&key(1)).is_some(), "published objects enter the cache");
+    }
+
+    #[test]
+    fn late_joiner_sees_the_cache_not_a_new_flight() {
+        let table = Arc::new(FlightTable::new());
+        let cache = ObjectCache::new(64);
+        let KeyRole::Leader(guard) = table.join(&key(1), &cache) else { panic!("leads") };
+        guard.publish(&cache, FlightOutcome::Found(obj(1)));
+        assert!(matches!(table.join(&key(1), &cache), KeyRole::Cached(_)));
+    }
+
+    #[test]
+    fn dropped_guard_releases_waiters_as_failed() {
+        let table = Arc::new(FlightTable::new());
+        let cache = ObjectCache::new(64);
+        let KeyRole::Leader(guard) = table.join(&key(1), &cache) else { panic!("leads") };
+        let KeyRole::Waiter(f) = table.join(&key(1), &cache) else { panic!("waits") };
+        drop(guard);
+        assert!(matches!(f.wait(), FlightOutcome::Failed));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn group_join_is_atomic_per_group() {
+        let table = Arc::new(FlightTable::new());
+        let cache = ObjectCache::new(64);
+        let keys: Vec<GlobalKey> = (0..8).map(key).collect();
+        let first = table.join_group(&keys, &cache);
+        assert!(first.iter().all(|r| matches!(r, KeyRole::Leader(_))));
+        let second = table.join_group(&keys, &cache);
+        assert!(second.iter().all(|r| matches!(r, KeyRole::Waiter(_))));
+        drop(first);
+        drop(second);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn concurrent_joins_elect_a_single_leader() {
+        let table = Arc::new(FlightTable::new());
+        let cache = Arc::new(ObjectCache::new(64));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match table.join(&key(7), &cache) {
+                        KeyRole::Leader(guard) => {
+                            guard.publish(&cache, FlightOutcome::Found(obj(7)));
+                            1usize
+                        }
+                        KeyRole::Waiter(f) => {
+                            assert!(matches!(f.wait(), FlightOutcome::Found(_)));
+                            0
+                        }
+                        KeyRole::Cached(_) => 0,
+                    }
+                })
+            })
+            .collect();
+        let leaders: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(leaders, 1, "one round trip for 8 concurrent joiners");
+    }
+}

@@ -43,9 +43,12 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod explore;
+pub mod flight;
 pub mod logs;
 pub mod normal;
+pub mod pool;
 pub mod search;
+pub mod snapshot;
 pub mod system;
 pub mod validator;
 
@@ -55,8 +58,10 @@ pub use cache::ObjectCache;
 pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 pub use error::{QuepaError, Result};
 pub use explore::ExplorationSession;
+pub use flight::{FlightOutcome, FlightTable};
 pub use logs::{QueryFeatures, RunLog};
 pub use normal::{AnswerNormalForm, NormalEntry};
+pub use pool::{Latch, WorkerPool};
 pub use quepa_obs::{MetricsRegistry, MetricsSnapshot};
 pub use search::{AugmentedAnswer, ProbabilityBand};
 pub use system::Quepa;

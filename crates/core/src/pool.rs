@@ -1,0 +1,263 @@
+//! The shared fetch worker pool: one bounded pool per [`Quepa`] instance.
+//!
+//! Before this module, every `augmented_search` spawned its own scoped
+//! threads, so N concurrent queries × `THREADS_SIZE` meant N×T short-lived
+//! OS threads. Now the instance owns a single bounded pool; each query
+//! submits its fetch tickets as jobs and parks on a [`Latch`] until its
+//! batch completes. Tickets claim work units from a shared queue
+//! (injector + atomic claiming inside each batch), so 64 concurrent
+//! queries share the same few workers instead of spawning 64 × T threads.
+//!
+//! Sizing: fetch work is round-trip-shaped — a worker spends most of a
+//! ticket parked in the polystore's simulated network sleep, not on the
+//! CPU — so the default width oversubscribes the core count instead of
+//! matching it (an IO pool, not a compute pool). Workers are spawned
+//! lazily on demand, so a short-lived instance that only ever runs
+//! sequential queries never starts a thread.
+//!
+//! [`Quepa`]: crate::system::Quepa
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+    /// Workers started so far (never exceeds `width` at spawn time).
+    spawned: usize,
+    /// Workers currently parked waiting for a job.
+    idle: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    signal: Condvar,
+    /// Max workers; runtime-adjustable (only gates *new* spawns).
+    width: AtomicUsize,
+}
+
+fn lock_state(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    // Jobs run outside the lock and are unwind-caught, so a poisoned
+    // state can only mean a panic inside this module's own bookkeeping;
+    // the data is still consistent enough to shut down with.
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bounded pool of fetch workers shared by every query of one `Quepa`
+/// instance. Dropping the pool shuts the workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// A pool running at most `width` workers (floored at 1).
+    pub fn new(width: usize) -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState::default()),
+                signal: Condvar::new(),
+                width: AtomicUsize::new(width.max(1)),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The default width: fetch tickets park in simulated round trips,
+    /// so the pool oversubscribes the machine rather than matching it.
+    pub fn default_width() -> usize {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        (cores * 4).clamp(16, 64)
+    }
+
+    /// The current width bound.
+    pub fn width(&self) -> usize {
+        self.shared.width.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the width bound. Growing takes effect on the next submit;
+    /// shrinking only stops further spawns — live workers are not culled.
+    pub fn set_width(&self, width: usize) {
+        self.shared.width.store(width.max(1), Ordering::Relaxed);
+    }
+
+    /// Workers started so far (for tests and diagnostics).
+    pub fn spawned(&self) -> usize {
+        lock_state(&self.shared).spawned
+    }
+
+    /// Enqueues a job, lazily starting a worker when none is idle and the
+    /// pool is below its width.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = lock_state(&self.shared);
+        state.queue.push_back(Box::new(job));
+        let width = self.shared.width.load(Ordering::Relaxed);
+        if state.idle == 0 && state.spawned < width {
+            state.spawned += 1;
+            let name = format!("quepa-fetch-{}", state.spawned);
+            drop(state);
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn fetch worker");
+            self.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            return;
+        }
+        drop(state);
+        self.shared.signal.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = lock_state(shared);
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state.idle += 1;
+                state = shared.signal.wait(state).unwrap_or_else(|e| e.into_inner());
+                state.idle -= 1;
+            }
+        };
+        match job {
+            // Ticket bodies catch their own panics and store them in the
+            // batch result; this outer catch only keeps a worker alive if
+            // a raw job (tests, future callers) panics anyway.
+            Some(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            None => return,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock_state(&self.shared).shutdown = true;
+        self.shared.signal.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width())
+            .field("spawned", &self.spawned())
+            .finish()
+    }
+}
+
+/// A completion latch: the submitting query parks until every ticket of
+/// its batch counted down.
+pub struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// A latch waiting for `count` tickets.
+    pub fn new(count: usize) -> Self {
+        Latch { remaining: Mutex::new(count), done: Condvar::new() }
+    }
+
+    /// Marks one ticket complete, waking waiters when the count hits 0.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Parks until every ticket counted down.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(32));
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            let latch = Arc::clone(&latch);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        assert!(pool.spawned() <= 4);
+    }
+
+    #[test]
+    fn spawns_lazily_and_reuses_idle_workers() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.spawned(), 0, "no work yet, no threads");
+        for _ in 0..3 {
+            let latch = Arc::new(Latch::new(1));
+            let l = Arc::clone(&latch);
+            pool.submit(move || l.count_down());
+            latch.wait();
+        }
+        // Sequential jobs find an idle worker again, so one thread serves
+        // all three (a second may race the first job's park; never three).
+        assert!(pool.spawned() <= 2, "spawned {}", pool.spawned());
+    }
+
+    #[test]
+    fn width_is_adjustable() {
+        let pool = WorkerPool::new(1);
+        pool.set_width(6);
+        assert_eq!(pool.width(), 6);
+        pool.set_width(0);
+        assert_eq!(pool.width(), 1, "width floors at 1");
+    }
+
+    #[test]
+    fn survives_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        let latch = Arc::new(Latch::new(1));
+        pool.submit(|| panic!("boom"));
+        let l = Arc::clone(&latch);
+        pool.submit(move || l.count_down());
+        latch.wait();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let latch = Arc::new(Latch::new(4));
+        for _ in 0..4 {
+            let l = Arc::clone(&latch);
+            pool.submit(move || l.count_down());
+        }
+        latch.wait();
+        drop(pool); // must not hang
+    }
+}

@@ -6,11 +6,28 @@
 //! to deploy multiple instances" — `Quepa` is `Send + Sync` and the
 //! polystore is shared, so several instances can answer queries in
 //! parallel, each with its own A' index replica and cache.
+//!
+//! One instance also serves many queries concurrently; the shared state
+//! is shaped read-mostly for that:
+//!
+//! * the A' index and the configuration live in [`SnapshotCell`]s —
+//!   immutable `Arc` snapshots swapped atomically on mutation, so a
+//!   query never holds a lock across a store round trip, and a
+//!   lazy-deletion pass lands as one whole-index transition;
+//! * fetch tickets run on one bounded [`WorkerPool`] per instance
+//!   (queries park on a latch), instead of every query spawning its own
+//!   `THREADS_SIZE` threads;
+//! * concurrent queries wanting the same key share one round trip
+//!   through the [`FlightTable`];
+//! * run logs accumulate in shard-local buffers (drained in shard order
+//!   by [`take_logs`](Quepa::take_logs)), so loggers don't convoy on one
+//!   mutex.
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use quepa_aindex::{AIndex, PathRepository};
 use quepa_obs::{MetricsRegistry, MetricsSnapshot, Stage};
 use quepa_pdm::{DataObject, DatabaseName};
@@ -18,27 +35,35 @@ use quepa_polystore::retry::{BreakerSet, BreakerState};
 use quepa_polystore::Polystore;
 
 use crate::adaptive::Optimizer;
-use crate::augmenter;
+use crate::augmenter::{self, FetchRuntime};
 use crate::cache::ObjectCache;
 use crate::config::QuepaConfig;
 use crate::error::Result;
 use crate::explore::ExplorationSession;
+use crate::flight::FlightTable;
 use crate::logs::{QueryFeatures, RunLog};
+use crate::pool::WorkerPool;
 use crate::search::AugmentedAnswer;
+use crate::snapshot::SnapshotCell;
 use crate::validator::Validator;
+
+/// Run-log shard fan-out (drained in shard order by `take_logs`).
+const LOG_SHARDS: usize = 8;
 
 /// The QUEPA system.
 pub struct Quepa {
     polystore: Polystore,
-    index: RwLock<AIndex>,
-    cache: ObjectCache,
-    config: Mutex<QuepaConfig>,
+    index: SnapshotCell<AIndex>,
+    cache: Arc<ObjectCache>,
+    config: SnapshotCell<QuepaConfig>,
     validator: Validator,
     paths: Mutex<PathRepository>,
-    logs: Mutex<Vec<RunLog>>,
+    log_shards: Vec<Mutex<Vec<RunLog>>>,
     optimizer: Mutex<Option<Box<dyn Optimizer>>>,
-    breakers: BreakerSet,
+    breakers: Arc<BreakerSet>,
     obs: Arc<MetricsRegistry>,
+    pool: WorkerPool,
+    flight: Arc<FlightTable>,
 }
 
 impl Quepa {
@@ -54,15 +79,17 @@ impl Quepa {
         obs.set_enabled(config.observability);
         Quepa {
             polystore,
-            index: RwLock::new(index),
-            cache: ObjectCache::new(config.cache_size),
-            config: Mutex::new(config.sanitized()),
+            index: SnapshotCell::new(index),
+            cache: Arc::new(ObjectCache::new(config.cache_size)),
+            config: SnapshotCell::new(config.sanitized()),
             validator: Validator,
             paths: Mutex::new(PathRepository::new()),
-            logs: Mutex::new(Vec::new()),
+            log_shards: (0..LOG_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             optimizer: Mutex::new(None),
-            breakers: BreakerSet::new(config.resilience.breaker),
+            breakers: Arc::new(BreakerSet::new(config.resilience.breaker)),
             obs,
+            pool: WorkerPool::new(WorkerPool::default_width()),
+            flight: Arc::new(FlightTable::new()),
         }
     }
 
@@ -71,14 +98,24 @@ impl Quepa {
         &self.polystore
     }
 
-    /// Read access to the A' index.
-    pub fn index(&self) -> parking_lot::RwLockReadGuard<'_, AIndex> {
-        self.index.read()
+    /// The current A' index snapshot. The snapshot is immutable: it stays
+    /// valid (and frozen) across concurrent mutations, which swap in a
+    /// successor atomically.
+    pub fn index(&self) -> Arc<AIndex> {
+        self.index.load()
     }
 
-    /// Write access to the A' index (Collector updates, manual curation).
-    pub fn index_mut(&self) -> parking_lot::RwLockWriteGuard<'_, AIndex> {
-        self.index.write()
+    /// Mutates the A' index copy-on-write (Collector updates, manual
+    /// curation): `f` runs on a clone of the current snapshot, which then
+    /// replaces it as one atomic transition. Concurrent readers keep the
+    /// snapshot they loaded; concurrent updates serialize and compose.
+    pub fn update_index<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> R {
+        self.index.update(f)
+    }
+
+    /// Replaces the A' index wholesale (e.g. loading a saved index).
+    pub fn replace_index(&self, index: AIndex) {
+        self.index.store(index);
     }
 
     /// The object cache.
@@ -93,7 +130,7 @@ impl Quepa {
 
     /// The current configuration.
     pub fn config(&self) -> QuepaConfig {
-        *self.config.lock()
+        *self.config.load()
     }
 
     /// Replaces the configuration; the cache is resized and the circuit
@@ -101,12 +138,25 @@ impl Quepa {
     pub fn set_config(&self, config: QuepaConfig) {
         let config = config.sanitized();
         self.cache.resize(config.cache_size);
-        let rebuild = self.config.lock().resilience.breaker != config.resilience.breaker;
+        let rebuild = self.config.load().resilience.breaker != config.resilience.breaker;
         if rebuild {
             self.breakers.reconfigure(config.resilience.breaker);
         }
         self.obs.set_enabled(config.observability);
-        *self.config.lock() = config;
+        self.config.store(config);
+    }
+
+    /// Caps the shared fetch pool (per instance, not per query — the
+    /// `THREADS_SIZE` knob stays the per-query ticket bound). Sized for
+    /// round-trip-parked tickets by default; throughput benches may pin
+    /// it explicitly.
+    pub fn set_pool_width(&self, width: usize) {
+        self.pool.set_width(width);
+    }
+
+    /// The shared fetch pool's width bound.
+    pub fn pool_width(&self) -> usize {
+        self.pool.width()
     }
 
     /// The instance's metrics registry (live recorders and trace ring).
@@ -146,9 +196,21 @@ impl Quepa {
         *self.optimizer.lock() = optimizer;
     }
 
-    /// The accumulated run logs (the optimizer's training set).
+    /// The accumulated run logs (the optimizer's training set), drained
+    /// from the shard-local buffers in shard order.
     pub fn take_logs(&self) -> Vec<RunLog> {
-        std::mem::take(&mut self.logs.lock())
+        let mut logs = Vec::new();
+        for shard in &self.log_shards {
+            logs.append(&mut shard.lock());
+        }
+        logs
+    }
+
+    /// This thread's run-log shard.
+    fn log_shard(&self) -> &Mutex<Vec<RunLog>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        &self.log_shards[hasher.finish() as usize % self.log_shards.len()]
     }
 
     /// Clears the cache (cold-cache experiment runs).
@@ -183,11 +245,11 @@ impl Quepa {
     ) -> Result<AugmentedAnswer> {
         // One index traversal serves both feature extraction and
         // retrieval: the plan carries the canonical neighbourhood plus
-        // the per-seed work partition, and the index lock is released
-        // before any store round trip.
+        // the per-seed work partition, computed on an immutable snapshot
+        // — no lock is held here or across any store round trip.
         let plan = {
             let mut span = quepa_obs::span_on(&self.obs, Stage::Plan, "traversal");
-            let index = self.index.read();
+            let index = self.index.load();
             let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
             let plan = augmenter::plan(&index, &keys, level);
             span.add_items(plan.augmented.len() as u64);
@@ -217,31 +279,37 @@ impl Quepa {
             None => current,
         };
 
-        let outcome = augmenter::run_planned_with(
-            &self.polystore,
-            &self.cache,
-            &plan,
-            &config,
-            &self.breakers,
-            Some(&self.obs),
-        )?;
+        let runtime = FetchRuntime {
+            breakers: &self.breakers,
+            obs: Some(&self.obs),
+            pool: Some(&self.pool),
+            flight: Some(&self.flight),
+        };
+        let outcome =
+            augmenter::run_planned_with(&self.polystore, &self.cache, &plan, &config, &runtime)?;
 
         // Lazy deletion (§III-C): objects that vanished from the polystore
         // leave the index and the cache. Only *not-found* keys qualify —
         // an unreachable store says nothing about whether its objects
         // still exist, so those stay indexed and only show up in the
-        // answer's `missing` list.
+        // answer's `missing` list. The copy-on-write update makes the
+        // whole pass one atomic index transition: a concurrent query
+        // plans against the old index or the fully pruned one, never a
+        // half-pruned hybrid.
         let lazily_deleted = outcome.missing.iter().filter(|m| m.is_not_found()).count();
         if lazily_deleted > 0 {
-            let mut index = self.index.write();
+            self.index.update(|index| {
+                for entry in outcome.missing.iter().filter(|m| m.is_not_found()) {
+                    index.remove_object(&entry.key);
+                }
+            });
             for entry in outcome.missing.iter().filter(|m| m.is_not_found()) {
-                index.remove_object(&entry.key);
                 self.cache.remove(&entry.key);
             }
         }
 
         let duration = start.elapsed();
-        self.logs.lock().push(RunLog { features, config, duration });
+        self.log_shard().lock().push(RunLog { features, config, duration });
         Ok(AugmentedAnswer {
             original: original.to_vec(),
             augmented: outcome.objects,
@@ -267,8 +335,9 @@ impl std::fmt::Debug for Quepa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Quepa")
             .field("stores", &self.polystore.len())
-            .field("index", &self.index.read().stats())
+            .field("index", &self.index.load().stats())
             .field("config", &self.config())
+            .field("pool", &self.pool)
             .finish_non_exhaustive()
     }
 }

@@ -64,7 +64,7 @@ fn run_with(
     threads: usize,
     warm: bool,
 ) -> AugmentationOutcome {
-    let cache = ObjectCache::new(1024);
+    let cache = Arc::new(ObjectCache::new(1024));
     let config = QuepaConfig {
         augmenter: kind,
         batch_size: batch,

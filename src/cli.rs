@@ -277,7 +277,7 @@ impl<'q> CommandProcessor<'q> {
         };
         match serial::from_str(&text) {
             Ok(index) => {
-                *self.quepa.index_mut() = index;
+                self.quepa.replace_index(index);
                 format!("A' index loaded from {rest}: {:?}\n", self.quepa.index().stats())
             }
             Err(e) => format!("error: {e}\n"),

@@ -3,10 +3,14 @@
 //! parallel. In this case, each instance has its own A' index replica and
 //! its own augmenter." — exercised here with real threads.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 
-use quepa::core::{AugmenterKind, Quepa, QuepaConfig};
-use quepa::polystore::{Deployment, StoreKind};
+use quepa::core::{AnswerNormalForm, AugmenterKind, Quepa, QuepaConfig};
+use quepa::pdm::{CollectionName, DataObject, DatabaseName, LocalKey};
+use quepa::polystore::{
+    Connector, Deployment, Polystore, Result as PolyResult, StatsSnapshot, StoreKind,
+};
 use quepa::workload::{query_for, BuiltPolystore, WorkloadConfig};
 
 #[test]
@@ -119,6 +123,232 @@ fn lazy_deletion_is_thread_safe() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+/// 64 concurrent clients over one shared instance must produce answers —
+/// and an end-of-run metrics snapshot — identical to the same 64 queries
+/// served back to back by a same-seed serial twin. This pins the
+/// coalescing accounting: waiters count as cache hits, exactly one leader
+/// per batch group tallies the miss and the round trip.
+#[test]
+fn sixty_four_concurrent_clients_match_serial() {
+    const CLIENTS: usize = 64;
+    let config = QuepaConfig {
+        augmenter: AugmenterKind::OuterBatch,
+        batch_size: 8,
+        threads_size: 4,
+        cache_size: 4096,
+        observability: true,
+        ..QuepaConfig::default()
+    };
+    let build = || {
+        BuiltPolystore::build(WorkloadConfig {
+            albums: 100,
+            replica_sets: 1,
+            deployment: Deployment::InProcess,
+            seed: 34,
+        })
+    };
+    let query = query_for(StoreKind::Relational, 12);
+
+    // Serial twin: a fresh instance answering the query 64 times in a row.
+    let built = build();
+    let serial = Quepa::with_config(built.polystore, built.index, config);
+    let serial_nfs: Vec<AnswerNormalForm> = (0..CLIENTS)
+        .map(|_| serial.augmented_search("transactions", &query, 1).unwrap().normal_form())
+        .collect();
+    assert!(serial_nfs.windows(2).all(|w| w[0] == w[1]), "serial runs must agree");
+
+    // Shared instance: 64 clients released together through a barrier.
+    let built = build();
+    let shared = Arc::new(Quepa::with_config(built.polystore, built.index, config));
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                shared.augmented_search("transactions", &query, 1).unwrap().normal_form()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), serial_nfs[0], "concurrent answer diverged from serial");
+    }
+    assert_eq!(shared.take_logs().len(), CLIENTS);
+    assert_eq!(
+        shared.metrics_snapshot(),
+        serial.metrics_snapshot(),
+        "metrics under 64-way concurrency must equal the serial twin's"
+    );
+}
+
+/// A gate the test holds closed while concurrent queries pile up on the
+/// flight table, so the leader's round trip is provably in flight when
+/// the waiters join.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    released: Condvar,
+}
+
+impl Gate {
+    fn hold(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.released.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.released.notify_all();
+    }
+}
+
+/// Delegating connector that counts point/batched lookups — the round
+/// trips the single-flight layer is supposed to coalesce — and parks them
+/// on a [`Gate`] until the test releases it.
+struct GateConnector {
+    inner: Arc<dyn Connector>,
+    round_trips: Arc<AtomicUsize>,
+    gate: Arc<Gate>,
+}
+
+impl Connector for GateConnector {
+    fn database(&self) -> &DatabaseName {
+        self.inner.database()
+    }
+
+    fn kind(&self) -> StoreKind {
+        self.inner.kind()
+    }
+
+    fn collections(&self) -> Vec<CollectionName> {
+        self.inner.collections()
+    }
+
+    fn execute(&self, query: &str) -> PolyResult<Vec<DataObject>> {
+        self.inner.execute(query)
+    }
+
+    fn execute_update(&self, statement: &str) -> PolyResult<usize> {
+        self.inner.execute_update(statement)
+    }
+
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> PolyResult<Option<DataObject>> {
+        self.gate.hold();
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.inner.get(collection, key)
+    }
+
+    fn multi_get(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+    ) -> PolyResult<Vec<DataObject>> {
+        self.gate.hold();
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.inner.multi_get(collection, keys)
+    }
+
+    fn scan_collection(&self, collection: &CollectionName) -> PolyResult<Vec<DataObject>> {
+        self.inner.scan_collection(collection)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
+        self.inner.record_resilience(retries, timeouts, breaker_trips)
+    }
+}
+
+fn gated(polystore: &Polystore, round_trips: &Arc<AtomicUsize>, gate: &Arc<Gate>) -> Polystore {
+    polystore.wrap_connectors(|inner| {
+        Arc::new(GateConnector {
+            inner,
+            round_trips: Arc::clone(round_trips),
+            gate: Arc::clone(gate),
+        })
+    })
+}
+
+/// Cross-query single-flight: while the leader's round trip is parked on
+/// the gate, seven more clients ask for the same keys. Once released, the
+/// eight queries together must have cost exactly the round trips of ONE
+/// cold serial run — the other seven rode the shared flights (or the
+/// cache the leader filled).
+#[test]
+fn identical_concurrent_queries_share_one_round_trip() {
+    const CLIENTS: usize = 8;
+    let config = QuepaConfig {
+        augmenter: AugmenterKind::OuterBatch,
+        batch_size: 8,
+        threads_size: 1, // tickets collapse to the caller: the gate parks client threads only
+        cache_size: 4096,
+        ..QuepaConfig::default()
+    };
+    let build = || {
+        BuiltPolystore::build(WorkloadConfig {
+            albums: 80,
+            replica_sets: 0,
+            deployment: Deployment::InProcess,
+            seed: 35,
+        })
+    };
+    let query = query_for(StoreKind::Document, 9);
+
+    // Reference: round trips of one cold serial run (gate already open).
+    let built = build();
+    let serial_trips = Arc::new(AtomicUsize::new(0));
+    let open_gate = Arc::new(Gate::default());
+    open_gate.release();
+    let serial =
+        Quepa::with_config(gated(&built.polystore, &serial_trips, &open_gate), built.index, config);
+    let serial_nf = serial.augmented_search("catalogue", &query, 1).unwrap().normal_form();
+    let serial_trips = serial_trips.load(Ordering::Relaxed);
+    assert!(serial_trips > 0, "the query must fetch something");
+
+    // Shared instance, gate closed: the leader parks inside its round
+    // trip while the other clients join the same flights.
+    let built = build();
+    let trips = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(Gate::default());
+    let shared =
+        Arc::new(Quepa::with_config(gated(&built.polystore, &trips, &gate), built.index, config));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                shared.augmented_search("catalogue", &query, 1).unwrap().normal_form()
+            })
+        })
+        .collect();
+    // Let every client reach the flight table: the leader is parked on
+    // the gate, the rest are parked on the flights it registered.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    gate.release();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), serial_nf, "coalesced answer diverged");
+    }
+    assert_eq!(
+        trips.load(Ordering::Relaxed),
+        serial_trips,
+        "eight identical concurrent queries must cost one run's round trips"
+    );
 }
 
 fn discount_key_of(quepa: &Quepa, seq: usize) -> String {

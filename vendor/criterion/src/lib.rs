@@ -179,6 +179,24 @@ impl Bencher {
         }
     }
 
+    /// Lets `routine` measure itself: it receives an iteration count and
+    /// returns the time spent on exactly that many executions (mirrors
+    /// criterion's `iter_custom`). Useful when the measurable work is
+    /// wrapped in unmeasured setup the routine must exclude.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            self.elapsed += routine(1);
+            self.iterations += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
     /// Times `routine` over fresh inputs from `setup`; setup time is not
     /// measured.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
