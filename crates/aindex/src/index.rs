@@ -247,6 +247,22 @@ impl Clone for ScratchPool {
     }
 }
 
+/// One entry of the mutation journal (see [`AIndex::set_journaling`]).
+/// `Created`/`Revived` imply `Touched`; a consumer rebuilds the projected
+/// state of every journaled node from the master index, so the ops only
+/// need to distinguish the two transitions that are not derivable from the
+/// end state alone (a fresh node needs a name registered, a revived node
+/// needs its incarnation counter bumped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JournalOp {
+    /// A node was interned for the first time.
+    Created(NodeId),
+    /// A lazily deleted node was resurrected by re-insertion.
+    Revived(NodeId),
+    /// A node's liveness or incident-edge set changed.
+    Touched(NodeId),
+}
+
 /// The A' index: one node per global key, identity/matching edges with
 /// probabilities.
 #[derive(Debug, Clone, Default)]
@@ -262,6 +278,16 @@ pub struct AIndex {
     /// parent edge → edges inferred from it (lineage children).
     children: HashMap<EdgeId, Vec<EdgeId>>,
     policy: DeletionPolicy,
+    /// Mutation journal for the sharded projection layer; empty and
+    /// unmaintained unless journaling is on (plain indexes pay nothing).
+    journal: Vec<JournalOp>,
+    journaling: bool,
+    /// While a `remove_object` runs, kills of edges incident to the dying
+    /// node are not journaled: the dead endpoint alone makes them
+    /// invisible to shard readers, which is what keeps a removal confined
+    /// to one shard. Cascade kills between two *surviving* nodes are
+    /// still journaled.
+    suppress: Option<NodeId>,
 }
 
 impl AIndex {
@@ -283,7 +309,12 @@ impl AIndex {
     fn intern(&mut self, key: &GlobalKey) -> NodeId {
         if let Some(&id) = self.ids.get(key) {
             // Re-inserting a lazily deleted key resurrects the node.
-            self.alive_node[id as usize] = true;
+            if !self.alive_node[id as usize] {
+                self.alive_node[id as usize] = true;
+                if self.journaling {
+                    self.journal.push(JournalOp::Revived(id));
+                }
+            }
             return id;
         }
         let id = self.keys.len() as NodeId;
@@ -291,7 +322,51 @@ impl AIndex {
         self.alive_node.push(true);
         self.adjacency.add_node();
         self.ids.insert(key.clone(), id);
+        if self.journaling {
+            self.journal.push(JournalOp::Created(id));
+        }
         id
+    }
+
+    // -- mutation journal --------------------------------------------------
+
+    /// Turns the mutation journal on or off. Maintained by the sharded
+    /// projection layer ([`crate::shard::ShardedIndex`]); plain indexes
+    /// leave it off and pay a single branch per mutation.
+    pub(crate) fn set_journaling(&mut self, on: bool) {
+        self.journaling = on;
+        if !on {
+            self.journal.clear();
+        }
+    }
+
+    /// Drains the accumulated journal.
+    pub(crate) fn take_journal(&mut self) -> Vec<JournalOp> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Total interned nodes (live and dead) — the dense id space.
+    pub(crate) fn interned_len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The key of an interned node.
+    pub(crate) fn key_at(&self, n: NodeId) -> &GlobalKey {
+        &self.keys[n as usize]
+    }
+
+    /// Whether an interned node is live.
+    pub(crate) fn node_alive(&self, n: NodeId) -> bool {
+        self.alive_node[n as usize]
+    }
+
+    /// Live incident edges of `n` whose other endpoint is also live, as
+    /// `(other, kind, probability, origin)`, in adjacency order.
+    pub(crate) fn live_incident_of(
+        &self,
+        n: NodeId,
+    ) -> impl Iterator<Item = (NodeId, RelationKind, Probability, EdgeOrigin)> + '_ {
+        self.incident(n).map(move |(_, e)| (e.other(n), e.kind, e.prob, e.origin))
     }
 
     fn node(&self, key: &GlobalKey) -> Option<NodeId> {
@@ -366,6 +441,7 @@ impl AIndex {
             if e.alive {
                 if prob > e.prob {
                     e.prob = prob;
+                    self.journal_edge(a, b);
                 }
                 return Some(eid);
             }
@@ -374,6 +450,7 @@ impl AIndex {
             e.origin = origin;
             e.alive = true;
             self.register_lineage(eid, origin);
+            self.journal_edge(a, b);
             return Some(eid);
         }
         let eid = self.edges.len() as EdgeId;
@@ -382,7 +459,22 @@ impl AIndex {
         self.adjacency.push_edge(key.1, eid);
         self.pair_index.insert(key, eid);
         self.register_lineage(eid, origin);
+        self.journal_edge(a, b);
         Some(eid)
+    }
+
+    /// Journals both endpoints of a changed edge, honouring the
+    /// `remove_object` suppression (an edge incident to a dying node needs
+    /// no journal entry — the dead endpoint hides it from readers).
+    fn journal_edge(&mut self, a: NodeId, b: NodeId) {
+        if !self.journaling {
+            return;
+        }
+        if self.suppress == Some(a) || self.suppress == Some(b) {
+            return;
+        }
+        self.journal.push(JournalOp::Touched(a));
+        self.journal.push(JournalOp::Touched(b));
     }
 
     fn register_lineage(&mut self, eid: EdgeId, origin: EdgeOrigin) {
@@ -633,12 +725,22 @@ impl AIndex {
     pub fn remove_object(&mut self, key: &GlobalKey) {
         let Some(n) = self.node(key) else { return };
         self.alive_node[n as usize] = false;
+        if self.journaling {
+            self.journal.push(JournalOp::Touched(n));
+        }
+        // Kills of the incident edges are not journaled (`suppress`): the
+        // node's own Touched entry makes it dead in its home shard, which
+        // hides every incident edge from readers — so a removal rewrites
+        // exactly one shard. Cascade kills between surviving nodes are
+        // still journaled by `kill_edge`.
+        self.suppress = Some(n);
         let incident: Vec<EdgeId> = self.adjacency.edges_of(n).collect();
         for eid in incident {
             if self.edges[eid as usize].alive {
                 self.kill_edge(eid);
             }
         }
+        self.suppress = None;
     }
 
     /// Deletes a p-relation. Under [`DeletionPolicy::Cascade`] every edge
@@ -662,6 +764,8 @@ impl AIndex {
                 continue;
             }
             e.alive = false;
+            let (a, b) = (e.a, e.b);
+            self.journal_edge(a, b);
             if self.policy == DeletionPolicy::Cascade {
                 if let Some(kids) = self.children.get(&eid) {
                     stack.extend(kids.iter().copied());

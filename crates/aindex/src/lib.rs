@@ -29,7 +29,9 @@
 pub mod index;
 pub mod promote;
 pub mod serial;
+pub mod shard;
 
 pub use index::{AIndex, AugmentedKey, DeletionPolicy, EdgeInfo, EdgeOrigin, IndexStats};
 pub use promote::{PathRepository, PromotionConfig};
 pub use serial::SerialError;
+pub use shard::{Augmentable, IndexView, ShardIndexStats, ShardedIndex, SHARD_COUNT};

@@ -1,0 +1,1080 @@
+//! Sharded A' index: per-shard immutable snapshots with delta overlays.
+//!
+//! The monolithic [`AIndex`] answers queries well but mutates badly at
+//! scale: publishing any change to concurrent readers means cloning and
+//! swapping the whole index. [`ShardedIndex`] keeps the master `AIndex`
+//! as the single writer-side source of truth and *projects* it into
+//! [`SHARD_COUNT`] read-only shard snapshots, each holding the nodes
+//! whose global key hashes into it plus their half-edges. Mutations run
+//! against the master under the writer lock; a journal of touched nodes
+//! is then drained into small per-shard **delta overlays**, so a lazy
+//! deletion republishes exactly one shard while every other shard's
+//! snapshot (and any in-flight [`IndexView`]) is untouched. An amortized
+//! compactor folds an overlay back into a fresh packed base once it
+//! grows past a fraction of the base.
+//!
+//! ## Visibility rules
+//!
+//! A shard stores *half-edges*: node `a`'s entry lists `(b, inc_b, kind,
+//! prob, origin)` for every edge `a—b` that was live when the entry was
+//! built. A half-edge is traversable iff `b` is currently alive **and**
+//! `b`'s current incarnation equals the recorded `inc_b`. Incarnations
+//! bump only when a lazily-deleted node is resurrected, which closes the
+//! ghost-edge hole: killing `b` hides all of `b`'s edges without touching
+//! the neighbouring shards (their stale half-edges fail the liveness
+//! check), and resurrecting `b` later does not revive them (the stale
+//! half-edges now fail the incarnation check). Any *edge* change —
+//! insert, strengthen, revive, kill between two survivors — rebuilds
+//! both endpoints' entries, so a live edge is always recorded on both
+//! sides with current incarnations. Consequently the projection answers
+//! every query bit-identically to the master index.
+//!
+//! ## Determinism
+//!
+//! The BFS relaxation and the ownership min-label pass are both
+//! order-independent (best probability wins with strict improvement;
+//! `min` distributes over path unions), and the final sort canonicalizes
+//! by `(probability desc, key asc)` — so traversing half-edges in shard
+//! order instead of master CSR order yields identical answers, which the
+//! differential harness (`quepa-check`) pins across the full scenario
+//! smoke.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quepa_pdm::{GlobalKey, Probability, RelationKind};
+
+use crate::index::{AIndex, AugmentedKey, EdgeInfo, EdgeOrigin, IndexStats, JournalOp};
+
+/// Number of shards the key space is hashed over.
+pub const SHARD_COUNT: usize = 16;
+const SHARD_BITS: u32 = 4;
+const SHARD_MASK: u32 = (SHARD_COUNT as u32) - 1;
+
+/// Packed node reference: local slot in the high bits, shard in the low
+/// [`SHARD_BITS`] bits. Slots are dense per shard and never reused, so
+/// the reference space stays compact enough for epoch-stamped scratch.
+type NodeRef = u32;
+
+#[inline]
+fn shard_of(r: NodeRef) -> usize {
+    (r & SHARD_MASK) as usize
+}
+
+#[inline]
+fn slot_of(r: NodeRef) -> u32 {
+    r >> SHARD_BITS
+}
+
+#[inline]
+fn make_ref(shard: usize, slot: u32) -> NodeRef {
+    (slot << SHARD_BITS) | shard as u32
+}
+
+/// Shard a key routes to, derived from its precomputed FNV-1a hash.
+#[inline]
+pub fn route(key: &GlobalKey) -> usize {
+    let h = key.precomputed_hash();
+    ((h ^ (h >> 32)) & SHARD_MASK as u64) as usize
+}
+
+/// One directed half of an edge, stored in its owning endpoint's shard.
+#[derive(Debug, Clone, Copy)]
+struct HalfEdge {
+    other: NodeRef,
+    /// The other endpoint's incarnation when this entry was built.
+    other_inc: u32,
+    kind: RelationKind,
+    prob: Probability,
+    origin: EdgeOrigin,
+}
+
+/// The packed, immutable part of a shard: produced by compaction, shared
+/// (via `Arc`) across successive overlay publications.
+#[derive(Debug, Default)]
+struct ShardBase {
+    /// key → slot, for every node named in this shard at compaction time.
+    names: HashMap<GlobalKey, u32>,
+    /// slot → key.
+    keys: Vec<GlobalKey>,
+    alive: Vec<bool>,
+    incs: Vec<u32>,
+    /// CSR offsets over `edges`; `len == keys.len() + 1`.
+    offsets: Vec<u32>,
+    edges: Vec<HalfEdge>,
+    live_nodes: usize,
+}
+
+impl ShardBase {
+    fn edges_of(&self, slot: u32) -> &[HalfEdge] {
+        let i = slot as usize;
+        if i + 1 < self.offsets.len() {
+            &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let key_bytes: usize = self.keys.iter().map(key_heap_bytes).sum();
+        // Names hold a second copy of every key plus map overhead.
+        key_bytes * 2
+            + self.names.len() * (std::mem::size_of::<GlobalKey>() + 16)
+            + self.keys.len()
+                * (std::mem::size_of::<GlobalKey>() + 1 + 4 + std::mem::size_of::<u32>())
+            + self.edges.len() * std::mem::size_of::<HalfEdge>()
+            + self.offsets.len() * 4
+    }
+}
+
+fn key_heap_bytes(k: &GlobalKey) -> usize {
+    k.database().as_str().len() + k.collection().as_str().len() + k.key().as_str().len()
+}
+
+/// Projected state of one node, overriding the base until compaction.
+#[derive(Debug, Clone)]
+struct OverlayNode {
+    key: GlobalKey,
+    alive: bool,
+    inc: u32,
+    edges: Vec<HalfEdge>,
+}
+
+/// The mutable delta layered over a [`ShardBase`]. Cloned on publication
+/// (it stays small by construction — compaction folds it away).
+#[derive(Debug, Clone, Default)]
+struct Overlay {
+    /// slot → projected node state.
+    nodes: HashMap<u32, OverlayNode>,
+    /// Names registered since the base was built.
+    names: HashMap<GlobalKey, u32>,
+}
+
+/// One shard's published snapshot: an immutable packed base plus a small
+/// overlay readers merge on the fly.
+#[derive(Debug)]
+struct ShardSnap {
+    base: Arc<ShardBase>,
+    overlay: Overlay,
+    /// Total slots in this shard (base slots + nodes created since).
+    slots: u32,
+    resident_bytes: usize,
+}
+
+impl ShardSnap {
+    fn name(&self, key: &GlobalKey) -> Option<u32> {
+        self.overlay.names.get(key).or_else(|| self.base.names.get(key)).copied()
+    }
+
+    fn alive(&self, slot: u32) -> bool {
+        if let Some(o) = self.overlay.nodes.get(&slot) {
+            return o.alive;
+        }
+        self.base.alive.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    fn inc(&self, slot: u32) -> u32 {
+        if let Some(o) = self.overlay.nodes.get(&slot) {
+            return o.inc;
+        }
+        self.base.incs.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    fn key(&self, slot: u32) -> &GlobalKey {
+        if let Some(o) = self.overlay.nodes.get(&slot) {
+            return &o.key;
+        }
+        &self.base.keys[slot as usize]
+    }
+
+    fn edges(&self, slot: u32) -> &[HalfEdge] {
+        if let Some(o) = self.overlay.nodes.get(&slot) {
+            return &o.edges;
+        }
+        self.base.edges_of(slot)
+    }
+
+    fn live_count(&self) -> usize {
+        let mut live = self.base.live_nodes as isize;
+        for (&slot, node) in &self.overlay.nodes {
+            let was = self.base.alive.get(slot as usize).copied().unwrap_or(false);
+            live += node.alive as isize - was as isize;
+        }
+        live.max(0) as usize
+    }
+}
+
+/// Published per-shard statistics (the observability surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardIndexStats {
+    /// Shard number.
+    pub shard: usize,
+    /// Live nodes resident in the shard.
+    pub entries: usize,
+    /// Overlay entries layered over the packed base.
+    pub overlay_depth: usize,
+    /// Approximate bytes held by the published snapshot.
+    pub resident_bytes: usize,
+    /// Times the shard's base was recompacted.
+    pub compactions: u64,
+    /// Times a new snapshot of this shard was published.
+    pub swaps: u64,
+}
+
+/// The atomically published projection: one snapshot per shard.
+#[derive(Debug)]
+struct Directory {
+    shards: [Arc<ShardSnap>; SHARD_COUNT],
+    max_slots: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------------
+
+/// Per-query BFS workspace over the packed [`NodeRef`] space; the same
+/// epoch-stamping discipline as the master index's scratch.
+#[derive(Debug, Default)]
+struct ViewScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    best_prob: Vec<Probability>,
+    best_dist: Vec<u32>,
+    slot: Vec<u32>,
+    touched: Vec<NodeRef>,
+    frontier: Vec<(NodeRef, Probability)>,
+    next: Vec<(NodeRef, Probability)>,
+    own_label: Vec<u32>,
+    own_frontier: Vec<(u32, u32)>,
+    own_next: Vec<(u32, u32)>,
+}
+
+impl ViewScratch {
+    fn begin(&mut self, refs: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        if self.stamp.len() < refs {
+            self.stamp.resize(refs, 0);
+            self.best_prob.resize(refs, Probability::ONE);
+            self.best_dist.resize(refs, 0);
+            self.slot.resize(refs, 0);
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    fn mark(&mut self, r: NodeRef, prob: Probability, dist: u32) {
+        let i = r as usize;
+        self.stamp[i] = self.epoch;
+        self.best_prob[i] = prob;
+        self.best_dist[i] = dist;
+        self.slot[i] = self.touched.len() as u32;
+        self.touched.push(r);
+    }
+
+    fn is_stamped(&self, r: NodeRef) -> bool {
+        self.stamp[r as usize] == self.epoch
+    }
+}
+
+/// Shared pool of [`ViewScratch`] buffers; sized once for the largest
+/// shard and reused across queries and views, so steady-state traversal
+/// at million-node scale never re-allocates or re-zeroes visit arrays.
+#[derive(Debug, Default)]
+struct ViewScratchPool {
+    pool: Mutex<Vec<ViewScratch>>,
+}
+
+impl ViewScratchPool {
+    fn acquire(&self) -> ViewScratch {
+        self.pool.lock().pop().unwrap_or_default()
+    }
+
+    fn release(&self, scratch: ViewScratch) {
+        let mut pool = self.pool.lock();
+        if pool.len() < 16 {
+            pool.push(scratch);
+        }
+    }
+}
+
+/// A lock-free, immutable read handle over the sharded index: the 16
+/// shard snapshots current at construction time. Cheap to take (one
+/// lock plus one `Arc` clone) and stable for its lifetime — concurrent
+/// mutations publish new snapshots without disturbing an existing view.
+#[derive(Clone)]
+pub struct IndexView {
+    dir: Arc<Directory>,
+    scratch: Arc<ViewScratchPool>,
+}
+
+impl std::fmt::Debug for IndexView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexView").field("stats", &self.stats()).finish()
+    }
+}
+
+impl IndexView {
+    #[inline]
+    fn snap(&self, shard: usize) -> &ShardSnap {
+        &self.dir.shards[shard]
+    }
+
+    /// Resolves a key to its node reference, if live.
+    fn resolve(&self, key: &GlobalKey) -> Option<NodeRef> {
+        let shard = route(key);
+        let snap = self.snap(shard);
+        let slot = snap.name(key)?;
+        snap.alive(slot).then(|| make_ref(shard, slot))
+    }
+
+    /// The target of a half-edge, if the edge is currently traversable.
+    #[inline]
+    fn target(&self, e: &HalfEdge) -> Option<NodeRef> {
+        let snap = self.snap(shard_of(e.other));
+        let slot = slot_of(e.other);
+        (snap.alive(slot) && snap.inc(slot) == e.other_inc).then_some(e.other)
+    }
+
+    fn key_of(&self, r: NodeRef) -> &GlobalKey {
+        self.snap(shard_of(r)).key(slot_of(r))
+    }
+
+    /// True if the key has a live node.
+    pub fn contains(&self, key: &GlobalKey) -> bool {
+        self.resolve(key).is_some()
+    }
+
+    /// Details of a specific edge, if it is live.
+    pub fn edge(&self, a: &GlobalKey, b: &GlobalKey, kind: RelationKind) -> Option<EdgeInfo> {
+        let ra = self.resolve(a)?;
+        let rb = self.resolve(b)?;
+        self.snap(shard_of(ra))
+            .edges(slot_of(ra))
+            .iter()
+            .find(|e| e.kind == kind && e.other == rb && self.target(e) == Some(rb))
+            .map(|e| EdgeInfo { probability: e.prob, origin: e.origin })
+    }
+
+    /// The direct p-relations of `key`: `(other key, kind, probability)`.
+    pub fn neighbors(&self, key: &GlobalKey) -> Vec<(GlobalKey, RelationKind, Probability)> {
+        let Some(r) = self.resolve(key) else { return Vec::new() };
+        let mut out: Vec<_> = self
+            .snap(shard_of(r))
+            .edges(slot_of(r))
+            .iter()
+            .filter_map(|e| self.target(e).map(|t| (self.key_of(t).clone(), e.kind, e.prob)))
+            .collect();
+        out.sort_by(|x, y| y.2.cmp(&x.2).then_with(|| x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Size statistics, identical to the master index's
+    /// [`AIndex::stats`]. Full scan with visibility checks — a
+    /// diagnostic surface, not a hot path.
+    pub fn stats(&self) -> IndexStats {
+        let mut s = IndexStats::default();
+        for (shard, snap) in self.dir.shards.iter().enumerate() {
+            for slot in 0..snap.slots {
+                if !snap.alive(slot) {
+                    continue;
+                }
+                s.nodes += 1;
+                let me = make_ref(shard, slot);
+                for e in snap.edges(slot) {
+                    // Count each live edge once, from its lower endpoint.
+                    if me < e.other && self.target(e).is_some() {
+                        match e.kind {
+                            RelationKind::Identity => s.identity_edges += 1,
+                            RelationKind::Matching => s.matching_edges += 1,
+                        }
+                        match e.origin {
+                            EdgeOrigin::Inferred(..) => s.inferred_edges += 1,
+                            EdgeOrigin::Promoted => s.promoted_edges += 1,
+                            EdgeOrigin::Direct => {}
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// The augmentation primitive over the sharded projection — see
+    /// [`AIndex::augment`]; answers are bit-identical.
+    pub fn augment(&self, seeds: &[GlobalKey], level: usize) -> Vec<AugmentedKey> {
+        self.augment_inner(seeds, level, false).0
+    }
+
+    /// Multi-seed augmentation with seed ownership — see
+    /// [`AIndex::augment_multi`]; answers are bit-identical.
+    pub fn augment_multi(
+        &self,
+        seeds: &[GlobalKey],
+        level: usize,
+    ) -> (Vec<AugmentedKey>, Vec<u32>) {
+        self.augment_inner(seeds, level, true)
+    }
+
+    fn augment_inner(
+        &self,
+        seeds: &[GlobalKey],
+        level: usize,
+        ownership: bool,
+    ) -> (Vec<AugmentedKey>, Vec<u32>) {
+        let mut scratch = self.scratch.acquire();
+        scratch.begin((self.dir.max_slots as usize) << SHARD_BITS);
+        for key in seeds {
+            if let Some(r) = self.resolve(key) {
+                if !scratch.is_stamped(r) {
+                    scratch.mark(r, Probability::ONE, 0);
+                    scratch.frontier.push((r, Probability::ONE));
+                }
+            }
+        }
+        let max_hops = (level + 1) as u32;
+        for hop in 1..=max_hops {
+            if scratch.frontier.is_empty() {
+                break;
+            }
+            let frontier = std::mem::take(&mut scratch.frontier);
+            for &(r, p) in &frontier {
+                let snap = self.snap(shard_of(r));
+                for e in snap.edges(slot_of(r)) {
+                    let Some(m) = self.target(e) else { continue };
+                    let cand = p.and(e.prob);
+                    if !scratch.is_stamped(m) {
+                        scratch.mark(m, cand, hop);
+                        scratch.next.push((m, cand));
+                    } else if cand > scratch.best_prob[m as usize] {
+                        scratch.best_prob[m as usize] = cand;
+                        scratch.best_dist[m as usize] = hop;
+                        scratch.next.push((m, cand));
+                    }
+                }
+            }
+            let mut spent = frontier;
+            spent.clear();
+            scratch.frontier = std::mem::replace(&mut scratch.next, spent);
+        }
+
+        let mut reached: Vec<(NodeRef, AugmentedKey)> = Vec::with_capacity(scratch.touched.len());
+        for &r in &scratch.touched {
+            let i = r as usize;
+            if scratch.best_dist[i] == 0 {
+                continue;
+            }
+            reached.push((
+                r,
+                AugmentedKey {
+                    key: self.key_of(r).clone(),
+                    probability: scratch.best_prob[i],
+                    distance: scratch.best_dist[i] as usize,
+                },
+            ));
+        }
+        reached.sort_by(|x, y| {
+            y.1.probability.cmp(&x.1.probability).then_with(|| x.1.key.cmp(&y.1.key))
+        });
+
+        let owners = if ownership {
+            self.ownership_pass(seeds, max_hops, &mut scratch, &reached)
+        } else {
+            Vec::new()
+        };
+        let out = reached.into_iter().map(|(_, k)| k).collect();
+        self.scratch.release(scratch);
+        (out, owners)
+    }
+
+    /// Layered min-label ownership propagation — the exact algorithm of
+    /// the master index's ownership pass, over shard half-edges.
+    fn ownership_pass(
+        &self,
+        seeds: &[GlobalKey],
+        max_hops: u32,
+        scratch: &mut ViewScratch,
+        reached: &[(NodeRef, AugmentedKey)],
+    ) -> Vec<u32> {
+        const UNOWNED: u32 = u32::MAX;
+        let slots = scratch.touched.len();
+        scratch.own_label.clear();
+        scratch.own_label.resize(slots, UNOWNED);
+        scratch.own_frontier.clear();
+        scratch.own_next.clear();
+        for (j, key) in seeds.iter().enumerate() {
+            if let Some(r) = self.resolve(key) {
+                let s = scratch.slot[r as usize];
+                let label = &mut scratch.own_label[s as usize];
+                if (j as u32) < *label {
+                    if *label == UNOWNED {
+                        scratch.own_frontier.push((s, 0));
+                    }
+                    *label = j as u32;
+                }
+            }
+        }
+        for entry in &mut scratch.own_frontier {
+            entry.1 = scratch.own_label[entry.0 as usize];
+        }
+        for _ in 1..=max_hops {
+            if scratch.own_frontier.is_empty() {
+                break;
+            }
+            let frontier = std::mem::take(&mut scratch.own_frontier);
+            for &(s, v) in &frontier {
+                let r = scratch.touched[s as usize];
+                let snap = self.snap(shard_of(r));
+                for e in snap.edges(slot_of(r)) {
+                    let Some(m) = self.target(e) else { continue };
+                    if scratch.stamp[m as usize] != scratch.epoch {
+                        continue;
+                    }
+                    let sm = scratch.slot[m as usize];
+                    if v < scratch.own_label[sm as usize] {
+                        scratch.own_label[sm as usize] = v;
+                        scratch.own_next.push((sm, v));
+                    }
+                }
+            }
+            let mut spent = frontier;
+            spent.clear();
+            scratch.own_frontier = std::mem::replace(&mut scratch.own_next, spent);
+        }
+        reached
+            .iter()
+            .map(|&(r, _)| {
+                let owner = scratch.own_label[scratch.slot[r as usize] as usize];
+                assert_ne!(owner, UNOWNED, "reached node must be owned by some seed");
+                owner
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------------
+
+/// Writer-side state: the master index plus the projection bookkeeping.
+#[derive(Debug)]
+struct Writer {
+    master: AIndex,
+    /// master node id → packed shard reference.
+    refs: Vec<NodeRef>,
+    /// master node id → incarnation counter.
+    incs: Vec<u32>,
+    /// Per shard, member master ids in slot order.
+    members: Vec<Vec<u32>>,
+}
+
+impl Writer {
+    fn register_nodes(&mut self) {
+        for n in self.refs.len()..self.master.interned_len() {
+            let key = self.master.key_at(n as u32);
+            let shard = route(key);
+            let slot = self.members[shard].len() as u32;
+            self.members[shard].push(n as u32);
+            self.refs.push(make_ref(shard, slot));
+            self.incs.push(0);
+        }
+    }
+
+    /// Builds the projected state of one master node.
+    fn project(&self, n: u32) -> OverlayNode {
+        let alive = self.master.node_alive(n);
+        let edges = if alive {
+            self.master
+                .live_incident_of(n)
+                .map(|(o, kind, prob, origin)| HalfEdge {
+                    other: self.refs[o as usize],
+                    other_inc: self.incs[o as usize],
+                    kind,
+                    prob,
+                    origin,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        OverlayNode { key: self.master.key_at(n).clone(), alive, inc: self.incs[n as usize], edges }
+    }
+
+    /// Rebuilds one shard's packed base from the master (compaction).
+    fn compact_shard(&self, shard: usize) -> ShardSnap {
+        let members = &self.members[shard];
+        let mut base = ShardBase {
+            names: HashMap::with_capacity(members.len()),
+            keys: Vec::with_capacity(members.len()),
+            alive: Vec::with_capacity(members.len()),
+            incs: Vec::with_capacity(members.len()),
+            offsets: Vec::with_capacity(members.len() + 1),
+            edges: Vec::new(),
+            live_nodes: 0,
+        };
+        for (slot, &n) in members.iter().enumerate() {
+            let key = self.master.key_at(n);
+            base.names.insert(key.clone(), slot as u32);
+            base.keys.push(key.clone());
+            let alive = self.master.node_alive(n);
+            base.alive.push(alive);
+            base.incs.push(self.incs[n as usize]);
+            base.offsets.push(base.edges.len() as u32);
+            if alive {
+                base.live_nodes += 1;
+                base.edges.extend(self.master.live_incident_of(n).map(
+                    |(o, kind, prob, origin)| HalfEdge {
+                        other: self.refs[o as usize],
+                        other_inc: self.incs[o as usize],
+                        kind,
+                        prob,
+                        origin,
+                    },
+                ));
+            }
+        }
+        base.offsets.push(base.edges.len() as u32);
+        let resident_bytes = base.resident_bytes();
+        ShardSnap {
+            base: Arc::new(base),
+            overlay: Overlay::default(),
+            slots: members.len() as u32,
+            resident_bytes,
+        }
+    }
+}
+
+/// Compaction trigger: fold the overlay into a fresh base once it
+/// exceeds an eighth of the base (with a floor so small shards do not
+/// recompact on every drain).
+fn wants_compaction(overlay_len: usize, base_len: usize) -> bool {
+    overlay_len > 64.max(base_len / 8)
+}
+
+/// The sharded A' index: a writer-side master [`AIndex`] projected into
+/// hash shards with delta-overlay mutation. See the module docs.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    writer: Mutex<Writer>,
+    published: Mutex<Arc<Directory>>,
+    swaps: [AtomicU64; SHARD_COUNT],
+    compactions: [AtomicU64; SHARD_COUNT],
+    scratch: Arc<ViewScratchPool>,
+}
+
+impl ShardedIndex {
+    /// Builds the sharded projection of `index` (a full compaction of
+    /// every shard). Construction does not count toward the swap or
+    /// compaction counters — they measure post-build mutation traffic.
+    pub fn new(mut index: AIndex) -> Self {
+        index.set_journaling(true);
+        index.take_journal();
+        let mut writer = Writer {
+            master: index,
+            refs: Vec::new(),
+            incs: Vec::new(),
+            members: vec![Vec::new(); SHARD_COUNT],
+        };
+        writer.register_nodes();
+        let shards: [Arc<ShardSnap>; SHARD_COUNT] =
+            std::array::from_fn(|shard| Arc::new(writer.compact_shard(shard)));
+        let max_slots = shards.iter().map(|s| s.slots).max().unwrap_or(0);
+        ShardedIndex {
+            writer: Mutex::new(writer),
+            published: Mutex::new(Arc::new(Directory { shards, max_slots })),
+            swaps: std::array::from_fn(|_| AtomicU64::new(0)),
+            compactions: std::array::from_fn(|_| AtomicU64::new(0)),
+            scratch: Arc::new(ViewScratchPool::default()),
+        }
+    }
+
+    /// Takes an immutable read view of the current projection.
+    pub fn view(&self) -> IndexView {
+        IndexView { dir: self.published.lock().clone(), scratch: Arc::clone(&self.scratch) }
+    }
+
+    /// A standalone clone of the master index (persistence surface).
+    pub fn snapshot(&self) -> AIndex {
+        let writer = self.writer.lock();
+        let mut index = writer.master.clone();
+        index.set_journaling(false);
+        index
+    }
+
+    /// Runs a mutation against the master index, then drains the journal
+    /// into the affected shards' overlays and publishes them — one new
+    /// snapshot per *touched* shard, every other shard untouched.
+    pub fn update<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> R {
+        let mut writer = self.writer.lock();
+        let out = f(&mut writer.master);
+        self.drain(&mut writer);
+        out
+    }
+
+    /// Replaces the whole index (full rebuild of every shard).
+    pub fn replace(&self, mut index: AIndex) {
+        index.set_journaling(true);
+        index.take_journal();
+        let mut writer = self.writer.lock();
+        *writer = Writer {
+            master: index,
+            refs: Vec::new(),
+            incs: Vec::new(),
+            members: vec![Vec::new(); SHARD_COUNT],
+        };
+        writer.register_nodes();
+        let shards: [Arc<ShardSnap>; SHARD_COUNT] =
+            std::array::from_fn(|shard| Arc::new(writer.compact_shard(shard)));
+        let max_slots = shards.iter().map(|s| s.slots).max().unwrap_or(0);
+        for shard in 0..SHARD_COUNT {
+            self.swaps[shard].fetch_add(1, Ordering::Relaxed);
+            self.compactions[shard].fetch_add(1, Ordering::Relaxed);
+        }
+        *self.published.lock() = Arc::new(Directory { shards, max_slots });
+    }
+
+    /// Applies the journal accumulated in the master to the projection.
+    fn drain(&self, writer: &mut Writer) {
+        let ops = writer.master.take_journal();
+        if ops.is_empty() {
+            return;
+        }
+        writer.register_nodes();
+        let mut created: Vec<u32> = Vec::new();
+        for &op in &ops {
+            match op {
+                JournalOp::Created(n) => created.push(n),
+                JournalOp::Revived(n) => writer.incs[n as usize] += 1,
+                JournalOp::Touched(_) => {}
+            }
+        }
+        // Dirty master ids, deduped, grouped by shard.
+        let mut dirty: Vec<Vec<u32>> = vec![Vec::new(); SHARD_COUNT];
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &op in &ops {
+            let n = match op {
+                JournalOp::Created(n) | JournalOp::Revived(n) | JournalOp::Touched(n) => n,
+            };
+            if seen.insert(n) {
+                dirty[shard_of(writer.refs[n as usize])].push(n);
+            }
+        }
+        let created: std::collections::HashSet<u32> = created.into_iter().collect();
+
+        let current = self.published.lock().clone();
+        let mut replaced: Vec<(usize, Arc<ShardSnap>)> = Vec::new();
+        for (shard, nodes) in dirty.iter().enumerate() {
+            if nodes.is_empty() {
+                continue;
+            }
+            let old = &current.shards[shard];
+            let snap =
+                if wants_compaction(old.overlay.nodes.len() + nodes.len(), old.base.keys.len()) {
+                    self.compactions[shard].fetch_add(1, Ordering::Relaxed);
+                    writer.compact_shard(shard)
+                } else {
+                    let mut overlay = old.overlay.clone();
+                    let mut resident = old.resident_bytes;
+                    for &n in nodes {
+                        let slot = slot_of(writer.refs[n as usize]);
+                        let node = writer.project(n);
+                        if created.contains(&n) {
+                            overlay.names.insert(node.key.clone(), slot);
+                            resident += key_heap_bytes(&node.key) + 32;
+                        }
+                        resident += node.edges.len() * std::mem::size_of::<HalfEdge>() + 48;
+                        overlay.nodes.insert(slot, node);
+                    }
+                    ShardSnap {
+                        base: Arc::clone(&old.base),
+                        overlay,
+                        slots: writer.members[shard].len() as u32,
+                        resident_bytes: resident,
+                    }
+                };
+            self.swaps[shard].fetch_add(1, Ordering::Relaxed);
+            replaced.push((shard, Arc::new(snap)));
+        }
+        if replaced.is_empty() {
+            return;
+        }
+        let mut shards = current.shards.clone();
+        for (shard, snap) in replaced {
+            shards[shard] = snap;
+        }
+        let max_slots = shards.iter().map(|s| s.slots).max().unwrap_or(0);
+        *self.published.lock() = Arc::new(Directory { shards, max_slots });
+    }
+
+    /// Per-shard statistics of the published projection.
+    pub fn shard_stats(&self) -> Vec<ShardIndexStats> {
+        let dir = self.published.lock().clone();
+        dir.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, snap)| ShardIndexStats {
+                shard,
+                entries: snap.live_count(),
+                overlay_depth: snap.overlay.nodes.len(),
+                resident_bytes: snap.resident_bytes,
+                compactions: self.compactions[shard].load(Ordering::Relaxed),
+                swaps: self.swaps[shard].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Anything that can answer the multi-seed augmentation primitive — the
+/// planner's only requirement, satisfied by both the monolithic
+/// [`AIndex`] and the sharded [`IndexView`].
+pub trait Augmentable {
+    /// See [`AIndex::augment_multi`].
+    fn augment_multi(&self, seeds: &[GlobalKey], level: usize) -> (Vec<AugmentedKey>, Vec<u32>);
+}
+
+impl Augmentable for AIndex {
+    fn augment_multi(&self, seeds: &[GlobalKey], level: usize) -> (Vec<AugmentedKey>, Vec<u32>) {
+        AIndex::augment_multi(self, seeds, level)
+    }
+}
+
+impl Augmentable for IndexView {
+    fn augment_multi(&self, seeds: &[GlobalKey], level: usize) -> (Vec<AugmentedKey>, Vec<u32>) {
+        IndexView::augment_multi(self, seeds, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DeletionPolicy;
+
+    fn k(s: &str) -> GlobalKey {
+        s.parse().unwrap()
+    }
+
+    fn p(f: f64) -> Probability {
+        Probability::of(f)
+    }
+
+    /// A deterministic, structurally varied index: identity chains with
+    /// cross-store cliques plus matchings, like the workload builder's
+    /// shape but self-contained.
+    fn sample_index(groups: usize) -> AIndex {
+        let mut ix = AIndex::new();
+        for g in 0..groups {
+            let a = k(&format!("db0.c.a{g}"));
+            let b = k(&format!("db1.c.b{g}"));
+            let c = k(&format!("db2.c.c{g}"));
+            ix.insert_identity(&a, &b, p(0.9 + 0.001 * (g % 50) as f64));
+            ix.insert_identity(&b, &c, p(0.85));
+            let m = k(&format!("db3.c.m{}", g / 2));
+            ix.insert_matching(&a, &m, p(0.7 + 0.002 * (g % 30) as f64));
+            if g > 0 {
+                let prev = k(&format!("db0.c.a{}", g - 1));
+                ix.insert_matching(&prev, &c, p(0.6));
+            }
+        }
+        ix
+    }
+
+    fn seed_sets(groups: usize) -> Vec<Vec<GlobalKey>> {
+        let mut sets =
+            vec![vec![k("db0.c.a0")], vec![k("db1.c.b1"), k("db2.c.c2")], vec![k("no.such.key")]];
+        let multi: Vec<GlobalKey> = (0..groups.min(7)).map(|g| k(&format!("db0.c.a{g}"))).collect();
+        sets.push(multi);
+        sets
+    }
+
+    fn assert_equivalent(master: &AIndex, sharded: &ShardedIndex, groups: usize) {
+        let view = sharded.view();
+        assert_eq!(master.stats(), view.stats(), "stats diverge");
+        for seeds in seed_sets(groups) {
+            for level in 0..3 {
+                let (want, want_own) = AIndex::augment_multi(master, &seeds, level);
+                let (got, got_own) = view.augment_multi(&seeds, level);
+                assert_eq!(want, got, "augment diverges (level {level}, seeds {seeds:?})");
+                assert_eq!(want_own, got_own, "ownership diverges (level {level})");
+            }
+        }
+        for g in 0..groups {
+            let key = k(&format!("db0.c.a{g}"));
+            assert_eq!(master.contains(&key), view.contains(&key));
+            assert_eq!(master.neighbors(&key), view.neighbors(&key));
+            let b = k(&format!("db1.c.b{g}"));
+            assert_eq!(
+                master.edge(&key, &b, RelationKind::Identity),
+                view.edge(&key, &b, RelationKind::Identity)
+            );
+        }
+    }
+
+    #[test]
+    fn projection_matches_master_after_build() {
+        let master = sample_index(20);
+        let sharded = ShardedIndex::new(master.clone());
+        assert_equivalent(&master, &sharded, 20);
+    }
+
+    #[test]
+    fn projection_matches_master_under_mutation() {
+        let sharded = ShardedIndex::new(sample_index(20));
+        // Interleave removals, inserts and re-inserts.
+        for g in [3usize, 7, 11] {
+            sharded.update(|ix| ix.remove_object(&k(&format!("db1.c.b{g}"))));
+        }
+        sharded.update(|ix| {
+            ix.insert_identity(&k("db0.c.a3"), &k("db4.c.fresh"), p(0.8));
+            ix.insert_matching(&k("db4.c.fresh"), &k("db3.c.m1"), p(0.55));
+        });
+        // Resurrect a removed key with a new relation.
+        sharded.update(|ix| ix.insert_identity(&k("db1.c.b7"), &k("db2.c.c7"), p(0.95)));
+        let master = sharded.snapshot();
+        assert_equivalent(&master, &sharded, 20);
+    }
+
+    #[test]
+    fn removal_swaps_exactly_one_shard() {
+        let sharded = ShardedIndex::new(sample_index(12));
+        let before: Vec<u64> = sharded.shard_stats().iter().map(|s| s.swaps).collect();
+        assert!(before.iter().all(|&s| s == 0), "construction must not count as swaps");
+        let victim = k("db0.c.a5");
+        sharded.update(|ix| ix.remove_object(&victim));
+        let after: Vec<u64> = sharded.shard_stats().iter().map(|s| s.swaps).collect();
+        let home = route(&victim);
+        for (shard, (&b, &a)) in before.iter().zip(after.iter()).enumerate() {
+            if shard == home {
+                assert_eq!(a, b + 1, "home shard must republish exactly once");
+            } else {
+                assert_eq!(a, b, "shard {shard} must be untouched by a removal");
+            }
+        }
+        assert!(!sharded.view().contains(&victim));
+    }
+
+    #[test]
+    fn removal_hides_edges_without_touching_neighbor_shards() {
+        let sharded = ShardedIndex::new(sample_index(12));
+        let victim = k("db1.c.b4");
+        let neighbor = k("db0.c.a4");
+        assert!(sharded.view().edge(&neighbor, &victim, RelationKind::Identity).is_some());
+        sharded.update(|ix| ix.remove_object(&victim));
+        let view = sharded.view();
+        assert!(view.edge(&neighbor, &victim, RelationKind::Identity).is_none());
+        assert!(view.contains(&neighbor));
+        assert_eq!(sharded.snapshot().stats(), view.stats());
+    }
+
+    #[test]
+    fn resurrection_does_not_revive_stale_edges() {
+        let sharded = ShardedIndex::new(sample_index(8));
+        let victim = k("db2.c.c3");
+        sharded.update(|ix| ix.remove_object(&victim));
+        // Re-insert the key with a single fresh relation; the old edges
+        // stay dead even though neighbouring shards still hold stale
+        // half-edges (their incarnation check must fail).
+        sharded.update(|ix| ix.insert_matching(&victim, &k("db5.c.new"), p(0.5)));
+        let master = sharded.snapshot();
+        assert_equivalent(&master, &sharded, 8);
+        let view = sharded.view();
+        assert!(view.contains(&victim));
+        assert!(view.edge(&k("db1.c.b3"), &victim, RelationKind::Identity).is_none());
+        assert!(view.edge(&victim, &k("db5.c.new"), RelationKind::Matching).is_some());
+    }
+
+    #[test]
+    fn views_are_stable_snapshots() {
+        let sharded = ShardedIndex::new(sample_index(10));
+        let victim = k("db0.c.a2");
+        let before = sharded.view();
+        assert!(before.contains(&victim));
+        let reached_before = before.augment(std::slice::from_ref(&victim), 1);
+        sharded.update(|ix| ix.remove_object(&victim));
+        // The old view still sees the pre-mutation world…
+        assert!(before.contains(&victim));
+        assert_eq!(before.augment(std::slice::from_ref(&victim), 1), reached_before);
+        // …while a fresh view sees the post-mutation world.
+        assert!(!sharded.view().contains(&victim));
+    }
+
+    #[test]
+    fn overlay_compaction_folds_and_stays_equivalent() {
+        let groups = 40;
+        let sharded = ShardedIndex::new(sample_index(groups));
+        // Enough single-key mutations to push overlays past the trigger
+        // floor (64 entries per shard) — each round creates `groups`
+        // fresh nodes that stay in their shard's overlay until folded.
+        for round in 0..30 {
+            for g in 0..groups {
+                let key = k(&format!("db3.c.m{}", g / 2));
+                sharded.update(|ix| {
+                    ix.insert_matching(
+                        &key,
+                        &k(&format!("db6.c.x{round}_{g}")),
+                        p(0.4 + 0.01 * (g % 10) as f64),
+                    );
+                });
+            }
+        }
+        let stats = sharded.shard_stats();
+        assert!(
+            stats.iter().any(|s| s.compactions > 0),
+            "sustained mutation must trigger compaction: {stats:?}"
+        );
+        let master = sharded.snapshot();
+        assert_equivalent(&master, &sharded, groups);
+    }
+
+    #[test]
+    fn cascade_deletion_is_projected() {
+        let mut ix = AIndex::with_policy(DeletionPolicy::Cascade);
+        ix.insert_identity(&k("db0.c.a"), &k("db1.c.b"), p(0.9));
+        ix.insert_identity(&k("db1.c.b"), &k("db2.c.c"), p(0.8));
+        ix.insert_matching(&k("db0.c.a"), &k("db3.c.m"), p(0.7));
+        let sharded = ShardedIndex::new(ix);
+        // Removing b cascades to edges inferred through b's relations,
+        // including ones between surviving nodes — those must republish
+        // their shards too.
+        sharded.update(|ix| ix.remove_object(&k("db1.c.b")));
+        let master = sharded.snapshot();
+        let view = sharded.view();
+        assert_eq!(master.stats(), view.stats());
+        assert_eq!(
+            master.edge(&k("db0.c.a"), &k("db2.c.c"), RelationKind::Identity),
+            view.edge(&k("db0.c.a"), &k("db2.c.c"), RelationKind::Identity),
+        );
+        for seeds in [vec![k("db0.c.a")], vec![k("db2.c.c"), k("db3.c.m")]] {
+            for level in 0..3 {
+                assert_eq!(
+                    AIndex::augment_multi(&master, &seeds, level),
+                    view.augment_multi(&seeds, level)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_account_entries_and_bytes() {
+        let sharded = ShardedIndex::new(sample_index(30));
+        let stats = sharded.shard_stats();
+        let total: usize = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(total, sharded.snapshot().stats().nodes);
+        assert!(stats.iter().map(|s| s.resident_bytes).sum::<usize>() > 0);
+        assert!(stats.iter().filter(|s| s.entries > 0).count() > 1, "keys must spread shards");
+    }
+
+    #[test]
+    fn replace_rebuilds_every_shard() {
+        let sharded = ShardedIndex::new(sample_index(5));
+        sharded.replace(sample_index(9));
+        let master = sharded.snapshot();
+        assert_equivalent(&master, &sharded, 9);
+        assert!(sharded.shard_stats().iter().all(|s| s.swaps == 1 && s.compactions == 1));
+    }
+}

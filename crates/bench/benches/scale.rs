@@ -1,0 +1,129 @@
+//! The scale sweep: build time, resident index bytes, cold/warm
+//! per-level augmentation latency and mutation-under-readers throughput
+//! at 10⁴ / 10⁵ / 10⁶ objects (10⁷ with `QUEPA_SCALE_XL=1` — the nightly
+//! sweep), through the sharded A' index (see [`quepa_bench::scale`]).
+//!
+//! `main` writes `BENCH_scale.json` at the repository root. Two headline
+//! ratios are recorded and enforced by `bench_gate`:
+//!
+//! * `cold_latency_ratio_100x` — the worst per-level cold-latency growth
+//!   from 1e4 to 1e6 objects (target ≤2× while objects grow 100×);
+//! * `mutation_speedup` — whole-index-swap seconds per removal divided by
+//!   sharded seconds per removal at the largest swept scale (target ≥5×).
+
+use quepa_bench::scale;
+
+const LATENCY_RUNS: usize = 9;
+
+struct Point {
+    label: String,
+    cold: [f64; scale::LEVELS.len()],
+    warm: [f64; scale::LEVELS.len()],
+    sharded: scale::MutationPoint,
+    swap: scale::MutationPoint,
+    build_s: f64,
+    resident_bytes: usize,
+    entries: usize,
+}
+
+fn sweep(objects: usize) -> Point {
+    let lab = scale::build(objects);
+    println!(
+        "\n== {} objects: {} entries, {:.1} MiB resident, built in {:.2}s",
+        objects,
+        lab.entries,
+        lab.resident_bytes as f64 / (1024.0 * 1024.0),
+        lab.build_s
+    );
+    let mut cold = [0.0; scale::LEVELS.len()];
+    let mut warm = [0.0; scale::LEVELS.len()];
+    for (i, &level) in scale::LEVELS.iter().enumerate() {
+        let (c, w) = scale::augment_latency(&lab, level, LATENCY_RUNS);
+        println!("  level {level}: cold {c:.6}s  warm {w:.6}s");
+        cold[i] = c;
+        warm[i] = w;
+    }
+    let sharded = scale::mutation_throughput_sharded(&lab);
+    let swap = scale::mutation_throughput_swap(&lab);
+    println!(
+        "  mutations x{} under {} readers: sharded {:.1}/s ({} reads), swap {:.1}/s ({} reads)",
+        sharded.mutations,
+        scale::READERS,
+        sharded.qps,
+        sharded.reads,
+        swap.qps,
+        swap.reads
+    );
+    Point {
+        label: scale::scale_label(objects),
+        cold,
+        warm,
+        sharded,
+        swap,
+        build_s: lab.build_s,
+        resident_bytes: lab.resident_bytes,
+        entries: lab.entries,
+    }
+}
+
+fn main() {
+    let mut counts = vec![10_000usize, 100_000, 1_000_000];
+    if std::env::var("QUEPA_SCALE_XL").is_ok_and(|v| v == "1") {
+        counts.push(10_000_000);
+    }
+    let points: Vec<Point> = counts.iter().map(|&n| sweep(n)).collect();
+
+    let at = |label: &str| points.iter().find(|p| p.label == label);
+    let (small, large) = (at("1e4").expect("1e4 swept"), at("1e6").expect("1e6 swept"));
+    let cold_ratio = scale::LEVELS
+        .iter()
+        .enumerate()
+        .map(|(i, _)| large.cold[i] / small.cold[i])
+        .fold(0.0f64, f64::max);
+    let last = points.last().expect("at least one point");
+    let speedup = last.swap.mean_s / last.sharded.mean_s;
+    println!(
+        "\ncold latency growth 1e4 -> 1e6 (worst level): {cold_ratio:.2}x (target <= 2x)\n\
+         mutation speedup sharded vs whole-index swap at {}: {speedup:.2}x (target >= 5x)",
+        last.label
+    );
+
+    let mut entries = Vec::new();
+    for p in &points {
+        entries.push(format!(
+            "    {{\"scenario\": \"scale/{}/build\", \"mean_s\": {:.9}, \"resident_bytes\": {}, \"entries\": {}}}",
+            p.label, p.build_s, p.resident_bytes, p.entries
+        ));
+        for (i, &level) in scale::LEVELS.iter().enumerate() {
+            entries.push(format!(
+                "    {{\"scenario\": \"scale/{}/level{level}/cold\", \"mean_s\": {:.9}}}",
+                p.label, p.cold[i]
+            ));
+            entries.push(format!(
+                "    {{\"scenario\": \"scale/{}/level{level}/warm\", \"mean_s\": {:.9}}}",
+                p.label, p.warm[i]
+            ));
+        }
+        entries.push(format!(
+            "    {{\"scenario\": \"scale/{}/mutation/sharded\", \"mean_s\": {:.9}, \"qps\": {:.1}, \"reads\": {}}}",
+            p.label, p.sharded.mean_s, p.sharded.qps, p.sharded.reads
+        ));
+        entries.push(format!(
+            "    {{\"scenario\": \"scale/{}/mutation/swap\", \"mean_s\": {:.9}, \"qps\": {:.1}, \"reads\": {}}}",
+            p.label, p.swap.mean_s, p.swap.qps, p.swap.reads
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"scale\",\n  \"readers\": {},\n  \"mutations\": {},\n  \
+         \"cold_latency_ratio_100x\": {cold_ratio:.3},\n  \"target_latency_ratio\": 2.0,\n  \
+         \"mutation_speedup\": {speedup:.2},\n  \"target_mutation_speedup\": 5.0,\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        scale::READERS,
+        scale::MUTATIONS,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

@@ -8,6 +8,10 @@
 //! wall seconds per query (`mean_s`, the gate's comparison unit) and
 //! p50/p99 per-query latency for each client count, plus the headline
 //! 16-client-vs-serial QPS ratio (target ≥4×, enforced by `bench_gate`).
+//!
+//! A second sweep replays per-client Zipf(1.1) window-query streams with
+//! the cache on (`zipf/*` scenarios) — the skewed-workload serving path
+//! through the sharded LRU and single-flight table.
 
 use quepa_bench::throughput;
 
@@ -40,6 +44,32 @@ fn main() {
     };
     let ratio = qps_of(16) / qps_of(1);
     println!("\n16-client vs serial QPS ratio: {ratio:.2}x (target >= 4x)");
+
+    println!(
+        "\nZipf(s={}) skewed serving, {} ranks x {}-object windows, cache on:",
+        throughput::ZIPF_S,
+        throughput::ZIPF_RANKS,
+        throughput::ZIPF_WINDOW
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>11} {:>10} {:>10}",
+        "clients", "queries", "qps", "mean_s", "p50_s", "p99_s"
+    );
+    for clients in throughput::CLIENT_LEVELS {
+        let p = throughput::measure_zipf(&lab, clients, throughput::default_per_client(clients));
+        println!(
+            "{:>8} {:>9} {:>10.1} {:>11.6} {:>10.6} {:>10.6}",
+            p.clients, p.queries, p.qps, p.mean_s, p.p50_s, p.p99_s
+        );
+        entries.push(format!(
+            "    {{\"scenario\": \"{}\", \"mean_s\": {:.6}, \"qps\": {:.1}, \"p50_s\": {:.6}, \"p99_s\": {:.6}}}",
+            throughput::zipf_scenario_name(clients),
+            p.mean_s,
+            p.qps,
+            p.p50_s,
+            p.p99_s
+        ));
+    }
 
     let json = format!(
         "{{\n  \"benchmark\": \"throughput\",\n  \"query\": \"{}\",\n  \"qps_ratio_c16_vs_c1\": {:.2},\n  \"target_ratio\": 4.0,\n  \"scenarios\": [\n{}\n  ]\n}}\n",

@@ -129,6 +129,7 @@ mod tests {
             "BENCH_fault_overhead.json",
             "BENCH_metrics_overhead.json",
             "BENCH_throughput.json",
+            "BENCH_scale.json",
         ] {
             let path =
                 std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(name);

@@ -24,7 +24,7 @@
 use std::path::Path;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::{throughput, Lab};
+use quepa_bench::{scale, throughput, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
 
@@ -213,6 +213,95 @@ fn main() {
     );
     if !ratio_ok {
         rows.push(("throughput-qps-ratio-16v1".into(), false));
+    }
+
+    // ---- sharded-index scale smoke -------------------------------------
+    // The recorded sweep (BENCH_scale.json) carries the two acceptance
+    // ratios of the sharded index; the gate re-checks them from the
+    // recorded scenarios, then re-measures the 1e4 point: augmentation
+    // medians within the tolerance band and the sharded-vs-swap mutation
+    // speedup ≥5× live, under the same 16 concurrent readers.
+    let scale_baseline = load("BENCH_scale.json");
+    let srec = |name: &str| -> f64 {
+        *scale_baseline.means.get(name).unwrap_or_else(|| {
+            eprintln!(
+                "bench_gate: BENCH_scale.json has no scenario {name:?} — regenerate with `cargo bench -p quepa-bench --bench scale`"
+            );
+            std::process::exit(2);
+        })
+    };
+    let worst_cold = scale::LEVELS
+        .iter()
+        .map(|l| {
+            srec(&format!("scale/1e6/level{l}/cold")) / srec(&format!("scale/1e4/level{l}/cold"))
+        })
+        .fold(0.0f64, f64::max);
+    let cold_ok = worst_cold <= 2.0;
+    failed |= !cold_ok;
+    println!(
+        "\nrecorded cold augmentation growth 1e4 -> 1e6 (worst level): {worst_cold:.2}x (limit 2x)  {}",
+        if cold_ok { "ok" } else { "REGRESSION" }
+    );
+    if !cold_ok {
+        rows.push(("scale-cold-latency-growth".into(), false));
+    }
+    let rec_speedup = srec("scale/1e6/mutation/swap") / srec("scale/1e6/mutation/sharded");
+    let rec_speedup_ok = rec_speedup >= 5.0;
+    failed |= !rec_speedup_ok;
+    println!(
+        "recorded mutation speedup sharded vs whole-index swap at 1e6: {rec_speedup:.2}x (target >=5x)  {}",
+        if rec_speedup_ok { "ok" } else { "REGRESSION" }
+    );
+    if !rec_speedup_ok {
+        rows.push(("scale-mutation-speedup-recorded".into(), false));
+    }
+
+    let slab = scale::build(10_000);
+    for level in scale::LEVELS {
+        let quick = scale::augment_latency(&slab, level, QUICK_RUNS);
+        let mut confirmed: Option<(f64, f64)> = None;
+        for (tag, pick) in [("cold", 0usize), ("warm", 1)] {
+            let name = format!("scale/1e4/level{level}/{tag}");
+            let want = srec(&name);
+            let mut got = if pick == 0 { quick.0 } else { quick.1 };
+            let mut delta = (got - want) / want;
+            if delta.abs() > TOLERANCE {
+                let pair = *confirmed
+                    .get_or_insert_with(|| scale::augment_latency(&slab, level, CONFIRM_RUNS));
+                let again = if pick == 0 { pair.0 } else { pair.1 };
+                let again_delta = (again - want) / want;
+                if again_delta.abs() < delta.abs() {
+                    got = again;
+                    delta = again_delta;
+                }
+            }
+            let ok = delta.abs() <= TOLERANCE;
+            failed |= !ok;
+            let verdict = if ok { "ok" } else { "REGRESSION" };
+            println!(
+                "{:<52} {:>9.6}s {:>9.6}s {:>+7.1}%  {verdict}",
+                name,
+                want,
+                got,
+                delta * 100.0
+            );
+            rows.push((name, ok));
+        }
+    }
+    let sharded = scale::mutation_throughput_sharded(&slab);
+    let swap = scale::mutation_throughput_swap(&slab);
+    let live_speedup = swap.mean_s / sharded.mean_s;
+    let live_ok = live_speedup >= 5.0;
+    failed |= !live_ok;
+    println!(
+        "live mutation speedup at 1e4 under {} readers: sharded {:.6}s vs swap {:.6}s per removal ({live_speedup:.2}x, target >=5x)  {}",
+        scale::READERS,
+        sharded.mean_s,
+        swap.mean_s,
+        if live_ok { "ok" } else { "REGRESSION" }
+    );
+    if !live_ok {
+        rows.push(("scale-mutation-speedup-live".into(), false));
     }
 
     let bad: Vec<&str> = rows.iter().filter(|(_, ok)| !ok).map(|(n, _)| n.as_str()).collect();

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use quepa_core::{AugmenterKind, QuepaConfig};
 use quepa_polystore::Deployment;
+use quepa_workload::zipf_query_stream;
 
 use crate::Lab;
 
@@ -139,6 +140,95 @@ pub fn measure(lab: &Lab, clients: usize, per_client: usize) -> ThroughputPoint 
     }
 }
 
+// ---- Zipf-skewed serving -----------------------------------------------
+
+/// Ranks of the Zipf stream: 16 disjoint windows of the inventory table.
+pub const ZIPF_RANKS: usize = 16;
+
+/// Objects per window query (12 ⇒ the coldest rank still addresses live
+/// rows of the 200-album lab's inventory: 16 × 12 = 192 ≤ 200).
+pub const ZIPF_WINDOW: usize = 12;
+
+/// The classic web/cache skew exponent.
+pub const ZIPF_S: f64 = 1.1;
+
+/// The skewed serving configuration: same augmenter and inline fetch
+/// units as [`serving_config`], but with the cache (and therefore
+/// cross-query single-flight) **on** — a Zipf stream concentrates on the
+/// hot windows, so the measured throughput exercises the concurrent
+/// cache/flight path rather than raw round-trip overlap.
+pub fn zipf_serving_config() -> QuepaConfig {
+    QuepaConfig { cache_size: 4096, ..serving_config() }
+}
+
+/// The recorded scenario name of a skewed client count.
+pub fn zipf_scenario_name(clients: usize) -> String {
+    format!("distributed/10stores/level{LEVEL}/zipf/c{clients}")
+}
+
+/// Runs one skewed closed-loop burst: `clients` threads each replaying
+/// its own seeded Zipf window-query stream of `per_client` queries.
+pub fn measure_zipf(lab: &Lab, clients: usize, per_client: usize) -> ThroughputPoint {
+    lab.quepa.set_optimizer(None);
+    lab.quepa.set_config(zipf_serving_config());
+    lab.quepa.drop_caches();
+    let _ = lab.quepa.take_logs();
+
+    let barrier = Barrier::new(clients + 1);
+    let mut latencies: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let mut wall = 0.0f64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let barrier = &barrier;
+                let quepa = &lab.quepa;
+                s.spawn(move || {
+                    let stream = zipf_query_stream(
+                        per_client,
+                        ZIPF_RANKS,
+                        ZIPF_S,
+                        ZIPF_WINDOW,
+                        zipf_client_seed(client),
+                    );
+                    barrier.wait();
+                    let mut mine = Vec::with_capacity(per_client);
+                    for q in &stream {
+                        let start = Instant::now();
+                        quepa
+                            .augmented_search(&q.database, &q.query, LEVEL)
+                            .expect("zipf query must be valid");
+                        mine.push(start.elapsed().as_secs_f64());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        barrier.wait();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+        wall = start.elapsed().as_secs_f64();
+    });
+    let _ = lab.quepa.take_logs();
+
+    latencies.sort_by(f64::total_cmp);
+    let queries = latencies.len();
+    ThroughputPoint {
+        clients,
+        queries,
+        qps: queries as f64 / wall,
+        mean_s: wall / queries as f64,
+        p50_s: percentile(&latencies, 0.50),
+        p99_s: percentile(&latencies, 0.99),
+    }
+}
+
+/// Per-client Zipf stream seed — distinct per client, stable per run.
+fn zipf_client_seed(client: usize) -> u64 {
+    0x5eed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -167,6 +257,16 @@ mod tests {
             quad.qps,
             serial.qps
         );
+    }
+
+    #[test]
+    fn zipf_burst_serves_skewed_streams() {
+        let lab = lab();
+        let p = measure_zipf(&lab, 2, 4);
+        assert_eq!(p.queries, 8);
+        assert!(p.qps > 0.0 && p.p50_s > 0.0 && p.p99_s >= p.p50_s);
+        // Distinct clients replay distinct streams.
+        assert_ne!(zipf_client_seed(0), zipf_client_seed(1));
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! 7. **Retry accounting** — under a fault plan, per-store retry counters
 //!    equal an independent replay of the plan's public `decide` stream;
 //!    timeouts and breaker trips stay zero.
+//! 8. **Removal quiescence** — the scenario's interleaved `remove_object`
+//!    mutations are applied one at a time to a live instance, and after
+//!    every single removal (a *quiesce point*) the overlay-served answer
+//!    equals a reference model with the same removal prefix applied. The
+//!    concurrent variant races readers against the removals and holds
+//!    every in-flight answer to *some* removal prefix — the atomic
+//!    shard-directory publication means no reader may observe a torn
+//!    half-applied state.
 //!
 //! Every run builds *fresh* twin systems — lazy deletion mutates the
 //! index, so instances are never reused across runs (except where reuse
@@ -172,6 +180,7 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
     check_multi_seed(scenario, &seeds, &fail)?;
     check_metrics_determinism(scenario, &database, &query, &fail)?;
     check_retry_accounting(scenario, &database, &query, &model_out, &fail)?;
+    check_removal_quiesce(scenario, &fail)?;
 
     Ok(CheckReport {
         configs: scenario.configs.len(),
@@ -283,7 +292,179 @@ pub fn check_concurrent_scenario(
     }
 
     check_concurrent_metrics(scenario, &database, &query, clients, &fail)?;
+    check_removal_races(scenario, clients, &fail)?;
     Ok(report)
+}
+
+/// The configuration point of the removal checks: cache-less (so every
+/// answer is re-planned from the live index) and varied by seed so the
+/// whole smoke range exercises every augmenter against mutations.
+fn removal_spec(scenario: &Scenario) -> ConfigSpec {
+    let all = AugmenterKind::ALL;
+    ConfigSpec {
+        augmenter: all[(scenario.seed as usize) % all.len()],
+        batch: 2,
+        threads: 2,
+        cache: 0,
+        resilient: false,
+        obs: false,
+    }
+}
+
+/// Serial half of invariant 8: apply the scenario's removals one by one
+/// to a live instance and differentially compare the answer against the
+/// reference model at every quiesce point. This is what pins the delta
+/// overlay: each `remove_object` lands as an overlay entry on exactly one
+/// shard, and readers must merge it (dead node, dead incident edges)
+/// bit-identically to a model that never had the key.
+fn check_removal_quiesce(
+    scenario: &Scenario,
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    // Fault plans make the prediction depend on retry interleaving and a
+    // planted bug legitimately diverges from the model; both are covered
+    // by their own checks.
+    if scenario.removals.is_empty() || scenario.fault.is_some() || scenario.mutation.is_some() {
+        return Ok(());
+    }
+    let database = scenario.query_database();
+    let query = scenario.query();
+    let spec = removal_spec(scenario);
+    let quepa = build_quepa(scenario, &spec);
+
+    // The cold run quiesces lazy deletion, so both sides start
+    // phantom-free and later divergence is attributable to removals.
+    let cold = quepa
+        .augmented_search(&database, &query, scenario.level)
+        .map_err(|e| fail(format!("removal quiesce cold run failed: {e}")))?;
+    let original: Vec<GlobalKey> = cold.original.iter().map(|o| o.key().clone()).collect();
+    let mut model = scenario.build_model();
+    let predicted = predict_normal_form(scenario, &model.augment(&original, scenario.level));
+    for m in predicted.missing.iter().filter(|m| m.is_not_found()) {
+        model.remove_key(&m.key);
+    }
+
+    for (k, &(s, o)) in scenario.removals.iter().enumerate() {
+        let key = scenario.key_of(s, o);
+        quepa.update_index(|ix| ix.remove_object(&key));
+        model.remove_key(&key);
+        let want = predict_normal_form(scenario, &model.augment(&original, scenario.level));
+        let got = quepa
+            .augmented_search(&database, &query, scenario.level)
+            .map_err(|e| fail(format!("removal quiesce point {k} search failed: {e}")))?
+            .normal_form();
+        if got != want {
+            return Err(fail(format!(
+                "quiesce point {k}: answer after removing {key} diverges from the model with the same removal prefix\n--- real ---\n{got}--- model ---\n{want}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Concurrent half of invariant 8: readers race `remove_object` calls on
+/// one shared instance. Removals publish atomically (one shard-directory
+/// swap each), so every racing answer must equal the model's prediction
+/// for *some* prefix of the removal sequence, and the settled instance
+/// must serve exactly the fully-removed state.
+fn check_removal_races(
+    scenario: &Scenario,
+    clients: usize,
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    if scenario.removals.is_empty()
+        || scenario.fault.is_some()
+        || scenario.mutation.is_some()
+        || clients < 2
+    {
+        return Ok(());
+    }
+    let database = scenario.query_database();
+    let query = scenario.query();
+    let spec = removal_spec(scenario);
+    let shared = build_quepa(scenario, &spec);
+
+    // Quiesce lazy deletion first so racing answers differ only by how
+    // many removals their planning view has absorbed.
+    let cold = shared
+        .augmented_search(&database, &query, scenario.level)
+        .map_err(|e| fail(format!("removal race cold run failed: {e}")))?;
+    let original: Vec<GlobalKey> = cold.original.iter().map(|o| o.key().clone()).collect();
+    let mut model = scenario.build_model();
+    let predicted = predict_normal_form(scenario, &model.augment(&original, scenario.level));
+    for m in predicted.missing.iter().filter(|m| m.is_not_found()) {
+        model.remove_key(&m.key);
+    }
+
+    // `states[k]` is the expected answer with the first `k` removals in.
+    let mut states: Vec<AnswerNormalForm> =
+        vec![predict_normal_form(scenario, &model.augment(&original, scenario.level))];
+    for &(s, o) in &scenario.removals {
+        model.remove_key(&scenario.key_of(s, o));
+        states.push(predict_normal_form(scenario, &model.augment(&original, scenario.level)));
+    }
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let start = std::sync::Barrier::new(clients + 1);
+    let answers: Vec<Result<Vec<AnswerNormalForm>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let (shared, stop, start) = (&shared, &stop, &start);
+                let (database, query) = (&database, &query);
+                scope.spawn(move || {
+                    start.wait();
+                    let mut seen = Vec::new();
+                    // At least one search each, then spin until the
+                    // writer is done — interleaving with the removals.
+                    loop {
+                        match shared.augmented_search(database, query, scenario.level) {
+                            Ok(a) => seen.push(a.normal_form()),
+                            Err(e) => return Err(e.to_string()),
+                        }
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return Ok(seen);
+                        }
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        for &(s, o) in &scenario.removals {
+            let key = scenario.key_of(s, o);
+            shared.update_index(|ix| ix.remove_object(&key));
+            std::thread::yield_now();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("reader thread")).collect()
+    });
+
+    for (i, res) in answers.iter().enumerate() {
+        let forms = res.as_ref().map_err(|e| fail(format!("racing reader {i} failed: {e}")))?;
+        for nf in forms {
+            if !states.contains(nf) {
+                let prefixes = states
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("--- next prefix ---\n");
+                return Err(fail(format!(
+                    "racing reader {i} observed an answer matching no removal prefix — a torn or stale view\n--- got ---\n{nf}--- legal prefixes ---\n{prefixes}"
+                )));
+            }
+        }
+    }
+
+    let settled = shared
+        .augmented_search(&database, &query, scenario.level)
+        .map_err(|e| fail(format!("removal race settle run failed: {e}")))?
+        .normal_form();
+    let last = states.last().expect("at least the zero-removal state");
+    if settled != *last {
+        return Err(fail(format!(
+            "instance did not settle on the fully-removed state after racing {clients} readers\n--- settled ---\n{settled}--- expected ---\n{last}"
+        )));
+    }
+    Ok(())
 }
 
 /// Invariant 3 of [`check_concurrent_scenario`]: concurrent-vs-serial
@@ -584,6 +765,34 @@ mod tests {
                 panic!("seed {seed} failed concurrently:\n{e}");
             }
         }
+    }
+
+    /// Forced removals over real relation endpoints pass both the serial
+    /// quiesce-point differential and the racing-readers check — the
+    /// delta-overlay acceptance test (generated removals only reference
+    /// interned keys by chance; these always hit live index nodes).
+    #[test]
+    fn forced_removals_quiesce_and_race() {
+        let mut checked = 0;
+        for seed in 0..20u64 {
+            let mut scenario = Scenario::generate(seed);
+            if scenario.relations.len() < 2 {
+                continue;
+            }
+            scenario.fault = None;
+            scenario.removals = scenario.relations.iter().take(2).map(|r| r.a).collect();
+            if let Err(e) = check_scenario(&scenario) {
+                panic!("seed {seed} failed the quiesce differential:\n{e}");
+            }
+            if let Err(e) = check_concurrent_scenario(&scenario, 4) {
+                panic!("seed {seed} failed the removal race:\n{e}");
+            }
+            checked += 1;
+            if checked == 5 {
+                break;
+            }
+        }
+        assert!(checked >= 3, "not enough removal scenarios exercised: {checked}");
     }
 
     /// A planted index mutation is caught by the sweep on at least one of

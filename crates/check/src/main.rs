@@ -124,12 +124,13 @@ struct Coverage {
     kinds: BTreeSet<&'static str>,
     faulted: u64,
     clean: u64,
+    removing: u64,
     augmented: usize,
 }
 
 impl Coverage {
     fn new() -> Self {
-        Coverage { kinds: BTreeSet::new(), faulted: 0, clean: 0, augmented: 0 }
+        Coverage { kinds: BTreeSet::new(), faulted: 0, clean: 0, removing: 0, augmented: 0 }
     }
 
     fn record(&mut self, scenario: &Scenario, augmented: usize) {
@@ -138,6 +139,9 @@ impl Coverage {
             self.faulted += 1;
         } else {
             self.clean += 1;
+        }
+        if !scenario.removals.is_empty() {
+            self.removing += 1;
         }
         self.augmented += augmented;
     }
@@ -249,10 +253,11 @@ fn main() -> ExitCode {
         m => format!(" (+{m}-client concurrent check)"),
     };
     println!(
-        "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} augmented keys, query kinds: {})",
+        "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} with removals, {} augmented keys, query kinds: {})",
         start.elapsed().as_secs_f64(),
         coverage.faulted,
         coverage.clean,
+        coverage.removing,
         coverage.augmented,
         coverage.kinds.iter().copied().collect::<Vec<_>>().join(",")
     );

@@ -136,6 +136,11 @@ pub struct Scenario {
     pub configs: Vec<ConfigSpec>,
     /// Optional fault plan.
     pub fault: Option<FaultSpec>,
+    /// Interleaved `remove_object` mutations applied to the live index
+    /// *between* (serial check) and *during* (racing check) augmentations.
+    /// Endpoints address `(store, object)` like [`RelationSpec`] and may
+    /// reference phantoms or keys the index never interned.
+    pub removals: Vec<(usize, usize)>,
     /// Optional planted bug (never generated; set by `--inject-bug`).
     pub mutation: Option<Mutation>,
 }
@@ -210,6 +215,20 @@ impl Scenario {
             })
             .collect();
 
+        // Forked last so adding removals never reshuffled older streams —
+        // historical seeds keep their topology/query/fault draws.
+        let mut rm = root.fork("removals");
+        let removals: Vec<(usize, usize)> = if rm.chance(35) {
+            (0..rm.range(1, 3))
+                .map(|_| {
+                    let s = rm.below(n_stores);
+                    (s, rm.below(stores[s].objects + 1))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         Scenario {
             seed,
             deployment,
@@ -220,6 +239,7 @@ impl Scenario {
             level,
             configs,
             fault,
+            removals,
             mutation: None,
         }
     }
@@ -448,6 +468,9 @@ impl Scenario {
                 out.push_str(&format!("outage {s}\n"));
             }
         }
+        for &(s, o) in &self.removals {
+            out.push_str(&format!("remove {s} {o}\n"));
+        }
         if let Some(Mutation::DropRelation(i)) = self.mutation {
             out.push_str(&format!("mutation drop-relation {i}\n"));
         }
@@ -471,6 +494,7 @@ impl Scenario {
             level: 0,
             configs: Vec::new(),
             fault: None,
+            removals: Vec::new(),
             mutation: None,
         };
         for line in lines {
@@ -559,6 +583,12 @@ impl Scenario {
                 "outage" => {
                     let store = int(rest.first().ok_or("outage needs a store")?)?;
                     scenario.fault.as_mut().ok_or("outage before fault line")?.outages.push(store);
+                }
+                "remove" => {
+                    let [store, obj] = rest[..] else {
+                        return Err(format!("bad remove line `{line}`"));
+                    };
+                    scenario.removals.push((int(store)?, int(obj)?));
                 }
                 "mutation" => {
                     let ["drop-relation", i] = rest[..] else {
@@ -672,6 +702,12 @@ mod tests {
                 assert!(r.a.0 < s.stores.len() && r.b.0 < s.stores.len());
                 assert!((100..=1000).contains(&r.prob_millis));
             }
+            assert!(s.removals.len() <= 3);
+            for &(store, obj) in &s.removals {
+                assert!(store < s.stores.len(), "seed {seed}");
+                // Object index may be the phantom slot but nothing past it.
+                assert!(obj <= s.stores[store].objects, "seed {seed}");
+            }
             if let Some(f) = &s.fault {
                 assert!(f.max_streak < MAX_ATTEMPTS);
                 assert!(!f.outages.contains(&s.query_store));
@@ -687,7 +723,7 @@ mod tests {
     #[test]
     fn seed_range_covers_kinds_and_fault_modes() {
         let mut kinds = std::collections::BTreeSet::new();
-        let (mut faulty, mut clean) = (0, 0);
+        let (mut faulty, mut clean, mut removing) = (0, 0, 0);
         for seed in 0..200u64 {
             let s = Scenario::generate(seed);
             kinds.insert(kind_name(s.stores[s.query_store].kind));
@@ -696,9 +732,13 @@ mod tests {
             } else {
                 clean += 1;
             }
+            if !s.removals.is_empty() {
+                removing += 1;
+            }
         }
         assert_eq!(kinds.len(), 4, "all four store kinds appear as query targets");
         assert!(faulty >= 20 && clean >= 20, "both fault modes well represented");
+        assert!(removing >= 20, "index removals well represented: {removing}");
     }
 
     #[test]

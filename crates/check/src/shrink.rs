@@ -60,6 +60,27 @@ pub fn shrink(scenario: &Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> S
             }
         }
 
+        // Interleaved removals: drop the whole list, then singles.
+        if !best.removals.is_empty() {
+            let mut cand = best.clone();
+            cand.removals.clear();
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            }
+        }
+        let mut r = 0;
+        while r < best.removals.len() {
+            let mut cand = best.clone();
+            cand.removals.remove(r);
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            } else {
+                r += 1;
+            }
+        }
+
         // Relations: remove chunks (halving), then singles.
         let mut chunk = (best.relations.len() / 2).max(1);
         loop {
@@ -177,6 +198,10 @@ fn without_store(scenario: &Scenario, i: usize) -> Scenario {
         r.b.0 = shift(r.b.0);
     }
     cand.query_store = shift(cand.query_store);
+    cand.removals.retain(|&(s, _)| s != i);
+    for r in &mut cand.removals {
+        r.0 = shift(r.0);
+    }
     if let Some(f) = &mut cand.fault {
         f.outages.retain(|&s| s != i);
         for s in &mut f.outages {

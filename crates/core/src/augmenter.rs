@@ -33,7 +33,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use quepa_aindex::{AIndex, AugmentedKey};
+use quepa_aindex::{AIndex, Augmentable, AugmentedKey};
 use quepa_obs::{MetricsRegistry, Stage};
 use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
 use quepa_polystore::retry::{BreakerSet, CircuitBreaker};
@@ -138,7 +138,9 @@ pub struct AugmentPlan {
 }
 
 /// Traverses the A' index once, producing the retrieval plan for `seeds`.
-pub fn plan(index: &AIndex, seed_keys: &[GlobalKey], level: usize) -> AugmentPlan {
+/// Generic over [`Augmentable`] so it serves both the monolithic
+/// [`AIndex`] and a sharded [`quepa_aindex::IndexView`].
+pub fn plan<I: Augmentable>(index: &I, seed_keys: &[GlobalKey], level: usize) -> AugmentPlan {
     let (augmented, ownership) = index.augment_multi(seed_keys, level);
     AugmentPlan { augmented, ownership, seed_count: seed_keys.len() }
 }

@@ -10,10 +10,12 @@
 //! One instance also serves many queries concurrently; the shared state
 //! is shaped read-mostly for that:
 //!
-//! * the A' index and the configuration live in [`SnapshotCell`]s —
-//!   immutable `Arc` snapshots swapped atomically on mutation, so a
-//!   query never holds a lock across a store round trip, and a
-//!   lazy-deletion pass lands as one whole-index transition;
+//! * the A' index is a [`ShardedIndex`]: hash-sharded immutable
+//!   snapshots with delta overlays, published as one atomic directory
+//!   swap — a query never holds a lock across a store round trip, a
+//!   lazy-deletion pass lands as one atomic transition that republishes
+//!   only the touched shards, and the configuration lives in a
+//!   [`SnapshotCell`] with the same swap discipline;
 //! * fetch tickets run on one bounded [`WorkerPool`] per instance
 //!   (queries park on a latch), instead of every query spawning its own
 //!   `THREADS_SIZE` threads;
@@ -28,7 +30,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use quepa_aindex::{AIndex, PathRepository};
+use quepa_aindex::{AIndex, IndexView, PathRepository, ShardIndexStats, ShardedIndex};
 use quepa_obs::{MetricsRegistry, MetricsSnapshot, Stage};
 use quepa_pdm::{DataObject, DatabaseName};
 use quepa_polystore::retry::{BreakerSet, BreakerState};
@@ -53,7 +55,7 @@ const LOG_SHARDS: usize = 8;
 /// The QUEPA system.
 pub struct Quepa {
     polystore: Polystore,
-    index: SnapshotCell<AIndex>,
+    index: ShardedIndex,
     cache: Arc<ObjectCache>,
     config: SnapshotCell<QuepaConfig>,
     validator: Validator,
@@ -79,7 +81,7 @@ impl Quepa {
         obs.set_enabled(config.observability);
         Quepa {
             polystore,
-            index: SnapshotCell::new(index),
+            index: ShardedIndex::new(index),
             cache: Arc::new(ObjectCache::new(config.cache_size)),
             config: SnapshotCell::new(config.sanitized()),
             validator: Validator,
@@ -98,24 +100,35 @@ impl Quepa {
         &self.polystore
     }
 
-    /// The current A' index snapshot. The snapshot is immutable: it stays
-    /// valid (and frozen) across concurrent mutations, which swap in a
-    /// successor atomically.
-    pub fn index(&self) -> Arc<AIndex> {
-        self.index.load()
+    /// An immutable view of the current A' index projection. The view is
+    /// frozen: it stays valid across concurrent mutations, which publish
+    /// fresh per-shard snapshots atomically without disturbing it.
+    pub fn index(&self) -> IndexView {
+        self.index.view()
     }
 
-    /// Mutates the A' index copy-on-write (Collector updates, manual
-    /// curation): `f` runs on a clone of the current snapshot, which then
-    /// replaces it as one atomic transition. Concurrent readers keep the
-    /// snapshot they loaded; concurrent updates serialize and compose.
+    /// A standalone clone of the A' index (persistence: `SAVE INDEX`).
+    pub fn index_snapshot(&self) -> AIndex {
+        self.index.snapshot()
+    }
+
+    /// Per-shard statistics of the published index projection.
+    pub fn index_shard_stats(&self) -> Vec<ShardIndexStats> {
+        self.index.shard_stats()
+    }
+
+    /// Mutates the A' index (Collector updates, manual curation): `f`
+    /// runs on the master index under the writer lock, then the touched
+    /// shards' snapshots are republished as one atomic transition.
+    /// Concurrent readers keep the views they hold; concurrent updates
+    /// serialize and compose.
     pub fn update_index<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> R {
         self.index.update(f)
     }
 
     /// Replaces the A' index wholesale (e.g. loading a saved index).
     pub fn replace_index(&self, index: AIndex) {
-        self.index.store(index);
+        self.index.replace(index);
     }
 
     /// The object cache.
@@ -179,6 +192,24 @@ impl Quepa {
                 stats.timeouts,
                 stats.breaker_trips,
             );
+        }
+        // Per-shard index gauges fold in only once something was recorded
+        // — a never-observed instance keeps its empty snapshot. The
+        // gauges themselves are deterministic (same scenario ⇒ same
+        // projection), so twin-equality checks hold.
+        if !snapshot.is_empty() {
+            snapshot.index_shards = self
+                .index
+                .shard_stats()
+                .into_iter()
+                .map(|s| quepa_obs::IndexShardMetrics {
+                    entries: s.entries as u64,
+                    overlay_depth: s.overlay_depth as u64,
+                    resident_bytes: s.resident_bytes as u64,
+                    compactions: s.compactions,
+                    swaps: s.swaps,
+                })
+                .collect();
         }
         snapshot
     }
@@ -249,7 +280,7 @@ impl Quepa {
         // — no lock is held here or across any store round trip.
         let plan = {
             let mut span = quepa_obs::span_on(&self.obs, Stage::Plan, "traversal");
-            let index = self.index.load();
+            let index = self.index.view();
             let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
             let plan = augmenter::plan(&index, &keys, level);
             span.add_items(plan.augmented.len() as u64);
@@ -292,9 +323,10 @@ impl Quepa {
         // leave the index and the cache. Only *not-found* keys qualify —
         // an unreachable store says nothing about whether its objects
         // still exist, so those stay indexed and only show up in the
-        // answer's `missing` list. The copy-on-write update makes the
-        // whole pass one atomic index transition: a concurrent query
-        // plans against the old index or the fully pruned one, never a
+        // answer's `missing` list. The sharded update makes the whole
+        // pass one atomic transition — one directory swap republishing
+        // just the touched shards — so a concurrent query plans against
+        // the old projection or the fully pruned one, never a
         // half-pruned hybrid.
         let lazily_deleted = outcome.missing.iter().filter(|m| m.is_not_found()).count();
         if lazily_deleted > 0 {
@@ -335,7 +367,7 @@ impl std::fmt::Debug for Quepa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Quepa")
             .field("stores", &self.polystore.len())
-            .field("index", &self.index.load().stats())
+            .field("index", &self.index.view().stats())
             .field("config", &self.config())
             .field("pool", &self.pool)
             .finish_non_exhaustive()

@@ -160,6 +160,41 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     prom_counter_header(&mut out, "quepa_cache_misses_total", "LRU cache probe misses");
     let _ = writeln!(out, "quepa_cache_misses_total {}", snapshot.cache.misses);
 
+    if !snapshot.index_shards.is_empty() {
+        type ShardGauge =
+            (&'static str, &'static str, fn(&crate::registry::IndexShardMetrics) -> u64);
+        let gauges: [ShardGauge; 5] = [
+            ("quepa_index_shard_entries", "Live A' index nodes per shard", |s| s.entries),
+            (
+                "quepa_index_shard_overlay_depth",
+                "Delta-overlay entries over the packed base per shard",
+                |s| s.overlay_depth,
+            ),
+            (
+                "quepa_index_shard_resident_bytes",
+                "Approximate bytes held by the shard's published snapshot",
+                |s| s.resident_bytes,
+            ),
+            (
+                "quepa_index_shard_compactions_total",
+                "Times the shard's base was recompacted",
+                |s| s.compactions,
+            ),
+            (
+                "quepa_index_shard_swaps_total",
+                "Times a new snapshot of the shard was published",
+                |s| s.swaps,
+            ),
+        ];
+        for (metric, help, get) in gauges {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (shard, m) in snapshot.index_shards.iter().enumerate() {
+                let _ = writeln!(out, "{metric}{{shard=\"{shard}\"}} {}", get(m));
+            }
+        }
+    }
+
     out
 }
 
@@ -214,9 +249,22 @@ pub fn json(snapshot: &MetricsSnapshot) -> String {
     }
     let _ = write!(
         out,
-        "}},\"cache\":{{\"hits\":{},\"misses\":{}}}}}",
+        "}},\"cache\":{{\"hits\":{},\"misses\":{}}},\"index_shards\":[",
         snapshot.cache.hits, snapshot.cache.misses
     );
+    let mut first = true;
+    for m in &snapshot.index_shards {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"entries\":{},\"overlay_depth\":{},\"resident_bytes\":{},\"compactions\":{},\"swaps\":{}}}",
+            m.entries, m.overlay_depth, m.resident_bytes, m.compactions, m.swaps
+        );
+    }
+    out.push_str("]}");
     out
 }
 
@@ -292,7 +340,38 @@ mod tests {
         let text = prometheus_text(&empty);
         assert!(text.contains("quepa_cache_hits_total 0"));
         assert!(!text.contains("_bucket"), "no histogram series for an empty snapshot");
+        assert!(!text.contains("quepa_index_shard"), "no shard gauges without a fold");
         let j = json(&empty);
         assert!(j.contains("\"stores\":{}"));
+        assert!(j.contains("\"index_shards\":[]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn index_shard_gauges_export() {
+        use crate::registry::IndexShardMetrics;
+        let mut s = snapshot();
+        s.index_shards = vec![
+            IndexShardMetrics {
+                entries: 7,
+                overlay_depth: 2,
+                resident_bytes: 4096,
+                compactions: 1,
+                swaps: 3,
+            },
+            IndexShardMetrics::default(),
+        ];
+        let text = prometheus_text(&s);
+        assert!(text.contains("# TYPE quepa_index_shard_entries gauge"));
+        assert!(text.contains("quepa_index_shard_entries{shard=\"0\"} 7"));
+        assert!(text.contains("quepa_index_shard_entries{shard=\"1\"} 0"));
+        assert!(text.contains("quepa_index_shard_resident_bytes{shard=\"0\"} 4096"));
+        assert!(text.contains("quepa_index_shard_swaps_total{shard=\"0\"} 3"));
+        let j = json(&s);
+        assert!(j.contains(
+            "\"index_shards\":[{\"entries\":7,\"overlay_depth\":2,\"resident_bytes\":4096,\
+             \"compactions\":1,\"swaps\":3}"
+        ));
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "balanced braces in {j}");
     }
 }

@@ -31,7 +31,8 @@ pub mod span;
 pub use export::{escape_label, json, prometheus_text};
 pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram};
 pub use registry::{
-    CacheMetrics, MetricsRegistry, MetricsSnapshot, StageMetrics, StoreMetrics, TRACE_CAPACITY,
+    CacheMetrics, IndexShardMetrics, MetricsRegistry, MetricsSnapshot, StageMetrics, StoreMetrics,
+    TRACE_CAPACITY,
 };
 pub use span::{
     enter_stage, observe, record_backoff, record_breaker_rejection, record_cache_probe,

@@ -193,6 +193,7 @@ impl MetricsRegistry {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),
             },
+            index_shards: Vec::new(),
         }
     }
 
@@ -295,6 +296,37 @@ impl CacheMetrics {
     }
 }
 
+/// Gauges of one A' index shard, folded in at snapshot time (the index
+/// publishes these itself; the registry only carries them). Gauges, not
+/// counters: they describe the projection's current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexShardMetrics {
+    /// Live nodes resident in the shard.
+    pub entries: u64,
+    /// Overlay entries layered over the packed base.
+    pub overlay_depth: u64,
+    /// Approximate bytes held by the shard's published snapshot.
+    pub resident_bytes: u64,
+    /// Times the shard's base was recompacted.
+    pub compactions: u64,
+    /// Times a new snapshot of the shard was published.
+    pub swaps: u64,
+}
+
+impl IndexShardMetrics {
+    /// Element-wise max — the merge for gauges (associative and
+    /// commutative, unlike a sum, which would double state).
+    pub fn merge(self, other: IndexShardMetrics) -> IndexShardMetrics {
+        IndexShardMetrics {
+            entries: self.entries.max(other.entries),
+            overlay_depth: self.overlay_depth.max(other.overlay_depth),
+            resident_bytes: self.resident_bytes.max(other.resident_bytes),
+            compactions: self.compactions.max(other.compactions),
+            swaps: self.swaps.max(other.swaps),
+        }
+    }
+}
+
 /// A point-in-time copy of a [`MetricsRegistry`] — the one metrics
 /// surface. Contains only deterministic quantities: same seed + same
 /// configuration ⇒ equal snapshots, regardless of thread interleaving.
@@ -306,6 +338,9 @@ pub struct MetricsSnapshot {
     pub stages: [StageMetrics; 5],
     /// Cache probe counts.
     pub cache: CacheMetrics,
+    /// Per-shard A' index gauges (position = shard number); empty unless
+    /// the owning system folded them in.
+    pub index_shards: Vec<IndexShardMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -328,6 +363,12 @@ impl MetricsSnapshot {
         let mut incoming = [s0, s1, s2, s3, s4].into_iter();
         self.stages = self.stages.map(|mine| mine.merge(incoming.next().expect("five stages")));
         self.cache = self.cache.merge(other.cache);
+        if self.index_shards.len() < other.index_shards.len() {
+            self.index_shards.resize(other.index_shards.len(), IndexShardMetrics::default());
+        }
+        for (mine, theirs) in self.index_shards.iter_mut().zip(other.index_shards) {
+            *mine = mine.merge(theirs);
+        }
         self
     }
 

@@ -43,10 +43,26 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// Average generated objects per album across the four base stores: one
+/// inventory row, ~1 sale, ~2 sale lines, one catalogue album document,
+/// ~0.1 customer documents, one graph album node and ~0.5 discount
+/// entries. The scale helper below sizes `albums` from a target object
+/// count with this constant.
+pub const OBJECTS_PER_ALBUM: f64 = 6.6;
+
 impl WorkloadConfig {
     /// Number of databases this configuration yields.
     pub fn database_count(&self) -> usize {
         4 + 3 * self.replica_sets
+    }
+
+    /// A configuration sized so the four base stores hold approximately
+    /// `objects` data objects in total — the knob the 10⁴–10⁷ scale
+    /// sweep turns. Generation is prefix-stable in `albums`, so larger
+    /// scales extend (not reshuffle) smaller ones at the same seed.
+    pub fn at_scale(objects: usize, deployment: Deployment, seed: u64) -> WorkloadConfig {
+        let albums = ((objects as f64 / OBJECTS_PER_ALBUM).round() as usize).max(1);
+        WorkloadConfig { albums, replica_sets: 0, deployment, seed }
     }
 }
 
@@ -272,6 +288,20 @@ mod tests {
             deployment: Deployment::InProcess,
             seed: 3,
         })
+    }
+
+    #[test]
+    fn at_scale_hits_the_object_target() {
+        for target in [2_000usize, 10_000] {
+            let config = WorkloadConfig::at_scale(target, Deployment::InProcess, 42);
+            let built = BuiltPolystore::build(config);
+            let total = built.polystore.total_objects();
+            let ratio = total as f64 / target as f64;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "at_scale({target}) produced {total} objects (ratio {ratio:.2})"
+            );
+        }
     }
 
     #[test]

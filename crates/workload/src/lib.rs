@@ -23,6 +23,9 @@ pub mod experiments;
 pub mod gen;
 pub mod queries;
 
-pub use builder::{BuiltPolystore, WorkloadConfig};
+pub use builder::{BuiltPolystore, WorkloadConfig, OBJECTS_PER_ALBUM};
 pub use gen::MusicData;
-pub use queries::query_for;
+pub use queries::{
+    holdout_query_set, query_for, standard_query_set, zipf_query_stream, zipf_window_query,
+    TestQuery, ZipfSampler,
+};

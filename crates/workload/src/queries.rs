@@ -7,6 +7,8 @@
 //! `min(n, population)` objects.
 
 use quepa_polystore::StoreKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Returns a native-language query over `kind`'s main collection returning
 /// `size` objects.
@@ -88,6 +90,73 @@ pub fn holdout_query_set() -> Vec<TestQuery> {
     out
 }
 
+/// A seeded Zipf(s) rank sampler over `0..ranks` by inverse CDF — rank 0
+/// is the hottest. Real access patterns are skewed, not uniform; this
+/// drives the hot-key query family below.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl ZipfSampler {
+    /// A sampler over `ranks` ranks with exponent `s` (s = 0 is uniform;
+    /// s ≈ 1 is the classic web/cache skew).
+    pub fn new(ranks: usize, s: f64, seed: u64) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        let mut cdf = Vec::with_capacity(ranks);
+        let mut total = 0.0f64;
+        for r in 0..ranks {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Draws the next rank.
+    pub fn sample(&mut self) -> usize {
+        let u = self.rng.gen_range(0.0f64..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The relational query selecting rank `rank`'s window of `window`
+/// consecutive objects — each rank touches a disjoint key range, so a
+/// Zipf-ranked stream concentrates augmentation traffic on the rank-0
+/// window's keys.
+pub fn zipf_window_query(rank: usize, window: usize) -> String {
+    let lo = rank * window;
+    let hi = lo + window;
+    format!("SELECT * FROM inventory WHERE seq >= {lo} AND seq < {hi}")
+}
+
+/// A deterministic Zipf-skewed query stream: `count` relational window
+/// queries whose ranks are drawn from `Zipf(ranks, s)`. The stream is a
+/// workload for the serving cache and single-flight table — the hot
+/// window's keys recur with Zipf frequency while the tail stays cold.
+pub fn zipf_query_stream(
+    count: usize,
+    ranks: usize,
+    s: f64,
+    window: usize,
+    seed: u64,
+) -> Vec<TestQuery> {
+    let mut sampler = ZipfSampler::new(ranks, s, seed);
+    (0..count)
+        .map(|_| {
+            let rank = sampler.sample();
+            TestQuery {
+                database: "transactions".into(),
+                query: zipf_window_query(rank, window),
+                size: window,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +192,54 @@ mod tests {
         let qs = standard_query_set(&[100, 500]);
         assert_eq!(qs.len(), 8);
         assert!(qs.iter().any(|q| q.database == "discount" && q.size == 500));
+    }
+
+    #[test]
+    fn zipf_sampler_is_seeded_and_skewed() {
+        let draws = 2000;
+        let mut sampler = ZipfSampler::new(50, 1.1, 7);
+        let mut counts = [0usize; 50];
+        for _ in 0..draws {
+            counts[sampler.sample()] += 1;
+        }
+        // Rank 0 dominates and the tail is reached.
+        assert!(counts[0] > draws / 5, "rank 0 must be hot: {}", counts[0]);
+        assert!(counts[0] > 4 * counts[9], "skew must decay: {counts:?}");
+        assert!(counts[10..].iter().sum::<usize>() > 0, "tail must be sampled");
+        // Same seed ⇒ same stream.
+        let a: Vec<usize> = (0..64).map(|_| ZipfSampler::new(50, 1.1, 9).sample()).collect();
+        let b: Vec<usize> = (0..64).map(|_| ZipfSampler::new(50, 1.1, 9).sample()).collect();
+        assert_eq!(a, b);
+        // s = 0 is uniform-ish: rank 0 is not special.
+        let mut uniform = ZipfSampler::new(50, 0.0, 7);
+        let mut u_counts = [0usize; 50];
+        for _ in 0..draws {
+            u_counts[uniform.sample()] += 1;
+        }
+        assert!(u_counts[0] < draws / 10, "uniform stream must spread: {}", u_counts[0]);
+    }
+
+    #[test]
+    fn zipf_window_queries_execute() {
+        let built = BuiltPolystore::build(WorkloadConfig {
+            albums: 300,
+            replica_sets: 0,
+            deployment: Deployment::InProcess,
+            seed: 1,
+        });
+        let stream = zipf_query_stream(20, 10, 1.1, 8, 11);
+        assert_eq!(stream.len(), 20);
+        for q in &stream {
+            let objs = built.polystore.execute(&q.database, &q.query).unwrap();
+            assert_eq!(objs.len(), 8, "window query must return its window: {}", q.query);
+        }
+        // Distinct ranks address disjoint seq windows.
+        let q0 = zipf_window_query(0, 8);
+        let q1 = zipf_window_query(1, 8);
+        assert_ne!(q0, q1);
+        let o0 = built.polystore.execute("transactions", &q0).unwrap();
+        let o1 = built.polystore.execute("transactions", &q1).unwrap();
+        assert!(o0.iter().all(|a| o1.iter().all(|b| a.key() != b.key())));
     }
 
     #[test]

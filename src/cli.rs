@@ -100,7 +100,14 @@ impl<'q> CommandProcessor<'q> {
     }
 
     fn index_info(&self) -> String {
-        format!("{:?}\n", self.quepa.index().stats())
+        let mut out = format!("{:?}\n", self.quepa.index().stats());
+        for s in self.quepa.index_shard_stats() {
+            out.push_str(&format!(
+                "shard {:>2}: {} entries, overlay {}, {} bytes, {} compactions, {} swaps\n",
+                s.shard, s.entries, s.overlay_depth, s.resident_bytes, s.compactions, s.swaps
+            ));
+        }
+        out
     }
 
     fn metrics(&self, rest: &str) -> String {
@@ -260,7 +267,7 @@ impl<'q> CommandProcessor<'q> {
         if rest.is_empty() {
             return "usage: SAVE <path>".into();
         }
-        let text = serial::to_string(&self.quepa.index());
+        let text = serial::to_string(&self.quepa.index_snapshot());
         match std::fs::write(rest, text) {
             Ok(()) => format!("A' index saved to {rest}\n"),
             Err(e) => format!("error: {e}\n"),
