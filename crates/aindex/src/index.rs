@@ -499,18 +499,36 @@ impl AIndex {
 
     /// The live identity neighbours of `n` (the rest of its identity
     /// clique, by the closure invariant) with edge ids and probabilities.
+    ///
+    /// Sorted by the neighbour's key, **not** adjacency order:
+    /// materialization composes floating-point products while iterating
+    /// these lists and feeds stored values back into later offers, so
+    /// the bits it produces depend on iteration order. Canonical order
+    /// makes every insert a pure function of the live edge-value map —
+    /// which is what lets durable recovery (rebuild the graph from a
+    /// checkpoint, whose adjacency order differs from the original
+    /// insertion order, then replay the WAL tail) answer bit-identically
+    /// to the never-crashed instance.
     fn identity_clique(&self, n: NodeId) -> Vec<(NodeId, EdgeId, Probability)> {
-        self.incident(n)
+        let mut out: Vec<_> = self
+            .incident(n)
             .filter(|(_, e)| e.kind == RelationKind::Identity)
             .map(|(eid, e)| (e.other(n), eid, e.prob))
-            .collect()
+            .collect();
+        out.sort_unstable_by(|x, y| self.keys[x.0 as usize].cmp(&self.keys[y.0 as usize]));
+        out
     }
 
+    /// The live matchings of `n`, in the same canonical neighbour-key
+    /// order as [`identity_clique`](Self::identity_clique).
     fn matching_edges_of(&self, n: NodeId) -> Vec<(NodeId, EdgeId, Probability)> {
-        self.incident(n)
+        let mut out: Vec<_> = self
+            .incident(n)
             .filter(|(_, e)| e.kind == RelationKind::Matching)
             .map(|(eid, e)| (e.other(n), eid, e.prob))
-            .collect()
+            .collect();
+        out.sort_unstable_by(|x, y| self.keys[x.0 as usize].cmp(&self.keys[y.0 as usize]));
+        out
     }
 
     // -- public mutation ----------------------------------------------------

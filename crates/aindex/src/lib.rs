@@ -34,4 +34,4 @@ pub mod shard;
 pub use index::{AIndex, AugmentedKey, DeletionPolicy, EdgeInfo, EdgeOrigin, IndexStats};
 pub use promote::{PathRepository, PromotionConfig};
 pub use serial::SerialError;
-pub use shard::{Augmentable, IndexView, ShardIndexStats, ShardedIndex, SHARD_COUNT};
+pub use shard::{Augmentable, IndexView, ShardIndexStats, ShardedIndex, UpdateReport, SHARD_COUNT};

@@ -60,7 +60,10 @@ impl From<PdmError> for SerialError {
 
 const HEADER: &str = "quepa-aindex v1";
 
-fn escape(s: &str) -> String {
+/// Percent-escapes `%` and whitespace so an arbitrary key fits in one
+/// space-separated token. Shared with the durability layer's WAL and
+/// checkpoint formats.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -75,7 +78,8 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+/// Inverse of [`escape`].
+pub fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let bytes = s.as_bytes();
     let mut i = 0;

@@ -657,6 +657,26 @@ fn wants_compaction(overlay_len: usize, base_len: usize) -> bool {
     overlay_len > 64.max(base_len / 8)
 }
 
+/// What one [`ShardedIndex::update_reporting`] call did to the
+/// projection. The durability layer uses `touched` to track which
+/// shards are dirty since the last checkpoint cut and `compacted` as
+/// the cut trigger (a compaction has just rebuilt exactly the state a
+/// checkpoint serializes).
+///
+/// Caveat: `touched` reflects the master journal, and a lazy
+/// `remove_object` deliberately suppresses journaling of the victim's
+/// incident edges (the projection hides them via liveness checks
+/// instead) — yet the *serialized* form of each neighbour's shard does
+/// change. A caller tracking serialization dirtiness must add the
+/// removed key's neighbour shards itself, before applying the removal.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Shards whose published snapshot was replaced by this update.
+    pub touched: Vec<usize>,
+    /// Shards whose packed base was rebuilt by this update.
+    pub compacted: Vec<usize>,
+}
+
 /// The sharded A' index: a writer-side master [`AIndex`] projected into
 /// hash shards with delta-overlay mutation. See the module docs.
 #[derive(Debug)]
@@ -711,9 +731,52 @@ impl ShardedIndex {
     /// into the affected shards' overlays and publishes them — one new
     /// snapshot per *touched* shard, every other shard untouched.
     pub fn update<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> R {
+        self.update_reporting(f).0
+    }
+
+    /// Like [`update`](ShardedIndex::update), but also reports which
+    /// shards the drain compacted — the checkpoint boundary.
+    pub fn update_reporting<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> (R, UpdateReport) {
         let mut writer = self.writer.lock();
         let out = f(&mut writer.master);
-        self.drain(&mut writer);
+        let report = self.drain(&mut writer);
+        (out, report)
+    }
+
+    /// Serializes one shard's live members and their incident edges as
+    /// checkpoint body lines (`node <key>` / `edge <kind> <origin> <p>
+    /// <a> <b>`, keys percent-escaped). Like the serial format, lineage
+    /// is flattened: inferred edges are recorded as direct. Cross-shard
+    /// edges appear once per endpoint shard; loading re-applies them
+    /// idempotently.
+    pub fn serialize_shard(&self, shard: usize) -> String {
+        use std::fmt::Write as _;
+        let writer = self.writer.lock();
+        let mut out = String::new();
+        for &n in &writer.members[shard] {
+            if !writer.master.node_alive(n) {
+                continue;
+            }
+            let key = writer.master.key_at(n);
+            let _ = writeln!(out, "node {}", crate::serial::escape(&key.to_string()));
+            for (o, kind, prob, origin) in writer.master.live_incident_of(n) {
+                let kind = match kind {
+                    RelationKind::Identity => "id",
+                    RelationKind::Matching => "match",
+                };
+                let origin = match origin {
+                    EdgeOrigin::Direct | EdgeOrigin::Inferred(..) => "direct",
+                    EdgeOrigin::Promoted => "promoted",
+                };
+                let _ = writeln!(
+                    out,
+                    "edge {kind} {origin} {} {} {}",
+                    prob.get(),
+                    crate::serial::escape(&key.to_string()),
+                    crate::serial::escape(&writer.master.key_at(o).to_string()),
+                );
+            }
+        }
         out
     }
 
@@ -740,10 +803,11 @@ impl ShardedIndex {
     }
 
     /// Applies the journal accumulated in the master to the projection.
-    fn drain(&self, writer: &mut Writer) {
+    /// Reports the shards that were republished and compacted.
+    fn drain(&self, writer: &mut Writer) -> UpdateReport {
         let ops = writer.master.take_journal();
         if ops.is_empty() {
-            return;
+            return UpdateReport::default();
         }
         writer.register_nodes();
         let mut created: Vec<u32> = Vec::new();
@@ -769,6 +833,7 @@ impl ShardedIndex {
 
         let current = self.published.lock().clone();
         let mut replaced: Vec<(usize, Arc<ShardSnap>)> = Vec::new();
+        let mut compacted: Vec<usize> = Vec::new();
         for (shard, nodes) in dirty.iter().enumerate() {
             if nodes.is_empty() {
                 continue;
@@ -777,6 +842,7 @@ impl ShardedIndex {
             let snap =
                 if wants_compaction(old.overlay.nodes.len() + nodes.len(), old.base.keys.len()) {
                     self.compactions[shard].fetch_add(1, Ordering::Relaxed);
+                    compacted.push(shard);
                     writer.compact_shard(shard)
                 } else {
                     let mut overlay = old.overlay.clone();
@@ -801,8 +867,9 @@ impl ShardedIndex {
             self.swaps[shard].fetch_add(1, Ordering::Relaxed);
             replaced.push((shard, Arc::new(snap)));
         }
+        let touched: Vec<usize> = replaced.iter().map(|(shard, _)| *shard).collect();
         if replaced.is_empty() {
-            return;
+            return UpdateReport { touched, compacted };
         }
         let mut shards = current.shards.clone();
         for (shard, snap) in replaced {
@@ -810,6 +877,7 @@ impl ShardedIndex {
         }
         let max_slots = shards.iter().map(|s| s.slots).max().unwrap_or(0);
         *self.published.lock() = Arc::new(Directory { shards, max_slots });
+        UpdateReport { touched, compacted }
     }
 
     /// Per-shard statistics of the published projection.
@@ -1057,6 +1125,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn update_reporting_surfaces_compactions() {
+        let groups = 40;
+        let sharded = ShardedIndex::new(sample_index(groups));
+        let mut reported: Vec<usize> = Vec::new();
+        for round in 0..30 {
+            for g in 0..groups {
+                let key = k(&format!("db3.c.m{}", g / 2));
+                let (_, report) = sharded.update_reporting(|ix| {
+                    ix.insert_matching(&key, &k(&format!("db6.c.y{round}_{g}")), p(0.5));
+                });
+                reported.extend(report.compacted);
+            }
+        }
+        let stats = sharded.shard_stats();
+        for s in &stats {
+            let seen = reported.iter().filter(|&&c| c == s.shard).count() as u64;
+            assert_eq!(seen, s.compactions, "shard {} compaction count", s.shard);
+        }
+        assert!(!reported.is_empty(), "sustained mutation must compact");
+    }
+
+    #[test]
+    fn serialize_shard_covers_every_live_node_once() {
+        let sharded = ShardedIndex::new(sample_index(15));
+        sharded.update(|ix| ix.remove_object(&k("db1.c.b4")));
+        let mut node_lines = 0;
+        for shard in 0..SHARD_COUNT {
+            let body = sharded.serialize_shard(shard);
+            node_lines += body.lines().filter(|l| l.starts_with("node ")).count();
+            assert!(!body.contains(&format!("node {}", "db1.c.b4")), "dead node serialized");
+        }
+        assert_eq!(node_lines, sharded.snapshot().stats().nodes);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use std::path::Path;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::{scale, throughput, Lab};
+use quepa_bench::{recovery, scale, throughput, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
 
@@ -302,6 +302,69 @@ fn main() {
     );
     if !live_ok {
         rows.push(("scale-mutation-speedup-live".into(), false));
+    }
+
+    // ---- durability smoke ----------------------------------------------
+    // The recorded durability sweep (BENCH_recovery.json) carries two
+    // acceptance claims: the shared mutation entry point costs nothing
+    // when no WAL is attached (wal-off ≡ baseline, both recorded on the
+    // same machine so the pin is deterministic), and cold recovery stays
+    // roughly linear in the log. The gate re-checks both from the
+    // recorded scenarios, then re-measures the wal-off/baseline ratio
+    // live.
+    let recovery_baseline = load("BENCH_recovery.json");
+    let rrec = |name: &str| -> f64 {
+        *recovery_baseline.means.get(name).unwrap_or_else(|| {
+            eprintln!(
+                "bench_gate: BENCH_recovery.json has no scenario {name:?} — regenerate with `cargo bench -p quepa-bench --bench recovery`"
+            );
+            std::process::exit(2);
+        })
+    };
+    let rec_overhead =
+        rrec("recovery/1e4/mutation/wal-off") / rrec("recovery/1e4/mutation/baseline");
+    let rec_overhead_ok = (rec_overhead - 1.0).abs() <= 0.02;
+    failed |= !rec_overhead_ok;
+    println!(
+        "\nrecorded wal-off mutation cost vs baseline: {rec_overhead:.3}x (pin 1.00x +-2%)  {}",
+        if rec_overhead_ok { "ok" } else { "REGRESSION" }
+    );
+    if !rec_overhead_ok {
+        rows.push(("recovery-wal-off-pin-recorded".into(), false));
+    }
+    let rec_growth = rrec("recovery/1e5/recover") / rrec("recovery/1e4/recover");
+    let rec_growth_ok = rec_growth <= 25.0;
+    failed |= !rec_growth_ok;
+    println!(
+        "recorded cold recovery growth 1e4 -> 1e5 ops: {rec_growth:.2}x (limit 25x)  {}",
+        if rec_growth_ok { "ok" } else { "REGRESSION" }
+    );
+    if !rec_growth_ok {
+        rows.push(("recovery-growth-recorded".into(), false));
+    }
+    let stream = recovery::ops(recovery::MUTATION_OPS);
+    let mut live_base = recovery::mutation_baseline(&stream);
+    let mut live_off = recovery::mutation_wal_off(&stream);
+    let mut live_overhead = live_off.mean_s / live_base.mean_s;
+    if live_overhead > 1.05 {
+        // One noisy pass is not a regression; re-measure both paths.
+        let again_base = recovery::mutation_baseline(&stream);
+        let again_off = recovery::mutation_wal_off(&stream);
+        let again = again_off.mean_s / again_base.mean_s;
+        if again < live_overhead {
+            (live_base, live_off, live_overhead) = (again_base, again_off, again);
+        }
+    }
+    let live_overhead_ok = live_overhead <= 1.05;
+    failed |= !live_overhead_ok;
+    println!(
+        "live wal-off mutation cost vs baseline: {:.9}s vs {:.9}s per op ({live_overhead:.3}x, limit 1.05x)  {}",
+        live_off.mean_s,
+        live_base.mean_s,
+        if live_overhead_ok { "ok" } else { "REGRESSION" }
+    );
+    if !live_overhead_ok {
+        rows.push(("recovery-wal-off-pin-live".into(), false));
     }
 
     let bad: Vec<&str> = rows.iter().filter(|(_, ok)| !ok).map(|(n, _)| n.as_str()).collect();

@@ -1,0 +1,239 @@
+//! The durability sweep (`benches/recovery.rs`, gated by `bench_gate`).
+//!
+//! Two questions, one recorded file (`BENCH_recovery.json`):
+//!
+//! * **What does the WAL cost a mutation?** A fixed synthetic stream of
+//!   [`IndexOp`]s is applied one batch at a time through four paths:
+//!   `baseline` (the raw sharded update the mutation path wraps —
+//!   pre-durability code), `wal-off` (a volatile
+//!   [`Quepa::apply_mutations`] — the shared entry point with durability
+//!   compiled in but not attached), `wal-buffered` (durable,
+//!   fsync-at-checkpoint) and `wal-fsync` (durable, fsync-per-commit).
+//!   The acceptance pin is that `wal-off` costs the same as `baseline`
+//!   (±2% recorded, ≤1.05× live): durability must be free when unused.
+//! * **What does recovery cost?** A durable directory holding a
+//!   checkpoint cut at the stream's midpoint plus a WAL tail of the
+//!   second half is recovered cold ([`quepa_wal::recover`]: load 16
+//!   shard files + replay the tail). Recorded at 10⁴ and 10⁵ ops; the
+//!   gate bounds the growth ratio (≤25× for 10× ops — recovery must
+//!   stay roughly linear in the log, never quadratic).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use quepa_aindex::{AIndex, ShardedIndex};
+use quepa_core::{IndexOp, Quepa, QuepaConfig, RecoveryOptions, SyncPolicy};
+use quepa_pdm::{GlobalKey, Probability};
+use quepa_polystore::Deployment;
+use quepa_wal::RecoveryReport;
+use quepa_workload::{BuiltPolystore, WorkloadConfig};
+
+/// Ops per mutation measurement (the `1e4` point).
+pub const MUTATION_OPS: usize = 10_000;
+
+/// Batch size of one commit — matches the serving path's default batch.
+pub const BATCH: usize = 16;
+
+/// A scratch directory for one durable measurement; removed on drop.
+pub struct BenchDir(pub PathBuf);
+
+impl BenchDir {
+    /// Creates a fresh empty directory under the system temp dir.
+    pub fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("quepa-bench-recovery-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        BenchDir(dir)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn key(i: usize) -> GlobalKey {
+    format!("db{}.c.k{i}", i % 8).parse().expect("valid key")
+}
+
+/// A deterministic synthetic mutation stream: a growing chain of
+/// identity and matching p-relations over 8 stores with a removal every
+/// 16th op — the same op mix the crash differential scripts, sized for
+/// benchmarking. Pure arithmetic, no RNG: the stream is identical on
+/// every machine that records a baseline.
+pub fn ops(count: usize) -> Vec<IndexOp> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(if i % 16 == 15 {
+            // Remove a key inserted ~half a window ago: always live,
+            // always connected.
+            IndexOp::RemoveObject { key: key(i - 8) }
+        } else if i % 3 == 0 {
+            IndexOp::InsertIdentity {
+                a: key(i),
+                b: key(i + 1),
+                p: Probability::of(0.8 + (i % 20) as f64 / 100.0),
+            }
+        } else {
+            IndexOp::InsertMatching {
+                a: key(i),
+                b: key(i / 2),
+                p: Probability::of(0.5 + (i % 40) as f64 / 100.0),
+            }
+        });
+    }
+    out
+}
+
+/// One measured mutation path.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationPoint {
+    /// Ops applied.
+    pub ops: usize,
+    /// Wall seconds per op (the gate's comparison unit).
+    pub mean_s: f64,
+    /// Ops per wall-clock second.
+    pub qps: f64,
+}
+
+fn point(count: usize, wall: f64) -> MutationPoint {
+    MutationPoint { ops: count, mean_s: wall / count as f64, qps: count as f64 / wall }
+}
+
+/// The raw sharded update the durable mutation path wraps: one
+/// `ShardedIndex::update` per batch, no Quepa, no WAL — the
+/// pre-durability mutation cost.
+pub fn mutation_baseline(stream: &[IndexOp]) -> MutationPoint {
+    let sharded = ShardedIndex::new(AIndex::new());
+    let t0 = Instant::now();
+    for batch in stream.chunks(BATCH) {
+        sharded.update(|ix| {
+            for op in batch {
+                op.apply(ix);
+            }
+        });
+    }
+    point(stream.len(), t0.elapsed().as_secs_f64())
+}
+
+fn bench_polystore() -> BuiltPolystore {
+    // The smallest workload build: the mutation stream is synthetic, the
+    // polystore only exists so Quepa has stores to attach to.
+    BuiltPolystore::build(WorkloadConfig {
+        albums: 10,
+        replica_sets: 0,
+        deployment: Deployment::InProcess,
+        seed: 42,
+    })
+}
+
+/// `Quepa::apply_mutations` without a durable attachment — the shared
+/// mutation entry point, WAL off. Must cost the same as
+/// [`mutation_baseline`].
+pub fn mutation_wal_off(stream: &[IndexOp]) -> MutationPoint {
+    let quepa = Quepa::new(bench_polystore().polystore, AIndex::new());
+    let t0 = Instant::now();
+    for batch in stream.chunks(BATCH) {
+        quepa.apply_mutations(batch).expect("volatile apply");
+    }
+    point(stream.len(), t0.elapsed().as_secs_f64())
+}
+
+/// The full durable commit path: WAL append (under `sync`), store flush,
+/// sharded apply, checkpoint cuts when a shard compacts.
+pub fn mutation_durable(stream: &[IndexOp], sync: SyncPolicy, tag: &str) -> MutationPoint {
+    let dir = BenchDir::new(tag);
+    let quepa = Quepa::create_durable(
+        bench_polystore().polystore,
+        AIndex::new(),
+        QuepaConfig::default(),
+        &dir.0,
+        sync,
+    )
+    .expect("create durable");
+    let t0 = Instant::now();
+    for batch in stream.chunks(BATCH) {
+        quepa.apply_mutations(batch).expect("durable apply");
+    }
+    point(stream.len(), t0.elapsed().as_secs_f64())
+}
+
+/// Lays out a durable directory for the cold-recovery measurement: a
+/// checkpoint cut of the stream's first half at the midpoint LSN and a
+/// WAL holding the full stream (so recovery replays the second half).
+pub fn build_durable_dir(dir: &Path, stream: &[IndexOp]) {
+    let mid = stream.len() / 2;
+    let (mut wal, _) =
+        quepa_wal::Wal::open(&quepa_wal::wal_path(dir), SyncPolicy::Buffered).expect("open wal");
+    for op in &stream[..mid] {
+        wal.append(std::slice::from_ref(op)).expect("append");
+    }
+    let sharded = ShardedIndex::new(AIndex::new());
+    sharded.update(|ix| {
+        for op in &stream[..mid] {
+            op.apply(ix);
+        }
+    });
+    quepa_wal::write_cut(dir, mid as u64, |shard| Some(sharded.serialize_shard(shard)))
+        .expect("write cut");
+    for op in &stream[mid..] {
+        wal.append(std::slice::from_ref(op)).expect("append");
+    }
+}
+
+/// Cold recovery of a directory laid out by [`build_durable_dir`]: load
+/// the cut's 16 shard files, replay the WAL tail. Returns wall seconds
+/// and the report (for sanity assertions).
+pub fn recover_cold(dir: &Path) -> (f64, RecoveryReport) {
+    let t0 = Instant::now();
+    let (index, _, report) =
+        quepa_wal::recover(dir, SyncPolicy::Buffered, &RecoveryOptions::default())
+            .expect("recover");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(index.node_count() > 0, "recovered index must not be empty");
+    (wall, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_paths_agree_on_the_final_index() {
+        let stream = ops(640);
+        let sharded = ShardedIndex::new(AIndex::new());
+        sharded.update(|ix| {
+            for op in &stream {
+                op.apply(ix);
+            }
+        });
+        let quepa = Quepa::new(bench_polystore().polystore, AIndex::new());
+        for batch in stream.chunks(BATCH) {
+            quepa.apply_mutations(batch).unwrap();
+        }
+        let got = quepa.index_snapshot();
+        let want = sharded.snapshot();
+        assert_eq!(got.node_count(), want.node_count());
+        assert_eq!(got.edge_count(), want.edge_count());
+    }
+
+    #[test]
+    fn measurements_run_and_recovery_replays_the_tail() {
+        let stream = ops(320);
+        let base = mutation_baseline(&stream);
+        let off = mutation_wal_off(&stream);
+        let buf = mutation_durable(&stream, SyncPolicy::Buffered, "test-buffered");
+        assert!(base.mean_s > 0.0 && off.mean_s > 0.0 && buf.mean_s > 0.0);
+        assert_eq!(base.ops, 320);
+
+        let dir = BenchDir::new("test-recover");
+        build_durable_dir(&dir.0, &stream);
+        let (wall, report) = recover_cold(&dir.0);
+        assert!(wall > 0.0);
+        assert_eq!(report.checkpoint_lsn, 160);
+        assert_eq!(report.replayed, 160);
+        assert!(!report.torn_tail);
+    }
+}

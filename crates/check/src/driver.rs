@@ -35,6 +35,11 @@
 //!    every in-flight answer to *some* removal prefix — the atomic
 //!    shard-directory publication means no reader may observe a torn
 //!    half-applied state.
+//! 9. **Crash recovery** — scenarios carrying a `CrashSpec` also run
+//!    the crash-point differential of [`crate::crash`]: a durable
+//!    instance is killed at the seeded point (optionally leaving a torn
+//!    or unacknowledged WAL record behind), recovered, and held to
+//!    bit-for-bit agreement with a never-crashed twin.
 //!
 //! Every run builds *fresh* twin systems — lazy deletion mutates the
 //! index, so instances are never reused across runs (except where reuse
@@ -181,6 +186,9 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
     check_metrics_determinism(scenario, &database, &query, &fail)?;
     check_retry_accounting(scenario, &database, &query, &model_out, &fail)?;
     check_removal_quiesce(scenario, &fail)?;
+    // Invariant 9: scenarios carrying a crash plan also run the
+    // crash-point recovery differential (no-op without one).
+    crate::crash::check_crash_scenario(scenario)?;
 
     Ok(CheckReport {
         configs: scenario.configs.len(),

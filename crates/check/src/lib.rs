@@ -17,14 +17,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod driver;
 pub mod model;
 pub mod rng;
 pub mod scenario;
 pub mod shrink;
 
+pub use crash::check_crash_scenario;
 pub use driver::{check_concurrent_scenario, check_scenario, CheckFailure, CheckReport};
 pub use model::{ModelAugmented, ModelIndex, ModelKind};
 pub use rng::SplitMix;
-pub use scenario::{ConfigSpec, FaultSpec, Mutation, RelationSpec, Scenario, StoreKind, StoreSpec};
+pub use scenario::{
+    ConfigSpec, CrashSpec, FaultSpec, Mutation, RelationSpec, Scenario, StoreKind, StoreSpec,
+};
 pub use shrink::shrink;

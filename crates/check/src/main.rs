@@ -4,10 +4,12 @@
 //! quepa-check [--scenarios N] [--seed S]        # fixed-count smoke run
 //! quepa-check --concurrent M ...                # also race M clients per
 //!                                               # scenario on one instance
+//! quepa-check --crash ...                       # crash-only sweep: force a
+//!                                               # crash plan on every seed
 //! quepa-check --soak [--time-budget-secs T]     # run until the budget ends
 //! quepa-check --replay FILE                     # re-run one .scenario file
 //! quepa-check --inject-bug drop-relation[:i]    # self-test: plant a bug,
-//!                                               # prove it is caught+shrunk
+//!              | skip-wal-tail[:n]              # prove it is caught+shrunk
 //! quepa-check --out-dir DIR                     # where failures are written
 //! ```
 //!
@@ -19,14 +21,15 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use quepa_check::{
-    check_concurrent_scenario, check_scenario, shrink, CheckFailure, CheckReport, Mutation,
-    Scenario,
+    check_concurrent_scenario, check_crash_scenario, check_scenario, shrink, CheckFailure,
+    CheckReport, CrashSpec, Mutation, Scenario, SplitMix,
 };
 
 struct Args {
     scenarios: u64,
     seed: u64,
     concurrent: usize,
+    crash: bool,
     soak: bool,
     time_budget: Duration,
     replay: Option<String>,
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         scenarios: 200,
         seed: 1,
         concurrent: 0,
+        crash: false,
         soak: false,
         time_budget: Duration::from_secs(300),
         replay: None,
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                 args.concurrent =
                     value("--concurrent")?.parse().map_err(|e| format!("--concurrent: {e}"))?
             }
+            "--crash" => args.crash = true,
             "--soak" => args.soak = true,
             "--time-budget-secs" => {
                 args.time_budget = Duration::from_secs(
@@ -70,21 +75,43 @@ fn parse_args() -> Result<Args, String> {
             "--inject-bug" => {
                 let spec = value("--inject-bug")?;
                 let (kind, idx) = spec.split_once(':').unwrap_or((spec.as_str(), "0"));
-                if kind != "drop-relation" {
-                    return Err(format!("unknown bug `{kind}` (supported: drop-relation[:i])"));
-                }
-                let idx = idx.parse().map_err(|e| format!("--inject-bug index: {e}"))?;
-                args.inject_bug = Some(Mutation::DropRelation(idx));
+                let idx: usize = idx.parse().map_err(|e| format!("--inject-bug index: {e}"))?;
+                args.inject_bug = Some(match kind {
+                    "drop-relation" => Mutation::DropRelation(idx),
+                    "skip-wal-tail" => Mutation::SkipWalTail(idx.max(1)),
+                    other => {
+                        return Err(format!(
+                        "unknown bug `{other}` (supported: drop-relation[:i], skip-wal-tail[:n])"
+                    ))
+                    }
+                });
             }
             "--out-dir" => args.out_dir = value("--out-dir")?,
             "--help" | "-h" => {
-                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]] [--out-dir DIR]");
+                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--crash] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]|skip-wal-tail[:n]] [--out-dir DIR]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// The crash-only sweep runs every seed against a crash plan: seeds
+/// that drew one keep it, the rest get a deterministic forced plan from
+/// a labelled sub-stream (so the sweep stays replayable by seed).
+fn with_forced_crash(mut scenario: Scenario) -> Scenario {
+    if scenario.crash.is_none() {
+        let mut rng = SplitMix::new(scenario.seed).fork("forced-crash");
+        let total = scenario.relations.len() + scenario.removals.len();
+        scenario.crash = Some(CrashSpec {
+            after_ops: rng.below(total + 1),
+            torn_tail: rng.chance(50),
+            checkpoint_every: if rng.chance(50) { rng.range(1, 4) } else { 0 },
+            partial: rng.chance(50),
+        });
+    }
+    scenario
 }
 
 fn write_failure(out_dir: &str, scenario: &Scenario) -> String {
@@ -191,16 +218,32 @@ fn main() -> ExitCode {
 
     if let Some(bug) = args.inject_bug {
         // Self-test: the planted bug must be caught on some scenario and
-        // shrunk to a replayable minimal reproduction.
+        // shrunk to a replayable minimal reproduction. A recovery bug
+        // (skip-wal-tail) only bites under a crash plan, so that variant
+        // forces one covering the whole mutation stream and is hunted by
+        // the crash differential alone.
+        let check: &dyn Fn(&Scenario) -> Result<CheckReport, CheckFailure> = match bug {
+            Mutation::DropRelation(_) => &check_scenario,
+            Mutation::SkipWalTail(_) => &check_crash_scenario,
+        };
         for seed in args.seed..args.seed + 500 {
             let mut scenario = Scenario::generate(seed);
             if scenario.relations.is_empty() {
                 continue;
             }
             scenario.mutation = Some(bug);
-            if let Err(first) = check_scenario(&scenario) {
+            if matches!(bug, Mutation::SkipWalTail(_)) {
+                let total = scenario.relations.len() + scenario.removals.len();
+                scenario.crash = Some(CrashSpec {
+                    after_ops: total,
+                    torn_tail: false,
+                    checkpoint_every: 0,
+                    partial: false,
+                });
+            }
+            if let Err(first) = check(&scenario) {
                 println!("planted bug caught at seed {seed}: {first}");
-                let minimal = shrink(&scenario, &|s| check_scenario(s).is_err());
+                let minimal = shrink(&scenario, &|s| check(s).is_err());
                 let path = write_failure(&args.out_dir, &minimal);
                 println!(
                     "shrunk to {} stores / {} relations / {} configs: {path}",
@@ -210,7 +253,7 @@ fn main() -> ExitCode {
                 );
                 // The reproduction must replay from its file form alone.
                 let replayed = Scenario::parse(&minimal.serialize()).expect("round-trips");
-                if check_scenario(&replayed).is_ok() {
+                if check(&replayed).is_ok() {
                     eprintln!("ERROR: replayed minimal scenario no longer fails");
                     return ExitCode::FAILURE;
                 }
@@ -234,10 +277,16 @@ fn main() -> ExitCode {
         } else if ran >= args.scenarios {
             break;
         }
-        let scenario = Scenario::generate(seed);
-        match check_scenario(&scenario) {
+        let scenario = if args.crash {
+            with_forced_crash(Scenario::generate(seed))
+        } else {
+            Scenario::generate(seed)
+        };
+        let check: &dyn Fn(&Scenario) -> Result<CheckReport, CheckFailure> =
+            if args.crash { &check_crash_scenario } else { &check_scenario };
+        match check(&scenario) {
             Ok(report) => coverage.record(&scenario, report.augmented),
-            Err(e) => return report_failure(&args, &scenario, &e.to_string(), &check_scenario),
+            Err(e) => return report_failure(&args, &scenario, &e.to_string(), check),
         }
         if args.concurrent > 0 {
             if let Err(e) = check_concurrent_scenario(&scenario, args.concurrent) {
@@ -248,10 +297,13 @@ fn main() -> ExitCode {
         ran += 1;
         seed += 1;
     }
-    let mode = match args.concurrent {
+    let mut mode = match args.concurrent {
         0 => String::new(),
         m => format!(" (+{m}-client concurrent check)"),
     };
+    if args.crash {
+        mode.push_str(" (crash-recovery differential)");
+    }
     println!(
         "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} with removals, {} augmented keys, query kinds: {})",
         start.elapsed().as_secs_f64(),

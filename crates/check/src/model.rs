@@ -127,27 +127,32 @@ impl ModelIndex {
         Some(eid)
     }
 
-    /// The identity clique around `n`: `(other, probability)` in edge
-    /// creation order.
+    /// The identity clique around `n`: `(other, probability)` in
+    /// canonical neighbour-key order — the same order the real index
+    /// iterates, so composed probability bits match exactly.
     fn identity_clique(&self, n: usize) -> Vec<(usize, Probability)> {
-        self.adjacency[n]
+        let mut out: Vec<_> = self.adjacency[n]
             .iter()
             .map(|&eid| &self.edges[eid])
             .filter(|e| e.alive && e.kind == ModelKind::Identity)
             .filter(|e| self.alive_node[e.other(n)])
             .map(|e| (e.other(n), e.prob))
-            .collect()
+            .collect();
+        out.sort_unstable_by(|x, y| self.keys[x.0].cmp(&self.keys[y.0]));
+        out
     }
 
-    /// The matchings of `n`: `(other, probability)` in edge creation order.
+    /// The matchings of `n`, in canonical neighbour-key order.
     fn matchings(&self, n: usize) -> Vec<(usize, Probability)> {
-        self.adjacency[n]
+        let mut out: Vec<_> = self.adjacency[n]
             .iter()
             .map(|&eid| &self.edges[eid])
             .filter(|e| e.alive && e.kind == ModelKind::Matching)
             .filter(|e| self.alive_node[e.other(n)])
             .map(|e| (e.other(n), e.prob))
-            .collect()
+            .collect();
+        out.sort_unstable_by(|x, y| self.keys[x.0].cmp(&self.keys[y.0]));
+        out
     }
 
     /// Inserts an identity p-relation `a ~_p b`: snapshot both cliques,

@@ -113,6 +113,34 @@ pub enum Mutation {
     /// Silently drop relation `i % relations.len()` when building the
     /// real A' index (models a lost edge in the CSR build).
     DropRelation(usize),
+    /// Silently drop the last `n` records of the WAL tail during
+    /// recovery (models a broken replay cursor). Caught by the crash
+    /// differential: the recovered instance no longer matches its
+    /// never-crashed twin.
+    SkipWalTail(usize),
+}
+
+/// A seeded crash plan: run the scenario's mutation stream against a
+/// *durable* instance, kill it at a chosen point, recover, and hold the
+/// recovered instance to bit-for-bit agreement with a never-crashed
+/// volatile twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Kill after this many mutations were durably applied (clamped to
+    /// the stream length).
+    pub after_ops: usize,
+    /// Append a torn (incomplete) final record to the WAL after the
+    /// kill — the shape an in-flight write leaves behind. Recovery must
+    /// truncate it.
+    pub torn_tail: bool,
+    /// Force a checkpoint cut every `n` applied mutations (`0` leaves
+    /// cuts to the compaction trigger alone).
+    pub checkpoint_every: usize,
+    /// The crash strikes *between* WAL append and in-memory apply: the
+    /// next record is durable in the log but was never acknowledged.
+    /// Recovery must replay it — the recovered state runs one op
+    /// *ahead* of what the crashed instance ever served.
+    pub partial: bool,
 }
 
 /// A complete generated scenario. See the module docs.
@@ -141,6 +169,9 @@ pub struct Scenario {
     /// Endpoints address `(store, object)` like [`RelationSpec`] and may
     /// reference phantoms or keys the index never interned.
     pub removals: Vec<(usize, usize)>,
+    /// Optional crash plan — when present, the crash-point differential
+    /// rides along with the standard sweep.
+    pub crash: Option<CrashSpec>,
     /// Optional planted bug (never generated; set by `--inject-bug`).
     pub mutation: Option<Mutation>,
 }
@@ -229,6 +260,22 @@ impl Scenario {
             Vec::new()
         };
 
+        // Crash plans get their own labelled stream, forked after every
+        // older one for the same reason as removals: historical seeds
+        // keep their draws.
+        let mut cr = root.fork("crash");
+        let crash = if cr.chance(30) {
+            let total = relations.len() + removals.len();
+            Some(CrashSpec {
+                after_ops: cr.below(total + 1),
+                torn_tail: cr.chance(35),
+                checkpoint_every: if cr.chance(50) { cr.range(1, 6) } else { 0 },
+                partial: cr.chance(40),
+            })
+        } else {
+            None
+        };
+
         Scenario {
             seed,
             deployment,
@@ -240,6 +287,7 @@ impl Scenario {
             configs,
             fault,
             removals,
+            crash,
             mutation: None,
         }
     }
@@ -369,13 +417,11 @@ impl Scenario {
 
     /// Builds the **real** A' index, honouring the planted mutation.
     pub fn build_index(&self) -> AIndex {
-        let dropped = self.mutation.map(|Mutation::DropRelation(i)| {
-            if self.relations.is_empty() {
-                usize::MAX
-            } else {
-                i % self.relations.len()
-            }
-        });
+        let dropped = match self.mutation {
+            Some(Mutation::DropRelation(_)) if self.relations.is_empty() => Some(usize::MAX),
+            Some(Mutation::DropRelation(i)) => Some(i % self.relations.len()),
+            _ => None,
+        };
         let mut index = AIndex::new();
         for (i, rel) in self.relations.iter().enumerate() {
             if Some(i) == dropped {
@@ -471,8 +517,23 @@ impl Scenario {
         for &(s, o) in &self.removals {
             out.push_str(&format!("remove {s} {o}\n"));
         }
-        if let Some(Mutation::DropRelation(i)) = self.mutation {
-            out.push_str(&format!("mutation drop-relation {i}\n"));
+        if let Some(c) = &self.crash {
+            out.push_str(&format!(
+                "crash {} {} {} {}\n",
+                c.after_ops,
+                if c.torn_tail { "torn" } else { "clean" },
+                c.checkpoint_every,
+                if c.partial { "partial" } else { "all" }
+            ));
+        }
+        match self.mutation {
+            Some(Mutation::DropRelation(i)) => {
+                out.push_str(&format!("mutation drop-relation {i}\n"));
+            }
+            Some(Mutation::SkipWalTail(n)) => {
+                out.push_str(&format!("mutation skip-wal-tail {n}\n"));
+            }
+            None => {}
         }
         out
     }
@@ -495,6 +556,7 @@ impl Scenario {
             configs: Vec::new(),
             fault: None,
             removals: Vec::new(),
+            crash: None,
             mutation: None,
         };
         for line in lines {
@@ -590,12 +652,34 @@ impl Scenario {
                     };
                     scenario.removals.push((int(store)?, int(obj)?));
                 }
-                "mutation" => {
-                    let ["drop-relation", i] = rest[..] else {
-                        return Err(format!("bad mutation line `{line}`"));
+                "crash" => {
+                    let [after, tail, every, batch] = rest[..] else {
+                        return Err(format!("bad crash line `{line}`"));
                     };
-                    scenario.mutation = Some(Mutation::DropRelation(int(i)?));
+                    scenario.crash = Some(CrashSpec {
+                        after_ops: int(after)?,
+                        torn_tail: match tail {
+                            "torn" => true,
+                            "clean" => false,
+                            other => return Err(format!("bad crash tail `{other}`")),
+                        },
+                        checkpoint_every: int(every)?,
+                        partial: match batch {
+                            "partial" => true,
+                            "all" => false,
+                            other => return Err(format!("bad crash batch `{other}`")),
+                        },
+                    });
                 }
+                "mutation" => match rest[..] {
+                    ["drop-relation", i] => {
+                        scenario.mutation = Some(Mutation::DropRelation(int(i)?));
+                    }
+                    ["skip-wal-tail", n] => {
+                        scenario.mutation = Some(Mutation::SkipWalTail(int(n)?));
+                    }
+                    _ => return Err(format!("bad mutation line `{line}`")),
+                },
                 other => return Err(format!("unknown line tag `{other}`")),
             }
         }
@@ -683,6 +767,16 @@ mod tests {
             let mut s = Scenario::generate(seed);
             if seed % 5 == 0 {
                 s.mutation = Some(Mutation::DropRelation(seed as usize));
+            } else if seed % 5 == 1 {
+                s.mutation = Some(Mutation::SkipWalTail(1 + seed as usize % 3));
+            }
+            if seed % 4 == 0 {
+                s.crash = Some(CrashSpec {
+                    after_ops: seed as usize % 7,
+                    torn_tail: seed % 2 == 0,
+                    checkpoint_every: seed as usize % 3,
+                    partial: seed % 3 == 0,
+                });
             }
             let text = s.serialize();
             let back = Scenario::parse(&text).expect("parses");
@@ -708,6 +802,10 @@ mod tests {
                 // Object index may be the phantom slot but nothing past it.
                 assert!(obj <= s.stores[store].objects, "seed {seed}");
             }
+            if let Some(c) = &s.crash {
+                assert!(c.after_ops <= s.relations.len() + s.removals.len(), "seed {seed}");
+                assert!(c.checkpoint_every <= 6, "seed {seed}");
+            }
             if let Some(f) = &s.fault {
                 assert!(f.max_streak < MAX_ATTEMPTS);
                 assert!(!f.outages.contains(&s.query_store));
@@ -723,7 +821,8 @@ mod tests {
     #[test]
     fn seed_range_covers_kinds_and_fault_modes() {
         let mut kinds = std::collections::BTreeSet::new();
-        let (mut faulty, mut clean, mut removing) = (0, 0, 0);
+        let (mut faulty, mut clean, mut removing, mut crashing) = (0, 0, 0, 0);
+        let (mut torn, mut partial, mut scheduled) = (0, 0, 0);
         for seed in 0..200u64 {
             let s = Scenario::generate(seed);
             kinds.insert(kind_name(s.stores[s.query_store].kind));
@@ -735,10 +834,21 @@ mod tests {
             if !s.removals.is_empty() {
                 removing += 1;
             }
+            if let Some(c) = &s.crash {
+                crashing += 1;
+                torn += c.torn_tail as u64;
+                partial += c.partial as u64;
+                scheduled += (c.checkpoint_every > 0) as u64;
+            }
         }
         assert_eq!(kinds.len(), 4, "all four store kinds appear as query targets");
         assert!(faulty >= 20 && clean >= 20, "both fault modes well represented");
         assert!(removing >= 20, "index removals well represented: {removing}");
+        assert!(crashing >= 20, "crash plans well represented: {crashing}");
+        assert!(
+            torn >= 5 && partial >= 5 && scheduled >= 5,
+            "crash shapes all drawn: torn {torn}, partial {partial}, scheduled {scheduled}"
+        );
     }
 
     #[test]

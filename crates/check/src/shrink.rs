@@ -8,7 +8,7 @@
 //! failure, looping to a fixpoint. The result is the minimal replayable
 //! `.scenario` reproduction the harness reports.
 
-use crate::scenario::{Mutation, Scenario};
+use crate::scenario::{CrashSpec, Mutation, Scenario};
 
 /// Shrinks `scenario` to a (locally) minimal scenario for which
 /// `still_fails` holds. `still_fails(scenario)` must be true on entry.
@@ -56,6 +56,62 @@ pub fn shrink(scenario: &Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> S
                     best = cand;
                     changed = true;
                     break;
+                }
+            }
+        }
+
+        // The crash plan: drop it outright, then simplify each knob —
+        // no torn tail, no partial record, no checkpoint schedule,
+        // earlier crash points (halving).
+        if best.crash.is_some() {
+            let mut cand = best.clone();
+            cand.crash = None;
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            }
+        }
+        if let Some(c) = best.crash {
+            for simpler in [
+                CrashSpec { torn_tail: false, ..c },
+                CrashSpec { partial: false, ..c },
+                CrashSpec { checkpoint_every: 0, ..c },
+            ] {
+                if simpler == c {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.crash = Some(simpler);
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        while let Some(c) = best.crash {
+            if c.after_ops == 0 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.crash = Some(CrashSpec { after_ops: c.after_ops / 2, ..c });
+            if still_fails(&cand) {
+                best = cand;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // A planted skip-wal-tail bug: try the minimal single-record
+        // skip.
+        if let Some(Mutation::SkipWalTail(n)) = best.mutation {
+            if n > 1 {
+                let mut cand = best.clone();
+                cand.mutation = Some(Mutation::SkipWalTail(1));
+                if still_fails(&cand) {
+                    best = cand;
+                    changed = true;
                 }
             }
         }
@@ -170,7 +226,10 @@ fn without_relations(scenario: &Scenario, start: usize, len: usize) -> Option<Sc
     if start >= end {
         return None;
     }
-    let mutated = scenario.mutation.map(|Mutation::DropRelation(i)| i);
+    let mutated = match scenario.mutation {
+        Some(Mutation::DropRelation(i)) => Some(i),
+        _ => None,
+    };
     if let Some(m) = mutated {
         if (start..end).contains(&m) {
             return None;

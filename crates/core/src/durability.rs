@@ -1,0 +1,274 @@
+//! Durable mode for the [`Quepa`] system: WAL + checkpoint cuts.
+//!
+//! A volatile instance loses its A' index on restart and must re-run
+//! the whole linkage pipeline. A *durable* instance attaches a
+//! directory holding a write-ahead log of logical index mutations
+//! ([`IndexOp`]) and incremental checkpoint cuts of the sharded
+//! projection (see `quepa-wal`). The commit path for one mutation
+//! batch is:
+//!
+//! 1. append the batch to the WAL (fsync per [`SyncPolicy`]);
+//! 2. ask every store to flush its own pending writes
+//!    ([`Polystore::commit_durable_all`]) — QUEPA's durable state never
+//!    runs ahead of the stores it indexes;
+//! 3. apply the batch to the sharded index;
+//! 4. if the drain compacted a shard, write a checkpoint cut at this
+//!    LSN (re-serializing only dirty shards) and truncate the WAL.
+//!
+//! The whole sequence holds the durability lock, so WAL order is apply
+//! order. Recovery ([`Quepa::recover_durable`]) loads the newest cut,
+//! replays the WAL tail, and answers **bit-identically** to the
+//! never-crashed instance — the crash-point differential harness in
+//! `quepa-check` pins that end to end.
+//!
+//! Closure-based mutations ([`Quepa::update_index`] — e.g. promotion
+//! during exploration) are not WAL-logged: in durable mode they mark
+//! the state *stale*, and the next durable commit or explicit
+//! [`Quepa::checkpoint_durable`] first writes a full cut capturing
+//! them. A crash before that cut loses the un-logged mutation but never
+//! corrupts recovery — the WAL tail always replays against the state
+//! its records were computed on.
+
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use quepa_aindex::shard::route;
+use quepa_aindex::{AIndex, ShardedIndex, SHARD_COUNT};
+use quepa_polystore::Polystore;
+pub use quepa_wal::{dir_has_state, IndexOp, Lsn, RecoveryOptions, RecoveryReport, SyncPolicy};
+use quepa_wal::{Wal, WalError};
+
+use crate::config::QuepaConfig;
+use crate::error::{QuepaError, Result};
+use crate::system::Quepa;
+
+/// The durability attachment of a [`Quepa`] instance.
+pub struct Durability {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    state: Mutex<DurableState>,
+}
+
+struct DurableState {
+    wal: Wal,
+    /// Shards whose serialized form may differ from the last cut.
+    dirty: [bool; SHARD_COUNT],
+    /// Whether any cut exists to carry clean shards over from.
+    have_cut: bool,
+    /// A closure mutation bypassed the WAL since the last cut; the next
+    /// commit or checkpoint must start with a full cut.
+    stale: bool,
+    cuts_written: u64,
+    records_appended: u64,
+}
+
+/// A point-in-time description of an instance's durability attachment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// The durable directory.
+    pub dir: PathBuf,
+    /// Last LSN in the log.
+    pub last_lsn: Lsn,
+    /// Checkpoint cuts written since attach.
+    pub cuts_written: u64,
+    /// WAL records appended since attach.
+    pub records_appended: u64,
+}
+
+impl Durability {
+    fn write_cut_locked(
+        &self,
+        index: &ShardedIndex,
+        st: &mut DurableState,
+        lsn: Lsn,
+    ) -> Result<()> {
+        let full = !st.have_cut || st.stale;
+        quepa_wal::write_cut(&self.dir, lsn, |shard| {
+            (full || st.dirty[shard]).then(|| index.serialize_shard(shard))
+        })?;
+        st.wal.truncate_upto(lsn).map_err(wal_err)?;
+        st.dirty = [false; SHARD_COUNT];
+        st.have_cut = true;
+        st.stale = false;
+        st.cuts_written += 1;
+        Ok(())
+    }
+
+    /// Runs a WAL-bypassing mutation under the durability lock and marks
+    /// the state stale, so no concurrent commit can cut a half-observed
+    /// state and the next commit starts with a full cut.
+    pub(crate) fn bypass<R>(&self, f: impl FnOnce() -> R) -> R {
+        let mut st = self.state.lock();
+        let out = f();
+        st.stale = true;
+        st.dirty = [true; SHARD_COUNT];
+        out
+    }
+}
+
+fn wal_err(e: WalError) -> QuepaError {
+    QuepaError::Durability(e.to_string())
+}
+
+impl Quepa {
+    /// Assembles a **durable** system over a fresh directory: the
+    /// initial index is checkpointed at LSN 0 and every subsequent
+    /// [`apply_mutations`](Quepa::apply_mutations) batch is
+    /// write-ahead-logged. Fails if `dir` already holds durable state —
+    /// use [`recover_durable`](Quepa::recover_durable) for that.
+    pub fn create_durable(
+        polystore: Polystore,
+        index: AIndex,
+        config: QuepaConfig,
+        dir: &Path,
+        sync: SyncPolicy,
+    ) -> Result<Quepa> {
+        if quepa_wal::dir_has_state(dir) {
+            return Err(QuepaError::Durability(format!(
+                "{} already holds durable state; recover instead of creating",
+                dir.display()
+            )));
+        }
+        let mut quepa = Quepa::with_config(polystore, index, config);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| QuepaError::Durability(format!("creating {}: {e}", dir.display())))?;
+        let (wal, _) = Wal::open(&quepa_wal::wal_path(dir), sync).map_err(wal_err)?;
+        let durability = Durability {
+            dir: dir.to_path_buf(),
+            sync,
+            state: Mutex::new(DurableState {
+                wal,
+                dirty: [false; SHARD_COUNT],
+                have_cut: false,
+                stale: false,
+                cuts_written: 0,
+                records_appended: 0,
+            }),
+        };
+        {
+            let mut st = durability.state.lock();
+            durability.write_cut_locked(&quepa.index, &mut st, 0)?;
+            // The initial cut is bookkeeping, not mutation traffic.
+            st.cuts_written = 0;
+        }
+        quepa.durability = Some(durability);
+        Ok(quepa)
+    }
+
+    /// Recovers a durable system from `dir`: loads the newest checkpoint
+    /// cut, replays the WAL tail (truncating a torn final record), and
+    /// returns the instance together with a [`RecoveryReport`]. The
+    /// recovered instance answers bit-identically to one that never
+    /// crashed. `options` is the fault-injection surface of the
+    /// simulation harness; production recovery passes the default.
+    pub fn recover_durable(
+        polystore: Polystore,
+        config: QuepaConfig,
+        dir: &Path,
+        sync: SyncPolicy,
+        options: &RecoveryOptions,
+    ) -> Result<(Quepa, RecoveryReport)> {
+        let (index, wal, report) = quepa_wal::recover(dir, sync, options).map_err(wal_err)?;
+        let mut quepa = Quepa::with_config(polystore, index, config);
+        quepa.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            sync,
+            state: Mutex::new(DurableState {
+                wal,
+                // The replayed tail dirtied unknown shards; the first
+                // cut after recovery serializes everything fresh.
+                dirty: [true; SHARD_COUNT],
+                have_cut: report.checkpoints_loaded > 0,
+                stale: false,
+                cuts_written: 0,
+                records_appended: 0,
+            }),
+        });
+        Ok((quepa, report))
+    }
+
+    /// Whether this instance has a durable directory attached.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durability attachment's current status, if any.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability.as_ref().map(|d| {
+            let st = d.state.lock();
+            DurabilityStatus {
+                dir: d.dir.clone(),
+                last_lsn: st.wal.last_lsn(),
+                cuts_written: st.cuts_written,
+                records_appended: st.records_appended,
+            }
+        })
+    }
+
+    /// Applies a batch of logical index mutations through the commit
+    /// path: WAL append → store flush → apply → checkpoint cut if the
+    /// drain compacted a shard. On a volatile instance the same code
+    /// applies the batch directly (one atomic update) and returns LSN 0,
+    /// so durable and volatile mutation share one code path — which is
+    /// what makes the WAL-off/WAL-on benchmark comparison fair.
+    pub fn apply_mutations(&self, ops: &[IndexOp]) -> Result<Lsn> {
+        let mut span = quepa_obs::span_on(&self.obs, quepa_obs::Stage::Commit, "apply");
+        span.add_items(ops.len() as u64);
+        let Some(dur) = &self.durability else {
+            self.index.update(|ix| {
+                for op in ops {
+                    op.apply(ix);
+                }
+            });
+            return Ok(0);
+        };
+        let mut st = dur.state.lock();
+        if st.stale {
+            // A closure mutation bypassed the WAL; capture it in a full
+            // cut before logging records computed on top of it.
+            let lsn = st.wal.last_lsn();
+            dur.write_cut_locked(&self.index, &mut st, lsn)?;
+        }
+        let lsn = st.wal.append(ops).map_err(wal_err)?;
+        st.records_appended += ops.len() as u64;
+        self.polystore.commit_durable_all()?;
+        let (extra_dirty, report) = self.index.update_reporting(|ix| {
+            // A lazy removal changes the neighbours' serialized shards
+            // without journaling them — collect those before applying.
+            let mut extra = Vec::new();
+            for op in ops {
+                if let IndexOp::RemoveObject { key } = op {
+                    for (neighbor, _, _) in ix.neighbors(key) {
+                        extra.push(route(&neighbor));
+                    }
+                }
+                op.apply(ix);
+            }
+            extra
+        });
+        for shard in extra_dirty.into_iter().chain(report.touched) {
+            st.dirty[shard] = true;
+        }
+        if !report.compacted.is_empty() {
+            dur.write_cut_locked(&self.index, &mut st, lsn)?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces a checkpoint cut at the current LSN and truncates the WAL
+    /// behind it. Returns the covered LSN, or `None` on a volatile
+    /// instance. Also the way to persist closure mutations (promotion,
+    /// manual curation) that bypass the WAL.
+    pub fn checkpoint_durable(&self) -> Result<Option<Lsn>> {
+        let Some(dur) = &self.durability else { return Ok(None) };
+        let mut st = dur.state.lock();
+        let lsn = st.wal.last_lsn();
+        dur.write_cut_locked(&self.index, &mut st, lsn)?;
+        Ok(Some(lsn))
+    }
+
+    /// The WAL sync policy of the durable attachment, if any.
+    pub fn durable_sync(&self) -> Option<SyncPolicy> {
+        self.durability.as_ref().map(|d| d.sync)
+    }
+}

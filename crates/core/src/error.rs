@@ -28,6 +28,10 @@ pub enum QuepaError {
         /// How many results were available.
         available: usize,
     },
+    /// The durability layer failed (WAL append, checkpoint write, or
+    /// recovery). Carries the rendered cause: the underlying error owns
+    /// an `io::Error` and cannot be cloned.
+    Durability(String),
 }
 
 impl fmt::Display for QuepaError {
@@ -41,7 +45,14 @@ impl fmt::Display for QuepaError {
             QuepaError::BadSelection { index, available } => {
                 write!(f, "selection {index} out of range (result has {available} objects)")
             }
+            QuepaError::Durability(m) => write!(f, "durability error: {m}"),
         }
+    }
+}
+
+impl From<quepa_wal::WalError> for QuepaError {
+    fn from(e: quepa_wal::WalError) -> Self {
+        QuepaError::Durability(e.to_string())
     }
 }
 

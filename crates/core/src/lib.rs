@@ -24,7 +24,11 @@
 //! * [`analytics`] — probability-weighted aggregation over augmented
 //!   answers (the paper's stated future work, §VIII);
 //! * [`system`] — [`Quepa`], the facade wiring polystore + A' index +
-//!   augmenters + optimizer together.
+//!   augmenters + optimizer together;
+//! * [`durability`] — the optional durable mode: write-ahead logging of
+//!   index mutations plus incremental checkpoint cuts, with bit-exact
+//!   crash recovery (`create_durable` / `recover_durable` /
+//!   `apply_mutations` / `checkpoint_durable`).
 //!
 //! On top of the paper, the crate carries a **resilience model**
 //! ([`ResilienceConfig`]): retries with deterministic backoff, per-store
@@ -41,6 +45,7 @@ pub mod analytics;
 pub mod augmenter;
 pub mod cache;
 pub mod config;
+pub mod durability;
 pub mod error;
 pub mod explore;
 pub mod flight;
@@ -56,6 +61,9 @@ pub use adaptive::{AdaptiveOptimizer, HumanOptimizer, Optimizer, RandomOptimizer
 pub use augmenter::{AugmentationOutcome, AugmentedObject, MissingKey, MissingReason};
 pub use cache::ObjectCache;
 pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
+pub use durability::{
+    dir_has_state, DurabilityStatus, IndexOp, Lsn, RecoveryOptions, RecoveryReport, SyncPolicy,
+};
 pub use error::{QuepaError, Result};
 pub use explore::ExplorationSession;
 pub use flight::{FlightOutcome, FlightTable};

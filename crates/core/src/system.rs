@@ -54,8 +54,8 @@ const LOG_SHARDS: usize = 8;
 
 /// The QUEPA system.
 pub struct Quepa {
-    polystore: Polystore,
-    index: ShardedIndex,
+    pub(crate) polystore: Polystore,
+    pub(crate) index: ShardedIndex,
     cache: Arc<ObjectCache>,
     config: SnapshotCell<QuepaConfig>,
     validator: Validator,
@@ -63,9 +63,11 @@ pub struct Quepa {
     log_shards: Vec<Mutex<Vec<RunLog>>>,
     optimizer: Mutex<Option<Box<dyn Optimizer>>>,
     breakers: Arc<BreakerSet>,
-    obs: Arc<MetricsRegistry>,
+    pub(crate) obs: Arc<MetricsRegistry>,
     pool: WorkerPool,
     flight: Arc<FlightTable>,
+    /// Durable attachment (WAL + checkpoint cuts); `None` = volatile.
+    pub(crate) durability: Option<crate::durability::Durability>,
 }
 
 impl Quepa {
@@ -92,6 +94,7 @@ impl Quepa {
             obs,
             pool: WorkerPool::new(WorkerPool::default_width()),
             flight: Arc::new(FlightTable::new()),
+            durability: None,
         }
     }
 
@@ -122,13 +125,28 @@ impl Quepa {
     /// shards' snapshots are republished as one atomic transition.
     /// Concurrent readers keep the views they hold; concurrent updates
     /// serialize and compose.
+    ///
+    /// On a durable instance this path bypasses the WAL (a closure is
+    /// not a loggable record): it marks the durable state stale, and the
+    /// next [`apply_mutations`](Quepa::apply_mutations) or
+    /// [`checkpoint_durable`](Quepa::checkpoint_durable) persists the
+    /// result in a full checkpoint cut. Prefer `apply_mutations` for
+    /// anything expressible as [`crate::durability::IndexOp`]s.
     pub fn update_index<R>(&self, f: impl FnOnce(&mut AIndex) -> R) -> R {
-        self.index.update(f)
+        match &self.durability {
+            None => self.index.update(f),
+            Some(dur) => dur.bypass(|| self.index.update(f)),
+        }
     }
 
-    /// Replaces the A' index wholesale (e.g. loading a saved index).
+    /// Replaces the A' index wholesale (e.g. loading a saved index). On
+    /// a durable instance the replacement is persisted at the next cut,
+    /// like [`update_index`](Quepa::update_index).
     pub fn replace_index(&self, index: AIndex) {
-        self.index.replace(index);
+        match &self.durability {
+            None => self.index.replace(index),
+            Some(dur) => dur.bypass(|| self.index.replace(index)),
+        }
     }
 
     /// The object cache.
@@ -330,11 +348,18 @@ impl Quepa {
         // half-pruned hybrid.
         let lazily_deleted = outcome.missing.iter().filter(|m| m.is_not_found()).count();
         if lazily_deleted > 0 {
-            self.index.update(|index| {
-                for entry in outcome.missing.iter().filter(|m| m.is_not_found()) {
-                    index.remove_object(&entry.key);
-                }
-            });
+            // One batch through the commit path: on a durable instance
+            // the removals are write-ahead-logged before they land, so
+            // recovery never resurrects an object the polystore already
+            // lost; on a volatile instance the same call is one atomic
+            // sharded update.
+            let removals: Vec<crate::durability::IndexOp> = outcome
+                .missing
+                .iter()
+                .filter(|m| m.is_not_found())
+                .map(|entry| crate::durability::IndexOp::RemoveObject { key: entry.key.clone() })
+                .collect();
+            self.apply_mutations(&removals)?;
             for entry in outcome.missing.iter().filter(|m| m.is_not_found()) {
                 self.cache.remove(&entry.key);
             }

@@ -1,0 +1,378 @@
+//! Durable-mode integration tests: the create → mutate → crash →
+//! recover loop at the `Quepa` level, differentially compared against a
+//! volatile twin that never crashed. The crate-level recovery property
+//! test (`quepa-wal`) pins the index math; these tests pin the *system*
+//! wiring — config plumbing, store flush ordering, stale-closure
+//! semantics, status accounting.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use quepa_aindex::AIndex;
+use quepa_core::{IndexOp, Quepa, QuepaConfig, RecoveryOptions, SyncPolicy};
+use quepa_kvstore::KvStore;
+use quepa_pdm::{GlobalKey, Probability};
+use quepa_polystore::{KvConnector, LatencyModel, Polystore};
+
+fn k(s: &str) -> GlobalKey {
+    s.parse().unwrap()
+}
+
+/// A per-test scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
+        let n = SERIAL.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("quepa-core-durability-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Two stores of a handful of objects each — enough for cross-store
+/// p-relations without the weight of the full workload builder.
+fn small_polystore() -> Polystore {
+    let mut p = Polystore::new();
+    for name in ["left", "right"] {
+        let mut kv = KvStore::new(name);
+        for j in 0..6 {
+            kv.set(format!("k{j}"), format!("{name}-value-{j}"));
+        }
+        p.register(Arc::new(KvConnector::new(kv, "c", LatencyModel::FREE)));
+    }
+    p
+}
+
+/// A seeded batch of logical mutations spanning both stores, including
+/// a removal so compaction and neighbour-dirtying both fire.
+fn mutation_script() -> Vec<Vec<IndexOp>> {
+    let key = |store: &str, j: usize| k(&format!("{store}.c.k{j}"));
+    vec![
+        vec![
+            IndexOp::InsertIdentity {
+                a: key("left", 0),
+                b: key("right", 0),
+                p: Probability::of(0.9),
+            },
+            IndexOp::InsertIdentity {
+                a: key("right", 0),
+                b: key("left", 1),
+                p: Probability::of(0.8),
+            },
+        ],
+        vec![
+            IndexOp::InsertMatching {
+                a: key("left", 1),
+                b: key("right", 2),
+                p: Probability::of(0.7),
+            },
+            IndexOp::InsertMatching {
+                a: key("left", 0),
+                b: key("right", 3),
+                p: Probability::of(0.6),
+            },
+        ],
+        vec![IndexOp::RemoveObject { key: key("right", 0) }],
+        vec![
+            IndexOp::InsertPromoted {
+                a: key("left", 2),
+                b: key("right", 4),
+                p: Probability::of(0.55),
+            },
+            IndexOp::InsertIdentity {
+                a: key("left", 2),
+                b: key("left", 3),
+                p: Probability::of(0.95),
+            },
+        ],
+    ]
+}
+
+/// All keys the script mentions — the probe set for differentials.
+fn probe_keys() -> Vec<GlobalKey> {
+    let mut keys = Vec::new();
+    for store in ["left", "right"] {
+        for j in 0..6 {
+            keys.push(k(&format!("{store}.c.k{j}")));
+        }
+    }
+    keys
+}
+
+/// Asserts two indexes answer bit-identically over the probe surface.
+fn assert_index_equal(got: &AIndex, want: &AIndex, what: &str) {
+    assert_eq!(got.node_count(), want.node_count(), "{what}: node_count");
+    let keys = probe_keys();
+    for key in &keys {
+        assert_eq!(got.contains(key), want.contains(key), "{what}: contains {key}");
+        assert_eq!(got.neighbors(key), want.neighbors(key), "{what}: neighbors of {key}");
+    }
+    for level in 0..4 {
+        assert_eq!(
+            got.augment(&keys, level),
+            want.augment(&keys, level),
+            "{what}: augment level {level}"
+        );
+    }
+}
+
+#[test]
+fn recovery_is_bit_identical_to_a_never_crashed_twin() {
+    let tmp = TempDir::new("roundtrip");
+    let config = QuepaConfig::default();
+
+    let durable =
+        Quepa::create_durable(small_polystore(), AIndex::new(), config, &tmp.0, SyncPolicy::Always)
+            .unwrap();
+    let twin = Quepa::with_config(small_polystore(), AIndex::new(), config);
+    for batch in mutation_script() {
+        durable.apply_mutations(&batch).unwrap();
+        twin.apply_mutations(&batch).unwrap();
+    }
+    let status = durable.durability_status().unwrap();
+    assert_eq!(status.records_appended, 7);
+    assert!(status.last_lsn >= 1);
+    drop(durable);
+
+    let (recovered, report) = Quepa::recover_durable(
+        small_polystore(),
+        config,
+        &tmp.0,
+        SyncPolicy::Always,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert!(!report.torn_tail);
+    assert_index_equal(&recovered.index_snapshot(), &twin.index_snapshot(), "first recovery");
+
+    // A second generation of recovery (no writes in between) is stable.
+    drop(recovered);
+    let (again, _) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert_index_equal(&again.index_snapshot(), &twin.index_snapshot(), "second recovery");
+}
+
+#[test]
+fn recovery_continues_accepting_mutations() {
+    let tmp = TempDir::new("continue");
+    let script = mutation_script();
+    let (head, tail) = script.split_at(2);
+
+    let durable = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Buffered,
+    )
+    .unwrap();
+    let twin = Quepa::with_config(small_polystore(), AIndex::new(), QuepaConfig::default());
+    for batch in head {
+        durable.apply_mutations(batch).unwrap();
+        twin.apply_mutations(batch).unwrap();
+    }
+    drop(durable);
+
+    let (recovered, _) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Buffered,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    for batch in tail {
+        recovered.apply_mutations(batch).unwrap();
+        twin.apply_mutations(batch).unwrap();
+    }
+    assert_index_equal(&recovered.index_snapshot(), &twin.index_snapshot(), "post-recovery writes");
+
+    drop(recovered);
+    let (second, _) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Buffered,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert_index_equal(
+        &second.index_snapshot(),
+        &twin.index_snapshot(),
+        "second-generation recovery",
+    );
+}
+
+#[test]
+fn closure_mutations_survive_via_the_next_checkpoint() {
+    let tmp = TempDir::new("stale");
+    let durable = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let twin = Quepa::with_config(small_polystore(), AIndex::new(), QuepaConfig::default());
+    let script = mutation_script();
+    durable.apply_mutations(&script[0]).unwrap();
+    twin.apply_mutations(&script[0]).unwrap();
+
+    // A closure mutation bypasses the WAL (promotion-style path) ...
+    let promote = |ix: &mut AIndex| {
+        ix.insert_promoted(&k("left.c.5"), &k("right.c.5"), Probability::of(0.5));
+    };
+    durable.update_index(promote);
+    twin.update_index(promote);
+    // ... and the explicit checkpoint captures it in a full cut.
+    let covered = durable.checkpoint_durable().unwrap();
+    assert!(covered.is_some());
+
+    // Records computed on top of it land in the WAL as usual.
+    durable.apply_mutations(&script[1]).unwrap();
+    twin.apply_mutations(&script[1]).unwrap();
+    drop(durable);
+
+    let (recovered, report) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert!(report.checkpoints_loaded > 0, "the forced cut must be loaded");
+    assert_index_equal(&recovered.index_snapshot(), &twin.index_snapshot(), "stale checkpoint");
+}
+
+#[test]
+fn unlogged_closure_mutation_is_lost_but_recovery_stays_sound() {
+    let tmp = TempDir::new("lost-closure");
+    let durable = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let twin = Quepa::with_config(small_polystore(), AIndex::new(), QuepaConfig::default());
+    let script = mutation_script();
+    durable.apply_mutations(&script[0]).unwrap();
+    twin.apply_mutations(&script[0]).unwrap();
+    // Closure mutation, then crash before any checkpoint: the mutation
+    // is expected to vanish — the WAL tail replays against the state
+    // its records were computed on, so the twin *without* it matches.
+    durable.update_index(|ix| {
+        ix.insert_promoted(&k("left.c.5"), &k("right.c.5"), Probability::of(0.5));
+    });
+    drop(durable);
+
+    let (recovered, _) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+        &RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert_index_equal(&recovered.index_snapshot(), &twin.index_snapshot(), "lost closure");
+}
+
+#[test]
+fn create_refuses_a_dir_with_existing_state() {
+    let tmp = TempDir::new("refuse");
+    let first = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    drop(first);
+    let err = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+    )
+    .expect_err("second create must refuse");
+    assert!(err.to_string().contains("already holds durable state"), "got: {err}");
+}
+
+#[test]
+fn volatile_instances_share_the_mutation_path() {
+    let quepa = Quepa::with_config(small_polystore(), AIndex::new(), QuepaConfig::default());
+    assert!(!quepa.is_durable());
+    assert!(quepa.durability_status().is_none());
+    assert_eq!(quepa.checkpoint_durable().unwrap(), None);
+    for batch in mutation_script() {
+        assert_eq!(quepa.apply_mutations(&batch).unwrap(), 0);
+    }
+    let direct = {
+        let mut ix = AIndex::new();
+        for batch in mutation_script() {
+            for op in &batch {
+                op.apply(&mut ix);
+            }
+        }
+        ix
+    };
+    assert_index_equal(&quepa.index_snapshot(), &direct, "volatile apply");
+}
+
+#[test]
+fn skip_wal_tail_injection_visibly_diverges() {
+    let tmp = TempDir::new("inject");
+    let durable = Quepa::create_durable(
+        small_polystore(),
+        AIndex::new(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let twin = Quepa::with_config(small_polystore(), AIndex::new(), QuepaConfig::default());
+    for batch in mutation_script() {
+        durable.apply_mutations(&batch).unwrap();
+        twin.apply_mutations(&batch).unwrap();
+    }
+    let tail_len = durable.durability_status().unwrap().records_appended as usize;
+    drop(durable);
+
+    // Dropping the whole replayable tail must lose state: the recovered
+    // node set shrinks versus the twin (the fault-injection hook works,
+    // which is what the crash harness's self-test relies on).
+    let (lossy, report) = Quepa::recover_durable(
+        small_polystore(),
+        QuepaConfig::default(),
+        &tmp.0,
+        SyncPolicy::Always,
+        &RecoveryOptions { skip_wal_tail: tail_len },
+    )
+    .unwrap();
+    assert_eq!(report.replayed, 0, "everything after the initial cut was skipped");
+    assert!(
+        lossy.index_snapshot().node_count() < twin.index_snapshot().node_count(),
+        "skipping the WAL tail must visibly lose state"
+    );
+}

@@ -60,7 +60,7 @@ impl Default for StageRecorder {
 pub struct MetricsRegistry {
     enabled: AtomicBool,
     stores: Mutex<BTreeMap<String, Arc<StoreRecorder>>>,
-    stages: [StageRecorder; 5],
+    stages: [StageRecorder; 6],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     trace: Mutex<VecDeque<TraceEvent>>,
@@ -335,7 +335,7 @@ pub struct MetricsSnapshot {
     /// Per-store metrics, keyed by store name (sorted).
     pub stores: BTreeMap<String, StoreMetrics>,
     /// Per-stage metrics, indexed by [`Stage::index`].
-    pub stages: [StageMetrics; 5],
+    pub stages: [StageMetrics; 6],
     /// Cache probe counts.
     pub cache: CacheMetrics,
     /// Per-shard A' index gauges (position = shard number); empty unless
@@ -359,9 +359,8 @@ impl MetricsSnapshot {
             };
             self.stores.insert(name, merged);
         }
-        let [s0, s1, s2, s3, s4] = other.stages;
-        let mut incoming = [s0, s1, s2, s3, s4].into_iter();
-        self.stages = self.stages.map(|mine| mine.merge(incoming.next().expect("five stages")));
+        let mut incoming = other.stages.into_iter();
+        self.stages = self.stages.map(|mine| mine.merge(incoming.next().expect("stage count")));
         self.cache = self.cache.merge(other.cache);
         if self.index_shards.len() < other.index_shards.len() {
             self.index_shards.resize(other.index_shards.len(), IndexShardMetrics::default());

@@ -43,12 +43,15 @@ pub enum Stage {
     Retry,
     /// Shard merge and the final probability sort.
     Merge,
+    /// Durable commit of index mutations: WAL append, store flush,
+    /// apply, checkpoint-cut maintenance.
+    Commit,
 }
 
 impl Stage {
     /// All stages, in execution order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Plan, Stage::Cache, Stage::Fetch, Stage::Retry, Stage::Merge];
+    pub const ALL: [Stage; 6] =
+        [Stage::Plan, Stage::Cache, Stage::Fetch, Stage::Retry, Stage::Merge, Stage::Commit];
 
     /// Stable position of this stage in [`Stage::ALL`].
     pub fn index(self) -> usize {
@@ -63,6 +66,7 @@ impl Stage {
             Stage::Fetch => "fetch",
             Stage::Retry => "retry",
             Stage::Merge => "merge",
+            Stage::Commit => "commit",
         }
     }
 }

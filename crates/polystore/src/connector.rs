@@ -93,4 +93,14 @@ pub trait Connector: Send + Sync {
     fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
         let _ = (retries, timeouts, breaker_trips);
     }
+
+    /// Hook for the durability layer: asks the store to make its own
+    /// pending writes durable before QUEPA acknowledges a commit that
+    /// spans this store (flush, fsync, acknowledge — the classic
+    /// `commit_transaction` shape). Returns whether the connector
+    /// actually persisted anything; the default `Ok(false)` suits the
+    /// in-memory reference stores, which have nothing to flush.
+    fn commit_durable(&self) -> Result<bool> {
+        Ok(false)
+    }
 }

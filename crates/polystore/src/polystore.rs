@@ -176,6 +176,21 @@ impl Polystore {
         }
     }
 
+    /// Asks every store to make its pending writes durable (see
+    /// [`Connector::commit_durable`]); returns how many stores actually
+    /// persisted something. The durability layer calls this before
+    /// acknowledging a WAL commit, so QUEPA's durable state never runs
+    /// ahead of the stores it indexes.
+    pub fn commit_durable_all(&self) -> Result<usize> {
+        let mut persisted = 0;
+        for c in self.connectors.values() {
+            if c.commit_durable()? {
+                persisted += 1;
+            }
+        }
+        Ok(persisted)
+    }
+
     /// Total objects across all stores (experiment reporting).
     pub fn total_objects(&self) -> usize {
         self.connectors.values().map(|c| c.object_count()).sum()

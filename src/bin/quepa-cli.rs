@@ -1,16 +1,26 @@
 //! Interactive QUEPA shell over a generated Polyphony polystore.
 //!
 //! ```sh
-//! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13] [--metrics]
+//! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13] [--metrics] \
+//!     [--data-dir DIR]
 //! ```
 //!
 //! `--metrics` enables the observability layer for the session and prints
 //! a Prometheus-text metrics dump on exit (also available interactively
 //! via the `METRICS [JSON]` command).
+//!
+//! `--data-dir DIR` makes the A' index durable: mutations are
+//! write-ahead-logged to `DIR/quepa.wal` and checkpoint cuts are written
+//! as `DIR/ckpt-<lsn>/`. An empty (or missing) directory starts fresh;
+//! one that already holds durable state is recovered — the shell prints
+//! the checkpoint LSN and how many WAL records it replayed. Use the
+//! `CHECKPOINT` command to force a cut interactively.
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 use quepa::cli::CommandProcessor;
+use quepa::core::{dir_has_state, Quepa, QuepaConfig, RecoveryOptions, SyncPolicy};
 use quepa::polystore::Deployment;
 use quepa::workload::{BuiltPolystore, WorkloadConfig};
 
@@ -19,6 +29,7 @@ fn main() {
     let mut albums = 1_000usize;
     let mut stores = 4usize;
     let mut metrics = false;
+    let mut data_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +44,14 @@ fn main() {
             "--metrics" => {
                 metrics = true;
                 i += 1;
+            }
+            "--data-dir" => {
+                data_dir = args.get(i + 1).cloned();
+                if data_dir.is_none() {
+                    eprintln!("--data-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+                i += 2;
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -51,7 +70,57 @@ fn main() {
         deployment: Deployment::Centralized,
         seed: 42,
     });
-    let quepa = built.into_quepa();
+    let quepa = match &data_dir {
+        None => built.into_quepa(),
+        Some(dir) => {
+            let dir = Path::new(dir);
+            if dir_has_state(dir) {
+                // Existing state wins over the freshly generated index:
+                // recovery reproduces the index exactly as it was at the
+                // last committed mutation.
+                let recovered = Quepa::recover_durable(
+                    built.polystore,
+                    QuepaConfig::default(),
+                    dir,
+                    SyncPolicy::Always,
+                    &RecoveryOptions::default(),
+                );
+                match recovered {
+                    Ok((quepa, report)) => {
+                        eprintln!(
+                            "recovered durable index from {}: checkpoint at LSN {}, {} WAL record(s) replayed{}",
+                            dir.display(),
+                            report.checkpoint_lsn,
+                            report.replayed,
+                            if report.torn_tail { " (torn final record truncated)" } else { "" }
+                        );
+                        quepa
+                    }
+                    Err(e) => {
+                        eprintln!("cannot recover {}: {e}", dir.display());
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match Quepa::create_durable(
+                    built.polystore,
+                    built.index,
+                    QuepaConfig::default(),
+                    dir,
+                    SyncPolicy::Always,
+                ) {
+                    Ok(quepa) => {
+                        eprintln!("created durable index at {}", dir.display());
+                        quepa
+                    }
+                    Err(e) => {
+                        eprintln!("cannot create durable state in {}: {e}", dir.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    };
     if metrics {
         let mut config = quepa.config();
         config.observability = true;

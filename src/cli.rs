@@ -14,6 +14,7 @@
 //! CONFIG [<augmenter> <batch> <threads> <cache>]
 //! STORES | STATS | INDEX | HELP
 //! SAVE <path> | LOAD <path>         persist / restore the A' index
+//! CHECKPOINT                        force a durable checkpoint cut
 //! ```
 
 use std::fmt::Write as _;
@@ -65,6 +66,7 @@ impl<'q> CommandProcessor<'q> {
             "END" => self.end(),
             "SAVE" => self.save(rest),
             "LOAD" => self.load(rest),
+            "CHECKPOINT" => self.checkpoint(),
             other => format!("unknown command {other:?}; try HELP"),
         }
     }
@@ -263,6 +265,22 @@ impl<'q> CommandProcessor<'q> {
         }
     }
 
+    fn checkpoint(&self) -> String {
+        match self.quepa.checkpoint_durable() {
+            Ok(Some(lsn)) => {
+                let status = self.quepa.durability_status().expect("durable");
+                format!(
+                    "checkpoint cut written at LSN {lsn} in {} ({} cuts, {} records this session)\n",
+                    status.dir.display(),
+                    status.cuts_written,
+                    status.records_appended,
+                )
+            }
+            Ok(None) => "not a durable instance; start quepa-cli with --data-dir DIR\n".into(),
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
     fn save(&self, rest: &str) -> String {
         if rest.is_empty() {
             return "usage: SAVE <path>".into();
@@ -303,6 +321,7 @@ QUEPA commands:
   METRICS [JSON]                 export metrics (Prometheus text by default)
   STORES / STATS / INDEX         inspect the polystore / counters / A' index
   SAVE <path> / LOAD <path>      persist or restore the A' index
+  CHECKPOINT                     force a durable checkpoint cut (--data-dir mode)
 ";
 
 #[cfg(test)]
@@ -444,6 +463,39 @@ mod tests {
         p.handle("CONFIG OBS ON");
         p.handle("CONFIG BATCH 128 2 500");
         assert!(q.config().observability, "CONFIG must not silently drop the obs flag");
+    }
+
+    #[test]
+    fn checkpoint_on_a_volatile_instance_points_at_data_dir() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("CHECKPOINT");
+        assert!(out.contains("--data-dir"), "{out}");
+    }
+
+    #[test]
+    fn checkpoint_on_a_durable_instance_reports_the_lsn() {
+        let dir =
+            std::env::temp_dir().join(format!("quepa-cli-checkpoint-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let built = BuiltPolystore::build(WorkloadConfig {
+            albums: 40,
+            replica_sets: 0,
+            deployment: Deployment::InProcess,
+            seed: 77,
+        });
+        let q = Quepa::create_durable(
+            built.polystore,
+            built.index,
+            crate::core::QuepaConfig::default(),
+            &dir,
+            crate::core::SyncPolicy::Buffered,
+        )
+        .unwrap();
+        let mut p = CommandProcessor::new(&q);
+        let out = p.handle("CHECKPOINT");
+        assert!(out.contains("checkpoint cut written at LSN"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
