@@ -1,0 +1,124 @@
+//! The open-loop serving sweep: offered rates from sub-saturation to 2×
+//! measured capacity against the `quepa-serve` TCP front end (see
+//! [`quepa_bench::serving`]).
+//!
+//! `main` writes `BENCH_serving.json` at the repository root. Two
+//! headline ratios are recorded and enforced by `bench_gate`:
+//!
+//! * `p999_overload_ratio` — p999 of *served* requests at 2× capacity
+//!   over p999 at the sub-saturation smoke rate (target ≤ 5×: admission
+//!   control must bound the tail instead of queueing forever);
+//! * `goodput_floor_ratio` — goodput at 2× capacity over the peak
+//!   goodput of the sweep (target ≥ 0.7: overload must not collapse
+//!   throughput).
+
+use std::time::Duration;
+
+use quepa_bench::serving;
+use quepa_serve::Server;
+
+/// Seconds each sweep point offers load for; the nightly overload-soak
+/// job stretches this via `QUEPA_SERVING_POINT_SECS`.
+fn point_secs() -> u64 {
+    std::env::var("QUEPA_SERVING_POINT_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+struct Point {
+    fraction: f64,
+    rate: f64,
+    report: serving::OpenLoopReport,
+}
+
+fn main() {
+    let point_secs = point_secs();
+    let quepa = serving::bench_quepa();
+    let server = Server::start(quepa, "127.0.0.1:0", serving::bench_admission()).unwrap();
+    let addr = server.local_addr();
+
+    println!("probing capacity (overload burst) ...");
+    let capacity = serving::probe_capacity(addr);
+    println!("peak sustainable goodput ~= {capacity:.1} qps");
+
+    let points: Vec<Point> = serving::SWEEP_FRACTIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &fraction)| {
+            let rate = (capacity * fraction).max(1.0);
+            let report = serving::measure_open_loop(
+                addr,
+                serving::OpenLoopSpec {
+                    rate,
+                    duration: Duration::from_secs(point_secs),
+                    connections: serving::CONNECTIONS,
+                    seed: 0xC0FFEE + i as u64,
+                },
+            );
+            println!(
+                "{}: offered {:.0}/s -> {} reqs, goodput {:.1} qps, p50 {:.4}s p99 {:.4}s p999 {:.4}s, shed {:.1}% ({} errors)",
+                serving::scenario_name(fraction),
+                rate,
+                report.offered,
+                report.goodput_qps,
+                report.percentile_s(0.50),
+                report.percentile_s(0.99),
+                report.percentile_s(0.999),
+                100.0 * report.shed_rate(),
+                report.errors,
+            );
+            assert_eq!(
+                report.offered,
+                report.served() + report.shed + report.errors,
+                "open-loop accounting must balance"
+            );
+            Point { fraction, rate, report }
+        })
+        .collect();
+
+    let at =
+        |fraction: f64| points.iter().find(|p| p.fraction == fraction).expect("fraction swept");
+    let smoke = at(serving::SMOKE_FRACTION);
+    let overload = at(2.0);
+    let p999_ratio =
+        overload.report.percentile_s(0.999) / smoke.report.percentile_s(0.999).max(1e-9);
+    let peak = points.iter().map(|p| p.report.goodput_qps).fold(0.0f64, f64::max);
+    let goodput_floor = overload.report.goodput_qps / peak.max(1e-9);
+    println!(
+        "\np999 under 2x overload vs sub-saturation: {p999_ratio:.2}x (target <= 5x)\n\
+         goodput floor at 2x overload: {goodput_floor:.2} of peak {peak:.1} qps (target >= 0.7)"
+    );
+
+    let mut entries = Vec::new();
+    for p in &points {
+        entries.push(format!(
+            "    {{\"scenario\": \"{}\", \"mean_s\": {:.9}, \"rate\": {:.1}, \"qps\": {:.1}, \
+             \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"p999_s\": {:.9}, \"shed_rate\": {:.4}, \
+             \"offered\": {}, \"served\": {}, \"degraded\": {}, \"shed\": {}, \"errors\": {}}}",
+            serving::scenario_name(p.fraction),
+            p.report.mean_s(),
+            p.rate,
+            p.report.goodput_qps,
+            p.report.percentile_s(0.50),
+            p.report.percentile_s(0.99),
+            p.report.percentile_s(0.999),
+            p.report.shed_rate(),
+            p.report.offered,
+            p.report.served(),
+            p.report.degraded,
+            p.report.shed,
+            p.report.errors,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving\",\n  \"capacity_qps\": {capacity:.1},\n  \
+         \"connections\": {},\n  \"point_secs\": {point_secs},\n  \
+         \"p999_overload_ratio\": {p999_ratio:.3},\n  \"target_p999_ratio\": 5.0,\n  \
+         \"goodput_floor_ratio\": {goodput_floor:.3},\n  \"target_goodput_floor\": 0.7,\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        serving::CONNECTIONS,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

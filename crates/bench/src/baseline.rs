@@ -17,6 +17,11 @@ pub struct Baseline {
     /// Recorded per-scenario means, in file order (BTreeMap for stable
     /// iteration in reports).
     pub means: BTreeMap<String, f64>,
+    /// Every numeric field of every scenario object, keyed scenario →
+    /// field name → value. `mean_s` appears here too; richer baselines
+    /// (the serving sweep records `p999_s`, `qps`, `shed`, …) are read
+    /// through this map.
+    pub fields: BTreeMap<String, BTreeMap<String, f64>>,
 }
 
 impl Baseline {
@@ -32,6 +37,7 @@ impl Baseline {
         let benchmark =
             string_after(text, "\"benchmark\"").ok_or("missing \"benchmark\" field")?.to_owned();
         let mut means = BTreeMap::new();
+        let mut fields = BTreeMap::new();
         let mut rest = text;
         while let Some(pos) = rest.find("\"scenario\"") {
             rest = &rest[pos..];
@@ -41,6 +47,21 @@ impl Baseline {
             if means.insert(scenario.to_owned(), mean).is_some() {
                 return Err(format!("duplicate scenario {scenario:?}"));
             }
+            // Every `"key": number` pair up to the object's closing brace
+            // (the emitters write one flat object per line, no nesting).
+            let object = &rest[..rest.find('}').ok_or("unterminated scenario object")?];
+            let mut numbers = BTreeMap::new();
+            let mut scan = object;
+            while let Some(open) = scan.find('"') {
+                scan = &scan[open + 1..];
+                let Some(close) = scan.find('"') else { break };
+                let key = &scan[..close];
+                scan = &scan[close + 1..];
+                if let Some(value) = leading_number(scan) {
+                    numbers.insert(key.to_owned(), value);
+                }
+            }
+            fields.insert(scenario.to_owned(), numbers);
             rest = &rest["\"scenario\"".len()..];
         }
         // The header's hotpath_reference also carries a scenario/mean pair
@@ -50,7 +71,12 @@ impl Baseline {
         if means.is_empty() {
             return Err("no scenarios found".into());
         }
-        Ok(Baseline { benchmark, means })
+        Ok(Baseline { benchmark, means, fields })
+    }
+
+    /// One numeric field of one scenario, when both exist.
+    pub fn field(&self, scenario: &str, key: &str) -> Option<f64> {
+        self.fields.get(scenario)?.get(key).copied()
     }
 }
 
@@ -65,9 +91,16 @@ fn string_after<'a>(text: &'a str, key: &str) -> Option<&'a str> {
 
 /// The number following `key` (after a colon).
 fn number_after(text: &str, key: &str) -> Option<f64> {
-    let after = &text[text.find(key)? + key.len()..];
-    let after = after.trim_start().strip_prefix(':')?.trim_start();
-    let end = after.find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != 'e')?;
+    leading_number(&text[text.find(key)? + key.len()..])
+}
+
+/// The number at the head of `text` (after a colon), running to the
+/// first non-numeric character or the end of the slice.
+fn leading_number(text: &str) -> Option<f64> {
+    let after = text.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != '+' && c != 'e')
+        .unwrap_or(after.len());
     after[..end].parse().ok()
 }
 
@@ -91,6 +124,24 @@ mod tests {
         assert_eq!(b.benchmark, "augment_hotpath");
         assert_eq!(b.means.len(), 2);
         assert_eq!(b.means["centralized/10stores/level1/cold"], 0.001828);
+        assert_eq!(b.field("in-process/4stores/level0/cold", "mean_s"), Some(0.000673));
+    }
+
+    #[test]
+    fn scans_every_numeric_field_of_a_scenario() {
+        let text = r#"{
+  "benchmark": "serving",
+  "capacity_qps": 320.0,
+  "scenarios": [
+    {"scenario": "serving/open-loop/2.00x", "mean_s": 0.0421, "qps": 301.5, "p999_s": 0.31, "shed": 1204, "offered": 2560}
+  ]
+}"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.field("serving/open-loop/2.00x", "qps"), Some(301.5));
+        assert_eq!(b.field("serving/open-loop/2.00x", "p999_s"), Some(0.31));
+        assert_eq!(b.field("serving/open-loop/2.00x", "offered"), Some(2560.0));
+        assert_eq!(b.field("serving/open-loop/2.00x", "missing"), None);
+        assert_eq!(b.field("no-such-scenario", "qps"), None);
     }
 
     #[test]
@@ -130,6 +181,8 @@ mod tests {
             "BENCH_metrics_overhead.json",
             "BENCH_throughput.json",
             "BENCH_scale.json",
+            "BENCH_recovery.json",
+            "BENCH_serving.json",
         ] {
             let path =
                 std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(name);

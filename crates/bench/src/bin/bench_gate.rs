@@ -11,6 +11,14 @@
 //! the simulated-network sleeps keep means stable, but one noisy run
 //! must not block a PR).
 //!
+//! The serving front end is gated from its recorded sweep
+//! (`BENCH_serving.json`): p999 under 2× overload ≤5× the
+//! sub-saturation p999, goodput at 2× overload ≥70% of peak, and the
+//! accounting invariant `offered == served + shed + errors` in every
+//! recorded scenario. Only the sub-saturation smoke point is
+//! re-measured live (the full overload sweep is the nightly
+//! `overload-soak` job).
+//!
 //! The smoke subset covers the in-process and centralized deployments at
 //! the 10-store / level-1 / cold hot path — the scenario every baseline
 //! records. The distributed deployment and the warm/level-0 variants are
@@ -22,11 +30,13 @@
 //! ```
 
 use std::path::Path;
+use std::time::Duration;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::{recovery, scale, throughput, Lab};
+use quepa_bench::{recovery, scale, serving, throughput, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
+use quepa_serve::Server;
 
 /// Allowed drift from the recorded mean, either direction.
 const TOLERANCE: f64 = 0.15;
@@ -366,6 +376,111 @@ fn main() {
     if !live_overhead_ok {
         rows.push(("recovery-wal-off-pin-live".into(), false));
     }
+
+    // ---- serving front end ---------------------------------------------
+    // The recorded open-loop sweep (BENCH_serving.json) carries the two
+    // tail-latency acceptance claims of the serving tentpole: admission
+    // control must bound the p999 under 2× overload to ≤5× the
+    // sub-saturation p999, and goodput at 2× overload must hold ≥70% of
+    // the sweep's peak. Both are re-checked from the recorded scenarios
+    // (the full sweep lives in the nightly overload-soak job); the gate
+    // then re-measures only the sub-saturation smoke point live against
+    // a real TCP server.
+    let serving_baseline = load("BENCH_serving.json");
+    let svrec = |scenario: &str, key: &str| -> f64 {
+        serving_baseline.field(scenario, key).unwrap_or_else(|| {
+            eprintln!(
+                "bench_gate: BENCH_serving.json scenario {scenario:?} has no {key:?} — regenerate with `cargo bench -p quepa-bench --bench serving`"
+            );
+            std::process::exit(2);
+        })
+    };
+    let smoke_name = serving::scenario_name(serving::SMOKE_FRACTION);
+    let overload_name = serving::scenario_name(2.0);
+    for fraction in serving::SWEEP_FRACTIONS {
+        let name = serving::scenario_name(fraction);
+        let offered = svrec(&name, "offered");
+        let accounted = svrec(&name, "served") + svrec(&name, "shed") + svrec(&name, "errors");
+        if (offered - accounted).abs() > 0.5 {
+            eprintln!(
+                "bench_gate: {name} recorded accounting does not balance ({offered} offered vs {accounted} accounted)"
+            );
+            failed = true;
+            rows.push((format!("{name}-accounting"), false));
+        }
+    }
+    let p999_ratio = svrec(&overload_name, "p999_s") / svrec(&smoke_name, "p999_s").max(1e-9);
+    let p999_ok = p999_ratio <= 5.0;
+    failed |= !p999_ok;
+    println!(
+        "\nrecorded serving p999 under 2x overload vs sub-saturation: {p999_ratio:.2}x (limit 5x)  {}",
+        if p999_ok { "ok" } else { "REGRESSION" }
+    );
+    if !p999_ok {
+        rows.push(("serving-p999-overload-ratio".into(), false));
+    }
+    let peak_qps = serving::SWEEP_FRACTIONS
+        .iter()
+        .map(|f| svrec(&serving::scenario_name(*f), "qps"))
+        .fold(0.0f64, f64::max);
+    let goodput_floor = svrec(&overload_name, "qps") / peak_qps.max(1e-9);
+    let goodput_ok = goodput_floor >= 0.7;
+    failed |= !goodput_ok;
+    println!(
+        "recorded serving goodput floor at 2x overload: {goodput_floor:.2} of peak {peak_qps:.1} qps (target >=0.7)  {}",
+        if goodput_ok { "ok" } else { "REGRESSION" }
+    );
+    if !goodput_ok {
+        rows.push(("serving-goodput-floor".into(), false));
+    }
+
+    // Live smoke point: the recorded sub-saturation rate against a real
+    // server, latency-from-scheduled-arrival mean within the band.
+    let squepa = serving::bench_quepa();
+    let mut server = Server::start(squepa, "127.0.0.1:0", serving::bench_admission())
+        .expect("start serving smoke server");
+    let smoke_rate = svrec(&smoke_name, "rate");
+    let smoke_want = svrec(&smoke_name, "mean_s");
+    let smoke_spec = |seed: u64, secs: u64| serving::OpenLoopSpec {
+        rate: smoke_rate,
+        duration: Duration::from_secs(secs),
+        connections: serving::CONNECTIONS,
+        seed,
+    };
+    let mut smoke = serving::measure_open_loop(server.local_addr(), smoke_spec(0xC0FFEE, 2));
+    let mut smoke_delta = (smoke.mean_s() - smoke_want) / smoke_want;
+    if smoke_delta.abs() > TOLERANCE {
+        let again = serving::measure_open_loop(server.local_addr(), smoke_spec(0xC0FFEF, 4));
+        let again_delta = (again.mean_s() - smoke_want) / smoke_want;
+        if again_delta.abs() < smoke_delta.abs() {
+            smoke = again;
+            smoke_delta = again_delta;
+        }
+    }
+    let smoke_sane = smoke.errors == 0
+        && smoke.offered == smoke.served() + smoke.shed + smoke.errors
+        && smoke.offered > 0;
+    let smoke_ok = smoke_delta.abs() <= TOLERANCE && smoke_sane;
+    failed |= !smoke_ok;
+    println!(
+        "{:<52} {:>9.6}s {:>9.6}s {:>+7.1}%  {}",
+        format!("{smoke_name} (live, {:.0}/s)", smoke_rate),
+        smoke_want,
+        smoke.mean_s(),
+        smoke_delta * 100.0,
+        if smoke_ok { "ok" } else { "REGRESSION" }
+    );
+    if !smoke_sane {
+        eprintln!(
+            "bench_gate: live serving smoke unhealthy — offered {} served {} shed {} errors {}",
+            smoke.offered,
+            smoke.served(),
+            smoke.shed,
+            smoke.errors
+        );
+    }
+    rows.push((format!("{smoke_name}-live"), smoke_ok));
+    server.shutdown();
 
     let bad: Vec<&str> = rows.iter().filter(|(_, ok)| !ok).map(|(n, _)| n.as_str()).collect();
     if failed {

@@ -11,6 +11,7 @@
 pub mod baseline;
 pub mod recovery;
 pub mod scale;
+pub mod serving;
 pub mod throughput;
 
 use std::sync::Arc;

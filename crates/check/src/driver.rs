@@ -47,7 +47,7 @@
 
 use std::collections::BTreeMap;
 
-use quepa_core::{AnswerNormalForm, AugmenterKind, MissingKey, MissingReason, Quepa};
+use quepa_core::{pool_width, AnswerNormalForm, AugmenterKind, MissingKey, MissingReason, Quepa};
 use quepa_pdm::GlobalKey;
 use quepa_polystore::fault::call_identity;
 use quepa_polystore::FaultDecision;
@@ -540,13 +540,18 @@ fn check_concurrent_metrics(
     Ok(())
 }
 
-/// Builds a fresh system under test for one config point.
+/// Builds a fresh system under test for one config point. The fetch pool
+/// is sized through the shared [`pool_width`] clamp — the same one the
+/// `quepa-serve` front end uses — so the concurrent harness races clients
+/// against the exact pool geometry the server runs with.
 fn build_quepa(scenario: &Scenario, spec: &ConfigSpec) -> Quepa {
-    Quepa::with_config(
+    let quepa = Quepa::with_config(
         scenario.build_wrapped_polystore(),
         scenario.build_index(),
         scenario.config_of(spec),
-    )
+    );
+    quepa.set_pool_width(pool_width());
+    quepa
 }
 
 fn describe(spec: &ConfigSpec) -> String {

@@ -69,7 +69,7 @@ pub use explore::ExplorationSession;
 pub use flight::{FlightOutcome, FlightTable};
 pub use logs::{QueryFeatures, RunLog};
 pub use normal::{AnswerNormalForm, NormalEntry};
-pub use pool::{Latch, WorkerPool};
+pub use pool::{pool_width, Latch, WorkerPool};
 pub use quepa_obs::{MetricsRegistry, MetricsSnapshot};
 pub use search::{AugmentedAnswer, ProbabilityBand};
 pub use system::Quepa;

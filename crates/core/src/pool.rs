@@ -25,6 +25,16 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The shared worker-pool sizing clamp: fetch work is round-trip-shaped,
+/// so the width oversubscribes the core count (an IO pool, not a compute
+/// pool). Every consumer of a default pool width — [`WorkerPool`] itself,
+/// the `quepa-check --concurrent` harness, the `quepa-serve` front end —
+/// must size through this one function so they agree.
+pub fn pool_width() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    (cores * 4).clamp(16, 64)
+}
+
 #[derive(Default)]
 struct PoolState {
     queue: VecDeque<Job>,
@@ -71,9 +81,9 @@ impl WorkerPool {
 
     /// The default width: fetch tickets park in simulated round trips,
     /// so the pool oversubscribes the machine rather than matching it.
+    /// Delegates to the shared [`pool_width`] clamp.
     pub fn default_width() -> usize {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        (cores * 4).clamp(16, 64)
+        pool_width()
     }
 
     /// The current width bound.
@@ -196,6 +206,13 @@ impl Latch {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn default_width_is_the_shared_clamp() {
+        assert_eq!(WorkerPool::default_width(), pool_width());
+        let w = pool_width();
+        assert!((16..=64).contains(&w), "pool_width {w} outside clamp");
+    }
 
     #[test]
     fn runs_submitted_jobs() {

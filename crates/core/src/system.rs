@@ -283,6 +283,28 @@ impl Quepa {
         Ok(answer)
     }
 
+    /// The server-facing entry point: an [`augmented_search`] that also
+    /// keeps the admission ledger. A degraded execution clamps the
+    /// augmentation level to 0 — the original answer without the fetch
+    /// fan-out, the same shape `DegradeMode::Partial` falls back to —
+    /// so an overloaded server still answers something exact and cheap.
+    /// Both outcomes count as *served* in the admission counters; the
+    /// caller records `offered` at accept and `shed` on rejection.
+    ///
+    /// [`augmented_search`]: Quepa::augmented_search
+    pub fn serve_search(
+        &self,
+        database: &str,
+        query: &str,
+        level: usize,
+        degraded: bool,
+    ) -> Result<AugmentedAnswer> {
+        let effective = if degraded { 0 } else { level };
+        let answer = self.augmented_search(database, query, effective)?;
+        self.obs.record_admission_served(degraded);
+        Ok(answer)
+    }
+
     /// Augments pre-fetched objects (exploration steps and baselines reuse
     /// this path).
     pub(crate) fn augment_objects(

@@ -160,6 +160,33 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     prom_counter_header(&mut out, "quepa_cache_misses_total", "LRU cache probe misses");
     let _ = writeln!(out, "quepa_cache_misses_total {}", snapshot.cache.misses);
 
+    let admission: [(&str, &str, u64); 4] = [
+        (
+            "quepa_admission_offered_total",
+            "Requests that reached the serving front end's admission control",
+            snapshot.admission.offered,
+        ),
+        (
+            "quepa_admission_served_total",
+            "Requests executed and answered (degraded included)",
+            snapshot.admission.served,
+        ),
+        (
+            "quepa_admission_degraded_total",
+            "Served requests answered in degraded mode (augmentation suppressed)",
+            snapshot.admission.degraded,
+        ),
+        (
+            "quepa_admission_shed_total",
+            "Requests shed with a structured OVERLOAD response",
+            snapshot.admission.shed,
+        ),
+    ];
+    for (metric, help, value) in admission {
+        prom_counter_header(&mut out, metric, help);
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
     if !snapshot.index_shards.is_empty() {
         type ShardGauge =
             (&'static str, &'static str, fn(&crate::registry::IndexShardMetrics) -> u64);
@@ -249,8 +276,13 @@ pub fn json(snapshot: &MetricsSnapshot) -> String {
     }
     let _ = write!(
         out,
-        "}},\"cache\":{{\"hits\":{},\"misses\":{}}},\"index_shards\":[",
-        snapshot.cache.hits, snapshot.cache.misses
+        "}},\"cache\":{{\"hits\":{},\"misses\":{}}},\"admission\":{{\"offered\":{},\"served\":{},\"degraded\":{},\"shed\":{}}},\"index_shards\":[",
+        snapshot.cache.hits,
+        snapshot.cache.misses,
+        snapshot.admission.offered,
+        snapshot.admission.served,
+        snapshot.admission.degraded,
+        snapshot.admission.shed
     );
     let mut first = true;
     for m in &snapshot.index_shards {
@@ -307,6 +339,28 @@ mod tests {
         assert!(text.contains("quepa_store_retries_total{store=\"kv\"} 1"));
         assert!(text.contains("quepa_cache_hits_total 1"));
         assert!(text.contains("# TYPE quepa_store_sim_latency_nanos histogram"));
+        assert!(text.contains("quepa_admission_offered_total 0"));
+    }
+
+    #[test]
+    fn admission_counters_export() {
+        let r = MetricsRegistry::new();
+        r.record_admission_offered();
+        r.record_admission_offered();
+        r.record_admission_served(true);
+        r.record_admission_shed();
+        let s = r.snapshot();
+        let text = prometheus_text(&s);
+        assert!(text.contains("quepa_admission_offered_total 2"), "{text}");
+        assert!(text.contains("quepa_admission_served_total 1"), "{text}");
+        assert!(text.contains("quepa_admission_degraded_total 1"), "{text}");
+        assert!(text.contains("quepa_admission_shed_total 1"), "{text}");
+        let j = json(&s);
+        assert!(
+            j.contains("\"admission\":{\"offered\":2,\"served\":1,\"degraded\":1,\"shed\":1}"),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "balanced braces in {j}");
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod span;
 pub use export::{escape_label, json, prometheus_text};
 pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LatencyHistogram};
 pub use registry::{
-    CacheMetrics, IndexShardMetrics, MetricsRegistry, MetricsSnapshot, StageMetrics, StoreMetrics,
-    TRACE_CAPACITY,
+    AdmissionMetrics, CacheMetrics, IndexShardMetrics, MetricsRegistry, MetricsSnapshot,
+    StageMetrics, StoreMetrics, TRACE_CAPACITY,
 };
 pub use span::{
     enter_stage, observe, record_backoff, record_breaker_rejection, record_cache_probe,

@@ -56,6 +56,14 @@ impl Default for StageRecorder {
     }
 }
 
+#[derive(Default)]
+struct AdmissionRecorder {
+    offered: AtomicU64,
+    served: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+}
+
 /// The live, thread-safe metrics sink (see the module docs).
 pub struct MetricsRegistry {
     enabled: AtomicBool,
@@ -63,6 +71,7 @@ pub struct MetricsRegistry {
     stages: [StageRecorder; 6],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    admission: AdmissionRecorder,
     trace: Mutex<VecDeque<TraceEvent>>,
 }
 
@@ -82,6 +91,7 @@ impl MetricsRegistry {
             stages: Default::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            admission: AdmissionRecorder::default(),
             trace: Mutex::new(VecDeque::new()),
         }
     }
@@ -141,6 +151,30 @@ impl MetricsRegistry {
         }
     }
 
+    /// Counts one request offered to the serving front end (admission
+    /// plane). Serving counters record unconditionally — like the
+    /// resilience counters folded from the connectors, they exist exactly
+    /// when a server fronts this instance, and the per-query determinism
+    /// contract does not cover the network plane.
+    pub fn record_admission_offered(&self) {
+        self.admission.offered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered by the execution path (degraded
+    /// answers included — pass `degraded` to count both).
+    pub fn record_admission_served(&self, degraded: bool) {
+        self.admission.served.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.admission.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one request shed by admission control (answered with a
+    /// structured OVERLOAD response, never executed).
+    pub fn record_admission_shed(&self) {
+        self.admission.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Files a completed wall-clock span: bumps the stage's deterministic
     /// span/item counters and appends to the trace ring.
     pub fn complete_span(&self, event: TraceEvent) {
@@ -193,6 +227,12 @@ impl MetricsRegistry {
                 hits: self.cache_hits.load(Ordering::Relaxed),
                 misses: self.cache_misses.load(Ordering::Relaxed),
             },
+            admission: AdmissionMetrics {
+                offered: self.admission.offered.load(Ordering::Relaxed),
+                served: self.admission.served.load(Ordering::Relaxed),
+                degraded: self.admission.degraded.load(Ordering::Relaxed),
+                shed: self.admission.shed.load(Ordering::Relaxed),
+            },
             index_shards: Vec::new(),
         }
     }
@@ -208,6 +248,10 @@ impl MetricsRegistry {
         }
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.admission.offered.store(0, Ordering::Relaxed);
+        self.admission.served.store(0, Ordering::Relaxed);
+        self.admission.degraded.store(0, Ordering::Relaxed);
+        self.admission.shed.store(0, Ordering::Relaxed);
         self.trace.lock().clear();
     }
 }
@@ -296,6 +340,35 @@ impl CacheMetrics {
     }
 }
 
+/// Serving-plane admission counters: what the network front end did with
+/// every request it received. `served + shed == offered` is the
+/// accounting invariant the serving smoke test enforces; `degraded`
+/// counts the subset of `served` answered under pressure (augmentation
+/// suppressed, the `DegradeMode::Partial` shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionMetrics {
+    /// Requests that reached admission control.
+    pub offered: u64,
+    /// Requests executed and answered (degraded ones included).
+    pub served: u64,
+    /// Served requests answered in degraded mode (no augmentation).
+    pub degraded: u64,
+    /// Requests shed with a structured OVERLOAD response.
+    pub shed: u64,
+}
+
+impl AdmissionMetrics {
+    /// Associative/commutative element-wise sum.
+    pub fn merge(self, other: AdmissionMetrics) -> AdmissionMetrics {
+        AdmissionMetrics {
+            offered: self.offered.saturating_add(other.offered),
+            served: self.served.saturating_add(other.served),
+            degraded: self.degraded.saturating_add(other.degraded),
+            shed: self.shed.saturating_add(other.shed),
+        }
+    }
+}
+
 /// Gauges of one A' index shard, folded in at snapshot time (the index
 /// publishes these itself; the registry only carries them). Gauges, not
 /// counters: they describe the projection's current state.
@@ -338,6 +411,9 @@ pub struct MetricsSnapshot {
     pub stages: [StageMetrics; 6],
     /// Cache probe counts.
     pub cache: CacheMetrics,
+    /// Serving-plane admission counters (all zero unless a network front
+    /// end serves this instance).
+    pub admission: AdmissionMetrics,
     /// Per-shard A' index gauges (position = shard number); empty unless
     /// the owning system folded them in.
     pub index_shards: Vec<IndexShardMetrics>,
@@ -362,6 +438,7 @@ impl MetricsSnapshot {
         let mut incoming = other.stages.into_iter();
         self.stages = self.stages.map(|mine| mine.merge(incoming.next().expect("stage count")));
         self.cache = self.cache.merge(other.cache);
+        self.admission = self.admission.merge(other.admission);
         if self.index_shards.len() < other.index_shards.len() {
             self.index_shards.resize(other.index_shards.len(), IndexShardMetrics::default());
         }
@@ -451,6 +528,27 @@ mod tests {
         assert!(!s.stores.contains_key("ghost"), "all-zero fold stays absent");
         assert_eq!(s.stores["sql"].breaker_trips, 1);
         assert!(s.stores["sql"].sim_latency.is_empty());
+    }
+
+    #[test]
+    fn admission_counters_record_merge_and_reset() {
+        let r = MetricsRegistry::new();
+        // Admission records even while the stage layer is disabled: the
+        // serving plane is accounted unconditionally.
+        assert!(!r.is_enabled());
+        for _ in 0..5 {
+            r.record_admission_offered();
+        }
+        r.record_admission_served(false);
+        r.record_admission_served(true);
+        r.record_admission_shed();
+        let s = r.snapshot();
+        assert_eq!(s.admission, AdmissionMetrics { offered: 5, served: 2, degraded: 1, shed: 1 });
+        assert!(!s.is_empty());
+        let m = s.admission.merge(AdmissionMetrics { offered: 1, served: 1, degraded: 0, shed: 0 });
+        assert_eq!(m, AdmissionMetrics { offered: 6, served: 3, degraded: 1, shed: 1 });
+        r.reset();
+        assert_eq!(r.snapshot().admission, AdmissionMetrics::default());
     }
 
     #[test]

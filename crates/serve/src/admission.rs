@@ -1,0 +1,226 @@
+//! Admission control: the bounded gate between accept and execute.
+//!
+//! The PR-5 worker pool queues without bound, so the bound lives here:
+//! a depth counter over every request that has been admitted but not yet
+//! answered, plus an EWMA of recent service times that turns depth into
+//! an *estimated wait* (`depth / width × ewma` — the M/M/c back-of-envelope).
+//! The decision ladder:
+//!
+//! ```text
+//!            depth ≤ soft  ∧  est_wait ≤ deadline/2   → Admit   (full answer)
+//!   soft  <  depth ≤ hard  ∨  est_wait ≤ deadline     → Degrade (level-0 answer)
+//!            depth > hard  ∨  est_wait > deadline     → Shed    (OVERLOAD)
+//! ```
+//!
+//! Degrading before shedding matches `DegradeMode::Partial`: a clamped
+//! request still answers the *exact* local result, it just skips the
+//! augmentation fan-out — the cheap shape that drains the queue. Only
+//! when even that cannot meet the deadline does the server shed.
+//!
+//! Every decision is counted in the instance's `quepa-obs` registry by
+//! the caller ([`Server`]); this module is pure mechanism and fully
+//! deterministic given (depth, ewma), which is what the unit tests pin.
+//!
+//! [`Server`]: crate::server::Server
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use quepa_core::pool_width;
+
+/// Thresholds of the admission ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Executor width the wait estimate divides by (workers draining the
+    /// queue in parallel).
+    pub width: usize,
+    /// Depth above which requests degrade to level-0 answers.
+    pub soft_depth: usize,
+    /// Depth above which requests are shed outright.
+    pub hard_depth: usize,
+    /// Estimated-wait bound: above `deadline` shed, above `deadline/2`
+    /// degrade.
+    pub deadline: Duration,
+}
+
+impl Default for AdmissionConfig {
+    /// Sized from the shared [`pool_width`] clamp so the gate and the
+    /// executor agree on how fast the queue drains.
+    fn default() -> Self {
+        let width = pool_width();
+        AdmissionConfig {
+            width,
+            soft_depth: 2 * width,
+            hard_depth: 8 * width,
+            deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What the gate decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Execute at the requested level.
+    Admit,
+    /// Execute clamped to level 0 (partial answer).
+    Degrade,
+    /// Reject with `OVERLOAD`; `depth` and `est_wait` explain why.
+    Shed {
+        /// Queue depth at decision time (including this request).
+        depth: usize,
+        /// Estimated wait at decision time.
+        est_wait: Duration,
+    },
+}
+
+/// The admission gate: shared by every connection of one server.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    /// Requests admitted but not yet answered.
+    inflight: AtomicUsize,
+    /// EWMA of service time, nanoseconds (α = 1/8). Zero until the first
+    /// sample, which keeps the gate purely depth-based at cold start.
+    ewma_ns: AtomicU64,
+}
+
+/// An admitted request's slot; dropping it releases the slot. Owns its
+/// controller reference so it can ride into a `'static` pool job; hold
+/// it across execution and call [`AdmissionController::record_service`]
+/// with the measured latency before dropping.
+#[derive(Debug)]
+pub struct Ticket {
+    controller: Arc<AdmissionController>,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.controller.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl AdmissionController {
+    /// A gate with the given thresholds.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController { config, inflight: AtomicUsize::new(0), ewma_ns: AtomicU64::new(0) }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Requests currently admitted but not yet answered.
+    pub fn depth(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// The wait a newly admitted request would expect at `depth`.
+    pub fn estimated_wait(&self, depth: usize) -> Duration {
+        let ewma = self.ewma_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(ewma.saturating_mul(depth as u64) / self.config.width.max(1) as u64)
+    }
+
+    /// Runs the decision ladder for one arriving request. `Admit` and
+    /// `Degrade` come with a [`Ticket`] occupying a queue slot; `Shed`
+    /// occupies nothing.
+    pub fn try_admit(self: &Arc<Self>) -> (Decision, Option<Ticket>) {
+        let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        let est_wait = self.estimated_wait(depth);
+        if depth > self.config.hard_depth || est_wait > self.config.deadline {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return (Decision::Shed { depth, est_wait }, None);
+        }
+        let ticket = Ticket { controller: Arc::clone(self) };
+        if depth > self.config.soft_depth || est_wait > self.config.deadline / 2 {
+            (Decision::Degrade, Some(ticket))
+        } else {
+            (Decision::Admit, Some(ticket))
+        }
+    }
+
+    /// Folds one measured service time into the EWMA (α = 1/8; the first
+    /// sample seeds it whole). Load/store rather than CAS: a lost update
+    /// under a race only delays convergence of an estimate.
+    pub fn record_service(&self, took: Duration) {
+        let sample = took.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+        self.ewma_ns.store(new, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> Arc<AdmissionController> {
+        Arc::new(AdmissionController::new(AdmissionConfig {
+            width: 2,
+            soft_depth: 2,
+            hard_depth: 4,
+            deadline: Duration::from_millis(100),
+        }))
+    }
+
+    #[test]
+    fn ladder_walks_admit_degrade_shed_on_depth() {
+        let gate = gate();
+        let (d1, t1) = gate.try_admit();
+        let (d2, t2) = gate.try_admit();
+        assert_eq!((d1, d2), (Decision::Admit, Decision::Admit));
+        let (d3, t3) = gate.try_admit();
+        let (d4, t4) = gate.try_admit();
+        assert_eq!((d3, d4), (Decision::Degrade, Decision::Degrade));
+        let (d5, t5) = gate.try_admit();
+        assert!(matches!(d5, Decision::Shed { depth: 5, .. }), "{d5:?}");
+        assert!(t5.is_none());
+        assert_eq!(gate.depth(), 4, "a shed request occupies no slot");
+        drop((t1, t2, t3, t4));
+        assert_eq!(gate.depth(), 0, "tickets release their slots");
+        let (d, _t) = gate.try_admit();
+        assert_eq!(d, Decision::Admit, "the gate reopens once the queue drains");
+    }
+
+    #[test]
+    fn estimated_wait_degrades_and_sheds_before_depth_does() {
+        let gate = gate();
+        // Seed the EWMA: one 80 ms sample.
+        gate.record_service(Duration::from_millis(80));
+        // depth 1 → est 80/2 = 40 ms ≤ 50 ms → Admit.
+        let (d1, _t1) = gate.try_admit();
+        assert_eq!(d1, Decision::Admit);
+        // depth 2 → est 80 ms > deadline/2 → Degrade (depth alone allows).
+        let (d2, _t2) = gate.try_admit();
+        assert_eq!(d2, Decision::Degrade);
+        // depth 3 → est 120 ms > 100 ms deadline → Shed below hard_depth.
+        let (d3, t3) = gate.try_admit();
+        assert!(
+            matches!(d3, Decision::Shed { depth: 3, est_wait } if est_wait > Duration::from_millis(100))
+        );
+        assert!(t3.is_none());
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_service_times() {
+        let gate = gate();
+        gate.record_service(Duration::from_millis(100));
+        assert_eq!(gate.estimated_wait(2), Duration::from_millis(100));
+        for _ in 0..64 {
+            gate.record_service(Duration::from_millis(10));
+        }
+        let est = gate.estimated_wait(2);
+        assert!(
+            est < Duration::from_millis(15),
+            "EWMA should approach the new 10 ms regime, got {est:?}"
+        );
+    }
+
+    #[test]
+    fn default_config_uses_the_shared_pool_clamp() {
+        let config = AdmissionConfig::default();
+        assert_eq!(config.width, pool_width());
+        assert!(config.soft_depth < config.hard_depth);
+    }
+}

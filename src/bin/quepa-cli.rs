@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release --bin quepa-cli -- [--albums N] [--stores 4|7|10|13] [--metrics] \
-//!     [--data-dir DIR]
+//!     [--data-dir DIR] [--serve ADDR]
+//! cargo run --release --bin quepa-cli -- --connect ADDR
 //! ```
 //!
 //! `--metrics` enables the observability layer for the session and prints
@@ -15,13 +16,21 @@
 //! one that already holds durable state is recovered — the shell prints
 //! the checkpoint LSN and how many WAL records it replayed. Use the
 //! `CHECKPOINT` command to force a cut interactively.
+//!
+//! `--serve ADDR` skips the REPL and runs the TCP serving front end on
+//! `ADDR` (e.g. `127.0.0.1:7474`) over the built polystore, with the
+//! default admission thresholds; `--connect ADDR` is the matching remote
+//! shell, speaking the wire protocol (`SEARCH`/`METRICS`/`CHECKPOINT`)
+//! without building a polystore locally.
 
 use std::io::{BufRead, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use quepa::cli::CommandProcessor;
 use quepa::core::{dir_has_state, Quepa, QuepaConfig, RecoveryOptions, SyncPolicy};
 use quepa::polystore::Deployment;
+use quepa::serve::{AdmissionConfig, Client, Server, Status};
 use quepa::workload::{BuiltPolystore, WorkloadConfig};
 
 fn main() {
@@ -30,6 +39,8 @@ fn main() {
     let mut stores = 4usize;
     let mut metrics = false;
     let mut data_dir: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,11 +64,31 @@ fn main() {
                 }
                 i += 2;
             }
+            "--serve" => {
+                serve_addr = args.get(i + 1).cloned();
+                if serve_addr.is_none() {
+                    eprintln!("--serve needs a listen address (e.g. 127.0.0.1:7474)");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--connect" => {
+                connect_addr = args.get(i + 1).cloned();
+                if connect_addr.is_none() {
+                    eprintln!("--connect needs a server address (e.g. 127.0.0.1:7474)");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(addr) = connect_addr {
+        remote_shell(&addr);
+        return;
     }
     let replica_sets = stores.saturating_sub(4) / 3;
     eprintln!(
@@ -126,6 +157,24 @@ fn main() {
         config.observability = true;
         quepa.set_config(config);
     }
+    if let Some(addr) = serve_addr {
+        let quepa = Arc::new(quepa);
+        let server = match Server::start(quepa, addr.as_str(), AdmissionConfig::default()) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "serving on {} — quepa-cli --connect {} to talk to it; Ctrl-C to stop",
+            server.local_addr(),
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
     let mut processor = CommandProcessor::new(&quepa);
 
     println!("QUEPA shell — type HELP for commands, Ctrl-D to quit.");
@@ -146,6 +195,83 @@ fn main() {
     }
     if metrics {
         print!("{}", quepa::obs::prometheus_text(&quepa.metrics_snapshot()));
+    }
+    println!("bye.");
+}
+
+/// The remote shell: the wire-protocol subset of the REPL against a
+/// running `--serve` instance. `SEARCH` maps to the AUGMENT verb, so a
+/// `DEGRADED` status (the server clamped the level to 0 under load) and
+/// `OVERLOAD` sheds are surfaced explicitly.
+fn remote_shell(addr: &str) {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to {addr} — SEARCH <db> <level> <query…>, METRICS [JSON], CHECKPOINT.");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("quepa@{addr}> ");
+        stdout.flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let response = match verb.to_ascii_uppercase().as_str() {
+            "SEARCH" => {
+                let mut parts = rest.splitn(3, char::is_whitespace);
+                match (
+                    parts.next(),
+                    parts.next().and_then(|l| l.parse::<usize>().ok()),
+                    parts.next(),
+                ) {
+                    (Some(db), Some(level), Some(query)) => client.augment(db, level, query),
+                    _ => {
+                        println!("usage: SEARCH <db> <level> <query…>");
+                        continue;
+                    }
+                }
+            }
+            "METRICS" => client.metrics(rest.eq_ignore_ascii_case("JSON")),
+            "CHECKPOINT" => client.checkpoint(),
+            "QUIT" | "EXIT" => break,
+            other => {
+                println!("unknown remote command {other:?}; SEARCH / METRICS / CHECKPOINT");
+                continue;
+            }
+        };
+        match response {
+            Ok(response) => {
+                match response.status {
+                    Status::Ok => {}
+                    Status::Degraded => println!("(degraded: level clamped to 0 under load)"),
+                    Status::Overload => println!("(shed by admission control)"),
+                    Status::Error => println!("(server error)"),
+                }
+                println!("{}", response.payload);
+            }
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                break;
+            }
+        }
     }
     println!("bye.");
 }

@@ -18,7 +18,9 @@
 //!   the augmenter family and the adaptive optimizer;
 //! * [`baselines`] — middleware competitor simulators (Metamodel, Talend,
 //!   ArangoDB in NAT/AUG variants);
-//! * [`workload`] — the Polyphony data generator and experiment configs.
+//! * [`workload`] — the Polyphony data generator and experiment configs;
+//! * [`serve`] — the TCP serving front end: length-prefixed wire
+//!   protocol, admission control, and the blocking client.
 
 pub mod cli;
 
@@ -34,4 +36,5 @@ pub use quepa_obs as obs;
 pub use quepa_pdm as pdm;
 pub use quepa_polystore as polystore;
 pub use quepa_relstore as relstore;
+pub use quepa_serve as serve;
 pub use quepa_workload as workload;
