@@ -10,8 +10,16 @@
 //!   from 1e4 to 1e6 objects (target ≤2× while objects grow 100×);
 //! * `mutation_speedup` — whole-index-swap seconds per removal divided by
 //!   sharded seconds per removal at the largest swept scale (target ≥5×).
+//!
+//! After the uniform sweep the run builds the adversarial topology
+//! families ([`quepa_workload::TopologyFamily`]) at
+//! [`scale::HOSTILE_SCALE`] objects and records per-family `build` /
+//! `cold` / `warm` baselines as `hostile/<family>/...` scenarios —
+//! including the supernode hub with ~1e5 p-relations, whose cold
+//! latency `bench_gate` holds to an absolute ceiling.
 
 use quepa_bench::scale;
+use quepa_workload::TopologyFamily;
 
 const LATENCY_RUNS: usize = 9;
 
@@ -73,6 +81,45 @@ fn main() {
     }
     let points: Vec<Point> = counts.iter().map(|&n| sweep(n)).collect();
 
+    struct HostilePoint {
+        family: TopologyFamily,
+        level: usize,
+        objects: usize,
+        relations: usize,
+        entries: usize,
+        build_s: f64,
+        cold: f64,
+        warm: f64,
+    }
+    let hostile_points: Vec<HostilePoint> = TopologyFamily::ALL
+        .into_iter()
+        .map(|family| {
+            let lab = scale::build_hostile(family, scale::HOSTILE_SCALE);
+            let level = scale::hostile_level(family);
+            let (cold, warm) =
+                scale::augment_latency_on(&lab.sharded, &lab.seeds, level, LATENCY_RUNS);
+            println!(
+                "\n== hostile {}: {} objects / {} relations -> {} entries, built in {:.2}s\n  \
+                 level {level}: cold {cold:.6}s  warm {warm:.6}s",
+                family.name(),
+                lab.objects,
+                lab.relations,
+                lab.entries,
+                lab.build_s
+            );
+            HostilePoint {
+                family,
+                level,
+                objects: lab.objects,
+                relations: lab.relations,
+                entries: lab.entries,
+                build_s: lab.build_s,
+                cold,
+                warm,
+            }
+        })
+        .collect();
+
     let at = |label: &str| points.iter().find(|p| p.label == label);
     let (small, large) = (at("1e4").expect("1e4 swept"), at("1e6").expect("1e6 swept"));
     let cold_ratio = scale::LEVELS
@@ -111,6 +158,29 @@ fn main() {
         entries.push(format!(
             "    {{\"scenario\": \"scale/{}/mutation/swap\", \"mean_s\": {:.9}, \"qps\": {:.1}, \"reads\": {}}}",
             p.label, p.swap.mean_s, p.swap.qps, p.swap.reads
+        ));
+    }
+    for h in &hostile_points {
+        entries.push(format!(
+            "    {{\"scenario\": \"hostile/{}/build\", \"mean_s\": {:.9}, \"objects\": {}, \
+             \"relations\": {}, \"entries\": {}}}",
+            h.family.name(),
+            h.build_s,
+            h.objects,
+            h.relations,
+            h.entries
+        ));
+        entries.push(format!(
+            "    {{\"scenario\": \"hostile/{}/cold\", \"mean_s\": {:.9}, \"level\": {}}}",
+            h.family.name(),
+            h.cold,
+            h.level
+        ));
+        entries.push(format!(
+            "    {{\"scenario\": \"hostile/{}/warm\", \"mean_s\": {:.9}, \"level\": {}}}",
+            h.family.name(),
+            h.warm,
+            h.level
         ));
     }
     let json = format!(

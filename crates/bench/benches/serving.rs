@@ -2,7 +2,7 @@
 //! measured capacity against the `quepa-serve` TCP front end (see
 //! [`quepa_bench::serving`]).
 //!
-//! `main` writes `BENCH_serving.json` at the repository root. Two
+//! `main` writes `BENCH_serving.json` at the repository root. Three
 //! headline ratios are recorded and enforced by `bench_gate`:
 //!
 //! * `p999_overload_ratio` — p999 of *served* requests at 2× capacity
@@ -10,11 +10,21 @@
 //!   control must bound the tail instead of queueing forever);
 //! * `goodput_floor_ratio` — goodput at 2× capacity over the peak
 //!   goodput of the sweep (target ≥ 0.7: overload must not collapse
-//!   throughput).
+//!   throughput);
+//! * `flash_recovery_ratio` — recovery-phase p999 over pre-burst p999 of
+//!   the flash-crowd traffic point (target ≤ 1.15: within
+//!   [`traffic::RECOVERY_GRACE_S`] seconds of burst end the tail must be
+//!   back within 15% of its pre-burst level).
+//!
+//! After the constant-rate sweep the run replays the time-varying
+//! traffic families ([`traffic::TrafficFamily`]) against the same
+//! server: the diurnal ramp and the 4× flash crowd, each recorded as a
+//! `serving/<family>` scenario with both the client-observed ledger and
+//! the server's own admission-ledger delta (two-sided accounting).
 
 use std::time::Duration;
 
-use quepa_bench::serving;
+use quepa_bench::{serving, traffic};
 use quepa_serve::Server;
 
 /// Seconds each sweep point offers load for; the nightly overload-soak
@@ -29,10 +39,23 @@ struct Point {
     report: serving::OpenLoopReport,
 }
 
+/// One replayed time-varying traffic point: client-side report plus the
+/// server admission-ledger delta across the run.
+struct TrafficPoint {
+    family: traffic::TrafficFamily,
+    report: serving::OpenLoopReport,
+    ledger_offered: u64,
+    ledger_served: u64,
+    ledger_degraded: u64,
+    ledger_shed: u64,
+}
+
 fn main() {
     let point_secs = point_secs();
     let quepa = serving::bench_quepa();
-    let server = Server::start(quepa, "127.0.0.1:0", serving::bench_admission()).unwrap();
+    let server =
+        Server::start(std::sync::Arc::clone(&quepa), "127.0.0.1:0", serving::bench_admission())
+            .unwrap();
     let addr = server.local_addr();
 
     println!("probing capacity (overload burst) ...");
@@ -87,6 +110,63 @@ fn main() {
          goodput floor at 2x overload: {goodput_floor:.2} of peak {peak:.1} qps (target >= 0.7)"
     );
 
+    // Time-varying traffic families against the same live server. Each
+    // point runs 5× the constant-rate point length so the flash crowd
+    // has meaningful pre-burst / burst / recovery windows.
+    let horizon_s = (5 * point_secs) as f64;
+    let traffic_points: Vec<TrafficPoint> = traffic::TrafficFamily::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &family)| {
+            println!("\nreplaying {} traffic for {horizon_s:.0}s ...", family.name());
+            let schedule = family.schedule(capacity, horizon_s, 0xD1F0 + i as u64);
+            let before = quepa.metrics_snapshot().admission;
+            let report =
+                serving::measure_schedule(addr, &schedule, serving::CONNECTIONS, horizon_s);
+            let after = quepa.metrics_snapshot().admission;
+            println!(
+                "{}: {} reqs, goodput {:.1} qps, p999 {:.4}s, shed {:.1}% ({} errors)",
+                family.name(),
+                report.offered,
+                report.goodput_qps,
+                report.percentile_s(0.999),
+                100.0 * report.shed_rate(),
+                report.errors,
+            );
+            assert_eq!(
+                report.offered,
+                report.served() + report.shed + report.errors,
+                "open-loop accounting must balance"
+            );
+            TrafficPoint {
+                family,
+                report,
+                ledger_offered: after.offered - before.offered,
+                ledger_served: after.served - before.served,
+                ledger_degraded: after.degraded - before.degraded,
+                ledger_shed: after.shed - before.shed,
+            }
+        })
+        .collect();
+
+    let flash = traffic_points
+        .iter()
+        .find(|p| p.family == traffic::TrafficFamily::FlashCrowd)
+        .expect("flash crowd replayed");
+    let [pre_w, burst_w, recovery_w] = traffic::flash_phases(horizon_s);
+    let pre = flash.report.phase(pre_w.0, pre_w.1);
+    let burst = flash.report.phase(burst_w.0, burst_w.1);
+    let recovery = flash.report.phase(recovery_w.0, recovery_w.1);
+    let flash_recovery_ratio = recovery.percentile_s(0.999) / pre.percentile_s(0.999).max(1e-9);
+    println!(
+        "\nflash crowd: pre p999 {:.4}s, burst shed {:.1}%, recovery p999 {:.4}s -> \
+         recovery ratio {flash_recovery_ratio:.2}x (target <= 1.15x, grace {:.0}s)",
+        pre.percentile_s(0.999),
+        100.0 * burst.shed as f64 / burst.offered.max(1) as f64,
+        recovery.percentile_s(0.999),
+        traffic::RECOVERY_GRACE_S,
+    );
+
     let mut entries = Vec::new();
     for p in &points {
         entries.push(format!(
@@ -108,11 +188,58 @@ fn main() {
             p.report.errors,
         ));
     }
+    for p in &traffic_points {
+        let mut entry = format!(
+            "    {{\"scenario\": \"serving/{}\", \"mean_s\": {:.9}, \"qps\": {:.1}, \
+             \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"p999_s\": {:.9}, \"shed_rate\": {:.4}, \
+             \"offered\": {}, \"served\": {}, \"degraded\": {}, \"shed\": {}, \"errors\": {}, \
+             \"ledger_offered\": {}, \"ledger_served\": {}, \"ledger_degraded\": {}, \
+             \"ledger_shed\": {}",
+            p.family.name(),
+            p.report.mean_s(),
+            p.report.goodput_qps,
+            p.report.percentile_s(0.50),
+            p.report.percentile_s(0.99),
+            p.report.percentile_s(0.999),
+            p.report.shed_rate(),
+            p.report.offered,
+            p.report.served(),
+            p.report.degraded,
+            p.report.shed,
+            p.report.errors,
+            p.ledger_offered,
+            p.ledger_served,
+            p.ledger_degraded,
+            p.ledger_shed,
+        );
+        if p.family == traffic::TrafficFamily::FlashCrowd {
+            for (tag, phase) in [("pre", &pre), ("burst", &burst), ("recovery", &recovery)] {
+                entry.push_str(&format!(
+                    ", \"{tag}_offered\": {}, \"{tag}_served\": {}, \"{tag}_shed\": {}, \
+                     \"{tag}_errors\": {}",
+                    phase.offered,
+                    phase.served(),
+                    phase.shed,
+                    phase.errors,
+                ));
+            }
+            entry.push_str(&format!(
+                ", \"pre_p999_s\": {:.9}, \"recovery_p999_s\": {:.9}, \
+                 \"recovery_ratio\": {flash_recovery_ratio:.4}",
+                pre.percentile_s(0.999),
+                recovery.percentile_s(0.999),
+            ));
+        }
+        entry.push('}');
+        entries.push(entry);
+    }
     let json = format!(
         "{{\n  \"benchmark\": \"serving\",\n  \"capacity_qps\": {capacity:.1},\n  \
          \"connections\": {},\n  \"point_secs\": {point_secs},\n  \
          \"p999_overload_ratio\": {p999_ratio:.3},\n  \"target_p999_ratio\": 5.0,\n  \
          \"goodput_floor_ratio\": {goodput_floor:.3},\n  \"target_goodput_floor\": 0.7,\n  \
+         \"flash_recovery_ratio\": {flash_recovery_ratio:.3},\n  \
+         \"target_flash_recovery_ratio\": 1.15,\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         serving::CONNECTIONS,
         entries.join(",\n")

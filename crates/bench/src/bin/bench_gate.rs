@@ -33,10 +33,11 @@ use std::path::Path;
 use std::time::Duration;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::{recovery, scale, serving, throughput, Lab};
+use quepa_bench::{recovery, scale, serving, throughput, traffic, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
 use quepa_serve::Server;
+use quepa_workload::TopologyFamily;
 
 /// Allowed drift from the recorded mean, either direction.
 const TOLERANCE: f64 = 0.15;
@@ -45,6 +46,14 @@ const QUICK_RUNS: usize = 15;
 const CONFIRM_RUNS: usize = 40;
 /// The hot-path query every baseline records.
 const QUERY: &str = "SELECT * FROM inventory WHERE seq < 50";
+/// Absolute ceiling on the recorded supernode cold probe: expanding a
+/// hub with ~1e5 p-relations must stay interactive, not merely stable
+/// relative to its own past.
+const SUPERNODE_COLD_CEILING_S: f64 = 0.5;
+/// Recovery-phase p999 of the flash crowd over its pre-burst p999.
+const FLASH_RECOVERY_LIMIT: f64 = 1.15;
+/// Horizon of the live flash-crowd accounting leg.
+const FLASH_LIVE_HORIZON_S: f64 = 10.0;
 
 /// One smoke scenario: which baseline file it lives in, its recorded
 /// name, and the configuration that reproduces it.
@@ -314,6 +323,54 @@ fn main() {
         rows.push(("scale-mutation-speedup-live".into(), false));
     }
 
+    // ---- hostile topologies --------------------------------------------
+    // Every adversarial topology family must carry recorded build/cold/
+    // warm baselines (a missing one exits 2, like any lost scenario).
+    // The supernode hub — ~1e5 p-relations on one object — is the family
+    // the tentpole bounds: its recorded cold probe is held to an absolute
+    // ceiling and re-measured live within the tolerance band.
+    for family in TopologyFamily::ALL {
+        for tag in ["build", "cold", "warm"] {
+            let _ = srec(&format!("hostile/{}/{tag}", family.name()));
+        }
+    }
+    let supernode_cold = srec("hostile/supernode/cold");
+    let ceiling_ok = supernode_cold <= SUPERNODE_COLD_CEILING_S;
+    failed |= !ceiling_ok;
+    println!(
+        "\nrecorded supernode cold probe: {supernode_cold:.6}s (ceiling {SUPERNODE_COLD_CEILING_S}s)  {}",
+        if ceiling_ok { "ok" } else { "REGRESSION" }
+    );
+    if !ceiling_ok {
+        rows.push(("hostile-supernode-cold-ceiling".into(), false));
+    }
+    let hlab = scale::build_hostile(TopologyFamily::Supernode, scale::HOSTILE_SCALE);
+    let hlevel = scale::hostile_level(TopologyFamily::Supernode);
+    let hquick = scale::augment_latency_on(&hlab.sharded, &hlab.seeds, hlevel, QUICK_RUNS);
+    let mut hconfirmed: Option<(f64, f64)> = None;
+    for (tag, pick) in [("cold", 0usize), ("warm", 1)] {
+        let name = format!("hostile/supernode/{tag}");
+        let want = srec(&name);
+        let mut got = if pick == 0 { hquick.0 } else { hquick.1 };
+        let mut delta = (got - want) / want;
+        if delta.abs() > TOLERANCE {
+            let pair = *hconfirmed.get_or_insert_with(|| {
+                scale::augment_latency_on(&hlab.sharded, &hlab.seeds, hlevel, CONFIRM_RUNS)
+            });
+            let again = if pick == 0 { pair.0 } else { pair.1 };
+            let again_delta = (again - want) / want;
+            if again_delta.abs() < delta.abs() {
+                got = again;
+                delta = again_delta;
+            }
+        }
+        let ok = delta.abs() <= TOLERANCE;
+        failed |= !ok;
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        println!("{name:<52} {want:>9.6}s {got:>9.6}s {:>+7.1}%  {verdict}", delta * 100.0);
+        rows.push((name, ok));
+    }
+
     // ---- durability smoke ----------------------------------------------
     // The recorded durability sweep (BENCH_recovery.json) carries two
     // acceptance claims: the shared mutation entry point costs nothing
@@ -437,8 +494,9 @@ fn main() {
     // Live smoke point: the recorded sub-saturation rate against a real
     // server, latency-from-scheduled-arrival mean within the band.
     let squepa = serving::bench_quepa();
-    let mut server = Server::start(squepa, "127.0.0.1:0", serving::bench_admission())
-        .expect("start serving smoke server");
+    let mut server =
+        Server::start(std::sync::Arc::clone(&squepa), "127.0.0.1:0", serving::bench_admission())
+            .expect("start serving smoke server");
     let smoke_rate = svrec(&smoke_name, "rate");
     let smoke_want = svrec(&smoke_name, "mean_s");
     let smoke_spec = |seed: u64, secs: u64| serving::OpenLoopSpec {
@@ -480,6 +538,105 @@ fn main() {
         );
     }
     rows.push((format!("{smoke_name}-live"), smoke_ok));
+
+    // ---- time-varying traffic ------------------------------------------
+    // The recorded traffic points carry two-sided accounting: the
+    // client-observed ledger must balance, match the server's own
+    // admission-ledger delta exactly (recorded runs are error-free), and
+    // the server ledger must balance offered == served + shed. The flash
+    // crowd additionally pins the recovery bound — recovery-phase p999
+    // within 15% of pre-burst — sheds a nonzero share of the 4× burst,
+    // and balances the ledger in every phase.
+    for family in traffic::TrafficFamily::ALL {
+        let name = format!("serving/{}", family.name());
+        let offered = svrec(&name, "offered");
+        let client_balanced =
+            offered == svrec(&name, "served") + svrec(&name, "shed") + svrec(&name, "errors");
+        let ledger_offered = svrec(&name, "ledger_offered");
+        let ledger_balanced =
+            ledger_offered == svrec(&name, "ledger_served") + svrec(&name, "ledger_shed");
+        let two_sided = svrec(&name, "errors") == 0.0
+            && offered == ledger_offered
+            && svrec(&name, "shed") == svrec(&name, "ledger_shed");
+        let ok = client_balanced && ledger_balanced && two_sided;
+        failed |= !ok;
+        println!(
+            "recorded {name} two-sided ledger: client {offered:.0} offered / server {ledger_offered:.0} offered  {}",
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        if !ok {
+            eprintln!(
+                "bench_gate: {name} ledgers disagree (client balanced: {client_balanced}, server balanced: {ledger_balanced}, two-sided: {two_sided})"
+            );
+            rows.push((format!("{name}-ledger"), false));
+        }
+    }
+    let flash_name = format!("serving/{}", traffic::TrafficFamily::FlashCrowd.name());
+    for tag in ["pre", "burst", "recovery"] {
+        let balanced = svrec(&flash_name, &format!("{tag}_offered"))
+            == svrec(&flash_name, &format!("{tag}_served"))
+                + svrec(&flash_name, &format!("{tag}_shed"))
+                + svrec(&flash_name, &format!("{tag}_errors"));
+        failed |= !balanced;
+        if !balanced {
+            eprintln!("bench_gate: recorded flash-crowd {tag} phase ledger does not balance");
+            rows.push((format!("flash-{tag}-phase-ledger"), false));
+        }
+    }
+    let recovery_ratio = svrec(&flash_name, "recovery_ratio");
+    let recovery_ok = recovery_ratio <= FLASH_RECOVERY_LIMIT;
+    failed |= !recovery_ok;
+    println!(
+        "recorded flash-crowd recovery p999 vs pre-burst: {recovery_ratio:.2}x (limit {FLASH_RECOVERY_LIMIT}x, grace {:.0}s)  {}",
+        traffic::RECOVERY_GRACE_S,
+        if recovery_ok { "ok" } else { "REGRESSION" }
+    );
+    if !recovery_ok {
+        rows.push(("flash-recovery-ratio".into(), false));
+    }
+    let burst_sheds = svrec(&flash_name, "burst_shed") > 0.0;
+    failed |= !burst_sheds;
+    if !burst_sheds {
+        eprintln!("bench_gate: recorded flash-crowd burst shed nothing — 4x burst not biting");
+        rows.push(("flash-burst-sheds".into(), false));
+    }
+
+    // Live flash-crowd accounting leg: a short burst replay against the
+    // same server; the client-side count of every response must equal
+    // the server's admission-ledger delta exactly, with zero errors.
+    let capacity = svrec(&smoke_name, "rate") / serving::SMOKE_FRACTION;
+    let schedule =
+        traffic::TrafficFamily::FlashCrowd.schedule(capacity, FLASH_LIVE_HORIZON_S, 0xF1A5);
+    let before = squepa.metrics_snapshot().admission;
+    let flash_live = serving::measure_schedule(
+        server.local_addr(),
+        &schedule,
+        serving::CONNECTIONS,
+        FLASH_LIVE_HORIZON_S,
+    );
+    let after = squepa.metrics_snapshot().admission;
+    let (d_offered, d_served, d_shed) = (
+        after.offered - before.offered,
+        after.served - before.served,
+        after.shed - before.shed,
+    );
+    let flash_live_ok = flash_live.errors == 0
+        && flash_live.offered > 0
+        && flash_live.offered == flash_live.served() + flash_live.shed
+        && flash_live.offered as u64 == d_offered
+        && flash_live.shed as u64 == d_shed
+        && d_offered == d_served + d_shed;
+    failed |= !flash_live_ok;
+    println!(
+        "live flash crowd ({FLASH_LIVE_HORIZON_S:.0}s @ {capacity:.0} qps capacity): client {} offered = {} served + {} shed, server delta {d_offered} = {d_served} + {d_shed}  {}",
+        flash_live.offered,
+        flash_live.served(),
+        flash_live.shed,
+        if flash_live_ok { "ok" } else { "REGRESSION" }
+    );
+    if !flash_live_ok {
+        rows.push(("flash-live-two-sided-ledger".into(), false));
+    }
     server.shutdown();
 
     let bad: Vec<&str> = rows.iter().filter(|(_, ok)| !ok).map(|(n, _)| n.as_str()).collect();

@@ -13,6 +13,7 @@ pub mod recovery;
 pub mod scale;
 pub mod serving;
 pub mod throughput;
+pub mod traffic;
 
 use std::sync::Arc;
 use std::time::Duration;

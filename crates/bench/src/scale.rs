@@ -30,7 +30,7 @@ use quepa_aindex::{AIndex, ShardedIndex};
 use quepa_core::snapshot::SnapshotCell;
 use quepa_pdm::GlobalKey;
 use quepa_polystore::Deployment;
-use quepa_workload::{BuiltPolystore, WorkloadConfig};
+use quepa_workload::{BuiltPolystore, TopologyFamily, WorkloadConfig};
 
 /// Augmentation levels the sweep records.
 pub const LEVELS: [usize; 3] = [0, 1, 2];
@@ -101,19 +101,95 @@ pub fn build(objects: usize) -> ScaleLab {
 /// measured pairs. Cold is the first `augment_multi` on a fresh view;
 /// warm repeats it on the same view.
 pub fn augment_latency(lab: &ScaleLab, level: usize, runs: usize) -> (f64, f64) {
+    augment_latency_on(&lab.sharded, &lab.seeds, level, runs)
+}
+
+/// [`augment_latency`] against any sharded index + seed set (the scale
+/// sweep and the hostile labs share the measurement).
+pub fn augment_latency_on(
+    sharded: &ShardedIndex,
+    seeds: &[GlobalKey],
+    level: usize,
+    runs: usize,
+) -> (f64, f64) {
     let mut cold = Vec::with_capacity(runs);
     let mut warm = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let view = lab.sharded.view();
+        let view = sharded.view();
         let t0 = Instant::now();
-        let first = view.augment_multi(&lab.seeds, level);
+        let first = view.augment_multi(seeds, level);
         cold.push(t0.elapsed().as_secs_f64());
         let t1 = Instant::now();
-        let second = view.augment_multi(&lab.seeds, level);
+        let second = view.augment_multi(seeds, level);
         warm.push(t1.elapsed().as_secs_f64());
         assert_eq!(first, second, "augmentation must be deterministic on one view");
     }
     (median(&mut cold), median(&mut warm))
+}
+
+/// Objects per hostile topology in the recorded sweep: large enough that
+/// the supernode hub carries ~1e5 p-relations — the degree the tentpole
+/// names — and the deep-chain family holds >1500 chains of depth 64.
+pub const HOSTILE_SCALE: usize = 100_000;
+
+/// One built adversarial-topology point: a [`TopologyFamily`] instance
+/// served through the same sharded path as the uniform scale sweep.
+pub struct HostileLab {
+    /// The topology family this lab instantiates.
+    pub family: TopologyFamily,
+    /// Objects in the topology.
+    pub objects: usize,
+    /// P-relations declared by the generator (identity edges expand
+    /// further inside the index via clique materialization).
+    pub relations: usize,
+    /// Wall seconds to materialize the A' index from the topology.
+    pub build_s: f64,
+    /// Interned index entries, summed over shards.
+    pub entries: usize,
+    /// Sharded-index resident bytes, summed over shards.
+    pub resident_bytes: usize,
+    /// The index under test, behind the sharded serving path.
+    pub sharded: ShardedIndex,
+    /// The family's canonical probe seeds (hub + satellites, chain
+    /// heads, or cluster representatives).
+    pub seeds: Vec<GlobalKey>,
+    /// The supernode hub's key, when the family has one.
+    pub hub: Option<GlobalKey>,
+}
+
+/// The augmentation level each family's baseline probes at: deep chains
+/// are a depth stress, the other two are breadth stresses.
+pub fn hostile_level(family: TopologyFamily) -> usize {
+    match family {
+        TopologyFamily::DeepChain => 2,
+        TopologyFamily::Supernode | TopologyFamily::NearDup => 1,
+    }
+}
+
+/// Builds the hostile point for `family` at `scale` objects (seed 42,
+/// like every recorded lab).
+pub fn build_hostile(family: TopologyFamily, scale: usize) -> HostileLab {
+    let topo = family.generate(scale, 42);
+    let relations = topo.relations.len();
+    let objects = topo.objects;
+    let hub = topo.hub.map(|i| topo.key(i));
+    let seeds = topo.probe_keys();
+    let t0 = Instant::now();
+    let index = topo.index();
+    let build_s = t0.elapsed().as_secs_f64();
+    let sharded = ShardedIndex::new(index);
+    let stats = sharded.shard_stats();
+    HostileLab {
+        family,
+        objects,
+        relations,
+        build_s,
+        entries: stats.iter().map(|s| s.entries).sum(),
+        resident_bytes: stats.iter().map(|s| s.resident_bytes).sum(),
+        sharded,
+        seeds,
+        hub,
+    }
 }
 
 /// One measured mutation run.
@@ -245,6 +321,19 @@ mod tests {
             sharded.mean_s,
             swap.mean_s
         );
+    }
+
+    #[test]
+    fn hostile_labs_build_and_probe() {
+        for family in TopologyFamily::ALL {
+            let lab = build_hostile(family, 2_000);
+            assert_eq!(lab.family, family);
+            assert!(lab.build_s > 0.0 && lab.entries > 0 && lab.resident_bytes > 0);
+            assert!(lab.relations > 0 && lab.objects >= 2_000, "{}", family.name());
+            assert_eq!(lab.hub.is_some(), family == TopologyFamily::Supernode);
+            let (cold, warm) = augment_latency_on(&lab.sharded, &lab.seeds, hostile_level(family), 3);
+            assert!(cold > 0.0 && warm > 0.0, "{}", family.name());
+        }
     }
 
     #[test]

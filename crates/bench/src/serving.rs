@@ -108,6 +108,68 @@ pub struct OpenLoopSpec {
     pub seed: u64,
 }
 
+/// Terminal outcome of one scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleStatus {
+    /// Answered `OK`.
+    Full,
+    /// Answered `DEGRADED` (level-0 partial).
+    Degraded,
+    /// Rejected with `OVERLOAD`.
+    Shed,
+    /// Protocol/transport failure or no response at all.
+    Error,
+}
+
+/// One scheduled request's outcome, tagged with its scheduled arrival —
+/// the unit the time-varying traffic families slice into phase windows.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Scheduled arrival offset from the run start, seconds.
+    pub arrival_s: f64,
+    /// Scheduled-arrival→response latency, seconds; negative when no
+    /// response was ever matched (errors have no latency).
+    pub latency_s: f64,
+    /// Terminal outcome.
+    pub status: SampleStatus,
+}
+
+/// Ledger + latency digest of one arrival window of a run — the unit the
+/// flash-crowd recovery gate compares across phases.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Requests scheduled inside the window.
+    pub offered: usize,
+    /// Full answers.
+    pub served_full: usize,
+    /// Degraded answers.
+    pub degraded: usize,
+    /// `OVERLOAD` rejections.
+    pub shed: usize,
+    /// Failures.
+    pub errors: usize,
+    /// Served latencies inside the window, sorted ascending, seconds.
+    pub latencies_s: Vec<f64>,
+}
+
+impl PhaseStats {
+    /// Served answers, full and degraded.
+    pub fn served(&self) -> usize {
+        self.served_full + self.degraded
+    }
+
+    /// Whether the window's ledger balances: every offered request has
+    /// exactly one terminal outcome.
+    pub fn balances(&self) -> bool {
+        self.offered == self.served() + self.shed + self.errors
+    }
+
+    /// Nearest-rank percentile of the window's served latencies.
+    pub fn percentile_s(&self, q: f64) -> f64 {
+        percentile(&self.latencies_s, q)
+    }
+}
+
 /// What one open-loop run measured.
 #[derive(Debug, Clone)]
 pub struct OpenLoopReport {
@@ -128,6 +190,8 @@ pub struct OpenLoopReport {
     /// Scheduled-arrival→response latencies of served answers, sorted
     /// ascending, seconds.
     pub latencies_s: Vec<f64>,
+    /// Every scheduled request's outcome, sorted by scheduled arrival.
+    pub samples: Vec<Sample>,
 }
 
 impl OpenLoopReport {
@@ -157,6 +221,40 @@ impl OpenLoopReport {
         } else {
             self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
         }
+    }
+
+    /// Ledger + latency digest of the requests scheduled inside
+    /// `[from_s, to_s)` — how the traffic families split a run into
+    /// pre-burst / burst / recovery windows.
+    pub fn phase(&self, from_s: f64, to_s: f64) -> PhaseStats {
+        let mut stats = PhaseStats {
+            offered: 0,
+            served_full: 0,
+            degraded: 0,
+            shed: 0,
+            errors: 0,
+            latencies_s: Vec::new(),
+        };
+        for sample in &self.samples {
+            if sample.arrival_s < from_s || sample.arrival_s >= to_s {
+                continue;
+            }
+            stats.offered += 1;
+            match sample.status {
+                SampleStatus::Full => {
+                    stats.served_full += 1;
+                    stats.latencies_s.push(sample.latency_s);
+                }
+                SampleStatus::Degraded => {
+                    stats.degraded += 1;
+                    stats.latencies_s.push(sample.latency_s);
+                }
+                SampleStatus::Shed => stats.shed += 1,
+                SampleStatus::Error => stats.errors += 1,
+            }
+        }
+        stats.latencies_s.sort_by(f64::total_cmp);
+        stats
     }
 }
 
@@ -198,8 +296,22 @@ pub fn arrival_schedule(rate: f64, duration: Duration, seed: u64) -> Vec<f64> {
 /// (`AUGMENT transactions level 1`), so capacities are comparable.
 pub fn measure_open_loop(addr: SocketAddr, spec: OpenLoopSpec) -> OpenLoopReport {
     let schedule = arrival_schedule(spec.rate, spec.duration, spec.seed);
+    measure_schedule(addr, &schedule, spec.connections, spec.duration.as_secs_f64())
+}
+
+/// Runs an arbitrary precomputed arrival schedule (ascending offsets in
+/// seconds) against a live server — the open-loop engine behind both the
+/// constant-rate sweep ([`measure_open_loop`]) and the time-varying
+/// traffic families ([`crate::traffic`]), which shape their own
+/// schedules.
+pub fn measure_schedule(
+    addr: SocketAddr,
+    schedule: &[f64],
+    connections: usize,
+    horizon_s: f64,
+) -> OpenLoopReport {
     let offered = schedule.len();
-    let connections = spec.connections.max(1);
+    let connections = connections.max(1);
     // Deal arrivals round-robin: (offset, connection-local id).
     let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); connections];
     for (i, at) in schedule.iter().enumerate() {
@@ -212,6 +324,7 @@ pub fn measure_open_loop(addr: SocketAddr, spec: OpenLoopSpec) -> OpenLoopReport
         shed: usize,
         errors: usize,
         latencies_s: Vec<f64>,
+        samples: Vec<Sample>,
         last_response_s: f64,
     }
 
@@ -273,6 +386,7 @@ pub fn measure_open_loop(addr: SocketAddr, spec: OpenLoopSpec) -> OpenLoopReport
                         shed: 0,
                         errors: 0,
                         latencies_s: Vec::new(),
+                        samples: Vec::with_capacity(got.len()),
                         last_response_s: 0.0,
                     };
                     let _ = send_failures; // unanswered ids count below
@@ -281,20 +395,47 @@ pub fn measure_open_loop(addr: SocketAddr, spec: OpenLoopSpec) -> OpenLoopReport
                             Some((status, received_at)) => {
                                 outcome.last_response_s = outcome.last_response_s.max(*received_at);
                                 let latency = received_at - arrivals[id];
-                                match status {
+                                let sample_status = match status {
                                     Status::Ok => {
                                         outcome.served_full += 1;
                                         outcome.latencies_s.push(latency);
+                                        SampleStatus::Full
                                     }
                                     Status::Degraded => {
                                         outcome.degraded += 1;
                                         outcome.latencies_s.push(latency);
+                                        SampleStatus::Degraded
                                     }
-                                    Status::Overload => outcome.shed += 1,
-                                    Status::Error => outcome.errors += 1,
-                                }
+                                    Status::Overload => {
+                                        outcome.shed += 1;
+                                        SampleStatus::Shed
+                                    }
+                                    Status::Error => {
+                                        outcome.errors += 1;
+                                        SampleStatus::Error
+                                    }
+                                };
+                                outcome.samples.push(Sample {
+                                    arrival_s: arrivals[id],
+                                    latency_s: if matches!(
+                                        sample_status,
+                                        SampleStatus::Full | SampleStatus::Degraded
+                                    ) {
+                                        latency
+                                    } else {
+                                        -1.0
+                                    },
+                                    status: sample_status,
+                                });
                             }
-                            None => outcome.errors += 1,
+                            None => {
+                                outcome.errors += 1;
+                                outcome.samples.push(Sample {
+                                    arrival_s: arrivals[id],
+                                    latency_s: -1.0,
+                                    status: SampleStatus::Error,
+                                });
+                            }
                         }
                     }
                     outcome
@@ -314,17 +455,20 @@ pub fn measure_open_loop(addr: SocketAddr, spec: OpenLoopSpec) -> OpenLoopReport
         wall_s: 0.0,
         goodput_qps: 0.0,
         latencies_s: Vec::with_capacity(offered),
+        samples: Vec::with_capacity(offered),
     };
-    let mut wall = spec.duration.as_secs_f64();
+    let mut wall = horizon_s;
     for outcome in outcomes {
         report.served_full += outcome.served_full;
         report.degraded += outcome.degraded;
         report.shed += outcome.shed;
         report.errors += outcome.errors;
         report.latencies_s.extend(outcome.latencies_s);
+        report.samples.extend(outcome.samples);
         wall = wall.max(outcome.last_response_s);
     }
     report.latencies_s.sort_by(f64::total_cmp);
+    report.samples.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
     report.wall_s = wall;
     report.goodput_qps = if wall > 0.0 { report.served() as f64 / wall } else { 0.0 };
     report
@@ -424,6 +568,16 @@ mod tests {
         assert_eq!(report.latencies_s.len(), report.served());
         assert!(report.goodput_qps > 0.0);
         assert!(!histogram_lines(&report).is_empty());
+        // Per-request samples cover every offered request, and any
+        // arrival window's ledger balances.
+        assert_eq!(report.samples.len(), report.offered);
+        assert!(report.samples.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let whole = report.phase(0.0, f64::INFINITY);
+        assert!(whole.balances());
+        assert_eq!(whole.offered, report.offered);
+        let (first, second) = (report.phase(0.0, 0.3), report.phase(0.3, f64::INFINITY));
+        assert!(first.balances() && second.balances());
+        assert_eq!(first.offered + second.offered, report.offered);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! quepa-check --crash ...                       # crash-only sweep: force a
 //!                                               # crash plan on every seed
 //! quepa-check --soak [--time-budget-secs T]     # run until the budget ends
+//! quepa-check --family NAME                     # hostile sweep: every seed
+//!                                               # instantiates one topology
+//!                                               # family (supernode,
+//!                                               # deep-chain, near-dup)
 //! quepa-check --replay FILE                     # re-run one .scenario file
 //! quepa-check --inject-bug drop-relation[:i]    # self-test: plant a bug,
 //!              | skip-wal-tail[:n]              # prove it is caught+shrunk
@@ -24,6 +28,7 @@ use quepa_check::{
     check_concurrent_scenario, check_crash_scenario, check_scenario, shrink, CheckFailure,
     CheckReport, CrashSpec, Mutation, Scenario, SplitMix,
 };
+use quepa_workload::TopologyFamily;
 
 struct Args {
     scenarios: u64,
@@ -35,6 +40,7 @@ struct Args {
     replay: Option<String>,
     inject_bug: Option<Mutation>,
     out_dir: String,
+    family: Option<TopologyFamily>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         inject_bug: None,
         out_dir: "target/quepa-check".into(),
+        family: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -87,8 +94,17 @@ fn parse_args() -> Result<Args, String> {
                 });
             }
             "--out-dir" => args.out_dir = value("--out-dir")?,
+            "--family" => {
+                let name = value("--family")?;
+                args.family = Some(TopologyFamily::parse(&name).ok_or_else(|| {
+                    format!(
+                        "unknown family `{name}` (supported: {})",
+                        TopologyFamily::ALL.map(|f| f.name()).join(", ")
+                    )
+                })?);
+            }
             "--help" | "-h" => {
-                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--crash] [--soak] [--time-budget-secs T] [--replay FILE] [--inject-bug drop-relation[:i]|skip-wal-tail[:n]] [--out-dir DIR]");
+                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--crash] [--soak] [--time-budget-secs T] [--family NAME] [--replay FILE] [--inject-bug drop-relation[:i]|skip-wal-tail[:n]] [--out-dir DIR]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -277,11 +293,11 @@ fn main() -> ExitCode {
         } else if ran >= args.scenarios {
             break;
         }
-        let scenario = if args.crash {
-            with_forced_crash(Scenario::generate(seed))
-        } else {
-            Scenario::generate(seed)
+        let generated = match args.family {
+            Some(family) => Scenario::generate_hostile(family, seed),
+            None => Scenario::generate(seed),
         };
+        let scenario = if args.crash { with_forced_crash(generated) } else { generated };
         let check: &dyn Fn(&Scenario) -> Result<CheckReport, CheckFailure> =
             if args.crash { &check_crash_scenario } else { &check_scenario };
         match check(&scenario) {
@@ -303,6 +319,9 @@ fn main() -> ExitCode {
     };
     if args.crash {
         mode.push_str(" (crash-recovery differential)");
+    }
+    if let Some(family) = args.family {
+        mode.push_str(&format!(" [hostile family: {}]", family.name()));
     }
     println!(
         "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} with removals, {} augmented keys, query kinds: {})",

@@ -28,10 +28,11 @@ use quepa_polystore::{
     Polystore, RelationalConnector,
 };
 use quepa_relstore::Database;
+use quepa_workload::hostile::{HostileTopology, TopologyFamily};
 use quepa_workload::queries::query_for;
 
 use crate::model::ModelIndex;
-use crate::rng::{mix, SplitMix};
+use crate::rng::{fnv, mix, SplitMix};
 
 pub use quepa_polystore::StoreKind;
 
@@ -174,6 +175,11 @@ pub struct Scenario {
     pub crash: Option<CrashSpec>,
     /// Optional planted bug (never generated; set by `--inject-bug`).
     pub mutation: Option<Mutation>,
+    /// The adversarial topology family this scenario instantiates, if it
+    /// came from [`Scenario::generate_hostile`]. Provenance metadata: it
+    /// rides through shrinking and the `.scenario` file format so a
+    /// shrunk hostile reproduction still says which family found it.
+    pub family: Option<TopologyFamily>,
 }
 
 impl Scenario {
@@ -289,6 +295,162 @@ impl Scenario {
             removals,
             crash,
             mutation: None,
+            family: None,
+        }
+    }
+
+    /// Generates a differential-check scenario whose index topology is an
+    /// adversarial [`TopologyFamily`] instance instead of the uniform
+    /// random graph: a check-sized supernode, one full-depth chain, or a
+    /// handful of identity-clique clusters, mapped onto ordinary stores.
+    ///
+    /// Topology-local object `i` maps to `(store i % n, object i / n)`,
+    /// so the standard naming, phantom and removal machinery apply
+    /// unchanged. The query always targets store 0 — object 0 (the hub /
+    /// first chain head / first cluster representative) is local object 0
+    /// there, so every local result set contains the family's focal
+    /// object. Supernode scenarios always remove the hub (the removal
+    /// races pivot on it) and draw crash plans at an elevated rate (crash
+    /// differential over the hub's shard).
+    pub fn generate_hostile(family: TopologyFamily, seed: u64) -> Scenario {
+        let root = SplitMix::new(seed);
+
+        let mut topo = root.fork("hostile-topology");
+        let scale = match family {
+            TopologyFamily::Supernode => topo.range(24, 56),
+            TopologyFamily::DeepChain => quepa_workload::hostile::DEEP_CHAIN_DEPTH,
+            TopologyFamily::NearDup => topo.range(24, 40),
+        };
+        let shape: HostileTopology = family.generate(scale, mix(seed, fnv(family.name().as_bytes())));
+        let n_stores = topo.range(2, 4);
+        let kinds =
+            [StoreKind::KeyValue, StoreKind::Relational, StoreKind::Document, StoreKind::Graph];
+        let mut stores: Vec<StoreSpec> =
+            (0..n_stores).map(|_| StoreSpec { kind: *topo.pick(&kinds), objects: 0 }).collect();
+        for i in 0..shape.objects {
+            stores[i % n_stores].objects += 1;
+        }
+        let deployment = match topo.below(10) {
+            0 => Deployment::Distributed,
+            1..=2 => Deployment::Centralized,
+            _ => Deployment::InProcess,
+        };
+        let locate = |i: usize| (i % n_stores, i / n_stores);
+        let mut relations: Vec<RelationSpec> = shape
+            .relations
+            .iter()
+            .map(|r| RelationSpec {
+                a: locate(r.a),
+                b: locate(r.b),
+                identity: r.identity,
+                prob_millis: r.prob_millis,
+            })
+            .collect();
+        // Phantom pressure: re-point a couple of non-hub endpoints at
+        // their store's phantom slot (index == objects) so lazy deletion
+        // runs inside the hostile shape too.
+        if topo.chance(40) && !relations.is_empty() {
+            for _ in 0..topo.range(1, 2) {
+                let r = topo.below(relations.len());
+                let (s, o) = relations[r].b;
+                // Never phantom the hub itself — the family's focal
+                // object must exist in its store.
+                if shape.hub != Some(o * n_stores + s) {
+                    relations[r].b = (s, stores[s].objects);
+                }
+            }
+        }
+
+        let mut query = root.fork("hostile-query");
+        let query_store = 0;
+        let max_size = stores[query_store].objects;
+        let query_size = query.range(1, max_size.max(1));
+        let level = match family {
+            TopologyFamily::DeepChain => query.range(2, 3),
+            _ => query.range(1, 2),
+        };
+
+        let mut faults = root.fork("hostile-faults");
+        let fault = if faults.chance(35) {
+            let fault_seed = faults.next_u64();
+            let transient_pct = faults.range(5, 30) as u32;
+            let max_streak = faults.range(1, (MAX_ATTEMPTS - 1) as usize) as u32;
+            let spike_pct = faults.range(0, 6) as u32;
+            let outages: Vec<usize> =
+                (0..n_stores).filter(|&s| s != query_store && faults.chance(10)).collect();
+            Some(FaultSpec { seed: fault_seed, transient_pct, max_streak, spike_pct, outages })
+        } else {
+            None
+        };
+
+        let mut cfg = root.fork("hostile-configs");
+        let configs: Vec<ConfigSpec> = AugmenterKind::ALL
+            .iter()
+            .map(|&augmenter| ConfigSpec {
+                augmenter,
+                batch: cfg.range(1, 8),
+                threads: cfg.range(1, 4),
+                cache: if cfg.chance(50) { 4096 } else { 0 },
+                resilient: fault.is_some() || cfg.chance(30),
+                obs: cfg.chance(40),
+            })
+            .collect();
+
+        let mut rm = root.fork("hostile-removals");
+        let mut removals: Vec<(usize, usize)> = Vec::new();
+        match family {
+            // The hub always dies: removal races and crash plans pivot
+            // on deleting the best-connected object in the index.
+            TopologyFamily::Supernode => {
+                removals.push(locate(shape.hub.expect("supernode has a hub")));
+                if rm.chance(50) {
+                    removals.push(locate(rm.range(1, shape.objects - 1)));
+                }
+            }
+            // A mid-chain node: severs the path the deep query walks.
+            TopologyFamily::DeepChain => {
+                if rm.chance(70) {
+                    removals.push(locate(quepa_workload::hostile::DEEP_CHAIN_DEPTH / 2));
+                }
+            }
+            // A cluster representative: its whole materialized clique
+            // must survive consistently.
+            TopologyFamily::NearDup => {
+                if rm.chance(70) {
+                    let cluster = rm.below(shape.objects / quepa_workload::hostile::NEAR_DUP_CLUSTER);
+                    removals.push(locate(cluster * quepa_workload::hostile::NEAR_DUP_CLUSTER));
+                }
+            }
+        }
+
+        let mut cr = root.fork("hostile-crash");
+        let crash_pct = if family == TopologyFamily::Supernode { 60 } else { 30 };
+        let crash = if cr.chance(crash_pct) {
+            let total = relations.len() + removals.len();
+            Some(CrashSpec {
+                after_ops: cr.below(total + 1),
+                torn_tail: cr.chance(35),
+                checkpoint_every: if cr.chance(50) { cr.range(1, 6) } else { 0 },
+                partial: cr.chance(40),
+            })
+        } else {
+            None
+        };
+
+        Scenario {
+            seed,
+            deployment,
+            stores,
+            relations,
+            query_store,
+            query_size,
+            level,
+            configs,
+            fault,
+            removals,
+            crash,
+            mutation: None,
+            family: Some(family),
         }
     }
 
@@ -477,6 +639,9 @@ impl Scenario {
     pub fn serialize(&self) -> String {
         let mut out = String::from("quepa-scenario v1\n");
         out.push_str(&format!("seed {}\n", self.seed));
+        if let Some(family) = self.family {
+            out.push_str(&format!("family {}\n", family.name()));
+        }
         out.push_str(&format!("deployment {}\n", deployment_name(self.deployment)));
         for s in &self.stores {
             out.push_str(&format!("store {} {}\n", kind_name(s.kind), s.objects));
@@ -558,6 +723,7 @@ impl Scenario {
             removals: Vec::new(),
             crash: None,
             mutation: None,
+            family: None,
         };
         for line in lines {
             let mut it = line.split_whitespace();
@@ -574,6 +740,13 @@ impl Scenario {
                 }
                 "deployment" => {
                     scenario.deployment = parse_deployment(rest.first().copied().unwrap_or(""))?;
+                }
+                "family" => {
+                    let name = rest.first().copied().unwrap_or("");
+                    scenario.family = Some(
+                        TopologyFamily::parse(name)
+                            .ok_or_else(|| format!("unknown topology family `{name}`"))?,
+                    );
                 }
                 "store" => {
                     let [kind, objects] = rest[..] else {
@@ -857,5 +1030,77 @@ mod tests {
         assert!(Scenario::parse("quepa-scenario v1\n").is_err());
         assert!(Scenario::parse("quepa-scenario v1\nstore kv 4\nnonsense 1\n").is_err());
         assert!(Scenario::parse("quepa-scenario v1\nstore marble 4\n").is_err());
+        assert!(Scenario::parse("quepa-scenario v1\nfamily uniform\nstore kv 4\n").is_err());
+    }
+
+    /// Satellite pin: the `family` header round-trips through the
+    /// `.scenario` format for every topology family — a shrunk hostile
+    /// reproduction replayed via `--replay` keeps its provenance.
+    #[test]
+    fn family_header_round_trips() {
+        for family in TopologyFamily::ALL {
+            for seed in 0..10u64 {
+                let s = Scenario::generate_hostile(family, seed);
+                assert_eq!(s.family, Some(family));
+                let text = s.serialize();
+                assert!(
+                    text.contains(&format!("family {}", family.name())),
+                    "family header missing:\n{text}"
+                );
+                let back = Scenario::parse(&text).expect("parses");
+                assert_eq!(s, back, "{} seed {seed}\n{text}", family.name());
+            }
+        }
+        // Familyless scenarios serialize without the header and parse
+        // back to None — old files stay readable.
+        let plain = Scenario::generate(3);
+        assert!(!plain.serialize().contains("family "));
+        assert_eq!(Scenario::parse(&plain.serialize()).unwrap().family, None);
+    }
+
+    #[test]
+    fn hostile_generation_is_deterministic_and_well_formed() {
+        for family in TopologyFamily::ALL {
+            for seed in 0..30u64 {
+                let s = Scenario::generate_hostile(family, seed);
+                assert_eq!(s, Scenario::generate_hostile(family, seed));
+                assert!((2..=4).contains(&s.stores.len()), "{} seed {seed}", family.name());
+                assert_eq!(s.query_store, 0, "the focal object's store is the query target");
+                assert!(s.query_size >= 1 && s.query_size <= s.stores[0].objects);
+                assert!((1..=3).contains(&s.level));
+                assert_eq!(s.configs.len(), AugmenterKind::ALL.len());
+                for r in &s.relations {
+                    assert!(r.a.0 < s.stores.len() && r.b.0 < s.stores.len());
+                    assert!(r.a.1 <= s.stores[r.a.0].objects, "{} seed {seed}", family.name());
+                    assert!(r.b.1 <= s.stores[r.b.0].objects, "{} seed {seed}", family.name());
+                    assert!((1..=1000).contains(&r.prob_millis));
+                }
+                for &(store, obj) in &s.removals {
+                    assert!(store < s.stores.len());
+                    assert!(obj <= s.stores[store].objects);
+                }
+                if let Some(f) = &s.fault {
+                    assert!(f.transient_pct > 0, "hostile fault plans always exercise transients");
+                    assert!(f.max_streak < MAX_ATTEMPTS);
+                    assert!(!f.outages.contains(&s.query_store));
+                }
+                match family {
+                    TopologyFamily::Supernode => {
+                        assert_eq!(s.removals.first(), Some(&(0, 0)), "the hub always dies");
+                        let hub_degree =
+                            s.relations.iter().filter(|r| r.a == (0, 0) || r.b == (0, 0)).count();
+                        assert!(hub_degree >= 24, "{seed}: hub degree {hub_degree}");
+                    }
+                    TopologyFamily::DeepChain => {
+                        assert!(s.relations.len() >= quepa_workload::hostile::DEEP_CHAIN_DEPTH);
+                        assert!(s.level >= 2, "deep chains are checked at multi-level depth");
+                    }
+                    TopologyFamily::NearDup => {
+                        let identity = s.relations.iter().filter(|r| r.identity).count();
+                        assert!(identity >= 18, "{seed}: clusters must dominate: {identity}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -200,8 +200,13 @@ pub fn query_identity(query: &str) -> u64 {
 /// Key-based lookups (`get` / `multi_get`) and native queries consult
 /// the plan; `scan_collection` (the Collector's offline ingest path) and
 /// metadata calls pass through. Transient-fault streaks are tracked with
-/// a per-identity attempt counter that resets on the first healthy
-/// decision, so a retrying caller observes exactly the plan's streak.
+/// a per-identity attempt counter that is **monotone and order-free**:
+/// the counter only ever advances (one step per faulted decision, under
+/// the same lock that reads it), never resets, and is keyed purely by
+/// call identity. However many callers race one identity, the total
+/// number of injected transient errors is exactly the plan's streak and
+/// no single caller can observe more than that — which is what lets the
+/// concurrent differential harness check transient plans at all.
 pub struct FaultyConnector {
     inner: Arc<dyn Connector>,
     plan: Arc<FaultPlan>,
@@ -221,29 +226,38 @@ impl FaultyConnector {
     /// after the latency has been paid* — the wire does not refund a
     /// refused connection, and timeout tests need the time spent first.
     fn apply(&self, identity: u64) -> Result<()> {
-        let attempt = *self.attempts.lock().get(&identity).unwrap_or(&0);
         let database = self.inner.database().as_str();
-        match self.plan.decide(database, identity, attempt) {
-            FaultDecision::Healthy => {
-                self.attempts.lock().remove(&identity);
-                Ok(())
+        // Read → decide → bump under ONE lock acquisition, and never
+        // reset: the (attempt, decision) pair is atomic and the counter
+        // is monotone. Racing callers of the same identity serialize
+        // here and walk the streak 0, 1, 2, … exactly once between them,
+        // whatever the interleaving — so the total injected errors per
+        // identity equal the plan's streak and no caller can be handed
+        // the same faulted attempt twice.
+        let decision = {
+            let mut attempts = self.attempts.lock();
+            let attempt = attempts.get(&identity).copied().unwrap_or(0);
+            let decision = self.plan.decide(database, identity, attempt);
+            if matches!(decision, FaultDecision::Transient | FaultDecision::Timeout) {
+                attempts.insert(identity, attempt + 1);
             }
+            decision
+        };
+        match decision {
+            FaultDecision::Healthy => Ok(()),
             FaultDecision::Spike(extra) => {
-                self.attempts.lock().remove(&identity);
                 quepa_obs::record_fault(database);
                 quepa_obs::record_link_event(database, self.latency.cost(0, 0) + extra);
                 self.latency.pay_extra(extra);
                 Ok(())
             }
             FaultDecision::Transient => {
-                *self.attempts.lock().entry(identity).or_insert(0) += 1;
                 quepa_obs::record_fault(database);
                 quepa_obs::record_link_event(database, self.latency.cost(0, 0));
                 self.latency.pay(0, 0);
                 Err(PolyError::store(database, "injected transient fault"))
             }
             FaultDecision::Timeout => {
-                *self.attempts.lock().entry(identity).or_insert(0) += 1;
                 quepa_obs::record_fault(database);
                 quepa_obs::record_link_event(database, self.latency.cost(0, 0) + self.plan.spike);
                 self.latency.pay_extra(self.plan.spike);
@@ -413,17 +427,72 @@ mod tests {
             .take_while(|&a| plan.decide("db1", identity, a) == FaultDecision::Transient)
             .count();
         assert!((1..=2).contains(&streak));
-        // The wrapper's per-identity attempt counter replays the streak.
+        // The wrapper's per-identity attempt counter walks the streak.
         for _ in 0..streak {
             assert!(faulty.get(&coll(), &key).is_err());
         }
         let obj = faulty.get(&coll(), &key).unwrap().unwrap();
         assert_eq!(obj.value().as_str(), Some("v"));
-        // Counter reset: the next round starts the streak over.
-        for _ in 0..streak {
-            assert!(faulty.get(&coll(), &key).is_err());
+        // The counter is monotone: once an identity has ridden out its
+        // streak it stays healthy — the streak is a property of the
+        // identity, not of any one caller's retry loop.
+        for _ in 0..streak + 1 {
+            assert!(faulty.get(&coll(), &key).unwrap().is_some());
         }
-        assert!(faulty.get(&coll(), &key).unwrap().is_some());
+    }
+
+    /// Satellite pin: the streak counter is identity-keyed and
+    /// order-free. However many callers race the same identity, the
+    /// *total* injected transient errors equal the plan's streak, and
+    /// every caller retrying up to the streak length succeeds — no
+    /// interleaving can hand one caller more errors than the streak, so
+    /// a retry budget that rides out the streak serially also rides it
+    /// out under concurrency.
+    #[test]
+    fn racing_callers_split_exactly_one_streak() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let plan = Arc::new(FaultPlan::new(11).with_transient_faults(1.0, 3));
+        let key = LocalKey::new("k1").unwrap();
+        let identity = call_identity(&coll(), [&key]);
+        let streak = (0..8)
+            .take_while(|&a| plan.decide("db1", identity, a) == FaultDecision::Transient)
+            .count();
+        assert!((1..=3).contains(&streak));
+
+        for round in 0..16 {
+            let faulty =
+                FaultyConnector::new(kv_connector(), Arc::clone(&plan), LatencyModel::FREE);
+            let threads = 8;
+            let errors = AtomicUsize::new(0);
+            let barrier = Barrier::new(threads);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        barrier.wait();
+                        // Retry loop sized to the streak: must succeed.
+                        for attempt in 0..=streak {
+                            match faulty.get(&coll(), &key) {
+                                Ok(obj) => {
+                                    assert!(obj.is_some());
+                                    return;
+                                }
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    assert!(attempt < streak, "caller exhausted its budget");
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                errors.load(Ordering::Relaxed),
+                streak,
+                "round {round}: total injected errors must equal the streak, order-free"
+            );
+        }
     }
 
     #[test]

@@ -21,9 +21,11 @@
 pub mod builder;
 pub mod experiments;
 pub mod gen;
+pub mod hostile;
 pub mod queries;
 
 pub use builder::{BuiltPolystore, WorkloadConfig, OBJECTS_PER_ALBUM};
+pub use hostile::{HostileRelation, HostileTopology, TopologyFamily};
 pub use gen::MusicData;
 pub use queries::{
     holdout_query_set, query_for, standard_query_set, zipf_query_stream, zipf_window_query,
