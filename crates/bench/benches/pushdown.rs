@@ -1,0 +1,59 @@
+//! Cross-store filter pushdown vs client-side fetch-all: the same
+//! filtered augmented search over the distributed 10-store lab with the
+//! planner's pushdown forced on and forced off (see
+//! [`quepa_bench::pushdown`] for the configuration and why
+//! `threads_size = 1` / `cache_size = 0`).
+//!
+//! `main` writes `BENCH_pushdown.json` at the repository root: the
+//! median end-to-end seconds of each mode plus the headline
+//! fetch-all-over-pushdown speedup (target ≥2×, enforced by
+//! `bench_gate` recorded and live). The two modes are asserted
+//! bit-identical before anything is recorded.
+
+use quepa_bench::pushdown;
+
+const RUNS: usize = 41;
+
+fn main() {
+    let lab = pushdown::lab();
+    assert!(
+        pushdown::answers_agree(&lab),
+        "pushdown and fetch-all disagree — run quepa-check before benching"
+    );
+
+    let mut entries = Vec::new();
+    let mut means = [0.0f64; 2];
+    println!("{:>10} {:>11} {:>10} {:>8}", "mode", "mean_s", "augmented", "missing");
+    for (i, mode) in [true, false].into_iter().enumerate() {
+        let p = pushdown::measure(&lab, mode, RUNS);
+        println!(
+            "{:>10} {:>11.6} {:>10} {:>8}",
+            pushdown::mode_name(mode),
+            p.mean_s,
+            p.augmented,
+            p.missing
+        );
+        entries.push(format!(
+            "    {{\"scenario\": \"{}\", \"mean_s\": {:.6}, \"augmented\": {}, \"missing\": {}}}",
+            pushdown::scenario_name(mode),
+            p.mean_s,
+            p.augmented,
+            p.missing
+        ));
+        means[i] = p.mean_s;
+    }
+    let speedup = means[1] / means[0];
+    println!("\npushdown speedup vs fetch-all: {speedup:.2}x (target >= 2x)");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pushdown\",\n  \"query\": \"{}\",\n  \"filter\": \"{}\",\n  \"speedup\": {:.2},\n  \"target_speedup\": 2.0,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        pushdown::QUERY.replace('"', "\\\""),
+        pushdown::FILTER.replace('"', "\\\""),
+        speedup,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pushdown.json");
+    std::fs::write(path, &json).expect("write baseline json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

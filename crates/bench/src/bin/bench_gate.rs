@@ -33,7 +33,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use quepa_bench::baseline::Baseline;
-use quepa_bench::{recovery, scale, serving, throughput, traffic, Lab};
+use quepa_bench::{pushdown, recovery, scale, serving, throughput, traffic, Lab};
 use quepa_core::{QuepaConfig, ResilienceConfig};
 use quepa_polystore::Deployment;
 use quepa_serve::Server;
@@ -232,6 +232,72 @@ fn main() {
     );
     if !ratio_ok {
         rows.push(("throughput-qps-ratio-16v1".into(), false));
+    }
+
+    // ---- cross-store filter pushdown -----------------------------------
+    // The recorded pushdown sweep (BENCH_pushdown.json) carries the
+    // tentpole's headline claim: the filtered search with per-group
+    // predicate pushdown beats the client-side fetch-all fan-out ≥2×.
+    // The gate re-checks the recorded ratio, re-measures both modes
+    // within the tolerance band (with the usual confirmation pass), and
+    // holds the *live* ratio to the same ≥2× floor.
+    let pushdown_baseline = load("BENCH_pushdown.json");
+    let prec = |name: &str| -> f64 {
+        *pushdown_baseline.means.get(name).unwrap_or_else(|| {
+            eprintln!(
+                "bench_gate: BENCH_pushdown.json has no scenario {name:?} — regenerate with `cargo bench -p quepa-bench --bench pushdown`"
+            );
+            std::process::exit(2);
+        })
+    };
+    let rec_push = prec(&pushdown::scenario_name(true));
+    let rec_fetch = prec(&pushdown::scenario_name(false));
+    let rec_pd_speedup = rec_fetch / rec_push;
+    let rec_pd_ok = rec_pd_speedup >= 2.0;
+    failed |= !rec_pd_ok;
+    println!(
+        "\nrecorded pushdown speedup vs fetch-all: {rec_pd_speedup:.2}x (target >=2x)  {}",
+        if rec_pd_ok { "ok" } else { "REGRESSION" }
+    );
+    if !rec_pd_ok {
+        rows.push(("pushdown-speedup-recorded".into(), false));
+    }
+    let plab = pushdown::lab();
+    if !pushdown::answers_agree(&plab) {
+        eprintln!("bench_gate: pushdown and fetch-all answers diverge — run quepa-check");
+        failed = true;
+        rows.push(("pushdown-answers-agree".into(), false));
+    }
+    let mut live_points = [0.0f64; 2];
+    for (i, mode) in [true, false].into_iter().enumerate() {
+        let name = pushdown::scenario_name(mode);
+        let want = prec(&name);
+        let mut got = pushdown::measure(&plab, mode, QUICK_RUNS).mean_s;
+        let mut delta = (got - want) / want;
+        if delta.abs() > TOLERANCE {
+            let again = pushdown::measure(&plab, mode, CONFIRM_RUNS).mean_s;
+            let again_delta = (again - want) / want;
+            if again_delta.abs() < delta.abs() {
+                got = again;
+                delta = again_delta;
+            }
+        }
+        let ok = delta.abs() <= TOLERANCE;
+        failed |= !ok;
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        println!("{name:<52} {want:>9.6}s {got:>9.6}s {:>+7.1}%  {verdict}", delta * 100.0);
+        rows.push((name, ok));
+        live_points[i] = got;
+    }
+    let live_pd_speedup = live_points[1] / live_points[0];
+    let live_pd_ok = live_pd_speedup >= 2.0;
+    failed |= !live_pd_ok;
+    println!(
+        "live pushdown speedup vs fetch-all: {live_pd_speedup:.2}x (target >=2x)  {}",
+        if live_pd_ok { "ok" } else { "REGRESSION" }
+    );
+    if !live_pd_ok {
+        rows.push(("pushdown-speedup-live".into(), false));
     }
 
     // ---- sharded-index scale smoke -------------------------------------

@@ -317,6 +317,7 @@ fn fig12_optimizer_quality() {
                     augmented_size: probe.augmented.len(),
                     level,
                     distributed: false,
+                    filtered: false,
                 };
                 let current = lab.quepa.config();
                 for (name, cfg) in [
@@ -560,6 +561,7 @@ fn adaptive_config(
         augmented_size: probe.augmented.len() * size.max(100) / 100,
         level,
         distributed: false,
+        filtered: false,
     };
     adaptive.choose(&feats, &lab.quepa.config())
 }

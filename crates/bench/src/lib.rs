@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod pushdown;
 pub mod recovery;
 pub mod scale;
 pub mod serving;

@@ -1,0 +1,155 @@
+//! Cross-store filter pushdown vs client-side fetch-all.
+//!
+//! One filtered augmented search (`key contains "9"`) over the
+//! distributed 10-store lab, measured with the planner's pushdown forced
+//! on and forced off. The answers are bit-identical (the differential
+//! harness proves it exhaustively); what changes is the wire: pushdown
+//! executes each (database, collection) group as ONE `fetch_where`
+//! round trip carrying the predicate, and only matching objects travel
+//! back — fetch-all pays the full batched fan-out and filters
+//! client-side. Under the distributed deployment's per-round-trip and
+//! per-byte costs the pushdown side must hold a ≥2× speedup
+//! (`bench_gate` enforces it, recorded and live).
+//!
+//! The configuration pins `threads_size = 1` (round trips stack
+//! serially, so the wire saving is exactly what's measured) and
+//! `cache_size = 0` (every measured query pays its wire costs).
+
+use quepa_core::{AugmenterKind, QuepaConfig};
+use quepa_pdm::Pushdown;
+use quepa_polystore::Deployment;
+
+use crate::Lab;
+
+/// The workload query: 50 original objects ⇒ 50 augmentation seeds.
+pub const QUERY: &str = "SELECT * FROM inventory WHERE seq < 50";
+
+/// The query's target database.
+pub const DATABASE: &str = "transactions";
+
+/// Augmentation level (level 1 exercises the full fetch fan-out).
+pub const LEVEL: usize = 1;
+
+/// The canonical benchmark predicate: key-only, supported natively by
+/// all four store kinds, selective enough that most objects stay home.
+pub const FILTER: &str = "key contains \"9\"";
+
+/// The parsed benchmark predicate.
+pub fn filter() -> Pushdown {
+    Pushdown::parse(FILTER).expect("benchmark filter is valid")
+}
+
+/// The bench polystore: 10 stores, distributed deployment (~400 µs per
+/// round trip) — the deployment where wire savings pay.
+pub fn lab() -> Lab {
+    Lab::new(200, 2, Deployment::Distributed)
+}
+
+/// The measured configuration: batched fan-out, inline fetch units, no
+/// cache, planner pushdown toggled per mode.
+pub fn config(pushdown: bool) -> QuepaConfig {
+    QuepaConfig {
+        augmenter: AugmenterKind::OuterBatch,
+        batch_size: 8,
+        threads_size: 1,
+        cache_size: 0,
+        pushdown,
+        ..QuepaConfig::default()
+    }
+}
+
+/// The recorded scenario name of one planner mode.
+pub fn scenario_name(pushdown: bool) -> String {
+    format!("pushdown/10stores/level{LEVEL}/{}", mode_name(pushdown))
+}
+
+/// `pushdown` / `fetchall`.
+pub fn mode_name(pushdown: bool) -> &'static str {
+    if pushdown {
+        "pushdown"
+    } else {
+        "fetchall"
+    }
+}
+
+/// One measured planner mode.
+#[derive(Debug, Clone, Copy)]
+pub struct PushdownPoint {
+    /// Median end-to-end filtered-search seconds.
+    pub mean_s: f64,
+    /// Augmented objects surviving the predicate.
+    pub augmented: usize,
+    /// Missing keys (gone or unreachable — filter-independent).
+    pub missing: usize,
+}
+
+/// Median filtered-search seconds over `runs` cold executions after
+/// three throwaway warm-ups — the answer's own `duration`, the same
+/// simulated-latency methodology every other baseline records (medians
+/// resist scheduler spikes; see `bench_gate`).
+pub fn measure(lab: &Lab, pushdown: bool, runs: usize) -> PushdownPoint {
+    let f = filter();
+    lab.quepa.set_optimizer(None);
+    lab.quepa.set_config(config(pushdown));
+    let probe = || {
+        lab.quepa.drop_caches();
+        lab.quepa
+            .augmented_search_filtered(DATABASE, QUERY, LEVEL, &f)
+            .expect("benchmark query must be valid")
+    };
+    for _ in 0..3 {
+        probe();
+    }
+    let mut augmented = 0;
+    let mut missing = 0;
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let answer = probe();
+            augmented = answer.augmented.len();
+            missing = answer.missing.len();
+            answer.duration.as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    PushdownPoint { mean_s: samples[runs / 2], augmented, missing }
+}
+
+/// The two planner modes answer bit-identically — the emitter's own
+/// sanity check before anything is recorded.
+pub fn answers_agree(lab: &Lab) -> bool {
+    let f = filter();
+    lab.quepa.set_optimizer(None);
+    let run = |p: bool| {
+        lab.quepa.set_config(config(p));
+        lab.quepa.drop_caches();
+        lab.quepa
+            .augmented_search_filtered(DATABASE, QUERY, LEVEL, &f)
+            .expect("benchmark query must be valid")
+            .normal_form()
+    };
+    run(true) == run(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_agree_and_pushdown_is_not_slower() {
+        let lab = lab();
+        assert!(answers_agree(&lab));
+        let on = measure(&lab, true, 5);
+        let off = measure(&lab, false, 5);
+        assert!(on.augmented > 0, "the filter must keep some objects");
+        assert_eq!(on.augmented, off.augmented);
+        assert_eq!(on.missing, off.missing);
+        // The full ≥2× claim is the bench gate's job; here pushdown must
+        // simply not lose to the fan-out it replaces.
+        assert!(
+            on.mean_s < off.mean_s,
+            "pushdown ({:.6}s) should beat fetch-all ({:.6}s)",
+            on.mean_s,
+            off.mean_s
+        );
+    }
+}

@@ -92,6 +92,7 @@ fn crash_spec_config(scenario: &Scenario) -> ConfigSpec {
         cache: 0,
         resilient: false,
         obs: true,
+        pushdown: true,
     }
 }
 

@@ -47,8 +47,10 @@
 
 use std::collections::BTreeMap;
 
-use quepa_core::{pool_width, AnswerNormalForm, AugmenterKind, MissingKey, MissingReason, Quepa};
-use quepa_pdm::GlobalKey;
+use quepa_core::{
+    pool_width, AnswerNormalForm, AugmentedAnswer, AugmenterKind, MissingKey, MissingReason, Quepa,
+};
+use quepa_pdm::{GlobalKey, Value};
 use quepa_polystore::fault::call_identity;
 use quepa_polystore::FaultDecision;
 
@@ -99,8 +101,7 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
 
     for spec in &scenario.configs {
         let quepa = build_quepa(scenario, spec);
-        let answer = quepa
-            .augmented_search(&database, &query, scenario.level)
+        let answer = search_answer(&quepa, scenario, &database, &query)
             .map_err(|e| fail(format!("config {}: search failed: {e}", describe(spec))))?;
         let original: Vec<GlobalKey> = answer.original.iter().map(|o| o.key().clone()).collect();
 
@@ -157,8 +158,7 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
         // deleted (along with their incident edges), so the answer must
         // match the phantom-stripped model; with a cache, the augmented
         // set must come back from cache.
-        let again = quepa
-            .augmented_search(&database, &query, scenario.level)
+        let again = search_answer(&quepa, scenario, &database, &query)
             .map_err(|e| fail(format!("config {}: warm re-run failed: {e}", describe(spec))))?;
         let warm_expected = warm.as_ref().expect("set on the first config");
         let warm_got = again.normal_form();
@@ -186,6 +186,7 @@ pub fn check_scenario(scenario: &Scenario) -> Result<CheckReport, CheckFailure> 
     check_metrics_determinism(scenario, &database, &query, &fail)?;
     check_retry_accounting(scenario, &database, &query, &model_out, &fail)?;
     check_removal_quiesce(scenario, &fail)?;
+    check_pushdown_modes(scenario, &database, &query, &fail)?;
     // Invariant 9: scenarios carrying a crash plan also run the
     // crash-point recovery differential (no-op without one).
     crate::crash::check_crash_scenario(scenario)?;
@@ -238,8 +239,7 @@ pub fn check_concurrent_scenario(
 
     for spec in &scenario.configs {
         let search = |quepa: &Quepa, what: &str| -> Result<AnswerNormalForm, CheckFailure> {
-            quepa
-                .augmented_search(&database, &query, scenario.level)
+            search_answer(quepa, scenario, &database, &query)
                 .map(|a| a.normal_form())
                 .map_err(|e| fail(format!("config {}: {what} failed: {e}", describe(spec))))
         };
@@ -264,8 +264,7 @@ pub fn check_concurrent_scenario(
                     let query = &query;
                     s.spawn(move || {
                         barrier.wait();
-                        shared
-                            .augmented_search(database, query, scenario.level)
+                        search_answer(shared, scenario, database, query)
                             .map(|a| a.normal_form())
                             .map_err(|e| e.to_string())
                     })
@@ -312,6 +311,7 @@ fn removal_spec(scenario: &Scenario) -> ConfigSpec {
         cache: 0,
         resilient: false,
         obs: false,
+        pushdown: scenario.seed.is_multiple_of(2),
     }
 }
 
@@ -338,8 +338,7 @@ fn check_removal_quiesce(
 
     // The cold run quiesces lazy deletion, so both sides start
     // phantom-free and later divergence is attributable to removals.
-    let cold = quepa
-        .augmented_search(&database, &query, scenario.level)
+    let cold = search_answer(&quepa, scenario, &database, &query)
         .map_err(|e| fail(format!("removal quiesce cold run failed: {e}")))?;
     let original: Vec<GlobalKey> = cold.original.iter().map(|o| o.key().clone()).collect();
     let mut model = scenario.build_model();
@@ -353,8 +352,7 @@ fn check_removal_quiesce(
         quepa.update_index(|ix| ix.remove_object(&key));
         model.remove_key(&key);
         let want = predict_normal_form(scenario, &model.augment(&original, scenario.level));
-        let got = quepa
-            .augmented_search(&database, &query, scenario.level)
+        let got = search_answer(&quepa, scenario, &database, &query)
             .map_err(|e| fail(format!("removal quiesce point {k} search failed: {e}")))?
             .normal_form();
         if got != want {
@@ -390,8 +388,7 @@ fn check_removal_races(
 
     // Quiesce lazy deletion first so racing answers differ only by how
     // many removals their planning view has absorbed.
-    let cold = shared
-        .augmented_search(&database, &query, scenario.level)
+    let cold = search_answer(&shared, scenario, &database, &query)
         .map_err(|e| fail(format!("removal race cold run failed: {e}")))?;
     let original: Vec<GlobalKey> = cold.original.iter().map(|o| o.key().clone()).collect();
     let mut model = scenario.build_model();
@@ -421,7 +418,7 @@ fn check_removal_races(
                     // At least one search each, then spin until the
                     // writer is done — interleaving with the removals.
                     loop {
-                        match shared.augmented_search(database, query, scenario.level) {
+                        match search_answer(shared, scenario, database, query) {
                             Ok(a) => seen.push(a.normal_form()),
                             Err(e) => return Err(e.to_string()),
                         }
@@ -458,8 +455,7 @@ fn check_removal_races(
         }
     }
 
-    let settled = shared
-        .augmented_search(&database, &query, scenario.level)
+    let settled = search_answer(&shared, scenario, &database, &query)
         .map_err(|e| fail(format!("removal race settle run failed: {e}")))?
         .normal_form();
     let last = states.last().expect("at least the zero-removal state");
@@ -480,7 +476,12 @@ fn check_concurrent_metrics(
     clients: usize,
     fail: &impl Fn(String) -> CheckFailure,
 ) -> Result<(), CheckFailure> {
-    if scenario.fault.is_some() {
+    // Filtered scenarios skip this invariant by design: single-flight
+    // coalescing is disabled under a predicate (waiters cannot adopt a
+    // leader's filtered partition) and rejected keys are refetched on
+    // every run, so racing clients legitimately pay duplicate round
+    // trips a serial twin never would.
+    if scenario.fault.is_some() || scenario.filter.is_some() {
         return Ok(());
     }
     let Some(spec) = scenario.configs.iter().find(|c| c.obs && c.cache > 0) else {
@@ -536,6 +537,74 @@ fn check_concurrent_metrics(
     Ok(())
 }
 
+/// The pushdown-vs-fallback differential: when the scenario carries a
+/// filter, the same configuration point runs on fresh twin instances
+/// with the planner's pushdown forced on and forced off. Native
+/// `fetch_where` and the client-side fallback must agree bit-for-bit:
+/// the cold answer, the warm answer after lazy deletion, and the warm
+/// cache-hit count (only matched objects are ever cached, on either
+/// path). Per-store gates from `scenario.nopush` stay in place on both
+/// twins — the toggle under test is the planner's global switch.
+fn check_pushdown_modes(
+    scenario: &Scenario,
+    database: &str,
+    query: &str,
+    fail: &impl Fn(String) -> CheckFailure,
+) -> Result<(), CheckFailure> {
+    if scenario.filter.is_none() {
+        return Ok(());
+    }
+    let base = scenario.configs.first().expect("scenarios carry at least one config");
+    let mode = |p: bool| if p { "pushdown" } else { "fallback" };
+    let run = |pushdown: bool| -> Result<(AnswerNormalForm, AnswerNormalForm, usize), CheckFailure> {
+        let spec = ConfigSpec { pushdown, ..*base };
+        let quepa = build_quepa(scenario, &spec);
+        let cold = search_answer(&quepa, scenario, database, query).map_err(|e| {
+            fail(format!("pushdown-mode cold run ({}) failed: {e}", mode(pushdown)))
+        })?;
+        let warm = search_answer(&quepa, scenario, database, query).map_err(|e| {
+            fail(format!("pushdown-mode warm run ({}) failed: {e}", mode(pushdown)))
+        })?;
+        Ok((cold.normal_form(), warm.normal_form(), warm.cache_hits))
+    };
+    let (on_cold, on_warm, on_hits) = run(true)?;
+    let (off_cold, off_warm, off_hits) = run(false)?;
+    if on_cold != off_cold {
+        return Err(fail(format!(
+            "filtered cold answers diverge between pushdown and fallback\n--- pushdown ---\n{on_cold}--- fallback ---\n{off_cold}"
+        )));
+    }
+    if on_warm != off_warm {
+        return Err(fail(format!(
+            "filtered warm answers diverge between pushdown and fallback\n--- pushdown ---\n{on_warm}--- fallback ---\n{off_warm}"
+        )));
+    }
+    if on_hits != off_hits {
+        return Err(fail(format!(
+            "warm cache hits diverge between pushdown ({on_hits}) and fallback ({off_hits}) — \
+             the two paths cached different object sets"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs the scenario's search on one instance: filtered through
+/// [`Quepa::augmented_search_filtered`] when the scenario carries a
+/// pushdown predicate, the plain path otherwise. Every differential
+/// below flows through this, so the filtered and unfiltered regimes
+/// exercise the same invariants.
+fn search_answer(
+    quepa: &Quepa,
+    scenario: &Scenario,
+    database: &str,
+    query: &str,
+) -> quepa_core::Result<AugmentedAnswer> {
+    match scenario.pushdown_filter() {
+        Some(f) => quepa.augmented_search_filtered(database, query, scenario.level, &f),
+        None => quepa.augmented_search(database, query, scenario.level),
+    }
+}
+
 /// Builds a fresh system under test for one config point. The fetch pool
 /// is sized through the shared [`pool_width`] clamp — the same one the
 /// `quepa-serve` front end uses — so the concurrent harness races clients
@@ -552,21 +621,29 @@ fn build_quepa(scenario: &Scenario, spec: &ConfigSpec) -> Quepa {
 
 fn describe(spec: &ConfigSpec) -> String {
     format!(
-        "{} batch={} threads={} cache={}{}{}",
+        "{} batch={} threads={} cache={}{}{}{}",
         spec.augmenter.name(),
         spec.batch,
         spec.threads,
         spec.cache,
         if spec.resilient { " resilient" } else { "" },
         if spec.obs { " obs" } else { "" },
+        if spec.pushdown { "" } else { " push-off" },
     )
 }
 
 /// Classifies the model's reachable set into the expected answer: keys on
 /// down stores are `Unreachable` (after every retry), phantoms are
-/// `NotFound`, the rest are augmented objects.
+/// `NotFound`, keys failing the scenario's (key-only) filter are silently
+/// excluded, and the rest are augmented objects.
+///
+/// The filter is applied *last*: the engine never pre-filters on key
+/// text, so a down store surfaces as `Unreachable` and a phantom as
+/// `NotFound` even for keys the predicate would drop — existence and
+/// reachability are established before the filter partitions anything.
 fn predict_normal_form(scenario: &Scenario, model_out: &[ModelAugmented]) -> AnswerNormalForm {
     let down: Vec<usize> = scenario.fault.as_ref().map(|f| f.outages.clone()).unwrap_or_default();
+    let filter = scenario.pushdown_filter();
     let mut augmented = Vec::new();
     let mut missing = Vec::new();
     for entry in model_out {
@@ -582,6 +659,13 @@ fn predict_normal_form(scenario: &Scenario, model_out: &[ModelAugmented]) -> Ans
             });
         } else if scenario.is_phantom(store, obj) {
             missing.push(MissingKey::not_found(entry.key.clone()));
+        } else if filter
+            .as_ref()
+            .is_some_and(|f| !f.matches(entry.key.key().as_str(), &Value::Null))
+        {
+            // Exists but fails the predicate: rejected server- or
+            // client-side, and rejected keys appear in neither the
+            // augmented set nor `missing`.
         } else {
             augmented.push((entry.key.clone(), entry.probability, entry.distance));
         }
@@ -649,8 +733,7 @@ fn check_metrics_determinism(
     let Some(spec) = scenario.configs.iter().find(|c| c.obs) else { return Ok(()) };
     let run = |spec: &ConfigSpec| -> Result<quepa_core::MetricsSnapshot, CheckFailure> {
         let quepa = build_quepa(scenario, spec);
-        quepa
-            .augmented_search(database, query, scenario.level)
+        search_answer(&quepa, scenario, database, query)
             .map_err(|e| fail(format!("metrics run failed: {e}")))?;
         Ok(quepa.metrics_snapshot())
     };
@@ -684,7 +767,12 @@ fn check_retry_accounting(
     let Some(plan) = scenario.fault_plan() else { return Ok(()) };
     // A sequential, cache-less run: every augmented key is fetched
     // exactly once through the single-key resilient path, whose call
-    // identity is public — the replay below mirrors it.
+    // identity is public — the replay below mirrors it. Deliberately
+    // unfiltered even when the scenario carries a predicate: the replay
+    // assumes one single-key call per augmented key, which only the
+    // plain path guarantees (the filtered path shares the same fault
+    // identities, and is held to them by the fault-identity unit tests
+    // and the filtered scenario sweep).
     let spec = ConfigSpec {
         augmenter: AugmenterKind::Sequential,
         batch: 1,
@@ -692,6 +780,7 @@ fn check_retry_accounting(
         cache: 0,
         resilient: true,
         obs: false,
+        pushdown: true,
     };
     let quepa = build_quepa(scenario, &spec);
     quepa
@@ -802,6 +891,70 @@ mod tests {
             }
         }
         assert!(checked >= 3, "not enough removal scenarios exercised: {checked}");
+    }
+
+    /// Forcing a predicate onto generated scenarios exercises the
+    /// filtered path end to end: pushdown-vs-fallback twins, a gated
+    /// store falling back per-planner-decision, mixed on/off configs,
+    /// and the concurrent regime must all stay bit-identical.
+    #[test]
+    fn forced_filters_pass_serial_and_concurrent() {
+        use quepa_pdm::{PushOp, Pushdown};
+        let mut checked = 0;
+        for seed in 100..130u64 {
+            let mut scenario = Scenario::generate(seed);
+            if scenario.filter.is_some() {
+                continue; // this test wants full control of the filter
+            }
+            // Contains is case-insensitive and digit "1" splits every
+            // store's keyspace, so matched and rejected are both
+            // populated on each store.
+            scenario.filter = Some(Pushdown::key(PushOp::Contains, "1").to_string());
+            scenario.nopush = vec![1];
+            for (i, c) in scenario.configs.iter_mut().enumerate() {
+                c.pushdown = i % 2 == 0;
+            }
+            if let Err(e) = check_scenario(&scenario) {
+                panic!("seed {seed} failed with a forced filter:\n{e}");
+            }
+            if let Err(e) = check_concurrent_scenario(&scenario, 4) {
+                panic!("seed {seed} failed concurrently with a forced filter:\n{e}");
+            }
+            checked += 1;
+            if checked == 4 {
+                break;
+            }
+        }
+        assert!(checked >= 3, "not enough forced-filter scenarios exercised: {checked}");
+    }
+
+    /// A fault plan plus a filter: faulted pushdown round trips must
+    /// fall back to per-key fetches with unchanged fault identities, so
+    /// outage keys land `Unreachable` and the filtered answer still
+    /// matches the model bit-for-bit.
+    #[test]
+    fn faulted_filters_fall_back_and_pass() {
+        use quepa_pdm::{PushOp, Pushdown};
+        let mut checked = 0;
+        for seed in 0..60u64 {
+            let mut scenario = Scenario::generate(seed);
+            if scenario.fault.as_ref().is_none_or(|f| f.outages.is_empty()) {
+                continue;
+            }
+            scenario.filter = Some(Pushdown::key(PushOp::Contains, "1").to_string());
+            scenario.nopush = Vec::new();
+            for c in &mut scenario.configs {
+                c.pushdown = true;
+            }
+            if let Err(e) = check_scenario(&scenario) {
+                panic!("seed {seed} failed the faulted-filter check:\n{e}");
+            }
+            checked += 1;
+            if checked == 3 {
+                break;
+            }
+        }
+        assert!(checked >= 2, "not enough faulted-filter scenarios exercised: {checked}");
     }
 
     /// A planted index mutation is caught by the sweep on at least one of

@@ -6,6 +6,10 @@
 //!                                               # scenario on one instance
 //! quepa-check --crash ...                       # crash-only sweep: force a
 //!                                               # crash plan on every seed
+//! quepa-check --pushdown ...                    # filtered sweep: force a
+//!                                               # pushdown predicate (and
+//!                                               # per-store gates) on every
+//!                                               # seed
 //! quepa-check --soak [--time-budget-secs T]     # run until the budget ends
 //! quepa-check --family NAME                     # hostile sweep: every seed
 //!                                               # instantiates one topology
@@ -35,6 +39,7 @@ struct Args {
     seed: u64,
     concurrent: usize,
     crash: bool,
+    pushdown: bool,
     soak: bool,
     time_budget: Duration,
     replay: Option<String>,
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         concurrent: 0,
         crash: false,
+        pushdown: false,
         soak: false,
         time_budget: Duration::from_secs(300),
         replay: None,
@@ -70,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                     value("--concurrent")?.parse().map_err(|e| format!("--concurrent: {e}"))?
             }
             "--crash" => args.crash = true,
+            "--pushdown" => args.pushdown = true,
             "--soak" => args.soak = true,
             "--time-budget-secs" => {
                 args.time_budget = Duration::from_secs(
@@ -104,7 +111,7 @@ fn parse_args() -> Result<Args, String> {
                 })?);
             }
             "--help" | "-h" => {
-                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--crash] [--soak] [--time-budget-secs T] [--family NAME] [--replay FILE] [--inject-bug drop-relation[:i]|skip-wal-tail[:n]] [--out-dir DIR]");
+                println!("quepa-check [--scenarios N] [--seed S] [--concurrent M] [--crash] [--pushdown] [--soak] [--time-budget-secs T] [--family NAME] [--replay FILE] [--inject-bug drop-relation[:i]|skip-wal-tail[:n]] [--out-dir DIR]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -168,12 +175,20 @@ struct Coverage {
     faulted: u64,
     clean: u64,
     removing: u64,
+    filtered: u64,
     augmented: usize,
 }
 
 impl Coverage {
     fn new() -> Self {
-        Coverage { kinds: BTreeSet::new(), faulted: 0, clean: 0, removing: 0, augmented: 0 }
+        Coverage {
+            kinds: BTreeSet::new(),
+            faulted: 0,
+            clean: 0,
+            removing: 0,
+            filtered: 0,
+            augmented: 0,
+        }
     }
 
     fn record(&mut self, scenario: &Scenario, augmented: usize) {
@@ -185,6 +200,9 @@ impl Coverage {
         }
         if !scenario.removals.is_empty() {
             self.removing += 1;
+        }
+        if scenario.filter.is_some() {
+            self.filtered += 1;
         }
         self.augmented += augmented;
     }
@@ -293,10 +311,13 @@ fn main() -> ExitCode {
         } else if ran >= args.scenarios {
             break;
         }
-        let generated = match args.family {
+        let mut generated = match args.family {
             Some(family) => Scenario::generate_hostile(family, seed),
             None => Scenario::generate(seed),
         };
+        if args.pushdown {
+            generated.force_filter();
+        }
         let scenario = if args.crash { with_forced_crash(generated) } else { generated };
         let check: &dyn Fn(&Scenario) -> Result<CheckReport, CheckFailure> =
             if args.crash { &check_crash_scenario } else { &check_scenario };
@@ -320,15 +341,19 @@ fn main() -> ExitCode {
     if args.crash {
         mode.push_str(" (crash-recovery differential)");
     }
+    if args.pushdown {
+        mode.push_str(" (forced pushdown filters)");
+    }
     if let Some(family) = args.family {
         mode.push_str(&format!(" [hostile family: {}]", family.name()));
     }
     println!(
-        "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} with removals, {} augmented keys, query kinds: {})",
+        "PASS: {ran} scenarios{mode} in {:.1}s ({} faulted, {} clean, {} with removals, {} filtered, {} augmented keys, query kinds: {})",
         start.elapsed().as_secs_f64(),
         coverage.faulted,
         coverage.clean,
         coverage.removing,
+        coverage.filtered,
         coverage.augmented,
         coverage.kinds.iter().copied().collect::<Vec<_>>().join(",")
     );

@@ -21,11 +21,11 @@ use quepa_core::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 use quepa_docstore::DocumentDb;
 use quepa_graphstore::GraphDb;
 use quepa_kvstore::KvStore;
-use quepa_pdm::{GlobalKey, Probability};
+use quepa_pdm::{GlobalKey, Probability, PushOp, Pushdown};
 use quepa_polystore::retry::{BreakerConfig, RetryPolicy};
 use quepa_polystore::{
-    Deployment, DocumentConnector, FaultPlan, FaultyConnector, GraphConnector, KvConnector,
-    Polystore, RelationalConnector,
+    Connector, Deployment, DocumentConnector, FaultPlan, FaultyConnector, GraphConnector,
+    KvConnector, Polystore, PushdownGate, RelationalConnector,
 };
 use quepa_relstore::Database;
 use quepa_workload::hostile::{HostileTopology, TopologyFamily};
@@ -85,6 +85,10 @@ pub struct ConfigSpec {
     pub resilient: bool,
     /// Observability layer on.
     pub obs: bool,
+    /// `PUSHDOWN` knob: whether the planner may push the scenario's
+    /// filter into stores. Inert when the scenario carries no filter;
+    /// with one, the differential holds answers bit-identical either way.
+    pub pushdown: bool,
 }
 
 /// The fault plan of a chaos run, in harness-equalizable form: transient
@@ -173,6 +177,14 @@ pub struct Scenario {
     /// Optional crash plan — when present, the crash-point differential
     /// rides along with the standard sweep.
     pub crash: Option<CrashSpec>,
+    /// Optional pushdown filter, in [`quepa_pdm::Pushdown`] canonical
+    /// text form. Always **key-only**, so the model side can evaluate it
+    /// without fetching values. `None` runs the sweep unfiltered.
+    pub filter: Option<String>,
+    /// Store indices whose native pushdown is hidden behind a
+    /// [`PushdownGate`] — the planner must fall back to fetch-all there,
+    /// and the answers must not change.
+    pub nopush: Vec<usize>,
     /// Optional planted bug (never generated; set by `--inject-bug`).
     pub mutation: Option<Mutation>,
     /// The adversarial topology family this scenario instantiates, if it
@@ -240,7 +252,7 @@ impl Scenario {
         };
 
         let mut cfg = root.fork("configs");
-        let configs: Vec<ConfigSpec> = AugmenterKind::ALL
+        let mut configs: Vec<ConfigSpec> = AugmenterKind::ALL
             .iter()
             .map(|&augmenter| ConfigSpec {
                 augmenter,
@@ -249,6 +261,7 @@ impl Scenario {
                 cache: if cfg.chance(50) { 4096 } else { 0 },
                 resilient: fault.is_some() || cfg.chance(30),
                 obs: cfg.chance(40),
+                pushdown: true,
             })
             .collect();
 
@@ -282,6 +295,20 @@ impl Scenario {
             None
         };
 
+        // Pushdown draws fork last, like removals and crash before them:
+        // a key-only filter on ~2 in 5 scenarios, per-config PUSHDOWN
+        // knob, and a few stores whose native path is gated off so the
+        // fetch-all fallback stays covered under the same answers.
+        let mut pd = root.fork("pushdown");
+        let filter = pd.chance(45).then(|| filter_text(&mut pd));
+        let mut nopush = Vec::new();
+        if filter.is_some() {
+            for c in &mut configs {
+                c.pushdown = pd.chance(60);
+            }
+            nopush = (0..n_stores).filter(|_| pd.chance(30)).collect();
+        }
+
         Scenario {
             seed,
             deployment,
@@ -294,6 +321,8 @@ impl Scenario {
             fault,
             removals,
             crash,
+            filter,
+            nopush,
             mutation: None,
             family: None,
         }
@@ -384,7 +413,7 @@ impl Scenario {
         };
 
         let mut cfg = root.fork("hostile-configs");
-        let configs: Vec<ConfigSpec> = AugmenterKind::ALL
+        let mut configs: Vec<ConfigSpec> = AugmenterKind::ALL
             .iter()
             .map(|&augmenter| ConfigSpec {
                 augmenter,
@@ -393,6 +422,7 @@ impl Scenario {
                 cache: if cfg.chance(50) { 4096 } else { 0 },
                 resilient: fault.is_some() || cfg.chance(30),
                 obs: cfg.chance(40),
+                pushdown: true,
             })
             .collect();
 
@@ -437,6 +467,16 @@ impl Scenario {
             None
         };
 
+        let mut pd = root.fork("hostile-pushdown");
+        let filter = pd.chance(40).then(|| filter_text(&mut pd));
+        let mut nopush = Vec::new();
+        if filter.is_some() {
+            for c in &mut configs {
+                c.pushdown = pd.chance(60);
+            }
+            nopush = (0..n_stores).filter(|_| pd.chance(30)).collect();
+        }
+
         Scenario {
             seed,
             deployment,
@@ -449,6 +489,8 @@ impl Scenario {
             fault,
             removals,
             crash,
+            filter,
+            nopush,
             mutation: None,
             family: Some(family),
         }
@@ -506,6 +548,30 @@ impl Scenario {
         query_for(self.stores[self.query_store].kind, self.query_size)
     }
 
+    /// The parsed pushdown predicate, if the scenario carries one. The
+    /// text is validated at generation / parse time, so this cannot fail.
+    pub fn pushdown_filter(&self) -> Option<Pushdown> {
+        self.filter
+            .as_ref()
+            .map(|t| Pushdown::parse(t).expect("scenario filters are validated key-only text"))
+    }
+
+    /// Forces a pushdown predicate onto the scenario (the `--pushdown`
+    /// sweep): seeds that drew a filter keep it, the rest draw one —
+    /// plus per-config planner toggles and per-store gates — from a
+    /// labelled sub-stream, so the sweep stays replayable by seed.
+    pub fn force_filter(&mut self) {
+        if self.filter.is_some() {
+            return;
+        }
+        let mut pd = SplitMix::new(self.seed).fork("forced-pushdown");
+        self.filter = Some(filter_text(&mut pd));
+        for c in &mut self.configs {
+            c.pushdown = pd.chance(60);
+        }
+        self.nopush = (0..self.stores.len()).filter(|_| pd.chance(30)).collect();
+    }
+
     /// Name of the query-target database.
     pub fn query_database(&self) -> String {
         Self::store_name(self.query_store)
@@ -560,19 +626,33 @@ impl Scenario {
         Some(plan)
     }
 
-    /// The polystore the system under test sees: fault-wrapped on every
-    /// store except the query target (whose local query must still run).
+    /// The polystore the system under test sees: stores in `nopush` get a
+    /// [`PushdownGate`] (the planner must fall back to fetch-all there),
+    /// then everything except the query target (whose local query must
+    /// still run) is fault-wrapped when a plan is present. The gate sits
+    /// *inside* the fault wrapper, so fault decisions keep the same
+    /// per-call identities whether pushdown is gated or not.
     pub fn build_wrapped_polystore(&self) -> Polystore {
         let pristine = self.build_polystore();
-        let Some(plan) = self.fault_plan() else { return pristine };
-        let plan = Arc::new(plan);
+        let gated: Vec<String> = self.nopush.iter().map(|&s| Self::store_name(s)).collect();
+        let plan = self.fault_plan().map(Arc::new);
+        if gated.is_empty() && plan.is_none() {
+            return pristine;
+        }
         let latency = self.deployment.latency();
         let target = self.query_database();
         pristine.wrap_connectors(|inner| {
-            if inner.database().as_str() == target {
-                inner
+            let inner: Arc<dyn Connector> = if gated.iter().any(|g| g == inner.database().as_str())
+            {
+                Arc::new(PushdownGate::new(inner))
             } else {
-                Arc::new(FaultyConnector::new(inner, Arc::clone(&plan), latency))
+                inner
+            };
+            match &plan {
+                Some(plan) if inner.database().as_str() != target => {
+                    Arc::new(FaultyConnector::new(inner, Arc::clone(plan), latency))
+                }
+                _ => inner,
             }
         })
     }
@@ -630,6 +710,7 @@ impl Scenario {
                 ResilienceConfig::default()
             },
             observability: spec.obs,
+            pushdown: spec.pushdown,
         }
     }
 
@@ -661,14 +742,21 @@ impl Scenario {
         out.push_str(&format!("level {}\n", self.level));
         for c in &self.configs {
             out.push_str(&format!(
-                "config {} {} {} {} {} {}\n",
+                "config {} {} {} {} {} {} {}\n",
                 c.augmenter.name(),
                 c.batch,
                 c.threads,
                 c.cache,
                 if c.resilient { "resilient" } else { "trivial" },
-                if c.obs { "obs-on" } else { "obs-off" }
+                if c.obs { "obs-on" } else { "obs-off" },
+                if c.pushdown { "push-on" } else { "push-off" }
             ));
+        }
+        if let Some(f) = &self.filter {
+            out.push_str(&format!("filter {f}\n"));
+        }
+        for &s in &self.nopush {
+            out.push_str(&format!("nopush {s}\n"));
         }
         if let Some(f) = &self.fault {
             out.push_str(&format!(
@@ -722,6 +810,8 @@ impl Scenario {
             fault: None,
             removals: Vec::new(),
             crash: None,
+            filter: None,
+            nopush: Vec::new(),
             mutation: None,
             family: None,
         };
@@ -782,9 +872,18 @@ impl Scenario {
                     scenario.level = int(rest.first().ok_or("level needs a value")?)?;
                 }
                 "config" => {
-                    let [aug, batch, threads, cache, res, obs] = rest[..] else {
-                        return Err(format!("bad config line `{line}`"));
+                    // The pushdown token is optional: pre-pushdown
+                    // scenario files carry six tokens and default to on.
+                    let (core, push) = match rest[..] {
+                        [aug, batch, threads, cache, res, obs] => {
+                            ([aug, batch, threads, cache, res, obs], "push-on")
+                        }
+                        [aug, batch, threads, cache, res, obs, push] => {
+                            ([aug, batch, threads, cache, res, obs], push)
+                        }
+                        _ => return Err(format!("bad config line `{line}`")),
                     };
+                    let [aug, batch, threads, cache, res, obs] = core;
                     scenario.configs.push(ConfigSpec {
                         augmenter: AugmenterKind::parse(aug)
                             .ok_or_else(|| format!("unknown augmenter `{aug}`"))?,
@@ -801,7 +900,29 @@ impl Scenario {
                             "obs-off" => false,
                             other => return Err(format!("bad obs flag `{other}`")),
                         },
+                        pushdown: match push {
+                            "push-on" => true,
+                            "push-off" => false,
+                            other => return Err(format!("bad pushdown flag `{other}`")),
+                        },
                     });
+                }
+                "filter" => {
+                    let text = line.strip_prefix("filter").unwrap_or_default().trim();
+                    let parsed = Pushdown::parse(text)
+                        .map_err(|e| format!("bad filter line `{line}`: {e}"))?;
+                    if parsed.is_trivial() {
+                        return Err(format!("filter line `{line}` is trivial"));
+                    }
+                    if !parsed.key_only() {
+                        return Err(format!(
+                            "filter line `{line}` is not key-only; the model cannot evaluate it"
+                        ));
+                    }
+                    scenario.filter = Some(parsed.to_string());
+                }
+                "nopush" => {
+                    scenario.nopush.push(int(rest.first().ok_or("nopush needs a store")?)?);
                 }
                 "fault" => {
                     let [seed, transient, streak, spike] = rest[..] else {
@@ -867,6 +988,21 @@ impl Scenario {
         }
         Ok(scenario)
     }
+}
+
+/// Draws a random **key-only** pushdown predicate in canonical text form.
+///
+/// Literals are built from the per-kind local-key letters (`k`/`a`/`d`/
+/// `g`, optionally with a leading digit), so a filter is selective on the
+/// stores whose keys share its letter and rejects everything on the rest —
+/// both regimes the differential must hold bit-identical.
+fn filter_text(rng: &mut SplitMix) -> String {
+    let letters = ["k", "a", "d", "g"];
+    let letter = *rng.pick(&letters);
+    let ops = [PushOp::Prefix, PushOp::Contains, PushOp::Gte, PushOp::Lt, PushOp::Ne, PushOp::Eq];
+    let op = *rng.pick(&ops);
+    let literal = if rng.chance(60) { format!("{letter}{}", rng.below(10)) } else { letter.into() };
+    Pushdown::key(op, literal).to_string()
 }
 
 /// The harness's resilient configuration: µs-scale backoffs (the fault
@@ -957,6 +1093,33 @@ mod tests {
         }
     }
 
+    /// Pre-pushdown scenario files (six-token config lines, no `filter` /
+    /// `nopush` lines) still parse: the knob defaults to on.
+    #[test]
+    fn old_config_lines_parse_with_pushdown_on() {
+        let text = "quepa-scenario v1\nseed 7\ndeployment inprocess\nstore kv 4\n\
+                    query 0 2\nlevel 1\nconfig sequential 2 1 0 trivial obs-off\n";
+        let s = Scenario::parse(text).expect("parses");
+        assert!(s.configs[0].pushdown);
+        assert!(s.filter.is_none() && s.nopush.is_empty());
+    }
+
+    #[test]
+    fn filter_lines_round_trip_and_are_validated() {
+        let mut s = Scenario::generate(3);
+        s.filter = Some("key prefix \"k1\"".into());
+        s.nopush = vec![0];
+        s.configs[0].pushdown = false;
+        let back = Scenario::parse(&s.serialize()).expect("parses");
+        assert_eq!(s, back);
+        assert!(back.pushdown_filter().unwrap().key_only());
+        // Non-key-only and trivial filters are rejected at parse time.
+        let head = "quepa-scenario v1\nseed 1\ndeployment inprocess\nstore kv 4\n\
+                    query 0 1\nlevel 0\nconfig sequential 1 1 0 trivial obs-off push-on\n";
+        assert!(Scenario::parse(&format!("{head}filter .seq gte 3\n")).is_err());
+        assert!(Scenario::parse(&format!("{head}filter \n")).is_err());
+    }
+
     #[test]
     fn generated_scenarios_are_well_formed() {
         for seed in 0..100u64 {
@@ -979,6 +1142,14 @@ mod tests {
                 assert!(c.after_ops <= s.relations.len() + s.removals.len(), "seed {seed}");
                 assert!(c.checkpoint_every <= 6, "seed {seed}");
             }
+            if let Some(f) = s.pushdown_filter() {
+                assert!(!f.is_trivial() && f.key_only(), "seed {seed}");
+            } else {
+                assert!(s.nopush.is_empty(), "gates only ride with a filter");
+            }
+            for &g in &s.nopush {
+                assert!(g < s.stores.len(), "seed {seed}");
+            }
             if let Some(f) = &s.fault {
                 assert!(f.max_streak < MAX_ATTEMPTS);
                 assert!(!f.outages.contains(&s.query_store));
@@ -996,9 +1167,15 @@ mod tests {
         let mut kinds = std::collections::BTreeSet::new();
         let (mut faulty, mut clean, mut removing, mut crashing) = (0, 0, 0, 0);
         let (mut torn, mut partial, mut scheduled) = (0, 0, 0);
+        let (mut filtered, mut gated, mut pushed_off) = (0, 0, 0);
         for seed in 0..200u64 {
             let s = Scenario::generate(seed);
             kinds.insert(kind_name(s.stores[s.query_store].kind));
+            if s.filter.is_some() {
+                filtered += 1;
+                gated += (!s.nopush.is_empty()) as u64;
+                pushed_off += s.configs.iter().any(|c| !c.pushdown) as u64;
+            }
             if s.fault.is_some() {
                 faulty += 1;
             } else {
@@ -1021,6 +1198,10 @@ mod tests {
         assert!(
             torn >= 5 && partial >= 5 && scheduled >= 5,
             "crash shapes all drawn: torn {torn}, partial {partial}, scheduled {scheduled}"
+        );
+        assert!(
+            filtered >= 20 && gated >= 5 && pushed_off >= 10,
+            "pushdown regimes all drawn: filtered {filtered}, gated {gated}, off {pushed_off}"
         );
     }
 

@@ -9,23 +9,54 @@
 //!   is selected);
 //! * `T4` — a REPTree choosing `CACHE_SIZE` (applied softly: the system
 //!   moves the cache by `(predicted − current) / 10`, see
-//!   [`crate::system::Quepa`]).
+//!   [`crate::system::Quepa`]);
+//! * `T5` — a C4.5 tree deciding, per store group of a *filtered*
+//!   augmentation, whether to push the predicate down to the store or
+//!   fetch all keys and filter client-side. Answers are bit-identical
+//!   either way, so `T5` is pure performance counsel — it learns from
+//!   the same run logs, grouped by the same situations.
+//!
+//! [`OnlineOptimizer`] closes the adaptive loop at runtime: it keeps a
+//! bounded deterministic [`Reservoir`] of the live run-log stream and
+//! periodically refits all five trees, publishing each new model behind
+//! a [`SnapshotCell`] swap so in-flight queries never block on a refit.
 
+use parking_lot::Mutex;
 use quepa_ml::c45::{C45Params, DecisionTree};
 use quepa_ml::dataset::{AttrKind, Dataset, DatasetBuilder, FeatureValue, Schema};
 use quepa_ml::reptree::{RegressionTree, RepTreeParams};
+use quepa_ml::stream::Reservoir;
 use quepa_polystore::StoreKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{AugmenterKind, QuepaConfig};
 use crate::logs::{QueryFeatures, RunLog};
+use crate::snapshot::SnapshotCell;
 
 /// Something that can pick a configuration for a query.
 pub trait Optimizer: Send + Sync {
     /// Chooses the configuration for a query with the given
     /// characteristics; `current` is the configuration in effect.
     fn choose(&self, features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig;
+
+    /// Per-store-group pushdown counsel for a filtered augmentation:
+    /// should the group of `group_keys` keys living on a `kind` store be
+    /// fetched with the predicate pushed down, or fetched whole and
+    /// filtered client-side? `None` means no opinion — the planner then
+    /// pushes wherever the connector supports it.
+    fn pushdown_for(
+        &self,
+        _features: &QueryFeatures,
+        _kind: StoreKind,
+        _group_keys: usize,
+    ) -> Option<bool> {
+        None
+    }
+
+    /// Feeds one completed run back into the optimizer (the online
+    /// optimizer's retrain stream); a no-op for offline optimizers.
+    fn observe(&self, _log: &RunLog) {}
 
     /// Name used in experiment output.
     fn name(&self) -> &'static str;
@@ -42,12 +73,15 @@ fn feature_schema() -> Schema {
         ("augmented_size", AttrKind::Numeric),
         ("level", AttrKind::Numeric),
         ("distributed", AttrKind::Categorical),
+        ("filtered", AttrKind::Categorical),
     ]);
     for k in KINDS {
         schema.intern(0, k.name());
     }
     schema.intern(5, "no");
     schema.intern(5, "yes");
+    schema.intern(6, "no");
+    schema.intern(6, "yes");
     schema
 }
 
@@ -61,6 +95,9 @@ fn feature_row(schema: &Schema, f: &QueryFeatures) -> Vec<FeatureValue> {
         FeatureValue::Cat(
             schema.category_id(5, if f.distributed { "yes" } else { "no" }).expect("pre-interned"),
         ),
+        FeatureValue::Cat(
+            schema.category_id(6, if f.filtered { "yes" } else { "no" }).expect("pre-interned"),
+        ),
     ]
 }
 
@@ -71,6 +108,7 @@ pub struct AdaptiveOptimizer {
     t2_batch: Option<RegressionTree>,
     t3_threads: Option<RegressionTree>,
     t4_cache: Option<RegressionTree>,
+    t5_pushdown: Option<DecisionTree>,
     fallback: QuepaConfig,
 }
 
@@ -85,20 +123,23 @@ impl AdaptiveOptimizer {
     /// different configurations") is the caller's job.
     pub fn train(logs: &[RunLog]) -> Option<Self> {
         let schema = feature_schema();
-        // situation → (best duration, features, best config).
-        let mut best: std::collections::HashMap<
+        // situation → (best duration, features, best config). A BTreeMap,
+        // not a HashMap: `values()` feeds the training rows, and row order
+        // breaks ties inside the tree fits — retraining from the same logs
+        // must yield the same trees (the online optimizer's determinism
+        // contract).
+        let mut best: std::collections::BTreeMap<
             _,
             (std::time::Duration, QueryFeatures, QuepaConfig),
-        > = std::collections::HashMap::new();
+        > = std::collections::BTreeMap::new();
         for log in logs {
-            let entry = best.entry(log.situation());
-            match entry {
-                std::collections::hash_map::Entry::Occupied(mut o) => {
+            match best.entry(log.situation()) {
+                std::collections::btree_map::Entry::Occupied(mut o) => {
                     if log.duration < o.get().0 {
                         o.insert((log.duration, log.features, log.config));
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(v) => {
+                std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert((log.duration, log.features, log.config));
                 }
             }
@@ -111,6 +152,7 @@ impl AdaptiveOptimizer {
         let mut t2 = DatasetBuilder::new(schema.clone());
         let mut t3 = DatasetBuilder::new(schema.clone());
         let mut t4 = DatasetBuilder::new(schema.clone());
+        let mut t5 = DatasetBuilder::new(schema.clone());
         for (_, features, config) in best.values() {
             let row = feature_row(&schema, features);
             t1.push_classified(row.clone(), config.augmenter.name());
@@ -120,17 +162,22 @@ impl AdaptiveOptimizer {
             if config.augmenter.uses_threads() {
                 t3.push_regression(row.clone(), config.threads_size as f64);
             }
+            if features.filtered {
+                t5.push_classified(row.clone(), if config.pushdown { "push" } else { "fetch" });
+            }
             t4.push_regression(row, config.cache_size as f64);
         }
 
         let c45 = C45Params { min_leaf: 2, ..Default::default() };
         let rep = RepTreeParams { min_leaf: 2, prune_fraction: 0.2, ..Default::default() };
         let fit_reg = |d: Dataset| (!d.is_empty()).then(|| RegressionTree::fit(&d, rep));
+        let fit_cls = |d: Dataset| (!d.is_empty()).then(|| DecisionTree::fit(&d, c45));
         Some(AdaptiveOptimizer {
             t1_augmenter: DecisionTree::fit(&t1.build(), c45),
             t2_batch: fit_reg(t2.build()),
             t3_threads: fit_reg(t3.build()),
             t4_cache: fit_reg(t4.build()),
+            t5_pushdown: fit_cls(t5.build()),
             schema,
             fallback: QuepaConfig::default(),
         })
@@ -173,14 +220,38 @@ impl Optimizer for AdaptiveOptimizer {
             .as_ref()
             .map(|t| t.predict(&row).round().max(0.0) as usize)
             .unwrap_or(current.cache_size);
+        let pushdown = if features.filtered {
+            self.t5_pushdown.as_ref().map(|t| t.predict_name(&row) == "push").unwrap_or(
+                current.pushdown,
+            )
+        } else {
+            current.pushdown
+        };
         QuepaConfig {
             augmenter,
             batch_size,
             threads_size,
             cache_size,
             resilience: current.resilience,
+            pushdown,
             observability: current.observability,
         }
+    }
+
+    fn pushdown_for(
+        &self,
+        features: &QueryFeatures,
+        kind: StoreKind,
+        group_keys: usize,
+    ) -> Option<bool> {
+        // The per-group question is the per-query question with the
+        // group's own paradigm and fan-out substituted in: the group's
+        // store kind replaces the query target and the group's key count
+        // is the augmentation it pays for.
+        let probe =
+            QueryFeatures { target_kind: kind, augmented_size: group_keys, filtered: true, ..*features };
+        let row = feature_row(&self.schema, &probe);
+        self.t5_pushdown.as_ref().map(|t| t.predict_name(&row) == "push")
     }
 
     fn name(&self) -> &'static str {
@@ -241,6 +312,9 @@ impl Optimizer for HumanOptimizer {
             threads_size: self.cores.clamp(2, 16),
             cache_size: current.cache_size,
             resilience: current.resilience,
+            // The expert's rule of thumb: pushing a filter to the store
+            // can only shrink the wire traffic, so always allow it.
+            pushdown: true,
             observability: current.observability,
         }
     }
@@ -278,12 +352,112 @@ impl Optimizer for RandomOptimizer {
                 CACHES[rng.gen_range(0..CACHES.len())]
             },
             resilience: current.resilience,
+            // A fair coin exercises both pushdown paths (answers are
+            // bit-identical either way, so RANDOM stays correct).
+            pushdown: rng.gen_bool(0.5),
             observability: current.observability,
         }
     }
 
     fn name(&self) -> &'static str {
         "RANDOM"
+    }
+}
+
+/// The online-retrained optimizer: [`AdaptiveOptimizer`] fed from the
+/// live run-log stream.
+///
+/// Each completed run is [`observe`](Optimizer::observe)d into a bounded
+/// deterministic [`Reservoir`]; every `refit_every` observations the five
+/// trees are refit from the current sample and the new model is published
+/// with a [`SnapshotCell`] swap — queries in flight keep the model they
+/// loaded, the next query sees the new one, and nothing ever blocks on
+/// the refit. Until the stream holds two distinct situations the
+/// optimizer has no model: `choose` pins the current configuration and
+/// [`pushdown_for`](Optimizer::pushdown_for) has no opinion (the planner
+/// then pushes wherever the connector supports it).
+///
+/// Determinism: the reservoir draws are a pure function of `(seed,
+/// stream prefix)` and the tree fits are deterministic, so two instances
+/// fed the same logs in the same order make identical decisions.
+pub struct OnlineOptimizer {
+    model: SnapshotCell<Option<AdaptiveOptimizer>>,
+    state: Mutex<OnlineState>,
+    refit_every: u64,
+}
+
+struct OnlineState {
+    reservoir: Reservoir<RunLog>,
+    since_refit: u64,
+    refits: u64,
+}
+
+impl OnlineOptimizer {
+    /// An untrained online optimizer sampling at most `capacity` logs
+    /// and refitting every `refit_every` observations (floored to 1).
+    pub fn new(seed: u64, capacity: usize, refit_every: u64) -> Self {
+        OnlineOptimizer {
+            model: SnapshotCell::new(None),
+            state: Mutex::new(OnlineState {
+                reservoir: Reservoir::new(capacity, seed),
+                since_refit: 0,
+                refits: 0,
+            }),
+            refit_every: refit_every.max(1),
+        }
+    }
+
+    /// True once a refit has produced a model.
+    pub fn is_trained(&self) -> bool {
+        self.model.load().is_some()
+    }
+
+    /// Number of successful refits so far.
+    pub fn refits(&self) -> u64 {
+        self.state.lock().refits
+    }
+
+    /// Renders the current model's `T1` tree, if trained.
+    pub fn render_t1(&self) -> Option<String> {
+        self.model.load().as_ref().as_ref().map(AdaptiveOptimizer::render_t1)
+    }
+}
+
+impl Optimizer for OnlineOptimizer {
+    fn choose(&self, features: &QueryFeatures, current: &QuepaConfig) -> QuepaConfig {
+        match self.model.load().as_ref() {
+            Some(m) => m.choose(features, current),
+            None => *current,
+        }
+    }
+
+    fn pushdown_for(
+        &self,
+        features: &QueryFeatures,
+        kind: StoreKind,
+        group_keys: usize,
+    ) -> Option<bool> {
+        self.model.load().as_ref().as_ref().and_then(|m| m.pushdown_for(features, kind, group_keys))
+    }
+
+    fn observe(&self, log: &RunLog) {
+        let mut state = self.state.lock();
+        state.reservoir.push(log.clone());
+        state.since_refit += 1;
+        if state.since_refit >= self.refit_every {
+            state.since_refit = 0;
+            // Refit under the state lock (observers serialize; that's the
+            // stream order determinism depends on), publish with a swap
+            // (readers never wait).
+            if let Some(model) = AdaptiveOptimizer::train(state.reservoir.items()) {
+                state.refits += 1;
+                self.model.store(Some(model));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ONLINE"
     }
 }
 
@@ -300,7 +474,12 @@ mod tests {
             augmented_size: result_size * 4,
             level: 0,
             distributed,
+            filtered: false,
         }
+    }
+
+    fn filtered_features(kind: StoreKind, result_size: usize) -> QueryFeatures {
+        QueryFeatures { target_kind: kind, filtered: true, ..features(result_size, false) }
     }
 
     fn log(f: QueryFeatures, config: QuepaConfig, ms: u64) -> RunLog {
@@ -366,6 +545,7 @@ mod tests {
                 augmented_size: 9,
                 level: 0,
                 distributed: false,
+                filtered: false,
             },
             &current,
         );
@@ -410,7 +590,118 @@ mod tests {
     fn optimizer_names() {
         assert_eq!(HumanOptimizer::default().name(), "HUMAN");
         assert_eq!(RandomOptimizer::new(0).name(), "RANDOM");
+        assert_eq!(OnlineOptimizer::new(0, 16, 4).name(), "ONLINE");
         let opt = AdaptiveOptimizer::train(&training_logs()).unwrap();
         assert_eq!(opt.name(), "ADAPTIVE");
+    }
+
+    /// Filtered logs where pushdown wins on relational stores and loses
+    /// on graph stores (say, the traversal filter is expensive there).
+    fn pushdown_logs() -> Vec<RunLog> {
+        let mut logs = Vec::new();
+        for scale in 0..3u32 {
+            let size = 10usize << (2 * scale);
+            for (kind, push_wins) in [(StoreKind::Relational, true), (StoreKind::Graph, false)] {
+                let f = filtered_features(kind, size);
+                for push in [true, false] {
+                    let cfg = QuepaConfig { pushdown: push, ..QuepaConfig::default() };
+                    let time = if push == push_wins { 5 } else { 80 };
+                    logs.push(log(f, cfg, time));
+                }
+            }
+        }
+        logs
+    }
+
+    #[test]
+    fn t5_learns_per_store_pushdown() {
+        let opt = AdaptiveOptimizer::train(&pushdown_logs()).expect("trainable");
+        let f = filtered_features(StoreKind::Relational, 40);
+        assert_eq!(opt.pushdown_for(&f, StoreKind::Relational, 160), Some(true));
+        assert_eq!(opt.pushdown_for(&f, StoreKind::Graph, 160), Some(false));
+        // choose() folds the same counsel into the config.
+        let current = QuepaConfig::default();
+        assert!(opt.choose(&f, &current).pushdown);
+        assert!(!opt.choose(&filtered_features(StoreKind::Graph, 40), &current).pushdown);
+    }
+
+    #[test]
+    fn t5_without_filtered_logs_defers_to_current() {
+        let opt = AdaptiveOptimizer::train(&training_logs()).expect("trainable");
+        let f = filtered_features(StoreKind::Relational, 40);
+        assert_eq!(opt.pushdown_for(&f, StoreKind::Relational, 160), None, "no T5 → no opinion");
+        let pinned = QuepaConfig { pushdown: false, ..QuepaConfig::default() };
+        assert!(!opt.choose(&f, &pinned).pushdown, "current.pushdown is preserved");
+    }
+
+    #[test]
+    fn unfiltered_queries_never_consult_t5() {
+        let opt = AdaptiveOptimizer::train(&pushdown_logs()).expect("trainable");
+        let pinned = QuepaConfig { pushdown: false, ..QuepaConfig::default() };
+        let chosen = opt.choose(&features(10, false), &pinned);
+        assert!(!chosen.pushdown, "unfiltered queries keep the pinned knob");
+    }
+
+    #[test]
+    fn online_retrain_flips_the_pushdown_decision_mid_stream() {
+        let online = OnlineOptimizer::new(9, 256, 8);
+        let f = filtered_features(StoreKind::Relational, 40);
+        assert_eq!(online.pushdown_for(&f, StoreKind::Relational, 160), None, "untrained");
+        assert!(!online.is_trained());
+
+        // Phase 1: fetch-all wins everywhere (a run of unselective
+        // filters) — the model learns to decline.
+        for scale in 0..3u32 {
+            let size = 10usize << (2 * scale);
+            let lf = filtered_features(StoreKind::Relational, size);
+            for push in [true, false] {
+                let cfg = QuepaConfig { pushdown: push, ..QuepaConfig::default() };
+                online.observe(&log(lf, cfg, if push { 80 } else { 10 }));
+            }
+        }
+        for _ in 0..2 {
+            // pad to the refit boundary
+            online.observe(&log(features(7, false), QuepaConfig::default(), 30));
+        }
+        assert!(online.is_trained(), "refit after 8 observations");
+        assert_eq!(online.pushdown_for(&f, StoreKind::Relational, 160), Some(false));
+
+        // Phase 2: the workload turns selective — pushdown runs now beat
+        // the best fetch-all times, and the next refits flip the counsel
+        // without any restart.
+        for round in 0..4u32 {
+            for scale in 0..3u32 {
+                let size = 10usize << (2 * scale);
+                let lf = filtered_features(StoreKind::Relational, size);
+                let cfg = QuepaConfig { pushdown: true, ..QuepaConfig::default() };
+                online.observe(&log(lf, cfg, 2));
+                let _ = round;
+            }
+        }
+        assert_eq!(online.pushdown_for(&f, StoreKind::Relational, 160), Some(true));
+        assert!(online.refits() >= 2);
+        assert!(online.render_t1().is_some());
+    }
+
+    #[test]
+    fn online_is_deterministic_per_seed_and_stream() {
+        let run = || {
+            let online = OnlineOptimizer::new(5, 32, 4);
+            let mut choices = Vec::new();
+            for i in 0..40usize {
+                let lf = filtered_features(
+                    if i % 2 == 0 { StoreKind::Relational } else { StoreKind::Graph },
+                    10 << (i % 5),
+                );
+                let cfg = QuepaConfig { pushdown: i % 3 == 0, ..QuepaConfig::default() };
+                online.observe(&log(lf, cfg, 5 + (i as u64 * 13) % 90));
+                choices.push((
+                    online.choose(&lf, &QuepaConfig::default()),
+                    online.pushdown_for(&lf, StoreKind::Document, 64),
+                ));
+            }
+            choices
+        };
+        assert_eq!(run(), run(), "same seed + same stream ⇒ same decisions");
     }
 }

@@ -35,9 +35,9 @@ use std::sync::Arc;
 
 use quepa_aindex::{AIndex, Augmentable, AugmentedKey};
 use quepa_obs::{MetricsRegistry, Stage};
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Probability, Pushdown};
 use quepa_polystore::retry::{BreakerSet, CircuitBreaker};
-use quepa_polystore::{PolyError, Polystore};
+use quepa_polystore::{FilteredFetch, PolyError, Polystore, StoreKind};
 
 use crate::cache::ObjectCache;
 use crate::config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
@@ -210,19 +210,7 @@ pub fn run_planned_with(
     runtime: &FetchRuntime<'_>,
 ) -> Result<AugmentationOutcome> {
     let config = config.sanitized();
-
-    // Work partition for the outer/inner strategies: each target key is
-    // owned by the first seed that reaches it (the paper's augmenters
-    // iterate the original answer and skip already-retrieved objects).
-    let mut owned: Vec<Vec<Task>> = vec![Vec::new(); plan.seed_count];
-    for (a, &owner) in plan.augmented.iter().zip(&plan.ownership) {
-        owned[owner as usize].push(Task {
-            key: a.key.clone(),
-            probability: a.probability,
-            distance: a.distance,
-        });
-    }
-
+    let owned = partition(plan);
     let engine = Engine {
         polystore: polystore.clone(),
         cache: Arc::clone(cache),
@@ -232,23 +220,235 @@ pub fn run_planned_with(
         // A disabled cache means a serial run performs every round trip
         // itself — coalescing would change behaviour, not preserve it.
         flight: if config.cache_size > 0 { runtime.flight.map(Arc::clone) } else { None },
+        filter: None,
     };
     // The calling thread fetches too (sequential/batch run here):
     // observe it like any worker.
     let _ctx = engine.observe_fetch();
+    let sink = dispatch(&engine, owned, &config, runtime.pool)?;
+    Ok(finish(sink, &config, runtime))
+}
+
+/// Which side of the wire evaluates a filtered group's predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupStrategy {
+    /// One `fetch_where` round trip carries the predicate to the store;
+    /// only matching objects travel back.
+    Pushdown,
+    /// The configured augmenter fetches every key; the predicate is
+    /// evaluated client-side.
+    FetchAll,
+}
+
+/// Why a store group landed on its strategy (the `EXPLAIN` surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// The planner picked pushdown.
+    Chosen,
+    /// Pushdown is disabled by configuration.
+    Disabled,
+    /// The connector declined the filter (no native path).
+    Declined,
+    /// The planner predicted fetch-all to be faster for this group.
+    Predicted,
+}
+
+/// The planner's verdict for one (database, collection) group of a
+/// filtered augmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDecision {
+    /// The group's target database.
+    pub database: DatabaseName,
+    /// The group's target collection.
+    pub collection: CollectionName,
+    /// Keys in the group.
+    pub keys: usize,
+    /// The strategy the group executed under.
+    pub strategy: GroupStrategy,
+    /// Why.
+    pub reason: DecisionReason,
+}
+
+/// The per-group pushdown decision hook: given the target store's kind
+/// and the group's key count, return `true` to execute the group as one
+/// pushdown round trip (the connector has already said it supports the
+/// filter). The adaptive planner supplies a model-backed implementation;
+/// `None` means "pushdown whenever supported".
+pub type PushdownDecider<'a> = dyn Fn(StoreKind, usize) -> bool + Sync + 'a;
+
+/// Executes a plan under a [`Pushdown`] filter: only objects matching the
+/// predicate are returned, keys whose objects exist but fail it appear in
+/// neither `objects` nor `missing`, and `missing` keeps its exact
+/// unfiltered meaning (gone or unreachable). Per (database, collection)
+/// group the planner chooses pushdown or fetch-all — the answer is
+/// bit-identical either way; only the wire traffic differs.
+///
+/// Cache contract under a filter: probes serve hits (evaluated
+/// client-side) but only *matched* objects are ever inserted, in both
+/// strategies, so the cache state cannot reveal which strategy ran.
+/// Cross-query flight coalescing is disabled (a leader's published
+/// outcome is not filter-aware).
+pub fn run_planned_filtered(
+    polystore: &Polystore,
+    cache: &Arc<ObjectCache>,
+    plan: &AugmentPlan,
+    config: &QuepaConfig,
+    runtime: &FetchRuntime<'_>,
+    filter: &Pushdown,
+    decider: Option<&PushdownDecider<'_>>,
+) -> Result<(AugmentationOutcome, Vec<GroupDecision>)> {
+    if filter.is_trivial() {
+        let outcome = run_planned_with(polystore, cache, plan, config, runtime)?;
+        return Ok((outcome, Vec::new()));
+    }
+    let config = config.sanitized();
+    let owned = partition(plan);
+    let engine = Engine {
+        polystore: polystore.clone(),
+        cache: Arc::clone(cache),
+        resilience: config.resilience,
+        breakers: Arc::clone(runtime.breakers),
+        obs: runtime.obs.map(Arc::clone),
+        flight: None,
+        filter: Some(filter.clone()),
+    };
+    let _ctx = engine.observe_fetch();
+
+    let decisions = decide_groups(polystore, &owned, &config, filter, decider);
+    let pushdown_slots: std::collections::BTreeSet<(&DatabaseName, &CollectionName)> = decisions
+        .iter()
+        .filter(|d| d.strategy == GroupStrategy::Pushdown)
+        .map(|d| (&d.database, &d.collection))
+        .collect();
+
+    // The fetch-all share keeps its per-seed partition and runs under the
+    // configured augmenter; each pushdown group is one unit, claimed by
+    // tickets like any other (sequential configs keep one ticket).
+    let mut fetch_all: Vec<Vec<Task>> = vec![Vec::new(); owned.len()];
+    let mut push_groups: HashMap<(DatabaseName, CollectionName), Vec<Task>> = HashMap::new();
+    for (seed, tasks) in owned.into_iter().enumerate() {
+        for task in tasks {
+            let slot = (task.key.database(), task.key.collection());
+            if pushdown_slots.contains(&slot) {
+                push_groups
+                    .entry((task.key.database().clone(), task.key.collection().clone()))
+                    .or_default()
+                    .push(task);
+            } else {
+                fetch_all[seed].push(task);
+            }
+        }
+    }
+    let mut push_units: Vec<((DatabaseName, CollectionName), Vec<Task>)> =
+        push_groups.into_iter().collect();
+    push_units.sort_by(|a, b| a.0.cmp(&b.0));
+    let push_units: Vec<Vec<Task>> = push_units.into_iter().map(|(_, g)| g).collect();
+
+    let tickets = if config.augmenter.uses_threads() { config.threads_size } else { 1 };
+    let mut sink = engine.execute(push_units, UnitMode::PushdownGroup, tickets, runtime.pool)?;
+    sink.merge(dispatch(&engine, fetch_all, &config, runtime.pool)?);
+    Ok((finish(sink, &config, runtime), decisions))
+}
+
+/// Dry-runs the planner: the per-group verdicts a filtered augmentation
+/// of `plan` would execute under, without touching any store (the
+/// `EXPLAIN` surface). A trivial filter plans no groups. Unlike a real
+/// run, no observation context is installed here, so the planner
+/// counters stay untouched — explaining a query must not dirty the
+/// metrics a differential check compares.
+pub fn explain_groups(
+    polystore: &Polystore,
+    plan: &AugmentPlan,
+    config: &QuepaConfig,
+    filter: &Pushdown,
+    decider: Option<&PushdownDecider<'_>>,
+) -> Vec<GroupDecision> {
+    if filter.is_trivial() {
+        return Vec::new();
+    }
+    decide_groups(polystore, &partition(plan), &config.sanitized(), filter, decider)
+}
+
+/// The planner: one verdict per (database, collection) group, in sorted
+/// group order. Connector capability is consulted first (declines are
+/// counted per store); the decider only arbitrates supported groups.
+fn decide_groups(
+    polystore: &Polystore,
+    owned: &[Vec<Task>],
+    config: &QuepaConfig,
+    filter: &Pushdown,
+    decider: Option<&PushdownDecider<'_>>,
+) -> Vec<GroupDecision> {
+    let mut sizes: std::collections::BTreeMap<(DatabaseName, CollectionName), usize> =
+        std::collections::BTreeMap::new();
+    for task in owned.iter().flatten() {
+        *sizes
+            .entry((task.key.database().clone(), task.key.collection().clone()))
+            .or_default() += 1;
+    }
+    sizes
+        .into_iter()
+        .map(|((database, collection), keys)| {
+            let supported = polystore
+                .connector(&database)
+                .map(|c| (c.kind(), c.supports_pushdown(filter)))
+                .ok();
+            let (strategy, reason) = match supported {
+                _ if !config.pushdown => (GroupStrategy::FetchAll, DecisionReason::Disabled),
+                // Unknown database: let the fetch path surface the error.
+                None => (GroupStrategy::FetchAll, DecisionReason::Declined),
+                Some((_, false)) => {
+                    quepa_obs::record_pushdown_declined(database.as_str());
+                    (GroupStrategy::FetchAll, DecisionReason::Declined)
+                }
+                Some((kind, true)) => {
+                    if decider.is_none_or(|d| d(kind, keys)) {
+                        quepa_obs::record_pushdown_chosen(database.as_str());
+                        (GroupStrategy::Pushdown, DecisionReason::Chosen)
+                    } else {
+                        (GroupStrategy::FetchAll, DecisionReason::Predicted)
+                    }
+                }
+            };
+            GroupDecision { database, collection, keys, strategy, reason }
+        })
+        .collect()
+}
+
+/// Work partition for the outer/inner strategies: each target key is
+/// owned by the first seed that reaches it (the paper's augmenters
+/// iterate the original answer and skip already-retrieved objects).
+fn partition(plan: &AugmentPlan) -> Vec<Vec<Task>> {
+    let mut owned: Vec<Vec<Task>> = vec![Vec::new(); plan.seed_count];
+    for (a, &owner) in plan.augmented.iter().zip(&plan.ownership) {
+        owned[owner as usize].push(Task {
+            key: a.key.clone(),
+            probability: a.probability,
+            distance: a.distance,
+        });
+    }
+    owned
+}
+
+/// Runs the configured augmenter over a per-seed work partition.
+fn dispatch(
+    engine: &Engine,
+    owned: Vec<Vec<Task>>,
+    config: &QuepaConfig,
+    pool: Option<&WorkerPool>,
+) -> Result<Sink> {
     let threads = config.threads_size;
-    let pool = runtime.pool;
-    let sink = match config.augmenter {
-        AugmenterKind::Sequential => engine.sequential(&owned)?,
+    match config.augmenter {
+        AugmenterKind::Sequential => engine.sequential(&owned),
         AugmenterKind::Batch => {
             let units = batch_groups(&owned, config.batch_size);
-            engine.execute(units, true, 1, None)?
+            engine.execute(units, UnitMode::Group, 1, None)
         }
-        AugmenterKind::Inner => engine.inner(owned, threads, pool)?,
-        AugmenterKind::Outer => engine.execute(owned, false, threads, pool)?,
+        AugmenterKind::Inner => engine.inner(owned, threads, pool),
+        AugmenterKind::Outer => engine.execute(owned, UnitMode::Singles, threads, pool),
         AugmenterKind::OuterBatch => {
             let units = batch_groups(&owned, config.batch_size);
-            engine.execute(units, true, threads, pool)?
+            engine.execute(units, UnitMode::Group, threads, pool)
         }
         AugmenterKind::OuterInner => {
             // Outer × inner parallelism, flattened: per-key units claimed
@@ -258,27 +458,29 @@ pub fn run_planned_with(
             let outer = (threads / 2).max(1);
             let inner = (threads / 2).max(1);
             let units: Vec<Vec<Task>> = owned.into_iter().flatten().map(|t| vec![t]).collect();
-            engine.execute(units, false, outer * inner, pool)?
+            engine.execute(units, UnitMode::Singles, outer * inner, pool)
         }
-    };
+    }
+}
 
+/// Sorts a merged sink into the canonical answer order under the Merge
+/// span.
+fn finish(sink: Sink, config: &QuepaConfig, runtime: &FetchRuntime<'_>) -> AugmentationOutcome {
     let mut outcome = AugmentationOutcome {
         objects: sink.objects,
         missing: sink.missing,
         cache_hits: sink.cache_hits,
     };
-    {
-        let mut span =
-            runtime.obs.map(|r| quepa_obs::span_on(r, Stage::Merge, config.augmenter.name()));
-        if let Some(s) = span.as_mut() {
-            s.add_items(outcome.objects.len() as u64);
-        }
-        outcome.objects.sort_by(|a, b| {
-            b.probability.cmp(&a.probability).then_with(|| a.object.key().cmp(b.object.key()))
-        });
-        outcome.missing.sort();
+    let mut span =
+        runtime.obs.map(|r| quepa_obs::span_on(r, Stage::Merge, config.augmenter.name()));
+    if let Some(s) = span.as_mut() {
+        s.add_items(outcome.objects.len() as u64);
     }
-    Ok(outcome)
+    outcome.objects.sort_by(|a, b| {
+        b.probability.cmp(&a.probability).then_with(|| a.object.key().cmp(b.object.key()))
+    });
+    outcome.missing.sort();
+    outcome
 }
 
 /// Compiles the cross-seed batching of §IV-A into group units, in the
@@ -337,6 +539,22 @@ struct Engine {
     breakers: Arc<BreakerSet>,
     obs: Option<Arc<MetricsRegistry>>,
     flight: Option<Arc<FlightTable>>,
+    /// The active pushdown filter, if the augmentation is filtered. Set
+    /// only by [`run_planned_filtered`], which also forces `flight:
+    /// None` — the flight table's published outcomes are not
+    /// filter-aware.
+    filter: Option<Pushdown>,
+}
+
+/// What one work unit is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitMode {
+    /// A run of single-key fetches.
+    Singles,
+    /// A batch group sharing one (database, collection): one `multi_get`.
+    Group,
+    /// A filtered store group: one `fetch_where` carrying the predicate.
+    PushdownGroup,
 }
 
 /// Maps a fetch error to the structured reason it would leave in the
@@ -364,7 +582,7 @@ fn unreachable_reason(error: &PolyError) -> Option<MissingReason> {
 struct TicketBatch {
     engine: Engine,
     units: Vec<Vec<Task>>,
-    grouped: bool,
+    mode: UnitMode,
     next: AtomicUsize,
     slots: parking_lot::Mutex<Vec<Option<TicketOutcome>>>,
     latch: Latch,
@@ -381,7 +599,7 @@ impl TicketBatch {
             if i >= self.units.len() {
                 return Ok(local);
             }
-            self.engine.run_unit(&self.units[i], self.grouped, &mut local)?;
+            self.engine.run_unit(&self.units[i], self.mode, &mut local)?;
         }
     }
 }
@@ -416,6 +634,14 @@ impl Engine {
         Err(error.into())
     }
 
+    /// Whether the active filter (if any) admits this object. Client-side
+    /// evaluation uses the same canonical evaluator as every native
+    /// pushdown path, over the exact local key and value the connector
+    /// hands back — the bit-identity argument.
+    fn admits(&self, task: &Task, object: &DataObject) -> bool {
+        self.filter.as_ref().is_none_or(|f| f.matches(task.key.key().as_str(), object.value()))
+    }
+
     /// Accounts a cache (or coalesced-flight) hit and records the object.
     fn push_hit(&self, task: &Task, object: DataObject, sink: &mut Sink) {
         self.cache.tally_hit();
@@ -448,16 +674,21 @@ impl Engine {
             let cached = self.cache.get(&task.key);
             quepa_obs::record_cache_probe(cached.is_some());
             if let Some(object) = cached {
+                // The probe is a hit either way; a filtered-out hit just
+                // contributes no object (and is not missing).
                 sink.cache_hits += 1;
-                sink.objects.push(AugmentedObject {
-                    object,
-                    probability: task.probability,
-                    distance: task.distance,
-                });
+                if self.admits(task, &object) {
+                    sink.objects.push(AugmentedObject {
+                        object,
+                        probability: task.probability,
+                        distance: task.distance,
+                    });
+                }
                 return Ok(());
             }
             return self.fetch_one_uncached(task, sink);
         };
+        debug_assert!(self.filter.is_none(), "filtered runs disable the flight table");
         if let Some(object) = self.cache.probe(&task.key) {
             self.push_hit(task, object, sink);
             return Ok(());
@@ -486,12 +717,18 @@ impl Engine {
     fn fetch_one_uncached(&self, task: &Task, sink: &mut Sink) -> Result<()> {
         match self.round_trip_one(&task.key) {
             Ok(Some(object)) => {
-                self.cache.insert(object.clone());
-                sink.objects.push(AugmentedObject {
-                    object,
-                    probability: task.probability,
-                    distance: task.distance,
-                });
+                // An existing object that fails the filter is neither an
+                // answer nor missing — and it is never cached: under
+                // pushdown it would not have crossed the wire, and the
+                // cache state must not reveal which strategy ran.
+                if self.admits(task, &object) {
+                    self.cache.insert(object.clone());
+                    sink.objects.push(AugmentedObject {
+                        object,
+                        probability: task.probability,
+                        distance: task.distance,
+                    });
+                }
                 Ok(())
             }
             Ok(None) => {
@@ -570,11 +807,13 @@ impl Engine {
             match cached {
                 Some(object) => {
                     sink.cache_hits += 1;
-                    sink.objects.push(AugmentedObject {
-                        object,
-                        probability: task.probability,
-                        distance: task.distance,
-                    });
+                    if self.admits(task, &object) {
+                        sink.objects.push(AugmentedObject {
+                            object,
+                            probability: task.probability,
+                            distance: task.distance,
+                        });
+                    }
                 }
                 None => to_fetch.push(task),
             }
@@ -608,12 +847,14 @@ impl Engine {
             to_fetch.iter().map(|t| (&t.key, *t)).collect();
         for object in fetched {
             let Some(task) = wanted.remove(object.key()) else { continue };
-            self.cache.insert(object.clone());
-            sink.objects.push(AugmentedObject {
-                object,
-                probability: task.probability,
-                distance: task.distance,
-            });
+            if self.admits(task, &object) {
+                self.cache.insert(object.clone());
+                sink.objects.push(AugmentedObject {
+                    object,
+                    probability: task.probability,
+                    distance: task.distance,
+                });
+            }
         }
         // Preserve the historical missing order: to_fetch order, not map
         // order.
@@ -623,6 +864,100 @@ impl Engine {
             }
         }
         Ok(())
+    }
+
+    /// One filtered store group as a single `fetch_where` round trip:
+    /// cache probes first (hits evaluated client-side), then the
+    /// predicate travels to the store and only matching objects travel
+    /// back. Keys the store reports `rejected` exist but fail the filter
+    /// — neither answers nor missing; keys in neither list are gone (the
+    /// lazy-deletion signal, exactly as a `multi_get` would report
+    /// them). A degradable wire failure falls back to per-key round
+    /// trips with client-side filtering, mirroring the batch ladder.
+    fn fetch_group_pushdown(&self, group: &[Task], sink: &mut Sink) -> Result<()> {
+        debug_assert!(!group.is_empty());
+        let filter = self.filter.as_ref().expect("pushdown units carry the engine filter");
+        let mut to_fetch: Vec<&Task> = Vec::with_capacity(group.len());
+        for task in group {
+            let cached = self.cache.get(&task.key);
+            quepa_obs::record_cache_probe(cached.is_some());
+            match cached {
+                Some(object) => {
+                    sink.cache_hits += 1;
+                    if self.admits(task, &object) {
+                        sink.objects.push(AugmentedObject {
+                            object,
+                            probability: task.probability,
+                            distance: task.distance,
+                        });
+                    }
+                }
+                None => to_fetch.push(task),
+            }
+        }
+        if to_fetch.is_empty() {
+            return Ok(());
+        }
+        let database: &DatabaseName = to_fetch[0].key.database();
+        let collection: &CollectionName = to_fetch[0].key.collection();
+        let keys: Vec<LocalKey> = to_fetch.iter().map(|t| t.key.key().clone()).collect();
+        let fetched = match self.round_trip_pushdown(database, collection, &keys, filter) {
+            Ok(fetched) => fetched,
+            Err(error)
+                if self.resilience.degrade == DegradeMode::Partial
+                    && unreachable_reason(&error).is_some() =>
+            {
+                quepa_obs::record_pushdown_fallback(database.as_str());
+                for task in &to_fetch {
+                    self.fetch_one_uncached(task, sink)?;
+                }
+                return Ok(());
+            }
+            Err(error) => return Err(error.into()),
+        };
+        let mut wanted: HashMap<&GlobalKey, &Task> =
+            to_fetch.iter().map(|t| (&t.key, *t)).collect();
+        for object in fetched.matched {
+            let Some(task) = wanted.remove(object.key()) else { continue };
+            self.cache.insert(object.clone());
+            sink.objects.push(AugmentedObject {
+                object,
+                probability: task.probability,
+                distance: task.distance,
+            });
+        }
+        let rejected: std::collections::HashSet<&LocalKey> = fetched.rejected.iter().collect();
+        for task in &to_fetch {
+            if wanted.contains_key(&task.key) && !rejected.contains(task.key.key()) {
+                sink.missing.push(MissingKey::not_found(task.key.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// One pushdown round trip, resilient when configured. Shares its
+    /// retry salt and fault identity with a `multi_get` of the same key
+    /// list, so the planner's choice never changes which faults fire.
+    fn round_trip_pushdown(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> std::result::Result<FilteredFetch, PolyError> {
+        if self.resilience.is_trivial() {
+            self.polystore.fetch_where(database, collection, keys, filter)
+        } else {
+            let breaker = self.breaker(database);
+            self.polystore.fetch_where_resilient(
+                database,
+                collection,
+                keys,
+                filter,
+                &self.resilience.retry,
+                breaker.as_deref(),
+            )
+        }
     }
 
     /// The coalescing variant: the group's cache misses join the flight
@@ -758,21 +1093,24 @@ impl Engine {
                 continue;
             }
             let units: Vec<Vec<Task>> = tasks.into_iter().map(|t| vec![t]).collect();
-            sink.merge(self.execute(units, false, threads, pool)?);
+            sink.merge(self.execute(units, UnitMode::Singles, threads, pool)?);
         }
         Ok(sink)
     }
 
-    /// Runs one unit — a batch group or a run of single-key fetches —
-    /// into a ticket's local sink.
-    fn run_unit(&self, unit: &[Task], grouped: bool, sink: &mut Sink) -> Result<()> {
-        if grouped {
-            return self.fetch_group(unit, sink);
+    /// Runs one unit — a batch group, a pushdown group or a run of
+    /// single-key fetches — into a ticket's local sink.
+    fn run_unit(&self, unit: &[Task], mode: UnitMode, sink: &mut Sink) -> Result<()> {
+        match mode {
+            UnitMode::Group => self.fetch_group(unit, sink),
+            UnitMode::PushdownGroup => self.fetch_group_pushdown(unit, sink),
+            UnitMode::Singles => {
+                for task in unit {
+                    self.fetch_one(task, sink)?;
+                }
+                Ok(())
+            }
         }
-        for task in unit {
-            self.fetch_one(task, sink)?;
-        }
-        Ok(())
     }
 
     /// The ticket executor: `tickets` workers claim `units` off a shared
@@ -782,7 +1120,7 @@ impl Engine {
     fn execute(
         &self,
         units: Vec<Vec<Task>>,
-        grouped: bool,
+        mode: UnitMode,
         tickets: usize,
         pool: Option<&WorkerPool>,
     ) -> Result<Sink> {
@@ -793,27 +1131,27 @@ impl Engine {
         if tickets == 1 {
             let mut sink = Sink::default();
             for unit in &units {
-                self.run_unit(unit, grouped, &mut sink)?;
+                self.run_unit(unit, mode, &mut sink)?;
             }
             return Ok(sink);
         }
         match pool {
-            Some(pool) => self.execute_pooled(units, grouped, tickets, pool),
-            None => self.execute_scoped(&units, grouped, tickets),
+            Some(pool) => self.execute_pooled(units, mode, tickets, pool),
+            None => self.execute_scoped(&units, mode, tickets),
         }
     }
 
     fn execute_pooled(
         &self,
         units: Vec<Vec<Task>>,
-        grouped: bool,
+        mode: UnitMode,
         tickets: usize,
         pool: &WorkerPool,
     ) -> Result<Sink> {
         let state = Arc::new(TicketBatch {
             engine: self.clone(),
             units,
-            grouped,
+            mode,
             next: AtomicUsize::new(0),
             slots: parking_lot::Mutex::new((0..tickets).map(|_| None).collect()),
             latch: Latch::new(tickets),
@@ -842,7 +1180,7 @@ impl Engine {
         Ok(sink)
     }
 
-    fn execute_scoped(&self, units: &[Vec<Task>], grouped: bool, tickets: usize) -> Result<Sink> {
+    fn execute_scoped(&self, units: &[Vec<Task>], mode: UnitMode, tickets: usize) -> Result<Sink> {
         let next = AtomicUsize::new(0);
         let results = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..tickets)
@@ -855,7 +1193,7 @@ impl Engine {
                             if i >= units.len() {
                                 return Ok(local);
                             }
-                            self.run_unit(&units[i], grouped, &mut local)?;
+                            self.run_unit(&units[i], mode, &mut local)?;
                         }
                     })
                 })

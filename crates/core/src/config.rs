@@ -146,6 +146,12 @@ pub struct QuepaConfig {
     pub cache_size: usize,
     /// Retry, circuit-breaker and degradation policy.
     pub resilience: ResilienceConfig,
+    /// Whether filtered augmentations may push the predicate down to
+    /// connectors that support it (the planner still decides per store
+    /// group; unfiltered queries are unaffected). On by default —
+    /// answers are bit-identical either way, pushdown only changes the
+    /// wire traffic.
+    pub pushdown: bool,
     /// Whether the observability layer records (stage-scoped spans,
     /// per-store/per-stage latency histograms). Off by default: the
     /// disabled path must stay within noise of the un-instrumented
@@ -161,6 +167,7 @@ impl Default for QuepaConfig {
             threads_size: 4,
             cache_size: 4096,
             resilience: ResilienceConfig::default(),
+            pushdown: true,
             observability: false,
         }
     }
@@ -205,6 +212,9 @@ impl fmt::Display for QuepaConfig {
                 f.write_str(", partial")?;
             }
         }
+        if !self.pushdown {
+            f.write_str(", no-pushdown")?;
+        }
         if self.observability {
             f.write_str(", obs")?;
         }
@@ -244,6 +254,7 @@ mod tests {
             threads_size: 0,
             cache_size: 0,
             resilience: ResilienceConfig::default(),
+            pushdown: true,
             observability: false,
         }
         .sanitized();
@@ -288,6 +299,15 @@ mod tests {
         assert!(!c.to_string().contains("obs"), "disabled observability stays silent: {c}");
         let c = QuepaConfig { observability: true, ..QuepaConfig::default() };
         assert!(c.to_string().ends_with(", obs)"), "{c}");
+    }
+
+    #[test]
+    fn display_flags_disabled_pushdown() {
+        let c = QuepaConfig::default();
+        assert!(c.pushdown, "pushdown is on by default");
+        assert!(!c.to_string().contains("pushdown"), "default pushdown stays silent: {c}");
+        let c = QuepaConfig { pushdown: false, observability: true, ..QuepaConfig::default() };
+        assert!(c.to_string().ends_with(", no-pushdown, obs)"), "{c}");
     }
 
     #[test]

@@ -57,8 +57,11 @@ pub mod snapshot;
 pub mod system;
 pub mod validator;
 
-pub use adaptive::{AdaptiveOptimizer, HumanOptimizer, Optimizer, RandomOptimizer};
-pub use augmenter::{AugmentationOutcome, AugmentedObject, MissingKey, MissingReason};
+pub use adaptive::{AdaptiveOptimizer, HumanOptimizer, OnlineOptimizer, Optimizer, RandomOptimizer};
+pub use augmenter::{
+    AugmentationOutcome, AugmentedObject, DecisionReason, GroupDecision, GroupStrategy, MissingKey,
+    MissingReason,
+};
 pub use cache::ObjectCache;
 pub use config::{AugmenterKind, DegradeMode, QuepaConfig, ResilienceConfig};
 pub use durability::{

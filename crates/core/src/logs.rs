@@ -28,6 +28,8 @@ pub struct QueryFeatures {
     pub level: usize,
     /// True in the distributed deployment (high link latency).
     pub distributed: bool,
+    /// True when the augmentation carries a pushdown-eligible filter.
+    pub filtered: bool,
 }
 
 /// One completed augmentation run.
@@ -45,7 +47,7 @@ impl RunLog {
     /// A grouping key: runs with these identical characteristics answer
     /// "the same situation", so the fastest of them defines the best
     /// configuration for training.
-    pub fn situation(&self) -> (StoreKind, usize, usize, usize, usize, bool) {
+    pub fn situation(&self) -> (StoreKind, usize, usize, usize, usize, bool, bool) {
         let f = &self.features;
         (
             f.target_kind,
@@ -54,6 +56,7 @@ impl RunLog {
             bucket(f.augmented_size),
             f.level,
             f.distributed,
+            f.filtered,
         )
     }
 }
@@ -78,6 +81,7 @@ mod tests {
                 augmented_size: result_size * 4,
                 level: 0,
                 distributed: false,
+                filtered: false,
             },
             config: QuepaConfig::with_augmenter(augmenter),
             duration: Duration::from_millis(ms),

@@ -32,12 +32,12 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use quepa_aindex::{AIndex, IndexView, PathRepository, ShardIndexStats, ShardedIndex};
 use quepa_obs::{MetricsRegistry, MetricsSnapshot, Stage};
-use quepa_pdm::{DataObject, DatabaseName};
+use quepa_pdm::{DataObject, DatabaseName, Pushdown};
 use quepa_polystore::retry::{BreakerSet, BreakerState};
-use quepa_polystore::Polystore;
+use quepa_polystore::{Polystore, StoreKind};
 
 use crate::adaptive::Optimizer;
-use crate::augmenter::{self, FetchRuntime};
+use crate::augmenter::{self, FetchRuntime, GroupDecision};
 use crate::cache::ObjectCache;
 use crate::config::QuepaConfig;
 use crate::error::Result;
@@ -283,6 +283,68 @@ impl Quepa {
         Ok(answer)
     }
 
+    /// A *filtered* augmented search: like
+    /// [`augmented_search`](Quepa::augmented_search), but only augmented
+    /// objects satisfying `filter` are returned. Keys whose objects exist
+    /// but fail the predicate appear in neither `augmented` nor `missing`
+    /// — `missing` keeps its exact unfiltered meaning (gone or
+    /// unreachable). Per store group the planner pushes the predicate
+    /// down to connectors that support it (unless `config.pushdown` is
+    /// off or the installed optimizer's `T5` counsels against it); the
+    /// answer is bit-identical whichever side of the wire filters.
+    pub fn augmented_search_filtered(
+        &self,
+        database: &str,
+        query: &str,
+        level: usize,
+        filter: &Pushdown,
+    ) -> Result<AugmentedAnswer> {
+        let start = Instant::now();
+        let connector = self.polystore.connector_by_name(database)?;
+        let validated = self.validator.validate(connector.kind(), query)?;
+        let original = connector.execute(&validated.query)?;
+        self.augment_objects_filtered(&original, level, connector.kind(), start, Some(filter))
+    }
+
+    /// Dry-runs the filtered-augmentation planner: the per-group
+    /// pushdown/fetch-all verdicts the query *would* execute under,
+    /// without touching any store for the augmentation (the native query
+    /// itself still runs — the plan depends on its answer). The `EXPLAIN`
+    /// command surfaces this; nothing is fetched, cached, logged or
+    /// counted.
+    pub fn explain_search(
+        &self,
+        database: &str,
+        query: &str,
+        level: usize,
+        filter: &Pushdown,
+    ) -> Result<Vec<GroupDecision>> {
+        let connector = self.polystore.connector_by_name(database)?;
+        let validated = self.validator.validate(connector.kind(), query)?;
+        let original = connector.execute(&validated.query)?;
+        let index = self.index.view();
+        let keys: Vec<_> = original.iter().map(|o| o.key().clone()).collect();
+        let plan = augmenter::plan(&index, &keys, level);
+        let features = QueryFeatures {
+            target_kind: connector.kind(),
+            store_count: self.polystore.len(),
+            result_size: original.len(),
+            augmented_size: plan.augmented.len(),
+            level,
+            distributed: false,
+            filtered: !filter.is_trivial(),
+        };
+        let config = self.config();
+        let optimizer = self.optimizer.lock();
+        let decider = |kind: StoreKind, group_keys: usize| {
+            optimizer
+                .as_ref()
+                .and_then(|o| o.pushdown_for(&features, kind, group_keys))
+                .unwrap_or(true)
+        };
+        Ok(augmenter::explain_groups(&self.polystore, &plan, &config, filter, Some(&decider)))
+    }
+
     /// The server-facing entry point: an [`augmented_search`] that also
     /// keeps the admission ledger. A degraded execution clamps the
     /// augmentation level to 0 — the original answer without the fetch
@@ -311,8 +373,21 @@ impl Quepa {
         &self,
         original: &[DataObject],
         level: usize,
-        target_kind: quepa_polystore::StoreKind,
+        target_kind: StoreKind,
         start: Instant,
+    ) -> Result<AugmentedAnswer> {
+        self.augment_objects_filtered(original, level, target_kind, start, None)
+    }
+
+    /// The filtered variant behind [`augment_objects`](Self::augment_objects):
+    /// `filter = None` (or a trivial predicate) is the plain path.
+    pub(crate) fn augment_objects_filtered(
+        &self,
+        original: &[DataObject],
+        level: usize,
+        target_kind: StoreKind,
+        start: Instant,
+        filter: Option<&Pushdown>,
     ) -> Result<AugmentedAnswer> {
         // One index traversal serves both feature extraction and
         // retrieval: the plan carries the canonical neighbourhood plus
@@ -334,6 +409,7 @@ impl Quepa {
             augmented_size: plan.augmented.len(),
             level,
             distributed: false,
+            filtered: filter.is_some_and(|f| !f.is_trivial()),
         };
         let current = self.config();
         let config = match self.optimizer.lock().as_ref() {
@@ -356,8 +432,33 @@ impl Quepa {
             pool: Some(&self.pool),
             flight: Some(&self.flight),
         };
-        let outcome =
-            augmenter::run_planned_with(&self.polystore, &self.cache, &plan, &config, &runtime)?;
+        let outcome = match filter {
+            Some(f) if !f.is_trivial() => {
+                // The model-backed per-group decider: consult the
+                // installed optimizer's T5 counsel; no optimizer (or no
+                // opinion yet) means "push wherever supported". The lock
+                // is taken per call, during planning only — never across
+                // a store round trip.
+                let decider = |kind: StoreKind, group_keys: usize| {
+                    self.optimizer
+                        .lock()
+                        .as_ref()
+                        .and_then(|o| o.pushdown_for(&features, kind, group_keys))
+                        .unwrap_or(true)
+                };
+                let (outcome, _decisions) = augmenter::run_planned_filtered(
+                    &self.polystore,
+                    &self.cache,
+                    &plan,
+                    &config,
+                    &runtime,
+                    f,
+                    Some(&decider),
+                )?;
+                outcome
+            }
+            _ => augmenter::run_planned_with(&self.polystore, &self.cache, &plan, &config, &runtime)?,
+        };
 
         // Lazy deletion (§III-C): objects that vanished from the polystore
         // leave the index and the cache. Only *not-found* keys qualify —
@@ -388,7 +489,15 @@ impl Quepa {
         }
 
         let duration = start.elapsed();
-        self.log_shard().lock().push(RunLog { features, config, duration });
+        let run = RunLog { features, config, duration };
+        // Feed the online-retrain stream before shelving the log: an
+        // OnlineOptimizer refits from here, so a later query in the same
+        // process can already plan differently — no restart, no
+        // take_logs/train round trip.
+        if let Some(opt) = self.optimizer.lock().as_ref() {
+            opt.observe(&run);
+        }
+        self.log_shard().lock().push(run);
         Ok(AugmentedAnswer {
             original: original.to_vec(),
             augmented: outcome.objects,

@@ -103,6 +103,7 @@ fn config_for(kind: AugmenterKind, resilience: ResilienceConfig) -> QuepaConfig 
         cache_size: 0, // cold: every key exercises the faulted links
         resilience,
         observability: false,
+        pushdown: true,
     }
 }
 

@@ -272,6 +272,7 @@ fn poisoned_object_does_not_poison_its_batch() {
                 ..ResilienceConfig::default()
             },
             observability: false,
+            pushdown: true,
         });
         let answer = quepa.augmented_search("db0", "SCAN k COUNT 20", 0).unwrap();
         assert_eq!(answer.augmented.len(), 19, "{aug}: every healthy batch-mate must arrive");

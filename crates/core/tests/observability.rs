@@ -86,6 +86,7 @@ fn observed_config(kind: AugmenterKind, resilience: ResilienceConfig) -> QuepaCo
         cache_size: 64,
         resilience,
         observability: true,
+        pushdown: true,
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use quepa_pdm::Value;
 
 use crate::error::{DocError, Result};
+use crate::filter::Filter;
 use crate::query::{DocQuery, QueryVerb};
 
 /// One collection: documents keyed by `_id` (insertion order preserved via
@@ -106,6 +107,32 @@ impl DocumentDb {
         ids.iter()
             .filter_map(|id| coll.docs.get(*id).map(|d| ((*id).to_owned(), d.clone())))
             .collect()
+    }
+
+    /// Batched point lookup with a store-side filter: one simulated round
+    /// trip that returns only the documents matching `filter`, plus the
+    /// ids whose document exists but fails the filter (so callers can tell
+    /// filtered-out apart from missing).
+    pub fn multi_get_where(
+        &self,
+        collection: &str,
+        ids: &[&str],
+        filter: &Filter,
+    ) -> (Vec<(String, Value)>, Vec<String>) {
+        let Some(coll) = self.collections.get(collection) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut matched = Vec::new();
+        let mut rejected = Vec::new();
+        for id in ids {
+            let Some(doc) = coll.docs.get(*id) else { continue };
+            if filter.matches(doc) {
+                matched.push(((*id).to_owned(), doc.clone()));
+            } else {
+                rejected.push((*id).to_owned());
+            }
+        }
+        (matched, rejected)
     }
 
     /// Deletes by `_id`; returns whether the document existed.

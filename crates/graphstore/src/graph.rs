@@ -177,6 +177,29 @@ impl GraphDb {
         ids.iter().filter_map(|id| self.get(id)).collect()
     }
 
+    /// Batched point lookup with a store-side node predicate: one
+    /// simulated round trip that returns only the nodes matching `pred`,
+    /// plus the ids whose node exists but fails it (so callers can tell
+    /// filtered-out apart from missing). This is the traversal-filter
+    /// form the graph query language applies to `MATCH … WHERE`.
+    pub fn multi_get_where<'a>(
+        &'a self,
+        ids: &[&str],
+        pred: &dyn Fn(&Node) -> bool,
+    ) -> (Vec<&'a Node>, Vec<String>) {
+        let mut matched = Vec::new();
+        let mut rejected = Vec::new();
+        for id in ids {
+            let Some(node) = self.get(id) else { continue };
+            if pred(node) {
+                matched.push(node);
+            } else {
+                rejected.push((*id).to_owned());
+            }
+        }
+        (matched, rejected)
+    }
+
     /// Out-neighbours of a node following edges of `edge_type` (or any type
     /// if `None`).
     pub fn neighbors(&self, id: &str, edge_type: Option<&str>) -> Result<Vec<&Node>> {

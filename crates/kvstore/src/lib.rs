@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Errors of the key-value store's command language.
@@ -74,16 +74,22 @@ pub enum Reply {
 }
 
 /// An embedded ordered key-value store.
+///
+/// Alongside the primary keyspace the store maintains a secondary index
+/// from value to the set of keys holding it, so exact-value membership
+/// queries (the pushdown path of the polystore layer) are index probes
+/// rather than scans.
 #[derive(Debug, Clone)]
 pub struct KvStore {
     name: String,
     map: BTreeMap<String, String>,
+    by_value: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl KvStore {
     /// Creates an empty store.
     pub fn new(name: impl Into<String>) -> Self {
-        KvStore { name: name.into(), map: BTreeMap::new() }
+        KvStore { name: name.into(), map: BTreeMap::new(), by_value: BTreeMap::new() }
     }
 
     /// The store name.
@@ -103,7 +109,29 @@ impl KvStore {
 
     /// Sets a key, returning the previous value if any.
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
-        self.map.insert(key.into(), value.into())
+        let (key, value) = (key.into(), value.into());
+        let old = self.map.insert(key.clone(), value.clone());
+        match &old {
+            Some(old_value) if *old_value == value => {}
+            Some(old_value) => {
+                let old_value = old_value.clone();
+                self.unindex(&old_value, &key);
+                self.by_value.entry(value).or_default().insert(key);
+            }
+            None => {
+                self.by_value.entry(value).or_default().insert(key);
+            }
+        }
+        old
+    }
+
+    fn unindex(&mut self, value: &str, key: &str) {
+        if let Some(keys) = self.by_value.get_mut(value) {
+            keys.remove(key);
+            if keys.is_empty() {
+                self.by_value.remove(value);
+            }
+        }
     }
 
     /// Point lookup.
@@ -118,7 +146,51 @@ impl KvStore {
 
     /// Deletes a key; true if it existed.
     pub fn delete(&mut self, key: &str) -> bool {
-        self.map.remove(key).is_some()
+        match self.map.remove(key) {
+            None => false,
+            Some(value) => {
+                self.unindex(&value, key);
+                true
+            }
+        }
+    }
+
+    /// The keys currently holding exactly `value`, from the secondary
+    /// index (no scan). Sorted; empty when no key holds the value.
+    pub fn keys_with_value(&self, value: &str) -> Vec<&str> {
+        self.by_value.get(value).map_or_else(Vec::new, |ks| {
+            ks.iter().map(String::as_str).collect()
+        })
+    }
+
+    /// Batched lookup with a store-side predicate over `(key, value)`:
+    /// one simulated round trip that returns only matching entries, plus
+    /// the keys that exist but fail the predicate. When `value_eq` is
+    /// supplied the membership test is served from the secondary value
+    /// index instead of evaluating the predicate per entry.
+    pub fn multi_get_where(
+        &self,
+        keys: &[&str],
+        value_eq: Option<&str>,
+        pred: &dyn Fn(&str, &str) -> bool,
+    ) -> (Vec<(String, String)>, Vec<String>) {
+        let mut matched = Vec::new();
+        let mut rejected = Vec::new();
+        for k in keys {
+            let Some(v) = self.map.get(*k) else { continue };
+            let hit = match value_eq {
+                Some(want) => {
+                    self.by_value.get(want).is_some_and(|ks| ks.contains(*k))
+                }
+                None => pred(k, v),
+            };
+            if hit {
+                matched.push(((*k).to_owned(), v.clone()));
+            } else {
+                rejected.push((*k).to_owned());
+            }
+        }
+        (matched, rejected)
     }
 
     /// Range scan over keys with the given prefix, optionally capped.
@@ -327,6 +399,43 @@ mod tests {
         assert!(kv.delete("k1:cure:wish"));
         assert!(!kv.delete("k1:cure:wish"));
         assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let mut kv = KvStore::new("d");
+        kv.set("a", "x");
+        kv.set("b", "x");
+        kv.set("c", "y");
+        assert_eq!(kv.keys_with_value("x"), vec!["a", "b"]);
+        // Overwrite moves the key between value buckets.
+        kv.set("a", "y");
+        assert_eq!(kv.keys_with_value("x"), vec!["b"]);
+        assert_eq!(kv.keys_with_value("y"), vec!["a", "c"]);
+        // Same-value overwrite keeps the entry.
+        kv.set("b", "x");
+        assert_eq!(kv.keys_with_value("x"), vec!["b"]);
+        kv.delete("b");
+        assert!(kv.keys_with_value("x").is_empty());
+    }
+
+    #[test]
+    fn multi_get_where_splits_matched_and_rejected() {
+        let kv = discounts();
+        let (m, r) = kv.multi_get_where(
+            &["k1:cure:wish", "nope", "k2:cure:faith"],
+            None,
+            &|_, v| v == "40%",
+        );
+        assert_eq!(m, vec![("k1:cure:wish".to_owned(), "40%".to_owned())]);
+        assert_eq!(r, vec!["k2:cure:faith".to_owned()], "missing keys are skipped, not rejected");
+        // Index-served equality agrees with the predicate path.
+        let (m2, r2) = kv.multi_get_where(
+            &["k1:cure:wish", "nope", "k2:cure:faith"],
+            Some("40%"),
+            &|_, _| unreachable!("index path must not call the predicate"),
+        );
+        assert_eq!((m, r), (m2, r2));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //!   reduced-error pruning against a held-out fraction of the training
 //!   data, exactly REPTree's recipe.
 //!
-//! [`dataset`] holds the shared feature/label representation and
-//! [`eval`] the train/test utilities the experiments use.
+//! [`dataset`] holds the shared feature/label representation,
+//! [`eval`] the train/test utilities the experiments use, and
+//! [`stream`] the bounded deterministic reservoir the online optimizer
+//! retrains from.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +28,9 @@ pub mod c45;
 pub mod dataset;
 pub mod eval;
 pub mod reptree;
+pub mod stream;
 
 pub use c45::DecisionTree;
 pub use dataset::{AttrKind, Dataset, DatasetBuilder, FeatureValue, Schema};
 pub use reptree::RegressionTree;
+pub use stream::Reservoir;

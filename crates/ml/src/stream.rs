@@ -1,0 +1,143 @@
+//! Streaming training sets: a bounded, deterministic reservoir.
+//!
+//! The online optimizer retrains its trees from the live run-log stream.
+//! Keeping *every* log would grow without bound; keeping only the last
+//! `N` would forget the rare situations the planner most needs (a
+//! high-fanout filtered query seen once an hour). A reservoir sample
+//! keeps a uniform sample over the whole stream in `O(capacity)` memory
+//! — Vitter's Algorithm R — with one twist: the replacement draws come
+//! from a SplitMix64 hash of `(seed, items-seen counter)` instead of a
+//! stateful RNG, so the reservoir contents are a pure function of the
+//! seed and the stream prefix. Two instances fed the same stream hold
+//! the same sample, refit the same trees and make the same pushdown
+//! decisions — the determinism contract the differential checker leans
+//! on.
+
+/// A fixed-capacity uniform sample over an unbounded stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seed: u64,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir holding at most `capacity` items. The seed
+    /// fixes the replacement draws; same seed + same stream ⇒ same
+    /// sample.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Reservoir { capacity, seed, seen: 0, items: Vec::new() }
+    }
+
+    /// Offers one stream item. The first `capacity` items are always
+    /// kept; the `i`-th item thereafter replaces a uniformly drawn slot
+    /// with probability `capacity / i` (Algorithm R).
+    pub fn push(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        // j uniform in [0, seen); keep when it lands inside the sample.
+        // The modulo bias is ≤ capacity/2^64 — irrelevant at this scale.
+        let j = splitmix64(self.seed ^ self.seen) % self.seen;
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// The current sample, in slot order (not stream order).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total items offered over the stream's lifetime.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// SplitMix64: a strong 64-bit finalizer (public-domain constants).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_stays_bounded() {
+        let mut r = Reservoir::new(4, 7);
+        for i in 0..100u32 {
+            r.push(i);
+            assert!(r.len() <= 4);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn short_streams_are_kept_whole() {
+        let mut r = Reservoir::new(10, 0);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let sample = |seed: u64| {
+            let mut r = Reservoir::new(8, seed);
+            for i in 0..1000u32 {
+                r.push(i);
+            }
+            r.items().to_vec()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43), "different seeds sample differently");
+    }
+
+    #[test]
+    fn samples_across_the_whole_stream() {
+        // A uniform sample over 0..10_000 should not be stuck in the
+        // prefix: with capacity 16 the odds of all samples < 1000 are
+        // astronomically small for any reasonable hash.
+        let mut r = Reservoir::new(16, 3);
+        for i in 0..10_000u32 {
+            r.push(i);
+        }
+        assert!(r.items().iter().any(|&i| i >= 1000), "{:?}", r.items());
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut r = Reservoir::new(0, 1);
+        r.push(1u8);
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 1);
+    }
+}

@@ -98,6 +98,23 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
 
     let _ = writeln!(
         out,
+        "# HELP quepa_store_pushdown_latency_nanos Simulated cost of pushdown round trips per store (ns)"
+    );
+    let _ = writeln!(out, "# TYPE quepa_store_pushdown_latency_nanos histogram");
+    for (name, store) in &snapshot.stores {
+        if !store.pushdown_latency.is_empty() {
+            let labels = format!("store=\"{}\"", escape_label(name));
+            prom_histogram(
+                &mut out,
+                "quepa_store_pushdown_latency_nanos",
+                &labels,
+                &store.pushdown_latency,
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
         "# HELP quepa_stage_sim_latency_nanos Simulated time attributed to each stage (ns)"
     );
     let _ = writeln!(out, "# TYPE quepa_stage_sim_latency_nanos histogram");
@@ -110,7 +127,7 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     }
 
     type StoreCounter = (&'static str, &'static str, fn(&crate::registry::StoreMetrics) -> u64);
-    let counters: [StoreCounter; 5] = [
+    let counters: [StoreCounter; 8] = [
         ("quepa_store_retries_total", "Round-trip retries per store", |s| s.retries),
         ("quepa_store_timeouts_total", "Simulated timeouts per store", |s| s.timeouts),
         (
@@ -124,6 +141,21 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             |s| s.breaker_rejections,
         ),
         ("quepa_store_faults_total", "Injected faults observed per store", |s| s.faults),
+        (
+            "quepa_pushdown_chosen_total",
+            "Store groups the planner executed as a pushdown",
+            |s| s.pushdown_chosen,
+        ),
+        (
+            "quepa_pushdown_declined_total",
+            "Store groups where the connector declined the filter",
+            |s| s.pushdown_declined,
+        ),
+        (
+            "quepa_pushdown_fallback_total",
+            "Chosen pushdowns that errored and fell back to fetch-all",
+            |s| s.pushdown_fallback,
+        ),
     ];
     for (metric, help, get) in counters {
         prom_counter_header(&mut out, metric, help);
@@ -256,10 +288,20 @@ pub fn json(snapshot: &MetricsSnapshot) -> String {
         json_histogram(&mut out, &store.sim_latency);
         out.push_str(",\"backoff\":");
         json_histogram(&mut out, &store.backoff);
+        out.push_str(",\"pushdown_latency\":");
+        json_histogram(&mut out, &store.pushdown_latency);
         let _ = write!(
             out,
-            ",\"retries\":{},\"timeouts\":{},\"breaker_trips\":{},\"breaker_rejections\":{},\"faults\":{}}}",
-            store.retries, store.timeouts, store.breaker_trips, store.breaker_rejections, store.faults
+            ",\"retries\":{},\"timeouts\":{},\"breaker_trips\":{},\"breaker_rejections\":{},\
+             \"faults\":{},\"pushdown_chosen\":{},\"pushdown_declined\":{},\"pushdown_fallback\":{}}}",
+            store.retries,
+            store.timeouts,
+            store.breaker_trips,
+            store.breaker_rejections,
+            store.faults,
+            store.pushdown_chosen,
+            store.pushdown_declined,
+            store.pushdown_fallback
         );
     }
     out.push_str("},\"stages\":{");
@@ -358,6 +400,32 @@ mod tests {
         let j = json(&s);
         assert!(
             j.contains("\"admission\":{\"offered\":2,\"served\":1,\"degraded\":1,\"shed\":1}"),
+            "{j}"
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "balanced braces in {j}");
+    }
+
+    #[test]
+    fn pushdown_metrics_export() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.record_pushdown_chosen("sql");
+        r.record_pushdown_chosen("sql");
+        r.record_pushdown_declined("sql");
+        r.record_pushdown_fallback("sql");
+        r.record_pushdown_latency("sql", Duration::from_nanos(6));
+        let s = r.snapshot();
+        let text = prometheus_text(&s);
+        assert!(text.contains("quepa_pushdown_chosen_total{store=\"sql\"} 2"), "{text}");
+        assert!(text.contains("quepa_pushdown_declined_total{store=\"sql\"} 1"), "{text}");
+        assert!(text.contains("quepa_pushdown_fallback_total{store=\"sql\"} 1"), "{text}");
+        assert!(text.contains("# TYPE quepa_store_pushdown_latency_nanos histogram"), "{text}");
+        assert!(text.contains("quepa_store_pushdown_latency_nanos_count{store=\"sql\"} 1"));
+        assert!(text.contains("quepa_store_pushdown_latency_nanos_sum{store=\"sql\"} 6"));
+        let j = json(&s);
+        assert!(j.contains("\"pushdown_latency\":{\"count\":1,\"sum_nanos\":6"), "{j}");
+        assert!(
+            j.contains("\"pushdown_chosen\":2,\"pushdown_declined\":1,\"pushdown_fallback\":1"),
             "{j}"
         );
         assert_eq!(j.matches('{').count(), j.matches('}').count(), "balanced braces in {j}");

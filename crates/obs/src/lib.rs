@@ -36,6 +36,7 @@ pub use registry::{
 };
 pub use span::{
     enter_stage, observe, record_backoff, record_breaker_rejection, record_cache_probe,
-    record_fault, record_link_event, span_on, ContextGuard, SpanGuard, Stage, StageGuard,
-    TraceEvent,
+    record_fault, record_link_event, record_pushdown_chosen, record_pushdown_declined,
+    record_pushdown_fallback, record_pushdown_latency, span_on, ContextGuard, SpanGuard, Stage,
+    StageGuard, TraceEvent,
 };

@@ -38,6 +38,10 @@ struct StoreRecorder {
     backoff: LatencyHistogram,
     breaker_rejections: AtomicU64,
     faults: AtomicU64,
+    pushdown_latency: LatencyHistogram,
+    pushdown_chosen: AtomicU64,
+    pushdown_declined: AtomicU64,
+    pushdown_fallback: AtomicU64,
 }
 
 struct StageRecorder {
@@ -142,6 +146,34 @@ impl MetricsRegistry {
         self.store(store).faults.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one group the planner chose to execute as a pushdown
+    /// against `store`.
+    pub fn record_pushdown_chosen(&self, store: &str) {
+        self.store(store).pushdown_chosen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one group where `store`'s connector declined the filter
+    /// (no native path; the engine fetched everything and filtered
+    /// client-side).
+    pub fn record_pushdown_declined(&self, store: &str) {
+        self.store(store).pushdown_declined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one chosen pushdown that errored on the wire and fell back
+    /// to the fetch-all path against `store`.
+    pub fn record_pushdown_fallback(&self, store: &str) {
+        self.store(store).pushdown_fallback.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the simulated cost of one completed pushdown round trip
+    /// against `store`. This is *in addition to* the link event the
+    /// connector itself reports — a per-strategy view of the same wire,
+    /// not a second account of it (only the link events sum to total
+    /// simulated time).
+    pub fn record_pushdown_latency(&self, store: &str, sim_cost: Duration) {
+        self.store(store).pushdown_latency.record(sim_cost);
+    }
+
     /// Counts one LRU cache probe.
     pub fn record_cache_probe(&self, hit: bool) {
         if hit {
@@ -212,6 +244,10 @@ impl MetricsRegistry {
                         retries: 0,
                         timeouts: 0,
                         breaker_trips: 0,
+                        pushdown_latency: r.pushdown_latency.snapshot(),
+                        pushdown_chosen: r.pushdown_chosen.load(Ordering::Relaxed),
+                        pushdown_declined: r.pushdown_declined.load(Ordering::Relaxed),
+                        pushdown_fallback: r.pushdown_fallback.load(Ordering::Relaxed),
                     },
                 )
             })
@@ -282,6 +318,16 @@ pub struct StoreMetrics {
     pub timeouts: u64,
     /// Closed→open breaker transitions, folded from `ConnectorStats`.
     pub breaker_trips: u64,
+    /// Simulated cost of each completed pushdown round trip (a
+    /// per-strategy view of link events already counted in
+    /// `sim_latency`).
+    pub pushdown_latency: HistogramSnapshot,
+    /// Groups the planner executed as a pushdown against this store.
+    pub pushdown_chosen: u64,
+    /// Groups where the connector declined the filter.
+    pub pushdown_declined: u64,
+    /// Chosen pushdowns that errored and fell back to fetch-all.
+    pub pushdown_fallback: u64,
 }
 
 impl StoreMetrics {
@@ -295,6 +341,10 @@ impl StoreMetrics {
             retries: self.retries.saturating_add(other.retries),
             timeouts: self.timeouts.saturating_add(other.timeouts),
             breaker_trips: self.breaker_trips.saturating_add(other.breaker_trips),
+            pushdown_latency: self.pushdown_latency.merge(other.pushdown_latency),
+            pushdown_chosen: self.pushdown_chosen.saturating_add(other.pushdown_chosen),
+            pushdown_declined: self.pushdown_declined.saturating_add(other.pushdown_declined),
+            pushdown_fallback: self.pushdown_fallback.saturating_add(other.pushdown_fallback),
         }
     }
 }
@@ -549,6 +599,29 @@ mod tests {
         assert_eq!(m, AdmissionMetrics { offered: 6, served: 3, degraded: 1, shed: 1 });
         r.reset();
         assert_eq!(r.snapshot().admission, AdmissionMetrics::default());
+    }
+
+    #[test]
+    fn pushdown_counters_record_merge_and_reset() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.record_pushdown_chosen("kv");
+        r.record_pushdown_chosen("kv");
+        r.record_pushdown_declined("kv");
+        r.record_pushdown_fallback("kv");
+        r.record_pushdown_latency("kv", Duration::from_nanos(640));
+        let s = r.snapshot();
+        assert_eq!(s.stores["kv"].pushdown_chosen, 2);
+        assert_eq!(s.stores["kv"].pushdown_declined, 1);
+        assert_eq!(s.stores["kv"].pushdown_fallback, 1);
+        assert_eq!(s.stores["kv"].pushdown_latency.count, 1);
+        assert_eq!(s.stores["kv"].pushdown_latency.sum_nanos, 640);
+        assert!(!s.is_empty());
+        let m = s.clone().merge(s.clone());
+        assert_eq!(m.stores["kv"].pushdown_chosen, 4);
+        assert_eq!(m.stores["kv"].pushdown_latency.count, 2);
+        r.reset();
+        assert!(r.snapshot().is_empty());
     }
 
     #[test]

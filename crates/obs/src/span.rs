@@ -173,6 +173,30 @@ pub fn record_cache_probe(hit: bool) {
     with_context(|ctx| ctx.registry.record_cache_probe(hit));
 }
 
+/// Reports that the planner chose the pushdown strategy for one store
+/// group against `store`.
+pub fn record_pushdown_chosen(store: &str) {
+    with_context(|ctx| ctx.registry.record_pushdown_chosen(store));
+}
+
+/// Reports that `store`'s connector declined a filter pushdown.
+pub fn record_pushdown_declined(store: &str) {
+    with_context(|ctx| ctx.registry.record_pushdown_declined(store));
+}
+
+/// Reports that a chosen pushdown errored and fell back to fetch-all
+/// against `store`.
+pub fn record_pushdown_fallback(store: &str) {
+    with_context(|ctx| ctx.registry.record_pushdown_fallback(store));
+}
+
+/// Reports the simulated cost of one completed pushdown round trip
+/// against `store` (in addition to the link event the connector
+/// reports).
+pub fn record_pushdown_latency(store: &str, sim_cost: Duration) {
+    with_context(|ctx| ctx.registry.record_pushdown_latency(store, sim_cost));
+}
+
 /// One completed wall-clock span, as kept in the trace ring.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {

@@ -30,6 +30,7 @@ pub mod key;
 pub mod object;
 pub mod prelation;
 pub mod prob;
+pub mod pushdown;
 pub mod text;
 pub mod value;
 
@@ -38,4 +39,5 @@ pub use key::{CollectionName, DatabaseName, GlobalKey, LocalKey};
 pub use object::DataObject;
 pub use prelation::{PRelation, RelationKind};
 pub use prob::Probability;
+pub use pushdown::{PushClause, PushField, PushOp, Pushdown};
 pub use value::Value;

@@ -1,9 +1,24 @@
 //! The connector abstraction (paper §III-A).
 
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, LocalKey};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, LocalKey, Pushdown};
 
 use crate::error::Result;
 use crate::stats::StatsSnapshot;
+
+/// Result of a filtered keyed fetch ([`Connector::fetch_where`]).
+///
+/// The three-way outcome per requested key is what the augmenter's lazy
+/// deletion depends on: keys in `matched` were fetched, keys in `rejected`
+/// *exist* but fail the predicate (they must be silently excluded — not
+/// treated as missing), and keys in neither list are genuinely gone from
+/// the store (the lazy-deletion signal).
+#[derive(Debug, Clone, Default)]
+pub struct FilteredFetch {
+    /// The objects that exist and satisfy the predicate.
+    pub matched: Vec<DataObject>,
+    /// Keys whose object exists but fails the predicate.
+    pub rejected: Vec<LocalKey>,
+}
 
 /// The paradigm of the underlying engine. QUEPA never branches on this for
 /// semantics — it only surfaces in statistics and in the adaptive
@@ -72,6 +87,42 @@ pub trait Connector: Send + Sync {
     /// caller comparing lengths).
     fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>>;
 
+    /// Whether this connector can evaluate `filter` natively (the planner
+    /// asks before choosing the PUSHDOWN strategy). The default declines
+    /// everything; the caller then falls back to
+    /// [`multi_get`](Connector::multi_get) plus client-side filtering.
+    fn supports_pushdown(&self, filter: &Pushdown) -> bool {
+        let _ = filter;
+        false
+    }
+
+    /// Filtered batched lookup: one round trip that fetches `keys` and
+    /// applies `filter` *inside the store*, so only matching objects cross
+    /// the wire. The semantics of the filter are fixed by
+    /// [`Pushdown::matches`]; native implementations must agree with it
+    /// exactly (the check harness diffs the two paths bit-for-bit).
+    ///
+    /// The default implementation is the fetch-all fallback: a plain
+    /// `multi_get` followed by client-side evaluation — correct for any
+    /// connector, just without the wire saving.
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        let objects = self.multi_get(collection, keys)?;
+        let mut out = FilteredFetch::default();
+        for o in objects {
+            if filter.matches(o.key().key().as_str(), o.value()) {
+                out.matched.push(o);
+            } else {
+                out.rejected.push(o.key().key().clone());
+            }
+        }
+        Ok(out)
+    }
+
     /// Dumps every object of one collection — the Collector's ingest path
     /// (record linkage needs to see the data). Charged like one big query.
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>>;
@@ -102,5 +153,83 @@ pub trait Connector: Send + Sync {
     /// in-memory reference stores, which have nothing to flush.
     fn commit_durable(&self) -> Result<bool> {
         Ok(false)
+    }
+}
+
+/// A wrapper hiding the inner connector's native pushdown support: the
+/// planner sees a store that declines every filter and falls back to
+/// fetch-all with client-side evaluation. Everything else delegates
+/// untouched ([`fetch_where`](Connector::fetch_where) deliberately keeps
+/// the *default* fallback body over the delegated `multi_get`, so even a
+/// direct call never reaches the native path).
+///
+/// The check harness toggles pushdown per store with this (answers must
+/// be bit-identical either way); it is also handy for A/B measurements.
+pub struct PushdownGate {
+    inner: std::sync::Arc<dyn Connector>,
+}
+
+impl PushdownGate {
+    /// Gates `inner`: same store, no native pushdown.
+    pub fn new(inner: std::sync::Arc<dyn Connector>) -> Self {
+        PushdownGate { inner }
+    }
+}
+
+impl Connector for PushdownGate {
+    fn database(&self) -> &DatabaseName {
+        self.inner.database()
+    }
+
+    fn kind(&self) -> StoreKind {
+        self.inner.kind()
+    }
+
+    fn collections(&self) -> Vec<CollectionName> {
+        self.inner.collections()
+    }
+
+    fn execute(&self, query: &str) -> Result<Vec<DataObject>> {
+        self.inner.execute(query)
+    }
+
+    fn execute_update(&self, statement: &str) -> Result<usize> {
+        self.inner.execute_update(statement)
+    }
+
+    fn get(&self, collection: &CollectionName, key: &LocalKey) -> Result<Option<DataObject>> {
+        self.inner.get(collection, key)
+    }
+
+    fn multi_get(&self, collection: &CollectionName, keys: &[LocalKey]) -> Result<Vec<DataObject>> {
+        self.inner.multi_get(collection, keys)
+    }
+
+    fn supports_pushdown(&self, _filter: &Pushdown) -> bool {
+        false
+    }
+
+    fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
+        self.inner.scan_collection(collection)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+
+    fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
+        self.inner.record_resilience(retries, timeouts, breaker_trips)
+    }
+
+    fn commit_durable(&self) -> Result<bool> {
+        self.inner.commit_durable()
     }
 }

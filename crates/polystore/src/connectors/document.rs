@@ -1,10 +1,13 @@
 //! Connector for the document store.
 
 use parking_lot::RwLock;
-use quepa_docstore::{DocQuery, DocumentDb, QueryVerb};
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+use quepa_docstore::{DocQuery, DocumentDb, FieldOp, Filter, QueryVerb};
+use quepa_pdm::{
+    CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, PushField, PushOp, Pushdown,
+    Value,
+};
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::connectors::payload_bytes;
 use crate::error::{PolyError, Result};
 use crate::net::LatencyModel;
@@ -131,6 +134,47 @@ impl Connector for DocumentConnector {
         Ok(objects)
     }
 
+    fn supports_pushdown(&self, _filter: &Pushdown) -> bool {
+        true
+    }
+
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        // Path clauses translate to the store's own filter language and run
+        // inside the engine; key/root clauses (which the document filter
+        // cannot address — `_id` may be an integer whose local key is its
+        // decimal rendering) are evaluated on what the engine returns,
+        // before anything is charged to the wire.
+        let (native, residual) = split_for_doc_filter(filter);
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let (pairs, rejected) =
+            self.db.read().multi_get_where(collection.as_str(), &key_strs, &native);
+        let mut out = FilteredFetch::default();
+        for id in rejected {
+            out.rejected
+                .push(LocalKey::new(&id).map_err(|e| PolyError::store(self.name.as_str(), e))?);
+        }
+        for (_, doc) in pairs {
+            let object = self.object_from_doc(collection, doc)?;
+            if residual.matches(object.key().key().as_str(), object.value()) {
+                out.matched.push(object);
+            } else {
+                out.rejected.push(object.key().key().clone());
+            }
+        }
+        let bytes = payload_bytes(&out.matched);
+        let cost = self.latency.cost(out.matched.len(), bytes);
+        self.latency.pay(out.matched.len(), bytes);
+        self.stats.record(false, out.matched.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
+        quepa_obs::record_pushdown_latency(self.name.as_str(), cost);
+        Ok(out)
+    }
+
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         self.execute(&format!("db.{}.find()", collection.as_str()))
     }
@@ -150,6 +194,49 @@ impl Connector for DocumentConnector {
     fn record_resilience(&self, retries: u64, timeouts: u64, breaker_trips: u64) {
         self.stats.record_resilience(retries, timeouts, breaker_trips);
     }
+}
+
+/// Splits a pushdown conjunction into the part the document store's filter
+/// language can express natively (path clauses; `Filter`'s matcher and
+/// [`Pushdown::matches`] share their semantics by construction) and the
+/// residual clauses the connector must evaluate itself (key/root clauses,
+/// and string operators with non-string literals, which `FieldOp` cannot
+/// hold — the canonical evaluator says those match nothing).
+fn split_for_doc_filter(filter: &Pushdown) -> (Filter, Pushdown) {
+    let mut native = Vec::new();
+    let mut residual = Pushdown::default();
+    for clause in &filter.clauses {
+        let PushField::Path(path) = &clause.field else {
+            residual.clauses.push(clause.clone());
+            continue;
+        };
+        let op = match clause.op {
+            PushOp::Eq => FieldOp::Eq(clause.literal.clone()),
+            PushOp::Ne => FieldOp::Ne(clause.literal.clone()),
+            PushOp::Gt => FieldOp::Gt(clause.literal.clone()),
+            PushOp::Gte => FieldOp::Gte(clause.literal.clone()),
+            PushOp::Lt => FieldOp::Lt(clause.literal.clone()),
+            PushOp::Lte => FieldOp::Lte(clause.literal.clone()),
+            PushOp::Contains | PushOp::Prefix => {
+                let Some(s) = clause.literal.as_str() else {
+                    residual.clauses.push(clause.clone());
+                    continue;
+                };
+                if clause.op == PushOp::Contains {
+                    FieldOp::Contains(s.to_owned())
+                } else {
+                    FieldOp::Prefix(s.to_owned())
+                }
+            }
+        };
+        native.push(Filter::Field { path: path.clone(), op });
+    }
+    let native = match native.len() {
+        0 => Filter::All,
+        1 => native.pop().expect("one clause"),
+        _ => Filter::And(native),
+    };
+    (native, residual)
 }
 
 #[cfg(test)]

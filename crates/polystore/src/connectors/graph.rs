@@ -2,9 +2,9 @@
 
 use parking_lot::RwLock;
 use quepa_graphstore::{GraphDb, Node};
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Pushdown};
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::connectors::payload_bytes;
 use crate::error::{PolyError, Result};
 use crate::net::LatencyModel;
@@ -44,12 +44,13 @@ impl GraphConnector {
         Ok(DataObject::new(key, node.to_value()))
     }
 
-    fn charge(&self, is_query: bool, objects: &[DataObject]) {
+    fn charge(&self, is_query: bool, objects: &[DataObject]) -> std::time::Duration {
         let bytes = payload_bytes(objects);
         let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
         self.stats.record(is_query, objects.len(), bytes, cost);
         quepa_obs::record_link_event(self.name.as_str(), cost);
+        cost
     }
 }
 
@@ -113,7 +114,7 @@ impl Connector for GraphConnector {
         match &object {
             Some(o) => self.charge(false, std::slice::from_ref(o)),
             None => self.charge(false, &[]),
-        }
+        };
         Ok(object)
     }
 
@@ -130,6 +131,45 @@ impl Connector for GraphConnector {
         let objects = objects?;
         self.charge(false, &objects);
         Ok(objects)
+    }
+
+    fn supports_pushdown(&self, _filter: &Pushdown) -> bool {
+        true
+    }
+
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        let db = self.db.read();
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        // The traversal filter: label *and* predicate are applied at the
+        // node before it leaves the store. A node under a different label
+        // is invisible to this collection (same as `multi_get`), so it is
+        // dropped from the rejected list too — to the caller it is simply
+        // not here, not filtered-out.
+        let (nodes, rejected) = db.multi_get_where(&key_strs, &|n: &Node| {
+            n.label.to_lowercase() == collection.as_str() && filter.matches(&n.id, &n.to_value())
+        });
+        let mut out = FilteredFetch::default();
+        for node in nodes {
+            out.matched.push(self.object_from_node_in(collection, node)?);
+        }
+        for id in rejected {
+            let visible =
+                db.get(&id).is_some_and(|n| n.label.to_lowercase() == collection.as_str());
+            if visible {
+                out.rejected.push(
+                    LocalKey::new(&id).map_err(|e| PolyError::store(self.name.as_str(), e))?,
+                );
+            }
+        }
+        drop(db);
+        let cost = self.charge(false, &out.matched);
+        quepa_obs::record_pushdown_latency(self.name.as_str(), cost);
+        Ok(out)
     }
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {

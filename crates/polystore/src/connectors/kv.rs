@@ -2,9 +2,12 @@
 
 use parking_lot::RwLock;
 use quepa_kvstore::{KvStore, Reply};
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+use quepa_pdm::{
+    CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, PushField, PushOp, Pushdown,
+    Value,
+};
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::connectors::payload_bytes;
 use crate::error::{PolyError, Result};
 use crate::net::LatencyModel;
@@ -46,12 +49,13 @@ impl KvConnector {
         Ok(DataObject::new(gk, Value::Str(value)))
     }
 
-    fn charge(&self, is_query: bool, objects: &[DataObject]) {
+    fn charge(&self, is_query: bool, objects: &[DataObject]) -> std::time::Duration {
         let bytes = payload_bytes(objects);
         let cost = self.latency.cost(objects.len(), bytes);
         self.latency.pay(objects.len(), bytes);
         self.stats.record(is_query, objects.len(), bytes, cost);
         quepa_obs::record_link_event(self.name.as_str(), cost);
+        cost
     }
 }
 
@@ -130,7 +134,7 @@ impl Connector for KvConnector {
         match &object {
             Some(o) => self.charge(false, std::slice::from_ref(o)),
             None => self.charge(false, &[]),
-        }
+        };
         Ok(object)
     }
 
@@ -143,6 +147,46 @@ impl Connector for KvConnector {
         let objects = objects?;
         self.charge(false, &objects);
         Ok(objects)
+    }
+
+    fn supports_pushdown(&self, _filter: &Pushdown) -> bool {
+        true
+    }
+
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        self.check_collection(collection)?;
+        // An exact root-value equality is served straight from the store's
+        // secondary value index; anything else evaluates the canonical
+        // predicate per entry — in both cases inside the store, so only
+        // matches are charged to the wire.
+        let value_eq = match filter.clauses.as_slice() {
+            [c] if c.field == PushField::Value && c.op == PushOp::Eq => c.literal.as_str(),
+            _ => None,
+        };
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let store = self.store.read();
+        let (pairs, rejected) = store.multi_get_where(&key_strs, value_eq, &|k, v| {
+            // Borrow-free shim: evaluate the shared predicate over the
+            // entry rendered exactly as `object_from_pair` would.
+            filter.matches(k, &Value::str(v))
+        });
+        drop(store);
+        let mut out = FilteredFetch::default();
+        for id in rejected {
+            out.rejected
+                .push(LocalKey::new(&id).map_err(|e| PolyError::store(self.name.as_str(), e))?);
+        }
+        for (k, v) in pairs {
+            out.matched.push(self.object_from_pair(&k, v)?);
+        }
+        let cost = self.charge(false, &out.matched);
+        quepa_obs::record_pushdown_latency(self.name.as_str(), cost);
+        Ok(out)
     }
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {

@@ -1,11 +1,11 @@
 //! Connector for the relational engine.
 
 use parking_lot::RwLock;
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Value};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Pushdown, Value};
 use quepa_relstore::engine::{Database, ResultRow};
 use quepa_relstore::sql::ast::Statement;
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::connectors::payload_bytes;
 use crate::error::{PolyError, Result};
 use crate::net::LatencyModel;
@@ -177,6 +177,46 @@ impl Connector for RelationalConnector {
         self.stats.record(false, objects.len(), bytes, cost);
         quepa_obs::record_link_event(self.name.as_str(), cost);
         Ok(objects)
+    }
+
+    fn supports_pushdown(&self, _filter: &Pushdown) -> bool {
+        true
+    }
+
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        // The engine's `WHERE pk IN (…) AND <pred>` access path: rejected
+        // rows never leave the store, so only matches are charged.
+        let db = self.db.read();
+        let key_strs: Vec<&str> = keys.iter().map(LocalKey::as_str).collect();
+        let (rows, rejected) = db
+            .multi_get_where(collection.as_str(), &key_strs, filter)
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?;
+        let pk_col = db
+            .table(collection.as_str())
+            .map_err(|e| PolyError::store(self.name.as_str(), e))?
+            .pk_column()
+            .to_owned();
+        drop(db);
+        let matched: Vec<DataObject> = rows
+            .into_iter()
+            .map(|(_, row)| self.object_from_row(collection, &pk_col, row))
+            .collect::<Result<_>>()?;
+        let rejected: Vec<LocalKey> = rejected
+            .into_iter()
+            .map(|k| LocalKey::new(&k).map_err(|e| PolyError::store(self.name.as_str(), e)))
+            .collect::<Result<_>>()?;
+        let bytes = payload_bytes(&matched);
+        let cost = self.latency.cost(matched.len(), bytes);
+        self.latency.pay(matched.len(), bytes);
+        self.stats.record(false, matched.len(), bytes, cost);
+        quepa_obs::record_link_event(self.name.as_str(), cost);
+        quepa_obs::record_pushdown_latency(self.name.as_str(), cost);
+        Ok(FilteredFetch { matched, rejected })
     }
 
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {

@@ -20,9 +20,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, LocalKey};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, LocalKey, Pushdown};
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::error::{PolyError, Result};
 use crate::net::LatencyModel;
 use crate::stats::StatsSnapshot;
@@ -306,6 +306,23 @@ impl Connector for FaultyConnector {
         self.inner.multi_get(collection, keys)
     }
 
+    fn supports_pushdown(&self, filter: &Pushdown) -> bool {
+        self.inner.supports_pushdown(filter)
+    }
+
+    fn fetch_where(
+        &self,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        // Same identity as a `multi_get` of the same key list: the fault
+        // plan cannot tell the two strategies apart, so the planner's
+        // choice never changes which faults fire.
+        self.apply(call_identity(collection, keys))?;
+        self.inner.fetch_where(collection, keys, filter)
+    }
+
     fn scan_collection(&self, collection: &CollectionName) -> Result<Vec<DataObject>> {
         self.inner.scan_collection(collection)
     }
@@ -493,6 +510,38 @@ mod tests {
                 "round {round}: total injected errors must equal the streak, order-free"
             );
         }
+    }
+
+    /// Satellite pin: `fetch_where` shares its call identity (and so its
+    /// per-identity attempt counter) with `multi_get` of the same key
+    /// list. A streak ridden out by one strategy is ridden out for both —
+    /// the planner's BATCH/PUSHDOWN choice can never change which faults
+    /// fire or how many remain.
+    #[test]
+    fn fetch_where_shares_fault_identity_with_multi_get() {
+        let plan = Arc::new(FaultPlan::new(11).with_transient_faults(1.0, 3));
+        let keys = [LocalKey::new("k1").unwrap(), LocalKey::new("k2").unwrap()];
+        let identity = call_identity(&coll(), &keys);
+        let streak = (0..8)
+            .take_while(|&a| plan.decide("db1", identity, a) == FaultDecision::Transient)
+            .count();
+        assert!((1..=3).contains(&streak));
+        let filter = Pushdown::value(quepa_pdm::PushOp::Eq, "v");
+        // Alternate strategies against the SAME wrapper: the shared
+        // counter walks one streak between them, then both succeed.
+        let faulty = FaultyConnector::new(kv_connector(), Arc::clone(&plan), LatencyModel::FREE);
+        for attempt in 0..streak {
+            let res = if attempt % 2 == 0 {
+                faulty.fetch_where(&coll(), &keys, &filter).map(|_| ())
+            } else {
+                faulty.multi_get(&coll(), &keys).map(|_| ())
+            };
+            assert!(res.is_err(), "attempt {attempt} should still be inside the streak");
+        }
+        let out = faulty.fetch_where(&coll(), &keys, &filter).unwrap();
+        assert_eq!(out.matched.len(), 2);
+        assert!(out.rejected.is_empty());
+        assert_eq!(faulty.multi_get(&coll(), &keys).unwrap().len(), 2);
     }
 
     #[test]

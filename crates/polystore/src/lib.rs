@@ -35,7 +35,7 @@ pub mod polystore;
 pub mod retry;
 pub mod stats;
 
-pub use connector::{Connector, StoreKind};
+pub use connector::{Connector, FilteredFetch, PushdownGate, StoreKind};
 pub use connectors::{DocumentConnector, GraphConnector, KvConnector, RelationalConnector};
 pub use error::{PolyError, Result};
 pub use fault::{FaultDecision, FaultPlan, FaultyConnector};

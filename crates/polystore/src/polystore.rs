@@ -3,9 +3,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey};
+use quepa_pdm::{CollectionName, DataObject, DatabaseName, GlobalKey, LocalKey, Pushdown};
 
-use crate::connector::{Connector, StoreKind};
+use crate::connector::{Connector, FilteredFetch, StoreKind};
 use crate::error::{PolyError, Result};
 use crate::fault::call_identity;
 use crate::retry::{run_round_trip, CircuitBreaker, RetryPolicy};
@@ -133,6 +133,46 @@ impl Polystore {
         let salt = call_identity(collection, keys.iter());
         let (result, report) = run_round_trip(policy, breaker, database, salt, || {
             connector.multi_get(collection, keys)
+        });
+        if report.retries + report.timeouts + report.breaker_trips > 0 {
+            connector.record_resilience(report.retries, report.timeouts, report.breaker_trips);
+        }
+        result
+    }
+
+    /// Filtered batched lookup (see [`Connector::fetch_where`]): one round
+    /// trip, the predicate applied inside the store.
+    pub fn fetch_where(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+    ) -> Result<FilteredFetch> {
+        self.connector(database)?.fetch_where(collection, keys, filter)
+    }
+
+    /// Filtered batched lookup under a retry policy and an optional
+    /// circuit breaker. The call salt is the same identity a `multi_get`
+    /// of the same key list would use, so seeded fault plans hit the two
+    /// strategies identically — the planner's choice cannot change which
+    /// faults fire.
+    pub fn fetch_where_resilient(
+        &self,
+        database: &DatabaseName,
+        collection: &CollectionName,
+        keys: &[LocalKey],
+        filter: &Pushdown,
+        policy: &RetryPolicy,
+        breaker: Option<&CircuitBreaker>,
+    ) -> Result<FilteredFetch> {
+        let connector = self.connector(database)?;
+        if policy.is_trivial() && breaker.is_none() {
+            return connector.fetch_where(collection, keys, filter);
+        }
+        let salt = call_identity(collection, keys.iter());
+        let (result, report) = run_round_trip(policy, breaker, database, salt, || {
+            connector.fetch_where(collection, keys, filter)
         });
         if report.retries + report.timeouts + report.breaker_trips > 0 {
             connector.record_resilience(report.retries, report.timeouts, report.breaker_trips);
@@ -286,6 +326,64 @@ mod tests {
         assert_eq!(h[&StoreKind::Relational], 1);
         assert_eq!(h[&StoreKind::Document], 1);
         assert_eq!(h[&StoreKind::KeyValue], 1);
+    }
+
+    /// The native pushdown paths of all four connectors must agree
+    /// bit-for-bit with the reference: `multi_get` plus the canonical
+    /// client-side evaluator — same matched objects (same order), same
+    /// rejected keys, same implied-missing keys.
+    #[test]
+    fn fetch_where_agrees_with_client_side_filtering() {
+        use crate::connectors::GraphConnector;
+        use quepa_graphstore::GraphDb;
+        use quepa_pdm::{PushOp, Pushdown, Value};
+
+        let mut p = sample();
+        let mut g = GraphDb::new("similar");
+        g.add_node("s1", "Song", [("title", Value::str("Apart")), ("seq", Value::Int(1))]).unwrap();
+        g.add_node("s2", "Song", [("title", Value::str("Elise")), ("seq", Value::Int(2))]).unwrap();
+        g.add_node("a1", "Album", [("title", Value::str("Wish"))]).unwrap();
+        p.register(Arc::new(GraphConnector::new(g, LatencyModel::FREE)));
+
+        let mut seq_and_key = Pushdown::path("seq", PushOp::Lte, 1);
+        seq_and_key.clauses.extend(Pushdown::key(PushOp::Prefix, "s").clauses);
+        let cases: Vec<(&str, &str, Vec<&str>, Pushdown)> = vec![
+            ("transactions", "inventory", vec!["a32", "zz"], Pushdown::path("artist", PushOp::Eq, "Cure")),
+            ("transactions", "inventory", vec!["a32"], Pushdown::path("artist", PushOp::Eq, "Nobody")),
+            ("catalogue", "albums", vec!["d1", "ghost"], Pushdown::path("title", PushOp::Contains, "WISH")),
+            ("catalogue", "albums", vec!["d1"], Pushdown::key(PushOp::Prefix, "x")),
+            ("discount", "drop", vec!["k1:cure:wish", "nope"], Pushdown::value(PushOp::Eq, "40%")),
+            ("discount", "drop", vec!["k1:cure:wish"], Pushdown::value(PushOp::Eq, "99%")),
+            ("similar", "song", vec!["s1", "s2", "a1", "zz"], seq_and_key),
+            ("similar", "song", vec!["s1", "s2"], Pushdown::default()),
+        ];
+        for (db, coll, keys, filter) in cases {
+            let database = DatabaseName::new(db).unwrap();
+            let collection = CollectionName::new(coll).unwrap();
+            let keys: Vec<LocalKey> = keys.iter().map(|k| LocalKey::new(k).unwrap()).collect();
+            let connector = p.connector(&database).unwrap();
+            assert!(connector.supports_pushdown(&filter), "{db} declines {filter}");
+            let got = p.fetch_where(&database, &collection, &keys, &filter).unwrap();
+            let fetched = p.multi_get(&database, &collection, &keys).unwrap();
+            let mut want_matched = Vec::new();
+            let mut want_rejected = Vec::new();
+            for o in fetched {
+                if filter.matches(o.key().key().as_str(), o.value()) {
+                    want_matched.push(o);
+                } else {
+                    want_rejected.push(o.key().key().clone());
+                }
+            }
+            let got_keys: Vec<String> =
+                got.matched.iter().map(|o| o.key().to_string()).collect();
+            let want_keys: Vec<String> =
+                want_matched.iter().map(|o| o.key().to_string()).collect();
+            assert_eq!(got_keys, want_keys, "{db} {filter}");
+            for (g, w) in got.matched.iter().zip(&want_matched) {
+                assert_eq!(g.value(), w.value(), "{db} {filter}");
+            }
+            assert_eq!(got.rejected, want_rejected, "{db} {filter}");
+        }
     }
 
     #[test]

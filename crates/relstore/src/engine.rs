@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use quepa_pdm::Value;
+use quepa_pdm::{Pushdown, Value};
 
 use crate::error::{RelError, Result};
 use crate::eval::{eval_predicate, ColumnSource};
@@ -13,6 +13,10 @@ use crate::sql::parser::parse_statement;
 /// A query result row: column name → value. Using the map form keeps result
 /// handling uniform with the other stores' connectors.
 pub type ResultRow = BTreeMap<String, Value>;
+
+/// The result of a predicated keyed lookup: matching `(pk, row)` pairs
+/// plus the keys whose row exists but fails the predicate.
+pub type FilteredRows = (Vec<(String, ResultRow)>, Vec<String>);
 
 /// One table: schema + row storage + indexes.
 ///
@@ -476,6 +480,33 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    /// Keyed lookup with a store-side predicate — the `SELECT … WHERE pk
+    /// IN (…) AND <pred>` access path: one pk-index probe per key, the row
+    /// predicate applied before the row leaves the engine. Returns the
+    /// matching rows plus the keys whose row exists but fails the
+    /// predicate, so callers can tell filtered-out apart from missing.
+    pub fn multi_get_where(
+        &self,
+        table: &str,
+        pks: &[&str],
+        pred: &Pushdown,
+    ) -> Result<FilteredRows> {
+        let t = self.table(table)?;
+        let mut matched = Vec::new();
+        let mut rejected = Vec::new();
+        for pk in pks {
+            let Some(row) = t.get(pk) else { continue };
+            let value = Value::Object(row);
+            if pred.matches(pk, &value) {
+                let Value::Object(row) = value else { unreachable!() };
+                matched.push(((*pk).to_owned(), row));
+            } else {
+                rejected.push((*pk).to_owned());
+            }
+        }
+        Ok((matched, rejected))
     }
 
     /// Total number of live rows across tables.

@@ -125,7 +125,7 @@ impl HostileTopology {
     /// interned directly (bench path; the check harness maps indices
     /// onto its own per-store keys instead).
     pub fn key(&self, i: usize) -> GlobalKey {
-        GlobalKey::parse_parts("hostile", "objects", &format!("o{i}"))
+        GlobalKey::parse_parts("hostile", "objects", format!("o{i}"))
             .expect("hostile keys are well-formed")
     }
 

@@ -61,6 +61,7 @@ fn main() {
             augmented_size,
             level: 0,
             distributed: false,
+            filtered: false,
         };
         println!("{label} ({result_size} results, {augmented_size} related):");
         for (name, cfg) in [

@@ -6,7 +6,13 @@
 //! (`cargo run --bin quepa-cli`), over a socket, or from tests:
 //!
 //! ```text
-//! SEARCH <db> <level> <query…>      augmented search (Definition 3)
+//! SEARCH <db> <level> <query…> [:: <filter>]
+//!                                   augmented search (Definition 3); the
+//!                                   optional predicate restricts the
+//!                                   augmented objects (pushed down to
+//!                                   stores that support it)
+//! EXPLAIN <db> <level> <query…> :: <filter>
+//!                                   dry-run the per-store pushdown plan
 //! EXPLORE <db> <query…>             open an exploration (Definition 4)
 //! PICK <i>                          select a result / follow a link
 //! BACK                              show the current frontier again
@@ -20,7 +26,10 @@
 use std::fmt::Write as _;
 
 use crate::aindex::serial;
-use crate::core::{AugmenterKind, ExplorationSession, Quepa, QuepaConfig};
+use crate::core::{
+    AugmenterKind, DecisionReason, ExplorationSession, GroupStrategy, Quepa, QuepaConfig,
+};
+use crate::pdm::Pushdown;
 
 /// A stateful command processor bound to one QUEPA instance.
 pub struct CommandProcessor<'q> {
@@ -60,6 +69,7 @@ impl<'q> CommandProcessor<'q> {
             "INDEX" => self.index_info(),
             "CONFIG" => self.config(rest),
             "SEARCH" => self.search(rest),
+            "EXPLAIN" => self.explain(rest),
             "EXPLORE" => self.explore(rest),
             "PICK" => self.pick(rest),
             "BACK" => self.frontier(),
@@ -136,17 +146,25 @@ impl<'q> CommandProcessor<'q> {
             return format!("{}\n", self.quepa.config());
         }
         let parts: Vec<&str> = rest.split_whitespace().collect();
-        if let ["OBS" | "obs" | "Obs", toggle] = parts.as_slice() {
-            let observability = match toggle.to_ascii_uppercase().as_str() {
+        if let [knob, toggle] = parts.as_slice() {
+            let on = match toggle.to_ascii_uppercase().as_str() {
                 "ON" => true,
                 "OFF" => false,
-                _ => return "usage: CONFIG OBS ON|OFF".into(),
+                _ => return format!("usage: CONFIG {} ON|OFF", knob.to_ascii_uppercase()),
             };
-            self.quepa.set_config(QuepaConfig { observability, ..self.quepa.config() });
+            match knob.to_ascii_uppercase().as_str() {
+                "OBS" => self
+                    .quepa
+                    .set_config(QuepaConfig { observability: on, ..self.quepa.config() }),
+                "PUSH" => {
+                    self.quepa.set_config(QuepaConfig { pushdown: on, ..self.quepa.config() })
+                }
+                other => return format!("unknown config knob {other:?}; OBS or PUSH"),
+            }
             return format!("configured: {}\n", self.quepa.config());
         }
         let [aug, batch, threads, cache] = parts.as_slice() else {
-            return "usage: CONFIG <augmenter> <batch> <threads> <cache> | CONFIG OBS ON|OFF"
+            return "usage: CONFIG <augmenter> <batch> <threads> <cache> | CONFIG OBS|PUSH ON|OFF"
                 .into();
         };
         let Some(augmenter) = AugmenterKind::parse(aug) else {
@@ -172,15 +190,23 @@ impl<'q> CommandProcessor<'q> {
     }
 
     fn search(&mut self, rest: &str) -> String {
+        let (rest, filter) = match split_filter(rest) {
+            Ok(split) => split,
+            Err(e) => return e,
+        };
         let mut parts = rest.splitn(3, char::is_whitespace);
         let (Some(db), Some(level), Some(query)) = (parts.next(), parts.next(), parts.next())
         else {
-            return "usage: SEARCH <db> <level> <query…>".into();
+            return "usage: SEARCH <db> <level> <query…> [:: <filter>]".into();
         };
         let Ok(level) = level.parse::<usize>() else {
             return "level must be a non-negative integer".into();
         };
-        match self.quepa.augmented_search(db, query, level) {
+        let result = match &filter {
+            Some(f) => self.quepa.augmented_search_filtered(db, query, level, f),
+            None => self.quepa.augmented_search(db, query, level),
+        };
+        match result {
             Ok(answer) => {
                 let mut out = answer.render();
                 let _ = writeln!(
@@ -191,6 +217,56 @@ impl<'q> CommandProcessor<'q> {
                     answer.duration,
                     answer.cache_hits,
                 );
+                if let Some(f) = &filter {
+                    let _ = writeln!(out, "(filter: {f})");
+                }
+                out
+            }
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    fn explain(&self, rest: &str) -> String {
+        let (rest, filter) = match split_filter(rest) {
+            Ok(split) => split,
+            Err(e) => return e,
+        };
+        let Some(filter) = filter else {
+            return "usage: EXPLAIN <db> <level> <query…> :: <filter>".into();
+        };
+        let mut parts = rest.splitn(3, char::is_whitespace);
+        let (Some(db), Some(level), Some(query)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return "usage: EXPLAIN <db> <level> <query…> :: <filter>".into();
+        };
+        let Ok(level) = level.parse::<usize>() else {
+            return "level must be a non-negative integer".into();
+        };
+        match self.quepa.explain_search(db, query, level, &filter) {
+            Ok(decisions) => {
+                if decisions.is_empty() {
+                    return "no augmentation groups to plan at this level\n".into();
+                }
+                let mut out = format!("filter: {filter}\n");
+                for d in &decisions {
+                    let strategy = match d.strategy {
+                        GroupStrategy::Pushdown => "PUSHDOWN",
+                        GroupStrategy::FetchAll => "FETCH-ALL",
+                    };
+                    let reason = match d.reason {
+                        DecisionReason::Chosen => "planner chose pushdown",
+                        DecisionReason::Disabled => "pushdown disabled by config",
+                        DecisionReason::Declined => "connector declined the filter",
+                        DecisionReason::Predicted => "planner predicted fetch-all faster",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<28} {:>4} keys  {:<9} {reason}",
+                        format!("{}.{}", d.database, d.collection),
+                        d.keys,
+                        strategy,
+                    );
+                }
                 out
             }
             Err(e) => format!("error: {e}\n"),
@@ -310,14 +386,31 @@ impl<'q> CommandProcessor<'q> {
     }
 }
 
+/// Splits an optional ` :: <filter>` suffix off a command tail and
+/// parses the pushdown predicate.
+fn split_filter(rest: &str) -> Result<(&str, Option<Pushdown>), String> {
+    match rest.split_once("::") {
+        None => Ok((rest.trim(), None)),
+        Some((head, filt)) => match Pushdown::parse(filt.trim()) {
+            Ok(f) => Ok((head.trim(), Some(f))),
+            Err(e) => Err(format!("bad filter: {e}\n")),
+        },
+    }
+}
+
 const HELP: &str = "\
 QUEPA commands:
-  SEARCH <db> <level> <query…>   augmented search in the store's native language
+  SEARCH <db> <level> <query…> [:: <filter>]
+                                 augmented search in the store's native language;
+                                 the optional predicate restricts augmented objects
+  EXPLAIN <db> <level> <query…> :: <filter>
+                                 dry-run the per-store pushdown plan for a filter
   EXPLORE <db> <query…>          start an augmented exploration
   PICK <i>                       expand result/link i       BACK  show frontier
   END                            close the exploration (paths may promote)
   CONFIG [<augmenter> <batch> <threads> <cache>]   show or set the configuration
   CONFIG OBS ON|OFF              toggle the observability layer
+  CONFIG PUSH ON|OFF             toggle predicate pushdown planning
   METRICS [JSON]                 export metrics (Prometheus text by default)
   STORES / STATS / INDEX         inspect the polystore / counters / A' index
   SAVE <path> / LOAD <path>      persist or restore the A' index
@@ -360,6 +453,34 @@ mod tests {
         assert!(out.contains("error"), "{out}");
         let out = p.handle("SEARCH transactions x SELECT * FROM t");
         assert!(out.contains("level must be"), "{out}");
+    }
+
+    #[test]
+    fn filtered_search_and_explain() {
+        let q = quepa();
+        let mut p = CommandProcessor::new(&q);
+        let out =
+            p.handle("SEARCH transactions 1 SELECT * FROM inventory WHERE seq < 2 :: key contains \"9\"");
+        assert!(out.contains("augmented in"), "{out}");
+        assert!(out.contains("filter: key contains \"9\""), "{out}");
+        let out = p.handle("SEARCH transactions 1 SELECT * FROM t :: key ?? x");
+        assert!(out.contains("bad filter"), "{out}");
+
+        let out =
+            p.handle("EXPLAIN transactions 1 SELECT * FROM inventory WHERE seq < 2 :: key contains \"9\"");
+        assert!(out.contains("filter: key contains \"9\""), "{out}");
+        assert!(out.contains("PUSHDOWN") || out.contains("FETCH-ALL"), "{out}");
+        assert!(p.handle("EXPLAIN transactions 1 SELECT * FROM t").contains("usage: EXPLAIN"));
+
+        let out = p.handle("CONFIG PUSH OFF");
+        assert!(out.contains("no-pushdown"), "{out}");
+        let out =
+            p.handle("EXPLAIN transactions 1 SELECT * FROM inventory WHERE seq < 2 :: key contains \"9\"");
+        assert!(out.contains("FETCH-ALL"), "{out}");
+        assert!(out.contains("disabled"), "{out}");
+        let out = p.handle("CONFIG PUSH ON");
+        assert!(!out.contains("no-pushdown"), "{out}");
+        assert!(p.handle("CONFIG PUSH maybe").contains("usage: CONFIG PUSH"));
     }
 
     #[test]
